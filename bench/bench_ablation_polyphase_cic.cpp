@@ -1,0 +1,93 @@
+// Ablation: Hogenauer vs non-recursive polyphase Sinc stages (the
+// implementation choice Section IV references via [6], [7]).
+//
+// The Hogenauer form uses 2K adders with K of them at the fast input
+// rate; the polyphase form uses more adders but all at the output rate
+// and with short (non-growing) word lengths. Which wins depends on the
+// stage's position in the chain - exactly the trade this bench quantifies
+// with the activity-based power model.
+#include <cstdio>
+
+#include "src/decimator/cic.h"
+#include "src/decimator/polyphase_cic.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+#include "src/synth/celllib.h"
+
+using namespace dsadc;
+
+namespace {
+
+/// First-order power estimate from structure counts (adders/registers x
+/// rate x width), consistent with the cell model's constants.
+double structural_power_w(std::size_t adders, std::size_t regs, int width,
+                          double rate_hz, const synth::CellLibrary& lib) {
+  const double adder_e = static_cast<double>(adders) * width * 0.5 *
+                         lib.fa_energy_j;  // ~0.5 toggles/bit/op
+  const double reg_e = static_cast<double>(regs) * width *
+                       (lib.ff_clk_energy_j + 0.5 * lib.ff_data_energy_j);
+  return (adder_e + reg_e) * rate_hz * lib.overhead_factor;
+}
+
+}  // namespace
+
+int main() {
+  printf("=================================================================\n");
+  printf(" Ablation - Hogenauer vs polyphase (non-recursive) Sinc stages\n");
+  printf("=================================================================\n");
+  const auto lib = synth::default_45nm();
+  const design::CicSpec specs[] = {{4, 2, 4}, {4, 2, 8}, {6, 2, 12}};
+  const double rates[] = {640e6, 320e6, 160e6};
+
+  printf("%-10s | %26s | %26s\n", "", "Hogenauer", "polyphase FIR");
+  printf("%-10s | %8s %8s %8s | %8s %8s %8s\n", "stage", "adders", "regs",
+         "est mW", "adders", "regs", "est mW");
+  for (int i = 0; i < 3; ++i) {
+    const auto& s = specs[i];
+    decim::CicDecimator hog(s);
+    decim::PolyphaseCicDecimator poly(s);
+    // Hogenauer: K integrator adders+regs at the input rate, K comb
+    // adders+regs at the output rate, at the grown register width.
+    const int w = s.register_width();
+    const double hog_mw =
+        (structural_power_w(static_cast<std::size_t>(s.order),
+                            static_cast<std::size_t>(s.order), w, rates[i],
+                            lib) +
+         structural_power_w(static_cast<std::size_t>(s.order),
+                            static_cast<std::size_t>(s.order) + 1, w,
+                            rates[i] / 2.0, lib)) *
+        1e3;
+    // Polyphase: all arithmetic at the output rate, input-width registers,
+    // output width only at the final sum.
+    const double poly_mw =
+        structural_power_w(poly.adder_count(), poly.register_count(),
+                           (s.input_bits + w) / 2, rates[i] / 2.0, lib) *
+        1e3;
+    printf("%-10s | %8zu %8zu %8.3f | %8zu %8zu %8.3f\n",
+           i == 2 ? "Sinc6" : "Sinc4", static_cast<std::size_t>(2 * s.order),
+           static_cast<std::size_t>(2 * s.order + 1), hog_mw,
+           poly.adder_count(), poly.register_count(), poly_mw);
+
+    // Sanity: the two forms are bit-identical (also proven in tests).
+    std::vector<std::int64_t> in(256);
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      in[k] = static_cast<std::int64_t>((k * 37 + 11) %
+                                        (1u << (s.input_bits - 1))) -
+              (1 << (s.input_bits - 2));
+    }
+    const auto a = hog.process(in);
+    const auto b = poly.process(in);
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k] != b[k]) {
+        printf("  MISMATCH at %zu!\n", k);
+        return 1;
+      }
+    }
+  }
+  printf("\nReading: at M = 2 the polyphase form wins on the fast first\n");
+  printf("stage (all arithmetic at half rate) and the Hogenauer form stays\n");
+  printf("competitive deeper in the chain where its simplicity (2K adders,\n");
+  printf("no coefficient scaling) dominates - the trade [7] discusses.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: retiming/pipelining (Section IV) - glitch-power effect on the
+// Sinc accumulators, and the pipeline register's role at rate boundaries.
+#include <cstdio>
+
+#include "src/core/flow.h"
+#include "src/modulator/dsm.h"
+#include "src/rtl/builders.h"
+#include "src/rtl/sim.h"
+#include "src/synth/estimate.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("==============================================================\n");
+  printf(" Ablation - retiming vs glitch power in the decimation chain\n");
+  printf("==============================================================\n");
+  const auto r = core::DesignFlow::design(mod::paper_modulator_spec(),
+                                          mod::paper_decimator_spec());
+  const auto ntf = mod::synthesize_ntf(5, 16.0, 3.0, true);
+  const auto coeffs = mod::realize_ciff(ntf);
+  mod::CiffModulator m(coeffs, 4);
+  const auto u = mod::coherent_sine(1 << 13, 5e6, 640e6, 0.81, nullptr);
+  const auto codes = m.run(u).codes;
+  const auto lib = synth::default_45nm();
+
+  rtl::BuildOptions retimed;
+  retimed.retimed = true;
+  rtl::BuildOptions unretimed;
+  unretimed.retimed = false;
+
+  const auto p_ret = synth::profile_chain(r.chain, codes, 640e6, lib, retimed);
+  const auto p_unret =
+      synth::profile_chain(r.chain, codes, 640e6, lib, unretimed);
+
+  printf("%-12s %16s %16s %10s\n", "stage", "retimed (mW)", "unretimed (mW)",
+         "saving");
+  for (std::size_t i = 0; i < p_ret.stages.size(); ++i) {
+    const double a = p_ret.stages[i].dynamic_power_w * 1e3;
+    const double b = p_unret.stages[i].dynamic_power_w * 1e3;
+    printf("%-12s %16.3f %16.3f %9.1f%%\n", p_ret.stages[i].name.c_str(), a,
+           b, 100.0 * (1.0 - a / b));
+  }
+  printf("%-12s %16.3f %16.3f %9.1f%%\n", "total",
+         p_ret.total_dynamic_w * 1e3, p_unret.total_dynamic_w * 1e3,
+         100.0 * (1.0 - p_ret.total_dynamic_w / p_unret.total_dynamic_w));
+  printf("\n(Section IV: 'the accumulators are implemented using retiming\n");
+  printf("... reduces the glitching power'. The cost model charges the\n");
+  printf("published ~2.2x glitch-activity factor to combinational adder\n");
+  printf("chains that lack the retiming registers.)\n");
+  return p_ret.total_dynamic_w < p_unret.total_dynamic_w ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Ablation: plain Sinc^K vs sharpened comb (3H^2 - 2H^3) for the first
+// decimation stage - the alternative comb schemes of reference [7].
+#include <cstdio>
+
+#include "src/filterdesign/cic.h"
+#include "src/filterdesign/sharpened_cic.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("==============================================================\n");
+  printf(" Ablation - plain vs sharpened comb for the /2 Sinc stages\n");
+  printf("==============================================================\n");
+  const double fb[] = {20e6 / 640e6, 20e6 / 320e6, 20e6 / 160e6};
+  const design::CicSpec stages[] = {{4, 2, 4}, {4, 2, 8}, {6, 2, 12}};
+
+  printf("%-10s | %22s | %22s\n", "", "plain Sinc^K", "sharpened 3H^2-2H^3");
+  printf("%-10s | %10s %11s | %10s %11s\n", "stage", "droop", "alias rej",
+         "droop", "alias rej");
+  for (int i = 0; i < 3; ++i) {
+    printf("%-10s | %8.2f dB %8.1f dB | %8.3f dB %8.1f dB\n",
+           i == 2 ? "Sinc6" : "Sinc4",
+           design::cic_droop_db(stages[i], fb[i]),
+           design::cic_alias_rejection_db(stages[i], fb[i]),
+           design::sharpened_cic_droop_db(stages[i], fb[i]),
+           design::sharpened_cic_alias_rejection_db(stages[i], fb[i]));
+  }
+
+  printf("\ncost view (first stage, M = 2):\n");
+  const auto plain_len = 4 * (2 - 1) + 1;
+  const auto sharp = design::sharpened_cic_taps(4, 2);
+  printf("  plain Sinc4 impulse length: %d taps (Hogenauer: 8 adders)\n",
+         plain_len);
+  printf("  sharpened impulse length:   %zu taps (polyphase FIR with\n",
+         sharp.size());
+  printf("  integer taps; ~3x the arithmetic of the plain comb)\n");
+  printf("\nReading: sharpening buys near-zero droop and ~2.5x the alias\n");
+  printf("rejection per stage at ~3x the adder cost. The paper's chain\n");
+  printf("keeps plain combs and spends the savings on the equalizer\n");
+  printf("instead; this bench quantifies the road not taken [7].\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Baseline comparison behind Section III: "The multistage architecture
+// allows most of the filter hardware to operate at a lower clock
+// frequency, and have lower hardware complexity when compared to a single
+// stage decimator." We build that single-stage decimator and compare.
+#include <cstdio>
+
+#include <cmath>
+
+#include "src/decimator/chain.h"
+#include "src/filterdesign/window_fir.h"
+#include "src/fixedpoint/csd.h"
+#include "src/rtl/builders.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("================================================================\n");
+  printf(" Baseline - single-stage decimator vs the paper's multistage\n");
+  printf("================================================================\n");
+
+  // Single stage: one FIR at 640 MHz doing /16 with the Table-I band plan.
+  const auto base =
+      design::design_single_stage_baseline(640e6, 40e6, 20e6, 23e6, 85.0);
+  // Multistage: the paper chain.
+  const auto cfg = decim::paper_chain_config();
+  const auto built = rtl::build_chain(cfg);
+
+  std::size_t multi_adders = 0;
+  std::size_t multi_regbits = 0;
+  for (const auto& st : built.stages) {
+    multi_adders += st.module.adder_count();
+    multi_regbits += st.module.register_bits();
+  }
+
+  // Adder operations per input sample (all word-level ops at their rates):
+  const double multi_adds = (4.0 + 4.0 / 2.0) +              // Sinc4 #1
+                            (4.0 / 2.0 + 4.0 / 4.0) +        // Sinc4 #2
+                            (6.0 / 4.0 + 6.0 / 8.0) +        // Sinc6
+                            (33.0 + 1.0 + 33.0) / 16.0;      // HBF+scl+EQ
+  // Coefficient multiplications per input sample: the CIC stages have
+  // NONE ("preclude the use of a digital multiplier"); only the halfband
+  // and equalizer multiply, at 1/16 of the input rate.
+  const double multi_macs = (33.0 + 33.0 + 1.0) / 16.0;
+
+  printf("%-34s %18s %18s\n", "", "single stage", "multistage (paper)");
+  printf("%-34s %18zu %18s\n", "FIR length", base.taps.size(), "111 + 65");
+  printf("%-34s %18.1f %18.1f\n", "coeff multiplies / input sample",
+         base.mac_rate_per_sample, multi_macs);
+  printf("%-34s %18.1f %18.1f\n", "adder ops / input sample",
+         base.mac_rate_per_sample, multi_adds);
+  printf("%-34s %18zu %18zu\n", "CSD adders (word level)", base.adders,
+         multi_adders);
+  printf("%-34s %18s %18zu\n", "register bits", "~2 per tap", multi_regbits);
+  printf("%-34s %18s %18s\n", "fastest arithmetic clock", "640 MHz",
+         "640 MHz (8-bit only)");
+  printf("\ncoefficient-multiply advantage of the multistage chain: %.1fx\n",
+         base.mac_rate_per_sample / multi_macs);
+  printf("\nThe single-stage filter needs %zu taps because the 20-23 MHz\n",
+         base.taps.size());
+  printf("transition is only %.2f%% of the 640 MHz rate; the chain defers\n",
+         100.0 * 3.0 / 640.0);
+  printf("the sharp transition to the 80 MHz halfband where it is 16x\n");
+  printf("wider - Section III's architectural argument, quantified.\n");
+  return base.mac_rate_per_sample > 4.0 * multi_macs ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Fig. 10 reproduction: uncompensated droop, equalizer response, and the
+// compensated passband (paper: residual ripple < 0.5 dB).
+#include <cstdio>
+
+#include <cmath>
+
+#include "src/core/response.h"
+#include "src/decimator/chain.h"
+#include "src/dsp/freqz.h"
+#include "src/fixedpoint/quantize.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("===========================================================\n");
+  printf(" Fig. 10 - Droop, equalizer and compensated response (dB)\n");
+  printf("===========================================================\n");
+  const auto cfg = decim::paper_chain_config();
+  const auto eq_taps = fx::quantize_taps(cfg.equalizer_taps, 14);
+  printf("equalizer: %zu symmetric taps at the 40 MHz output rate "
+         "(paper: 64th order)\n\n",
+         cfg.equalizer_taps.size());
+  printf("%10s %14s %14s %14s\n", "f (MHz)", "uncompensated", "equalizer",
+         "compensated");
+  double lo = 1e300, hi = -1e300;
+  for (double fmhz = 0.25; fmhz <= 20.0; fmhz += 0.25) {
+    const double droop = core::pre_equalizer_magnitude(cfg, fmhz * 1e6);
+    const double eq =
+        std::abs(dsp::fir_response_at(eq_taps, fmhz * 1e6 / 40e6));
+    const double comp = droop * eq;
+    printf("%10.2f %14.2f %14.2f %14.3f\n", fmhz, 20.0 * std::log10(droop),
+           20.0 * std::log10(eq), 20.0 * std::log10(comp));
+    lo = std::min(lo, 20.0 * std::log10(comp));
+    hi = std::max(hi, 20.0 * std::log10(comp));
+  }
+  printf("\ncompensated passband ripple over 0.25-20 MHz: %.2f dB "
+         "peak-to-peak\n",
+         hi - lo);
+  printf("paper: < 0.5 dB with a sinc-only target; compensating the full\n");
+  printf("sinc + halfband droop to the Nyquist edge with the same 65 taps\n");
+  printf("costs about 1 dB (Table I allows < 1 dB; the design flow grows\n");
+  printf("the equalizer automatically when asked to do better).\n");
+  return 0;
+}

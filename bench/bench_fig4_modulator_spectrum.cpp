@@ -1,0 +1,53 @@
+// Fig. 4 reproduction: simulated output spectrum of the 5th-order CT
+// delta-sigma modulator (DT equivalent), with the SQNR the paper reads
+// off the plot (102 dB, 16.7 bits).
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dsp/spectrum.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("=====================================================\n");
+  printf(" Fig. 4 - Modulator output spectrum (5 MHz tone, MSA)\n");
+  printf("=====================================================\n");
+  const auto ntf = mod::synthesize_ntf(5, 16.0, 3.0, true);
+  const auto coeffs = mod::realize_ciff(ntf);
+  mod::CiffModulator m(coeffs, 4);
+  const std::size_t n = 1 << 17;
+  double ftone = 0.0;
+  const auto u = mod::coherent_sine(n, 5e6, 640e6, 0.81, &ftone);
+  const auto out = m.run(u);
+  printf("stimulus: %.3f MHz at amplitude %.2f (MSA), %zu samples\n",
+         ftone / 1e6, 0.81, n);
+  printf("modulator stable: %s, max state %.2f\n",
+         out.stable ? "yes" : "NO", out.max_state);
+
+  const auto p = dsp::periodogram(out.levels, 640e6);
+  // Log-binned spectrum, like the paper's log-frequency plot.
+  printf("\n%12s %12s\n", "freq (MHz)", "PSD (dBFS/bin-avg)");
+  double f0 = 3e5;
+  while (f0 < 320e6) {
+    const double f1 = f0 * 1.45;
+    const double pw = dsp::band_power(p, f0, std::min(f1, 319e6));
+    const std::size_t bins =
+        p.bin_of_freq(std::min(f1, 319e6)) - p.bin_of_freq(f0) + 1;
+    printf("%12.2f %12.1f\n", std::sqrt(f0 * f1) / 1e6,
+           dsp::power_db(pw / static_cast<double>(bins)));
+    f0 = f1;
+  }
+
+  const auto snr = dsp::measure_tone_snr(out.levels, 640e6, 20e6,
+                                         dsp::WindowKind::kKaiser, 8, 8, 22.0);
+  printf("\nSQNR over 0-20 MHz: %.1f dB (%.1f bits)\n", snr.snr_db,
+         snr.enob_bits);
+  printf("paper: 102 dB (16.7 bits) for the CT design; the DT equivalent\n");
+  printf("with the same order/OSR/OBG synthesizes slightly deeper zeros.\n");
+  return snr.snr_db > 95.0 ? 0 : 1;
+}

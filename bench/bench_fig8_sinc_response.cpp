@@ -1,0 +1,50 @@
+// Fig. 8 reproduction: frequency responses of the individual Sinc filter
+// stages and the cascaded response (0-320 MHz at the 640 MHz input rate).
+#include <cstdio>
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/cic.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("==========================================================\n");
+  printf(" Fig. 8 - Sinc stage responses and cascade (dB, 0-320 MHz)\n");
+  printf("==========================================================\n");
+  const auto stages = design::paper_sinc_cascade();
+  printf("%10s %12s %12s %12s %12s\n", "f (MHz)", "1st Sinc4", "2nd Sinc4",
+         "Sinc6", "cascade");
+  double worst_alias = 1e300;
+  for (double fmhz = 0.0; fmhz <= 320.0; fmhz += 4.0) {
+    const double f = fmhz * 1e6 / 640e6;
+    const double m1 = design::cic_magnitude(stages[0], f);
+    const double m2 = design::cic_magnitude(stages[1], 2.0 * f);
+    const double m3 = design::cic_magnitude(stages[2], 4.0 * f);
+    const double casc = m1 * m2 * m3;
+    printf("%10.0f %12.1f %12.1f %12.1f %12.1f\n", fmhz,
+           20.0 * std::log10(std::max(m1, 1e-10)),
+           20.0 * std::log10(std::max(m2, 1e-10)),
+           20.0 * std::log10(std::max(m3, 1e-10)),
+           20.0 * std::log10(std::max(casc, 1e-10)));
+  }
+  // Worst-case attenuation in the +-20 MHz alias bands around 80k MHz.
+  for (int image = 1; image <= 4; ++image) {
+    for (double off = -20.0; off <= 20.0; off += 0.25) {
+      const double fmhz = 80.0 * image + off;
+      if (fmhz <= 0.0 || fmhz >= 320.0) continue;
+      const double f = fmhz * 1e6 / 640e6;
+      const double casc = design::cic_magnitude(stages[0], f) *
+                          design::cic_magnitude(stages[1], 2.0 * f) *
+                          design::cic_magnitude(stages[2], 4.0 * f);
+      worst_alias = std::min(worst_alias, -20.0 * std::log10(casc));
+    }
+  }
+  printf("\nworst attenuation across the +-20 MHz alias bands: %.1f dB\n",
+         worst_alias);
+  printf("paper: 'over 100 dB attenuation in the alias bands' (read near\n");
+  printf("the notch centers; the band-edge slots are shallower - the known\n");
+  printf("Sinc edge-leakage tradeoff, see DESIGN.md).\n");
+  return 0;
+}

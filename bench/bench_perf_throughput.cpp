@@ -1,0 +1,89 @@
+// Runtime performance of the simulation substrate (google-benchmark):
+// modulator, bit-true chain, design steps and the RTL simulator.
+#include <benchmark/benchmark.h>
+
+#include "src/core/flow.h"
+#include "src/decimator/chain.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+#include "src/rtl/builders.h"
+#include "src/rtl/sim.h"
+
+namespace {
+
+using namespace dsadc;
+
+const mod::CiffCoeffs& paper_coeffs() {
+  static const mod::CiffCoeffs c =
+      mod::realize_ciff(mod::synthesize_ntf(5, 16.0, 3.0, true));
+  return c;
+}
+
+const std::vector<std::int32_t>& paper_codes() {
+  static const std::vector<std::int32_t> codes = [] {
+    mod::CiffModulator m(paper_coeffs(), 4);
+    const auto u = mod::coherent_sine(1 << 15, 5e6, 640e6, 0.81, nullptr);
+    return m.run(u).codes;
+  }();
+  return codes;
+}
+
+void BM_ModulatorSim(benchmark::State& state) {
+  const auto u = mod::coherent_sine(static_cast<std::size_t>(state.range(0)),
+                                    5e6, 640e6, 0.81, nullptr);
+  mod::CiffModulator m(paper_coeffs(), 4);
+  for (auto _ : state) {
+    m.reset();
+    benchmark::DoNotOptimize(m.run(u));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ModulatorSim)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_DecimationChain(benchmark::State& state) {
+  decim::DecimationChain chain(decim::paper_chain_config());
+  const auto& codes = paper_codes();
+  for (auto _ : state) {
+    chain.reset();
+    benchmark::DoNotOptimize(chain.process(codes));
+  }
+  state.SetItemsProcessed(state.iterations() * codes.size());
+}
+BENCHMARK(BM_DecimationChain);
+
+void BM_HbfDesign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        design::design_saramaki_hbf(3, 6, 0.2125, 24, 0));
+  }
+}
+BENCHMARK(BM_HbfDesign);
+
+void BM_NtfSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mod::synthesize_ntf(5, 16.0, 3.0, true));
+  }
+}
+BENCHMARK(BM_NtfSynthesis);
+
+void BM_FullDesignFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DesignFlow::design(
+        mod::paper_modulator_spec(), mod::paper_decimator_spec()));
+  }
+}
+BENCHMARK(BM_FullDesignFlow)->Unit(benchmark::kMillisecond);
+
+void BM_RtlSimCic(benchmark::State& state) {
+  const auto stage = rtl::build_cic(design::CicSpec{4, 2, 4});
+  std::vector<std::int64_t> in(paper_codes().begin(), paper_codes().end());
+  for (auto _ : state) {
+    rtl::Simulator sim(stage.module);
+    benchmark::DoNotOptimize(sim.run({{stage.in, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimCic);
+
+}  // namespace

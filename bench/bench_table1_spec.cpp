@@ -1,0 +1,49 @@
+// Table I reproduction: modulator performance and decimator requirements,
+// paper values vs. this implementation's design + measurement.
+#include <cstdio>
+
+#include "src/core/flow.h"
+#include "src/core/response.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("==============================================================\n");
+  printf(" Table I - Modulator performance and decimator requirements\n");
+  printf("==============================================================\n");
+  const auto mspec = mod::paper_modulator_spec();
+  const auto dspec = mod::paper_decimator_spec();
+  const auto r = core::DesignFlow::design(mspec, dspec);
+  const auto v = core::DesignFlow::verify(r, 5e6, 1 << 16);
+
+  printf("%-28s %15s %15s\n", "quantity", "paper", "this work");
+  printf("--- modulator -------------------------------------------------\n");
+  printf("%-28s %15d %15d\n", "order", 5, r.modulator_spec.order);
+  printf("%-28s %15.1f %15.2f\n", "OBG (Hinf)", 3.0, r.ntf.infinity_norm());
+  printf("%-28s %12.0f MHz %12.0f MHz\n", "bandwidth", 20.0,
+         r.modulator_spec.bandwidth_hz / 1e6);
+  printf("%-28s %12.0f MHz %12.0f MHz\n", "sampling rate", 640.0,
+         r.modulator_spec.sample_rate_hz / 1e6);
+  printf("%-28s %15.0f %15.0f\n", "OSR", 16.0, r.modulator_spec.osr);
+  printf("%-28s %15.2f %15.2f\n", "MSA", 0.81, r.msa);
+  printf("%-28s %12.0f dB  %11.1f dB\n", "SQNR (predicted, at MSA)", 102.0,
+         r.predicted_sqnr_db);
+  printf("--- decimation filter ------------------------------------------\n");
+  printf("%-28s %15d %15d\n", "input bits", 4, r.chain.input_format.width);
+  printf("%-28s %12s dB  %11.2f dB\n", "passband ripple", "< 1",
+         r.passband_ripple_db);
+  printf("%-28s %15s %15s\n", "passband transition", "20-23 MHz", "20-23 MHz");
+  printf("%-28s %12s dB  %11.1f dB\n", "stopband attenuation", "> 85",
+         r.alias_protection_db);
+  printf("%-28s %12.0f MHz %12.1f MHz\n", "output rate", 40.0,
+         40.0);
+  printf("%-28s %12.0f dB  %11.1f dB\n", "SNR at 14-bit output", 86.0,
+         v.snr_db);
+  printf("%-28s %15s %11.1f dB\n", "SNR of filtering (wide out)", "(n/a)",
+         v.snr_unquantized_db);
+  printf("\nchecks: ripple %s, stopband %s, SNR %s\n",
+         r.ripple_ok ? "OK" : "FAIL", r.attenuation_ok ? "OK" : "FAIL",
+         v.snr_ok ? "OK" : "FAIL");
+  printf("\n%s", core::flow_report(r).c_str());
+  return (r.ripple_ok && r.attenuation_ok && v.snr_ok) ? 0 : 1;
+}

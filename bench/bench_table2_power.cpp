@@ -1,0 +1,62 @@
+// Table II reproduction: per-stage dynamic and leakage power under the
+// paper's stimulus (sinusoidal tone at the MSA, 5 MHz), VDD = 1.1 V.
+#include <cstdio>
+
+#include "src/core/flow.h"
+
+using namespace dsadc;
+
+int main() {
+  printf("===============================================================\n");
+  printf(" Table II - Power profile of the decimation filter (VDD 1.1 V)\n");
+  printf("===============================================================\n");
+  printf("stimulus: 5 MHz tone at MSA amplitude, activity-driven estimate\n\n");
+  const auto r = core::DesignFlow::design(mod::paper_modulator_spec(),
+                                          mod::paper_decimator_spec());
+  const auto prof = core::DesignFlow::synthesize(r, 5e6, 1 << 14);
+
+  struct PaperRow {
+    const char* name;
+    double dyn_mw;
+    double leak_uw;
+  };
+  const PaperRow paper[] = {{"Sinc4 one", 2.36, 19.41},
+                            {"Sinc4 two", 1.13, 22.34},
+                            {"Sinc6", 1.16, 47.26},
+                            {"Halfband", 1.28, 152.44},
+                            {"Scaling", 0.38, 11.13},
+                            {"Equalizer", 1.73, 537.88}};
+  printf("%-12s | %21s | %21s\n", "", "dynamic power (mW)", "leakage (uW)");
+  printf("%-12s | %10s %10s | %10s %10s\n", "stage", "paper", "this", "paper",
+         "this");
+  printf("-------------+-----------------------+----------------------\n");
+  double tot_dyn = 0.0, tot_leak = 0.0;
+  for (std::size_t i = 0; i < prof.stages.size(); ++i) {
+    const auto& e = prof.stages[i];
+    printf("%-12s | %10.2f %10.2f | %10.1f %10.1f\n", paper[i].name,
+           paper[i].dyn_mw, e.dynamic_power_w * 1e3, paper[i].leak_uw,
+           e.leakage_power_w * 1e6);
+    tot_dyn += paper[i].dyn_mw;
+    tot_leak += paper[i].leak_uw;
+  }
+  printf("-------------+-----------------------+----------------------\n");
+  printf("%-12s | %10.2f %10.2f | %10.1f %10.1f\n", "Total", tot_dyn,
+         prof.total_dynamic_w * 1e3, tot_leak, prof.total_leakage_w * 1e6);
+  printf("\nShape checks (what the substitution preserves):\n");
+  const auto& s = prof.stages;
+  const bool sinc1_max =
+      s[0].dynamic_power_w >= s[1].dynamic_power_w &&
+      s[0].dynamic_power_w >= s[2].dynamic_power_w &&
+      s[0].dynamic_power_w >= s[3].dynamic_power_w &&
+      s[0].dynamic_power_w >= s[5].dynamic_power_w;
+  const bool scaler_min = s[4].dynamic_power_w <= 0.3 * s[0].dynamic_power_w;
+  const bool leak_coeff = (s[3].leakage_power_w + s[5].leakage_power_w) >
+                          0.5 * prof.total_leakage_w;
+  printf("  640 MHz Sinc stage dominates dynamic power: %s\n",
+         sinc1_max ? "OK" : "FAIL");
+  printf("  scaling stage is the smallest consumer:     %s\n",
+         scaler_min ? "OK" : "FAIL");
+  printf("  HBF + equalizer dominate leakage:           %s\n",
+         leak_coeff ? "OK" : "FAIL");
+  return (sinc1_max && scaler_min && leak_coeff) ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Audio-codec decimator - the classic application the paper's Section I
+// recalls (and its reference [3]): a high-resolution, low-rate audio
+// delta-sigma ADC, designed with the very same flow.
+//
+// Spec: 24 kHz audio band, OSR 64, 4th-order modulator with a 3-bit
+// quantizer at 6.144 MHz, 16-bit-class output at 96 kS/s.
+#include <cstdio>
+
+#include "src/core/flow.h"
+
+using namespace dsadc;
+
+int main() {
+  mod::ModulatorSpec m;
+  m.order = 4;
+  m.osr = 64.0;
+  m.obg = 2.0;
+  m.sample_rate_hz = 6.144e6;
+  m.bandwidth_hz = 24e3;
+  m.quantizer_bits = 3;
+  m.msa = 0.80;
+
+  mod::DecimatorSpec d;
+  d.input_bits = 3;
+  d.passband_edge_hz = 20e3;
+  // Audio codecs only need alias protection of the audio band: content
+  // below 76 kHz (= 96 kHz - 20 kHz) folds outside 0-20 kHz, so the
+  // halfband transition can be generous (this is the classic relaxed
+  // audio-decimator spec of the paper's reference [3]).
+  d.stopband_edge_hz = 76e3;
+  d.output_rate_hz = 96e3;
+  d.passband_ripple_db = 0.5;
+  d.stopband_atten_db = 90.0;
+  d.target_snr_db = 96.0;  // 16-bit class
+
+  core::FlowOptions opt;
+  opt.hbf_atten_target_db = 95.0;
+  printf("Audio-codec decimator: %.0f kHz band, OSR %.0f, fs %.3f MHz\n\n",
+         m.bandwidth_hz / 1e3, m.osr, m.sample_rate_hz / 1e6);
+
+  const auto r = core::DesignFlow::design(m, d, opt);
+  printf("%s\n", core::flow_report(r).c_str());
+
+  const auto v = core::DesignFlow::verify(r, 5e3, 1 << 17);
+  printf("Verification (5 kHz tone at MSA):\n");
+  printf("  SNR at the 14-bit output:   %.1f dB\n", v.snr_db);
+  printf("  SNR of the filtering alone: %.1f dB (%.1f bits)\n",
+         v.snr_unquantized_db, (v.snr_unquantized_db - 1.76) / 6.02);
+
+  const auto prof = core::DesignFlow::synthesize(r, 5e3, 1 << 14);
+  printf("\nPower at 6.144 MHz input (activity-based):\n");
+  for (const auto& e : prof.stages) {
+    printf("  %-12s %10.1f uW\n", e.name.c_str(), e.dynamic_power_w * 1e6);
+  }
+  printf("  %-12s %10.1f uW dynamic, %.1f uW leakage\n", "total",
+         prof.total_dynamic_w * 1e6, prof.total_leakage_w * 1e6);
+  printf("\n(compare the paper's reference [3]: a ~100 uW audio decimator -\n");
+  printf("at these clock rates the same architecture lands in the same\n");
+  printf("power class.)\n");
+  return 0;
+}

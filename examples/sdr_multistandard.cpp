@@ -1,0 +1,92 @@
+// SDR reconfigurability - the motivation the paper's introduction gives:
+// one design flow retargeted to several wireless standards, producing a
+// verified decimation filter and hardware estimate for each.
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+#include "src/core/flow.h"
+
+using namespace dsadc;
+
+namespace {
+
+struct Standard {
+  std::string name;
+  mod::ModulatorSpec m;
+  mod::DecimatorSpec d;
+};
+
+std::vector<Standard> standards() {
+  std::vector<Standard> out;
+  {
+    Standard s;
+    s.name = "LTE-20 (paper)";
+    s.m = mod::paper_modulator_spec();
+    s.d = mod::paper_decimator_spec();
+    out.push_back(s);
+  }
+  {
+    Standard s;  // W-CDMA-like: 5 MHz channel, higher OSR, lower order.
+    s.name = "W-CDMA 5 MHz";
+    s.m.order = 4;
+    s.m.osr = 32.0;
+    s.m.obg = 2.5;
+    s.m.sample_rate_hz = 320e6;
+    s.m.bandwidth_hz = 5e6;
+    s.m.quantizer_bits = 4;
+    s.m.msa = 0.85;
+    s.d.input_bits = 4;
+    s.d.passband_edge_hz = 5e6;
+    s.d.stopband_edge_hz = 5.75e6;
+    s.d.output_rate_hz = 10e6;
+    s.d.stopband_atten_db = 85.0;
+    s.d.target_snr_db = 90.0;
+    out.push_back(s);
+  }
+  {
+    Standard s;  // 802.16x-like: 10 MHz channel at OSR 16.
+    s.name = "WiMAX 10 MHz";
+    s.m.order = 5;
+    s.m.osr = 16.0;
+    s.m.obg = 3.0;
+    s.m.sample_rate_hz = 320e6;
+    s.m.bandwidth_hz = 10e6;
+    s.m.quantizer_bits = 4;
+    s.m.msa = 0.81;
+    s.d.input_bits = 4;
+    s.d.passband_edge_hz = 10e6;
+    s.d.stopband_edge_hz = 11.5e6;
+    s.d.output_rate_hz = 20e6;
+    s.d.stopband_atten_db = 85.0;
+    s.d.target_snr_db = 86.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printf("One flow, several standards (the paper's SDR motivation):\n\n");
+  printf("%-16s %6s %6s %9s %10s %10s %9s %9s %8s\n", "standard", "order",
+         "OSR", "fs (MHz)", "ripple dB", "stop dB", "SNR14 dB", "SNRw dB",
+         "dyn mW");
+  for (const auto& s : standards()) {
+    const auto r = core::DesignFlow::design(s.m, s.d);
+    const auto v = core::DesignFlow::verify(
+        r, 0.25 * s.m.bandwidth_hz, 1 << 15);
+    const auto prof = core::DesignFlow::synthesize(
+        r, 0.25 * s.m.bandwidth_hz, 1 << 13);
+    printf("%-16s %6d %6.0f %9.0f %10.2f %10.1f %9.1f %9.1f %8.2f\n",
+           s.name.c_str(), s.m.order, s.m.osr, s.m.sample_rate_hz / 1e6,
+           r.passband_ripple_db, r.alias_protection_db, v.snr_db,
+           v.snr_unquantized_db, prof.total_dynamic_w * 1e3);
+  }
+  printf("\nEach row is a complete redesign: new NTF, new Sinc orders, a\n");
+  printf("fresh Saramaki halfband, scaler and equalizer - then verified\n");
+  printf("bit-true and re-synthesized. This is what 'rapid prototyping of\n");
+  printf("decimation filters for reconfigurable delta-sigma ADCs' buys.\n");
+  return 0;
+}

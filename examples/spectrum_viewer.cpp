@@ -1,0 +1,83 @@
+// ASCII spectrum viewer: the modulator's shaped noise and the decimated
+// output, rendered in the terminal - a quick visual check of Figs. 4/11
+// without leaving the console.
+//
+//   $ ./spectrum_viewer [tone_mhz]    (default 5 MHz)
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/dsp/spectrum.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+
+using namespace dsadc;
+
+namespace {
+
+void draw(const std::vector<double>& bins_db, double fmax_mhz,
+          const char* title, double floor_db) {
+  const int rows = 16;
+  const int cols = static_cast<int>(bins_db.size());
+  printf("\n%s\n", title);
+  for (int r = 0; r < rows; ++r) {
+    const double level = -floor_db * (1.0 - static_cast<double>(r) / rows);
+    std::string line(static_cast<std::size_t>(cols), ' ');
+    for (int c = 0; c < cols; ++c) {
+      if (bins_db[static_cast<std::size_t>(c)] >= level) line[static_cast<std::size_t>(c)] = '#';
+    }
+    printf("%7.0f |%s|\n", level, line.c_str());
+  }
+  printf("        +");
+  for (int c = 0; c < cols; ++c) printf("-");
+  printf("+\n         0%*s%.0f MHz\n", cols - 8, "", fmax_mhz);
+}
+
+std::vector<double> binned_db(const dsp::Periodogram& p, int cols) {
+  std::vector<double> out(static_cast<std::size_t>(cols), -400.0);
+  const std::size_t per = p.power.size() / static_cast<std::size_t>(cols);
+  for (int c = 0; c < cols; ++c) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < per; ++k) {
+      acc += p.power[static_cast<std::size_t>(c) * per + k];
+    }
+    out[static_cast<std::size_t>(c)] = dsp::power_db(acc / p.enbw_bins);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double tone_mhz = argc > 1 ? std::atof(argv[1]) : 5.0;
+  const auto ntf = mod::synthesize_ntf(5, 16.0, 3.0, true);
+  const auto coeffs = mod::realize_ciff(ntf);
+  mod::CiffModulator m(coeffs, 4);
+  double factual = 0.0;
+  const auto u =
+      mod::coherent_sine(1 << 16, tone_mhz * 1e6, 640e6, 0.81, &factual);
+  const auto dsm = m.run(u);
+  printf("tone: %.3f MHz at MSA; modulator %s\n", factual / 1e6,
+         dsm.stable ? "stable" : "UNSTABLE");
+
+  const auto p_mod = dsp::periodogram(dsm.levels, 640e6);
+  draw(binned_db(p_mod, 100), 320.0,
+       "Modulator output PSD (Fig. 4 view, 0-320 MHz):", 110.0);
+
+  decim::DecimationChain chain(decim::paper_chain_config());
+  const auto out = chain.process_to_real(dsm.codes);
+  std::vector<double> steady(out.begin() + 512, out.end());
+  const auto p_out = dsp::periodogram(steady, 40e6);
+  draw(binned_db(p_out, 100), 20.0,
+       "Decimated 14-bit output PSD (0-20 MHz):", 110.0);
+
+  const auto snr = dsp::measure_tone_snr(steady, 40e6, 20e6,
+                                         dsp::WindowKind::kKaiser, 8, 8, 22.0);
+  printf("\noutput SNR: %.1f dB (%.1f bits)\n", snr.snr_db, snr.enob_bits);
+  return 0;
+}

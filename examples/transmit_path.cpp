@@ -1,0 +1,51 @@
+// Transmit path: the interpolation dual of the receive chain, reusing the
+// same designed halfband and Sinc stages - the TX half of the
+// reconfigurable SDR platform the paper motivates.
+#include <cstdio>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/decimator/interpolate.h"
+#include "src/dsp/spectrum.h"
+
+using namespace dsadc;
+
+int main() {
+  const auto cfg = decim::paper_chain_config();
+  decim::InterpolationChain tx(cfg);
+  printf("Transmit chain: 40 MS/s baseband -> HBF(x2) -> Sinc6(x2) ->\n");
+  printf("Sinc4(x2) -> Sinc4(x2) -> %zu MS/s DAC samples (%d-bit path)\n\n",
+         static_cast<std::size_t>(40 * tx.total_interpolation()),
+         tx.dac_format().width);
+
+  // A two-tone baseband burst.
+  const std::size_t n = 1 << 13;
+  std::vector<std::int64_t> in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    in[i] = static_cast<std::int64_t>(
+        8192.0 * (0.45 * std::sin(2.0 * std::numbers::pi * 3.0 / 40.0 * t) +
+                  0.35 * std::sin(2.0 * std::numbers::pi * 7.0 / 40.0 * t)));
+  }
+  const auto out = tx.process(in);
+  printf("in %zu samples -> out %zu samples\n", n, out.size());
+
+  std::vector<double> outd;
+  for (std::size_t i = 4096; i < out.size(); ++i) {
+    outd.push_back(static_cast<double>(out[i]));
+  }
+  outd.resize(outd.size() / 2 * 2);
+  const auto p = dsp::periodogram(outd, 640e6);
+  printf("\n%14s %14s\n", "band (MHz)", "power (dB rel)");
+  const double ref = dsp::band_power(p, 2.5e6, 7.5e6);
+  for (double f0 : {0.0, 10.0, 30.0, 35.0, 50.0, 70.0, 75.0, 110.0, 150.0}) {
+    const double pw = dsp::band_power(p, f0 * 1e6 + 1e5, (f0 + 5.0) * 1e6);
+    printf("%6.0f-%-7.0f %14.1f\n", f0, f0 + 5.0,
+           10.0 * std::log10(pw / ref));
+  }
+  printf("\nThe 33-40 MHz image band sits under the halfband stopband; the\n");
+  printf("images around 80k MHz fall into the Sinc notches - the same\n");
+  printf("filters, run backwards, protect the transmit spectrum.\n");
+  return 0;
+}

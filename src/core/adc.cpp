@@ -1,0 +1,55 @@
+#include "src/core/adc.h"
+
+namespace dsadc::core {
+
+DeltaSigmaAdc::DeltaSigmaAdc(const FlowResult& flow)
+    : coeffs_(flow.ciff),
+      quantizer_bits_(flow.modulator_spec.quantizer_bits),
+      chain_cfg_(flow.chain),
+      modulator_(coeffs_, quantizer_bits_),
+      chain_(chain_cfg_) {}
+
+DeltaSigmaAdc DeltaSigmaAdc::paper_instance() {
+  const FlowResult flow = DesignFlow::design(mod::paper_modulator_spec(),
+                                             mod::paper_decimator_spec());
+  return DeltaSigmaAdc(flow);
+}
+
+void DeltaSigmaAdc::reset() {
+  modulator_.reset();
+  chain_.reset();
+  last_raw_.clear();
+  stable_ = true;
+}
+
+std::vector<double> DeltaSigmaAdc::convert(std::span<const double> analog_in) {
+  const mod::DsmOutput dsm = modulator_.run(analog_in);
+  stable_ = dsm.stable;
+  last_raw_ = chain_.process(dsm.codes);
+  std::vector<double> out;
+  out.reserve(last_raw_.size());
+  for (std::int64_t v : last_raw_) {
+    out.push_back(fx::to_double(v, chain_cfg_.output_format));
+  }
+  return out;
+}
+
+double DeltaSigmaAdc::input_rate_hz() const {
+  return chain_cfg_.input_rate_hz;
+}
+
+double DeltaSigmaAdc::output_rate_hz() const {
+  return chain_cfg_.input_rate_hz /
+         static_cast<double>(chain_.total_decimation());
+}
+
+int DeltaSigmaAdc::output_bits() const {
+  return chain_cfg_.output_format.width;
+}
+
+double DeltaSigmaAdc::latency_output_samples() const {
+  return static_cast<double>(chain_.group_delay_input_samples()) /
+         static_cast<double>(chain_.total_decimation());
+}
+
+}  // namespace dsadc::core

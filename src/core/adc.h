@@ -1,0 +1,51 @@
+// The complete delta-sigma ADC of Fig. 1: analog-equivalent input in,
+// 14-bit words at the Nyquist rate out - the object a downstream user
+// instantiates when they just want "the ADC" rather than the flow.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/decimator/chain.h"
+#include "src/modulator/dsm.h"
+
+namespace dsadc::core {
+
+class DeltaSigmaAdc {
+ public:
+  /// Build from a completed flow run (design() output).
+  explicit DeltaSigmaAdc(const FlowResult& flow);
+
+  /// Convenience: design the paper's Table-I ADC and build it.
+  static DeltaSigmaAdc paper_instance();
+
+  /// Convert a block of input samples (fractions of full scale, one per
+  /// modulator clock at `input_rate_hz`). Returns the decimated output
+  /// words as real values in [-1, 1); raw words via `last_raw()`.
+  std::vector<double> convert(std::span<const double> analog_in);
+
+  /// Raw output words of the last convert() call (output_format).
+  const std::vector<std::int64_t>& last_raw() const { return last_raw_; }
+  /// Whether the modulator stayed stable during the last conversion.
+  bool last_conversion_stable() const { return stable_; }
+
+  void reset();
+
+  double input_rate_hz() const;
+  double output_rate_hz() const;
+  int output_bits() const;
+  /// End-to-end latency in output samples (group delay of the chain).
+  double latency_output_samples() const;
+
+ private:
+  mod::CiffCoeffs coeffs_;
+  int quantizer_bits_;
+  decim::ChainConfig chain_cfg_;
+  mod::CiffModulator modulator_;
+  decim::DecimationChain chain_;
+  std::vector<std::int64_t> last_raw_;
+  bool stable_ = true;
+};
+
+}  // namespace dsadc::core

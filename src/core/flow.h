@@ -1,0 +1,117 @@
+// The rapid design-and-synthesis flow - the paper's primary contribution.
+//
+// One call takes the ADC specification (Table I) through every step the
+// paper performs with MATLAB + HDL Coder + Synopsys/Cadence:
+//
+//   1. modulator model      - NTF synthesis, CIFF realization, MSA
+//   2. stage design         - Sinc orders, Saramaki HBF, scaler, equalizer
+//   3. fixed-point assembly - the bit-true DecimationChain
+//   4. verification         - spec checks on responses + simulated SNR
+//   5. RTL generation       - hardware IR + Verilog per stage and full chain
+//   6. synthesis estimate   - 45 nm cell mapping, area, activity power
+//
+// The flow is fully parameterized so the same code retargets other
+// standards (the SDR reconfigurability motivation of the paper): see
+// examples/multistandard.cpp.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+#include "src/modulator/spec.h"
+#include "src/rtl/builders.h"
+#include "src/synth/estimate.h"
+
+namespace dsadc::core {
+
+/// Knobs beyond the Table-I specification.
+struct FlowOptions {
+  /// Explicit Sinc orders per stage; empty = heuristic (L-1 for all but the
+  /// last decimate-by-2 stage, L+1 for the last, L = modulator order) which
+  /// reproduces the paper's 4/4/6 choice for a 5th-order modulator.
+  std::vector<int> cic_orders;
+  std::size_t equalizer_taps = 65;  ///< the paper's 64th-order FIR
+  /// Grow the equalizer in steps of 16 taps until the ripple spec is met
+  /// (the flow's value-add over a fixed-order pick; disable to reproduce
+  /// the paper's fixed 64th order exactly).
+  bool adapt_equalizer = true;
+  int hbf_coeff_frac_bits = 24;     ///< the paper's optimum word length
+  std::size_t hbf_n1 = 0;           ///< 0 = automatic structure search
+  std::size_t hbf_n2 = 0;
+  double hbf_atten_target_db = 90.0;
+  bool measure_msa = false;  ///< re-measure MSA by simulation (slower)
+  rtl::BuildOptions rtl_options;
+};
+
+/// Outcome of one flow run.
+struct FlowResult {
+  mod::ModulatorSpec modulator_spec;
+  mod::DecimatorSpec decimator_spec;
+  FlowOptions options;
+
+  mod::Ntf ntf;
+  mod::CiffCoeffs ciff;
+  double predicted_sqnr_db = 0.0;
+  double msa = 0.0;
+
+  decim::ChainConfig chain;
+
+  /// Design-time spec checks (response-based, fast).
+  double passband_ripple_db = 0.0;
+  double alias_protection_db = 0.0;
+  bool ripple_ok = false;
+  bool attenuation_ok = false;
+};
+
+/// Verification by simulation (slower; drives the bit-true chain with the
+/// modulator model at the MSA, like the paper's VCS runs).
+struct VerificationResult {
+  double snr_db = 0.0;            ///< at the 14-bit output
+  double enob_bits = 0.0;
+  double snr_unquantized_db = 0.0;  ///< with a wide output format
+  bool snr_ok = false;            ///< snr_unquantized >= target
+  double tone_freq_hz = 0.0;
+};
+
+/// Generated RTL artifacts.
+struct RtlArtifacts {
+  std::map<std::string, std::string> verilog;  ///< name -> source
+  std::string full_chain_verilog;
+  std::string testbench;
+};
+
+class DesignFlow {
+ public:
+  /// Steps 1-4 of the flow: everything that does not need long simulation.
+  static FlowResult design(const mod::ModulatorSpec& mspec,
+                           const mod::DecimatorSpec& dspec,
+                           const FlowOptions& options = {});
+
+  /// Step 4b: simulate the modulator + bit-true chain and measure SNR.
+  static VerificationResult verify(const FlowResult& result,
+                                   double tone_freq_hz = 5e6,
+                                   std::size_t run_length = 1 << 17);
+
+  /// Step 5: lower to IR and emit Verilog.
+  static RtlArtifacts generate_rtl(const FlowResult& result);
+
+  /// Step 6: per-stage synthesis estimate under the paper's stimulus
+  /// (a tone at the MSA amplitude).
+  static synth::PowerProfile synthesize(const FlowResult& result,
+                                        double tone_freq_hz = 5e6,
+                                        std::size_t run_length = 1 << 15,
+                                        const synth::CellLibrary& lib =
+                                            synth::default_45nm());
+};
+
+/// Render a one-page text report of a flow run (used by the quickstart
+/// example and the benches).
+std::string flow_report(const FlowResult& result);
+
+}  // namespace dsadc::core

@@ -1,0 +1,106 @@
+#include "src/core/noise_budget.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dsadc::core {
+namespace {
+
+double db10(double p) { return p > 0.0 ? 10.0 * std::log10(p) : -400.0; }
+
+}  // namespace
+
+NoiseBudget compute_noise_budget(const decim::ChainConfig& cfg,
+                                 const mod::ModulatorSpec& mspec,
+                                 double modulator_sqnr_db,
+                                 double signal_amplitude_fs) {
+  NoiseBudget b;
+  b.signal_amplitude_fs = signal_amplitude_fs;
+  const double bw = mspec.bandwidth_hz;
+  const double fs = cfg.input_rate_hz;
+  const double scale = cfg.scale;  // code units -> full scale
+  const double psig = signal_amplitude_fs * signal_amplitude_fs / 2.0;
+
+  const auto add = [&](const std::string& where, double lsb_out, double rate,
+                       double count) {
+    // Rounding noise q^2/12 per operation; white over the local Nyquist,
+    // only the fraction folding into [0, bw] matters at the output.
+    const double band_fraction = std::min(1.0, bw / (rate / 2.0));
+    NoiseContribution c;
+    c.where = where;
+    c.lsb = lsb_out;
+    c.rate_hz = rate;
+    c.power = count * lsb_out * lsb_out / 12.0 * band_fraction;
+    c.power_dbfs = db10(c.power);
+    b.contributions.push_back(c);
+  };
+
+  // --- CIC-gain relabel into the halfband input format. Lossless when the
+  // format keeps all fractional bits (shift <= 0).
+  int gain_log2 = 0;
+  for (const auto& s : cfg.cic_stages) {
+    gain_log2 += s.order * static_cast<int>(std::log2(s.decimation));
+  }
+  double rate = fs;
+  for (const auto& s : cfg.cic_stages) rate /= s.decimation;
+  if (gain_log2 > cfg.hbf_in_format.frac) {
+    add("CIC-gain relabel", std::ldexp(scale, -cfg.hbf_in_format.frac), rate,
+        1.0);
+  } else {
+    add("CIC-gain relabel (lossless)", 0.0, rate, 0.0);
+  }
+
+  // --- Halfband internals (per output sample, at the output rate).
+  const int guard = 6;
+  const dsadc::fx::Format internal{cfg.hbf_in_format.width + 4 + guard,
+                                   cfg.hbf_in_format.frac + guard};
+  const dsadc::fx::Format prod{cfg.hbf_in_format.width + 7 + guard,
+                               cfg.hbf_in_format.frac + guard + 2};
+  const double n_products =
+      static_cast<double>((2 * cfg.hbf.n1 - 1) * cfg.hbf.n2 + cfg.hbf.n1 + 1);
+  const double n_blocks = static_cast<double>(2 * cfg.hbf.n1 - 1);
+  add("HBF product truncation", std::ldexp(scale, -prod.frac), rate / 2.0,
+      n_products);
+  add("HBF block requantization", std::ldexp(scale, -internal.frac),
+      rate / 2.0, n_blocks);
+  add("HBF output rounding", std::ldexp(scale, -cfg.hbf_out_format.frac),
+      rate / 2.0, 1.0);
+
+  // --- Scaler and equalizer output roundings (already in FS units).
+  add("scaler output rounding", std::ldexp(1.0, -cfg.scaler_out_format.frac),
+      rate / 2.0, 1.0);
+  add("final output rounding", std::ldexp(1.0, -cfg.output_format.frac),
+      rate / 2.0, 1.0);
+
+  // --- Modulator's shaped quantization noise, output-referred.
+  b.modulator_inband_power = psig * std::pow(10.0, -modulator_sqnr_db / 10.0);
+
+  b.total_power = b.modulator_inband_power;
+  for (const auto& c : b.contributions) b.total_power += c.power;
+  b.predicted_snr_db = db10(psig / b.total_power);
+  return b;
+}
+
+std::string noise_budget_report(const NoiseBudget& b) {
+  std::ostringstream os;
+  os << "Quantization-noise budget (output-referred, dBFS in-band power):\n";
+  char line[160];
+  for (const auto& c : b.contributions) {
+    std::snprintf(line, sizeof(line), "  %-32s @ %7.1f MHz : %8.1f dBFS\n",
+                  c.where.c_str(), c.rate_hz / 1e6, c.power_dbfs);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-32s %13s : %8.1f dBFS\n",
+                "modulator shaped noise", "",
+                10.0 * std::log10(b.modulator_inband_power));
+  os << line;
+  std::snprintf(line, sizeof(line),
+                "  total noise %8.1f dBFS -> predicted SNR %.1f dB at "
+                "%.2f FS\n",
+                10.0 * std::log10(b.total_power), b.predicted_snr_db,
+                b.signal_amplitude_fs);
+  os << line;
+  return os.str();
+}
+
+}  // namespace dsadc::core

@@ -1,0 +1,50 @@
+// Analytical quantization-noise budget of the decimation chain.
+//
+// Section V justifies the 24-bit halfband coefficients by requiring the
+// aliased/requantization noise to stay "60 dB below the signal noise
+// floor". This module makes that reasoning executable: every rounding
+// point in the chain contributes q^2/12 of noise power, shaped by the
+// transfer function from that point to the output; the budget table lists
+// each contribution and the predicted output SNR, which the bit-true
+// simulation then confirms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/modulator/spec.h"
+
+namespace dsadc::core {
+
+/// One rounding point's contribution.
+struct NoiseContribution {
+  std::string where;          ///< e.g. "HBF block requantization"
+  double lsb = 0.0;           ///< quantization step at that point (output-referred)
+  double rate_hz = 0.0;       ///< rate at which the rounding fires
+  double power = 0.0;         ///< in-band noise power at the output (FS^2)
+  double power_dbfs = 0.0;    ///< 10 log10(power)
+};
+
+struct NoiseBudget {
+  std::vector<NoiseContribution> contributions;
+  double modulator_inband_power = 0.0;  ///< shaped quantization noise (output-referred)
+  double total_power = 0.0;             ///< all contributions + modulator
+  /// Predicted output SNR for a tone at `signal_amplitude_fs` of full scale.
+  double predicted_snr_db = 0.0;
+  double signal_amplitude_fs = 0.0;
+};
+
+/// Build the budget for a chain configuration. `modulator_sqnr_db` is the
+/// modulator's in-band SQNR at the operating amplitude (from
+/// predict_sqnr_db or simulation); the final output format supplies the
+/// last rounding.
+NoiseBudget compute_noise_budget(const decim::ChainConfig& cfg,
+                                 const mod::ModulatorSpec& mspec,
+                                 double modulator_sqnr_db,
+                                 double signal_amplitude_fs = 0.9);
+
+/// Render the budget as a table.
+std::string noise_budget_report(const NoiseBudget& budget);
+
+}  // namespace dsadc::core

@@ -1,0 +1,117 @@
+#include "src/core/response.h"
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/cic.h"
+#include "src/fixedpoint/quantize.h"
+
+namespace dsadc::core {
+namespace {
+
+/// Quantized equalizer taps (as the hardware implements them).
+std::vector<double> quantized_eq_taps(const decim::ChainConfig& cfg) {
+  return fx::quantize_taps(cfg.equalizer_taps, cfg.equalizer_frac_bits);
+}
+
+}  // namespace
+
+std::vector<double> composite_impulse_response(const decim::ChainConfig& cfg) {
+  // CIC cascade at the input rate (normalized 1/M^K per stage).
+  std::vector<double> h = design::cic_cascade_response(cfg.cic_stages);
+  std::size_t rate = 1;
+  for (const auto& s : cfg.cic_stages) rate *= static_cast<std::size_t>(s.decimation);
+  // HBF referred to the input rate.
+  h = dsp::convolve(h, dsp::upsample_taps(cfg.hbf.taps, rate));
+  rate *= 2;
+  // Scaler (pure gain, CSD-quantized as in hardware).
+  const double s = fx::csd_encode_limited(cfg.scale, 14, 8).to_double();
+  for (auto& v : h) v *= s;
+  // Equalizer referred to the input rate.
+  h = dsp::convolve(h, dsp::upsample_taps(quantized_eq_taps(cfg), rate));
+  return h;
+}
+
+double composite_magnitude(const decim::ChainConfig& cfg, double freq_hz) {
+  const double f = freq_hz / cfg.input_rate_hz;
+  // cic_magnitude takes the frequency normalized to that stage's input
+  // rate, which is f times the decimation accumulated before the stage.
+  double mag = 1.0;
+  double rate = 1.0;
+  for (const auto& st : cfg.cic_stages) {
+    mag *= design::cic_magnitude(st, f * rate);
+    rate *= st.decimation;
+  }
+  mag *= std::abs(dsp::fir_response_at(cfg.hbf.taps, f * rate));
+  rate *= 2.0;
+  mag *= fx::csd_encode_limited(cfg.scale, 14, 8).to_double();
+  mag *= std::abs(dsp::fir_response_at(quantized_eq_taps(cfg), f * rate));
+  return mag;
+}
+
+double pre_equalizer_magnitude(const decim::ChainConfig& cfg, double freq_hz) {
+  const double f = freq_hz / cfg.input_rate_hz;
+  double mag = 1.0;
+  double rate = 1.0;
+  for (const auto& st : cfg.cic_stages) {
+    mag *= design::cic_magnitude(st, f * rate);
+    rate *= st.decimation;
+  }
+  mag *= std::abs(dsp::fir_response_at(cfg.hbf.taps, f * rate));
+  return mag;
+}
+
+double composite_stopband_atten_db(const decim::ChainConfig& cfg,
+                                   double fstop_hz, std::size_t grid) {
+  decim::DecimationChain chain(cfg);
+  const double fout = chain.output_rate_hz();
+  const double dc = composite_magnitude(cfg, 0.0);
+  const double f1 = 2.0 * fout - fstop_hz;
+  double worst = 1e300;
+  for (std::size_t k = 0; k <= grid; ++k) {
+    const double f =
+        fstop_hz + (f1 - fstop_hz) * static_cast<double>(k) / static_cast<double>(grid);
+    const double att = -20.0 * std::log10(composite_magnitude(cfg, f) / dc);
+    worst = std::min(worst, att);
+  }
+  return worst;
+}
+
+double composite_alias_protection_db(const decim::ChainConfig& cfg,
+                                     double protect_hz, std::size_t grid) {
+  decim::DecimationChain chain(cfg);
+  const double fout = chain.output_rate_hz();
+  const double dc = composite_magnitude(cfg, 0.0);
+  double worst = 1e300;
+  // All alias images: m * fout +- f for f in (0, protect_hz].
+  const int mmax = static_cast<int>(cfg.input_rate_hz / 2.0 / fout);
+  for (int mI = 1; mI <= mmax; ++mI) {
+    for (std::size_t k = 0; k <= grid; ++k) {
+      const double f =
+          protect_hz * static_cast<double>(k) / static_cast<double>(grid);
+      for (double image : {mI * fout - f, mI * fout + f}) {
+        if (image <= 0.0 || image >= cfg.input_rate_hz / 2.0) continue;
+        const double att =
+            -20.0 * std::log10(composite_magnitude(cfg, image) / dc);
+        worst = std::min(worst, att);
+      }
+    }
+  }
+  return worst;
+}
+
+double composite_passband_ripple_db(const decim::ChainConfig& cfg,
+                                    double f0_hz, double f1_hz,
+                                    std::size_t grid) {
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t k = 0; k <= grid; ++k) {
+    const double f =
+        f0_hz + (f1_hz - f0_hz) * static_cast<double>(k) / static_cast<double>(grid);
+    const double db = 20.0 * std::log10(composite_magnitude(cfg, f));
+    lo = std::min(lo, db);
+    hi = std::max(hi, db);
+  }
+  return hi - lo;
+}
+
+}  // namespace dsadc::core

@@ -1,0 +1,168 @@
+#include "src/decimator/chain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/equalizer.h"
+
+namespace dsadc::decim {
+namespace {
+
+int cic_cascade_gain_log2(const std::vector<design::CicSpec>& stages) {
+  double g = 0.0;
+  for (const auto& s : stages) {
+    g += s.order * std::log2(static_cast<double>(s.decimation));
+  }
+  const int gi = static_cast<int>(std::lround(g));
+  if (std::abs(g - gi) > 1e-9) {
+    throw std::invalid_argument(
+        "DecimationChain: CIC gain must be a power of two for shift "
+        "normalization");
+  }
+  return gi;
+}
+
+}  // namespace
+
+DecimationChain::DecimationChain(ChainConfig config)
+    : config_(std::move(config)),
+      cic_(config_.cic_stages),
+      hbf_(config_.hbf, config_.hbf_in_format, config_.hbf_out_format,
+           config_.hbf_coeff_frac_bits),
+      scaler_(config_.scale, config_.hbf_out_format, config_.scaler_out_format,
+              /*frac_bits=*/14, /*max_digits=*/8),
+      equalizer_(FixedTaps::from_real(config_.equalizer_taps,
+                                      config_.equalizer_frac_bits),
+                 /*decimation=*/1, config_.scaler_out_format,
+                 config_.output_format),
+      cic_gain_log2_(cic_cascade_gain_log2(config_.cic_stages)) {}
+
+void DecimationChain::reset() {
+  cic_.reset();
+  hbf_.reset();
+  equalizer_.reset();
+}
+
+std::size_t DecimationChain::total_decimation() const {
+  return cic_.total_decimation() * 2;
+}
+
+double DecimationChain::output_rate_hz() const {
+  return config_.input_rate_hz / static_cast<double>(total_decimation());
+}
+
+std::size_t DecimationChain::group_delay_input_samples() const {
+  std::size_t d = 0;
+  std::size_t rate = 1;
+  for (const auto& s : config_.cic_stages) {
+    // Sinc^K delay: K (M - 1) / 2 at its input rate.
+    d += rate * static_cast<std::size_t>(s.order) *
+         static_cast<std::size_t>(s.decimation - 1) / 2;
+    rate *= static_cast<std::size_t>(s.decimation);
+  }
+  d += rate * hbf_.group_delay();
+  rate *= 2;
+  d += rate * (config_.equalizer_taps.size() - 1) / 2;
+  return d;
+}
+
+std::vector<std::int64_t> DecimationChain::process(
+    std::span<const std::int32_t> codes, std::vector<StageProbe>* probes) {
+  // Stage rates for the probes.
+  const double fs = config_.input_rate_hz;
+
+  // --- CIC cascade (per-stage for probing).
+  std::vector<std::int64_t> cur(codes.begin(), codes.end());
+  if (probes != nullptr) {
+    probes->push_back({"input", fs, config_.input_format.width, cur});
+  }
+  double rate = fs;
+  auto& stages = cic_.stages();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    cur = stages[i].process(cur);
+    rate /= stages[i].spec().decimation;
+    if (probes != nullptr) {
+      probes->push_back({"sinc" + std::to_string(stages[i].spec().order) +
+                             "_" + std::to_string(i + 1),
+                         rate, stages[i].register_format().width, cur});
+    }
+  }
+
+  // --- Normalize the CIC gain (pure shift) into the HBF input format.
+  // The CIC output in "code units" carries gain 2^cic_gain_log2_; treat it
+  // as a fractional scale and round into hbf_in_format.
+  std::vector<std::int64_t> hin(cur.size());
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    hin[i] = fx::requantize(cur[i], /*src_frac=*/cic_gain_log2_,
+                            config_.hbf_in_format, fx::Rounding::kRoundNearest,
+                            fx::Overflow::kSaturate);
+  }
+
+  // --- Halfband decimate-by-2.
+  std::vector<std::int64_t> hout = hbf_.process(hin);
+  rate /= 2.0;
+  if (probes != nullptr) {
+    probes->push_back({"halfband", rate, config_.hbf_out_format.width, hout});
+  }
+
+  // --- Scaling (CSD Horner).
+  std::vector<std::int64_t> sout = scaler_.process(hout);
+  if (probes != nullptr) {
+    probes->push_back({"scaler", rate, config_.scaler_out_format.width, sout});
+  }
+
+  // --- Equalizer at the output rate.
+  std::vector<std::int64_t> eout = equalizer_.process(sout);
+  if (probes != nullptr) {
+    probes->push_back({"equalizer", rate, config_.output_format.width, eout});
+  }
+  return eout;
+}
+
+std::vector<double> DecimationChain::process_to_real(
+    std::span<const std::int32_t> codes) {
+  const std::vector<std::int64_t> raw = process(codes);
+  std::vector<double> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = fx::to_double(raw[i], config_.output_format);
+  }
+  return out;
+}
+
+ChainConfig paper_chain_config() {
+  ChainConfig cfg;
+  cfg.cic_stages = design::paper_sinc_cascade();
+  cfg.hbf = design::design_saramaki_hbf(3, 6, 0.2125, 24, 0);
+
+  // Scaler constant: the chain carries "code units" (mid-tread 4-bit codes,
+  // |c| <= 7, signal amplitude MSA * 7). Peaks exceed the nominal MSA
+  // amplitude by the residual shaped noise left after the halfband, so the
+  // gain maps (MSA * 7 + 0.5) code units to just under full scale:
+  //   S_total = headroom / (MSA * 7 + 0.5)
+  const double msa = 0.81;
+  cfg.scale = 0.98 / (msa * 7.0 + 0.5);
+
+  // Equalizer: compensate the Sinc-cascade + HBF droop over the full
+  // output band, referred to the 40 MHz output rate (f in cycles/sample).
+  const auto cic_stages = cfg.cic_stages;
+  const auto hbf_taps = cfg.hbf.taps;
+  const auto droop = [cic_stages, hbf_taps](double f) {
+    // f at 40 MHz; CIC stage i sees f / 2^(4-i)... compute explicitly:
+    // input rates: 640, 320, 160 MHz; HBF at 80 MHz.
+    double mag = 1.0;
+    double rate_ratio = 16.0;  // 640/40
+    for (const auto& s : cic_stages) {
+      mag *= design::cic_magnitude(s, f / rate_ratio);
+      rate_ratio /= s.decimation;
+    }
+    mag *= std::abs(dsp::fir_response_at(hbf_taps, f / rate_ratio));
+    return mag;
+  };
+  const design::EqualizerResult eq =
+      design::design_droop_equalizer(65, droop, 0.4999);
+  cfg.equalizer_taps = eq.taps;
+  return cfg;
+}
+
+}  // namespace dsadc::decim

@@ -1,0 +1,92 @@
+// The assembled decimation filter chain (Fig. 5 of the paper):
+//
+//   4-bit codes @ fs -> Sinc4(/2) -> Sinc4(/2) -> Sinc6(/2)
+//                    -> Saramaki HBF(/2) -> Scaling -> FIR equalizer
+//                    -> 14-bit samples @ fs/16
+//
+// All stages are bit-true fixed point. The chain also exposes per-stage
+// intermediate outputs ("probes") so the benches and the power estimator
+// can observe switching activity at every node, like the paper's
+// PrimeTime-PX stimulus-driven estimation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/decimator/cic.h"
+#include "src/decimator/fir.h"
+#include "src/decimator/hbf.h"
+#include "src/decimator/scaler.h"
+#include "src/filterdesign/saramaki.h"
+
+namespace dsadc::decim {
+
+/// Everything needed to instantiate the chain; produced by the design flow
+/// in src/core (or hand-built for custom configurations).
+struct ChainConfig {
+  std::vector<design::CicSpec> cic_stages;   ///< e.g. Sinc4, Sinc4, Sinc6
+  design::SaramakiHbf hbf;                   ///< designed halfband
+  double scale = 1.0825 * 2.0 / 15.0;        ///< scaler constant (see below)
+  std::vector<double> equalizer_taps;        ///< symmetric FIR at out rate
+  int equalizer_frac_bits = 14;              ///< equalizer coeff precision
+  int hbf_coeff_frac_bits = 24;              ///< the paper's 24-bit coeffs
+
+  fx::Format input_format{4, 0};     ///< modulator codes
+  /// The Sinc6 output is 18 bits; relabeling its 2^14 DC gain as
+  /// fractional weight is lossless, so the HBF sees full precision.
+  fx::Format hbf_in_format{18, 14};
+  fx::Format hbf_out_format{18, 14};
+  /// Intermediate format between scaler and equalizer: two extra LSBs so
+  /// the output is rounded to 14 bits exactly once, at the equalizer.
+  fx::Format scaler_out_format{18, 15};
+  fx::Format output_format{14, 13};  ///< 14-bit ADC output, +-1 range
+
+  double input_rate_hz = 640e6;
+};
+
+/// Per-stage probe record for one processed block.
+struct StageProbe {
+  std::string name;
+  double rate_hz = 0.0;          ///< clock rate of this stage's output
+  int width_bits = 0;            ///< register width at this stage
+  std::vector<std::int64_t> samples;
+};
+
+class DecimationChain {
+ public:
+  explicit DecimationChain(ChainConfig config);
+
+  /// Process a block of modulator codes; returns 14-bit output samples
+  /// (raw integers in output_format). When `probes` is non-null, the
+  /// intermediate signal at every stage boundary is recorded.
+  std::vector<std::int64_t> process(std::span<const std::int32_t> codes,
+                                    std::vector<StageProbe>* probes = nullptr);
+
+  /// Output samples as real values in [-1, 1).
+  std::vector<double> process_to_real(std::span<const std::int32_t> codes);
+
+  void reset();
+
+  const ChainConfig& config() const { return config_; }
+  std::size_t total_decimation() const;
+  double output_rate_hz() const;
+  /// Total pipeline latency in input samples (sum of group delays).
+  std::size_t group_delay_input_samples() const;
+
+ private:
+  ChainConfig config_;
+  CicCascade cic_;
+  SaramakiHbfDecimator hbf_;
+  ScalingStage scaler_;
+  FirDecimator equalizer_;
+  int cic_gain_log2_;  ///< log2 of the CIC cascade DC gain (a pure shift)
+};
+
+/// The paper's chain, fully designed with default parameters: Sinc4/Sinc4/
+/// Sinc6, Saramaki HBF (n1=3, n2=6, fp=0.2125, 24-bit CSD), scaling for
+/// MSA=0.81, and a 65-tap inverse-droop equalizer.
+ChainConfig paper_chain_config();
+
+}  // namespace dsadc::decim

@@ -1,0 +1,100 @@
+#include "src/decimator/cic.h"
+
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+CicDecimator::CicDecimator(design::CicSpec spec, CicHardwareOptions options)
+    : spec_(spec),
+      options_(options),
+      fmt_{spec.register_width(), 0},
+      integ_(static_cast<std::size_t>(spec.order), 0),
+      comb_(static_cast<std::size_t>(spec.order), 0) {
+  if (spec.order < 1 || spec.decimation < 2) {
+    throw std::invalid_argument("CicDecimator: order >= 1, decimation >= 2");
+  }
+  if (fmt_.width > 62) {
+    throw std::invalid_argument("CicDecimator: register width exceeds 62 bits");
+  }
+}
+
+void CicDecimator::reset() {
+  std::fill(integ_.begin(), integ_.end(), 0);
+  std::fill(comb_.begin(), comb_.end(), 0);
+  phase_ = 0;
+}
+
+std::int64_t CicDecimator::dc_gain() const {
+  std::int64_t g = 1;
+  for (int k = 0; k < spec_.order; ++k) g *= spec_.decimation;
+  return g;
+}
+
+bool CicDecimator::push(std::int64_t in, std::int64_t& out) {
+  // Integrator cascade at the input rate: y_k = wrap(y_k + y_{k-1}).
+  // Wraparound (not saturation) is essential: the comb section cancels the
+  // modular overflow exactly as long as registers hold Bmax bits.
+  std::int64_t acc = fx::wrap_to(in, fmt_);
+  for (auto& state : integ_) {
+    state = fx::wrap_to(state + acc, fmt_);
+    acc = state;
+  }
+  phase_ = (phase_ + 1) % spec_.decimation;
+  if (phase_ != 0) return false;
+
+  // Decimated side: differentiator (comb) cascade, differencing the
+  // pipeline-registered accumulator output.
+  std::int64_t v = acc;
+  for (auto& state : comb_) {
+    const std::int64_t prev = state;
+    state = v;
+    v = fx::wrap_to(v - prev, fmt_);
+  }
+  out = v;
+  return true;
+}
+
+std::vector<std::int64_t> CicDecimator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / static_cast<std::size_t>(spec_.decimation) + 1);
+  std::int64_t y = 0;
+  for (std::int64_t x : in) {
+    if (push(x, y)) out.push_back(y);
+  }
+  return out;
+}
+
+CicCascade::CicCascade(std::vector<design::CicSpec> specs,
+                       CicHardwareOptions options) {
+  if (specs.empty()) throw std::invalid_argument("CicCascade: no stages");
+  stages_.reserve(specs.size());
+  for (const auto& s : specs) stages_.emplace_back(s, options);
+}
+
+void CicCascade::reset() {
+  for (auto& s : stages_) s.reset();
+}
+
+std::size_t CicCascade::total_decimation() const {
+  std::size_t m = 1;
+  for (const auto& s : stages_) m *= static_cast<std::size_t>(s.spec().decimation);
+  return m;
+}
+
+std::int64_t CicCascade::total_dc_gain() const {
+  std::int64_t g = 1;
+  for (const auto& s : stages_) g *= s.dc_gain();
+  return g;
+}
+
+std::vector<std::int64_t> CicCascade::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> cur(in.begin(), in.end());
+  for (auto& s : stages_) {
+    cur = s.process(cur);
+  }
+  return cur;
+}
+
+}  // namespace dsadc::decim

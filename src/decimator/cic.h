@@ -1,0 +1,80 @@
+// Bit-true Hogenauer CIC (Sinc^K) decimator (Fig. 6 of the paper).
+//
+// K accumulators run at the input rate with *wraparound* two's-complement
+// arithmetic in Bmax-bit registers (modular arithmetic makes the structure
+// exact despite intermediate overflow), a pipeline register decouples the
+// fast accumulator cascade from the slow side, and K differentiators run
+// at the decimated rate. Retiming and pipelining flags do not change the
+// arithmetic (they cut glitch power); they are carried here so the RTL
+// generator and power model can honour them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/filterdesign/cic.h"
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::decim {
+
+/// Hardware configuration knobs from Section IV.
+struct CicHardwareOptions {
+  bool retimed = true;     ///< register in accumulator forward path
+  bool pipelined = true;   ///< pipeline register before differentiators
+};
+
+class CicDecimator {
+ public:
+  /// `spec.input_bits` sets the input format; all internal registers use
+  /// the Hogenauer width from the spec.
+  explicit CicDecimator(design::CicSpec spec,
+                        CicHardwareOptions options = {});
+
+  /// Push one input sample (raw integer in the stage's input format).
+  /// Returns true and fills `out` every `decimation`-th sample.
+  bool push(std::int64_t in, std::int64_t& out);
+
+  /// Convenience: process a block, returning the decimated samples.
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+
+  void reset();
+
+  const design::CicSpec& spec() const { return spec_; }
+  const CicHardwareOptions& options() const { return options_; }
+  /// Register format used by every accumulator/differentiator.
+  const fx::Format& register_format() const { return fmt_; }
+  /// DC gain of the stage (M^K); the output carries this gain.
+  std::int64_t dc_gain() const;
+
+ private:
+  design::CicSpec spec_;
+  CicHardwareOptions options_;
+  fx::Format fmt_;
+  std::vector<std::int64_t> integ_;  ///< accumulator states
+  std::vector<std::int64_t> comb_;   ///< differentiator delay states
+  int phase_ = 0;
+};
+
+/// A cascade of CIC stages (the paper's Sinc4 -> Sinc4 -> Sinc6 chain).
+class CicCascade {
+ public:
+  explicit CicCascade(std::vector<design::CicSpec> specs,
+                      CicHardwareOptions options = {});
+
+  /// Process a block at the cascade input rate; returns samples at the
+  /// final decimated rate (overall gain = prod M_i^K_i).
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+
+  void reset();
+
+  std::size_t total_decimation() const;
+  std::int64_t total_dc_gain() const;
+  const std::vector<CicDecimator>& stages() const { return stages_; }
+  std::vector<CicDecimator>& stages() { return stages_; }
+
+ private:
+  std::vector<CicDecimator> stages_;
+};
+
+}  // namespace dsadc::decim

@@ -1,0 +1,164 @@
+#include "src/decimator/fir.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+FixedTaps FixedTaps::from_real(std::span<const double> real_taps,
+                               int frac_bits) {
+  if (frac_bits < 0 || frac_bits > 60) {
+    throw std::invalid_argument("FixedTaps: frac_bits out of range");
+  }
+  FixedTaps out;
+  out.frac_bits = frac_bits;
+  out.taps.reserve(real_taps.size());
+  const double scale = std::ldexp(1.0, frac_bits);
+  for (double t : real_taps) {
+    out.taps.push_back(static_cast<std::int64_t>(std::nearbyint(t * scale)));
+  }
+  return out;
+}
+
+std::vector<double> FixedTaps::to_real() const {
+  std::vector<double> out;
+  out.reserve(taps.size());
+  const double scale = std::ldexp(1.0, -frac_bits);
+  for (std::int64_t t : taps) out.push_back(static_cast<double>(t) * scale);
+  return out;
+}
+
+FirDecimator::FirDecimator(FixedTaps taps, int decimation, fx::Format in_fmt,
+                           fx::Format out_fmt, fx::Rounding rounding,
+                           fx::Overflow overflow)
+    : taps_(std::move(taps)),
+      decimation_(decimation),
+      in_fmt_(in_fmt),
+      out_fmt_(out_fmt),
+      rounding_(rounding),
+      overflow_(overflow),
+      delay_(taps_.size(), 0) {
+  if (decimation_ < 1) throw std::invalid_argument("FirDecimator: decimation >= 1");
+  if (taps_.taps.empty()) throw std::invalid_argument("FirDecimator: empty taps");
+}
+
+void FirDecimator::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0);
+  pos_ = 0;
+  phase_ = 0;
+  filled_ = 0;
+}
+
+bool FirDecimator::push(std::int64_t in, std::int64_t& out) {
+  delay_[pos_] = in;
+  const std::size_t newest = pos_;
+  pos_ = (pos_ + 1) % delay_.size();
+  if (filled_ < delay_.size()) ++filled_;
+
+  const bool emit = (phase_ == 0);
+  phase_ = (phase_ + 1) % decimation_;
+  if (!emit) return false;
+
+  // y[n] = sum_k taps[k] * x[n-k]; full-precision accumulation.
+  std::int64_t acc = 0;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const std::size_t idx = (newest + delay_.size() - k) % delay_.size();
+    acc += taps_.taps[k] * delay_[idx];
+  }
+  out = fx::requantize(acc, in_fmt_.frac + taps_.frac_bits, out_fmt_,
+                       rounding_, overflow_);
+  return true;
+}
+
+std::vector<std::int64_t> FirDecimator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / static_cast<std::size_t>(decimation_) + 1);
+  std::int64_t y = 0;
+  for (std::int64_t x : in) {
+    if (push(x, y)) out.push_back(y);
+  }
+  return out;
+}
+
+PolyphaseHalfbandDecimator::PolyphaseHalfbandDecimator(FixedTaps taps,
+                                                       fx::Format in_fmt,
+                                                       fx::Format out_fmt)
+    : frac_bits_(taps.frac_bits), in_fmt_(in_fmt), out_fmt_(out_fmt) {
+  if (taps.size() % 4 != 3) {
+    throw std::invalid_argument(
+        "PolyphaseHalfbandDecimator: taps must have length 4J-1");
+  }
+  const std::size_t mid = taps.size() / 2;
+  // Validate half-band structure on the integer taps.
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    if (i == mid) continue;
+    const std::size_t off = i > mid ? i - mid : mid - i;
+    if (off % 2 == 0 && taps.taps[i] != 0) {
+      throw std::invalid_argument(
+          "PolyphaseHalfbandDecimator: non-zero even-offset tap");
+    }
+  }
+  even_.frac_bits = taps.frac_bits;
+  for (std::size_t i = 0; i < taps.size(); i += 2) even_.taps.push_back(taps.taps[i]);
+  center_ = taps.taps[mid];
+  even_hist_.assign(even_.size(), 0);
+  // Center offset in the odd branch: (mid - 1) / 2 delays.
+  odd_hist_.assign(taps.size() / 4 + 1, 0);
+}
+
+void PolyphaseHalfbandDecimator::reset() {
+  std::fill(even_hist_.begin(), even_hist_.end(), 0);
+  std::fill(odd_hist_.begin(), odd_hist_.end(), 0);
+  epos_ = opos_ = 0;
+  phase_ = 0;
+}
+
+std::size_t PolyphaseHalfbandDecimator::macs_per_output() const {
+  std::size_t nonzero = 0;
+  for (std::int64_t t : even_.taps) {
+    if (t != 0) ++nonzero;
+  }
+  return nonzero + 1;  // + center-tap multiply (a shift in hardware)
+}
+
+bool PolyphaseHalfbandDecimator::push(std::int64_t in, std::int64_t& out) {
+  if (phase_ == 0) {
+    // Even-indexed input sample: store, then emit y.
+    even_hist_[epos_] = in;
+    const std::size_t newest = epos_;
+    epos_ = (epos_ + 1) % even_hist_.size();
+    phase_ = 1;
+
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < even_.size(); ++j) {
+      const std::size_t idx =
+          (newest + even_hist_.size() - j) % even_hist_.size();
+      acc += even_.taps[j] * even_hist_[idx];
+    }
+    // Odd branch: center tap applied to x_odd[n - J]; odd_hist_ holds the
+    // last J+1 odd-phase samples with opos_ pointing at the oldest.
+    acc += center_ * odd_hist_[opos_];
+    out = fx::requantize(acc, in_fmt_.frac + frac_bits_, out_fmt_,
+                         fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+    return true;
+  }
+  // Odd-indexed sample: enqueue into the delay line.
+  odd_hist_[opos_] = in;
+  opos_ = (opos_ + 1) % odd_hist_.size();
+  phase_ = 0;
+  return false;
+}
+
+std::vector<std::int64_t> PolyphaseHalfbandDecimator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / 2 + 1);
+  std::int64_t y = 0;
+  for (std::int64_t x : in) {
+    if (push(x, y)) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace dsadc::decim

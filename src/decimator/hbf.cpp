@@ -1,0 +1,161 @@
+#include "src/decimator/hbf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+SaramakiHbfDecimator::SaramakiHbfDecimator(const design::SaramakiHbf& design,
+                                           fx::Format in_fmt,
+                                           fx::Format out_fmt,
+                                           int coeff_frac_bits,
+                                           int guard_frac_bits)
+    : coeff_frac_(coeff_frac_bits),
+      n1_(design.n1),
+      n2_(design.n2),
+      d2_(2 * design.n2 - 1),
+      big_d_((2 * design.n1 - 1) * d2_),
+      in_fmt_(in_fmt),
+      out_fmt_(out_fmt),
+      internal_fmt_{in_fmt.width + 4 + guard_frac_bits,
+                    in_fmt.frac + guard_frac_bits},
+      prod_fmt_{in_fmt.width + 7 + guard_frac_bits,
+                in_fmt.frac + guard_frac_bits + 2} {
+  if (design.f1.empty() || design.f2.empty()) {
+    throw std::invalid_argument("SaramakiHbfDecimator: empty design");
+  }
+  if (internal_fmt_.width > 62) {
+    throw std::invalid_argument("SaramakiHbfDecimator: internal width > 62");
+  }
+  const double scale = std::ldexp(1.0, coeff_frac_);
+  // Use the CSD-quantized coefficient values from the design: the datapath
+  // must be bit-consistent with the shift-add network the RTL builds.
+  for (const auto& c : design.f2_csd) {
+    f2_coeffs_.push_back(
+        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
+  }
+  for (const auto& c : design.f1_csd) {
+    f1_coeffs_.push_back(
+        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
+  }
+  half_coeff_ = static_cast<std::int64_t>(std::nearbyint(0.5 * scale));
+
+  blocks_.resize(2 * n1_ - 1);
+  for (auto& b : blocks_) b.hist.assign(2 * n2_, 0);
+  odd_delay_.assign((big_d_ + 1) / 2, 0);
+  branch_delay_.resize(n1_ - 1);
+  bpos_.assign(n1_ - 1, 0);
+  for (std::size_t i = 1; i < n1_; ++i) {
+    // A circular line of length L realizes a delay of exactly L samples
+    // with the read-before-write access in push().
+    branch_delay_[i - 1].assign((big_d_ - (2 * i - 1) * d2_) / 2, 0);
+  }
+}
+
+void SaramakiHbfDecimator::reset() {
+  for (auto& b : blocks_) {
+    std::fill(b.hist.begin(), b.hist.end(), 0);
+    b.pos = 0;
+  }
+  std::fill(odd_delay_.begin(), odd_delay_.end(), 0);
+  for (auto& d : branch_delay_) std::fill(d.begin(), d.end(), 0);
+  std::fill(bpos_.begin(), bpos_.end(), 0);
+  opos_ = 0;
+  phase_ = 0;
+}
+
+std::size_t SaramakiHbfDecimator::macs_per_output() const {
+  return (2 * n1_ - 1) * n2_ + n1_;  // G2 taps + outer taps
+}
+
+std::int64_t SaramakiHbfDecimator::G2Block::step(
+    std::int64_t in, const std::vector<std::int64_t>& coeffs,
+    const SaramakiHbfDecimator& owner) {
+  hist[pos] = in;
+  const std::size_t n = hist.size();  // 2*n2
+  const std::size_t newest = pos;
+  pos = (pos + 1) % n;
+  // Symmetric even-length FIR: tap k pairs with tap (2*n2 - 1 - k); the
+  // coefficient index is j - 1 with 2j - 1 = |2k - (2*n2 - 1)|.
+  std::int64_t acc = 0;
+  const std::size_t n2 = coeffs.size();
+  for (std::size_t j = 1; j <= n2; ++j) {
+    const std::size_t k_near = n2 - j;      // |2k - (2n2-1)| = 2j-1
+    const std::size_t k_far = n2 + j - 1;
+    const std::int64_t a = hist[(newest + n - k_near) % n];
+    const std::int64_t b = hist[(newest + n - k_far) % n];
+    acc += owner.requantize_product(coeffs[j - 1] * (a + b));
+  }
+  return acc;
+}
+
+std::int64_t SaramakiHbfDecimator::requantize_product(std::int64_t prod) const {
+  // The power-optimized datapath drops product LSBs below a small guard
+  // immediately after each CSD multiplier (frac: internal + coeff ->
+  // product format), keeping the adder tree narrow.
+  return fx::requantize(prod, internal_fmt_.frac + coeff_frac_, prod_fmt_,
+                        fx::Rounding::kTruncate, fx::Overflow::kSaturate);
+}
+
+std::int64_t SaramakiHbfDecimator::requantize_internal(std::int64_t acc) const {
+  // acc carries the product-format frac; bring back to internal.
+  return fx::requantize(acc, prod_fmt_.frac, internal_fmt_,
+                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+}
+
+bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
+  // Promote the input into the internal guard format.
+  const std::int64_t x =
+      fx::requantize(in, in_fmt_.frac, internal_fmt_, fx::Rounding::kTruncate,
+                     fx::Overflow::kSaturate);
+  if (phase_ == 1) {
+    // Odd-phase sample: enqueue into the 0.5-path delay line.
+    odd_delay_[opos_] = x;
+    opos_ = (opos_ + 1) % odd_delay_.size();
+    phase_ = 0;
+    return false;
+  }
+  phase_ = 1;
+
+  // Even-phase sample: drive the G2 cascade (all at the output rate).
+  std::vector<std::int64_t> odd_outputs(n1_, 0);
+  std::int64_t cur = x;
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    cur = requantize_internal(blocks_[k].step(cur, f2_coeffs_, *this));
+    if (k % 2 == 0) odd_outputs[k / 2] = cur;  // w_{k+1}, k+1 odd
+  }
+  // Branch alignment.
+  std::vector<std::int64_t> aligned(n1_, 0);
+  for (std::size_t i = 1; i < n1_; ++i) {
+    auto& line = branch_delay_[i - 1];
+    auto& p = bpos_[i - 1];
+    const std::int64_t delayed = line[p];
+    line[p] = odd_outputs[i - 1];
+    p = (p + 1) % line.size();
+    aligned[i - 1] = delayed;
+  }
+  aligned[n1_ - 1] = odd_outputs[n1_ - 1];
+
+  // Output: 0.5 * x_odd[m - (D+1)/2] + sum_i f1_i w_i.
+  const std::int64_t xd = odd_delay_[opos_];  // oldest = (D+1)/2 pushes ago
+  std::int64_t acc = requantize_product(half_coeff_ * xd);
+  for (std::size_t i = 0; i < n1_; ++i) {
+    acc += requantize_product(f1_coeffs_[i] * aligned[i]);
+  }
+  out = fx::requantize(acc, prod_fmt_.frac, out_fmt_,
+                       fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+  return true;
+}
+
+std::vector<std::int64_t> SaramakiHbfDecimator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / 2 + 1);
+  std::int64_t y = 0;
+  for (std::int64_t x : in) {
+    if (push(x, y)) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace dsadc::decim

@@ -1,0 +1,89 @@
+// Bit-true fixed-point Saramaki half-band decimator (Fig. 7 of the paper).
+//
+// The structure is implemented in its polyphase form, which is what the
+// figure actually draws: because the F2 subfilter has taps only at odd
+// offsets, F2(z) = G2(z^2) for a length-2*n2 symmetric subfilter G2, so
+// after the decimate-by-2 split every G2 block - the box with 11 unit
+// delays and taps f2(1..6) in the figure - runs at the *output* rate on
+// the even-phase stream, and the 0.5 path is a plain delay on the
+// odd-phase stream (the z^-11, z^-11, z^-6 chain: 28 output samples).
+// Outer taps f1 apply to the odd cascade outputs in the power basis
+// (branch i carries (2 F2hat)^(2i-1)).
+//
+// Every G2 output is requantized to an internal guard format, exactly as
+// the synthesized datapath rounds between adder stages. A direct-form
+// polyphase implementation of the *composite* 111 taps is available in
+// fir.h for cross-checking and ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/decimator/fir.h"
+#include "src/filterdesign/saramaki.h"
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::decim {
+
+class SaramakiHbfDecimator {
+ public:
+  /// `design` supplies f1/f2 (the CSD-quantized values are used),
+  /// `coeff_frac_bits` the coefficient scale (the paper's 24 bits),
+  /// `guard_frac_bits` the extra fractional bits carried between blocks.
+  SaramakiHbfDecimator(const design::SaramakiHbf& design, fx::Format in_fmt,
+                       fx::Format out_fmt, int coeff_frac_bits = 24,
+                       int guard_frac_bits = 6);
+
+  /// Push one sample at the input rate; true on every second sample with
+  /// the decimated output.
+  bool push(std::int64_t in, std::int64_t& out);
+
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+
+  void reset();
+
+  const fx::Format& input_format() const { return in_fmt_; }
+  const fx::Format& output_format() const { return out_fmt_; }
+  const fx::Format& internal_format() const { return internal_fmt_; }
+  /// Composite group delay D in input samples.
+  std::size_t group_delay() const { return big_d_; }
+  /// Multiplications (CSD networks) evaluated per output sample.
+  std::size_t macs_per_output() const;
+
+ private:
+  /// One G2 subfilter instance (even-phase, length 2*n2, symmetric).
+  struct G2Block {
+    std::vector<std::int64_t> hist;  // circular delay line, size 2*n2
+    std::size_t pos = 0;
+
+    /// Push an even-phase sample, return the product-format accumulator.
+    /// `coeffs[j]` weights offsets with |2k - (2*n2 - 1)| = 2j - 1; each
+    /// product is requantized to the owner's product format before the sum
+    /// (narrow adder tree, as in the power-optimized datapath).
+    std::int64_t step(std::int64_t in, const std::vector<std::int64_t>& coeffs,
+                      const SaramakiHbfDecimator& owner);
+  };
+
+  std::int64_t requantize_product(std::int64_t prod) const;
+  std::int64_t requantize_internal(std::int64_t acc) const;
+
+  std::vector<std::int64_t> f2_coeffs_;  ///< integer subfilter taps
+  std::vector<std::int64_t> f1_coeffs_;  ///< integer outer taps (power basis)
+  std::int64_t half_coeff_ = 0;          ///< 0.5 in coefficient scale
+  int coeff_frac_;
+  std::size_t n1_, n2_, d2_, big_d_;
+  fx::Format in_fmt_, out_fmt_, internal_fmt_;
+  fx::Format prod_fmt_;  ///< post-multiplier format (narrow adder tree)
+
+  std::vector<G2Block> blocks_;              ///< 2 n1 - 1 cascade stages
+  std::vector<std::int64_t> odd_delay_;      ///< 0.5 path, (D+1)/2 samples
+  std::size_t opos_ = 0;
+  /// Branch delay lines for odd cascade outputs w1, w3, ... (all but the
+  /// last): (D - (2i-1) d2)/2 output samples each.
+  std::vector<std::vector<std::int64_t>> branch_delay_;
+  std::vector<std::size_t> bpos_;
+  int phase_ = 0;
+};
+
+}  // namespace dsadc::decim

@@ -1,0 +1,179 @@
+#include "src/decimator/interpolate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+CicInterpolator::CicInterpolator(design::CicSpec spec)
+    : spec_(spec),
+      fmt_{spec.register_width(), 0},
+      comb_(static_cast<std::size_t>(spec.order), 0),
+      integ_(static_cast<std::size_t>(spec.order), 0) {
+  if (spec.order < 1 || spec.decimation < 2) {
+    throw std::invalid_argument("CicInterpolator: order >= 1, factor >= 2");
+  }
+  if (fmt_.width > 62) {
+    throw std::invalid_argument("CicInterpolator: register width > 62");
+  }
+}
+
+void CicInterpolator::reset() {
+  std::fill(comb_.begin(), comb_.end(), 0);
+  std::fill(integ_.begin(), integ_.end(), 0);
+}
+
+std::int64_t CicInterpolator::dc_gain() const {
+  std::int64_t g = 1;
+  for (int k = 0; k + 1 < spec_.order; ++k) g *= spec_.decimation;
+  return g;
+}
+
+void CicInterpolator::push(std::int64_t in, std::vector<std::int64_t>& out) {
+  // Comb (differentiator) cascade at the input rate.
+  std::int64_t v = fx::wrap_to(in, fmt_);
+  for (auto& state : comb_) {
+    const std::int64_t prev = state;
+    state = v;
+    v = fx::wrap_to(v - prev, fmt_);
+  }
+  // Zero-stuff and run the integrator cascade at the output rate.
+  for (int slot = 0; slot < spec_.decimation; ++slot) {
+    std::int64_t acc = (slot == 0) ? v : 0;
+    for (auto& state : integ_) {
+      state = fx::wrap_to(state + acc, fmt_);
+      acc = state;
+    }
+    out.push_back(acc);
+  }
+}
+
+std::vector<std::int64_t> CicInterpolator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() * static_cast<std::size_t>(spec_.decimation));
+  for (std::int64_t x : in) push(x, out);
+  return out;
+}
+
+HalfbandInterpolator::HalfbandInterpolator(FixedTaps taps, fx::Format in_fmt,
+                                           fx::Format out_fmt)
+    : frac_bits_(taps.frac_bits), in_fmt_(in_fmt), out_fmt_(out_fmt) {
+  if (taps.size() % 4 != 3) {
+    throw std::invalid_argument(
+        "HalfbandInterpolator: taps must have length 4J-1");
+  }
+  const std::size_t mid = taps.size() / 2;
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    if (i == mid) continue;
+    const std::size_t off = i > mid ? i - mid : mid - i;
+    if (off % 2 == 0 && taps.taps[i] != 0) {
+      throw std::invalid_argument(
+          "HalfbandInterpolator: non-zero even-offset tap");
+    }
+  }
+  even_.frac_bits = taps.frac_bits;
+  for (std::size_t i = 0; i < taps.size(); i += 2) {
+    even_.taps.push_back(taps.taps[i]);
+  }
+  center_ = taps.taps[mid];
+  hist_.assign(even_.size(), 0);
+}
+
+void HalfbandInterpolator::reset() {
+  std::fill(hist_.begin(), hist_.end(), 0);
+  pos_ = 0;
+}
+
+void HalfbandInterpolator::push(std::int64_t in,
+                                std::vector<std::int64_t>& out) {
+  hist_[pos_] = in;
+  const std::size_t n = hist_.size();  // 2J
+  const std::size_t newest = pos_;
+  pos_ = (pos_ + 1) % n;
+
+  // Even output phase: the subfilter branch, with the interpolator's
+  // gain of 2 folded into the requantization shift.
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    acc += even_.taps[j] * hist_[(newest + n - j) % n];
+  }
+  out.push_back(fx::requantize(acc, in_fmt_.frac + frac_bits_ - 1, out_fmt_,
+                               fx::Rounding::kRoundNearest,
+                               fx::Overflow::kSaturate));
+  // Odd output phase: 2 * 0.5 * x[m - (J-1)] = the delayed input.
+  const std::size_t delay = n / 2 - 1;  // J - 1
+  const std::int64_t xd = hist_[(newest + n - delay) % n];
+  out.push_back(fx::requantize(xd, in_fmt_.frac, out_fmt_,
+                               fx::Rounding::kRoundNearest,
+                               fx::Overflow::kSaturate));
+  // (center_ retained for documentation; its value 0.5 * 2 is the unity
+  // pass-through realized above.)
+  (void)center_;
+}
+
+std::vector<std::int64_t> HalfbandInterpolator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() * 2);
+  for (std::int64_t x : in) push(x, out);
+  return out;
+}
+
+InterpolationChain::InterpolationChain(const ChainConfig& cfg)
+    : in_fmt_(cfg.output_format),
+      // Interpolator datapath: baseband word + a few guard bits.
+      mid_fmt_{cfg.output_format.width + 2, cfg.output_format.frac},
+      dac_fmt_{cfg.output_format.width + 2, cfg.output_format.frac},
+      hbf_(FixedTaps::from_real(cfg.hbf.taps, cfg.hbf_coeff_frac_bits),
+           mid_fmt_, mid_fmt_),
+      factor_(2) {
+  // Mirror the Sinc stages in reverse order; each CIC interpolator's
+  // DC gain M^(K-1) is normalized back out by an arithmetic shift
+  // (requantize) so the DAC word keeps the baseband scale.
+  for (auto it = cfg.cic_stages.rbegin(); it != cfg.cic_stages.rend(); ++it) {
+    design::CicSpec spec = *it;
+    // Width must hold the interpolator's internal gain on top of the
+    // datapath word.
+    spec.input_bits = mid_fmt_.width;
+    cics_.emplace_back(spec);
+    int shift = 0;
+    for (int k = 0; k + 1 < spec.order; ++k) {
+      shift += static_cast<int>(std::log2(spec.decimation));
+    }
+    norm_shifts_.push_back(shift);
+    factor_ *= static_cast<std::size_t>(spec.decimation);
+  }
+}
+
+void InterpolationChain::reset() {
+  hbf_.reset();
+  for (auto& c : cics_) c.reset();
+}
+
+std::vector<std::int64_t> InterpolationChain::process(
+    std::span<const std::int64_t> in) {
+  // Promote into the guarded datapath.
+  std::vector<std::int64_t> cur;
+  cur.reserve(in.size());
+  for (std::int64_t v : in) {
+    cur.push_back(fx::requantize(v, in_fmt_.frac, mid_fmt_,
+                                 fx::Rounding::kTruncate,
+                                 fx::Overflow::kSaturate));
+  }
+  cur = hbf_.process(cur);
+  for (std::size_t s = 0; s < cics_.size(); ++s) {
+    cur = cics_[s].process(cur);
+    if (norm_shifts_[s] > 0) {
+      for (auto& v : cur) {
+        // Divide the stage's 2^(K-1) DC gain back out (round-nearest).
+        v = fx::requantize(v, mid_fmt_.frac + norm_shifts_[s], mid_fmt_,
+                           fx::Rounding::kRoundNearest,
+                           fx::Overflow::kSaturate);
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace dsadc::decim

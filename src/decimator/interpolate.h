@@ -1,0 +1,95 @@
+// Interpolation duals of the decimation stages (transmit path).
+//
+// The SDR platforms the paper targets pair every receive decimator with a
+// transmit interpolator built from the same pieces (Hogenauer's original
+// paper and the paper's reference [8] both treat decimation and
+// interpolation together). These are the exact transposes: a Sinc^K
+// zero-stuffing interpolator (combs at the slow rate, integrators at the
+// fast rate) and a polyphase halfband interpolator reusing the designed
+// halfband taps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/decimator/fir.h"
+#include "src/decimator/chain.h"
+#include "src/filterdesign/cic.h"
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::decim {
+
+/// Hogenauer Sinc^K interpolate-by-M: K differentiators at the input
+/// rate, zero-stuffing, K integrators at the output rate (wraparound
+/// arithmetic, like the decimator). DC gain is M^(K-1).
+class CicInterpolator {
+ public:
+  explicit CicInterpolator(design::CicSpec spec);
+
+  /// Push one input sample; appends `M` output samples to `out`.
+  void push(std::int64_t in, std::vector<std::int64_t>& out);
+
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+  void reset();
+
+  const design::CicSpec& spec() const { return spec_; }
+  std::int64_t dc_gain() const;
+
+ private:
+  design::CicSpec spec_;
+  fx::Format fmt_;
+  std::vector<std::int64_t> comb_;   ///< differentiator states (input rate)
+  std::vector<std::int64_t> integ_;  ///< integrator states (output rate)
+};
+
+/// Polyphase halfband interpolate-by-2: the even output phase is the
+/// even-tap subfilter, the odd phase is the 0.5-scaled delayed input -
+/// the transpose of PolyphaseHalfbandDecimator, reusing the same taps.
+class HalfbandInterpolator {
+ public:
+  /// `taps` must have half-band structure (length 4J-1). The interpolator
+  /// applies gain 2 so that a tone keeps its amplitude after zero-stuffing.
+  HalfbandInterpolator(FixedTaps taps, fx::Format in_fmt, fx::Format out_fmt);
+
+  /// Push one input sample; appends 2 output samples to `out`.
+  void push(std::int64_t in, std::vector<std::int64_t>& out);
+
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+  void reset();
+
+ private:
+  FixedTaps even_;     ///< nonzero (even-index) taps of the halfband
+  std::int64_t center_ = 0;
+  int frac_bits_;
+  fx::Format in_fmt_, out_fmt_;
+  std::vector<std::int64_t> hist_;
+  std::size_t pos_ = 0;
+};
+
+/// The transmit-path dual of DecimationChain: halfband interpolate-by-2
+/// followed by the mirrored Sinc stages, 40 MS/s baseband in, fs-rate
+/// samples out (what a current-steering DAC would consume).
+class InterpolationChain {
+ public:
+  /// Reuses the receive chain's designed halfband taps and Sinc orders.
+  explicit InterpolationChain(const ChainConfig& cfg);
+
+  /// `in`: samples in the chain's output_format (the ADC/baseband word).
+  /// Returns samples at the modulator rate in `dac_format()`.
+  std::vector<std::int64_t> process(std::span<const std::int64_t> in);
+
+  void reset();
+
+  std::size_t total_interpolation() const { return factor_; }
+  const fx::Format& dac_format() const { return dac_fmt_; }
+
+ private:
+  fx::Format in_fmt_, mid_fmt_, dac_fmt_;
+  HalfbandInterpolator hbf_;
+  std::vector<CicInterpolator> cics_;
+  std::vector<int> norm_shifts_;  ///< per-CIC gain normalization
+  std::size_t factor_;
+};
+
+}  // namespace dsadc::decim

@@ -1,0 +1,106 @@
+#include "src/decimator/polyphase_cic.h"
+
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+std::vector<std::int64_t> binomial_taps(int order) {
+  std::vector<std::int64_t> h{1};
+  for (int k = 0; k < order; ++k) {
+    std::vector<std::int64_t> next(h.size() + 1, 0);
+    for (std::size_t j = 0; j < h.size(); ++j) {
+      next[j] += h[j];
+      next[j + 1] += h[j];
+    }
+    h = std::move(next);
+  }
+  return h;
+}
+
+PolyphaseCicDecimator::PolyphaseCicDecimator(design::CicSpec spec)
+    : spec_(spec), taps_(binomial_taps(spec.order)) {
+  if (spec.decimation != 2) {
+    throw std::invalid_argument(
+        "PolyphaseCicDecimator: the non-recursive form is provided for "
+        "M = 2 stages (the paper's chain)");
+  }
+  const std::size_t half = taps_.size() / 2 + 1;
+  even_hist_.assign(half, 0);
+  odd_hist_.assign(half, 0);
+}
+
+void PolyphaseCicDecimator::reset() {
+  std::fill(even_hist_.begin(), even_hist_.end(), 0);
+  std::fill(odd_hist_.begin(), odd_hist_.end(), 0);
+  epos_ = opos_ = 0;
+  phase_ = 0;
+}
+
+std::size_t PolyphaseCicDecimator::adder_count() const {
+  // K+1 taps: binomial coefficients need shift-adds; counting word-level
+  // adders in the two branch sums (taps - 1 additions) plus the CSD cost
+  // of the non-power-of-two coefficients.
+  std::size_t adders = taps_.size() - 1;
+  for (std::int64_t t : taps_) {
+    // Cost of multiplying by the binomial constant.
+    std::int64_t v = t;
+    int ones = 0;
+    while (v != 0) {
+      ones += static_cast<int>(v & 1);
+      v >>= 1;
+    }
+    if (ones > 1) adders += static_cast<std::size_t>(ones - 1);
+  }
+  return adders;
+}
+
+std::size_t PolyphaseCicDecimator::register_count() const {
+  return even_hist_.size() + odd_hist_.size();
+}
+
+bool PolyphaseCicDecimator::push(std::int64_t in, std::int64_t& out) {
+  if (phase_ == 0) {
+    // Even-indexed input sample.
+    even_hist_[epos_] = in;
+    epos_ = (epos_ + 1) % even_hist_.size();
+    phase_ = 1;
+    return false;
+  }
+  // Odd-indexed sample: store and emit y[m] = sum_k h[k] x[2m+1-k].
+  odd_hist_[opos_] = in;
+  const std::size_t onewest = opos_;
+  opos_ = (opos_ + 1) % odd_hist_.size();
+  const std::size_t enewest =
+      (epos_ + even_hist_.size() - 1) % even_hist_.size();
+  phase_ = 0;
+
+  std::int64_t acc = 0;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const std::size_t j = k / 2;
+    if (k % 2 == 0) {
+      // Even tap index applies to the odd-phase stream: x[2(m-j)+1].
+      const std::size_t idx = (onewest + odd_hist_.size() - j) % odd_hist_.size();
+      acc += taps_[k] * odd_hist_[idx];
+    } else {
+      // Odd tap index applies to the even-phase stream: x[2(m-j)].
+      const std::size_t idx =
+          (enewest + even_hist_.size() - j) % even_hist_.size();
+      acc += taps_[k] * even_hist_[idx];
+    }
+  }
+  out = acc;
+  return true;
+}
+
+std::vector<std::int64_t> PolyphaseCicDecimator::process(
+    std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / 2 + 1);
+  std::int64_t y = 0;
+  for (std::int64_t x : in) {
+    if (push(x, y)) out.push_back(y);
+  }
+  return out;
+}
+
+}  // namespace dsadc::decim

@@ -1,0 +1,47 @@
+#include "src/decimator/scaler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+ScalingStage::ScalingStage(double scale, fx::Format in_fmt, fx::Format out_fmt,
+                           int frac_bits, std::size_t max_digits)
+    : csd_(fx::csd_encode_limited(scale, frac_bits, max_digits)),
+      frac_bits_(frac_bits),
+      in_fmt_(in_fmt),
+      out_fmt_(out_fmt) {
+  if (scale <= 0.0) throw std::invalid_argument("ScalingStage: scale <= 0");
+}
+
+std::int64_t ScalingStage::push(std::int64_t in) const {
+  // Horner-style shift-add evaluation of the CSD constant: process digits
+  // from most significant to least, accumulating shifted partial sums.
+  // acc carries frac = in.frac + frac_bits_ to keep all digit weights
+  // integral.
+  std::int64_t acc = 0;
+  for (const auto& d : csd_.digits) {
+    const int shift = d.position + frac_bits_;  // >= 0 by construction
+    const std::int64_t term = (shift >= 0) ? (in << shift) : (in >> -shift);
+    acc += d.sign > 0 ? term : -term;
+  }
+  return fx::requantize(acc, in_fmt_.frac + frac_bits_, out_fmt_,
+                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+}
+
+std::vector<std::int64_t> ScalingStage::process(
+    std::span<const std::int64_t> in) const {
+  std::vector<std::int64_t> out;
+  out.reserve(in.size());
+  for (std::int64_t x : in) out.push_back(push(x));
+  return out;
+}
+
+double scale_for_msa(double msa, double headroom) {
+  if (!(msa > 0.0 && msa <= 1.0)) {
+    throw std::invalid_argument("scale_for_msa: msa must be in (0, 1]");
+  }
+  return headroom / msa;
+}
+
+}  // namespace dsadc::decim

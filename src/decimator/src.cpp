@@ -1,0 +1,66 @@
+#include "src/decimator/src.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::decim {
+
+FarrowResampler::FarrowResampler(double ratio) : ratio_(ratio) {
+  if (!(ratio > 0.0) || ratio > 4.0) {
+    throw std::invalid_argument(
+        "FarrowResampler: ratio must be in (0, 4]; decimate first for "
+        "larger ratios");
+  }
+  hist_.assign(4, 0.0);
+}
+
+void FarrowResampler::reset() {
+  hist_.assign(4, 0.0);
+  phase_ = 0.0;
+  consumed_ = 0;
+}
+
+double FarrowResampler::interpolate(double xm1, double x0, double x1,
+                                    double x2, double mu) {
+  // True cubic Lagrange through (-1, 0, 1, 2), evaluated at mu in [0, 1)
+  // in Horner (Farrow) form; exact for any cubic polynomial.
+  const double c0 = x0;
+  const double c1 = -xm1 / 3.0 - x0 / 2.0 + x1 - x2 / 6.0;
+  const double c2 = xm1 / 2.0 - x0 + x1 / 2.0;
+  const double c3 = -xm1 / 6.0 + (x0 - x1) / 2.0 + x2 / 6.0;
+  return ((c3 * mu + c2) * mu + c1) * mu + c0;
+}
+
+std::vector<double> FarrowResampler::process(std::span<const double> in) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(
+                  static_cast<double>(in.size()) / ratio_) +
+              4);
+  for (double sample : in) {
+    // Shift the 4-sample window: hist_ = x[n-3], x[n-2], x[n-1], x[n].
+    hist_[0] = hist_[1];
+    hist_[1] = hist_[2];
+    hist_[2] = hist_[3];
+    hist_[3] = sample;
+    ++consumed_;
+    if (consumed_ < 4) continue;
+    // Emit every output whose interpolation instant falls in the interval
+    // [n-2, n-1) of input time (centered in the window): instant =
+    // (consumed_-3) + phase in units of input samples.
+    while (phase_ < 1.0) {
+      const double mu = phase_;  // in [0, 1): between hist_[1] and hist_[2]
+      out.push_back(interpolate(hist_[0], hist_[1], hist_[2], hist_[3], mu));
+      phase_ += ratio_;
+    }
+    phase_ -= 1.0;
+  }
+  return out;
+}
+
+std::vector<double> resample(std::span<const double> in, double rate_in,
+                             double rate_out) {
+  FarrowResampler src(rate_in / rate_out);
+  return src.process(in);
+}
+
+}  // namespace dsadc::decim

@@ -1,0 +1,50 @@
+// Fractional sample-rate converter (Section III: "A sample rate converter
+// is often used after the decimation filter for allowing flexibility in
+// the output sample rate for a direct interface to the digital receiver
+// blocks", e.g. 40 MS/s -> 30.72 MS/s for an LTE baseband).
+//
+// Farrow-structure cubic Lagrange interpolator: the fractional delay is a
+// runtime input evaluated with Horner's rule over four fixed polynomial
+// branches, so the hardware is four small FIRs plus three multipliers -
+// the standard companion block to a decimation chain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dsadc::decim {
+
+class FarrowResampler {
+ public:
+  /// `ratio` = input rate / output rate (> 0; < 1 interpolates, > 1
+  /// decimates slightly - for large ratios decimate first, as the chain
+  /// does).
+  explicit FarrowResampler(double ratio);
+
+  /// Resample a block (doubles; the SRC sits after the fixed-point chain
+  /// and feeds the digital receiver).
+  std::vector<double> process(std::span<const double> in);
+
+  void reset();
+
+  double ratio() const { return ratio_; }
+
+  /// Cubic Lagrange interpolation of four consecutive samples at
+  /// fractional position mu in [0, 1) between x[1] and x[2] (exposed for
+  /// tests; process() evaluates it in Farrow/Horner form).
+  static double interpolate(double xm1, double x0, double x1, double x2,
+                            double mu);
+
+ private:
+  double ratio_;
+  double phase_ = 0.0;        ///< fractional read position
+  std::vector<double> hist_;  ///< last 4 input samples (x[n-3..n])
+  std::uint64_t consumed_ = 0;
+};
+
+/// Convenience: resample `in` from `rate_in` to `rate_out`.
+std::vector<double> resample(std::span<const double> in, double rate_in,
+                             double rate_out);
+
+}  // namespace dsadc::decim

@@ -1,0 +1,53 @@
+#include "src/dsp/chebyshev.h"
+
+#include <cmath>
+
+namespace dsadc::dsp {
+
+double chebyshev_t(std::size_t n, double x) {
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  if (std::abs(x) <= 1.0) {
+    return std::cos(static_cast<double>(n) * std::acos(x));
+  }
+  // |x| > 1: cosh form, with sign handling for negative x.
+  const double sign = (x < 0.0 && (n % 2 == 1)) ? -1.0 : 1.0;
+  const double ax = std::abs(x);
+  return sign * std::cosh(static_cast<double>(n) * std::acosh(ax));
+}
+
+double chebyshev_series(std::span<const double> c, double x) {
+  // Clenshaw recurrence.
+  double b1 = 0.0, b2 = 0.0;
+  for (std::size_t k = c.size(); k-- > 1;) {
+    const double b0 = 2.0 * x * b1 - b2 + c[k];
+    b2 = b1;
+    b1 = b0;
+  }
+  return x * b1 - b2 + (c.empty() ? 0.0 : c[0]);
+}
+
+double chebyshev_odd_series(std::span<const double> c, double x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    acc += c[i] * chebyshev_t(2 * i + 1, x);
+  }
+  return acc;
+}
+
+std::vector<double> chebyshev_t_coeffs(std::size_t n) {
+  if (n == 0) return {1.0};
+  if (n == 1) return {0.0, 1.0};
+  std::vector<double> tm2{1.0};        // T_0
+  std::vector<double> tm1{0.0, 1.0};   // T_1
+  for (std::size_t k = 2; k <= n; ++k) {
+    std::vector<double> t(k + 1, 0.0);
+    for (std::size_t i = 0; i < tm1.size(); ++i) t[i + 1] += 2.0 * tm1[i];
+    for (std::size_t i = 0; i < tm2.size(); ++i) t[i] -= tm2[i];
+    tm2 = std::move(tm1);
+    tm1 = std::move(t);
+  }
+  return tm1;
+}
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,27 @@
+// Chebyshev polynomials of the first kind.
+//
+// The Saramaki halfband decomposition writes the composite zero-phase
+// response as H(w) = 0.5 + sum_i f1_i * T_{2i-1}(F2hat(w)), so designing f1
+// is a Chebyshev-basis fitting problem.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dsadc::dsp {
+
+/// T_n(x), numerically stable for |x| <= ~1.2 via recurrence, and via the
+/// cosh form for larger |x|.
+double chebyshev_t(std::size_t n, double x);
+
+/// Evaluate sum_k c[k] * T_{k}(x).
+double chebyshev_series(std::span<const double> c, double x);
+
+/// Evaluate sum_i c[i] * T_{2i+1}(x) (odd-order series; i = 0.. c.size()-1).
+double chebyshev_odd_series(std::span<const double> c, double x);
+
+/// Coefficients of T_n as an ordinary polynomial (ascending powers of x).
+std::vector<double> chebyshev_t_coeffs(std::size_t n);
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,67 @@
+#include "src/dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dsadc::dsp {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Iterative Cooley-Tukey butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= scale;
+  }
+}
+
+std::vector<std::complex<double>> fft(std::span<const std::complex<double>> x,
+                                      bool inverse) {
+  std::vector<std::complex<double>> out(x.begin(), x.end());
+  fft_inplace(out, inverse);
+  return out;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x,
+                                           std::size_t min_size) {
+  std::size_t n = next_power_of_two(std::max(x.size(), std::max<std::size_t>(min_size, 1)));
+  std::vector<std::complex<double>> out(n, {0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = {x[i], 0.0};
+  fft_inplace(out, false);
+  return out;
+}
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,33 @@
+// Radix-2 decimation-in-time FFT for power-of-two lengths.
+//
+// Used by the spectrum analyzer (Fig. 4 reproduction) and by design
+// validation code that needs dense frequency sampling of long impulse
+// responses.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace dsadc::dsp {
+
+/// True iff `n` is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n must be >= 1).
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place radix-2 FFT. `data.size()` must be a power of two.
+/// `inverse` selects the inverse transform (includes the 1/N scaling).
+void fft_inplace(std::span<std::complex<double>> data, bool inverse = false);
+
+/// Out-of-place FFT of a complex signal (size must be a power of two).
+std::vector<std::complex<double>> fft(std::span<const std::complex<double>> x,
+                                      bool inverse = false);
+
+/// FFT of a real signal, zero-padded to the next power of two if needed.
+/// Returns the full complex spectrum (length = padded size).
+std::vector<std::complex<double>> fft_real(std::span<const double> x,
+                                           std::size_t min_size = 0);
+
+}  // namespace dsadc::dsp

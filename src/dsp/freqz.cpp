@@ -1,0 +1,99 @@
+#include "src/dsp/freqz.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/dsp/spectrum.h"
+
+namespace dsadc::dsp {
+
+std::complex<double> fir_response_at(std::span<const double> h, double f) {
+  // Horner evaluation at z^-1 = e^{-j 2 pi f}.
+  const double w = 2.0 * std::numbers::pi * f;
+  const std::complex<double> zinv(std::cos(w), -std::sin(w));
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = h.size(); i-- > 0;) acc = acc * zinv + h[i];
+  return acc;
+}
+
+std::complex<double> rational_response_at(std::span<const double> b,
+                                          std::span<const double> a,
+                                          double f) {
+  const std::complex<double> num = fir_response_at(b, f);
+  const std::complex<double> den = fir_response_at(a, f);
+  return num / den;
+}
+
+std::vector<double> fir_magnitude_db(std::span<const double> h, std::size_t n,
+                                     double fmax) {
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double f = fmax * static_cast<double>(k) / static_cast<double>(n);
+    out[k] = amplitude_db(std::abs(fir_response_at(h, f)));
+  }
+  return out;
+}
+
+std::vector<double> frequency_grid(std::size_t n, double fmax) {
+  std::vector<double> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = fmax * static_cast<double>(k) / static_cast<double>(n);
+  }
+  return out;
+}
+
+double passband_ripple_db(std::span<const double> h, double f0, double f1,
+                          std::size_t n) {
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double f = f0 + (f1 - f0) * static_cast<double>(k) / static_cast<double>(n - 1);
+    const double m = amplitude_db(std::abs(fir_response_at(h, f)));
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  return hi - lo;
+}
+
+double max_magnitude_db(std::span<const double> h, double f0, double f1,
+                        std::size_t n) {
+  double hi = -1e300;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double f = f0 + (f1 - f0) * static_cast<double>(k) / static_cast<double>(n - 1);
+    hi = std::max(hi, amplitude_db(std::abs(fir_response_at(h, f))));
+  }
+  return hi;
+}
+
+double min_attenuation_db(std::span<const double> h, double f0, double f1,
+                          std::size_t n) {
+  const double dc = amplitude_db(std::abs(fir_response_at(h, 0.0)));
+  return dc - max_magnitude_db(h, f0, f1, n);
+}
+
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  }
+  return out;
+}
+
+std::vector<double> upsample_taps(std::span<const double> h, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("upsample_taps: m must be >= 1");
+  if (h.empty()) return {};
+  std::vector<double> out((h.size() - 1) * m + 1, 0.0);
+  for (std::size_t i = 0; i < h.size(); ++i) out[i * m] = h[i];
+  return out;
+}
+
+bool is_symmetric(std::span<const double> h, double tol) {
+  for (std::size_t i = 0; i < h.size() / 2; ++i) {
+    if (std::abs(h[i] - h[h.size() - 1 - i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace dsadc::dsp

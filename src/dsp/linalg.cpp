@@ -1,0 +1,70 @@
+#include "src/dsp/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::dsp {
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear: dimension mismatch");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(piv, col))) piv = r;
+    }
+    if (std::abs(a.at(piv, col)) < 1e-300) {
+      throw std::runtime_error("solve_linear: singular matrix");
+    }
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(piv, c), a.at(col, c));
+      std::swap(b[piv], b[col]);
+    }
+    const double inv = 1.0 / a.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double lambda) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) {
+    throw std::invalid_argument("solve_least_squares: dimension mismatch");
+  }
+  Matrix ata(n, n, 0.0);
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < m; ++r) s += a.at(r, i) * a.at(r, j);
+      ata.at(i, j) = s;
+      ata.at(j, i) = s;
+    }
+    double s = 0.0;
+    for (std::size_t r = 0; r < m; ++r) s += a.at(r, i) * b[r];
+    atb[i] = s;
+  }
+  if (lambda > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) ata.at(i, i) += lambda;
+  }
+  return solve_linear(std::move(ata), std::move(atb));
+}
+
+}  // namespace dsadc::dsp

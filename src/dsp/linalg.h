@@ -1,0 +1,40 @@
+// Small dense linear algebra: Gaussian elimination and least squares.
+//
+// Design-time only (coefficient fitting); sizes are tens of unknowns, so a
+// straightforward partial-pivot solver is appropriate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsadc::dsp {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error if A is (numerically) singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of (possibly overdetermined) A x ~= b via the
+/// normal equations with Tikhonov damping `lambda` for robustness.
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        const std::vector<double>& b,
+                                        double lambda = 0.0);
+
+}  // namespace dsadc::dsp

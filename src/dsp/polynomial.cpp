@@ -1,0 +1,71 @@
+#include "src/dsp/polynomial.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::dsp {
+
+std::vector<double> poly_from_roots_zinv(
+    std::span<const std::complex<double>> roots) {
+  std::vector<std::complex<double>> p{{1.0, 0.0}};
+  for (const auto& r : roots) {
+    // Multiply by (1 - r x).
+    std::vector<std::complex<double>> q(p.size() + 1, {0.0, 0.0});
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      q[i] += p[i];
+      q[i + 1] -= r * p[i];
+    }
+    p = std::move(q);
+  }
+  std::vector<double> out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (std::abs(p[i].imag()) > 1e-9 * (1.0 + std::abs(p[i].real()))) {
+      throw std::invalid_argument(
+          "poly_from_roots_zinv: roots not conjugate-symmetric");
+    }
+    out[i] = p[i].real();
+  }
+  return out;
+}
+
+std::vector<double> poly_mul(std::span<const double> a,
+                             std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  return out;
+}
+
+std::complex<double> poly_eval(std::span<const double> p,
+                               std::complex<double> x) {
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = p.size(); i-- > 0;) acc = acc * x + p[i];
+  return acc;
+}
+
+std::vector<double> rational_impulse_response(std::span<const double> b,
+                                              std::span<const double> a,
+                                              std::size_t n) {
+  if (a.empty() || a[0] == 0.0) {
+    throw std::invalid_argument("rational_impulse_response: a[0] must be nonzero");
+  }
+  std::vector<double> h(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double acc = k < b.size() ? b[k] : 0.0;
+    for (std::size_t j = 1; j < a.size() && j <= k; ++j) {
+      acc -= a[j] * h[k - j];
+    }
+    h[k] = acc / a[0];
+  }
+  return h;
+}
+
+std::vector<double> poly_derivative(std::span<const double> p) {
+  if (p.size() <= 1) return {0.0};
+  std::vector<double> d(p.size() - 1);
+  for (std::size_t i = 1; i < p.size(); ++i) d[i - 1] = p[i] * static_cast<double>(i);
+  return d;
+}
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,38 @@
+// Polynomial utilities over real/complex coefficients.
+//
+// Polynomials are stored as coefficient vectors in *ascending* powers of
+// z^-1 for transfer functions: p[0] + p[1] x + p[2] x^2 + ...
+// The modulator NTF machinery builds polynomials from pole/zero sets and
+// expands rational transfer functions into impulse responses.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace dsadc::dsp {
+
+/// Expand prod_k (1 - r_k * x) for complex roots r_k; the result is real
+/// (roots must come in conjugate pairs or be real). This is the natural
+/// form for z-domain polynomials written in z^-1.
+std::vector<double> poly_from_roots_zinv(
+    std::span<const std::complex<double>> roots);
+
+/// Multiply two real polynomials.
+std::vector<double> poly_mul(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Evaluate a real polynomial at a complex point (ascending coefficients).
+std::complex<double> poly_eval(std::span<const double> p,
+                               std::complex<double> x);
+
+/// First `n` samples of the impulse response of H(z) = B(z)/A(z), where B
+/// and A are polynomials in z^-1 (ascending) and A[0] != 0.
+std::vector<double> rational_impulse_response(std::span<const double> b,
+                                              std::span<const double> a,
+                                              std::size_t n);
+
+/// Derivative of a real polynomial (ascending coefficients).
+std::vector<double> poly_derivative(std::span<const double> p);
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,101 @@
+#include "src/dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dsp/fft.h"
+
+namespace dsadc::dsp {
+
+std::size_t Periodogram::bin_of_freq(double freq_hz) const {
+  if (bin_hz <= 0.0) return 0;
+  const auto k = static_cast<std::size_t>(std::llround(freq_hz / bin_hz));
+  return std::min(k, power.empty() ? std::size_t{0} : power.size() - 1);
+}
+
+Periodogram periodogram(std::span<const double> x, double sample_rate_hz,
+                        WindowKind window, double kaiser_beta) {
+  if (x.size() < 16) throw std::invalid_argument("periodogram: signal too short");
+  const std::size_t nfft = is_power_of_two(x.size())
+                               ? x.size()
+                               : next_power_of_two(x.size()) / 2;
+  const std::vector<double> w = make_window(window, nfft, kaiser_beta);
+  const double cg = coherent_gain(w);
+
+  std::vector<std::complex<double>> buf(nfft);
+  for (std::size_t i = 0; i < nfft; ++i) buf[i] = {x[i] * w[i], 0.0};
+  fft_inplace(buf, false);
+
+  Periodogram p;
+  p.sample_rate_hz = sample_rate_hz;
+  p.bin_hz = sample_rate_hz / static_cast<double>(nfft);
+  p.enbw_bins = enbw_bins(w);
+  p.power.resize(nfft / 2 + 1);
+  const double norm = 1.0 / (cg * static_cast<double>(nfft));
+  for (std::size_t k = 0; k < p.power.size(); ++k) {
+    double mag = std::abs(buf[k]) * norm;
+    // One-sided: double the power of interior bins.
+    double pw = mag * mag;
+    if (k != 0 && k != nfft / 2) pw *= 2.0;
+    p.power[k] = pw;
+  }
+  return p;
+}
+
+SnrResult measure_tone_snr(std::span<const double> x, double sample_rate_hz,
+                           double band_hz, WindowKind window,
+                           std::size_t skirt_bins, std::size_t dc_skip,
+                           double kaiser_beta) {
+  const Periodogram p = periodogram(x, sample_rate_hz, window, kaiser_beta);
+  const std::size_t band_bin = p.bin_of_freq(band_hz);
+  if (band_bin <= dc_skip + 2) {
+    throw std::invalid_argument("measure_tone_snr: band too narrow for FFT size");
+  }
+  // Find the strongest in-band bin beyond the DC skirt.
+  std::size_t peak = dc_skip + 1;
+  for (std::size_t k = dc_skip + 1; k <= band_bin; ++k) {
+    if (p.power[k] > p.power[peak]) peak = k;
+  }
+  const std::size_t lo = peak > skirt_bins ? peak - skirt_bins : 0;
+  const std::size_t hi = std::min(peak + skirt_bins, p.power.size() - 1);
+
+  SnrResult r;
+  r.signal_freq_hz = p.freq_of_bin(peak);
+  for (std::size_t k = lo; k <= hi; ++k) r.signal_power += p.power[k];
+  // The windowed tone's summed bin power overcounts by ENBW relative to a
+  // rectangular integration; both signal and noise-density sums use the same
+  // window so the *ratio* is what needs care: signal bins sum to (A^2/2)*ENBW
+  // after coherent-gain normalization; noise density is also multiplied by
+  // ENBW per bin. Dividing both by ENBW is consistent.
+  r.signal_power /= p.enbw_bins;
+  for (std::size_t k = dc_skip + 1; k <= band_bin; ++k) {
+    if (k >= lo && k <= hi) continue;
+    r.noise_power += p.power[k];
+  }
+  r.noise_power /= p.enbw_bins;
+  if (r.noise_power <= 0.0) r.noise_power = 1e-40;
+  r.snr_db = 10.0 * std::log10(r.signal_power / r.noise_power);
+  r.enob_bits = (r.snr_db - 1.76) / 6.02;
+  return r;
+}
+
+double band_power(const Periodogram& p, double f0_hz, double f1_hz) {
+  const std::size_t k0 = p.bin_of_freq(f0_hz);
+  const std::size_t k1 = p.bin_of_freq(f1_hz);
+  double s = 0.0;
+  for (std::size_t k = k0; k <= k1 && k < p.power.size(); ++k) s += p.power[k];
+  return s / p.enbw_bins;
+}
+
+double power_db(double p) {
+  if (p <= 1e-40) return -400.0;
+  return 10.0 * std::log10(p);
+}
+
+double amplitude_db(double a) {
+  if (std::abs(a) <= 1e-200) return -400.0;
+  return 20.0 * std::log10(std::abs(a));
+}
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,65 @@
+// Windowed periodogram / PSD estimation and in-band SNR integration.
+//
+// This is the measurement side of the reproduction: Fig. 4 (modulator
+// spectrum + SQNR) and the end-to-end 86 dB SNR check both reduce to
+// "window, FFT, separate signal bins from noise bins, integrate".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/dsp/window.h"
+
+namespace dsadc::dsp {
+
+/// One-sided windowed periodogram.
+struct Periodogram {
+  std::vector<double> power;  ///< bin powers, length nfft/2 + 1
+  double bin_hz = 0.0;        ///< frequency spacing of bins
+  double enbw_bins = 0.0;     ///< window noise-equivalent bandwidth (bins)
+  double sample_rate_hz = 0.0;
+
+  std::size_t size() const { return power.size(); }
+  double freq_of_bin(std::size_t k) const { return bin_hz * static_cast<double>(k); }
+  /// Bin index nearest to `freq_hz`.
+  std::size_t bin_of_freq(double freq_hz) const;
+};
+
+/// Compute a one-sided windowed periodogram of `x` (power per bin,
+/// normalized so a full-scale sine of amplitude A shows total signal power
+/// A^2/2 when its bins are summed and divided by ENBW).
+Periodogram periodogram(std::span<const double> x, double sample_rate_hz,
+                        WindowKind window = WindowKind::kBlackmanHarris4,
+                        double kaiser_beta = 20.0);
+
+/// Result of tone-based SNR measurement.
+struct SnrResult {
+  double snr_db = 0.0;          ///< signal power / in-band noise power
+  double signal_power = 0.0;    ///< linear
+  double noise_power = 0.0;     ///< linear, integrated over band minus signal
+  double signal_freq_hz = 0.0;  ///< detected tone frequency
+  double enob_bits = 0.0;       ///< (snr_db - 1.76) / 6.02
+};
+
+/// Measure SNR of a single tone in `x` integrated from DC to `band_hz`.
+/// The tone is located as the strongest in-band bin; +-`skirt_bins` bins
+/// on each side are attributed to the signal (window leakage). Bins 0..dc_skip
+/// are excluded from the noise as DC leakage.
+SnrResult measure_tone_snr(std::span<const double> x, double sample_rate_hz,
+                           double band_hz,
+                           WindowKind window = WindowKind::kBlackmanHarris4,
+                           std::size_t skirt_bins = 8,
+                           std::size_t dc_skip = 8,
+                           double kaiser_beta = 20.0);
+
+/// Integrated power of a periodogram between two frequencies [f0, f1].
+double band_power(const Periodogram& p, double f0_hz, double f1_hz);
+
+/// Convert a power ratio to dB (floors at -400 dB to avoid -inf).
+double power_db(double p);
+
+/// Convert an amplitude ratio to dB.
+double amplitude_db(double a);
+
+}  // namespace dsadc::dsp

@@ -1,0 +1,103 @@
+#include "src/dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dsadc::dsp {
+namespace {
+
+/// Modified Bessel function of the first kind, order zero (series).
+double bessel_i0(double x) {
+  double sum = 1.0;
+  double term = 1.0;
+  const double half_x = x / 2.0;
+  for (int k = 1; k < 64; ++k) {
+    term *= (half_x / k) * (half_x / k);
+    sum += term;
+    if (term < 1e-18 * sum) break;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<double> make_window(WindowKind kind, std::size_t n, double beta) {
+  if (n == 0) throw std::invalid_argument("make_window: n must be > 0");
+  std::vector<double> w(n);
+  const double nm1 = n > 1 ? static_cast<double>(n - 1) : 1.0;
+  constexpr double kPi = std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / nm1;  // [0, 1]
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * kPi * x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * kPi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * kPi * x) +
+               0.08 * std::cos(4.0 * kPi * x);
+        break;
+      case WindowKind::kBlackmanHarris4:
+        w[i] = 0.35875 - 0.48829 * std::cos(2.0 * kPi * x) +
+               0.14128 * std::cos(4.0 * kPi * x) -
+               0.01168 * std::cos(6.0 * kPi * x);
+        break;
+      case WindowKind::kKaiser: {
+        const double t = 2.0 * x - 1.0;  // [-1, 1]
+        w[i] = bessel_i0(beta * std::sqrt(std::max(0.0, 1.0 - t * t))) /
+               bessel_i0(beta);
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+double coherent_gain(const std::vector<double>& w) {
+  double s = 0.0;
+  for (double v : w) s += v;
+  return s / static_cast<double>(w.size());
+}
+
+double enbw_bins(const std::vector<double>& w) {
+  double s1 = 0.0, s2 = 0.0;
+  for (double v : w) {
+    s1 += v;
+    s2 += v * v;
+  }
+  return static_cast<double>(w.size()) * s2 / (s1 * s1);
+}
+
+double kaiser_beta_for_attenuation(double atten_db) {
+  if (atten_db > 50.0) return 0.1102 * (atten_db - 8.7);
+  if (atten_db >= 21.0)
+    return 0.5842 * std::pow(atten_db - 21.0, 0.4) + 0.07886 * (atten_db - 21.0);
+  return 0.0;
+}
+
+std::size_t kaiser_order_for(double atten_db, double transition_width) {
+  if (transition_width <= 0.0)
+    throw std::invalid_argument("kaiser_order_for: width must be > 0");
+  const double n = (atten_db - 7.95) / (14.36 * transition_width);
+  return static_cast<std::size_t>(std::ceil(std::max(n, 1.0)));
+}
+
+std::string to_string(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular: return "rectangular";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+    case WindowKind::kBlackmanHarris4: return "blackman-harris-4";
+    case WindowKind::kKaiser: return "kaiser";
+  }
+  return "unknown";
+}
+
+}  // namespace dsadc::dsp

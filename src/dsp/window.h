@@ -1,0 +1,38 @@
+// Window functions for spectral analysis and windowed FIR design.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dsadc::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris4,  ///< 4-term, ~92 dB sidelobes: default for DSM spectra.
+  kKaiser,
+};
+
+/// Generate an N-point window. `beta` is only used for Kaiser.
+std::vector<double> make_window(WindowKind kind, std::size_t n,
+                                double beta = 0.0);
+
+/// Coherent gain: sum(w)/N. Needed to normalize windowed tone amplitudes.
+double coherent_gain(const std::vector<double>& w);
+
+/// Noise-equivalent bandwidth in bins: N * sum(w^2) / sum(w)^2.
+double enbw_bins(const std::vector<double>& w);
+
+/// Kaiser beta for a given stopband attenuation in dB (Kaiser's formula).
+double kaiser_beta_for_attenuation(double atten_db);
+
+/// Kaiser window FIR order estimate for given attenuation and normalized
+/// transition width (in cycles/sample).
+std::size_t kaiser_order_for(double atten_db, double transition_width);
+
+std::string to_string(WindowKind kind);
+
+}  // namespace dsadc::dsp

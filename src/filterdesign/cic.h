@@ -1,0 +1,61 @@
+// Sinc^K (CIC / Hogenauer) decimation filter design equations.
+//
+// Section IV of the paper: three Sinc stages (Sinc4, Sinc4, Sinc6) perform
+// the initial decimate-by-8, chosen so every stage keeps >= 85 dB of
+// alias-band rejection against the 5th-order shaped quantization noise.
+// This module provides the design-time analysis (transfer function, alias
+// rejection, droop, register sizing per Hogenauer); the bit-true hardware
+// model lives in src/decimator/cic.h.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsadc::design {
+
+/// Static description of one Sinc^K decimate-by-M stage.
+struct CicSpec {
+  int order = 4;        ///< K, number of integrator/comb pairs
+  int decimation = 2;   ///< M
+  int input_bits = 4;   ///< Bin at this stage's input
+
+  /// Hogenauer register width: the paper's Eq. (2) gives the MSB index
+  /// Bmax = K*log2(M) + Bin - 1; the physical register needs Bmax + 1 bits.
+  int register_width() const;
+  /// DC gain of the unnormalized filter: M^K.
+  double dc_gain() const;
+};
+
+/// |H(f)| of an unnormalized-to-unity Sinc^K filter, f in cycles/sample at
+/// the stage input rate: |sin(pi f M) / (M sin(pi f))|^K.
+double cic_magnitude(const CicSpec& spec, double f);
+
+/// Impulse response of the (1/M^K-normalized) Sinc^K filter at the input
+/// rate: the K-fold convolution of a length-M boxcar.
+std::vector<double> cic_impulse_response(const CicSpec& spec);
+
+/// Passband droop in dB at frequency `f` (cycles/sample at input rate);
+/// positive value = attenuation relative to DC.
+double cic_droop_db(const CicSpec& spec, double f);
+
+/// Worst-case alias-band rejection in dB: the minimum attenuation over all
+/// fold bands m/M +- fb (m = 1..M-1), where `fb` is the protected band
+/// in cycles/sample at the stage input rate.
+double cic_alias_rejection_db(const CicSpec& spec, double fb);
+
+/// Smallest K whose Sinc^K decimate-by-M stage achieves `atten_db` of
+/// alias rejection for protected band `fb`. Returns 0 if not achievable
+/// within max_order.
+int cic_min_order(int decimation, double fb, double atten_db,
+                  int max_order = 12);
+
+/// The paper's Sinc cascade: Sinc4(/2), Sinc4(/2), Sinc6(/2), with input
+/// word lengths 4, 8, 12 bits.
+std::vector<CicSpec> paper_sinc_cascade();
+
+/// Composite impulse response of a CIC cascade referred to the input rate
+/// of the first stage (later stages' taps upsampled by the accumulated
+/// decimation).
+std::vector<double> cic_cascade_response(const std::vector<CicSpec>& stages);
+
+}  // namespace dsadc::design

@@ -1,0 +1,37 @@
+// Passband droop equalizer design (Section VI of the paper).
+//
+// The Sinc cascade droops several dB across the 20 MHz band; a symmetric
+// FIR at the 40 MHz output rate flattens the composite response. The
+// desired response handed to the Remez exchange is the reciprocal of the
+// cascade droop referred to the output rate, exactly how the paper uses
+// MATLAB's firpm with an inverse-sinc desired function.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dsadc::design {
+
+struct EqualizerResult {
+  std::vector<double> taps;       ///< symmetric, length = order + 1
+  double passband_edge = 0.0;     ///< cycles/sample at the equalizer rate
+  double residual_ripple_db = 0.0;  ///< |droop * EQ| ripple over the band
+};
+
+/// Design a droop equalizer of `num_taps` taps. `droop` maps frequency in
+/// cycles/sample *at the equalizer's rate* to the cascade's magnitude
+/// response (<= 1 in the droop region); the equalizer approximates
+/// 1/droop over [0, fp]. The weight is proportional to droop(f) so that
+/// the *compensated* response |droop * EQ| is equiripple.
+EqualizerResult design_droop_equalizer(
+    std::size_t num_taps, const std::function<double(double)>& droop,
+    double fp);
+
+/// Compensated magnitude |droop(f)| * |EQ(f)| sampled on `n` points over
+/// [0, fp]; used by the Fig. 10 bench.
+std::vector<double> compensated_response_db(
+    const EqualizerResult& eq, const std::function<double(double)>& droop,
+    std::size_t n);
+
+}  // namespace dsadc::design

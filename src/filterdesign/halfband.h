@@ -1,0 +1,37 @@
+// Equiripple half-band FIR prototype design.
+//
+// Half-band filters have all even-offset taps equal to zero except the
+// center tap of 0.5, so a decimate-by-2 stage needs half the arithmetic of
+// a general FIR (Section V). This module designs exact half-band filters
+// with the single-band Remez trick (Vaidyanathan-Nguyen): design a Type II
+// filter G of length 2J over the single band [0, 2*fp], then interleave:
+// H(z) = (z^-(2J-1) + G(z^2)) / 2, length 4J-1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsadc::design {
+
+struct HalfbandResult {
+  std::vector<double> taps;   ///< length 4J-1, odd taps zero except center
+  double passband_edge = 0.0; ///< fp used, cycles/sample
+  double ripple = 0.0;        ///< |H - 1| passband ripple == stopband ripple
+  double stopband_atten_db = 0.0;
+  std::size_t j = 0;          ///< the J parameter (length = 4J-1)
+};
+
+/// Design a length-(4J-1) half-band lowpass with passband [0, fp] and
+/// stopband [0.5-fp, 0.5]. Requires 0 < fp < 0.25.
+HalfbandResult design_halfband(std::size_t j, double fp);
+
+/// Smallest J meeting `atten_db` stopband attenuation at passband edge
+/// `fp`; searches j in [2, max_j]. Throws if unreachable.
+HalfbandResult design_halfband_for_attenuation(double fp, double atten_db,
+                                               std::size_t max_j = 64);
+
+/// True iff `taps` has the half-band structure (odd-offset zeros, center
+/// 0.5) within `tol`.
+bool is_halfband(const std::vector<double>& taps, double tol = 1e-12);
+
+}  // namespace dsadc::design

@@ -1,0 +1,57 @@
+// Parks-McClellan (Remez exchange) linear-phase FIR design.
+//
+// Equivalent of MATLAB's `firpm`, which the paper uses for the droop
+// equalizer (Section VI). Supports symmetric Type I (odd length) and
+// Type II (even length) filters with arbitrary desired-response and weight
+// functions per band, which is required for the inverse-sinc equalizer.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace dsadc::design {
+
+/// A frequency band for the approximation problem. Frequencies are in
+/// cycles/sample, 0 <= f0 < f1 <= 0.5.
+struct Band {
+  double f0 = 0.0;
+  double f1 = 0.5;
+  /// Desired real response D(f) on the band.
+  std::function<double(double)> desired;
+  /// Error weight W(f) on the band (larger = tighter).
+  std::function<double(double)> weight;
+};
+
+/// Convenience constructors for constant desired/weight bands.
+Band const_band(double f0, double f1, double desired, double weight = 1.0);
+
+/// Result of a Remez design.
+struct RemezResult {
+  std::vector<double> taps;   ///< symmetric impulse response
+  double delta = 0.0;         ///< final equiripple error (weighted)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Design a length-`num_taps` symmetric linear-phase FIR minimizing the
+/// weighted Chebyshev error over the given bands. Even `num_taps` gives a
+/// Type II filter (forced zero at f = 0.5).
+///
+/// `grid_density` controls the dense-grid resolution (points per basis
+/// function). Throws std::invalid_argument on malformed bands and
+/// std::runtime_error if the exchange fails to make progress.
+RemezResult remez(std::size_t num_taps, std::span<const Band> bands,
+                  int grid_density = 16, int max_iterations = 60);
+
+/// Classic lowpass helper: passband [0, fpass] at gain 1, stopband
+/// [fstop, 0.5] at gain 0, with the given relative weights.
+RemezResult remez_lowpass(std::size_t num_taps, double fpass, double fstop,
+                          double wpass = 1.0, double wstop = 1.0);
+
+/// Estimate of the required lowpass order (Herrmann/Kaiser formula),
+/// returned as a tap count.
+std::size_t remez_order_estimate(double ripple_db, double atten_db,
+                                 double transition_width);
+
+}  // namespace dsadc::design

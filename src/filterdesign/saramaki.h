@@ -1,0 +1,85 @@
+// Saramaki tapped-cascade half-band filter design (Fig. 7 of the paper;
+// equivalent of the Delta-Sigma Toolbox's `designHBF`).
+//
+// The composite filter is
+//
+//   H(z) = 0.5 z^-D + sum_{i=1..n1} f1_i * [F2(z)]^(2i-1) * z^-(D-(2i-1)d2)
+//
+// where F2 is a small symmetric subfilter with only odd-offset taps
+// (zero-phase response F2hat(w) = sum_j f2_j cos((2j-1) w), |F2hat| <= 0.5)
+// and D = (2 n1 - 1) d2 with d2 = 2 n2 - 1 the subfilter delay. Because
+// cos((2m-1)w) = T_{2m-1}(cos w), substituting cos(w) -> 2 F2hat(w) turns a
+// low-order half-band *prototype* into a sharp composite: the f1 taps are
+// twice the prototype's odd taps, and F2 supplies the frequency warping.
+// The paper's instance uses n1 = 3, n2 = 6: five F2 blocks in cascade,
+// three outer taps, 110th order, >= 90 dB stopband, adders only.
+//
+// All coefficients are CSD-encoded with a bounded digit count; the search
+// explores (n1, n2, digit-count) combinations and returns the cheapest
+// design meeting the attenuation target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/fixedpoint/csd.h"
+
+namespace dsadc::design {
+
+struct SaramakiHbf {
+  /// Outer structure taps in the POWER basis: the hardware computes
+  /// H = 0.5 + sum_i f1_i * (2 F2hat)^(2i-1) (the cascade taps of Fig. 7).
+  /// The minimax design happens in the Chebyshev basis and is converted.
+  std::vector<double> f1;
+  std::vector<double> f2;  ///< subfilter taps, size n2
+  std::vector<dsadc::fx::Csd> f1_csd;
+  std::vector<dsadc::fx::Csd> f2_csd;
+  std::vector<double> taps;  ///< composite impulse response (quantized)
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+  double passband_edge = 0.0;
+  double stopband_atten_db = 0.0;  ///< achieved, from quantized taps
+  double passband_ripple_db = 0.0;
+  /// Total adder count: CSD shift-add adders + structural adders of the
+  /// tapped-cascade network (the figure the paper quotes as "124 adders").
+  std::size_t adder_count = 0;
+
+  std::size_t order() const { return taps.empty() ? 0 : taps.size() - 1; }
+};
+
+/// Zero-phase response of a subfilter: sum_j f2[j] cos((2j-1) w), with
+/// w = 2 pi f.
+double f2_zero_phase(const std::vector<double>& f2, double f);
+
+/// Composite zero-phase response 0.5 + sum_i f1[i] * (2 F2hat(w))^(2i-1)
+/// (f1 in the power basis, as stored in SaramakiHbf).
+double saramaki_zero_phase(const std::vector<double>& f1,
+                           const std::vector<double>& f2, double f);
+
+/// Convert outer taps from the Chebyshev basis (sum c_i T_{2i-1}) to the
+/// power basis (sum p_k y^(2k-1)); both span the same odd polynomials.
+std::vector<double> chebyshev_to_power_basis(const std::vector<double>& c);
+
+/// Expand the tapped cascade into a composite impulse response.
+std::vector<double> saramaki_impulse_response(const std::vector<double>& f1,
+                                              const std::vector<double>& f2);
+
+/// Design a Saramaki HBF with fixed structure (n1, n2) and coefficient
+/// quantization to `frac_bits` fractional bits / at most `max_digits` CSD
+/// digits per coefficient (0 = unquantized).
+SaramakiHbf design_saramaki_hbf(std::size_t n1, std::size_t n2, double fp,
+                                int frac_bits = 24,
+                                std::size_t max_digits = 0);
+
+/// Search over candidate (n1, n2) pairs and CSD digit budgets for the
+/// cheapest design achieving `atten_db` at passband edge `fp`
+/// (deterministic counterpart of designHBF's random search).
+SaramakiHbf design_saramaki_hbf_auto(double fp, double atten_db,
+                                     int frac_bits = 24);
+
+/// Structural adder count for the tapped cascade (excluding CSD adders):
+/// each F2 instance uses n2 symmetric pre-adders + (n2-1) product-tree
+/// adders; the outer stage sums n1 branch products plus the 0.5 path.
+std::size_t saramaki_structural_adders(std::size_t n1, std::size_t n2);
+
+}  // namespace dsadc::design

@@ -1,0 +1,79 @@
+#include "src/filterdesign/sharpened_cic.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::design {
+namespace {
+
+std::vector<std::int64_t> int_convolve(const std::vector<std::int64_t>& a,
+                                       const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> sharpened_cic_taps(int order, int decimation) {
+  if (order < 1 || decimation < 2) {
+    throw std::invalid_argument("sharpened_cic_taps: order >= 1, M >= 2");
+  }
+  if ((order * (decimation - 1)) % 2 != 0) {
+    // H^2 and H^3 have half-sample-offset centers unless the prototype
+    // length is odd; the paper's stages (even K at M = 2) all qualify.
+    throw std::invalid_argument(
+        "sharpened_cic_taps: K*(M-1) must be even for integer alignment");
+  }
+  // h = boxcar^K (integer).
+  std::vector<std::int64_t> h{1};
+  const std::vector<std::int64_t> box(static_cast<std::size_t>(decimation), 1);
+  for (int k = 0; k < order; ++k) h = int_convolve(h, box);
+  const auto h2 = int_convolve(h, h);
+  const auto h3 = int_convolve(h2, h);
+  // 3 M^K H^2 - 2 H^3, with H^2 delayed to align group delays (H^2 has
+  // delay (len2-1)/2; H^3 (len3-1)/2; difference = (len_h - 1)/2).
+  const std::size_t shift = (h3.size() - h2.size()) / 2;
+  std::vector<std::int64_t> out(h3.size(), 0);
+  std::int64_t gain_k = 1;
+  for (int k = 0; k < order; ++k) gain_k *= decimation;
+  for (std::size_t i = 0; i < h3.size(); ++i) out[i] = -2 * h3[i];
+  for (std::size_t i = 0; i < h2.size(); ++i) out[i + shift] += 3 * gain_k * h2[i];
+  return out;
+}
+
+double sharpened_cic_magnitude(const CicSpec& spec, double f) {
+  const double h = cic_magnitude(spec, f);  // normalized |H|
+  // S(H) on normalized H; |.| because the sharpened response can undershoot.
+  return std::abs(3.0 * h * h - 2.0 * h * h * h);
+}
+
+double sharpened_cic_droop_db(const CicSpec& spec, double f) {
+  return -20.0 * std::log10(std::max(sharpened_cic_magnitude(spec, f), 1e-300));
+}
+
+double sharpened_cic_alias_rejection_db(const CicSpec& spec, double fb) {
+  if (fb <= 0.0 || fb >= 0.5 / spec.decimation) {
+    throw std::invalid_argument("sharpened_cic_alias_rejection_db: fb range");
+  }
+  double worst = 1e300;
+  for (int m = 1; m < spec.decimation; ++m) {
+    const double center = static_cast<double>(m) / spec.decimation;
+    for (double f : {center - fb, center + fb}) {
+      if (f <= 0.0 || f >= 1.0) continue;
+      const double att =
+          -20.0 * std::log10(sharpened_cic_magnitude(spec, f) /
+                             sharpened_cic_magnitude(spec, fb));
+      worst = std::min(worst, att);
+    }
+  }
+  return worst;
+}
+
+double sharpened_cic_dc_gain(const CicSpec& spec) {
+  return std::pow(static_cast<double>(spec.decimation), 3 * spec.order);
+}
+
+}  // namespace dsadc::design

@@ -1,0 +1,38 @@
+// Sharpened comb (CIC) filters - the alternative comb schemes of the
+// paper's reference [7] (Laddomada) and the classic Kwentus-Willson
+// sharpening.
+//
+// Filter sharpening applies the polynomial S(H) = 3H^2 - 2H^3 to a
+// prototype comb H = Sinc^K: the composite keeps H's zeros (alias
+// notches triple in multiplicity through the H^2/H^3 terms) while the
+// polynomial flattens the passband around H ~ 1, trading adders for
+// droop. Because S(H) expands into integer-coefficient convolutions of
+// the boxcar kernel, the sharpened stage drops straight onto the bit-true
+// FirDecimator machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/filterdesign/cic.h"
+
+namespace dsadc::design {
+
+/// Integer taps of the sharpened comb 3H^2 - 2H^3 for H = Sinc^K with
+/// decimation M (H unnormalized; the composite carries gain M^(3K)).
+std::vector<std::int64_t> sharpened_cic_taps(int order, int decimation);
+
+/// Magnitude of the (normalized) sharpened comb at f cycles/sample.
+double sharpened_cic_magnitude(const CicSpec& spec, double f);
+
+/// Passband droop in dB at f (positive = attenuation relative to DC).
+double sharpened_cic_droop_db(const CicSpec& spec, double f);
+
+/// Worst-case alias-band rejection (dB) for protected band fb, as in
+/// cic_alias_rejection_db.
+double sharpened_cic_alias_rejection_db(const CicSpec& spec, double fb);
+
+/// DC gain of the unnormalized sharpened comb: M^(3K).
+double sharpened_cic_dc_gain(const CicSpec& spec);
+
+}  // namespace dsadc::design

@@ -1,0 +1,69 @@
+#include "src/filterdesign/window_fir.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/dsp/window.h"
+#include "src/fixedpoint/csd.h"
+
+namespace dsadc::design {
+
+std::vector<double> kaiser_lowpass(std::size_t num_taps, double fc,
+                                   double beta) {
+  if (num_taps < 3) throw std::invalid_argument("kaiser_lowpass: too short");
+  if (!(fc > 0.0 && fc < 0.5)) {
+    throw std::invalid_argument("kaiser_lowpass: fc out of range");
+  }
+  const std::vector<double> w =
+      dsp::make_window(dsp::WindowKind::kKaiser, num_taps, beta);
+  std::vector<double> h(num_taps);
+  const double mid = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t n = 0; n < num_taps; ++n) {
+    const double t = static_cast<double>(n) - mid;
+    const double x = 2.0 * std::numbers::pi * fc * t;
+    const double sinc = (std::abs(t) < 1e-12)
+                            ? 2.0 * fc
+                            : std::sin(x) / (std::numbers::pi * t);
+    h[n] = sinc * w[n];
+    sum += h[n];
+  }
+  for (auto& v : h) v /= sum;  // unity DC gain
+  return h;
+}
+
+std::vector<double> kaiser_lowpass_for_spec(double fpass, double fstop,
+                                            double atten_db) {
+  if (!(0.0 < fpass && fpass < fstop && fstop <= 0.5)) {
+    throw std::invalid_argument("kaiser_lowpass_for_spec: bad band edges");
+  }
+  const double width = fstop - fpass;
+  const double beta = dsp::kaiser_beta_for_attenuation(atten_db);
+  std::size_t n = dsp::kaiser_order_for(atten_db, width) + 1;
+  if (n % 2 == 0) ++n;  // Type I
+  return kaiser_lowpass(n, 0.5 * (fpass + fstop), beta);
+}
+
+SingleStageBaseline design_single_stage_baseline(double input_rate_hz,
+                                                 double output_rate_hz,
+                                                 double passband_edge_hz,
+                                                 double stopband_edge_hz,
+                                                 double atten_db) {
+  SingleStageBaseline out;
+  out.decimation =
+      static_cast<std::size_t>(std::llround(input_rate_hz / output_rate_hz));
+  out.taps = kaiser_lowpass_for_spec(passband_edge_hz / input_rate_hz,
+                                     stopband_edge_hz / input_rate_hz,
+                                     atten_db);
+  // Polyphase implementation: every tap fires once per *output* sample, so
+  // the multiply rate per input sample is taps / M (symmetry halves it).
+  out.mac_rate_per_sample =
+      static_cast<double>(out.taps.size()) /
+      (2.0 * static_cast<double>(out.decimation));
+  const auto csd = dsadc::fx::csd_encode_taps(out.taps, 14);
+  out.adders = dsadc::fx::total_adder_cost(csd) + out.taps.size() / 2;
+  return out;
+}
+
+}  // namespace dsadc::design

@@ -1,0 +1,41 @@
+// Kaiser windowed-sinc FIR design.
+//
+// Robust at arbitrary lengths (the Remez exchange gets expensive and
+// delicate beyond a few hundred taps), this is the designer for the
+// single-stage baseline decimator that Section III argues against: one
+// brute-force lowpass at the full input rate instead of the multistage
+// Sinc/halfband chain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsadc::design {
+
+/// Windowed-sinc lowpass: cutoff fc (cycles/sample, the -6 dB point),
+/// `num_taps` taps, Kaiser window with `beta`.
+std::vector<double> kaiser_lowpass(std::size_t num_taps, double fc,
+                                   double beta);
+
+/// Design for a spec: passband edge, stopband edge, stopband attenuation.
+/// Picks the Kaiser beta and length from the standard formulas; returns
+/// the taps (unity DC gain).
+std::vector<double> kaiser_lowpass_for_spec(double fpass, double fstop,
+                                            double atten_db);
+
+/// The single-stage baseline decimator for a Table-I-style spec: one FIR
+/// at the modulator rate covering the whole decimation in a single step.
+struct SingleStageBaseline {
+  std::vector<double> taps;
+  std::size_t decimation = 0;
+  double mac_rate_per_sample = 0.0;  ///< multiplies per input sample
+  std::size_t adders = 0;            ///< CSD adder estimate at 14 bits
+};
+
+SingleStageBaseline design_single_stage_baseline(double input_rate_hz,
+                                                 double output_rate_hz,
+                                                 double passband_edge_hz,
+                                                 double stopband_edge_hz,
+                                                 double atten_db);
+
+}  // namespace dsadc::design

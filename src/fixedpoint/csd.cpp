@@ -1,0 +1,111 @@
+#include "src/fixedpoint/csd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsadc::fx {
+
+double Csd::to_double() const {
+  double acc = 0.0;
+  for (const auto& d : digits) {
+    acc += static_cast<double>(d.sign) * std::ldexp(1.0, d.position);
+  }
+  return acc;
+}
+
+std::size_t Csd::adder_cost() const {
+  return digits.size() <= 1 ? 0 : digits.size() - 1;
+}
+
+std::string Csd::to_string() const {
+  if (digits.empty()) return "0";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i) os << ' ';
+    os << (digits[i].sign > 0 ? '+' : '-') << "2^" << digits[i].position;
+  }
+  return os.str();
+}
+
+Csd csd_encode_int(std::int64_t n) {
+  Csd out;
+  int pos = 0;
+  while (n != 0) {
+    if (n & 1) {
+      // d = 2 - (n mod 4): +1 for ...01, -1 for ...11 (so the carry creates
+      // a run-free representation).
+      const int d = 2 - static_cast<int>(((n % 4) + 4) % 4);
+      out.digits.push_back({d, pos});
+      n -= d;
+    }
+    n >>= 1;
+    ++pos;
+  }
+  std::reverse(out.digits.begin(), out.digits.end());
+  return out;
+}
+
+Csd csd_encode(double value, int frac_bits) {
+  if (frac_bits < 0 || frac_bits > 60) {
+    throw std::invalid_argument("csd_encode: frac_bits out of range");
+  }
+  const double scaled = std::nearbyint(value * std::ldexp(1.0, frac_bits));
+  if (std::abs(scaled) > 4.0e18) {
+    throw std::invalid_argument("csd_encode: value too large");
+  }
+  Csd c = csd_encode_int(static_cast<std::int64_t>(scaled));
+  for (auto& d : c.digits) d.position -= frac_bits;
+  return c;
+}
+
+Csd csd_encode_limited(double value, int frac_bits, std::size_t max_digits) {
+  Csd out;
+  double residual = value;
+  const double lsb = std::ldexp(1.0, -frac_bits);
+  for (std::size_t k = 0; k < max_digits; ++k) {
+    if (std::abs(residual) < lsb / 2.0) break;
+    // Greedy: pick the power of two closest to the residual.
+    const int pos = static_cast<int>(std::floor(std::log2(std::abs(residual)) + 0.5));
+    if (pos < -frac_bits) break;
+    const int sign = residual >= 0.0 ? 1 : -1;
+    out.digits.push_back({sign, pos});
+    residual -= static_cast<double>(sign) * std::ldexp(1.0, pos);
+  }
+  std::sort(out.digits.begin(), out.digits.end(),
+            [](const CsdDigit& a, const CsdDigit& b) { return a.position > b.position; });
+  return out;
+}
+
+double csd_quantization_error(std::span<const double> coeffs, int frac_bits) {
+  double worst = 0.0;
+  for (double c : coeffs) {
+    worst = std::max(worst, std::abs(csd_encode(c, frac_bits).to_double() - c));
+  }
+  return worst;
+}
+
+std::vector<Csd> csd_encode_taps(std::span<const double> taps, int frac_bits) {
+  std::vector<Csd> out;
+  out.reserve(taps.size());
+  for (double t : taps) out.push_back(csd_encode(t, frac_bits));
+  return out;
+}
+
+std::size_t total_adder_cost(std::span<const Csd> taps) {
+  std::size_t total = 0;
+  for (const auto& c : taps) total += c.adder_cost();
+  return total;
+}
+
+bool is_canonical(const Csd& c) {
+  for (std::size_t i = 1; i < c.digits.size(); ++i) {
+    if (std::abs(c.digits[i - 1].position - c.digits[i].position) < 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsadc::fx

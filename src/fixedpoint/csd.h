@@ -1,0 +1,62 @@
+// Canonical Signed Digit (CSD) coefficient encoding.
+//
+// CSD represents a binary number with digits in {-1, 0, +1} such that no
+// two adjacent digits are nonzero; it is the minimal-nonzero-digit signed
+// representation. Each nonzero digit of a filter coefficient costs one
+// adder/subtractor in the shift-add multiplier network, so total nonzero
+// count is the hardware cost metric the paper minimizes (Section V-VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsadc::fx {
+
+/// One signed digit: value * 2^position (position may be negative for
+/// fractional weights).
+struct CsdDigit {
+  int sign = 0;      ///< +1 or -1
+  int position = 0;  ///< power of two
+};
+
+/// A CSD-encoded number.
+struct Csd {
+  std::vector<CsdDigit> digits;  ///< ordered most-significant first
+
+  double to_double() const;
+  std::size_t nonzero_count() const { return digits.size(); }
+  /// Adders needed to multiply by this constant (nonzero digits - 1; a
+  /// single-digit constant is just a shift). Zero costs no hardware.
+  std::size_t adder_cost() const;
+  /// Human-readable form, e.g. "+2^-1 -2^-4 +2^-7".
+  std::string to_string() const;
+};
+
+/// Encode integer `n` into CSD.
+Csd csd_encode_int(std::int64_t n);
+
+/// Encode a real coefficient with `frac_bits` fractional bits: the value is
+/// first rounded to the nearest multiple of 2^-frac_bits, then CSD-recoded.
+Csd csd_encode(double value, int frac_bits);
+
+/// Encode a real coefficient using at most `max_digits` nonzero digits
+/// (greedy best-approximation, equivalent to the Delta-Sigma toolbox
+/// `bquantize`). Positions are confined to >= -frac_bits.
+Csd csd_encode_limited(double value, int frac_bits, std::size_t max_digits);
+
+/// Round-trip check helper: max |csd(v) - v| over a coefficient vector.
+double csd_quantization_error(std::span<const double> coeffs, int frac_bits);
+
+/// Encode a whole tap vector; convenience for filter stages.
+std::vector<Csd> csd_encode_taps(std::span<const double> taps, int frac_bits);
+
+/// Total adder cost of a CSD-encoded tap vector (the number the paper
+/// quotes as "124 adders" for the halfband filter).
+std::size_t total_adder_cost(std::span<const Csd> taps);
+
+/// Verify the canonical property: no two adjacent nonzero digits.
+bool is_canonical(const Csd& c);
+
+}  // namespace dsadc::fx

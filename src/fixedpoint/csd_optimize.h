@@ -1,0 +1,34 @@
+// Minimum-adder CSD allocation for FIR coefficient sets.
+//
+// The paper's halfband search trades CSD digits against stopband
+// attenuation by hand-tuned budgets; this optimizer automates the same
+// trade for any linear-phase FIR: start from the full-precision CSD
+// encoding and greedily drop the digit whose removal hurts the stopband
+// least, until the attenuation target would be violated. Response updates
+// are incremental, so the search is fast even for long filters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/fixedpoint/csd.h"
+
+namespace dsadc::fx {
+
+struct OptimizedCsdTaps {
+  std::vector<Csd> taps;
+  std::vector<double> values;     ///< realized coefficient values
+  std::size_t adders = 0;         ///< total CSD shift-add adders
+  std::size_t digits = 0;         ///< total nonzero digits
+  double stopband_atten_db = 0.0; ///< achieved over [fstop, 0.5]
+};
+
+/// Greedy digit-dropping search: keep the attenuation over [fstop, 0.5]
+/// (relative to the DC gain) at or above `target_atten_db` while removing
+/// as many CSD digits as possible. `frac_bits` sets the starting
+/// precision. `grid` controls the stopband evaluation density.
+OptimizedCsdTaps optimize_csd_taps(std::span<const double> taps, double fstop,
+                                   double target_atten_db, int frac_bits = 20,
+                                   std::size_t grid = 1024);
+
+}  // namespace dsadc::fx

@@ -1,0 +1,126 @@
+#include "src/fixedpoint/fixed.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsadc::fx {
+namespace {
+
+void check_format(const Format& fmt) {
+  if (fmt.width < 1 || fmt.width > 62) {
+    throw std::invalid_argument("Format: width must be in [1, 62]");
+  }
+}
+
+}  // namespace
+
+double Format::lsb() const { return std::ldexp(1.0, -frac); }
+
+std::string Format::to_string() const {
+  std::ostringstream os;
+  os << "Q" << (width - frac - 1) << "." << frac << " (" << width << "b)";
+  return os.str();
+}
+
+std::int64_t wrap_to(std::int64_t raw, const Format& fmt) {
+  check_format(fmt);
+  const std::uint64_t mask = (fmt.width >= 64)
+                                 ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << fmt.width) - 1);
+  std::uint64_t u = static_cast<std::uint64_t>(raw) & mask;
+  // Sign-extend.
+  const std::uint64_t sign_bit = std::uint64_t{1} << (fmt.width - 1);
+  if (u & sign_bit) u |= ~mask;
+  return static_cast<std::int64_t>(u);
+}
+
+std::int64_t saturate_to(std::int64_t raw, const Format& fmt) {
+  check_format(fmt);
+  if (raw > fmt.raw_max()) return fmt.raw_max();
+  if (raw < fmt.raw_min()) return fmt.raw_min();
+  return raw;
+}
+
+std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
+                        Rounding rounding, Overflow overflow) {
+  check_format(fmt);
+  std::int64_t v = raw;
+  const int shift = src_frac - fmt.frac;
+  if (shift > 0) {
+    if (shift >= 63) {
+      v = 0;
+    } else if (rounding == Rounding::kRoundNearest) {
+      const std::int64_t half = std::int64_t{1} << (shift - 1);
+      v = (v + half) >> shift;
+    } else {
+      v >>= shift;  // arithmetic shift: truncation toward -inf
+    }
+  } else if (shift < 0) {
+    if (-shift >= 63) {
+      throw std::invalid_argument("requantize: shift too large");
+    }
+    v <<= -shift;
+  }
+  return overflow == Overflow::kWrap ? wrap_to(v, fmt) : saturate_to(v, fmt);
+}
+
+std::int64_t from_double(double v, const Format& fmt, Overflow overflow) {
+  check_format(fmt);
+  const double scaled = v * std::ldexp(1.0, fmt.frac);
+  const double rounded = std::nearbyint(scaled);
+  if (rounded > 9.1e18 || rounded < -9.1e18) {
+    return overflow == Overflow::kWrap ? 0 : (rounded > 0 ? fmt.raw_max() : fmt.raw_min());
+  }
+  const auto raw = static_cast<std::int64_t>(rounded);
+  return overflow == Overflow::kWrap ? wrap_to(raw, fmt) : saturate_to(raw, fmt);
+}
+
+double to_double(std::int64_t raw, const Format& fmt) {
+  return static_cast<double>(raw) * std::ldexp(1.0, -fmt.frac);
+}
+
+std::vector<double> quantize_vector(std::span<const double> v,
+                                    const Format& fmt) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = to_double(from_double(v[i], fmt), fmt);
+  }
+  return out;
+}
+
+Format add_format(const Format& a, const Format& b) {
+  const int frac = std::max(a.frac, b.frac);
+  const int ints = std::max(a.integer_bits(), b.integer_bits()) + 1;
+  return Format{ints + frac, frac};
+}
+
+Value operator+(const Value& a, const Value& b) {
+  const Format fmt = add_format(a.fmt_, b.fmt_);
+  const std::int64_t ar = a.raw_ << (fmt.frac - a.fmt_.frac);
+  const std::int64_t br = b.raw_ << (fmt.frac - b.fmt_.frac);
+  return Value(ar + br, fmt);
+}
+
+Value operator-(const Value& a, const Value& b) {
+  const Format fmt = add_format(a.fmt_, b.fmt_);
+  const std::int64_t ar = a.raw_ << (fmt.frac - a.fmt_.frac);
+  const std::int64_t br = b.raw_ << (fmt.frac - b.fmt_.frac);
+  return Value(ar - br, fmt);
+}
+
+Value operator*(const Value& a, const Value& b) {
+  const Format fmt{a.fmt_.width + b.fmt_.width, a.fmt_.frac + b.fmt_.frac};
+  if (fmt.width > 62) {
+    throw std::invalid_argument("Value::operator*: product exceeds 62 bits");
+  }
+  return Value(a.raw_ * b.raw_, fmt);
+}
+
+Value Value::asr(int n) const { return Value(raw_ >> n, fmt_); }
+
+Value Value::cast(const Format& fmt, Rounding r, Overflow o) const {
+  return Value(requantize(raw_, fmt_.frac, fmt, r, o), fmt);
+}
+
+}  // namespace dsadc::fx

@@ -1,0 +1,103 @@
+// Two's-complement fixed-point arithmetic.
+//
+// Every datapath in the decimation filter (CIC accumulators, HBF adder
+// network, scaler, equalizer) is modeled bit-true with these types. Values
+// are carried as raw int64 integers tagged with a format; the CIC stages
+// rely on the *wraparound* behaviour of two's complement (Hogenauer's
+// structure is only correct with modular arithmetic), while FIR stages use
+// saturation to model the paper's overflow-protected adders.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsadc::fx {
+
+enum class Overflow : std::uint8_t {
+  kWrap,      ///< modular two's-complement wraparound (CIC datapath)
+  kSaturate,  ///< clamp to representable range (FIR datapaths)
+};
+
+enum class Rounding : std::uint8_t {
+  kTruncate,      ///< drop LSBs (floor in two's complement)
+  kRoundNearest,  ///< round half up toward +inf
+};
+
+/// A signed fixed-point format: `width` total bits including the sign bit,
+/// `frac` of them fractional. Range is [-2^(width-1), 2^(width-1)-1] in raw
+/// integer units; real value = raw * 2^-frac.
+struct Format {
+  int width = 16;
+  int frac = 0;
+
+  int integer_bits() const { return width - frac; }  // includes sign bit
+  std::int64_t raw_min() const { return -(std::int64_t{1} << (width - 1)); }
+  std::int64_t raw_max() const { return (std::int64_t{1} << (width - 1)) - 1; }
+  double lsb() const;
+  std::string to_string() const;  // e.g. "Q3.12 (16b)"
+
+  bool operator==(const Format&) const = default;
+};
+
+/// Wrap a raw integer into `fmt`'s range (two's-complement modular).
+std::int64_t wrap_to(std::int64_t raw, const Format& fmt);
+
+/// Saturate a raw integer into `fmt`'s range.
+std::int64_t saturate_to(std::int64_t raw, const Format& fmt);
+
+/// Reduce `raw` (interpreted with `src_frac` fractional bits) to `fmt`,
+/// applying rounding on dropped LSBs and the overflow policy on the result.
+std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
+                        Rounding rounding, Overflow overflow);
+
+/// Convert a real number into raw units of `fmt` (round-to-nearest, then
+/// overflow policy).
+std::int64_t from_double(double v, const Format& fmt,
+                         Overflow overflow = Overflow::kSaturate);
+
+/// Interpret raw units of `fmt` as a real number.
+double to_double(std::int64_t raw, const Format& fmt);
+
+/// Quantize a real vector to `fmt` and back to double (coefficient
+/// quantization used by the design flow before CSD encoding).
+std::vector<double> quantize_vector(std::span<const double> v,
+                                    const Format& fmt);
+
+/// A value bundled with its format; convenience for tests and examples.
+class Value {
+ public:
+  Value() = default;
+  Value(std::int64_t raw, Format fmt) : raw_(wrap_to(raw, fmt)), fmt_(fmt) {}
+  static Value from_real(double v, Format fmt) {
+    return Value(from_double(v, fmt), fmt);
+  }
+
+  std::int64_t raw() const { return raw_; }
+  const Format& format() const { return fmt_; }
+  double real() const { return to_double(raw_, fmt_); }
+
+  /// Add with wraparound in the wider of the two formats.
+  friend Value operator+(const Value& a, const Value& b);
+  friend Value operator-(const Value& a, const Value& b);
+  /// Full-precision multiply: result width = wa + wb, frac = fa + fb.
+  friend Value operator*(const Value& a, const Value& b);
+
+  /// Arithmetic shift corresponding to multiply by 2^-n (format preserved,
+  /// truncating).
+  Value asr(int n) const;
+
+  Value cast(const Format& fmt, Rounding r = Rounding::kTruncate,
+             Overflow o = Overflow::kWrap) const;
+
+ private:
+  std::int64_t raw_ = 0;
+  Format fmt_{};
+};
+
+/// Align two formats for addition: result has max integer bits + 1 carry
+/// bit and max fractional bits.
+Format add_format(const Format& a, const Format& b);
+
+}  // namespace dsadc::fx

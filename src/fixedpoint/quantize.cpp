@@ -1,0 +1,37 @@
+#include "src/fixedpoint/quantize.h"
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+
+namespace dsadc::fx {
+
+std::vector<double> quantize_taps(std::span<const double> taps, int frac_bits) {
+  std::vector<double> out(taps.size());
+  const double scale = std::ldexp(1.0, frac_bits);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    out[i] = std::nearbyint(taps[i] * scale) / scale;
+  }
+  return out;
+}
+
+WordLengthResult min_coefficient_bits(std::span<const double> taps,
+                                      double fstop, double target_atten_db,
+                                      int min_bits, int max_bits) {
+  WordLengthResult best;
+  for (int bits = min_bits; bits <= max_bits; ++bits) {
+    std::vector<double> q = quantize_taps(taps, bits);
+    const double atten = dsp::min_attenuation_db(q, fstop, 0.5);
+    best.frac_bits = bits;
+    best.achieved_atten_db = atten;
+    best.taps = std::move(q);
+    if (atten >= target_atten_db) {
+      best.met = true;
+      return best;
+    }
+  }
+  best.met = false;
+  return best;
+}
+
+}  // namespace dsadc::fx

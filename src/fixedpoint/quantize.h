@@ -1,0 +1,35 @@
+// Coefficient word-length selection.
+//
+// The paper picks 24-bit halfband coefficients so aliased quantization
+// noise sits 60 dB below the signal noise floor (Section V). This module
+// automates that choice: search the smallest coefficient word length whose
+// quantized filter still meets a stopband-attenuation target.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::fx {
+
+/// Result of a word-length search.
+struct WordLengthResult {
+  int frac_bits = 0;               ///< chosen fractional bits
+  double achieved_atten_db = 0.0;  ///< stopband attenuation at that choice
+  std::vector<double> taps;        ///< quantized taps
+  bool met = false;                ///< whether the target was achievable
+};
+
+/// Find the smallest `frac_bits` in [min_bits, max_bits] such that the
+/// quantized taps achieve at least `target_atten_db` of stopband
+/// attenuation over [fstop, 0.5] (cycles/sample).
+WordLengthResult min_coefficient_bits(std::span<const double> taps,
+                                      double fstop, double target_atten_db,
+                                      int min_bits = 8, int max_bits = 32);
+
+/// Quantize taps to `frac_bits` fractional bits (round-to-nearest).
+std::vector<double> quantize_taps(std::span<const double> taps, int frac_bits);
+
+}  // namespace dsadc::fx

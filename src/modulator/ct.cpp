@@ -1,0 +1,168 @@
+#include "src/modulator/ct.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dsp/linalg.h"
+
+namespace dsadc::mod {
+namespace {
+
+/// CT CIFF state derivative in normalized time (one clock period = 1).
+/// Mirrors the DT chain: first integrator driven, resonator tails.
+void ct_derivative(int order, const std::vector<double>& g,
+                   const std::vector<double>& x, double drive,
+                   std::vector<double>& dx) {
+  const bool odd = (order % 2) == 1;
+  dx.assign(static_cast<std::size_t>(order), 0.0);
+  dx[0] = drive;
+  for (int i = 1; i < order; ++i) dx[i] = x[static_cast<std::size_t>(i - 1)];
+  for (int j = 0; j < order / 2; ++j) {
+    const int head = odd ? 1 + 2 * j : 2 * j;
+    dx[static_cast<std::size_t>(head)] -=
+        g[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(head + 1)];
+  }
+}
+
+/// One RK4 step of size h with constant drive.
+void rk4_step(int order, const std::vector<double>& g, std::vector<double>& x,
+              double drive, double h) {
+  static thread_local std::vector<double> k1, k2, k3, k4, tmp;
+  ct_derivative(order, g, x, drive, k1);
+  tmp.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) tmp[i] = x[i] + 0.5 * h * k1[i];
+  ct_derivative(order, g, tmp, drive, k2);
+  for (std::size_t i = 0; i < x.size(); ++i) tmp[i] = x[i] + 0.5 * h * k2[i];
+  ct_derivative(order, g, tmp, drive, k3);
+  for (std::size_t i = 0; i < x.size(); ++i) tmp[i] = x[i] + h * k3[i];
+  ct_derivative(order, g, tmp, drive, k4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+/// Sampled state trajectories under a one-period NRZ drive pulse.
+std::vector<std::vector<double>> ct_state_pulse_responses(
+    int order, const std::vector<double>& g, std::size_t n, int substeps) {
+  std::vector<std::vector<double>> resp(
+      static_cast<std::size_t>(order), std::vector<double>(n, 0.0));
+  std::vector<double> x(static_cast<std::size_t>(order), 0.0);
+  const double h = 1.0 / static_cast<double>(substeps);
+  for (std::size_t sample = 0; sample < n; ++sample) {
+    for (int i = 0; i < order; ++i) {
+      resp[static_cast<std::size_t>(i)][sample] = x[static_cast<std::size_t>(i)];
+    }
+    const double drive = (sample == 0) ? 1.0 : 0.0;
+    for (int s = 0; s < substeps; ++s) rk4_step(order, g, x, drive, h);
+  }
+  return resp;
+}
+
+}  // namespace
+
+CtCiffCoeffs map_ciff_to_ct(const CiffCoeffs& dt, int substeps,
+                            std::size_t match_length) {
+  const int order = dt.order();
+  CtCiffCoeffs ct;
+  ct.k.assign(static_cast<std::size_t>(order), 0.0);
+  ct.g_ct.assign(dt.g.size(), 0.0);
+  ct.k0 = dt.b0;
+
+  // Resonators: the CT pair oscillates at sqrt(g_ct) rad per clock, so the
+  // sampled poles sit at e^{+-j sqrt(g_ct)}; the DT design wants angle
+  // theta with g_dt = 2 - 2 cos(theta)  =>  g_ct = theta^2.
+  for (std::size_t j = 0; j < dt.g.size(); ++j) {
+    const double theta = std::acos(1.0 - dt.g[j] / 2.0);
+    ct.g_ct[j] = theta * theta;
+  }
+
+  // Feed-forward gains: fit the sampled CT pulse response to the DT loop
+  // impulse response (numerical impulse invariance for an NRZ DAC). The
+  // pole sets coincide by construction, so the fit is essentially exact.
+  const std::vector<double> target =
+      ciff_loop_impulse_response(dt, match_length);
+  const auto basis =
+      ct_state_pulse_responses(order, ct.g_ct, match_length, substeps);
+  dsp::Matrix m(match_length, static_cast<std::size_t>(order));
+  std::vector<double> rhs(match_length);
+  for (std::size_t nIdx = 0; nIdx < match_length; ++nIdx) {
+    for (int i = 0; i < order; ++i) {
+      m.at(nIdx, static_cast<std::size_t>(i)) =
+          basis[static_cast<std::size_t>(i)][nIdx];
+    }
+    rhs[nIdx] = target[nIdx];
+  }
+  ct.k = dsp::solve_least_squares(m, rhs);
+  return ct;
+}
+
+std::vector<double> ct_loop_pulse_response(const CtCiffCoeffs& ct,
+                                           std::size_t n, int substeps) {
+  const auto basis =
+      ct_state_pulse_responses(ct.order(), ct.g_ct, n, substeps);
+  std::vector<double> out(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (int i = 0; i < ct.order(); ++i) {
+      out[s] += ct.k[static_cast<std::size_t>(i)] *
+                basis[static_cast<std::size_t>(i)][s];
+    }
+  }
+  return out;
+}
+
+CtCiffModulator::CtCiffModulator(CtCiffCoeffs coeffs, int quantizer_bits,
+                                 int substeps)
+    : coeffs_(std::move(coeffs)),
+      quantizer_(quantizer_bits),
+      substeps_(substeps),
+      state_(static_cast<std::size_t>(coeffs_.order()), 0.0) {
+  if (substeps < 4) {
+    throw std::invalid_argument("CtCiffModulator: substeps must be >= 4");
+  }
+}
+
+void CtCiffModulator::reset() {
+  std::fill(state_.begin(), state_.end(), 0.0);
+}
+
+void CtCiffModulator::derivative(const std::vector<double>& x, double drive,
+                                 std::vector<double>& dx) const {
+  ct_derivative(coeffs_.order(), coeffs_.g_ct, x, drive, dx);
+}
+
+DsmOutput CtCiffModulator::run(std::span<const double> u,
+                               double blowup_bound) {
+  DsmOutput out;
+  out.codes.reserve(u.size());
+  out.levels.reserve(u.size());
+  const double h = 1.0 / static_cast<double>(substeps_);
+  for (double uk : u) {
+    // Sample the quantizer at the clock edge.
+    double y = coeffs_.k0 * uk;
+    for (int i = 0; i < coeffs_.order(); ++i) {
+      y += coeffs_.k[static_cast<std::size_t>(i)] *
+           state_[static_cast<std::size_t>(i)];
+    }
+    const std::int32_t code = quantizer_.code_of(y);
+    const double v = quantizer_.level_of(code);
+    out.codes.push_back(code);
+    out.levels.push_back(v);
+    out.max_quantizer_input = std::max(out.max_quantizer_input, std::abs(y));
+
+    // Integrate over one period with the NRZ-held drive u - v.
+    const double drive = uk - v;
+    for (int s = 0; s < substeps_; ++s) {
+      rk4_step(coeffs_.order(), coeffs_.g_ct, state_, drive, h);
+    }
+    for (double xs : state_) {
+      out.max_state = std::max(out.max_state, std::abs(xs));
+    }
+    if (out.max_state > blowup_bound) {
+      out.stable = false;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dsadc::mod

@@ -1,0 +1,69 @@
+// Continuous-time CIFF loop-filter mapping (Figs. 2-3 of the paper).
+//
+// The paper's modulator is a CT Active-RC feed-forward filter with
+// coefficients k0..k5 (= Rf/R00 .. Rf/R55) and two resonators. This module
+// maps the discrete-time CIFF realization onto that CT structure by
+// numerical impulse invariance: the CT loop filter's NRZ-DAC pulse
+// response, sampled at the clock, is fitted to the DT loop's impulse
+// response, so the CT modulator realizes the same NTF at the sampling
+// instants. A Runge-Kutta simulator validates the mapping end to end.
+#pragma once
+
+#include <vector>
+
+#include "src/modulator/dsm.h"
+#include "src/modulator/realize.h"
+
+namespace dsadc::mod {
+
+/// CT CIFF coefficients, normalized to integrators of unity-gain frequency
+/// fs (i.e. dx/dt = fs * input). In the Active-RC view of Fig. 3,
+/// k[i] = Rf/Rii picks the feed-forward summing resistors and
+/// g_ct[j] = Rii/Rgj^... sets the resonator cross-coupling.
+struct CtCiffCoeffs {
+  std::vector<double> k;     ///< feed-forward gains, size = order
+  std::vector<double> g_ct;  ///< resonator cross-couplings, floor(order/2)
+  double k0 = 1.0;           ///< direct input feed-in (STF flattening)
+
+  int order() const { return static_cast<int>(k.size()); }
+};
+
+/// Map a DT CIFF realization to CT coefficients by sampled-pulse-response
+/// matching against an NRZ feedback DAC. `substeps` is the Runge-Kutta
+/// resolution per clock period; `match_length` the number of samples
+/// fitted.
+CtCiffCoeffs map_ciff_to_ct(const CiffCoeffs& dt, int substeps = 32,
+                            std::size_t match_length = 48);
+
+/// Sampled NRZ pulse response of the CT loop filter (the response at y to
+/// a one-period DAC pulse), length n. Used by the mapping and by tests.
+std::vector<double> ct_loop_pulse_response(const CtCiffCoeffs& ct,
+                                           std::size_t n, int substeps = 32);
+
+/// Continuous-time CIFF modulator simulation: Runge-Kutta integration of
+/// the Active-RC states between clock edges, mid-tread quantizer sampled
+/// at the clock, NRZ feedback DAC (the paper's configuration).
+class CtCiffModulator {
+ public:
+  CtCiffModulator(CtCiffCoeffs coeffs, int quantizer_bits, int substeps = 32);
+
+  /// Run on input samples (one per clock; the CT input is held NRZ-style).
+  DsmOutput run(std::span<const double> u, double blowup_bound = 25.0);
+
+  void reset();
+
+  const CtCiffCoeffs& coeffs() const { return coeffs_; }
+
+ private:
+  /// State derivative of the CT loop filter (normalized time: one clock
+  /// period = 1).
+  void derivative(const std::vector<double>& x, double drive,
+                  std::vector<double>& dx) const;
+
+  CtCiffCoeffs coeffs_;
+  Quantizer quantizer_;
+  int substeps_;
+  std::vector<double> state_;
+};
+
+}  // namespace dsadc::mod

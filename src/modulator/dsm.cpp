@@ -1,0 +1,152 @@
+#include "src/modulator/dsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/dsp/polynomial.h"
+
+namespace dsadc::mod {
+
+Quantizer::Quantizer(int bits) : bits_(bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("Quantizer: bits must be in [2, 16]");
+  }
+  cmax_ = (std::int32_t{1} << (bits - 1)) - 1;
+  cmin_ = -cmax_;
+  step_ = 1.0 / static_cast<double>(cmax_);
+}
+
+std::int32_t Quantizer::code_of(double y) const {
+  // Mid-tread: level = c * step, thresholds halfway between levels.
+  const double scaled = std::nearbyint(y / step_);
+  if (scaled < static_cast<double>(cmin_)) return cmin_;
+  if (scaled > static_cast<double>(cmax_)) return cmax_;
+  return static_cast<std::int32_t>(scaled);
+}
+
+double Quantizer::level_of(std::int32_t code) const {
+  return static_cast<double>(code) * step_;
+}
+
+CiffModulator::CiffModulator(CiffCoeffs coeffs, int quantizer_bits)
+    : coeffs_(std::move(coeffs)),
+      quantizer_(quantizer_bits),
+      state_(static_cast<std::size_t>(coeffs_.order()), 0.0) {}
+
+void CiffModulator::reset() { std::fill(state_.begin(), state_.end(), 0.0); }
+
+DsmOutput CiffModulator::run(std::span<const double> u, double blowup_bound) {
+  const int n = coeffs_.order();
+  const CiffStateSpace ss = ciff_state_space(coeffs_);
+  DsmOutput out;
+  out.codes.reserve(u.size());
+  out.levels.reserve(u.size());
+  std::vector<double> next(n, 0.0);
+  for (double uk : u) {
+    // Quantizer input from current states + direct feed-in.
+    double y = coeffs_.b0 * uk;
+    for (int i = 0; i < n; ++i) y += coeffs_.a[i] * state_[i];
+    const std::int32_t code = quantizer_.code_of(y);
+    const double v = quantizer_.level_of(code);
+    out.codes.push_back(code);
+    out.levels.push_back(v);
+    out.max_quantizer_input = std::max(out.max_quantizer_input, std::abs(y));
+
+    // State update x' = A x + B (u - v).
+    const double drive = uk - v;
+    for (int i = 0; i < n; ++i) {
+      double acc = ss.b[i] * drive;
+      for (int j = 0; j < n; ++j) acc += ss.a[i][j] * state_[j];
+      next[i] = acc;
+      out.max_state = std::max(out.max_state, std::abs(acc));
+    }
+    state_.swap(next);
+    if (out.max_state > blowup_bound) {
+      out.stable = false;
+      break;
+    }
+  }
+  return out;
+}
+
+DsmOutput simulate_error_feedback(const Ntf& ntf, std::span<const double> u,
+                                  int quantizer_bits) {
+  const Quantizer q(quantizer_bits);
+  // h = impulse response of (NTF - 1); h[0] == 0 because NTF(inf) = 1.
+  const std::vector<double> num = ntf.numerator();
+  const std::vector<double> den = ntf.denominator();
+  std::vector<double> diff(std::max(num.size(), den.size()), 0.0);
+  for (std::size_t i = 0; i < num.size(); ++i) diff[i] += num[i];
+  for (std::size_t i = 0; i < den.size(); ++i) diff[i] -= den[i];
+  // (NTF - 1) = (N - D)/D: poles inside the unit circle, so a truncated
+  // impulse response converges; 256 taps is far below double precision
+  // error for OBG ~ 3 pole radii.
+  const std::vector<double> h = dsp::rational_impulse_response(diff, den, 256);
+
+  DsmOutput out;
+  out.codes.reserve(u.size());
+  out.levels.reserve(u.size());
+  std::vector<double> e_hist(h.size(), 0.0);  // circular buffer of errors
+  std::size_t pos = 0;
+  for (double uk : u) {
+    double shaped = 0.0;
+    for (std::size_t k = 1; k < h.size(); ++k) {
+      if (h[k] == 0.0) continue;
+      shaped += h[k] * e_hist[(pos + h.size() - k) % h.size()];
+    }
+    const double y = uk + shaped;
+    const std::int32_t code = q.code_of(y);
+    const double v = q.level_of(code);
+    out.codes.push_back(code);
+    out.levels.push_back(v);
+    out.max_quantizer_input = std::max(out.max_quantizer_input, std::abs(y));
+    e_hist[pos] = v - y;  // quantization error
+    pos = (pos + 1) % h.size();
+  }
+  return out;
+}
+
+std::vector<double> coherent_sine(std::size_t n, double freq_hz, double fs_hz,
+                                  double amplitude, double* actual_freq_hz) {
+  // Snap to an odd number of cycles for coherent sampling.
+  double cycles = std::nearbyint(freq_hz / fs_hz * static_cast<double>(n));
+  if (cycles < 1.0) cycles = 1.0;
+  if (std::fmod(cycles, 2.0) == 0.0) cycles += 1.0;
+  const double f = cycles / static_cast<double>(n);
+  if (actual_freq_hz != nullptr) *actual_freq_hz = f * fs_hz;
+  std::vector<double> x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    x[k] = amplitude * std::sin(2.0 * std::numbers::pi * f * static_cast<double>(k));
+  }
+  return x;
+}
+
+double find_msa(const CiffCoeffs& coeffs, int quantizer_bits, double osr,
+                std::size_t run_length, double tolerance) {
+  const double f_test = 0.25 / osr;  // half the band edge, in cycles/sample
+  const auto stable_at = [&](double amp) {
+    CiffModulator m(coeffs, quantizer_bits);
+    std::vector<double> u(run_length);
+    for (std::size_t k = 0; k < run_length; ++k) {
+      u[k] = amp * std::sin(2.0 * std::numbers::pi * f_test * static_cast<double>(k));
+    }
+    const DsmOutput out = m.run(u);
+    return out.stable;
+  };
+  double lo = 0.0, hi = 1.0;
+  if (!stable_at(0.1)) return 0.0;  // modulator itself unstable
+  lo = 0.1;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (stable_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dsadc::mod

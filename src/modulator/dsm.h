@@ -1,0 +1,89 @@
+// Bit-true delta-sigma modulator simulation.
+//
+// Two simulators are provided:
+//  * `CiffModulator` - the structural simulation of the paper's 5th-order
+//    feed-forward loop (discrete-time equivalent of the Active-RC filter of
+//    Fig. 3) with a multibit mid-rise quantizer.
+//  * `simulate_error_feedback` - an NTF-exact behavioural simulator for
+//    arbitrary NTFs; useful for cross-checking the structural one.
+// Both emit the integer quantizer codes the decimation filter consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+#include "src/modulator/spec.h"
+
+namespace dsadc::mod {
+
+/// Mid-tread multibit quantizer: 2^bits - 1 levels spanning [-1, +1]
+/// symmetrically (code c in [-(2^(bits-1)-1), 2^(bits-1)-1], level =
+/// c / (2^(bits-1)-1)). Mid-tread keeps the idle output at exactly zero,
+/// which preserves full scaling headroom in the decimator.
+class Quantizer {
+ public:
+  explicit Quantizer(int bits);
+
+  int bits() const { return bits_; }
+  double step() const { return step_; }
+
+  /// Quantize a real value; returns the signed integer code.
+  std::int32_t code_of(double y) const;
+  /// Reconstruction level for a code.
+  double level_of(std::int32_t code) const;
+
+ private:
+  int bits_;
+  std::int32_t cmin_, cmax_;
+  double step_;  ///< distance between adjacent levels
+};
+
+/// Result of a modulator run.
+struct DsmOutput {
+  std::vector<std::int32_t> codes;  ///< quantizer codes (decimator input)
+  std::vector<double> levels;       ///< same, as reconstruction levels
+  bool stable = true;               ///< no state exceeded the blow-up bound
+  double max_state = 0.0;           ///< largest |x_i| observed
+  double max_quantizer_input = 0.0;
+};
+
+/// Structural CIFF modulator simulation.
+class CiffModulator {
+ public:
+  CiffModulator(CiffCoeffs coeffs, int quantizer_bits);
+
+  /// Run on an input sequence (values in fractions of full scale).
+  /// `blowup_bound` declares instability when any state magnitude passes it.
+  DsmOutput run(std::span<const double> u, double blowup_bound = 25.0);
+
+  /// Reset internal states to zero.
+  void reset();
+
+  const CiffCoeffs& coeffs() const { return coeffs_; }
+  const Quantizer& quantizer() const { return quantizer_; }
+
+ private:
+  CiffCoeffs coeffs_;
+  Quantizer quantizer_;
+  std::vector<double> state_;
+};
+
+/// NTF-exact behavioural simulation: v = Q(u - (NTF-1) * e), which yields
+/// V(z) = U(z) + NTF(z) E(z) exactly for the linearized model.
+DsmOutput simulate_error_feedback(const Ntf& ntf, std::span<const double> u,
+                                  int quantizer_bits);
+
+/// Generate a coherently-sampled sine: frequency snapped to an integer
+/// number of cycles over `n` samples, closest to `freq_hz` at `fs_hz`.
+std::vector<double> coherent_sine(std::size_t n, double freq_hz, double fs_hz,
+                                  double amplitude, double* actual_freq_hz = nullptr);
+
+/// Binary-search the maximum stable amplitude of a CIFF modulator using a
+/// low-frequency test tone (`test_freq_fraction` of the band edge).
+double find_msa(const CiffCoeffs& coeffs, int quantizer_bits, double osr,
+                std::size_t run_length = 1 << 14, double tolerance = 0.005);
+
+}  // namespace dsadc::mod

@@ -1,0 +1,57 @@
+// Noise-transfer-function synthesis for delta-sigma modulators.
+//
+// Equivalent of the Delta-Sigma Toolbox's `synthesizeNTF`: place NTF zeros
+// at the in-band positions that minimize integrated in-band noise (the
+// Legendre-polynomial roots scaled into the signal band), and choose
+// maximally-flat (Butterworth) high-pass poles whose radius is tuned by
+// bisection so the out-of-band gain ||NTF||_inf equals the requested OBG.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "src/modulator/spec.h"
+
+namespace dsadc::mod {
+
+/// A z-domain NTF given by unit-circle zeros and in-disc poles. Both the
+/// numerator and denominator are monic in z^-1 so NTF(z -> inf) = 1
+/// (realizability).
+struct Ntf {
+  std::vector<std::complex<double>> zeros;
+  std::vector<std::complex<double>> poles;
+
+  /// Numerator / denominator polynomials in ascending powers of z^-1.
+  std::vector<double> numerator() const;
+  std::vector<double> denominator() const;
+
+  /// |NTF(e^{j 2 pi f})| for f in cycles/sample.
+  double magnitude_at(double f) const;
+  std::complex<double> response_at(double f) const;
+
+  /// max |NTF| over the unit circle (sampled + golden-section refined).
+  double infinity_norm() const;
+
+  /// In-band noise power gain: (2/ 1) * integral_0^{fb} |NTF|^2 df with
+  /// fb = 0.5/osr (one-sided, in cycles/sample).
+  double inband_noise_power_gain(double osr, std::size_t grid = 4096) const;
+};
+
+/// Roots of the Legendre polynomial P_n on [-1, 1] (Newton iteration).
+/// These are the optimal relative NTF zero positions (Schreier, Table 4.1
+/// of "Understanding Delta-Sigma Data Converters").
+std::vector<double> legendre_roots(int n);
+
+/// Synthesize an NTF of the given order for the given OSR and out-of-band
+/// gain. `optimize_zeros` spreads zeros across the band (Legendre
+/// positions); otherwise all zeros sit at DC.
+Ntf synthesize_ntf(int order, double osr, double obg,
+                   bool optimize_zeros = true);
+
+/// Predicted peak SQNR in dB for a multibit modulator with this NTF:
+/// signal amplitude `amp` (fraction of full scale) against quantization
+/// noise with step 2/(2^bits - 1) shaped by the NTF and integrated in band.
+double predict_sqnr_db(const Ntf& ntf, double osr, int quantizer_bits,
+                       double amp);
+
+}  // namespace dsadc::mod

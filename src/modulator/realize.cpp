@@ -1,0 +1,269 @@
+#include "src/modulator/realize.h"
+
+#include "src/modulator/dsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "src/dsp/freqz.h"
+#include "src/dsp/linalg.h"
+#include "src/dsp/polynomial.h"
+
+namespace dsadc::mod {
+namespace {
+
+/// Simulate the CIFF state chain driven at the x1 input by an impulse and
+/// record each state's trajectory. `g` resonator feedbacks applied; the
+/// a-coefficients play no role in the state dynamics.
+std::vector<std::vector<double>> state_impulse_responses(
+    int order, const std::vector<double>& g, std::size_t n) {
+  const CiffStateSpace ss = ciff_state_space(order, g);
+  std::vector<std::vector<double>> resp(order, std::vector<double>(n, 0.0));
+  std::vector<double> x(order, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int i = 0; i < order; ++i) resp[i][k] = x[i];
+    const double drive = (k == 0) ? 1.0 : 0.0;
+    std::vector<double> nx(order, 0.0);
+    for (int i = 0; i < order; ++i) {
+      double acc = ss.b[i] * drive;
+      for (int j = 0; j < order; ++j) acc += ss.a[i][j] * x[j];
+      nx[i] = acc;
+    }
+    x = std::move(nx);
+  }
+  return resp;
+}
+
+}  // namespace
+
+CiffStateSpace ciff_state_space(int order, const std::vector<double>& g) {
+  CiffCoeffs c;
+  c.a.assign(static_cast<std::size_t>(order), 0.0);
+  c.g = g;
+  return ciff_state_space(c);
+}
+
+CiffStateSpace ciff_state_space(const CiffCoeffs& coeffs) {
+  const int order = coeffs.order();
+  const auto& g = coeffs.g;
+  const bool odd = (order % 2) == 1;
+  CiffStateSpace ss;
+  ss.a.assign(order, std::vector<double>(order, 0.0));
+  ss.b.assign(order, 0.0);
+  // Delaying integrators along the chain with per-stage gains:
+  // x_i' = x_i + c_i * (previous output).
+  for (int i = 0; i < order; ++i) ss.a[i][i] = 1.0;
+  for (int i = 1; i < order; ++i) ss.a[i][i - 1] = coeffs.stage_gain(i);
+  ss.b[0] = coeffs.stage_gain(0);
+  // Resonators: head h (delaying) gets -g * x_tail; tail (non-delaying)
+  // integrates the *updated* head with its own stage gain:
+  // x_t' = x_t + c_t * x_h'.
+  for (int j = 0; j < order / 2; ++j) {
+    const int h = odd ? 1 + 2 * j : 2 * j;
+    const int t = h + 1;
+    const double ct = coeffs.stage_gain(t);
+    ss.a[h][t] -= g[j];
+    for (int cc = 0; cc < order; ++cc) ss.a[t][cc] = 0.0;
+    ss.a[t][t] = 1.0 - ct * g[j];
+    ss.a[t][h] = ct;
+    if (h > 0) {
+      ss.a[t][h - 1] = ct * coeffs.stage_gain(h);
+    } else {
+      ss.b[t] = ct * coeffs.stage_gain(h);  // even order: driven directly
+    }
+  }
+  return ss;
+}
+
+CiffScaling scale_ciff_states(const CiffCoeffs& c, int quantizer_bits,
+                              double amplitude, double target_swing,
+                              std::size_t run_length) {
+  const int n = c.order();
+  const auto measure = [&](const CiffCoeffs& coeffs) {
+    const CiffStateSpace ss = ciff_state_space(coeffs);
+    // Inline quantized simulation with per-state swing tracking (the
+    // modulator class only reports the overall maximum).
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> swing(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> nx(static_cast<std::size_t>(n), 0.0);
+    const double two_pi_f = 2.0 * std::numbers::pi * 0.25 / 16.0;
+    const Quantizer q(quantizer_bits);
+    for (std::size_t k = 0; k < run_length; ++k) {
+      const double uk = amplitude * std::sin(two_pi_f * static_cast<double>(k));
+      double y = coeffs.b0 * uk;
+      for (int i = 0; i < n; ++i) y += coeffs.a[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+      const double v = q.level_of(q.code_of(y));
+      const double drive = uk - v;
+      for (int i = 0; i < n; ++i) {
+        double acc = ss.b[static_cast<std::size_t>(i)] * drive;
+        for (int j = 0; j < n; ++j) acc += ss.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+        nx[static_cast<std::size_t>(i)] = acc;
+        swing[static_cast<std::size_t>(i)] =
+            std::max(swing[static_cast<std::size_t>(i)], std::abs(acc));
+      }
+      x.swap(nx);
+    }
+    return swing;
+  };
+
+  CiffScaling out;
+  out.swings_before = measure(c);
+
+  // Diagonal transform xhat_i = k_i x_i with k_i = target / swing_i.
+  std::vector<double> k(static_cast<std::size_t>(n), 1.0);
+  for (int i = 0; i < n; ++i) {
+    const double s = out.swings_before[static_cast<std::size_t>(i)];
+    k[static_cast<std::size_t>(i)] = s > 0.0 ? target_swing / s : 1.0;
+  }
+  out.state_gains = k;
+  CiffCoeffs scaled = c;
+  if (scaled.c.empty()) scaled.c.assign(static_cast<std::size_t>(n), 1.0);
+  scaled.c[0] = c.stage_gain(0) * k[0];
+  for (int i = 1; i < n; ++i) {
+    scaled.c[static_cast<std::size_t>(i)] =
+        c.stage_gain(i) * k[static_cast<std::size_t>(i)] /
+        k[static_cast<std::size_t>(i - 1)];
+  }
+  const bool odd = (n % 2) == 1;
+  for (int j = 0; j < n / 2; ++j) {
+    const int h = odd ? 1 + 2 * j : 2 * j;
+    const int t = h + 1;
+    scaled.g[static_cast<std::size_t>(j)] =
+        c.g[static_cast<std::size_t>(j)] * k[static_cast<std::size_t>(h)] /
+        k[static_cast<std::size_t>(t)];
+  }
+  for (int i = 0; i < n; ++i) {
+    scaled.a[static_cast<std::size_t>(i)] =
+        c.a[static_cast<std::size_t>(i)] / k[static_cast<std::size_t>(i)];
+  }
+  out.coeffs = scaled;
+  out.swings_after = measure(scaled);
+  return out;
+}
+
+CiffCoeffs realize_ciff(const Ntf& ntf, std::size_t match_length) {
+  const int order = static_cast<int>(ntf.zeros.size());
+  if (order < 1) throw std::invalid_argument("realize_ciff: empty NTF");
+  if (ntf.poles.size() != ntf.zeros.size()) {
+    throw std::invalid_argument("realize_ciff: NTF must have equal pole/zero counts");
+  }
+  CiffCoeffs c;
+  c.a.assign(order, 0.0);
+  c.g.assign(order / 2, 0.0);
+  c.b0 = 1.0;
+
+  // Resonator feedbacks from the NTF zero angles: a delaying-integrator
+  // pair with feedback g has characteristic z^2 - (2-g) z + 1, i.e. unit-
+  // circle poles at angle theta with g = 2 - 2 cos(theta).
+  std::vector<double> angles;
+  for (const auto& z : ntf.zeros) {
+    const double th = std::abs(std::arg(z));
+    if (th > 1e-12) angles.push_back(th);
+  }
+  std::sort(angles.begin(), angles.end());
+  // Each conjugate pair contributes the angle twice.
+  const int nres = order / 2;
+  for (int j = 0; j < nres; ++j) {
+    const double th = angles.at(static_cast<std::size_t>(2 * j));
+    c.g[j] = 2.0 - 2.0 * std::cos(th);
+  }
+
+  // Desired open-loop impulse response: P(z) = 1/NTF - 1 = (D - N)/N.
+  const std::vector<double> num_n = ntf.numerator();
+  const std::vector<double> num_d = ntf.denominator();
+  std::vector<double> p_num(std::max(num_n.size(), num_d.size()), 0.0);
+  for (std::size_t i = 0; i < num_d.size(); ++i) p_num[i] += num_d[i];
+  for (std::size_t i = 0; i < num_n.size(); ++i) p_num[i] -= num_n[i];
+  const std::vector<double> p_ir =
+      dsp::rational_impulse_response(p_num, num_n, match_length);
+
+  // Basis: state responses to the x1-input impulse. y = sum a_i x_i, so
+  // P's impulse response is sum_i a_i * resp_i. Solve least squares.
+  const auto basis = state_impulse_responses(order, c.g, match_length);
+  dsp::Matrix m(match_length, order);
+  std::vector<double> rhs(match_length);
+  for (std::size_t k = 0; k < match_length; ++k) {
+    for (int i = 0; i < order; ++i) m.at(k, i) = basis[i][k];
+    rhs[k] = p_ir[k];
+  }
+  c.a = dsp::solve_least_squares(m, rhs);
+  return c;
+}
+
+std::vector<double> ciff_loop_impulse_response(const CiffCoeffs& c,
+                                               std::size_t n) {
+  // Basis trajectories under the coefficients' own state space (per-stage
+  // gains included, so scaled realizations evaluate correctly).
+  const CiffStateSpace ss = ciff_state_space(c);
+  std::vector<std::vector<double>> basis(
+      static_cast<std::size_t>(c.order()), std::vector<double>(n, 0.0));
+  {
+    std::vector<double> x(static_cast<std::size_t>(c.order()), 0.0);
+    std::vector<double> nx(x.size(), 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (int i = 0; i < c.order(); ++i) basis[static_cast<std::size_t>(i)][k] = x[static_cast<std::size_t>(i)];
+      const double drive = (k == 0) ? 1.0 : 0.0;
+      for (int i = 0; i < c.order(); ++i) {
+        double acc = ss.b[static_cast<std::size_t>(i)] * drive;
+        for (int j = 0; j < c.order(); ++j) {
+          acc += ss.a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+        }
+        nx[static_cast<std::size_t>(i)] = acc;
+      }
+      x.swap(nx);
+    }
+  }
+  std::vector<double> out(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (int i = 0; i < c.order(); ++i) out[k] += c.a[i] * basis[i][k];
+  }
+  return out;
+}
+
+double ciff_ntf_magnitude(const CiffCoeffs& c, double f, std::size_t) {
+  // Exact evaluation from the state-space form x' = A x + B d, y = a^T x:
+  // P(z) = a^T (zI - A)^{-1} B. P has unit-circle poles (integrators), so a
+  // truncated-impulse-response evaluation would not converge.
+  const int n = c.order();
+  const CiffStateSpace ss = ciff_state_space(c);
+  const double w = 2.0 * std::numbers::pi * f;
+  const std::complex<double> z(std::cos(w), std::sin(w));
+  // Solve (zI - A) x = B by complex Gaussian elimination.
+  std::vector<std::vector<std::complex<double>>> m(
+      n, std::vector<std::complex<double>>(n));
+  std::vector<std::complex<double>> rhs(n, {0.0, 0.0});
+  for (int r = 0; r < n; ++r) rhs[r] = ss.b[r];
+  for (int r = 0; r < n; ++r) {
+    for (int cidx = 0; cidx < n; ++cidx) {
+      m[r][cidx] =
+          (r == cidx ? z : std::complex<double>{0.0, 0.0}) - ss.a[r][cidx];
+    }
+  }
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[piv][col])) piv = r;
+    }
+    std::swap(m[piv], m[col]);
+    std::swap(rhs[piv], rhs[col]);
+    for (int r = col + 1; r < n; ++r) {
+      const std::complex<double> factor = m[r][col] / m[col][col];
+      for (int cc = col; cc < n; ++cc) m[r][cc] -= factor * m[col][cc];
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  std::vector<std::complex<double>> x(n);
+  for (int i = n - 1; i >= 0; --i) {
+    std::complex<double> acc = rhs[i];
+    for (int cc = i + 1; cc < n; ++cc) acc -= m[i][cc] * x[cc];
+    x[i] = acc / m[i][i];
+  }
+  std::complex<double> p(0.0, 0.0);
+  for (int i = 0; i < n; ++i) p += c.a[i] * x[i];
+  return std::abs(1.0 / (1.0 + p));
+}
+
+}  // namespace dsadc::mod

@@ -1,0 +1,90 @@
+// CIFF (cascade-of-integrators, feed-forward) realization of an NTF.
+//
+// The paper's modulator (Fig. 2/3) is a 5th-order feed-forward loop filter
+// with two resonators creating in-band NTF zeros. This module computes the
+// feed-forward gains a_i and resonator feedbacks g_j that realize a given
+// NTF with delaying integrators, the discrete-time equivalent of the
+// Active-RC loop filter (equivalent of the toolbox `realizeNTF` for the
+// 'CIFF' structure).
+#pragma once
+
+#include <vector>
+
+#include "src/modulator/ntf.h"
+
+namespace dsadc::mod {
+
+/// CIFF coefficient set.
+///
+/// State update (order n, delaying integrators x_i):
+///   x_1' = x_1 + (u - v) - [g_0 * x_2 if resonator starts at x_1]
+///   x_i' = x_i + x_{i-1} - [g_j * x_{i+1} if x_i starts resonator j]
+///   y    = sum_i a_i * x_i + b0 * u
+///   v    = Q(y)
+/// For odd order the first integrator is plain (DC zero) and resonators
+/// cover (x2,x3), (x4,x5), ...; for even order they cover (x1,x2), ...
+struct CiffCoeffs {
+  std::vector<double> a;  ///< feed-forward gains, size = order
+  std::vector<double> g;  ///< resonator feedbacks, size = floor(order/2)
+  /// Inter-stage gains (the independent 1/(R_i C_i) products of the
+  /// Active-RC chain in Fig. 3): c[0] drives the first integrator from
+  /// (u - v), c[i] couples x_{i-1} into x_i. Empty = all ones (the
+  /// normalized realization); dynamic-range scaling populates them.
+  std::vector<double> c;
+  double b0 = 1.0;        ///< direct input feed-in (1.0 -> STF = 1)
+
+  int order() const { return static_cast<int>(a.size()); }
+  double stage_gain(int i) const {
+    return c.empty() ? 1.0 : c[static_cast<std::size_t>(i)];
+  }
+  /// Index of the state at which resonator j's feedback is applied.
+  int resonator_head(int j) const { return (order() % 2 == 1) ? 1 + 2 * j : 2 * j; }
+};
+
+/// State-space matrices of the CIFF loop filter: x' = A x + B d where d is
+/// the (u - v) drive at the first integrator. Each resonator is a delaying
+/// integrator (head) followed by a NON-delaying integrator (tail); this
+/// places the resonator poles exactly on the unit circle at angle
+/// arccos(1 - g/2). With two delaying integrators the poles would sit at
+/// radius sqrt(1+g) and the loop would be unstable.
+struct CiffStateSpace {
+  std::vector<std::vector<double>> a;  ///< order x order
+  std::vector<double> b;               ///< order
+};
+
+CiffStateSpace ciff_state_space(int order, const std::vector<double>& g);
+CiffStateSpace ciff_state_space(const CiffCoeffs& coeffs);
+
+/// Fit CIFF coefficients to `ntf` by matching the open-loop impulse
+/// response P(z) = 1/NTF - 1 over `match_length` samples (least squares;
+/// exact when resonator poles coincide with the NTF zeros, which they do
+/// by construction).
+CiffCoeffs realize_ciff(const Ntf& ntf, std::size_t match_length = 64);
+
+/// Impulse response (length n) of the realized loop filter P from the
+/// quantizer-feedback input to y; used to validate the realization.
+std::vector<double> ciff_loop_impulse_response(const CiffCoeffs& c,
+                                               std::size_t n);
+
+/// Reconstruct the NTF magnitude at frequency f (cycles/sample) implied by
+/// the realized coefficients: |1 / (1 + P(e^{j2 pi f}))|.
+double ciff_ntf_magnitude(const CiffCoeffs& c, double f,
+                          std::size_t ir_length = 512);
+
+/// Dynamic-range scaling (the toolbox's `scaleABCD` step): simulate the
+/// loop at `amplitude` and rescale every state so its observed swing is
+/// `target_swing` (e.g. 0.9 of the Active-RC supply-limited range of
+/// Fig. 3). Returns the per-state scale factors applied; the NTF is
+/// invariant under this diagonal similarity transform.
+struct CiffScaling {
+  CiffCoeffs coeffs;                 ///< rescaled realization
+  std::vector<double> state_gains;   ///< k_i applied to state i
+  std::vector<double> swings_before; ///< observed max |x_i| pre-scaling
+  std::vector<double> swings_after;  ///< observed max |x_i| post-scaling
+};
+
+CiffScaling scale_ciff_states(const CiffCoeffs& c, int quantizer_bits,
+                              double amplitude, double target_swing = 0.9,
+                              std::size_t run_length = 1 << 14);
+
+}  // namespace dsadc::mod

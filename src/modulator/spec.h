@@ -1,0 +1,36 @@
+// Modulator and decimator specifications (Table I of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace dsadc::mod {
+
+/// Delta-sigma modulator specification.
+struct ModulatorSpec {
+  int order = 5;               ///< loop-filter order
+  double osr = 16.0;           ///< oversampling ratio
+  double obg = 3.0;            ///< out-of-band NTF gain (Hinf)
+  double sample_rate_hz = 640e6;
+  double bandwidth_hz = 20e6;
+  int quantizer_bits = 4;      ///< internal quantizer resolution
+  double msa = 0.81;           ///< maximum stable amplitude (fraction of FS)
+
+  double nyquist_rate_hz() const { return 2.0 * bandwidth_hz; }
+};
+
+/// Decimation filter requirement set (right column of Table I).
+struct DecimatorSpec {
+  int input_bits = 4;
+  double passband_ripple_db = 1.0;      ///< < 1 dB
+  double passband_edge_hz = 20e6;
+  double stopband_edge_hz = 23e6;       ///< transition 20-23 MHz
+  double stopband_atten_db = 85.0;      ///< > 85 dB
+  double output_rate_hz = 40e6;
+  double target_snr_db = 86.0;          ///< 14 bits
+};
+
+/// The paper's wideband wireless target (Table I), the default everywhere.
+inline ModulatorSpec paper_modulator_spec() { return ModulatorSpec{}; }
+inline DecimatorSpec paper_decimator_spec() { return DecimatorSpec{}; }
+
+}  // namespace dsadc::mod

@@ -1,0 +1,266 @@
+#include "src/rtl/builders.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsadc::rtl {
+namespace {
+
+/// Append a Hogenauer CIC stage; returns the decimated output node.
+NodeId append_cic(Module& m, NodeId in, const design::CicSpec& spec,
+                  int clock_div) {
+  const int w = spec.register_width();
+  // Integrator cascade: sum_k = sum_{k-1} + reg_k (reg_k captures sum_k).
+  NodeId cur = in;
+  for (int k = 0; k < spec.order; ++k) {
+    const NodeId state = m.reg_placeholder(w, clock_div);
+    const NodeId sum = m.add(cur, state, w);
+    m.connect_reg(state, sum);
+    cur = sum;
+  }
+  // Rate boundary (the pipeline register of Fig. 6).
+  NodeId v = m.decimate(cur, spec.decimation);
+  // Comb (differentiator) cascade at the decimated rate.
+  for (int k = 0; k < spec.order; ++k) {
+    const NodeId d = m.reg(v);
+    v = m.sub(v, d, w);
+  }
+  return v;
+}
+
+/// Append the tapped-cascade halfband in its polyphase form (Fig. 7):
+/// the even-phase stream drives the G2 subfilter cascade at the *output*
+/// rate; the odd-phase stream is the 0.5 delay path. Bit-compatible with
+/// decim::SaramakiHbfDecimator.
+NodeId append_hbf(Module& m, NodeId in, const design::SaramakiHbf& design,
+                  fx::Format in_fmt, fx::Format out_fmt, int coeff_frac,
+                  int guard_frac, int clock_div) {
+  const std::size_t n1 = design.n1;
+  const std::size_t n2 = design.n2;
+  const std::size_t d2 = 2 * n2 - 1;
+  const std::size_t big_d = (2 * n1 - 1) * d2;
+  const fx::Format internal{in_fmt.width + 4 + guard_frac,
+                            in_fmt.frac + guard_frac};
+  // Post-multiplier (product) format: the datapath drops product LSBs
+  // right after each CSD multiplier, keeping the adder tree narrow
+  // (must match decim::SaramakiHbfDecimator's prod_fmt_).
+  const fx::Format prod{in_fmt.width + 7 + guard_frac,
+                        in_fmt.frac + guard_frac + 2};
+  const int wi = internal.width;
+  const int wmul = std::min(62, wi + 1 + coeff_frac + 4);
+  const int wtree = prod.width + 4;
+  (void)clock_div;
+
+  // Promote input into the internal guard format.
+  const NodeId x = m.requant(in, in_fmt.frac, internal, fx::Rounding::kTruncate,
+                             fx::Overflow::kSaturate);
+
+  // Polyphase split: the two phase streams at half the clock. The extra
+  // register in front of the second decimator makes it capture the
+  // complementary phase.
+  const NodeId xe = m.decimate(x, 2);
+  const NodeId xo = m.decimate(m.reg(x), 2);
+
+  // 0.5 path: the complementary phase must trail the cascade stream by D
+  // input samples. The reg+decimate path already contributes two base
+  // ticks relative to xe, so (D - 1)/2 half-rate registers remain.
+  const NodeId xd = m.delay(xo, static_cast<int>((big_d - 1) / 2));
+
+  // G2 cascade at the output rate.
+  std::vector<NodeId> odd_outputs;
+  NodeId cur = xe;
+  for (std::size_t blk = 0; blk < 2 * n1 - 1; ++blk) {
+    // Delay line of length 2*n2 (2*n2 - 1 registers).
+    std::vector<NodeId> line(2 * n2);
+    line[0] = cur;
+    for (std::size_t i = 1; i < 2 * n2; ++i) line[i] = m.reg(line[i - 1]);
+    // Symmetric pre-adds + CSD multiplies (requantized to the product
+    // format) + narrow tree sum.
+    NodeId acc = kInvalidNode;
+    for (std::size_t j = 1; j <= n2; ++j) {
+      const std::size_t k_near = n2 - j;
+      const std::size_t k_far = n2 + j - 1;
+      const NodeId pre = m.add(line[k_near], line[k_far], wi + 1);
+      NodeId p = m.csd_multiply(pre, design.f2_csd[j - 1], coeff_frac, wmul);
+      p = m.requant(p, internal.frac + coeff_frac, prod,
+                    fx::Rounding::kTruncate, fx::Overflow::kSaturate);
+      acc = (acc == kInvalidNode) ? p : m.add(acc, p, wtree);
+    }
+    cur = m.requant(acc, prod.frac, internal, fx::Rounding::kRoundNearest,
+                    fx::Overflow::kSaturate);
+    if (blk % 2 == 0) odd_outputs.push_back(cur);
+  }
+
+  // Branch alignment delays (output-rate samples).
+  std::vector<NodeId> aligned(n1);
+  for (std::size_t i = 1; i < n1; ++i) {
+    aligned[i - 1] = m.delay(odd_outputs[i - 1],
+                             static_cast<int>((big_d - (2 * i - 1) * d2) / 2));
+  }
+  aligned[n1 - 1] = odd_outputs[n1 - 1];
+
+  // Output sum: 0.5 * delayed odd phase + outer taps (power basis), all
+  // requantized to the product format before the final narrow sum.
+  NodeId sum = m.requant(m.shl(xd, coeff_frac - 1), internal.frac + coeff_frac,
+                         prod, fx::Rounding::kTruncate, fx::Overflow::kSaturate);
+  for (std::size_t i = 0; i < n1; ++i) {
+    NodeId p = m.csd_multiply(aligned[i], design.f1_csd[i], coeff_frac, wmul);
+    p = m.requant(p, internal.frac + coeff_frac, prod, fx::Rounding::kTruncate,
+                  fx::Overflow::kSaturate);
+    sum = m.add(sum, p, wtree);
+  }
+  return m.requant(sum, prod.frac, out_fmt, fx::Rounding::kRoundNearest,
+                   fx::Overflow::kSaturate);
+}
+
+NodeId append_scaler(Module& m, NodeId in, const fx::Csd& csd,
+                     int csd_frac_bits, fx::Format in_fmt, fx::Format out_fmt) {
+  const int wfull = std::min(62, in_fmt.width + csd_frac_bits + 4);
+  const NodeId prod = m.csd_multiply(in, csd, csd_frac_bits, wfull);
+  return m.requant(prod, in_fmt.frac + csd_frac_bits, out_fmt,
+                   fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+}
+
+NodeId append_symmetric_fir(Module& m, NodeId in,
+                            const std::vector<double>& taps, int coeff_frac,
+                            fx::Format in_fmt, fx::Format out_fmt) {
+  const std::size_t n = taps.size();
+  if (n < 3) throw std::invalid_argument("append_symmetric_fir: too few taps");
+  const int wi = in_fmt.width;
+  const int wfull = std::min(62, wi + 1 + coeff_frac + 7);
+
+  // Delay line x[n-k], k = 0..n-1.
+  std::vector<NodeId> line(n);
+  line[0] = in;
+  for (std::size_t i = 1; i < n; ++i) line[i] = m.reg(line[i - 1]);
+
+  NodeId acc = kInvalidNode;
+  const auto add_term = [&](NodeId term) {
+    acc = (acc == kInvalidNode) ? term : m.add(acc, term, wfull);
+  };
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const fx::Csd c = fx::csd_encode(taps[k], coeff_frac);
+    if (c.digits.empty()) continue;
+    const NodeId pre = m.add(line[k], line[n - 1 - k], wi + 1);
+    add_term(m.csd_multiply(pre, c, coeff_frac, wfull));
+  }
+  if (n % 2 == 1) {
+    const fx::Csd c = fx::csd_encode(taps[n / 2], coeff_frac);
+    if (!c.digits.empty()) add_term(m.csd_multiply(line[n / 2], c, coeff_frac, wfull));
+  }
+  if (acc == kInvalidNode) acc = m.constant(0, wfull, m.node(in).clock_div);
+  return m.requant(acc, in_fmt.frac + coeff_frac, out_fmt,
+                   fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+}
+
+}  // namespace
+
+BuiltStage build_cic(const design::CicSpec& spec, int clock_div,
+                     BuildOptions options) {
+  BuiltStage s;
+  s.module = Module("sinc" + std::to_string(spec.order) + "_decim" +
+                    std::to_string(spec.decimation));
+  s.options = options;
+  s.in = s.module.input("in", spec.input_bits, clock_div);
+  const NodeId y = append_cic(s.module, s.in, spec, clock_div);
+  s.out = s.module.output("out", y);
+  return s;
+}
+
+BuiltStage build_saramaki_hbf(const design::SaramakiHbf& design,
+                              fx::Format in_fmt, fx::Format out_fmt,
+                              int coeff_frac_bits, int guard_frac_bits,
+                              int clock_div, BuildOptions options) {
+  BuiltStage s;
+  s.module = Module("saramaki_hbf");
+  s.options = options;
+  s.in = s.module.input("in", in_fmt.width, clock_div);
+  const NodeId y = append_hbf(s.module, s.in, design, in_fmt, out_fmt,
+                              coeff_frac_bits, guard_frac_bits, clock_div);
+  s.out = s.module.output("out", y);
+  return s;
+}
+
+BuiltStage build_scaler(const fx::Csd& csd, int csd_frac_bits,
+                        fx::Format in_fmt, fx::Format out_fmt, int clock_div,
+                        BuildOptions options) {
+  BuiltStage s;
+  s.module = Module("scaler");
+  s.options = options;
+  s.in = s.module.input("in", in_fmt.width, clock_div);
+  const NodeId y =
+      append_scaler(s.module, s.in, csd, csd_frac_bits, in_fmt, out_fmt);
+  s.out = s.module.output("out", y);
+  return s;
+}
+
+BuiltStage build_symmetric_fir(const std::vector<double>& taps,
+                               int coeff_frac_bits, fx::Format in_fmt,
+                               fx::Format out_fmt, int clock_div,
+                               BuildOptions options) {
+  BuiltStage s;
+  s.module = Module("equalizer_fir");
+  s.options = options;
+  s.in = s.module.input("in", in_fmt.width, clock_div);
+  const NodeId y = append_symmetric_fir(s.module, s.in, taps, coeff_frac_bits,
+                                        in_fmt, out_fmt);
+  s.out = s.module.output("out", y);
+  return s;
+}
+
+BuiltChain build_chain(const decim::ChainConfig& config, BuildOptions options) {
+  BuiltChain chain;
+  chain.full = Module("decimation_chain");
+  chain.in = chain.full.input("codes", config.input_format.width, 1);
+
+  // --- CIC cascade.
+  NodeId cur = chain.in;
+  int div = 1;
+  int gain_log2 = 0;
+  for (std::size_t i = 0; i < config.cic_stages.size(); ++i) {
+    const auto& spec = config.cic_stages[i];
+    cur = append_cic(chain.full, cur, spec, div);
+    div *= spec.decimation;
+    gain_log2 += spec.order * static_cast<int>(std::log2(spec.decimation));
+    chain.stages.push_back(build_cic(spec, div / spec.decimation, options));
+    chain.stage_names.push_back("sinc" + std::to_string(spec.order) + "_" +
+                                std::to_string(i + 1));
+  }
+
+  // --- Relabel CIC gain as fractional weight, into the HBF input format.
+  cur = chain.full.requant(cur, gain_log2, config.hbf_in_format,
+                           fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+
+  // --- Halfband.
+  cur = append_hbf(chain.full, cur, config.hbf, config.hbf_in_format,
+                   config.hbf_out_format, config.hbf_coeff_frac_bits,
+                   /*guard_frac=*/6, div);
+  chain.stages.push_back(build_saramaki_hbf(config.hbf, config.hbf_in_format,
+                                            config.hbf_out_format,
+                                            config.hbf_coeff_frac_bits, 6, div,
+                                            options));
+  chain.stage_names.push_back("halfband");
+  div *= 2;
+
+  // --- Scaler.
+  const fx::Csd scale_csd = fx::csd_encode_limited(config.scale, 14, 8);
+  cur = append_scaler(chain.full, cur, scale_csd, 14, config.hbf_out_format,
+                      config.scaler_out_format);
+  chain.stages.push_back(build_scaler(scale_csd, 14, config.hbf_out_format,
+                                      config.scaler_out_format, div, options));
+  chain.stage_names.push_back("scaler");
+
+  // --- Equalizer.
+  cur = append_symmetric_fir(chain.full, cur, config.equalizer_taps,
+                             config.equalizer_frac_bits,
+                             config.scaler_out_format, config.output_format);
+  chain.stages.push_back(build_symmetric_fir(
+      config.equalizer_taps, config.equalizer_frac_bits,
+      config.scaler_out_format, config.output_format, div, options));
+  chain.stage_names.push_back("equalizer");
+
+  chain.out = chain.full.output("data_out", cur);
+  return chain;
+}
+
+}  // namespace dsadc::rtl

@@ -1,0 +1,76 @@
+// Lowering of each decimation-filter stage into the hardware IR.
+//
+// This is the HDL-Coder substitute of the flow: the same designed
+// coefficients that drive the behavioral models are lowered to adder/
+// register netlists (CSD shift-add multipliers, symmetric pre-adders,
+// Hogenauer integrator/comb sections), which are then simulated
+// bit-exactly, emitted as Verilog, and synthesized by the cost model.
+#pragma once
+
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/filterdesign/cic.h"
+#include "src/filterdesign/saramaki.h"
+#include "src/fixedpoint/csd.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::rtl {
+
+/// Hardware options honoured by the builders (Section IV techniques).
+struct BuildOptions {
+  bool pipelined = true;  ///< pipeline register at each rate boundary
+  /// Retiming flag: annotation only - it does not change the arithmetic
+  /// (retiming is function-preserving); the synthesis model applies a
+  /// glitch-activity penalty to non-retimed combinational adders.
+  bool retimed = true;
+};
+
+/// Result of building one stage: the module plus its port ids.
+struct BuiltStage {
+  Module module{"(unnamed)"};
+  NodeId in = kInvalidNode;
+  NodeId out = kInvalidNode;
+  BuildOptions options;
+};
+
+/// Hogenauer Sinc^K decimator. `clock_div` is the divider of the stage's
+/// input clock from the chain base clock.
+BuiltStage build_cic(const design::CicSpec& spec, int clock_div = 1,
+                     BuildOptions options = {});
+
+/// Saramaki tapped-cascade halfband decimator, bit-compatible with
+/// decim::SaramakiHbfDecimator (same formats and rounding points).
+BuiltStage build_saramaki_hbf(const design::SaramakiHbf& design,
+                              fx::Format in_fmt, fx::Format out_fmt,
+                              int coeff_frac_bits, int guard_frac_bits,
+                              int clock_div, BuildOptions options = {});
+
+/// CSD Horner scaling stage, bit-compatible with decim::ScalingStage.
+BuiltStage build_scaler(const fx::Csd& csd, int csd_frac_bits,
+                        fx::Format in_fmt, fx::Format out_fmt, int clock_div,
+                        BuildOptions options = {});
+
+/// Symmetric-FIR stage (the equalizer), bit-compatible with
+/// decim::FirDecimator at decimation 1: symmetric pre-adders + CSD
+/// multipliers + adder tree.
+BuiltStage build_symmetric_fir(const std::vector<double>& taps,
+                               int coeff_frac_bits, fx::Format in_fmt,
+                               fx::Format out_fmt, int clock_div,
+                               BuildOptions options = {});
+
+/// The full chain as one module (input: 4-bit codes at the base clock;
+/// output: 14-bit samples at base/16), plus per-stage modules for the
+/// per-stage power table.
+struct BuiltChain {
+  Module full{"decimation_chain"};
+  NodeId in = kInvalidNode;
+  NodeId out = kInvalidNode;
+  std::vector<BuiltStage> stages;       ///< one module per stage
+  std::vector<std::string> stage_names;
+};
+
+BuiltChain build_chain(const decim::ChainConfig& config,
+                       BuildOptions options = {});
+
+}  // namespace dsadc::rtl

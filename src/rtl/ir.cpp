@@ -1,0 +1,214 @@
+#include "src/rtl/ir.h"
+
+#include <stdexcept>
+
+namespace dsadc::rtl {
+
+NodeId Module::push(Node n) {
+  if (n.width < 1 || n.width > 62) {
+    throw std::invalid_argument("Module: node width must be in [1, 62]");
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Module::input(const std::string& name, int width, int clock_div) {
+  Node n;
+  n.kind = OpKind::kInput;
+  n.width = width;
+  n.clock_div = clock_div;
+  n.name = name;
+  return push(n);
+}
+
+NodeId Module::constant(std::int64_t value, int width, int clock_div) {
+  Node n;
+  n.kind = OpKind::kConst;
+  n.width = width;
+  n.value = value;
+  n.clock_div = clock_div;
+  return push(n);
+}
+
+NodeId Module::add(NodeId a, NodeId b, int width) {
+  Node n;
+  n.kind = OpKind::kAdd;
+  n.a = a;
+  n.b = b;
+  n.width = width;
+  n.clock_div = node(a).clock_div;
+  if (node(a).clock_div != node(b).clock_div) {
+    throw std::invalid_argument("Module::add: clock domain mismatch");
+  }
+  return push(n);
+}
+
+NodeId Module::sub(NodeId a, NodeId b, int width) {
+  Node n;
+  n.kind = OpKind::kSub;
+  n.a = a;
+  n.b = b;
+  n.width = width;
+  n.clock_div = node(a).clock_div;
+  if (node(a).clock_div != node(b).clock_div) {
+    throw std::invalid_argument("Module::sub: clock domain mismatch");
+  }
+  return push(n);
+}
+
+NodeId Module::neg(NodeId a, int width) {
+  Node n;
+  n.kind = OpKind::kNeg;
+  n.a = a;
+  n.width = width;
+  n.clock_div = node(a).clock_div;
+  return push(n);
+}
+
+NodeId Module::shl(NodeId a, int amount) {
+  Node n;
+  n.kind = OpKind::kShl;
+  n.a = a;
+  n.amount = amount;
+  n.width = std::min(62, node(a).width + amount);
+  n.clock_div = node(a).clock_div;
+  return push(n);
+}
+
+NodeId Module::shr(NodeId a, int amount) {
+  Node n;
+  n.kind = OpKind::kShr;
+  n.a = a;
+  n.amount = amount;
+  n.width = node(a).width;
+  n.clock_div = node(a).clock_div;
+  return push(n);
+}
+
+NodeId Module::reg(NodeId a) {
+  Node n;
+  n.kind = OpKind::kReg;
+  n.a = a;
+  n.width = node(a).width;
+  n.clock_div = node(a).clock_div;
+  return push(n);
+}
+
+NodeId Module::reg_placeholder(int width, int clock_div) {
+  Node n;
+  n.kind = OpKind::kReg;
+  n.width = width;
+  n.clock_div = clock_div;
+  return push(n);
+}
+
+void Module::connect_reg(NodeId reg_id, NodeId src) {
+  Node& r = node(reg_id);
+  if (r.kind != OpKind::kReg) {
+    throw std::invalid_argument("connect_reg: target is not a register");
+  }
+  if (node(src).clock_div != r.clock_div) {
+    throw std::invalid_argument("connect_reg: clock domain mismatch");
+  }
+  r.a = src;
+}
+
+NodeId Module::decimate(NodeId a, int factor) {
+  if (factor < 2) throw std::invalid_argument("Module::decimate: factor >= 2");
+  Node n;
+  n.kind = OpKind::kDecimate;
+  n.a = a;
+  n.amount = factor;
+  n.width = node(a).width;
+  n.clock_div = node(a).clock_div * factor;
+  return push(n);
+}
+
+NodeId Module::requant(NodeId a, int src_frac, fx::Format fmt, fx::Rounding r,
+                       fx::Overflow o) {
+  Node n;
+  n.kind = OpKind::kRequant;
+  n.a = a;
+  n.width = fmt.width;
+  n.src_frac = src_frac;
+  n.fmt = fmt;
+  n.rounding = r;
+  n.overflow = o;
+  n.clock_div = node(a).clock_div;
+  return push(n);
+}
+
+NodeId Module::output(const std::string& name, NodeId a) {
+  Node n;
+  n.kind = OpKind::kOutput;
+  n.a = a;
+  n.width = node(a).width;
+  n.clock_div = node(a).clock_div;
+  n.name = name;
+  return push(n);
+}
+
+NodeId Module::csd_multiply(NodeId a, const fx::Csd& csd, int frac_bits,
+                            int width) {
+  if (csd.digits.empty()) {
+    return constant(0, width, node(a).clock_div);
+  }
+  // Accumulate shift-add terms most-significant first (Horner-like order;
+  // each digit contributes a shifted copy of `a`).
+  NodeId acc = kInvalidNode;
+  for (const auto& d : csd.digits) {
+    const int shift = d.position + frac_bits;
+    if (shift < 0) {
+      throw std::invalid_argument("csd_multiply: digit below frac precision");
+    }
+    NodeId term = shift > 0 ? shl(a, shift) : a;
+    if (d.sign < 0) term = neg(term, width);
+    acc = (acc == kInvalidNode) ? term : add(acc, term, width);
+  }
+  return acc;
+}
+
+NodeId Module::delay(NodeId a, int n) {
+  NodeId cur = a;
+  for (int i = 0; i < n; ++i) cur = reg(cur);
+  return cur;
+}
+
+std::vector<NodeId> Module::nodes_of_kind(OpKind kind) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(static_cast<NodeId>(i));
+  }
+  return out;
+}
+
+std::size_t Module::adder_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == OpKind::kAdd || node.kind == OpKind::kSub ||
+        node.kind == OpKind::kNeg) {
+      ++n;  // a negation costs an adder cell (invert + carry-in)
+    }
+  }
+  return n;
+}
+
+std::size_t Module::register_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == OpKind::kReg || node.kind == OpKind::kDecimate) ++n;
+  }
+  return n;
+}
+
+std::size_t Module::register_bits() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) {
+    if (node.kind == OpKind::kReg || node.kind == OpKind::kDecimate) {
+      n += static_cast<std::size_t>(node.width);
+    }
+  }
+  return n;
+}
+
+}  // namespace dsadc::rtl

@@ -1,0 +1,115 @@
+// Hardware intermediate representation for the decimation filter datapath.
+//
+// The design flow lowers each filter stage into a netlist of adders,
+// subtractors, shifters, registers and requantizers. The same IR drives
+// three consumers:
+//   * the cycle-accurate simulator (sim.h) - bit-exact against the
+//     behavioral models, with per-node toggle counting;
+//   * the Verilog emitter (verilog.h) - the HDL Coder substitute;
+//   * the synthesis model (src/synth) - cell mapping, area and power.
+//
+// Multi-rate design: every node belongs to a clock domain identified by
+// its divide ratio from the base clock. Domain crossings happen only
+// through kDecimate nodes (sample every Nth base tick), mirroring the
+// paper's fs -> fs/2 -> ... chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fixedpoint/csd.h"
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::rtl {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class OpKind : std::uint8_t {
+  kInput,     ///< module input port
+  kConst,     ///< constant value
+  kAdd,       ///< a + b, wrapped to `width`
+  kSub,       ///< a - b, wrapped to `width`
+  kNeg,       ///< -a, wrapped to `width`
+  kShl,       ///< a << amount (arithmetic value scaling)
+  kShr,       ///< a >> amount (arithmetic shift right)
+  kReg,       ///< register in the node's clock domain
+  kDecimate,  ///< rate boundary: latches every `amount`-th domain tick
+  kRequant,   ///< fixed-point requantize (see fields below)
+  kOutput,    ///< module output port
+};
+
+/// One IR node. Fixed small POD-ish struct keeps the netlist compact.
+struct Node {
+  OpKind kind = OpKind::kConst;
+  NodeId a = kInvalidNode;  ///< first operand
+  NodeId b = kInvalidNode;  ///< second operand (kAdd/kSub)
+  int width = 1;            ///< output width in bits (two's complement)
+  int amount = 0;           ///< shift amount / decimation factor
+  std::int64_t value = 0;   ///< constant value
+  int clock_div = 1;        ///< clock divider from base clock
+  // kRequant parameters.
+  int src_frac = 0;
+  fx::Format fmt{1, 0};
+  fx::Rounding rounding = fx::Rounding::kTruncate;
+  fx::Overflow overflow = fx::Overflow::kWrap;
+  std::string name;  ///< port name (inputs/outputs) or debug label
+};
+
+/// A hardware module: a DAG of nodes (registers break cycles).
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  NodeId input(const std::string& name, int width, int clock_div = 1);
+  NodeId constant(std::int64_t value, int width, int clock_div = 1);
+  NodeId add(NodeId a, NodeId b, int width);
+  NodeId sub(NodeId a, NodeId b, int width);
+  NodeId neg(NodeId a, int width);
+  NodeId shl(NodeId a, int amount);
+  NodeId shr(NodeId a, int amount);
+  /// Register in the same clock domain as its source.
+  NodeId reg(NodeId a);
+  /// Register with its input connected later (feedback loops, e.g. the CIC
+  /// accumulator). Registers read their operand's previous-cycle value, so
+  /// back edges through them keep the netlist evaluable in creation order.
+  NodeId reg_placeholder(int width, int clock_div);
+  void connect_reg(NodeId reg_id, NodeId src);
+  /// Rate boundary into a slower domain (`factor` x slower than src).
+  NodeId decimate(NodeId a, int factor);
+  NodeId requant(NodeId a, int src_frac, fx::Format fmt, fx::Rounding r,
+                 fx::Overflow o);
+  NodeId output(const std::string& name, NodeId a);
+
+  /// Multiply `a` by a CSD constant using shift-adds; `width` bounds every
+  /// intermediate. Returns a node whose value carries `frac_shift` extra
+  /// fractional bits (the caller requantizes). Zero-digit constants yield
+  /// a zero constant node.
+  NodeId csd_multiply(NodeId a, const fx::Csd& csd, int frac_bits, int width);
+
+  /// Chain of `n` registers.
+  NodeId delay(NodeId a, int n);
+
+  /// All node ids of a given kind (inputs/outputs enumeration).
+  std::vector<NodeId> nodes_of_kind(OpKind kind) const;
+
+  /// Count of adder/subtractor nodes (the paper's hardware-cost metric).
+  std::size_t adder_count() const;
+  std::size_t register_count() const;
+  /// Total register bits (area proxy).
+  std::size_t register_bits() const;
+
+ private:
+  NodeId push(Node n);
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace dsadc::rtl

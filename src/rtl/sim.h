@@ -1,0 +1,46 @@
+// Cycle-accurate simulator for the hardware IR.
+//
+// Plays the role of the paper's Synopsys VCS testbench runs: the generated
+// netlist is exercised with the same stimulus as the behavioral model and
+// must produce bit-identical outputs. The simulator also records per-node
+// switching activity (bit toggles), which feeds the PrimeTime-PX-style
+// power estimation in src/synth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/rtl/ir.h"
+
+namespace dsadc::rtl {
+
+/// Per-node activity statistics from a simulation run.
+struct Activity {
+  std::vector<std::uint64_t> bit_toggles;  ///< per node, Hamming toggles
+  std::vector<std::uint64_t> updates;      ///< per node, evaluation count
+  std::uint64_t base_ticks = 0;
+};
+
+/// Simulation result: output streams plus activity.
+struct SimResult {
+  /// Output samples per output node, one entry per domain tick.
+  std::map<NodeId, std::vector<std::int64_t>> outputs;
+  Activity activity;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const Module& module);
+
+  /// Drive the module for as many base ticks as the (single-domain-rate)
+  /// input streams allow. `inputs` maps each kInput node to its sample
+  /// stream (consumed one sample per domain tick of that input).
+  SimResult run(const std::map<NodeId, std::span<const std::int64_t>>& inputs);
+
+ private:
+  const Module& module_;
+};
+
+}  // namespace dsadc::rtl

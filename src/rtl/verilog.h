@@ -1,0 +1,23 @@
+// Verilog-2001 emitter for the hardware IR (the HDL Coder substitute).
+//
+// Each IR module becomes one synthesizable Verilog module. Multi-rate
+// design uses one clock port per clock domain (clk_div1, clk_div2, ...);
+// the integration environment must drive them as phase-aligned divided
+// clocks, exactly like the divided-clock tree the paper's chain uses.
+#pragma once
+
+#include <string>
+
+#include "src/rtl/ir.h"
+
+namespace dsadc::rtl {
+
+/// Emit the module as Verilog source text.
+std::string emit_verilog(const Module& module);
+
+/// Emit a simple self-checking testbench skeleton that instantiates the
+/// module, drives the divided clocks, and replays a stimulus file
+/// (one sample per line) into the first input while logging outputs.
+std::string emit_testbench(const Module& module);
+
+}  // namespace dsadc::rtl

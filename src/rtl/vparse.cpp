@@ -1,0 +1,498 @@
+#include "src/rtl/vparse.h"
+
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::rtl {
+
+// ---------------------------------------------------------------- AST ----
+
+struct VerilogModule::Expr {
+  enum class Kind {
+    kConst,
+    kSignal,
+    kAdd,
+    kSub,
+    kNeg,
+    kShl,
+    kShr,
+    kGreater,
+    kLess,
+    kTernary,
+  };
+  Kind kind = Kind::kConst;
+  std::int64_t value = 0;
+  std::string signal;
+  std::shared_ptr<Expr> a, b, c;
+};
+
+namespace {
+
+using Expr = VerilogModule::Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Minimal tokenizer for the emitted expression subset.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::string peek() {
+    if (cached_.empty()) cached_ = next_token();
+    return cached_;
+  }
+  std::string next() {
+    std::string t = peek();
+    cached_.clear();
+    return t;
+  }
+  bool done() { return peek().empty(); }
+
+ private:
+  std::string next_token() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return "";
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return text_.substr(start, pos_ - start);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return text_.substr(start, pos_ - start);
+    }
+    // Multi-char operators.
+    for (const char* op : {"<<<", ">>>", "<=", ">=", "=="}) {
+      const std::size_t len = std::string(op).size();
+      if (text_.compare(pos_, len, op) == 0) {
+        pos_ += len;
+        return op;
+      }
+    }
+    ++pos_;
+    return std::string(1, c);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string cached_;
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : lex_(text) {}
+
+  ExprPtr parse() {
+    ExprPtr e = ternary();
+    if (!lex_.done()) {
+      throw std::runtime_error("verilog replay: trailing tokens in expr");
+    }
+    return e;
+  }
+
+ private:
+  ExprPtr ternary() {
+    ExprPtr cond = comparison();
+    if (lex_.peek() == "?") {
+      lex_.next();
+      ExprPtr then_e = ternary();
+      if (lex_.next() != ":") {
+        throw std::runtime_error("verilog replay: expected ':' in ternary");
+      }
+      ExprPtr else_e = ternary();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kTernary;
+      e->a = cond;
+      e->b = then_e;
+      e->c = else_e;
+      return e;
+    }
+    return cond;
+  }
+
+  ExprPtr comparison() {
+    ExprPtr lhs = additive();
+    const std::string op = lex_.peek();
+    if (op == ">" || op == "<") {
+      lex_.next();
+      ExprPtr rhs = additive();
+      auto e = std::make_shared<Expr>();
+      e->kind = op == ">" ? Expr::Kind::kGreater : Expr::Kind::kLess;
+      e->a = lhs;
+      e->b = rhs;
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = shift();
+    for (;;) {
+      const std::string op = lex_.peek();
+      if (op != "+" && op != "-") return lhs;
+      lex_.next();
+      ExprPtr rhs = shift();
+      auto e = std::make_shared<Expr>();
+      e->kind = op == "+" ? Expr::Kind::kAdd : Expr::Kind::kSub;
+      e->a = lhs;
+      e->b = rhs;
+      lhs = e;
+    }
+  }
+
+  ExprPtr shift() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      const std::string op = lex_.peek();
+      if (op != "<<<" && op != ">>>") return lhs;
+      lex_.next();
+      ExprPtr rhs = unary();
+      auto e = std::make_shared<Expr>();
+      e->kind = op == "<<<" ? Expr::Kind::kShl : Expr::Kind::kShr;
+      e->a = lhs;
+      e->b = rhs;
+      lhs = e;
+    }
+  }
+
+  ExprPtr unary() {
+    if (lex_.peek() == "-") {
+      lex_.next();
+      auto e = std::make_shared<Expr>();
+      // Negative literal or negation.
+      ExprPtr inner = unary();
+      if (inner->kind == Expr::Kind::kConst) {
+        inner->value = -inner->value;
+        return inner;
+      }
+      e->kind = Expr::Kind::kNeg;
+      e->a = inner;
+      return e;
+    }
+    return primary();
+  }
+
+  ExprPtr primary() {
+    const std::string t = lex_.next();
+    if (t.empty()) throw std::runtime_error("verilog replay: unexpected end");
+    if (t == "(") {
+      ExprPtr e = ternary();
+      if (lex_.next() != ")") {
+        throw std::runtime_error("verilog replay: expected ')'");
+      }
+      return e;
+    }
+    auto e = std::make_shared<Expr>();
+    if (std::isdigit(static_cast<unsigned char>(t[0]))) {
+      e->kind = Expr::Kind::kConst;
+      e->value = std::stoll(t);
+      return e;
+    }
+    e->kind = Expr::Kind::kSignal;
+    e->signal = t;
+    return e;
+  }
+
+  Lexer lex_;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r\n");
+  std::size_t b = s.find_last_not_of(" \t\r\n");
+  if (a == std::string::npos) return "";
+  return s.substr(a, b - a + 1);
+}
+
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.compare(0, p.size(), p) == 0;
+}
+
+/// Parse "[msb:0]" -> width.
+int parse_width(const std::string& line, std::size_t& pos) {
+  const std::size_t lb = line.find('[', pos);
+  const std::size_t colon = line.find(':', lb);
+  const std::size_t rb = line.find(']', colon);
+  if (lb == std::string::npos || colon == std::string::npos ||
+      rb == std::string::npos) {
+    throw std::runtime_error("verilog replay: missing [msb:0] range");
+  }
+  const int msb = std::stoi(line.substr(lb + 1, colon - lb - 1));
+  pos = rb + 1;
+  return msb + 1;
+}
+
+std::string parse_ident(const std::string& line, std::size_t& pos) {
+  while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  std::size_t start = pos;
+  while (pos < line.size() && (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+                               line[pos] == '_')) {
+    ++pos;
+  }
+  return line.substr(start, pos - start);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- parsing ----
+
+struct VerilogParserImpl {
+  static VerilogModule parse(const std::string& source) {
+    VerilogModule m;
+    std::vector<std::string> lines;
+    {
+      std::size_t start = 0;
+      while (start <= source.size()) {
+        std::size_t end = source.find('\n', start);
+        if (end == std::string::npos) end = source.size();
+        lines.push_back(source.substr(start, end - start));
+        start = end + 1;
+      }
+    }
+    const auto add_expr = [&m](ExprPtr e) {
+      m.exprs_.push_back(std::move(e));
+      return static_cast<int>(m.exprs_.size() - 1);
+    };
+
+    bool in_ports = false;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      std::string line = trim(lines[li]);
+      if (line.empty() || starts_with(line, "//")) continue;
+      if (starts_with(line, "module ")) {
+        std::size_t pos = 7;
+        m.name_ = parse_ident(line, pos);
+        in_ports = true;
+        continue;
+      }
+      if (in_ports) {
+        if (line == ");") {
+          in_ports = false;
+          continue;
+        }
+        // Port declarations.
+        const bool is_in = starts_with(line, "input");
+        const bool is_out = starts_with(line, "output");
+        if (!is_in && !is_out) {
+          throw std::runtime_error("verilog replay: unexpected port line: " + line);
+        }
+        VerilogModule::Signal s;
+        s.is_input = is_in;
+        s.is_output = is_out;
+        std::size_t pos = line.find("wire") + 4;
+        std::string ident;
+        if (line.find('[') != std::string::npos) {
+          s.width = parse_width(line, pos);
+          ident = parse_ident(line, pos);
+        } else {
+          s.width = 1;  // clock port
+          ident = parse_ident(line, pos);
+        }
+        m.signals_[ident] = s;
+        m.order_.push_back(ident);
+        continue;
+      }
+      if (line == "endmodule") break;
+
+      if (starts_with(line, "reg ")) {
+        // reg  signed [W-1:0] name = 0;
+        std::size_t pos = 3;
+        VerilogModule::Signal s;
+        s.is_reg = true;
+        const std::size_t sp = line.find("signed");
+        pos = sp + 6;
+        s.width = parse_width(line, pos);
+        const std::string ident = parse_ident(line, pos);
+        m.signals_[ident] = s;
+        m.order_.push_back(ident);
+        continue;
+      }
+      if (starts_with(line, "wire ")) {
+        // wire signed [W-1:0] name;    or    ... name = EXPR;
+        std::size_t pos = 4;
+        VerilogModule::Signal s;
+        const std::size_t sp = line.find("signed");
+        pos = sp + 6;
+        s.width = parse_width(line, pos);
+        const std::string ident = parse_ident(line, pos);
+        const std::size_t eq = line.find('=', pos);
+        if (eq != std::string::npos) {
+          std::string rhs = trim(line.substr(eq + 1));
+          if (!rhs.empty() && rhs.back() == ';') rhs.pop_back();
+          s.expr_index = add_expr(ExprParser(rhs).parse());
+        }
+        m.signals_[ident] = s;
+        m.order_.push_back(ident);
+        continue;
+      }
+      if (starts_with(line, "assign ")) {
+        std::size_t pos = 7;
+        const std::string ident = parse_ident(line, pos);
+        const std::size_t eq = line.find('=', pos);
+        std::string rhs = trim(line.substr(eq + 1));
+        if (!rhs.empty() && rhs.back() == ';') rhs.pop_back();
+        auto it = m.signals_.find(ident);
+        if (it == m.signals_.end()) {
+          throw std::runtime_error("verilog replay: assign to unknown " + ident);
+        }
+        it->second.expr_index = add_expr(ExprParser(rhs).parse());
+        // Evaluation must follow assign order (the emitter's topological
+        // op order), not declaration order: re-append at the assign site.
+        m.order_.push_back(ident);
+        continue;
+      }
+      if (starts_with(line, "always @(posedge clk_div")) {
+        // always @(posedge clk_divN) nX <= nY;
+        std::size_t pos = std::string("always @(posedge clk_div").size();
+        std::size_t end = line.find(')', pos);
+        const int div = std::stoi(line.substr(pos, end - pos));
+        pos = end + 1;
+        const std::string dst = parse_ident(line, pos);
+        const std::size_t arrow = line.find("<=", pos);
+        std::string rhs = trim(line.substr(arrow + 2));
+        if (!rhs.empty() && rhs.back() == ';') rhs.pop_back();
+        auto it = m.signals_.find(dst);
+        if (it == m.signals_.end() || !it->second.is_reg) {
+          throw std::runtime_error("verilog replay: NBA to non-reg " + dst);
+        }
+        it->second.clock_div = div;
+        it->second.expr_index = add_expr(ExprParser(rhs).parse());
+        continue;
+      }
+      throw std::runtime_error("verilog replay: unsupported line: " + line);
+    }
+    return m;
+  }
+};
+
+VerilogModule VerilogModule::parse(const std::string& source) {
+  return VerilogParserImpl::parse(source);
+}
+
+std::vector<std::string> VerilogModule::input_ports() const {
+  std::vector<std::string> out;
+  for (const auto& name : order_) {
+    const auto& s = signals_.at(name);
+    if (s.is_input && name.rfind("clk_div", 0) != 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> VerilogModule::output_ports() const {
+  std::vector<std::string> out;
+  for (const auto& [name, s] : signals_) {
+    if (s.is_output) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<int> VerilogModule::clock_dividers() const {
+  std::vector<int> out;
+  for (const auto& [name, s] : signals_) {
+    if (s.is_input && name.rfind("clk_div", 0) == 0) {
+      out.push_back(std::stoi(name.substr(7)));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- simulation ----
+
+namespace {
+
+std::int64_t eval(const Expr& e,
+                  const std::map<std::string, std::int64_t>& values) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.value;
+    case Expr::Kind::kSignal: {
+      auto it = values.find(e.signal);
+      if (it == values.end()) {
+        throw std::runtime_error("verilog replay: unknown signal " + e.signal);
+      }
+      return it->second;
+    }
+    case Expr::Kind::kAdd:
+      return eval(*e.a, values) + eval(*e.b, values);
+    case Expr::Kind::kSub:
+      return eval(*e.a, values) - eval(*e.b, values);
+    case Expr::Kind::kNeg:
+      return -eval(*e.a, values);
+    case Expr::Kind::kShl:
+      return eval(*e.a, values) << eval(*e.b, values);
+    case Expr::Kind::kShr:
+      return eval(*e.a, values) >> eval(*e.b, values);
+    case Expr::Kind::kGreater:
+      return eval(*e.a, values) > eval(*e.b, values) ? 1 : 0;
+    case Expr::Kind::kLess:
+      return eval(*e.a, values) < eval(*e.b, values) ? 1 : 0;
+    case Expr::Kind::kTernary:
+      return eval(*e.a, values) != 0 ? eval(*e.b, values)
+                                     : eval(*e.c, values);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::map<std::string, std::vector<std::int64_t>> VerilogModule::run(
+    const std::map<std::string, std::span<const std::int64_t>>& inputs,
+    std::size_t base_ticks) {
+  std::map<std::string, std::int64_t> values;
+  for (const auto& [name, s] : signals_) values[name] = 0;
+
+  std::map<std::string, std::vector<std::int64_t>> outputs;
+  for (const auto& name : output_ports()) outputs[name] = {};
+
+  std::map<std::string, std::int64_t> reg_next;
+  for (std::size_t t = 0; t < base_ticks; ++t) {
+    // Non-blocking captures for regs whose clock fires this tick.
+    reg_next.clear();
+    for (const auto& [name, s] : signals_) {
+      if (!s.is_reg || s.clock_div == 0) continue;
+      if (t % static_cast<std::size_t>(s.clock_div) != 0) continue;
+      if (s.expr_index < 0) continue;
+      reg_next[name] = fx::wrap_to(
+          eval(*exprs_[static_cast<std::size_t>(s.expr_index)], values),
+          fx::Format{s.width, 0});
+    }
+    for (const auto& [name, v] : reg_next) values[name] = v;
+
+    // Inputs: one sample per base tick (zero once the stream runs out).
+    for (const auto& [name, stream] : inputs) {
+      auto it = signals_.find(name);
+      if (it == signals_.end()) {
+        throw std::runtime_error("verilog replay: no input port " + name);
+      }
+      const std::int64_t raw = t < stream.size() ? stream[t] : 0;
+      values[name] = fx::wrap_to(raw, fx::Format{it->second.width, 0});
+    }
+
+    // Combinational propagation in declaration order.
+    for (const auto& name : order_) {
+      const auto& s = signals_.at(name);
+      if (s.is_reg || s.is_input) continue;
+      if (s.expr_index < 0) continue;
+      values[name] = fx::wrap_to(
+          eval(*exprs_[static_cast<std::size_t>(s.expr_index)], values),
+          fx::Format{s.width, 0});
+    }
+    for (auto& [name, vec] : outputs) vec.push_back(values[name]);
+  }
+  return outputs;
+}
+
+}  // namespace dsadc::rtl

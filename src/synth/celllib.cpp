@@ -1,0 +1,7 @@
+#include "src/synth/celllib.h"
+
+namespace dsadc::synth {
+
+CellLibrary default_45nm() { return CellLibrary{}; }
+
+}  // namespace dsadc::synth

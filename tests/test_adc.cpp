@@ -1,0 +1,82 @@
+// The Fig.-1 top-level ADC object.
+#include <gtest/gtest.h>
+
+#include "src/core/adc.h"
+#include "src/dsp/spectrum.h"
+#include "src/modulator/dsm.h"
+
+namespace {
+
+using namespace dsadc;
+using core::DeltaSigmaAdc;
+
+class AdcTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    adc_ = new DeltaSigmaAdc(DeltaSigmaAdc::paper_instance());
+  }
+  static void TearDownTestSuite() { delete adc_; }
+  static DeltaSigmaAdc* adc_;
+};
+
+DeltaSigmaAdc* AdcTest::adc_ = nullptr;
+
+TEST_F(AdcTest, RatesAndFormat) {
+  EXPECT_NEAR(adc_->input_rate_hz(), 640e6, 1.0);
+  EXPECT_NEAR(adc_->output_rate_hz(), 40e6, 1.0);
+  EXPECT_EQ(adc_->output_bits(), 14);
+  EXPECT_GT(adc_->latency_output_samples(), 20.0);
+  EXPECT_LT(adc_->latency_output_samples(), 100.0);
+}
+
+TEST_F(AdcTest, ConvertsToneAt14Bits) {
+  adc_->reset();
+  const auto u = mod::coherent_sine(1 << 16, 5e6, 640e6, 0.81, nullptr);
+  const auto out = adc_->convert(u);
+  ASSERT_TRUE(adc_->last_conversion_stable());
+  ASSERT_EQ(out.size(), (std::size_t{1} << 16) / 16);
+  std::vector<double> steady(out.begin() + 512, out.end());
+  const auto snr = dsp::measure_tone_snr(steady, 40e6, 20e6,
+                                         dsp::WindowKind::kKaiser, 8, 8, 22.0);
+  EXPECT_GT(snr.snr_db, 82.0);
+  EXPECT_NEAR(snr.signal_freq_hz, 5e6, 0.1e6);
+}
+
+TEST_F(AdcTest, RawWordsMatchRealOutputs) {
+  adc_->reset();
+  const auto u = mod::coherent_sine(4096, 5e6, 640e6, 0.5, nullptr);
+  const auto out = adc_->convert(u);
+  const auto& raw = adc_->last_raw();
+  ASSERT_EQ(out.size(), raw.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], static_cast<double>(raw[i]) / 8192.0, 1e-12);
+  }
+}
+
+TEST_F(AdcTest, OverdriveReportedUnstable) {
+  adc_->reset();
+  const auto u = mod::coherent_sine(1 << 14, 5e6, 640e6, 1.2, nullptr);
+  (void)adc_->convert(u);
+  EXPECT_FALSE(adc_->last_conversion_stable());
+  adc_->reset();
+  EXPECT_TRUE(adc_->last_conversion_stable());
+}
+
+TEST_F(AdcTest, StreamingAcrossCalls) {
+  adc_->reset();
+  const auto u = mod::coherent_sine(8192, 5e6, 640e6, 0.5, nullptr);
+  const auto whole = adc_->convert(u);
+  adc_->reset();
+  std::vector<double> pieced;
+  for (std::size_t pos = 0; pos < u.size(); pos += 2048) {
+    const auto part = adc_->convert(
+        std::span<const double>(u.data() + pos, 2048));
+    pieced.insert(pieced.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(pieced.size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(pieced[i], whole[i]) << i;
+  }
+}
+
+}  // namespace

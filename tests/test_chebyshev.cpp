@@ -1,0 +1,95 @@
+// Chebyshev polynomial identities used by the Saramaki decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/chebyshev.h"
+#include "src/dsp/polynomial.h"
+
+namespace {
+
+using namespace dsadc::dsp;
+
+TEST(ChebyshevT, BaseCases) {
+  EXPECT_NEAR(chebyshev_t(0, 0.3), 1.0, 1e-15);
+  EXPECT_NEAR(chebyshev_t(1, 0.3), 0.3, 1e-15);
+}
+
+TEST(ChebyshevT, CosineIdentityInsideUnitInterval) {
+  for (int n : {2, 3, 5, 8, 13}) {
+    for (double th = 0.1; th < 3.1; th += 0.37) {
+      const double x = std::cos(th);
+      EXPECT_NEAR(chebyshev_t(static_cast<std::size_t>(n), x),
+                  std::cos(n * th), 1e-10)
+          << "n=" << n << " theta=" << th;
+    }
+  }
+}
+
+TEST(ChebyshevT, RecurrenceOutsideUnitInterval) {
+  // T_{n+1} = 2x T_n - T_{n-1} must hold for |x| > 1 too.
+  for (double x : {1.5, -1.5, 2.7, -3.1}) {
+    for (std::size_t n = 1; n <= 8; ++n) {
+      EXPECT_NEAR(chebyshev_t(n + 1, x),
+                  2.0 * x * chebyshev_t(n, x) - chebyshev_t(n - 1, x),
+                  1e-7 * std::abs(chebyshev_t(n + 1, x)) + 1e-9);
+    }
+  }
+}
+
+TEST(ChebyshevT, BoundedOnUnitInterval) {
+  for (std::size_t n = 0; n <= 11; ++n) {
+    for (double x = -1.0; x <= 1.0; x += 0.01) {
+      EXPECT_LE(std::abs(chebyshev_t(n, x)), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(ChebyshevSeries, ClenshawMatchesDirect) {
+  const std::vector<double> c{0.5, -0.2, 0.1, 0.7};
+  for (double x = -1.0; x <= 1.0; x += 0.13) {
+    double direct = 0.0;
+    for (std::size_t k = 0; k < c.size(); ++k) direct += c[k] * chebyshev_t(k, x);
+    EXPECT_NEAR(chebyshev_series(c, x), direct, 1e-12);
+  }
+}
+
+TEST(ChebyshevOddSeries, UsesOddOrdersOnly) {
+  const std::vector<double> c{1.0, 0.5};  // T1 + 0.5 T3
+  const double x = 0.4;
+  EXPECT_NEAR(chebyshev_odd_series(c, x),
+              chebyshev_t(1, x) + 0.5 * chebyshev_t(3, x), 1e-12);
+  // Odd series must be an odd function.
+  EXPECT_NEAR(chebyshev_odd_series(c, -x), -chebyshev_odd_series(c, x), 1e-12);
+}
+
+class ChebyCoeffs : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChebyCoeffs, PolynomialFormMatchesEvaluation) {
+  const std::size_t n = GetParam();
+  const auto coeffs = chebyshev_t_coeffs(n);
+  ASSERT_EQ(coeffs.size(), n + 1);
+  for (double x = -1.2; x <= 1.2; x += 0.1) {
+    EXPECT_NEAR(poly_eval(coeffs, {x, 0.0}).real(), chebyshev_t(n, x),
+                1e-9 * (1.0 + std::abs(chebyshev_t(n, x))));
+  }
+  // Leading coefficient is 2^(n-1) for n >= 1.
+  if (n >= 1) {
+    EXPECT_NEAR(coeffs.back(), std::pow(2.0, static_cast<double>(n - 1)), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ChebyCoeffs,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 9));
+
+TEST(ChebyCoeffs, KnownT3AndT5) {
+  const auto t3 = chebyshev_t_coeffs(3);
+  EXPECT_NEAR(t3[1], -3.0, 1e-12);
+  EXPECT_NEAR(t3[3], 4.0, 1e-12);
+  const auto t5 = chebyshev_t_coeffs(5);
+  EXPECT_NEAR(t5[1], 5.0, 1e-12);
+  EXPECT_NEAR(t5[3], -20.0, 1e-12);
+  EXPECT_NEAR(t5[5], 16.0, 1e-12);
+}
+
+}  // namespace

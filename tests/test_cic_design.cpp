@@ -1,0 +1,131 @@
+// CIC design equations: Eq. (1) transfer function, Eq. (2) register
+// widths, alias rejection and the paper's 4/4/6 cascade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/cic.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::design;
+
+TEST(CicSpec, RegisterWidthHogenauer) {
+  // Width = ceil(K log2 M) + Bin (the paper's Eq. 2 gives the MSB index).
+  EXPECT_EQ((CicSpec{4, 2, 4}).register_width(), 8);
+  EXPECT_EQ((CicSpec{4, 2, 8}).register_width(), 12);
+  EXPECT_EQ((CicSpec{6, 2, 12}).register_width(), 18);
+  EXPECT_EQ((CicSpec{3, 8, 4}).register_width(), 13);
+}
+
+TEST(CicSpec, DcGain) {
+  EXPECT_NEAR((CicSpec{4, 2, 4}).dc_gain(), 16.0, 1e-12);
+  EXPECT_NEAR((CicSpec{6, 2, 4}).dc_gain(), 64.0, 1e-12);
+  EXPECT_NEAR((CicSpec{2, 8, 4}).dc_gain(), 64.0, 1e-12);
+}
+
+class CicMagnitude
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CicMagnitude, ClosedFormMatchesImpulseResponse) {
+  const auto [k, m] = GetParam();
+  const CicSpec spec{k, m, 4};
+  const auto h = cic_impulse_response(spec);
+  ASSERT_EQ(h.size(), static_cast<std::size_t>(k * (m - 1) + 1));
+  for (double f = 0.0; f <= 0.5; f += 0.01) {
+    EXPECT_NEAR(std::abs(dsp::fir_response_at(h, f)), cic_magnitude(spec, f),
+                1e-10)
+        << "K=" << k << " M=" << m << " f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CicMagnitude,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 6),
+                                            ::testing::Values(2, 4, 8)));
+
+TEST(CicMagnitude, NullsAtMultiplesOfOutputRate) {
+  const CicSpec spec{4, 2, 4};
+  EXPECT_LT(cic_magnitude(spec, 0.5), 1e-12);  // null at fs/M
+  const CicSpec s8{3, 8, 4};
+  for (int m = 1; m < 8; ++m) {
+    EXPECT_LT(cic_magnitude(s8, m / 8.0), 1e-10);
+  }
+}
+
+TEST(CicDroop, MonotoneInBand) {
+  const CicSpec spec{6, 2, 12};
+  double prev = 0.0;
+  for (double f = 0.0; f <= 0.12; f += 0.01) {
+    const double d = cic_droop_db(spec, f);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+  // Sinc6 droop at 20 MHz / 160 MHz = 0.125: about 4.1 dB.
+  EXPECT_NEAR(cic_droop_db(spec, 0.125), 4.13, 0.1);
+}
+
+TEST(CicAlias, PaperStageNumbers) {
+  // Stage 1: Sinc4, M=2, band 20/640: ~80 dB worst-case rejection.
+  EXPECT_NEAR(cic_alias_rejection_db(CicSpec{4, 2, 4}, 20e6 / 640e6), 80.5, 1.0);
+  // Stage 3: Sinc6, M=2, band 20/160: ~46 dB.
+  EXPECT_NEAR(cic_alias_rejection_db(CicSpec{6, 2, 12}, 20e6 / 160e6), 45.9, 1.0);
+}
+
+TEST(CicAlias, MoreStagesMoreRejection) {
+  double prev = 0.0;
+  for (int k = 1; k <= 8; ++k) {
+    const double a = cic_alias_rejection_db(CicSpec{k, 2, 4}, 0.03);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(CicAlias, RejectsOutOfRangeBand) {
+  EXPECT_THROW(cic_alias_rejection_db(CicSpec{4, 2, 4}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(cic_alias_rejection_db(CicSpec{4, 2, 4}, 0.3),
+               std::invalid_argument);
+}
+
+TEST(CicMinOrder, FindsSmallestK) {
+  const int k = cic_min_order(2, 0.03125, 80.0);
+  EXPECT_EQ(k, 4);  // the paper's Sinc4 choice at ~80 dB
+  const int k5 = cic_min_order(2, 0.03125, 85.0);
+  EXPECT_EQ(k5, 5);
+  EXPECT_EQ(cic_min_order(2, 0.2, 300.0), 0);  // unreachable
+}
+
+TEST(CicCascade, PaperConfiguration) {
+  const auto stages = paper_sinc_cascade();
+  ASSERT_EQ(stages.size(), 3u);
+  EXPECT_EQ(stages[0].order, 4);
+  EXPECT_EQ(stages[1].order, 4);
+  EXPECT_EQ(stages[2].order, 6);
+  EXPECT_EQ(stages[0].input_bits, 4);
+  EXPECT_EQ(stages[1].input_bits, 8);
+  EXPECT_EQ(stages[2].input_bits, 12);
+}
+
+TEST(CicCascade, CompositeResponseIsProductOfStages) {
+  const auto stages = paper_sinc_cascade();
+  const auto h = cic_cascade_response(stages);
+  for (double f = 0.0; f <= 0.06; f += 0.005) {
+    const double expect = cic_magnitude(stages[0], f) *
+                          cic_magnitude(stages[1], 2.0 * f) *
+                          cic_magnitude(stages[2], 4.0 * f);
+    EXPECT_NEAR(std::abs(dsp::fir_response_at(h, f)), expect, 1e-9);
+  }
+  EXPECT_TRUE(dsp::is_symmetric(h, 1e-12));
+}
+
+TEST(CicCascade, DeepAliasNotchesAtOutputImages) {
+  // Composite /8 cascade: nulls at 80, 160, 240 MHz (in 640 MHz units).
+  const auto h = cic_cascade_response(paper_sinc_cascade());
+  for (double f : {0.125, 0.25, 0.375}) {
+    EXPECT_LT(std::abs(dsp::fir_response_at(h, f)), 1e-8);
+  }
+}
+
+}  // namespace

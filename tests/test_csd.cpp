@@ -1,0 +1,124 @@
+// Canonical signed digit encoding: exactness, canonicity, minimality and
+// hardware cost metrics (Section V of the paper).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "src/fixedpoint/csd.h"
+
+namespace {
+
+using namespace dsadc::fx;
+
+TEST(CsdInt, ZeroIsEmpty) {
+  const Csd c = csd_encode_int(0);
+  EXPECT_TRUE(c.digits.empty());
+  EXPECT_EQ(c.to_double(), 0.0);
+  EXPECT_EQ(c.adder_cost(), 0u);
+}
+
+TEST(CsdInt, KnownEncodings) {
+  // 7 = 8 - 1 (two digits, not three).
+  const Csd seven = csd_encode_int(7);
+  EXPECT_EQ(seven.nonzero_count(), 2u);
+  EXPECT_NEAR(seven.to_double(), 7.0, 1e-15);
+  // 15 = 16 - 1.
+  EXPECT_EQ(csd_encode_int(15).nonzero_count(), 2u);
+  // 5 = 4 + 1.
+  EXPECT_EQ(csd_encode_int(5).nonzero_count(), 2u);
+  // 1 is a bare shift: zero adders.
+  EXPECT_EQ(csd_encode_int(1).adder_cost(), 0u);
+}
+
+class CsdIntSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CsdIntSweep, RangeProperties) {
+  const std::int64_t base = GetParam();
+  for (std::int64_t n = base; n < base + 200; ++n) {
+    const Csd c = csd_encode_int(n);
+    EXPECT_NEAR(c.to_double(), static_cast<double>(n), 1e-9) << n;
+    EXPECT_TRUE(is_canonical(c)) << n;
+    // CSD is minimal: never more nonzeros than the binary representation.
+    const auto bin_ones =
+        std::popcount(static_cast<std::uint64_t>(std::llabs(n)));
+    EXPECT_LE(c.nonzero_count(), static_cast<std::size_t>(bin_ones) + 1) << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, CsdIntSweep,
+                         ::testing::Values(-5000, -100, 0, 1000, 123456));
+
+TEST(Csd, FractionalEncoding) {
+  const Csd c = csd_encode(0.40625, 8);  // 104/256 = 0.0110100_2
+  EXPECT_NEAR(c.to_double(), 0.40625, 1e-12);
+  EXPECT_TRUE(is_canonical(c));
+}
+
+TEST(Csd, RoundsToPrecision) {
+  const Csd c = csd_encode(1.0 / 3.0, 8);
+  EXPECT_NEAR(c.to_double(), std::nearbyint(256.0 / 3.0) / 256.0, 1e-12);
+}
+
+TEST(Csd, RejectsBadFracBits) {
+  EXPECT_THROW(csd_encode(0.5, -1), std::invalid_argument);
+  EXPECT_THROW(csd_encode(0.5, 61), std::invalid_argument);
+}
+
+TEST(CsdLimited, RespectsDigitBudget) {
+  for (double v : {0.7071067, 0.3333333, 0.9, -0.456789}) {
+    for (std::size_t d = 1; d <= 5; ++d) {
+      const Csd c = csd_encode_limited(v, 16, d);
+      EXPECT_LE(c.nonzero_count(), d);
+      // Greedy best-approximation error bound: next digit magnitude.
+      if (!c.digits.empty()) {
+        const int last = c.digits.back().position;
+        EXPECT_LE(std::abs(c.to_double() - v),
+                  std::ldexp(1.0, last));
+      }
+    }
+  }
+}
+
+TEST(CsdLimited, ConvergesToExactWithEnoughDigits) {
+  const double v = 0.15625;  // 0.00101_2: 2 digits suffice
+  const Csd c = csd_encode_limited(v, 8, 8);
+  EXPECT_NEAR(c.to_double(), v, 1e-12);
+  EXPECT_LE(c.nonzero_count(), 2u);
+}
+
+TEST(CsdError, BoundedByHalfLsb) {
+  const std::vector<double> coeffs{0.123, -0.456, 0.999, 0.001};
+  const double err = csd_quantization_error(coeffs, 12);
+  EXPECT_LE(err, std::ldexp(0.5, -12) + 1e-15);
+}
+
+TEST(CsdTaps, CostAccounting) {
+  const std::vector<double> taps{0.5, 0.25, 0.75, 0.0};
+  const auto enc = csd_encode_taps(taps, 8);
+  ASSERT_EQ(enc.size(), 4u);
+  // 0.5, 0.25 are single digits (0 adders); 0.75 = 1 - 0.25 (1 adder).
+  EXPECT_EQ(enc[0].adder_cost(), 0u);
+  EXPECT_EQ(enc[1].adder_cost(), 0u);
+  EXPECT_EQ(enc[2].adder_cost(), 1u);
+  EXPECT_EQ(enc[3].adder_cost(), 0u);
+  EXPECT_EQ(total_adder_cost(enc), 1u);
+}
+
+TEST(Csd, ToStringReadable) {
+  const Csd c = csd_encode(0.75, 4);
+  EXPECT_EQ(c.to_string(), "+2^0 -2^-2");
+  EXPECT_EQ(Csd{}.to_string(), "0");
+}
+
+TEST(Csd, NegativeValuesMirrorPositive) {
+  for (double v : {0.3, 0.62, 0.111}) {
+    const Csd p = csd_encode(v, 14);
+    const Csd n = csd_encode(-v, 14);
+    EXPECT_EQ(p.nonzero_count(), n.nonzero_count());
+    EXPECT_NEAR(p.to_double(), -n.to_double(), 1e-12);
+  }
+}
+
+}  // namespace

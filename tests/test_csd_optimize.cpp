@@ -1,0 +1,70 @@
+// Minimum-adder CSD allocation.
+#include <gtest/gtest.h>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/remez.h"
+#include "src/fixedpoint/csd_optimize.h"
+
+namespace {
+
+using namespace dsadc;
+
+class CsdOptimize : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    taps_ = new std::vector<double>(
+        design::remez_lowpass(63, 0.10, 0.16, 1.0, 20.0).taps);
+  }
+  static void TearDownTestSuite() { delete taps_; }
+  static std::vector<double>* taps_;
+};
+
+std::vector<double>* CsdOptimize::taps_ = nullptr;
+
+TEST_F(CsdOptimize, MeetsTargetWithFewerDigits) {
+  const auto full = fx::csd_encode_taps(*taps_, 20);
+  const auto opt = fx::optimize_csd_taps(*taps_, 0.16, 55.0, 20);
+  EXPECT_GE(opt.stopband_atten_db, 55.0);
+  std::size_t full_digits = 0;
+  for (const auto& c : full) full_digits += c.nonzero_count();
+  EXPECT_LT(opt.digits, full_digits / 2);
+  // The realized taps really deliver the attenuation.
+  EXPECT_GE(dsp::min_attenuation_db(opt.values, 0.16, 0.5), 54.0);
+}
+
+TEST_F(CsdOptimize, TighterTargetCostsMoreDigits) {
+  const auto loose = fx::optimize_csd_taps(*taps_, 0.16, 40.0, 20);
+  const auto tight = fx::optimize_csd_taps(*taps_, 0.16, 60.0, 20);
+  EXPECT_GE(loose.stopband_atten_db, 40.0);
+  EXPECT_GE(tight.stopband_atten_db, 60.0);
+  EXPECT_LT(loose.digits, tight.digits);
+  EXPECT_LE(loose.adders, tight.adders);
+}
+
+TEST_F(CsdOptimize, KeepsSymmetryOfValues) {
+  const auto opt = fx::optimize_csd_taps(*taps_, 0.16, 50.0, 20);
+  // The optimizer removes digits pairwise on symmetric inputs, so linear
+  // phase is preserved EXACTLY.
+  for (std::size_t i = 0; i < opt.values.size() / 2; ++i) {
+    EXPECT_EQ(opt.values[i], opt.values[opt.values.size() - 1 - i]);
+  }
+}
+
+TEST_F(CsdOptimize, ArgumentsValidated) {
+  EXPECT_THROW(fx::optimize_csd_taps({}, 0.2, 40.0), std::invalid_argument);
+  EXPECT_THROW(fx::optimize_csd_taps(*taps_, 0.0, 40.0),
+               std::invalid_argument);
+  const std::vector<double> zero_dc{0.5, -0.5};
+  EXPECT_THROW(fx::optimize_csd_taps(zero_dc, 0.2, 40.0),
+               std::invalid_argument);
+}
+
+TEST_F(CsdOptimize, UnreachableTargetKeepsFullPrecision) {
+  // If the float design only reaches ~60 dB, asking for 300 dB removes
+  // nothing (or almost nothing) and reports the achievable figure.
+  const auto opt = fx::optimize_csd_taps(*taps_, 0.16, 300.0, 20);
+  const double full_atten = dsp::min_attenuation_db(*taps_, 0.16, 0.5);
+  EXPECT_NEAR(opt.stopband_atten_db, full_atten, 1.0);
+}
+
+}  // namespace

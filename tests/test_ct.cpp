@@ -1,0 +1,123 @@
+// Continuous-time loop-filter mapping (Figs. 2-3): impulse invariance,
+// resonator placement, and CT-vs-DT modulator agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/spectrum.h"
+#include "src/modulator/ct.h"
+#include "src/modulator/ntf.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::mod;
+
+class CtMapping : public ::testing::TestWithParam<int> {
+ protected:
+  static Ntf make_ntf(int order) {
+    return synthesize_ntf(order, 16.0, order >= 5 ? 3.0 : 2.0, true);
+  }
+};
+
+TEST_P(CtMapping, PulseResponseMatchesDtImpulseResponse) {
+  const int order = GetParam();
+  const CiffCoeffs dt = realize_ciff(make_ntf(order));
+  const CtCiffCoeffs ct = map_ciff_to_ct(dt);
+  ASSERT_EQ(ct.order(), order);
+  const auto want = ciff_loop_impulse_response(dt, 32);
+  const auto got = ct_loop_pulse_response(ct, 32);
+  for (std::size_t n = 0; n < want.size(); ++n) {
+    EXPECT_NEAR(got[n], want[n], 1e-6 * (1.0 + std::abs(want[n])))
+        << "order " << order << " sample " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CtMapping, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(CtMapping, ResonatorFrequencies) {
+  const CiffCoeffs dt = realize_ciff(synthesize_ntf(5, 16.0, 3.0, true));
+  const CtCiffCoeffs ct = map_ciff_to_ct(dt);
+  ASSERT_EQ(ct.g_ct.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    // CT resonance sqrt(g_ct) rad/period must sample onto the DT zero
+    // angle theta with g_dt = 2 - 2 cos(theta).
+    const double theta = std::sqrt(ct.g_ct[j]);
+    EXPECT_NEAR(2.0 - 2.0 * std::cos(theta), dt.g[j], 1e-12);
+  }
+  // Small-angle: g_ct slightly above g_dt.
+  EXPECT_GT(ct.g_ct[0], dt.g[0]);
+  EXPECT_NEAR(ct.g_ct[0], dt.g[0], 0.01 * dt.g[0]);
+}
+
+TEST(CtMapping, FeedForwardGainsPositiveDecreasing) {
+  const CiffCoeffs dt = realize_ciff(synthesize_ntf(5, 16.0, 3.0, true));
+  const CtCiffCoeffs ct = map_ciff_to_ct(dt);
+  for (std::size_t i = 0; i + 1 < ct.k.size(); ++i) {
+    EXPECT_GT(ct.k[i], 0.0);
+    EXPECT_GT(ct.k[i], ct.k[i + 1]);
+  }
+}
+
+class CtModulatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto ntf = synthesize_ntf(5, 16.0, 3.0, true);
+    dt_ = new CiffCoeffs(realize_ciff(ntf));
+    ct_ = new CtCiffCoeffs(map_ciff_to_ct(*dt_));
+  }
+  static void TearDownTestSuite() {
+    delete dt_;
+    delete ct_;
+  }
+  static CiffCoeffs* dt_;
+  static CtCiffCoeffs* ct_;
+};
+
+CiffCoeffs* CtModulatorTest::dt_ = nullptr;
+CtCiffCoeffs* CtModulatorTest::ct_ = nullptr;
+
+TEST_F(CtModulatorTest, StableAtMsaWithDtClassSqnr) {
+  CtCiffModulator m(*ct_, 4);
+  const auto u = coherent_sine(1 << 15, 5e6, 640e6, 0.81, nullptr);
+  const auto out = m.run(u);
+  ASSERT_TRUE(out.stable);
+  const auto snr = dsp::measure_tone_snr(out.levels, 640e6, 20e6,
+                                         dsp::WindowKind::kKaiser, 8, 8, 22.0);
+  EXPECT_GT(snr.snr_db, 100.0);  // paper: 102 dB for the CT design
+}
+
+TEST_F(CtModulatorTest, AgreesWithDtWithinFewDb) {
+  const auto u = coherent_sine(1 << 15, 5e6, 640e6, 0.7, nullptr);
+  CtCiffModulator ct_mod(*ct_, 4);
+  CiffModulator dt_mod(*dt_, 4);
+  const auto snr_ct = dsp::measure_tone_snr(ct_mod.run(u).levels, 640e6, 20e6);
+  const auto snr_dt = dsp::measure_tone_snr(dt_mod.run(u).levels, 640e6, 20e6);
+  EXPECT_NEAR(snr_ct.snr_db, snr_dt.snr_db, 6.0);
+}
+
+TEST_F(CtModulatorTest, SubstepConvergence) {
+  // Coarser integration must not change the behaviour materially (the
+  // inter-sample dynamics are smooth).
+  const auto u = coherent_sine(1 << 13, 5e6, 640e6, 0.6, nullptr);
+  CtCiffModulator coarse(*ct_, 4, 8);
+  CtCiffModulator fine(*ct_, 4, 64);
+  const auto a = dsp::measure_tone_snr(coarse.run(u).levels, 640e6, 20e6);
+  const auto b = dsp::measure_tone_snr(fine.run(u).levels, 640e6, 20e6);
+  EXPECT_NEAR(a.snr_db, b.snr_db, 6.0);
+}
+
+TEST_F(CtModulatorTest, UnstableAboveFullScale) {
+  CtCiffModulator m(*ct_, 4);
+  const auto u = coherent_sine(1 << 15, 5e6, 640e6, 1.15, nullptr);
+  EXPECT_FALSE(m.run(u).stable);
+}
+
+TEST(CtModulatorErrors, RejectsTooFewSubsteps) {
+  CtCiffCoeffs c;
+  c.k = {1.0, 0.5};
+  c.g_ct = {0.01};
+  EXPECT_THROW(CtCiffModulator(c, 4, 2), std::invalid_argument);
+}
+
+}  // namespace

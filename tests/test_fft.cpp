@@ -1,0 +1,141 @@
+// FFT correctness: known transforms, linearity, Parseval, inverse round
+// trip, and real-signal helper behaviour across sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+
+#include "src/dsp/fft.h"
+
+namespace {
+
+using dsadc::dsp::fft;
+using dsadc::dsp::fft_inplace;
+using dsadc::dsp::fft_real;
+using dsadc::dsp::is_power_of_two;
+using dsadc::dsp::next_power_of_two;
+using Cvec = std::vector<std::complex<double>>;
+
+TEST(FftUtil, PowerOfTwoPredicates) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1023));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  Cvec x(3, {1.0, 0.0});
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  Cvec x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const Cvec y = fft(x);
+  for (const auto& v : y) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcIsSum) {
+  Cvec x(8, {2.5, 0.0});
+  const Cvec y = fft(x);
+  EXPECT_NEAR(y[0].real(), 20.0, 1e-12);
+  for (std::size_t k = 1; k < y.size(); ++k) {
+    EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneBin) {
+  const std::size_t n = 64;
+  Cvec x(n);
+  const double f = 5.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w = 2.0 * std::numbers::pi * f * static_cast<double>(i);
+    x[i] = {std::cos(w), std::sin(w)};
+  }
+  const Cvec y = fft(x);
+  EXPECT_NEAR(std::abs(y[5]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == 5) continue;
+    EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Cvec x(n);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+  Cvec y = fft(x);
+  fft_inplace(y, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Cvec x(n);
+  for (auto& v : x) v = {dist(rng), dist(rng)};
+  const Cvec y = fft(x);
+  double ex = 0.0, ey = 0.0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * static_cast<double>(n), 1e-6 * ex * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 4, 8, 64, 256, 4096));
+
+TEST(Fft, LinearityHolds) {
+  const std::size_t n = 32;
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Cvec a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {dist(rng), dist(rng)};
+    b[i] = {dist(rng), dist(rng)};
+    sum[i] = a[i] + 3.0 * b[i];
+  }
+  const Cvec fa = fft(a), fb = fft(b), fs = fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(fs[k] - (fa[k] + 3.0 * fb[k])), 0.0, 1e-9);
+  }
+}
+
+TEST(FftReal, PadsToPowerOfTwo) {
+  std::vector<double> x(100, 1.0);
+  const Cvec y = fft_real(x);
+  EXPECT_EQ(y.size(), 128u);
+  EXPECT_NEAR(y[0].real(), 100.0, 1e-9);
+}
+
+TEST(FftReal, ConjugateSymmetry) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> x(64);
+  for (auto& v : x) v = dist(rng);
+  const Cvec y = fft_real(x);
+  for (std::size_t k = 1; k < 32; ++k) {
+    EXPECT_NEAR(y[k].real(), y[64 - k].real(), 1e-10);
+    EXPECT_NEAR(y[k].imag(), -y[64 - k].imag(), 1e-10);
+  }
+}
+
+}  // namespace

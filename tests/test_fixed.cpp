@@ -1,0 +1,169 @@
+// Fixed-point semantics: the CIC correctness proof rests on exact
+// two's-complement wraparound, and every stage boundary rests on
+// requantize; both are exercised exhaustively here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fixedpoint/fixed.h"
+
+namespace {
+
+using namespace dsadc::fx;
+
+TEST(Format, RangesAndLsb) {
+  const Format f{8, 4};
+  EXPECT_EQ(f.raw_min(), -128);
+  EXPECT_EQ(f.raw_max(), 127);
+  EXPECT_EQ(f.integer_bits(), 4);
+  EXPECT_NEAR(f.lsb(), 1.0 / 16.0, 1e-15);
+  EXPECT_EQ(f.to_string(), "Q3.4 (8b)");
+}
+
+TEST(Wrap, ModularIdentities) {
+  const Format f{4, 0};  // [-8, 7]
+  EXPECT_EQ(wrap_to(7, f), 7);
+  EXPECT_EQ(wrap_to(8, f), -8);
+  EXPECT_EQ(wrap_to(-9, f), 7);
+  EXPECT_EQ(wrap_to(16, f), 0);
+  EXPECT_EQ(wrap_to(-8, f), -8);
+}
+
+TEST(Wrap, AdditionIsHomomorphic) {
+  // wrap(a + b) == wrap(wrap(a) + wrap(b)) - the property Hogenauer needs.
+  const Format f{6, 0};
+  for (std::int64_t a = -100; a <= 100; a += 7) {
+    for (std::int64_t b = -100; b <= 100; b += 11) {
+      EXPECT_EQ(wrap_to(a + b, f), wrap_to(wrap_to(a, f) + wrap_to(b, f), f));
+    }
+  }
+}
+
+TEST(Saturate, Clamps) {
+  const Format f{4, 0};
+  EXPECT_EQ(saturate_to(100, f), 7);
+  EXPECT_EQ(saturate_to(-100, f), -8);
+  EXPECT_EQ(saturate_to(3, f), 3);
+}
+
+TEST(FromDouble, RoundsToNearest) {
+  const Format f{8, 4};
+  EXPECT_EQ(from_double(0.5, f), 8);
+  EXPECT_EQ(from_double(0.49, f), 8);        // 7.84 -> 8
+  EXPECT_EQ(from_double(0.47, f), 8);        // 7.52 -> 8
+  EXPECT_EQ(from_double(0.40, f), 6);        // 6.4 -> 6
+  EXPECT_EQ(from_double(-0.40, f), -6);
+  EXPECT_EQ(from_double(100.0, f), f.raw_max());  // saturate default
+}
+
+TEST(ToDouble, RoundTrip) {
+  const Format f{12, 7};
+  for (std::int64_t raw = f.raw_min(); raw <= f.raw_max(); raw += 13) {
+    EXPECT_EQ(from_double(to_double(raw, f), f), raw);
+  }
+}
+
+struct RequantCase {
+  int src_frac;
+  Format dst;
+  Rounding rnd;
+  Overflow ovf;
+};
+
+TEST(Requantize, ShiftRightTruncates) {
+  // 0b0110.11 (frac 2) -> frac 0 truncate = 6 (floor).
+  EXPECT_EQ(requantize(27, 2, Format{8, 0}, Rounding::kTruncate, Overflow::kWrap), 6);
+  // Negative: -27/4 = -6.75 -> floor = -7 (arithmetic shift).
+  EXPECT_EQ(requantize(-27, 2, Format{8, 0}, Rounding::kTruncate, Overflow::kWrap), -7);
+}
+
+TEST(Requantize, ShiftRightRoundsNearest) {
+  EXPECT_EQ(requantize(27, 2, Format{8, 0}, Rounding::kRoundNearest, Overflow::kWrap), 7);
+  EXPECT_EQ(requantize(26, 2, Format{8, 0}, Rounding::kRoundNearest, Overflow::kWrap), 7);  // 6.5 -> 7 (half up)
+  EXPECT_EQ(requantize(25, 2, Format{8, 0}, Rounding::kRoundNearest, Overflow::kWrap), 6);
+  EXPECT_EQ(requantize(-26, 2, Format{8, 0}, Rounding::kRoundNearest, Overflow::kWrap), -6);  // -6.5 -> -6
+}
+
+TEST(Requantize, ShiftLeftIsExact) {
+  EXPECT_EQ(requantize(5, 0, Format{16, 4}, Rounding::kTruncate, Overflow::kWrap), 80);
+}
+
+TEST(Requantize, OverflowPolicies) {
+  // 100 at frac 0 into 6-bit [-32,31]: wrap vs saturate.
+  EXPECT_EQ(requantize(100, 0, Format{6, 0}, Rounding::kTruncate, Overflow::kSaturate), 31);
+  EXPECT_EQ(requantize(100, 0, Format{6, 0}, Rounding::kTruncate, Overflow::kWrap),
+            wrap_to(100, Format{6, 0}));
+}
+
+TEST(QuantizeVector, MatchesScalar) {
+  const Format f{10, 6};
+  const std::vector<double> v{0.1, -0.37, 0.999, -3.0};
+  const auto q = quantize_vector(v, f);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(q[i], to_double(from_double(v[i], f), f), 1e-15);
+  }
+}
+
+TEST(Value, ArithmeticAndFormats) {
+  const Format f8{8, 4};
+  const Value a = Value::from_real(1.5, f8);
+  const Value b = Value::from_real(2.25, f8);
+  const Value s = a + b;
+  EXPECT_NEAR(s.real(), 3.75, 1e-12);
+  EXPECT_EQ(s.format().frac, 4);
+  EXPECT_EQ(s.format().width, 9);  // one carry bit
+
+  const Value d = b - a;
+  EXPECT_NEAR(d.real(), 0.75, 1e-12);
+
+  const Value p = a * b;
+  EXPECT_NEAR(p.real(), 3.375, 1e-12);
+  EXPECT_EQ(p.format().frac, 8);
+  EXPECT_EQ(p.format().width, 16);
+}
+
+TEST(Value, CastAndShift) {
+  const Value a = Value::from_real(1.5, Format{12, 8});
+  const Value c = a.cast(Format{8, 4}, Rounding::kRoundNearest, Overflow::kSaturate);
+  EXPECT_NEAR(c.real(), 1.5, 1e-12);
+  const Value h = a.asr(1);
+  EXPECT_NEAR(h.real(), 0.75, 1e-12);
+}
+
+TEST(AddFormat, TakesWorstCase) {
+  const Format a{8, 4}, b{12, 2};
+  const Format s = add_format(a, b);
+  EXPECT_EQ(s.frac, 4);
+  EXPECT_EQ(s.integer_bits(), 11);  // max(4, 10) + 1
+}
+
+TEST(Format, RejectsBadWidths) {
+  EXPECT_THROW(wrap_to(0, Format{0, 0}), std::invalid_argument);
+  EXPECT_THROW(wrap_to(0, Format{63, 0}), std::invalid_argument);
+}
+
+class RequantizeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RequantizeSweep, ValuePreservedWithinPrecision) {
+  const auto [src_frac, dst_frac] = GetParam();
+  const Format dst{20, dst_frac};
+  const double max_real = std::ldexp(1.0, 19 - dst_frac) - 1.0;
+  for (std::int64_t raw = -1000; raw <= 1000; raw += 37) {
+    const double real = static_cast<double>(raw) * std::ldexp(1.0, -src_frac);
+    if (std::abs(real) > max_real) continue;  // outside the dst range
+    const std::int64_t q = requantize(raw, src_frac, dst,
+                                      Rounding::kRoundNearest,
+                                      Overflow::kSaturate);
+    const double back = static_cast<double>(q) * std::ldexp(1.0, -dst_frac);
+    EXPECT_LE(std::abs(back - real), std::ldexp(0.5, -dst_frac) + 1e-15)
+        << "raw=" << raw << " src=" << src_frac << " dst=" << dst_frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FracPairs, RequantizeSweep,
+    ::testing::Combine(::testing::Values(0, 3, 8, 12),
+                       ::testing::Values(0, 3, 8, 12)));
+
+}  // namespace

@@ -1,0 +1,167 @@
+// The end-to-end design flow (the paper's contribution): given Table I,
+// produce a verified, synthesizable decimation filter - and retarget it.
+#include <gtest/gtest.h>
+
+#include "src/core/flow.h"
+#include "src/core/response.h"
+
+namespace {
+
+using namespace dsadc;
+using core::DesignFlow;
+using core::FlowOptions;
+using core::FlowResult;
+
+class PaperFlow : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new FlowResult(DesignFlow::design(mod::paper_modulator_spec(),
+                                                mod::paper_decimator_spec()));
+  }
+  static void TearDownTestSuite() { delete result_; }
+  static FlowResult* result_;
+};
+
+FlowResult* PaperFlow::result_ = nullptr;
+
+TEST_F(PaperFlow, SpecChecksPass) {
+  EXPECT_TRUE(result_->ripple_ok) << result_->passband_ripple_db;
+  EXPECT_TRUE(result_->attenuation_ok) << result_->alias_protection_db;
+  EXPECT_GE(result_->alias_protection_db, 85.0);
+  EXPECT_LE(result_->passband_ripple_db, 1.0);
+}
+
+TEST_F(PaperFlow, ModulatorModelMatchesPaper) {
+  EXPECT_NEAR(result_->ntf.infinity_norm(), 3.0, 0.05);
+  EXPECT_GT(result_->predicted_sqnr_db, 95.0);
+  EXPECT_EQ(result_->ciff.order(), 5);
+  EXPECT_NEAR(result_->msa, 0.81, 1e-12);  // spec value carried through
+}
+
+TEST_F(PaperFlow, ChainStructureMatchesPaper) {
+  ASSERT_EQ(result_->chain.cic_stages.size(), 3u);
+  EXPECT_EQ(result_->chain.cic_stages[0].order, 4);
+  EXPECT_EQ(result_->chain.cic_stages[1].order, 4);
+  EXPECT_EQ(result_->chain.cic_stages[2].order, 6);
+  EXPECT_EQ(result_->chain.cic_stages[0].input_bits, 4);
+  EXPECT_EQ(result_->chain.cic_stages[1].input_bits, 8);
+  EXPECT_EQ(result_->chain.cic_stages[2].input_bits, 12);
+  EXPECT_GE(result_->chain.hbf.stopband_atten_db, 90.0);
+}
+
+TEST_F(PaperFlow, ReportMentionsKeyFacts) {
+  const std::string rep = core::flow_report(*result_);
+  EXPECT_NE(rep.find("order 5"), std::string::npos);
+  EXPECT_NE(rep.find("Sinc4(/2)"), std::string::npos);
+  EXPECT_NE(rep.find("Sinc6(/2)"), std::string::npos);
+  EXPECT_NE(rep.find("OK"), std::string::npos);
+}
+
+TEST_F(PaperFlow, VerifyMeetsTargets) {
+  const auto v = DesignFlow::verify(*result_, 5e6, 1 << 15);
+  EXPECT_TRUE(v.snr_ok);
+  EXPECT_GT(v.snr_db, 80.0);               // 14-bit output, short run
+  EXPECT_GT(v.snr_unquantized_db, 86.0);   // the filtering itself
+  EXPECT_NEAR(v.tone_freq_hz, 5e6, 0.2e6);
+}
+
+TEST_F(PaperFlow, RtlArtifactsGenerated) {
+  const auto art = DesignFlow::generate_rtl(*result_);
+  EXPECT_EQ(art.verilog.size(), 6u);
+  EXPECT_NE(art.verilog.find("halfband"), art.verilog.end());
+  EXPECT_NE(art.full_chain_verilog.find("module decimation_chain"),
+            std::string::npos);
+  EXPECT_NE(art.testbench.find("_tb"), std::string::npos);
+}
+
+TEST_F(PaperFlow, SynthesisProfileShape) {
+  const auto prof = DesignFlow::synthesize(*result_, 5e6, 1 << 12);
+  ASSERT_EQ(prof.stages.size(), 6u);
+  // First Sinc stage dominates dynamic power (Fig. 13).
+  for (std::size_t i = 1; i < prof.stages.size(); ++i) {
+    EXPECT_GE(prof.stages[0].dynamic_power_w,
+              prof.stages[i].dynamic_power_w);
+  }
+}
+
+TEST(FlowOptionsTest, ExplicitCicOrdersHonoured) {
+  FlowOptions opt;
+  opt.cic_orders = {5, 5, 6};
+  const auto r = DesignFlow::design(mod::paper_modulator_spec(),
+                                    mod::paper_decimator_spec(), opt);
+  EXPECT_EQ(r.chain.cic_stages[0].order, 5);
+  EXPECT_EQ(r.chain.cic_stages[1].order, 5);
+  FlowOptions bad;
+  bad.cic_orders = {4};
+  EXPECT_THROW(DesignFlow::design(mod::paper_modulator_spec(),
+                                  mod::paper_decimator_spec(), bad),
+               std::invalid_argument);
+}
+
+TEST(FlowRetarget, Osr32NarrowbandStandard) {
+  // SDR reconfiguration: a W-CDMA-like 5 MHz band at OSR 32.
+  mod::ModulatorSpec m;
+  m.order = 4;
+  m.osr = 32.0;
+  m.obg = 2.5;
+  m.sample_rate_hz = 320e6;
+  m.bandwidth_hz = 5e6;
+  m.quantizer_bits = 4;
+  m.msa = 0.85;
+  mod::DecimatorSpec d;
+  d.passband_edge_hz = 5e6;
+  d.stopband_edge_hz = 5.75e6;
+  d.output_rate_hz = 10e6;
+  d.stopband_atten_db = 85.0;
+  d.target_snr_db = 86.0;
+  const auto r = DesignFlow::design(m, d);
+  EXPECT_EQ(r.chain.cic_stages.size(), 4u);  // OSR 32: four /2 Sinc stages
+  EXPECT_TRUE(r.attenuation_ok) << r.alias_protection_db;
+  EXPECT_TRUE(r.ripple_ok) << r.passband_ripple_db;
+}
+
+class FlowOsrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlowOsrSweep, DesignsMeetSpecsAcrossOsr) {
+  const double osr = GetParam();
+  mod::ModulatorSpec m;
+  m.order = osr >= 16 ? 4 : 5;
+  m.osr = osr;
+  m.obg = osr >= 32 ? 2.0 : 3.0;
+  m.bandwidth_hz = 10e6;
+  m.sample_rate_hz = 2.0 * m.bandwidth_hz * osr;
+  m.quantizer_bits = 4;
+  m.msa = 0.8;
+  mod::DecimatorSpec d;
+  d.passband_edge_hz = 10e6;
+  d.stopband_edge_hz = 11.5e6;
+  d.output_rate_hz = 20e6;
+  d.stopband_atten_db = 80.0;
+  d.target_snr_db = 80.0;
+  const auto r = core::DesignFlow::design(m, d);
+  std::size_t n_cic = 0;
+  for (double v = osr / 2.0; v > 1.0; v /= 2.0) ++n_cic;
+  EXPECT_EQ(r.chain.cic_stages.size(), n_cic);
+  EXPECT_TRUE(r.attenuation_ok) << "OSR " << osr << ": "
+                                << r.alias_protection_db;
+  EXPECT_TRUE(r.ripple_ok) << "OSR " << osr << ": " << r.passband_ripple_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FlowOsrSweep,
+                         ::testing::Values(4.0, 8.0, 16.0, 32.0, 64.0));
+
+TEST(FlowRetarget, RejectsNonPowerOfTwoOsr) {
+  mod::ModulatorSpec m = mod::paper_modulator_spec();
+  m.osr = 12.0;
+  EXPECT_THROW(DesignFlow::design(m, mod::paper_decimator_spec()),
+               std::invalid_argument);
+}
+
+TEST(FlowRetarget, RejectsIncompatibleHalfbandEdge) {
+  mod::DecimatorSpec d = mod::paper_decimator_spec();
+  d.stopband_edge_hz = 45e6;  // beyond what a final /2 halfband can do
+  EXPECT_THROW(DesignFlow::design(mod::paper_modulator_spec(), d),
+               std::invalid_argument);
+}
+
+}  // namespace

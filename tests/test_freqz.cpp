@@ -1,0 +1,103 @@
+// Frequency-response helpers: closed-form checks and cascade identities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/dsp/freqz.h"
+
+namespace {
+
+using namespace dsadc::dsp;
+
+TEST(FirResponse, MovingAverageClosedForm) {
+  // 4-tap boxcar: |H(f)| = |sin(4 pi f) / (4 sin(pi f))| * 4 (unnormalized).
+  const std::vector<double> h{1.0, 1.0, 1.0, 1.0};
+  for (double f = 0.01; f < 0.5; f += 0.03) {
+    const double expect =
+        std::abs(std::sin(4.0 * std::numbers::pi * f) /
+                 std::sin(std::numbers::pi * f));
+    EXPECT_NEAR(std::abs(fir_response_at(h, f)), expect, 1e-10);
+  }
+  EXPECT_NEAR(std::abs(fir_response_at(h, 0.0)), 4.0, 1e-12);
+}
+
+TEST(FirResponse, LinearPhaseOfSymmetricFilter) {
+  const std::vector<double> h{0.25, 0.5, 0.25};
+  // Zero-phase part is real after removing the group delay e^{-j2pi f}.
+  for (double f = 0.0; f <= 0.5; f += 0.05) {
+    const auto resp = fir_response_at(h, f);
+    const double w = 2.0 * std::numbers::pi * f;
+    const std::complex<double> rot(std::cos(w), std::sin(w));
+    EXPECT_NEAR((resp * rot).imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(RationalResponse, OnePoleMagnitude) {
+  const std::vector<double> b{1.0};
+  const std::vector<double> a{1.0, -0.9};
+  const double m0 = std::abs(rational_response_at(b, a, 0.0));
+  EXPECT_NEAR(m0, 10.0, 1e-9);  // 1/(1-0.9)
+  const double mhalf = std::abs(rational_response_at(b, a, 0.5));
+  EXPECT_NEAR(mhalf, 1.0 / 1.9, 1e-9);
+}
+
+TEST(Convolve, MatchesPolynomialProduct) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{-1.0, 1.0};
+  const auto c = convolve(a, b);
+  const std::vector<double> expect{-1.0, -1.0, -1.0, 3.0};
+  ASSERT_EQ(c.size(), expect.size());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expect[i], 1e-14);
+}
+
+TEST(Convolve, CascadeResponseMultiplies) {
+  const std::vector<double> a{0.5, 0.5};
+  const std::vector<double> b{0.25, 0.5, 0.25};
+  const auto c = convolve(a, b);
+  for (double f = 0.0; f <= 0.5; f += 0.07) {
+    const auto ra = fir_response_at(a, f);
+    const auto rb = fir_response_at(b, f);
+    const auto rc = fir_response_at(c, f);
+    EXPECT_NEAR(std::abs(rc - ra * rb), 0.0, 1e-12);
+  }
+}
+
+TEST(UpsampleTaps, FrequencyScalingIdentity) {
+  // h(z^M) response at f equals h response at M f.
+  const std::vector<double> h{0.2, 0.6, 0.2};
+  const auto up = upsample_taps(h, 4);
+  ASSERT_EQ(up.size(), 9u);
+  for (double f = 0.0; f <= 0.124; f += 0.01) {
+    EXPECT_NEAR(std::abs(fir_response_at(up, f)),
+                std::abs(fir_response_at(h, 4.0 * f)), 1e-12);
+  }
+}
+
+TEST(UpsampleTaps, EdgeCases) {
+  EXPECT_THROW(upsample_taps(std::vector<double>{1.0}, 0), std::invalid_argument);
+  const auto same = upsample_taps(std::vector<double>{1.0, 2.0}, 1);
+  EXPECT_EQ(same.size(), 2u);
+}
+
+TEST(RippleAndAttenuation, FlatFilterIsZeroRipple) {
+  const std::vector<double> h{1.0};
+  EXPECT_NEAR(passband_ripple_db(h, 0.0, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(min_attenuation_db(h, 0.25, 0.5), 0.0, 1e-12);
+}
+
+TEST(RippleAndAttenuation, AveragerNumbers) {
+  const std::vector<double> h{0.5, 0.5};  // |H| = cos(pi f)
+  // At f = 1/3, attenuation relative to DC = -20 log10(cos(pi/3)) = 6.02.
+  const double att = min_attenuation_db(h, 1.0 / 3.0, 1.0 / 3.0 + 1e-6, 8);
+  EXPECT_NEAR(att, 6.02, 0.02);
+}
+
+TEST(IsSymmetric, DetectsBothCases) {
+  EXPECT_TRUE(is_symmetric(std::vector<double>{1.0, 2.0, 1.0}));
+  EXPECT_TRUE(is_symmetric(std::vector<double>{1.0, 2.0, 2.0, 1.0}));
+  EXPECT_FALSE(is_symmetric(std::vector<double>{1.0, 2.0, 1.5}));
+  EXPECT_TRUE(is_symmetric(std::vector<double>{}));
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Randomized robustness sweep: the chain must stay well-behaved (no
+// crashes, outputs inside the declared format, deterministic) across
+// random configurations and hostile inputs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/flow.h"
+#include "src/decimator/chain.h"
+
+namespace {
+
+using namespace dsadc;
+
+decim::ChainConfig random_config(std::mt19937& rng) {
+  std::uniform_int_distribution<int> order_dist(2, 6);
+  std::uniform_int_distribution<int> stages_dist(2, 4);
+  std::uniform_int_distribution<int> eq_dist(2, 5);
+
+  decim::ChainConfig cfg;
+  cfg.input_rate_hz = 640e6;
+  cfg.input_format = fx::Format{4, 0};
+  const int n_stages = stages_dist(rng);
+  int bits = 4;
+  int gain_log2 = 0;
+  for (int i = 0; i < n_stages; ++i) {
+    design::CicSpec s{order_dist(rng), 2, bits};
+    cfg.cic_stages.push_back(s);
+    bits = s.register_width();
+    gain_log2 += s.order;
+  }
+  cfg.hbf_in_format = fx::Format{bits, gain_log2};
+  cfg.hbf_out_format = cfg.hbf_in_format;
+  cfg.hbf = design::design_saramaki_hbf(
+      static_cast<std::size_t>(eq_dist(rng) / 2 + 1),
+      static_cast<std::size_t>(eq_dist(rng)), 0.21, 24, 0);
+  cfg.scale = 0.98 / (0.8 * 7.0 + 0.5);
+  // A crude equalizer: short inverse ramp (the point is robustness, not
+  // flatness).
+  cfg.equalizer_taps.assign(17, 0.0);
+  cfg.equalizer_taps[8] = 1.0;
+  cfg.equalizer_taps[7] = cfg.equalizer_taps[9] = -0.05;
+  return cfg;
+}
+
+TEST(ChainFuzz, RandomConfigsStayBounded) {
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<std::int32_t> code(-7, 7);
+  for (int trial = 0; trial < 8; ++trial) {
+    decim::ChainConfig cfg;
+    ASSERT_NO_THROW(cfg = random_config(rng)) << "trial " << trial;
+    if (cfg.hbf_in_format.width > 40) continue;  // beyond int64 guard space
+    decim::DecimationChain chain(cfg);
+    std::vector<std::int32_t> codes(1 << 12);
+    for (auto& c : codes) c = code(rng);
+    const auto out = chain.process(codes);
+    for (std::int64_t v : out) {
+      EXPECT_LE(v, cfg.output_format.raw_max());
+      EXPECT_GE(v, cfg.output_format.raw_min());
+    }
+  }
+}
+
+TEST(ChainFuzz, HostileInputsSaturateGracefully) {
+  const auto cfg = decim::paper_chain_config();
+  decim::DecimationChain chain(cfg);
+  // Worst-case patterns: rails, alternating rails, impulse trains.
+  std::vector<std::vector<std::int32_t>> patterns;
+  patterns.push_back(std::vector<std::int32_t>(4096, 7));
+  patterns.push_back(std::vector<std::int32_t>(4096, -7));
+  {
+    std::vector<std::int32_t> alt(4096);
+    for (std::size_t i = 0; i < alt.size(); ++i) alt[i] = (i % 2) ? 7 : -7;
+    patterns.push_back(alt);
+  }
+  {
+    std::vector<std::int32_t> imp(4096, 0);
+    for (std::size_t i = 0; i < imp.size(); i += 97) imp[i] = 7;
+    patterns.push_back(imp);
+  }
+  for (const auto& p : patterns) {
+    chain.reset();
+    const auto out = chain.process(p);
+    for (std::int64_t v : out) {
+      EXPECT_LE(v, cfg.output_format.raw_max());
+      EXPECT_GE(v, cfg.output_format.raw_min());
+    }
+  }
+}
+
+TEST(ChainFuzz, OutOfRangeCodesAreWrappedNotFatal) {
+  // Codes outside the 4-bit range (a buggy upstream) must not crash; the
+  // input format wraps them like the hardware bus would.
+  const auto cfg = decim::paper_chain_config();
+  decim::DecimationChain chain(cfg);
+  std::vector<std::int32_t> codes(2048, 100);
+  EXPECT_NO_THROW({
+    const auto out = chain.process(codes);
+    (void)out;
+  });
+}
+
+TEST(ChainFuzz, DeterministicAcrossRuns) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<std::int32_t> code(-7, 7);
+  std::vector<std::int32_t> codes(1 << 12);
+  for (auto& c : codes) c = code(rng);
+  const auto cfg = decim::paper_chain_config();
+  decim::DecimationChain a(cfg), b(cfg);
+  const auto ra = a.process(codes);
+  const auto rb = b.process(codes);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+}  // namespace

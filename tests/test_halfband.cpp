@@ -1,0 +1,96 @@
+// Half-band prototype designs (single-band Remez trick).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/halfband.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::design;
+
+TEST(Halfband, RejectsBadArgs) {
+  EXPECT_THROW(design_halfband(1, 0.2), std::invalid_argument);
+  EXPECT_THROW(design_halfband(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(design_halfband(4, 0.25), std::invalid_argument);
+}
+
+class HalfbandSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(HalfbandSweep, StructureAndSymmetry) {
+  const auto [j, fp] = GetParam();
+  const HalfbandResult r = design_halfband(j, fp);
+  ASSERT_EQ(r.taps.size(), 4 * j - 1);
+  EXPECT_TRUE(is_halfband(r.taps, 1e-12));
+  EXPECT_TRUE(dsp::is_symmetric(r.taps, 1e-10));
+  // Complementarity: H(f) + H(0.5 - f) = 1 for exact half-band filters.
+  for (double f = 0.0; f <= 0.25; f += 0.02) {
+    const auto zero_phase = [&](double ff) {
+      const auto h = dsp::fir_response_at(r.taps, ff);
+      const double w = 2.0 * M_PI * ff * (2.0 * j - 1);
+      return h.real() * std::cos(w) - h.imag() * std::sin(w);
+    };
+    EXPECT_NEAR(zero_phase(f) + zero_phase(0.5 - f), 1.0, 1e-9) << "f=" << f;
+  }
+}
+
+TEST_P(HalfbandSweep, PassbandStopbandDuality) {
+  const auto [j, fp] = GetParam();
+  const HalfbandResult r = design_halfband(j, fp);
+  // delta_pass == delta_stop for half-band filters.
+  const double ds =
+      std::pow(10.0, -dsp::min_attenuation_db(r.taps, 0.5 - fp, 0.5) / 20.0);
+  EXPECT_NEAR(r.ripple, ds, 0.2 * std::max(r.ripple, ds) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, HalfbandSweep,
+    ::testing::Values(std::make_tuple(std::size_t{4}, 0.20),
+                      std::make_tuple(std::size_t{8}, 0.2125),
+                      std::make_tuple(std::size_t{16}, 0.22),
+                      std::make_tuple(std::size_t{28}, 0.2125),
+                      std::make_tuple(std::size_t{6}, 0.15)));
+
+TEST(Halfband, LongerFiltersAttenuateMore) {
+  double prev = 0.0;
+  for (std::size_t j : {4, 8, 12, 16}) {
+    const HalfbandResult r = design_halfband(j, 0.21);
+    EXPECT_GT(r.stopband_atten_db, prev);
+    prev = r.stopband_atten_db;
+  }
+}
+
+TEST(Halfband, PaperLengthReaches90dB) {
+  // 111 taps (J=28) at fp = 0.2125: comfortably past 90 dB.
+  const HalfbandResult r = design_halfband(28, 0.2125);
+  EXPECT_EQ(r.taps.size(), 111u);
+  EXPECT_GT(r.stopband_atten_db, 90.0);
+}
+
+TEST(Halfband, AttenuationSearchFindsMinimalJ) {
+  const HalfbandResult r = design_halfband_for_attenuation(0.20, 70.0);
+  EXPECT_GE(r.stopband_atten_db, 70.0);
+  if (r.j > 2) {
+    const HalfbandResult smaller = design_halfband(r.j - 1, 0.20);
+    EXPECT_LT(smaller.stopband_atten_db, 70.0);
+  }
+  EXPECT_THROW(design_halfband_for_attenuation(0.24, 300.0, 32),
+               std::runtime_error);
+}
+
+TEST(IsHalfband, DetectsViolations) {
+  HalfbandResult r = design_halfband(4, 0.2);
+  EXPECT_TRUE(is_halfband(r.taps));
+  auto bad = r.taps;
+  bad[1] += 0.01;  // even-offset tap becomes nonzero (center is index 7)
+  EXPECT_FALSE(is_halfband(bad));
+  auto bad2 = r.taps;
+  bad2[bad2.size() / 2] = 0.4;  // wrong center
+  EXPECT_FALSE(is_halfband(bad2));
+  EXPECT_FALSE(is_halfband(std::vector<double>{0.5, 0.5}));  // even length
+}
+
+}  // namespace

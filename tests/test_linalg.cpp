@@ -1,0 +1,110 @@
+// Dense solver and least squares.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/dsp/linalg.h"
+
+namespace {
+
+using dsadc::dsp::Matrix;
+using dsadc::dsp::solve_least_squares;
+using dsadc::dsp::solve_linear;
+
+TEST(SolveLinear, TwoByTwo) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 3.0;
+  const auto x = solve_linear(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+  const auto x = solve_linear(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0; a.at(1, 1) = 4.0;
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(SolveLinear, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+class RandomSystems : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomSystems, ResidualIsTiny) {
+  const std::size_t n = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = dist(rng);
+    a.at(i, i) += 2.0;  // diagonal dominance for conditioning
+    b[i] = dist(rng);
+  }
+  const auto x = solve_linear(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += a.at(i, j) * x[j];
+    EXPECT_NEAR(acc, b[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSystems, ::testing::Values(1, 3, 8, 20, 40));
+
+TEST(LeastSquares, ExactForConsistentSystem) {
+  Matrix a(3, 2);
+  a.at(0, 0) = 1.0; a.at(0, 1) = 0.0;
+  a.at(1, 0) = 0.0; a.at(1, 1) = 1.0;
+  a.at(2, 0) = 1.0; a.at(2, 1) = 1.0;
+  // b generated from x = (2, -1).
+  const auto x = solve_least_squares(a, {2.0, -1.0, 1.0});
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], -1.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidualOfOverdetermined) {
+  // Fit a line y = c0 + c1 t to noisy points; check against the normal
+  // equation solution computed by hand.
+  const std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y{1.1, 2.9, 5.2, 6.8};
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a.at(i, 0) = 1.0;
+    a.at(i, 1) = t[i];
+  }
+  const auto x = solve_least_squares(a, y);
+  // Closed form for simple linear regression.
+  const double tbar = 1.5, ybar = 4.0;
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sxy += (t[i] - tbar) * (y[i] - ybar);
+    sxx += (t[i] - tbar) * (t[i] - tbar);
+  }
+  EXPECT_NEAR(x[1], sxy / sxx, 1e-10);
+  EXPECT_NEAR(x[0], ybar - x[1] * tbar, 1e-10);
+}
+
+TEST(LeastSquares, TikhonovShrinksSolution) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0; a.at(1, 1) = 1.0;
+  const auto x0 = solve_least_squares(a, {1.0, 1.0}, 0.0);
+  const auto x1 = solve_least_squares(a, {1.0, 1.0}, 1.0);
+  EXPECT_GT(std::abs(x0[0]), std::abs(x1[0]));
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Analytical noise budget vs measured chain SNR.
+#include <gtest/gtest.h>
+
+#include "src/core/flow.h"
+#include "src/core/noise_budget.h"
+
+namespace {
+
+using namespace dsadc;
+
+class NoiseBudgetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    result_ = new core::FlowResult(core::DesignFlow::design(
+        mod::paper_modulator_spec(), mod::paper_decimator_spec()));
+    const double amp =
+        result_->msa * 7.0 * result_->chain.scale;  // tone in FS units
+    budget_ = new core::NoiseBudget(core::compute_noise_budget(
+        result_->chain, result_->modulator_spec, result_->predicted_sqnr_db,
+        amp));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete budget_;
+  }
+  static core::FlowResult* result_;
+  static core::NoiseBudget* budget_;
+};
+
+core::FlowResult* NoiseBudgetTest::result_ = nullptr;
+core::NoiseBudget* NoiseBudgetTest::budget_ = nullptr;
+
+TEST_F(NoiseBudgetTest, RelabelIsLossless) {
+  // The paper chain keeps all 14 CIC gain bits, so the first rounding
+  // point must report zero.
+  ASSERT_FALSE(budget_->contributions.empty());
+  EXPECT_NE(budget_->contributions[0].where.find("lossless"),
+            std::string::npos);
+  EXPECT_EQ(budget_->contributions[0].power, 0.0);
+}
+
+TEST_F(NoiseBudgetTest, FinalRoundingDominatesArithmeticNoise) {
+  // The 14-bit output rounding is the largest arithmetic contribution -
+  // the reason the measured SNR sits at the 14-bit ceiling.
+  double final_rounding = 0.0;
+  double others = 0.0;
+  for (const auto& c : budget_->contributions) {
+    if (c.where.find("final") != std::string::npos) {
+      final_rounding = c.power;
+    } else {
+      others += c.power;
+    }
+  }
+  EXPECT_GT(final_rounding, others);
+}
+
+TEST_F(NoiseBudgetTest, PredictionMatchesMeasuredSnr) {
+  const auto v = core::DesignFlow::verify(*result_, 5e6, 1 << 15);
+  // The analytical budget must land within a few dB of the bit-true
+  // measurement (it ignores alias residues and window effects).
+  EXPECT_NEAR(budget_->predicted_snr_db, v.snr_db, 4.0);
+}
+
+TEST_F(NoiseBudgetTest, ReportListsEveryPoint) {
+  const std::string rep = core::noise_budget_report(*budget_);
+  for (const char* key :
+       {"CIC-gain relabel", "HBF product", "HBF block", "scaler output",
+        "final output", "modulator shaped", "predicted SNR"}) {
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+  }
+}
+
+TEST_F(NoiseBudgetTest, WiderOutputImprovesPrediction) {
+  auto wide = result_->chain;
+  wide.output_format = fx::Format{20, 18};
+  wide.scaler_out_format = fx::Format{22, 19};
+  const auto wb = core::compute_noise_budget(
+      wide, result_->modulator_spec, result_->predicted_sqnr_db,
+      budget_->signal_amplitude_fs);
+  EXPECT_GT(wb.predicted_snr_db, budget_->predicted_snr_db + 3.0);
+}
+
+TEST_F(NoiseBudgetTest, CoefficientGuardKeepsHbfNoiseDown) {
+  // Section V: the halfband's internal (product/block) precision keeps
+  // its rounding noise far below the modulator noise floor; only its
+  // output word-length choice is comparable to the floor.
+  double hbf_internal = 0.0;
+  for (const auto& c : budget_->contributions) {
+    if (c.where.find("HBF product") != std::string::npos ||
+        c.where.find("HBF block") != std::string::npos) {
+      hbf_internal += c.power;
+    }
+  }
+  EXPECT_LT(hbf_internal, 0.01 * budget_->modulator_inband_power);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Polynomial utilities: root expansion, multiplication, evaluation, and
+// rational impulse responses against closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "src/dsp/polynomial.h"
+
+namespace {
+
+using namespace dsadc::dsp;
+using C = std::complex<double>;
+
+TEST(PolyFromRoots, SingleRealRoot) {
+  const std::vector<C> roots{{0.5, 0.0}};
+  const auto p = poly_from_roots_zinv(roots);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 1.0, 1e-15);
+  EXPECT_NEAR(p[1], -0.5, 1e-15);
+}
+
+TEST(PolyFromRoots, ConjugatePairIsReal) {
+  const std::vector<C> roots{{0.6, 0.3}, {0.6, -0.3}};
+  const auto p = poly_from_roots_zinv(roots);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(p[0], 1.0, 1e-15);
+  EXPECT_NEAR(p[1], -1.2, 1e-12);           // -2*Re(r)
+  EXPECT_NEAR(p[2], 0.36 + 0.09, 1e-12);    // |r|^2
+}
+
+TEST(PolyFromRoots, RejectsUnpairedComplex) {
+  const std::vector<C> roots{{0.6, 0.3}};
+  EXPECT_THROW(poly_from_roots_zinv(roots), std::invalid_argument);
+}
+
+TEST(PolyMul, MatchesManualExpansion) {
+  const std::vector<double> a{1.0, 2.0};        // 1 + 2x
+  const std::vector<double> b{3.0, 0.0, 1.0};   // 3 + x^2
+  const auto c = poly_mul(a, b);
+  const std::vector<double> expect{3.0, 6.0, 1.0, 2.0};
+  ASSERT_EQ(c.size(), expect.size());
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], expect[i], 1e-15);
+}
+
+TEST(PolyEval, HornerAgainstDirect) {
+  const std::vector<double> p{1.0, -2.0, 0.5, 3.0};
+  const C x{0.3, -0.7};
+  const C direct = 1.0 + -2.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+  const C h = poly_eval(p, x);
+  EXPECT_NEAR(std::abs(h - direct), 0.0, 1e-12);
+}
+
+TEST(RationalImpulse, FirCaseIsNumerator) {
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const std::vector<double> a{1.0};
+  const auto h = rational_impulse_response(b, a, 6);
+  EXPECT_NEAR(h[0], 1.0, 1e-15);
+  EXPECT_NEAR(h[1], 2.0, 1e-15);
+  EXPECT_NEAR(h[2], 3.0, 1e-15);
+  EXPECT_NEAR(h[3], 0.0, 1e-15);
+}
+
+TEST(RationalImpulse, OnePoleGeometric) {
+  // H = 1 / (1 - 0.5 z^-1): h[k] = 0.5^k.
+  const std::vector<double> b{1.0};
+  const std::vector<double> a{1.0, -0.5};
+  const auto h = rational_impulse_response(b, a, 16);
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    EXPECT_NEAR(h[k], std::pow(0.5, static_cast<double>(k)), 1e-12);
+  }
+}
+
+TEST(RationalImpulse, RejectsZeroLeadingDenominator) {
+  const std::vector<double> b{1.0};
+  const std::vector<double> a{0.0, 1.0};
+  EXPECT_THROW(rational_impulse_response(b, a, 4), std::invalid_argument);
+}
+
+TEST(RationalImpulse, MatchesLongDivisionSecondOrder) {
+  // H = (1 + z^-1) / (1 - 0.9 z^-1 + 0.2 z^-2); verify recursion directly.
+  const std::vector<double> b{1.0, 1.0};
+  const std::vector<double> a{1.0, -0.9, 0.2};
+  const auto h = rational_impulse_response(b, a, 32);
+  // y[k] = b[k] + 0.9 y[k-1] - 0.2 y[k-2]
+  std::vector<double> ref(32, 0.0);
+  for (std::size_t k = 0; k < 32; ++k) {
+    double acc = (k < 2) ? b[k] : 0.0;
+    if (k >= 1) acc += 0.9 * ref[k - 1];
+    if (k >= 2) acc -= 0.2 * ref[k - 2];
+    ref[k] = acc;
+  }
+  for (std::size_t k = 0; k < 32; ++k) EXPECT_NEAR(h[k], ref[k], 1e-12);
+}
+
+TEST(PolyDerivative, BasicRule) {
+  const std::vector<double> p{5.0, 1.0, -3.0, 2.0};  // 5 + x - 3x^2 + 2x^3
+  const auto d = poly_derivative(p);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_NEAR(d[0], 1.0, 1e-15);
+  EXPECT_NEAR(d[1], -6.0, 1e-15);
+  EXPECT_NEAR(d[2], 6.0, 1e-15);
+}
+
+}  // namespace

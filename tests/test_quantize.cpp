@@ -1,0 +1,66 @@
+// Coefficient word-length selection (the "24-bit coefficients" choice of
+// Section V, automated).
+#include <gtest/gtest.h>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/remez.h"
+#include "src/fixedpoint/quantize.h"
+
+namespace {
+
+using namespace dsadc;
+
+TEST(QuantizeTaps, RoundsToGrid) {
+  const std::vector<double> taps{0.1234567, -0.7654321};
+  const auto q = fx::quantize_taps(taps, 10);
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_NEAR(q[i], taps[i], std::ldexp(0.5, -10) + 1e-15);
+    EXPECT_EQ(q[i] * 1024.0, std::nearbyint(q[i] * 1024.0));
+  }
+}
+
+class WordLength : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    taps_ = new std::vector<double>(
+        design::remez_lowpass(63, 0.10, 0.16, 1.0, 30.0).taps);
+  }
+  static void TearDownTestSuite() {
+    delete taps_;
+    taps_ = nullptr;
+  }
+  static std::vector<double>* taps_;
+};
+
+std::vector<double>* WordLength::taps_ = nullptr;
+
+TEST_F(WordLength, FindsSmallestMeetingSpec) {
+  const double full = dsp::min_attenuation_db(*taps_, 0.16, 0.5);
+  ASSERT_GT(full, 60.0);
+  const auto r = fx::min_coefficient_bits(*taps_, 0.16, 60.0, 6, 24);
+  EXPECT_TRUE(r.met);
+  EXPECT_GE(r.achieved_atten_db, 60.0);
+  // One bit less must fail the target (minimality).
+  if (r.frac_bits > 6) {
+    const auto q = fx::quantize_taps(*taps_, r.frac_bits - 1);
+    EXPECT_LT(dsp::min_attenuation_db(q, 0.16, 0.5), 60.0);
+  }
+}
+
+TEST_F(WordLength, UnreachableTargetReported) {
+  const auto r = fx::min_coefficient_bits(*taps_, 0.16, 200.0, 6, 20);
+  EXPECT_FALSE(r.met);
+  EXPECT_EQ(r.frac_bits, 20);
+}
+
+TEST_F(WordLength, MoreBitsNeverWorse) {
+  double prev = -1e9;
+  for (int bits = 8; bits <= 20; bits += 4) {
+    const auto q = fx::quantize_taps(*taps_, bits);
+    const double att = dsp::min_attenuation_db(q, 0.16, 0.5);
+    EXPECT_GE(att, prev - 3.0);  // allow small non-monotonic wiggle
+    prev = att;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// CIFF realization: the structural loop filter must reproduce the
+// synthesized NTF exactly across orders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+
+namespace {
+
+using namespace dsadc::mod;
+
+class CiffRealization
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(CiffRealization, NtfReconstructedEverywhere) {
+  const auto [order, osr, obg] = GetParam();
+  const Ntf ntf = synthesize_ntf(order, osr, obg, true);
+  const CiffCoeffs c = realize_ciff(ntf);
+  ASSERT_EQ(c.a.size(), static_cast<std::size_t>(order));
+  ASSERT_EQ(c.g.size(), static_cast<std::size_t>(order / 2));
+  for (double f : {0.001, 0.01, 0.5 / osr, 0.1, 0.25, 0.49}) {
+    const double want = ntf.magnitude_at(f);
+    const double got = ciff_ntf_magnitude(c, f);
+    EXPECT_NEAR(got, want, 1e-6 * (1.0 + want) + 1e-9)
+        << "order " << order << " f " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CiffRealization,
+    ::testing::Values(std::make_tuple(2, 16.0, 2.0),
+                      std::make_tuple(3, 16.0, 2.0),
+                      std::make_tuple(4, 16.0, 2.5),
+                      std::make_tuple(5, 16.0, 3.0),
+                      std::make_tuple(6, 12.0, 4.0)));
+
+TEST(CiffRealization, ResonatorFeedbacksMatchZeroAngles) {
+  const Ntf ntf = synthesize_ntf(5, 16.0, 3.0, true);
+  const CiffCoeffs c = realize_ciff(ntf);
+  // g = 2 - 2 cos(theta) for each conjugate zero pair.
+  std::vector<double> angles;
+  for (const auto& z : ntf.zeros) {
+    const double th = std::abs(std::arg(z));
+    if (th > 1e-12) angles.push_back(th);
+  }
+  std::sort(angles.begin(), angles.end());
+  ASSERT_EQ(c.g.size(), 2u);
+  EXPECT_NEAR(c.g[0], 2.0 - 2.0 * std::cos(angles[0]), 1e-12);
+  EXPECT_NEAR(c.g[1], 2.0 - 2.0 * std::cos(angles[2]), 1e-12);
+  // Small-angle approximation g ~ theta^2.
+  EXPECT_NEAR(c.g[0], angles[0] * angles[0], 0.05 * c.g[0]);
+}
+
+TEST(CiffRealization, FeedforwardGainsDecrease) {
+  // Later integrators accumulate more gain, so their feedforward taps are
+  // smaller - the standard CIFF coefficient profile.
+  const Ntf ntf = synthesize_ntf(5, 16.0, 3.0, true);
+  const CiffCoeffs c = realize_ciff(ntf);
+  for (std::size_t i = 0; i + 1 < c.a.size(); ++i) {
+    EXPECT_GT(c.a[i], c.a[i + 1]);
+    EXPECT_GT(c.a[i], 0.0);
+  }
+}
+
+TEST(CiffStateSpace, ResonatorEigenvaluesOnUnitCircle) {
+  const std::vector<double> g{0.01, 0.03};
+  const CiffStateSpace ss = ciff_state_space(5, g);
+  // Check the 2x2 resonator blocks (rows/cols 1-2 and 3-4):
+  // trace = 2 - g, det = 1 -> complex pair on the unit circle.
+  for (int j = 0; j < 2; ++j) {
+    const int h = 1 + 2 * j;
+    const double tr = ss.a[h][h] + ss.a[h + 1][h + 1];
+    const double det = ss.a[h][h] * ss.a[h + 1][h + 1] -
+                       ss.a[h][h + 1] * ss.a[h + 1][h];
+    EXPECT_NEAR(tr, 2.0 - g[j], 1e-12);
+    EXPECT_NEAR(det, 1.0, 1e-12);
+  }
+}
+
+TEST(CiffStateSpace, EvenOrderResonatorAtInput) {
+  const std::vector<double> g{0.02, 0.04};
+  const CiffStateSpace ss = ciff_state_space(4, g);
+  // First pair starts at state 0; its tail is driven by the input too.
+  EXPECT_NEAR(ss.b[0], 1.0, 1e-15);
+  EXPECT_NEAR(ss.b[1], 1.0, 1e-15);
+  EXPECT_NEAR(ss.a[0][1], -g[0], 1e-15);
+}
+
+TEST(CiffRealization, LoopImpulseResponseStartsWithDelay) {
+  // P(z) has at least one sample of delay (realizability).
+  const Ntf ntf = synthesize_ntf(3, 16.0, 2.0, true);
+  const CiffCoeffs c = realize_ciff(ntf);
+  const auto p = ciff_loop_impulse_response(c, 8);
+  EXPECT_NEAR(p[0], 0.0, 1e-12);
+  EXPECT_GT(std::abs(p[1]), 1e-6);
+}
+
+TEST(CiffRealization, RejectsMalformedNtf) {
+  Ntf bad;
+  EXPECT_THROW(realize_ciff(bad), std::invalid_argument);
+  bad.zeros = {{1.0, 0.0}};
+  EXPECT_THROW(realize_ciff(bad), std::invalid_argument);  // pole count
+}
+
+}  // namespace

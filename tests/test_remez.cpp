@@ -1,0 +1,131 @@
+// Parks-McClellan exchange: spec attainment, equiripple behaviour,
+// weighting, Type II handling, and arbitrary desired functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/remez.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::design;
+
+TEST(Remez, RejectsMalformedProblems) {
+  EXPECT_THROW(remez(2, std::vector<Band>{const_band(0.0, 0.2, 1.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(remez(21, std::vector<Band>{}), std::invalid_argument);
+  EXPECT_THROW(remez(21, std::vector<Band>{const_band(0.3, 0.2, 1.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(remez(21, std::vector<Band>{const_band(0.0, 0.6, 1.0)}),
+               std::invalid_argument);
+  Band no_fn;
+  no_fn.f0 = 0.0;
+  no_fn.f1 = 0.2;
+  EXPECT_THROW(remez(21, std::vector<Band>{no_fn}), std::invalid_argument);
+}
+
+TEST(Remez, LowpassMeetsTextbookNumbers) {
+  // 47 taps, transition 0.10 -> 0.15, stopband weight 10.
+  const auto r = remez_lowpass(47, 0.10, 0.15, 1.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(dsp::is_symmetric(r.taps, 1e-9));
+  EXPECT_GT(dsp::min_attenuation_db(r.taps, 0.15, 0.5), 50.0);
+  EXPECT_LT(dsp::passband_ripple_db(r.taps, 0.0, 0.10), 0.5);
+}
+
+TEST(Remez, WeightTradesPassbandForStopband) {
+  const auto flat = remez_lowpass(39, 0.10, 0.16, 1.0, 1.0);
+  const auto heavy = remez_lowpass(39, 0.10, 0.16, 1.0, 50.0);
+  EXPECT_GT(dsp::min_attenuation_db(heavy.taps, 0.16, 0.5),
+            dsp::min_attenuation_db(flat.taps, 0.16, 0.5) + 10.0);
+  EXPECT_GT(dsp::passband_ripple_db(heavy.taps, 0.0, 0.10),
+            dsp::passband_ripple_db(flat.taps, 0.0, 0.10));
+}
+
+TEST(Remez, MoreTapsMoreAttenuation) {
+  double prev = 0.0;
+  for (std::size_t taps : {23, 39, 55, 71}) {
+    const auto r = remez_lowpass(taps, 0.10, 0.16);
+    const double att = dsp::min_attenuation_db(r.taps, 0.16, 0.5);
+    EXPECT_GT(att, prev);
+    prev = att;
+  }
+}
+
+TEST(Remez, EquirippleAlternation) {
+  // The optimal error must touch +-delta many times: count passband and
+  // stopband extrema of the realized response.
+  const auto r = remez_lowpass(31, 0.10, 0.18);
+  const double dc = std::abs(dsp::fir_response_at(r.taps, 0.0));
+  int touches = 0;
+  double prev_err = 0.0;
+  bool prev_set = false;
+  const double dev = r.delta * 0.5;  // half-deviation threshold crossings
+  for (double f = 0.0; f <= 0.10; f += 0.0005) {
+    const double err = std::abs(dsp::fir_response_at(r.taps, f)) - dc;
+    if (prev_set && (err - dev) * (prev_err - dev) < 0.0) ++touches;
+    prev_err = err;
+    prev_set = true;
+  }
+  // Stopband: count ripple lobes via threshold crossings of |H|.
+  for (double f = 0.18; f <= 0.5; f += 0.0005) {
+    const double err = std::abs(dsp::fir_response_at(r.taps, f));
+    if (prev_set && (err - dev) * (prev_err - dev) < 0.0) ++touches;
+    prev_err = err;
+  }
+  EXPECT_GE(touches, 8);  // many equiripple lobes across both bands
+}
+
+TEST(Remez, TypeTwoHasNyquistZero) {
+  const auto r = remez_lowpass(48, 0.10, 0.18);
+  EXPECT_EQ(r.taps.size(), 48u);
+  EXPECT_TRUE(dsp::is_symmetric(r.taps, 1e-9));
+  EXPECT_LT(std::abs(dsp::fir_response_at(r.taps, 0.5)), 1e-9);
+  EXPECT_GT(dsp::min_attenuation_db(r.taps, 0.18, 0.49), 40.0);
+}
+
+TEST(Remez, SingleBandArbitraryDesired) {
+  // Approximate a linear-in-f gain ramp; check pointwise accuracy.
+  Band b;
+  b.f0 = 0.0;
+  b.f1 = 0.4;
+  b.desired = [](double f) { return 1.0 + 2.0 * f; };
+  b.weight = [](double) { return 1.0; };
+  const auto r = remez(41, std::vector<Band>{b});
+  for (double f = 0.02; f <= 0.38; f += 0.04) {
+    EXPECT_NEAR(std::abs(dsp::fir_response_at(r.taps, f)), 1.0 + 2.0 * f,
+                0.01);
+  }
+}
+
+TEST(Remez, BandpassDesign) {
+  const Band bands[] = {const_band(0.0, 0.08, 0.0, 1.0),
+                        const_band(0.16, 0.30, 1.0, 1.0),
+                        const_band(0.38, 0.5, 0.0, 1.0)};
+  const auto r = remez(55, bands);
+  EXPECT_TRUE(r.converged);
+  // Band gains.
+  EXPECT_NEAR(std::abs(dsp::fir_response_at(r.taps, 0.23)), 1.0, 0.05);
+  EXPECT_LT(std::abs(dsp::fir_response_at(r.taps, 0.03)), 0.05);
+  EXPECT_LT(std::abs(dsp::fir_response_at(r.taps, 0.45)), 0.05);
+}
+
+TEST(RemezOrderEstimate, TracksKaiserFormula) {
+  const auto n = remez_order_estimate(0.1, 60.0, 0.05);
+  EXPECT_GT(n, 30u);
+  EXPECT_LT(n, 120u);
+  EXPECT_GT(remez_order_estimate(0.1, 80.0, 0.05), n);
+  EXPECT_GT(remez_order_estimate(0.1, 60.0, 0.025), n);
+}
+
+TEST(Remez, DeliveredDeltaMatchesMeasuredRipple) {
+  const auto r = remez_lowpass(37, 0.12, 0.20, 1.0, 1.0);
+  // Weighted delta equals both passband deviation and stopband deviation.
+  const double stop_dev =
+      std::pow(10.0, -dsp::min_attenuation_db(r.taps, 0.20, 0.5) / 20.0);
+  EXPECT_NEAR(stop_dev, r.delta, 0.15 * r.delta);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Composite-response utilities behind Figs. 8-11.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/response.h"
+#include "src/dsp/freqz.h"
+
+namespace {
+
+using namespace dsadc;
+
+class ResponseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cfg_ = new decim::ChainConfig(decim::paper_chain_config());
+  }
+  static void TearDownTestSuite() { delete cfg_; }
+  static decim::ChainConfig* cfg_;
+};
+
+decim::ChainConfig* ResponseTest::cfg_ = nullptr;
+
+TEST_F(ResponseTest, ImpulseAndPointEvaluationsAgree) {
+  const auto h = core::composite_impulse_response(*cfg_);
+  for (double f_hz : {1e6, 5e6, 15e6, 22e6, 40e6, 100e6}) {
+    const double from_taps =
+        std::abs(dsp::fir_response_at(h, f_hz / cfg_->input_rate_hz));
+    const double direct = core::composite_magnitude(*cfg_, f_hz);
+    EXPECT_NEAR(from_taps, direct, 1e-6 * (1.0 + direct)) << f_hz;
+  }
+}
+
+TEST_F(ResponseTest, CompositeIsLinearPhase) {
+  const auto h = core::composite_impulse_response(*cfg_);
+  EXPECT_TRUE(dsp::is_symmetric(h, 1e-9));
+}
+
+TEST_F(ResponseTest, DcGainNearScale) {
+  // All filter stages are unity-gain at DC; the composite DC gain is the
+  // scaler constant.
+  // The equalizer's equiripple deviation (about +-0.06 for the paper's
+  // 65 taps) applies at DC too.
+  EXPECT_NEAR(core::composite_magnitude(*cfg_, 0.0), cfg_->scale,
+              0.08 * cfg_->scale);
+}
+
+TEST_F(ResponseTest, StopbandMeetsTableOne) {
+  const double att = core::composite_stopband_atten_db(*cfg_, 23e6);
+  EXPECT_GE(att, 85.0);  // Table I: > 85 dB
+}
+
+TEST_F(ResponseTest, PassbandRippleWithinTableOne) {
+  const double ripple = core::composite_passband_ripple_db(*cfg_, 1e6, 20e6);
+  EXPECT_LT(ripple, 1.5);  // 65-tap paper equalizer: ~1 dB (Table I: < 1)
+}
+
+TEST_F(ResponseTest, PreEqualizerDroopMatchesPaperFigure10) {
+  // Sinc + HBF droop at the band edge: about -10.5 dB (sinc -4.5, HBF -6).
+  const double droop20 =
+      20.0 * std::log10(core::pre_equalizer_magnitude(*cfg_, 20e6));
+  EXPECT_NEAR(droop20, -11.0, 1.5);
+  const double droop5 =
+      20.0 * std::log10(core::pre_equalizer_magnitude(*cfg_, 5e6));
+  EXPECT_GT(droop5, -0.5);
+}
+
+TEST_F(ResponseTest, AliasProtectionIdentifiesEdgeLeakage) {
+  // The strict all-images metric is limited by the band-edge slots around
+  // 80 MHz +- band edge; it must be well below the primary-image figure.
+  const double strict = core::composite_alias_protection_db(*cfg_, 17e6, 512);
+  const double primary = core::composite_stopband_atten_db(*cfg_, 23e6, 512);
+  EXPECT_LT(strict, primary);
+  EXPECT_GT(strict, 40.0);
+}
+
+TEST_F(ResponseTest, DeepNotchesAtOutputRateImages) {
+  // Composite response has Sinc nulls at multiples of 80 MHz.
+  for (double f : {80e6, 160e6, 240e6}) {
+    EXPECT_LT(core::composite_magnitude(*cfg_, f), 1e-6);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Hardware IR construction: node semantics, clock-domain rules, CSD
+// multiplier expansion and cost accounting.
+#include <gtest/gtest.h>
+
+#include "src/fixedpoint/csd.h"
+#include "src/rtl/ir.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::rtl;
+
+TEST(Ir, BasicConstructionAndCounts) {
+  Module m("t");
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId s = m.add(a, b, 9);
+  const NodeId r = m.reg(s);
+  const NodeId o = m.output("y", r);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_EQ(m.adder_count(), 1u);
+  EXPECT_EQ(m.register_count(), 1u);
+  EXPECT_EQ(m.register_bits(), 9u);
+  EXPECT_EQ(m.node(o).a, r);
+  EXPECT_EQ(m.nodes_of_kind(OpKind::kInput).size(), 2u);
+}
+
+TEST(Ir, ClockDomainMismatchThrows) {
+  Module m("t");
+  const NodeId a = m.input("a", 8, 1);
+  const NodeId b = m.input("b", 8, 2);
+  EXPECT_THROW(m.add(a, b, 9), std::invalid_argument);
+  EXPECT_THROW(m.sub(a, b, 9), std::invalid_argument);
+}
+
+TEST(Ir, DecimateMovesDomain) {
+  Module m("t");
+  const NodeId a = m.input("a", 8, 2);
+  const NodeId d = m.decimate(a, 4);
+  EXPECT_EQ(m.node(d).clock_div, 8);
+  EXPECT_THROW(m.decimate(a, 1), std::invalid_argument);
+}
+
+TEST(Ir, RegisterPlaceholderFeedback) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId state = m.reg_placeholder(8, 1);
+  const NodeId sum = m.add(in, state, 8);
+  m.connect_reg(state, sum);
+  EXPECT_EQ(m.node(state).a, sum);
+  // connect to a non-register fails.
+  EXPECT_THROW(m.connect_reg(sum, in), std::invalid_argument);
+  // domain mismatch fails.
+  const NodeId other = m.input("o", 8, 4);
+  EXPECT_THROW(m.connect_reg(state, other), std::invalid_argument);
+}
+
+TEST(Ir, WidthValidation) {
+  Module m("t");
+  EXPECT_THROW(m.input("a", 0), std::invalid_argument);
+  EXPECT_THROW(m.input("a", 63), std::invalid_argument);
+}
+
+TEST(Ir, ShiftWidths) {
+  Module m("t");
+  const NodeId a = m.input("a", 8);
+  const NodeId l = m.shl(a, 4);
+  EXPECT_EQ(m.node(l).width, 12);
+  const NodeId r = m.shr(a, 3);
+  EXPECT_EQ(m.node(r).width, 8);
+}
+
+TEST(Ir, CsdMultiplyStructure) {
+  Module m("t");
+  const NodeId a = m.input("a", 12);
+  // 0.75 = +2^0 - 2^-2 at frac 4: digits at +4 and +2 -> one shift each,
+  // one negate, one add.
+  const fx::Csd c = fx::csd_encode(0.75, 4);
+  const NodeId p = m.csd_multiply(a, c, 4, 20);
+  EXPECT_EQ(m.node(p).kind, OpKind::kAdd);
+  EXPECT_EQ(m.adder_count(), 2u);  // the final add + the negate
+}
+
+TEST(Ir, CsdMultiplyZeroConstant) {
+  Module m("t");
+  const NodeId a = m.input("a", 12);
+  const NodeId p = m.csd_multiply(a, fx::Csd{}, 4, 20);
+  EXPECT_EQ(m.node(p).kind, OpKind::kConst);
+  EXPECT_EQ(m.node(p).value, 0);
+}
+
+TEST(Ir, CsdMultiplyRejectsSubPrecisionDigit) {
+  Module m("t");
+  const NodeId a = m.input("a", 12);
+  const fx::Csd c = fx::csd_encode(0.5, 8);  // digit at 2^-1
+  EXPECT_THROW(m.csd_multiply(a, c, 0, 20), std::invalid_argument);
+}
+
+TEST(Ir, DelayChainLength) {
+  Module m("t");
+  const NodeId a = m.input("a", 6);
+  const NodeId d = m.delay(a, 5);
+  EXPECT_EQ(m.register_count(), 5u);
+  EXPECT_EQ(m.node(d).kind, OpKind::kReg);
+  // Zero delay returns the node itself.
+  EXPECT_EQ(m.delay(a, 0), a);
+}
+
+TEST(Ir, RequantCarriesParameters) {
+  Module m("t");
+  const NodeId a = m.input("a", 20);
+  const NodeId q = m.requant(a, 10, fx::Format{12, 4},
+                             fx::Rounding::kRoundNearest,
+                             fx::Overflow::kSaturate);
+  EXPECT_EQ(m.node(q).width, 12);
+  EXPECT_EQ(m.node(q).src_frac, 10);
+  EXPECT_EQ(m.node(q).fmt.frac, 4);
+}
+
+}  // namespace

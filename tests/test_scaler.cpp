@@ -1,0 +1,79 @@
+// Scaling stage (CSD Horner shift-add): exactness against the encoded
+// constant, formats, and the MSA-derived scale helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/decimator/scaler.h"
+
+namespace {
+
+using namespace dsadc;
+using decim::ScalingStage;
+using decim::scale_for_msa;
+
+TEST(Scaler, MatchesCsdConstantExactly) {
+  const fx::Format in{16, 12}, out{20, 15};  // +-16 range fits 8 * 1.2345
+  const ScalingStage s(1.2345, in, out, 12, 8);
+  const double k = s.effective_scale();
+  for (std::int64_t x : {-20000, -1234, -1, 0, 1, 999, 20000}) {
+    const std::int64_t y = s.push(x);
+    const double expect = fx::to_double(x, in) * k;
+    EXPECT_NEAR(fx::to_double(y, out), expect, out.lsb() * 0.75) << x;
+  }
+}
+
+TEST(Scaler, CsdDigitBudgetControlsAccuracy) {
+  const fx::Format f{16, 12};
+  const ScalingStage coarse(1.0825, f, f, 12, 2);
+  const ScalingStage fine(1.0825, f, f, 12, 8);
+  EXPECT_LE(std::abs(fine.effective_scale() - 1.0825),
+            std::abs(coarse.effective_scale() - 1.0825) + 1e-12);
+  EXPECT_LE(coarse.csd().nonzero_count(), 2u);
+}
+
+TEST(Scaler, AdderCountIsDigitsMinusOne) {
+  const fx::Format f{16, 12};
+  const ScalingStage s(1.0825, f, f, 12, 6);
+  EXPECT_EQ(s.adder_count(), s.csd().nonzero_count() - 1);
+}
+
+TEST(Scaler, SaturatesOutput) {
+  const fx::Format in{16, 12}, out{14, 13};
+  const ScalingStage s(4.0, in, out, 12, 4);
+  const std::int64_t y = s.push(in.raw_max());
+  EXPECT_EQ(y, out.raw_max());
+  EXPECT_EQ(s.push(in.raw_min()), out.raw_min());
+}
+
+TEST(Scaler, ProcessMatchesPush) {
+  const fx::Format f{16, 12};
+  const ScalingStage s(0.7, f, f, 12, 6);
+  const std::vector<std::int64_t> in{1, -5, 100, -3000};
+  const auto out = s.process(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], s.push(in[i]));
+}
+
+TEST(Scaler, RejectsNonPositiveScale) {
+  const fx::Format f{16, 12};
+  EXPECT_THROW(ScalingStage(0.0, f, f), std::invalid_argument);
+  EXPECT_THROW(ScalingStage(-1.0, f, f), std::invalid_argument);
+}
+
+TEST(ScaleForMsa, PaperBallpark) {
+  // 1/0.81 with a little headroom: ~1.21.
+  EXPECT_NEAR(scale_for_msa(0.81), 0.98 / 0.81, 1e-12);
+  EXPECT_THROW(scale_for_msa(0.0), std::invalid_argument);
+  EXPECT_THROW(scale_for_msa(1.5), std::invalid_argument);
+}
+
+TEST(Scaler, HornerNetworkHandlesNegativeDigits) {
+  // 0.875 = 1 - 0.125: one negative digit; exact.
+  const fx::Format f{16, 8};
+  const ScalingStage s(0.875, f, f, 8, 4);
+  EXPECT_NEAR(s.effective_scale(), 0.875, 1e-12);
+  EXPECT_EQ(s.push(256), 224);  // 1.0 -> 0.875
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Sharpened comb filters (the ref-[7] alternative comb schemes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/decimator/fir.h"
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/sharpened_cic.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::design;
+
+TEST(SharpenedCic, TapsMatchMagnitudeFormula) {
+  const CicSpec spec{4, 2, 4};
+  const auto taps = sharpened_cic_taps(4, 2);
+  // Normalize and compare the FIR response against S(|H|).
+  const double gain = sharpened_cic_dc_gain(spec);
+  std::vector<double> h(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    h[i] = static_cast<double>(taps[i]) / gain;
+  }
+  for (double f = 0.0; f <= 0.5; f += 0.01) {
+    EXPECT_NEAR(std::abs(dsp::fir_response_at(h, f)),
+                sharpened_cic_magnitude(spec, f), 1e-10)
+        << f;
+  }
+  EXPECT_TRUE(dsp::is_symmetric(h, 1e-12));
+}
+
+TEST(SharpenedCic, FlattensPassbandVersusPlainComb) {
+  // The whole point of sharpening: less droop than the plain comb of the
+  // same alias-notch multiplicity (Sinc^(3K) here), and even less than
+  // the original Sinc^K beyond a small band.
+  const CicSpec spec{4, 2, 4};
+  const double fb = 0.03125;  // 20 MHz at 640 MHz
+  const double sharp = sharpened_cic_droop_db(spec, fb);
+  const double plain_3k = cic_droop_db(CicSpec{12, 2, 4}, fb);
+  const double plain_k = cic_droop_db(spec, fb);
+  EXPECT_LT(sharp, plain_3k);
+  EXPECT_LT(sharp, plain_k);
+  EXPECT_LT(sharp, 0.05);  // nearly flat at the band edge
+}
+
+TEST(SharpenedCic, AliasRejectionBeyondPlainComb) {
+  const CicSpec spec{4, 2, 4};
+  const double fb = 0.03125;
+  const double sharp = sharpened_cic_alias_rejection_db(spec, fb);
+  const double plain = cic_alias_rejection_db(spec, fb);
+  // Zero multiplicity triples: roughly 2-3x the dB rejection.
+  EXPECT_GT(sharp, 1.8 * plain);
+}
+
+TEST(SharpenedCic, BitTrueThroughFirDecimator) {
+  const auto taps = sharpened_cic_taps(4, 2);
+  decim::FixedTaps ft;
+  ft.taps = taps;
+  ft.frac_bits = 0;
+  decim::FirDecimator fir(ft, 2, fx::Format{4, 0}, fx::Format{40, 0});
+  std::vector<std::int64_t> in(256, 3);
+  const auto out = fir.process(in);
+  // Steady-state DC: 3 * M^(3K) = 3 * 4096.
+  EXPECT_EQ(out.back(), 3 * 4096);
+}
+
+TEST(SharpenedCic, DcGainAndValidation) {
+  EXPECT_NEAR(sharpened_cic_dc_gain(CicSpec{4, 2, 4}), 4096.0, 1e-9);
+  EXPECT_THROW(sharpened_cic_taps(0, 2), std::invalid_argument);
+  EXPECT_THROW(sharpened_cic_taps(3, 2), std::invalid_argument);  // odd K*(M-1)
+  EXPECT_NO_THROW(sharpened_cic_taps(3, 3));  // K*(M-1) = 6, even
+}
+
+TEST(SharpenedCic, KeepsCombNotches) {
+  const CicSpec spec{4, 2, 4};
+  EXPECT_LT(sharpened_cic_magnitude(spec, 0.5), 1e-12);
+  const CicSpec s8{2, 8, 4};
+  for (int m = 1; m < 8; ++m) {
+    EXPECT_LT(sharpened_cic_magnitude(s8, m / 8.0), 1e-10) << m;
+  }
+}
+
+}  // namespace

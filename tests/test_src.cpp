@@ -1,0 +1,125 @@
+// Fractional sample-rate converter (Farrow cubic Lagrange).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "src/decimator/src.h"
+#include "src/dsp/spectrum.h"
+
+namespace {
+
+using namespace dsadc;
+using decim::FarrowResampler;
+using decim::resample;
+
+std::vector<double> tone(std::size_t n, double f, double amp) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i));
+  }
+  return x;
+}
+
+TEST(Farrow, RejectsBadRatios) {
+  EXPECT_THROW(FarrowResampler(0.0), std::invalid_argument);
+  EXPECT_THROW(FarrowResampler(-1.0), std::invalid_argument);
+  EXPECT_THROW(FarrowResampler(8.0), std::invalid_argument);
+}
+
+TEST(Farrow, InterpolateIsExactOnCubics) {
+  // Cubic Lagrange reproduces any cubic polynomial exactly.
+  const auto poly = [](double t) {
+    return 0.3 * t * t * t - 1.1 * t * t + 0.7 * t + 2.0;
+  };
+  for (double mu = 0.0; mu < 1.0; mu += 0.07) {
+    const double got = FarrowResampler::interpolate(
+        poly(-1.0), poly(0.0), poly(1.0), poly(2.0), mu);
+    EXPECT_NEAR(got, poly(mu), 1e-12) << mu;
+  }
+}
+
+TEST(Farrow, EndpointsReproduceSamples) {
+  EXPECT_NEAR(FarrowResampler::interpolate(1.0, 5.0, -2.0, 3.0, 0.0), 5.0,
+              1e-12);
+  // mu -> 1 approaches x1.
+  EXPECT_NEAR(FarrowResampler::interpolate(1.0, 5.0, -2.0, 3.0, 1.0), -2.0,
+              1e-12);
+}
+
+TEST(Farrow, OutputCountTracksRatio) {
+  const auto x = tone(10000, 0.01, 1.0);
+  for (double ratio : {0.5, 0.75, 1.0, 1.302083, 2.0}) {
+    FarrowResampler src(ratio);
+    const auto y = src.process(x);
+    // The 3-sample window fill is lost at startup.
+    EXPECT_NEAR(static_cast<double>(y.size()), 10000.0 / ratio,
+                4.0 + 3.0 / ratio)
+        << ratio;
+  }
+}
+
+class FarrowToneSnr
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FarrowToneSnr, ResampledToneIsClean) {
+  const auto [ratio, f_in] = GetParam();
+  const auto x = tone(1 << 15, f_in, 0.9);
+  FarrowResampler src(ratio);
+  auto y = src.process(x);
+  y.erase(y.begin(), y.begin() + 64);
+  y.resize(y.size() / 2 * 2);
+  const auto snr =
+      dsp::measure_tone_snr(y, 1.0 / ratio, 0.5 / ratio,
+                            dsp::WindowKind::kKaiser, 16, 8, 22.0);
+  // Cubic interpolation distortion grows ~ f^4: generous floor for the
+  // low-frequency tones used here.
+  EXPECT_GT(snr.snr_db, 55.0) << "ratio " << ratio << " f " << f_in;
+  // Absolute frequency is preserved (the measurement used the output rate
+  // 1/ratio for an input rate of 1).
+  EXPECT_NEAR(snr.signal_freq_hz, f_in, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FarrowToneSnr,
+    ::testing::Values(std::make_tuple(40.0 / 30.72, 0.02),
+                      std::make_tuple(0.8, 0.03),
+                      std::make_tuple(1.25, 0.05),
+                      std::make_tuple(2.0, 0.04)));
+
+TEST(Farrow, IdentityRatioDelaysOnly) {
+  const auto x = tone(4096, 0.013, 1.0);
+  FarrowResampler src(1.0);
+  const auto y = src.process(x);
+  // With ratio exactly 1 and mu = 0, output i is input i+1 (the window
+  // interpolates at hist_[1] when it first fills).
+  for (std::size_t i = 64; i + 8 < y.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i + 1], 1e-9) << i;
+  }
+}
+
+TEST(Farrow, ResetRestartsCleanly) {
+  const auto x = tone(2048, 0.02, 1.0);
+  FarrowResampler src(1.3);
+  const auto a = src.process(x);
+  src.reset();
+  const auto b = src.process(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ResampleHelper, LteRateFromChainOutput) {
+  // 40 MS/s chain output to the 30.72 MS/s LTE baseband rate.
+  const auto x = tone(1 << 14, 1e6 / 40e6, 0.9);
+  const auto y = resample(x, 40e6, 30.72e6);
+  EXPECT_NEAR(static_cast<double>(y.size()),
+              static_cast<double>(x.size()) * 30.72 / 40.0, 4.0);
+  std::vector<double> trimmed(y.begin() + 64, y.end());
+  trimmed.resize(trimmed.size() / 2 * 2);
+  const auto snr = dsp::measure_tone_snr(trimmed, 30.72e6, 15e6,
+                                         dsp::WindowKind::kKaiser, 16, 8, 22.0);
+  EXPECT_NEAR(snr.signal_freq_hz, 1e6, 5e3);
+  EXPECT_GT(snr.snr_db, 70.0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Verilog emission: structural checks on the generated sources (ports,
+// clock domains, sequential blocks, saturation logic) and the testbench.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/decimator/chain.h"
+#include "src/rtl/builders.h"
+#include "src/rtl/verilog.h"
+
+namespace {
+
+using namespace dsadc;
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& n) {
+  std::size_t count = 0, pos = 0;
+  while ((pos = hay.find(n, pos)) != std::string::npos) {
+    ++count;
+    pos += n.size();
+  }
+  return count;
+}
+
+TEST(Verilog, CicModuleStructure) {
+  const auto stage = rtl::build_cic(design::CicSpec{4, 2, 4});
+  const std::string v = rtl::emit_verilog(stage.module);
+  EXPECT_TRUE(contains(v, "module sinc4_decim2"));
+  EXPECT_TRUE(contains(v, "input  wire clk_div1"));
+  EXPECT_TRUE(contains(v, "input  wire clk_div2"));
+  EXPECT_TRUE(contains(v, "input  wire signed [3:0] in"));
+  EXPECT_TRUE(contains(v, "output wire signed [7:0] out"));
+  EXPECT_TRUE(contains(v, "endmodule"));
+  // 4 integrators (clk_div1) + pipeline + 4 comb registers (clk_div2).
+  EXPECT_EQ(count_occurrences(v, "always @(posedge clk_div1)"), 4u);
+  EXPECT_EQ(count_occurrences(v, "always @(posedge clk_div2)"), 5u);
+}
+
+TEST(Verilog, ScalerHasShiftAddsOnly) {
+  const fx::Csd csd = fx::csd_encode_limited(1.0825, 12, 4);
+  const auto stage =
+      rtl::build_scaler(csd, 12, fx::Format{16, 12}, fx::Format{16, 12}, 1);
+  const std::string v = rtl::emit_verilog(stage.module);
+  EXPECT_TRUE(contains(v, "<<<"));
+  EXPECT_FALSE(contains(v, "*"));  // no multipliers anywhere
+}
+
+TEST(Verilog, RequantEmitsSaturation) {
+  const auto stage =
+      rtl::build_scaler(fx::csd_encode(0.5, 4), 4, fx::Format{16, 12},
+                        fx::Format{8, 4}, 1);
+  const std::string v = rtl::emit_verilog(stage.module);
+  EXPECT_TRUE(contains(v, "? 127"));   // positive clamp of the 8-bit output
+  EXPECT_TRUE(contains(v, "-128"));    // negative clamp
+  EXPECT_TRUE(contains(v, ">>>"));     // rounding shift
+}
+
+TEST(Verilog, FullChainEmitsAllClockDomains) {
+  const auto cfg = decim::paper_chain_config();
+  const auto built = rtl::build_chain(cfg);
+  const std::string v = rtl::emit_verilog(built.full);
+  for (const char* clk : {"clk_div1", "clk_div2", "clk_div4", "clk_div8",
+                          "clk_div16"}) {
+    EXPECT_TRUE(contains(v, clk)) << clk;
+  }
+  EXPECT_TRUE(contains(v, "module decimation_chain"));
+  EXPECT_TRUE(contains(v, "signed [3:0] codes"));
+  EXPECT_TRUE(contains(v, "signed [13:0] data_out"));
+}
+
+TEST(Verilog, StageSourcesAreSelfContained) {
+  const auto cfg = decim::paper_chain_config();
+  const auto built = rtl::build_chain(cfg);
+  for (std::size_t i = 0; i < built.stages.size(); ++i) {
+    const std::string v = rtl::emit_verilog(built.stages[i].module);
+    EXPECT_TRUE(contains(v, "module "));
+    EXPECT_TRUE(contains(v, "endmodule"));
+    EXPECT_TRUE(contains(v, "input  wire"));
+    EXPECT_TRUE(contains(v, "output wire"));
+  }
+}
+
+TEST(Verilog, TestbenchDrivesClocksAndFiles) {
+  const auto stage = rtl::build_cic(design::CicSpec{4, 2, 4});
+  const std::string tb = rtl::emit_testbench(stage.module);
+  EXPECT_TRUE(contains(tb, "module sinc4_decim2_tb"));
+  EXPECT_TRUE(contains(tb, "$fopen(\"stimulus.txt\""));
+  EXPECT_TRUE(contains(tb, "$fscanf"));
+  EXPECT_TRUE(contains(tb, "$fwrite"));
+  EXPECT_TRUE(contains(tb, "always #0.78125 clk_div1"));
+  EXPECT_TRUE(contains(tb, "$finish"));
+}
+
+TEST(Verilog, HalfbandUsesNoTrueMultiplier) {
+  // "124 adders (no true multiplications)" - Section V.
+  const auto d = design::design_saramaki_hbf(3, 6, 0.2125, 24, 0);
+  const auto stage = rtl::build_saramaki_hbf(d, fx::Format{18, 14},
+                                             fx::Format{18, 14}, 24, 6, 8);
+  const std::string v = rtl::emit_verilog(stage.module);
+  EXPECT_FALSE(contains(v, " * "));
+  EXPECT_TRUE(contains(v, "<<<"));
+}
+
+}  // namespace

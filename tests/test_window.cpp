@@ -1,0 +1,99 @@
+// Window function properties: normalization, known gains, Kaiser design
+// formulas, and parameterized structural sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/window.h"
+
+namespace {
+
+using dsadc::dsp::coherent_gain;
+using dsadc::dsp::enbw_bins;
+using dsadc::dsp::kaiser_beta_for_attenuation;
+using dsadc::dsp::kaiser_order_for;
+using dsadc::dsp::make_window;
+using dsadc::dsp::WindowKind;
+
+TEST(Window, RejectsEmpty) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), std::invalid_argument);
+}
+
+TEST(Window, RectangularProperties) {
+  const auto w = make_window(WindowKind::kRectangular, 17);
+  EXPECT_NEAR(coherent_gain(w), 1.0, 1e-12);
+  EXPECT_NEAR(enbw_bins(w), 1.0, 1e-12);
+}
+
+TEST(Window, HannKnownGains) {
+  // Large-N asymptotics: CG = 0.5, ENBW = 1.5 bins.
+  const auto w = make_window(WindowKind::kHann, 4096);
+  EXPECT_NEAR(coherent_gain(w), 0.5, 1e-3);
+  EXPECT_NEAR(enbw_bins(w), 1.5, 2e-3);
+}
+
+TEST(Window, BlackmanHarrisKnownGains) {
+  const auto w = make_window(WindowKind::kBlackmanHarris4, 4096);
+  EXPECT_NEAR(coherent_gain(w), 0.35875, 1e-3);
+  EXPECT_NEAR(enbw_bins(w), 2.0044, 5e-3);
+}
+
+struct WindowCase {
+  WindowKind kind;
+  double beta;
+};
+
+class WindowShape : public ::testing::TestWithParam<WindowCase> {};
+
+TEST_P(WindowShape, SymmetricAndBounded) {
+  const auto& p = GetParam();
+  const auto w = make_window(p.kind, 257, p.beta);
+  for (std::size_t i = 0; i < w.size() / 2; ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "index " << i;
+  }
+  for (double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+  // Peak at the center.
+  EXPECT_NEAR(w[w.size() / 2], 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, WindowShape,
+    ::testing::Values(WindowCase{WindowKind::kHann, 0.0},
+                      WindowCase{WindowKind::kHamming, 0.0},
+                      WindowCase{WindowKind::kBlackman, 0.0},
+                      WindowCase{WindowKind::kBlackmanHarris4, 0.0},
+                      WindowCase{WindowKind::kKaiser, 8.0},
+                      WindowCase{WindowKind::kKaiser, 16.0}));
+
+TEST(Kaiser, BetaFormulaRegions) {
+  EXPECT_NEAR(kaiser_beta_for_attenuation(20.0), 0.0, 1e-12);
+  EXPECT_GT(kaiser_beta_for_attenuation(40.0), 2.0);
+  EXPECT_NEAR(kaiser_beta_for_attenuation(60.0), 0.1102 * (60.0 - 8.7), 1e-9);
+  // Monotone in attenuation.
+  double prev = 0.0;
+  for (double a = 25.0; a <= 120.0; a += 5.0) {
+    const double b = kaiser_beta_for_attenuation(a);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Kaiser, OrderEstimateScalesInverselyWithWidth) {
+  const auto n1 = kaiser_order_for(60.0, 0.05);
+  const auto n2 = kaiser_order_for(60.0, 0.025);
+  EXPECT_GT(n2, n1);
+  EXPECT_NEAR(static_cast<double>(n2) / static_cast<double>(n1), 2.0, 0.2);
+  EXPECT_THROW(kaiser_order_for(60.0, 0.0), std::invalid_argument);
+}
+
+TEST(Kaiser, LargerBetaSmallerEnbwInverse) {
+  // Higher beta -> wider main lobe -> larger ENBW.
+  const auto w8 = make_window(WindowKind::kKaiser, 1024, 8.0);
+  const auto w16 = make_window(WindowKind::kKaiser, 1024, 16.0);
+  EXPECT_GT(enbw_bins(w16), enbw_bins(w8));
+}
+
+}  // namespace

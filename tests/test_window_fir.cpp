@@ -1,0 +1,73 @@
+// Kaiser windowed-sinc designer and the single-stage baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/dsp/freqz.h"
+#include "src/filterdesign/window_fir.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::design;
+
+TEST(KaiserLowpass, BasicProperties) {
+  const auto h = kaiser_lowpass(101, 0.1, 8.0);
+  EXPECT_EQ(h.size(), 101u);
+  EXPECT_TRUE(dsp::is_symmetric(h, 1e-12));
+  EXPECT_NEAR(std::abs(dsp::fir_response_at(h, 0.0)), 1.0, 1e-12);
+}
+
+TEST(KaiserLowpass, RejectsBadArgs) {
+  EXPECT_THROW(kaiser_lowpass(2, 0.1, 8.0), std::invalid_argument);
+  EXPECT_THROW(kaiser_lowpass(31, 0.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(kaiser_lowpass(31, 0.5, 8.0), std::invalid_argument);
+  EXPECT_THROW(kaiser_lowpass_for_spec(0.3, 0.2, 60.0), std::invalid_argument);
+}
+
+class KaiserSpec : public ::testing::TestWithParam<double> {};
+
+TEST_P(KaiserSpec, MeetsAttenuationTarget) {
+  const double atten = GetParam();
+  const auto h = kaiser_lowpass_for_spec(0.10, 0.15, atten);
+  // Kaiser designs land within ~2 dB of the formula target.
+  EXPECT_GT(dsp::min_attenuation_db(h, 0.152, 0.5), atten - 3.0);
+  EXPECT_LT(dsp::passband_ripple_db(h, 0.0, 0.098), 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, KaiserSpec,
+                         ::testing::Values(40.0, 60.0, 80.0, 95.0));
+
+TEST(KaiserSpec, LengthGrowsWithAttenuationAndNarrowness) {
+  const auto a = kaiser_lowpass_for_spec(0.10, 0.15, 60.0);
+  const auto b = kaiser_lowpass_for_spec(0.10, 0.15, 90.0);
+  const auto c = kaiser_lowpass_for_spec(0.10, 0.125, 60.0);
+  EXPECT_GT(b.size(), a.size());
+  EXPECT_GT(c.size(), a.size());
+}
+
+TEST(SingleStageBaseline, PaperSpecNeedsOverAThousandTaps) {
+  // Table I at 640 MHz in one step: transition 20-23 MHz at the full rate
+  // is a relative width of 3/640 - brutally narrow.
+  const auto base =
+      design_single_stage_baseline(640e6, 40e6, 20e6, 23e6, 85.0);
+  EXPECT_EQ(base.decimation, 16u);
+  EXPECT_GT(base.taps.size(), 1000u);
+  EXPECT_TRUE(dsp::is_symmetric(base.taps, 1e-12));
+  // The response really does meet the spec.
+  EXPECT_GT(dsp::min_attenuation_db(base.taps, 23e6 / 640e6, 0.5, 4096),
+            80.0);
+  // MACs per input sample (symmetric polyphase) stay large - the reason
+  // multistage wins.
+  EXPECT_GT(base.mac_rate_per_sample, 30.0);
+}
+
+TEST(SingleStageBaseline, RelaxedSpecShrinks) {
+  const auto tight =
+      design_single_stage_baseline(640e6, 40e6, 20e6, 23e6, 85.0);
+  const auto loose =
+      design_single_stage_baseline(640e6, 40e6, 20e6, 60e6, 60.0);
+  EXPECT_LT(loose.taps.size(), tight.taps.size() / 4);
+}
+
+}  // namespace
