@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_csd.dir/bench_ablation_csd.cpp.o"
+  "CMakeFiles/bench_ablation_csd.dir/bench_ablation_csd.cpp.o.d"
+  "bench_ablation_csd"
+  "bench_ablation_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_polyphase_cic.dir/bench_ablation_polyphase_cic.cpp.o"
+  "CMakeFiles/bench_ablation_polyphase_cic.dir/bench_ablation_polyphase_cic.cpp.o.d"
+  "bench_ablation_polyphase_cic"
+  "bench_ablation_polyphase_cic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_polyphase_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

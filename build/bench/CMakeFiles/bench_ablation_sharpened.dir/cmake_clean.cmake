@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sharpened.dir/bench_ablation_sharpened.cpp.o"
+  "CMakeFiles/bench_ablation_sharpened.dir/bench_ablation_sharpened.cpp.o.d"
+  "bench_ablation_sharpened"
+  "bench_ablation_sharpened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sharpened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

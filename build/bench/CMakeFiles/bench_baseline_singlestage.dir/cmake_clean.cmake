@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_singlestage.dir/bench_baseline_singlestage.cpp.o"
+  "CMakeFiles/bench_baseline_singlestage.dir/bench_baseline_singlestage.cpp.o.d"
+  "bench_baseline_singlestage"
+  "bench_baseline_singlestage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_singlestage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

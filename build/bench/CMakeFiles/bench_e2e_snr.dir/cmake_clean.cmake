@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_snr.dir/bench_e2e_snr.cpp.o"
+  "CMakeFiles/bench_e2e_snr.dir/bench_e2e_snr.cpp.o.d"
+  "bench_e2e_snr"
+  "bench_e2e_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_equalizer.dir/bench_fig10_equalizer.cpp.o"
+  "CMakeFiles/bench_fig10_equalizer.dir/bench_fig10_equalizer.cpp.o.d"
+  "bench_fig10_equalizer"
+  "bench_fig10_equalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_equalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_power_distribution.dir/bench_fig13_power_distribution.cpp.o"
+  "CMakeFiles/bench_fig13_power_distribution.dir/bench_fig13_power_distribution.cpp.o.d"
+  "bench_fig13_power_distribution"
+  "bench_fig13_power_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_power_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ct_loopfilter.dir/bench_fig2_ct_loopfilter.cpp.o"
+  "CMakeFiles/bench_fig2_ct_loopfilter.dir/bench_fig2_ct_loopfilter.cpp.o.d"
+  "bench_fig2_ct_loopfilter"
+  "bench_fig2_ct_loopfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ct_loopfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

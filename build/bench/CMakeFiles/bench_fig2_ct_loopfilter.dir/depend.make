@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_ct_loopfilter.
+# This may be replaced when dependencies are built.

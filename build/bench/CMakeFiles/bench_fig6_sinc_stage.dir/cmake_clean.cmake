@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sinc_stage.dir/bench_fig6_sinc_stage.cpp.o"
+  "CMakeFiles/bench_fig6_sinc_stage.dir/bench_fig6_sinc_stage.cpp.o.d"
+  "bench_fig6_sinc_stage"
+  "bench_fig6_sinc_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sinc_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

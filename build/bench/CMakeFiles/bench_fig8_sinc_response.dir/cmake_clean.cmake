@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sinc_response.dir/bench_fig8_sinc_response.cpp.o"
+  "CMakeFiles/bench_fig8_sinc_response.dir/bench_fig8_sinc_response.cpp.o.d"
+  "bench_fig8_sinc_response"
+  "bench_fig8_sinc_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sinc_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_budget.dir/bench_noise_budget.cpp.o"
+  "CMakeFiles/bench_noise_budget.dir/bench_noise_budget.cpp.o.d"
+  "bench_noise_budget"
+  "bench_noise_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_throughput.dir/bench_perf_throughput.cpp.o"
+  "CMakeFiles/bench_perf_throughput.dir/bench_perf_throughput.cpp.o.d"
+  "bench_perf_throughput"
+  "bench_perf_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

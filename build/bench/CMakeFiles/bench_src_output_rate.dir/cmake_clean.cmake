@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_src_output_rate.dir/bench_src_output_rate.cpp.o"
+  "CMakeFiles/bench_src_output_rate.dir/bench_src_output_rate.cpp.o.d"
+  "bench_src_output_rate"
+  "bench_src_output_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_src_output_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

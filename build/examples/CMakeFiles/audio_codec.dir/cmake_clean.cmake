@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_codec.dir/audio_codec.cpp.o"
+  "CMakeFiles/audio_codec.dir/audio_codec.cpp.o.d"
+  "audio_codec"
+  "audio_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

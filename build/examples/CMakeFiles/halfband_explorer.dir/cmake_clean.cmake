@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halfband_explorer.dir/halfband_explorer.cpp.o"
+  "CMakeFiles/halfband_explorer.dir/halfband_explorer.cpp.o.d"
+  "halfband_explorer"
+  "halfband_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halfband_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

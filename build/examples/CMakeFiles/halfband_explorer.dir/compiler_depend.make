@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for halfband_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for halfband_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_multistandard.dir/sdr_multistandard.cpp.o"
+  "CMakeFiles/sdr_multistandard.dir/sdr_multistandard.cpp.o.d"
+  "sdr_multistandard"
+  "sdr_multistandard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_multistandard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

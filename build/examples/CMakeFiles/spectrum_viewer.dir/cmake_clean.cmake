@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_viewer.dir/spectrum_viewer.cpp.o"
+  "CMakeFiles/spectrum_viewer.dir/spectrum_viewer.cpp.o.d"
+  "spectrum_viewer"
+  "spectrum_viewer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_viewer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

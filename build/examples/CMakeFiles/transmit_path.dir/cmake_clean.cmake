@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transmit_path.dir/transmit_path.cpp.o"
+  "CMakeFiles/transmit_path.dir/transmit_path.cpp.o.d"
+  "transmit_path"
+  "transmit_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transmit_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_core.dir/adc.cpp.o"
+  "CMakeFiles/dsadc_core.dir/adc.cpp.o.d"
+  "CMakeFiles/dsadc_core.dir/flow.cpp.o"
+  "CMakeFiles/dsadc_core.dir/flow.cpp.o.d"
+  "CMakeFiles/dsadc_core.dir/noise_budget.cpp.o"
+  "CMakeFiles/dsadc_core.dir/noise_budget.cpp.o.d"
+  "CMakeFiles/dsadc_core.dir/response.cpp.o"
+  "CMakeFiles/dsadc_core.dir/response.cpp.o.d"
+  "libdsadc_core.a"
+  "libdsadc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

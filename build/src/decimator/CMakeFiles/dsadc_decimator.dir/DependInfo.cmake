@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decimator/chain.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/chain.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/chain.cpp.o.d"
+  "/root/repo/src/decimator/cic.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/cic.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/cic.cpp.o.d"
+  "/root/repo/src/decimator/fir.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/fir.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/fir.cpp.o.d"
+  "/root/repo/src/decimator/hbf.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/hbf.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/hbf.cpp.o.d"
+  "/root/repo/src/decimator/interpolate.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/interpolate.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/interpolate.cpp.o.d"
+  "/root/repo/src/decimator/polyphase_cic.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/polyphase_cic.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/polyphase_cic.cpp.o.d"
+  "/root/repo/src/decimator/scaler.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/scaler.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/scaler.cpp.o.d"
+  "/root/repo/src/decimator/src.cpp" "src/decimator/CMakeFiles/dsadc_decimator.dir/src.cpp.o" "gcc" "src/decimator/CMakeFiles/dsadc_decimator.dir/src.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

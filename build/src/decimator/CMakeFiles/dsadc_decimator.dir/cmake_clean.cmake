@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_decimator.dir/chain.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/chain.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/cic.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/cic.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/fir.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/fir.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/hbf.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/hbf.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/interpolate.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/interpolate.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/polyphase_cic.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/polyphase_cic.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/scaler.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/scaler.cpp.o.d"
+  "CMakeFiles/dsadc_decimator.dir/src.cpp.o"
+  "CMakeFiles/dsadc_decimator.dir/src.cpp.o.d"
+  "libdsadc_decimator.a"
+  "libdsadc_decimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_decimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

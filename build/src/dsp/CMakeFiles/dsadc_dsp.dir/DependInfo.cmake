@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/chebyshev.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/chebyshev.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/chebyshev.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/freqz.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/freqz.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/freqz.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/polynomial.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/polynomial.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/polynomial.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/dsadc_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/dsadc_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_dsp.dir/chebyshev.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/fft.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/freqz.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/freqz.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/polynomial.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/polynomial.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/dsadc_dsp.dir/window.cpp.o"
+  "CMakeFiles/dsadc_dsp.dir/window.cpp.o.d"
+  "libdsadc_dsp.a"
+  "libdsadc_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filterdesign/cic.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/cic.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/cic.cpp.o.d"
+  "/root/repo/src/filterdesign/equalizer.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/equalizer.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/equalizer.cpp.o.d"
+  "/root/repo/src/filterdesign/halfband.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/halfband.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/halfband.cpp.o.d"
+  "/root/repo/src/filterdesign/remez.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/remez.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/remez.cpp.o.d"
+  "/root/repo/src/filterdesign/saramaki.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/saramaki.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/saramaki.cpp.o.d"
+  "/root/repo/src/filterdesign/sharpened_cic.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/sharpened_cic.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/sharpened_cic.cpp.o.d"
+  "/root/repo/src/filterdesign/window_fir.cpp" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/window_fir.cpp.o" "gcc" "src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/window_fir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

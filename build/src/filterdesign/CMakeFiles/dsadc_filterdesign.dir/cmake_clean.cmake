@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_filterdesign.dir/cic.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/cic.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/equalizer.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/equalizer.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/halfband.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/halfband.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/remez.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/remez.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/saramaki.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/saramaki.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/sharpened_cic.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/sharpened_cic.cpp.o.d"
+  "CMakeFiles/dsadc_filterdesign.dir/window_fir.cpp.o"
+  "CMakeFiles/dsadc_filterdesign.dir/window_fir.cpp.o.d"
+  "libdsadc_filterdesign.a"
+  "libdsadc_filterdesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_filterdesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

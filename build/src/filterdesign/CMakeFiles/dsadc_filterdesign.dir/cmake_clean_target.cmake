@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsadc_filterdesign.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsadc_filterdesign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixedpoint/csd.cpp" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/csd.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/csd.cpp.o.d"
+  "/root/repo/src/fixedpoint/csd_optimize.cpp" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/csd_optimize.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/csd_optimize.cpp.o.d"
+  "/root/repo/src/fixedpoint/fixed.cpp" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/fixed.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/fixed.cpp.o.d"
+  "/root/repo/src/fixedpoint/quantize.cpp" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/quantize.cpp.o" "gcc" "src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_fixedpoint.dir/csd.cpp.o"
+  "CMakeFiles/dsadc_fixedpoint.dir/csd.cpp.o.d"
+  "CMakeFiles/dsadc_fixedpoint.dir/csd_optimize.cpp.o"
+  "CMakeFiles/dsadc_fixedpoint.dir/csd_optimize.cpp.o.d"
+  "CMakeFiles/dsadc_fixedpoint.dir/fixed.cpp.o"
+  "CMakeFiles/dsadc_fixedpoint.dir/fixed.cpp.o.d"
+  "CMakeFiles/dsadc_fixedpoint.dir/quantize.cpp.o"
+  "CMakeFiles/dsadc_fixedpoint.dir/quantize.cpp.o.d"
+  "libdsadc_fixedpoint.a"
+  "libdsadc_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

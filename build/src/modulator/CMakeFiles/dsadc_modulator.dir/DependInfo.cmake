@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modulator/ct.cpp" "src/modulator/CMakeFiles/dsadc_modulator.dir/ct.cpp.o" "gcc" "src/modulator/CMakeFiles/dsadc_modulator.dir/ct.cpp.o.d"
+  "/root/repo/src/modulator/dsm.cpp" "src/modulator/CMakeFiles/dsadc_modulator.dir/dsm.cpp.o" "gcc" "src/modulator/CMakeFiles/dsadc_modulator.dir/dsm.cpp.o.d"
+  "/root/repo/src/modulator/ntf.cpp" "src/modulator/CMakeFiles/dsadc_modulator.dir/ntf.cpp.o" "gcc" "src/modulator/CMakeFiles/dsadc_modulator.dir/ntf.cpp.o.d"
+  "/root/repo/src/modulator/realize.cpp" "src/modulator/CMakeFiles/dsadc_modulator.dir/realize.cpp.o" "gcc" "src/modulator/CMakeFiles/dsadc_modulator.dir/realize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_modulator.dir/ct.cpp.o"
+  "CMakeFiles/dsadc_modulator.dir/ct.cpp.o.d"
+  "CMakeFiles/dsadc_modulator.dir/dsm.cpp.o"
+  "CMakeFiles/dsadc_modulator.dir/dsm.cpp.o.d"
+  "CMakeFiles/dsadc_modulator.dir/ntf.cpp.o"
+  "CMakeFiles/dsadc_modulator.dir/ntf.cpp.o.d"
+  "CMakeFiles/dsadc_modulator.dir/realize.cpp.o"
+  "CMakeFiles/dsadc_modulator.dir/realize.cpp.o.d"
+  "libdsadc_modulator.a"
+  "libdsadc_modulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_modulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

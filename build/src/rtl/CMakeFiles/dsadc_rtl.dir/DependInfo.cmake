@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/builders.cpp" "src/rtl/CMakeFiles/dsadc_rtl.dir/builders.cpp.o" "gcc" "src/rtl/CMakeFiles/dsadc_rtl.dir/builders.cpp.o.d"
+  "/root/repo/src/rtl/ir.cpp" "src/rtl/CMakeFiles/dsadc_rtl.dir/ir.cpp.o" "gcc" "src/rtl/CMakeFiles/dsadc_rtl.dir/ir.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/dsadc_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/dsadc_rtl.dir/sim.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/dsadc_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/dsadc_rtl.dir/verilog.cpp.o.d"
+  "/root/repo/src/rtl/vparse.cpp" "src/rtl/CMakeFiles/dsadc_rtl.dir/vparse.cpp.o" "gcc" "src/rtl/CMakeFiles/dsadc_rtl.dir/vparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/decimator/CMakeFiles/dsadc_decimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_rtl.dir/builders.cpp.o"
+  "CMakeFiles/dsadc_rtl.dir/builders.cpp.o.d"
+  "CMakeFiles/dsadc_rtl.dir/ir.cpp.o"
+  "CMakeFiles/dsadc_rtl.dir/ir.cpp.o.d"
+  "CMakeFiles/dsadc_rtl.dir/sim.cpp.o"
+  "CMakeFiles/dsadc_rtl.dir/sim.cpp.o.d"
+  "CMakeFiles/dsadc_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/dsadc_rtl.dir/verilog.cpp.o.d"
+  "CMakeFiles/dsadc_rtl.dir/vparse.cpp.o"
+  "CMakeFiles/dsadc_rtl.dir/vparse.cpp.o.d"
+  "libdsadc_rtl.a"
+  "libdsadc_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

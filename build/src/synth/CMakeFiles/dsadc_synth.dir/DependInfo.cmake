@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/celllib.cpp" "src/synth/CMakeFiles/dsadc_synth.dir/celllib.cpp.o" "gcc" "src/synth/CMakeFiles/dsadc_synth.dir/celllib.cpp.o.d"
+  "/root/repo/src/synth/estimate.cpp" "src/synth/CMakeFiles/dsadc_synth.dir/estimate.cpp.o" "gcc" "src/synth/CMakeFiles/dsadc_synth.dir/estimate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/dsadc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/decimator/CMakeFiles/dsadc_decimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

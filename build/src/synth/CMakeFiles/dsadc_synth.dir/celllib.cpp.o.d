@@ -1,0 +1,3 @@
+src/synth/CMakeFiles/dsadc_synth.dir/celllib.cpp.o: \
+ /root/repo/src/synth/celllib.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/synth/../../src/synth/celllib.h

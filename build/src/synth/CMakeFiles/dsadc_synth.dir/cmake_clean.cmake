@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsadc_synth.dir/celllib.cpp.o"
+  "CMakeFiles/dsadc_synth.dir/celllib.cpp.o.d"
+  "CMakeFiles/dsadc_synth.dir/estimate.cpp.o"
+  "CMakeFiles/dsadc_synth.dir/estimate.cpp.o.d"
+  "libdsadc_synth.a"
+  "libdsadc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsadc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cic_design.dir/test_cic_design.cpp.o"
+  "CMakeFiles/test_cic_design.dir/test_cic_design.cpp.o.d"
+  "test_cic_design"
+  "test_cic_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cic_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cic_impl.dir/test_cic_impl.cpp.o"
+  "CMakeFiles/test_cic_impl.dir/test_cic_impl.cpp.o.d"
+  "test_cic_impl"
+  "test_cic_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cic_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

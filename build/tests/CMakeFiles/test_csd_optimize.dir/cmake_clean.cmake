@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csd_optimize.dir/test_csd_optimize.cpp.o"
+  "CMakeFiles/test_csd_optimize.dir/test_csd_optimize.cpp.o.d"
+  "test_csd_optimize"
+  "test_csd_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csd_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ct.dir/test_ct.cpp.o"
+  "CMakeFiles/test_ct.dir/test_ct.cpp.o.d"
+  "test_ct"
+  "test_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

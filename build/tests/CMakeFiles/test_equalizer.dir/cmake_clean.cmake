@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equalizer.dir/test_equalizer.cpp.o"
+  "CMakeFiles/test_equalizer.dir/test_equalizer.cpp.o.d"
+  "test_equalizer"
+  "test_equalizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

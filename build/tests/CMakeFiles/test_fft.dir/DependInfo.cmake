@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/test_fft.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_fft.dir/test_fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsadc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dsadc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/dsadc_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/decimator/CMakeFiles/dsadc_decimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/filterdesign/CMakeFiles/dsadc_filterdesign.dir/DependInfo.cmake"
+  "/root/repo/build/src/modulator/CMakeFiles/dsadc_modulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/dsadc_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/dsadc_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fir_impl.dir/test_fir_impl.cpp.o"
+  "CMakeFiles/test_fir_impl.dir/test_fir_impl.cpp.o.d"
+  "test_fir_impl"
+  "test_fir_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fir_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

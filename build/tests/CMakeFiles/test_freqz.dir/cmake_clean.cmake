@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freqz.dir/test_freqz.cpp.o"
+  "CMakeFiles/test_freqz.dir/test_freqz.cpp.o.d"
+  "test_freqz"
+  "test_freqz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freqz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_chain.dir/test_fuzz_chain.cpp.o"
+  "CMakeFiles/test_fuzz_chain.dir/test_fuzz_chain.cpp.o.d"
+  "test_fuzz_chain"
+  "test_fuzz_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

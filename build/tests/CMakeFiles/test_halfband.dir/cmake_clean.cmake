@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halfband.dir/test_halfband.cpp.o"
+  "CMakeFiles/test_halfband.dir/test_halfband.cpp.o.d"
+  "test_halfband"
+  "test_halfband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halfband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hbf_impl.dir/test_hbf_impl.cpp.o"
+  "CMakeFiles/test_hbf_impl.dir/test_hbf_impl.cpp.o.d"
+  "test_hbf_impl"
+  "test_hbf_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hbf_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

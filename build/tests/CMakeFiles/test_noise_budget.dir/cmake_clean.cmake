@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noise_budget.dir/test_noise_budget.cpp.o"
+  "CMakeFiles/test_noise_budget.dir/test_noise_budget.cpp.o.d"
+  "test_noise_budget"
+  "test_noise_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noise_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntf.dir/test_ntf.cpp.o"
+  "CMakeFiles/test_ntf.dir/test_ntf.cpp.o.d"
+  "test_ntf"
+  "test_ntf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

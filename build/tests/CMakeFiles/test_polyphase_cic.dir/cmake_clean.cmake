@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyphase_cic.dir/test_polyphase_cic.cpp.o"
+  "CMakeFiles/test_polyphase_cic.dir/test_polyphase_cic.cpp.o.d"
+  "test_polyphase_cic"
+  "test_polyphase_cic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyphase_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remez.dir/test_remez.cpp.o"
+  "CMakeFiles/test_remez.dir/test_remez.cpp.o.d"
+  "test_remez"
+  "test_remez.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remez.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

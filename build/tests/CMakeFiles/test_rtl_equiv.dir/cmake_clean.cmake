@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_equiv.dir/test_rtl_equiv.cpp.o"
+  "CMakeFiles/test_rtl_equiv.dir/test_rtl_equiv.cpp.o.d"
+  "test_rtl_equiv"
+  "test_rtl_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

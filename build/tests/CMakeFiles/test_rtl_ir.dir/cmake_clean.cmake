@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_ir.dir/test_rtl_ir.cpp.o"
+  "CMakeFiles/test_rtl_ir.dir/test_rtl_ir.cpp.o.d"
+  "test_rtl_ir"
+  "test_rtl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_saramaki.dir/test_saramaki.cpp.o"
+  "CMakeFiles/test_saramaki.dir/test_saramaki.cpp.o.d"
+  "test_saramaki"
+  "test_saramaki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_saramaki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

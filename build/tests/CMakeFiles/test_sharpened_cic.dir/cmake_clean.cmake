@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharpened_cic.dir/test_sharpened_cic.cpp.o"
+  "CMakeFiles/test_sharpened_cic.dir/test_sharpened_cic.cpp.o.d"
+  "test_sharpened_cic"
+  "test_sharpened_cic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharpened_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_src.dir/test_src.cpp.o"
+  "CMakeFiles/test_src.dir/test_src.cpp.o.d"
+  "test_src"
+  "test_src.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_src.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

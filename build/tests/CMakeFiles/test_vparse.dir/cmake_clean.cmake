@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vparse.dir/test_vparse.cpp.o"
+  "CMakeFiles/test_vparse.dir/test_vparse.cpp.o.d"
+  "test_vparse"
+  "test_vparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_fir.dir/test_window_fir.cpp.o"
+  "CMakeFiles/test_window_fir.dir/test_window_fir.cpp.o.d"
+  "test_window_fir"
+  "test_window_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
