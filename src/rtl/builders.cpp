@@ -127,7 +127,15 @@ NodeId append_symmetric_fir(Module& m, NodeId in,
   const std::size_t n = taps.size();
   if (n < 3) throw std::invalid_argument("append_symmetric_fir: too few taps");
   const int wi = in_fmt.width;
-  const int wfull = std::min(62, wi + 1 + coeff_frac + 7);
+  // Accumulator headroom must cover the total tap mass: |acc| <=
+  // 2^wi * sum|t_k| for the quantized integer taps t_k. The floor of 7
+  // keeps the historical width for small-tap filters (equalizers), while
+  // large integer taps (sharpened-CIC kernels) get what they need.
+  double sum_abs = 0.0;
+  for (double t : taps) sum_abs += std::abs(t);
+  const int growth =
+      1 + static_cast<int>(std::ceil(std::log2(std::max(2.0, sum_abs))));
+  const int wfull = std::min(62, wi + 1 + coeff_frac + std::max(growth, 7));
 
   // Delay line x[n-k], k = 0..n-1.
   std::vector<NodeId> line(n);

@@ -1,0 +1,52 @@
+// Three-way differential execution of one StageCase.
+//
+// Each case runs through all three representations of the stage:
+//
+//   1. the golden double-precision reference (src/verify/reference.h),
+//   2. the bit-true fixed-point implementation (src/decimator),
+//   3. the generated RTL netlist under the cycle-accurate IR simulator
+//      (src/rtl/sim) -- the paper's VCS-testbench role.
+//
+// Fixed point and RTL must agree bit-for-bit (modulo the netlist's fixed
+// pipeline lag and, for decimators, the polyphase parity the RTL lands
+// on). Reference and fixed point must agree within the stage's
+// deterministic worst-case rounding bound. Either violation makes the
+// case a failure; shrink.h then minimizes the stimulus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/verify/harness.h"
+
+namespace dsadc::verify {
+
+struct DiffOutcome {
+  bool ok = true;
+  /// Which leg disagreed: "rtl-vs-fixed", "ref-vs-fixed", "exception",
+  /// or "" when ok.
+  std::string leg;
+  /// Human-readable failure description (indices, values, bound).
+  std::string detail;
+
+  /// Worst |reference - fixed| observed, in output real units (also
+  /// filled for passing runs -- the property tests assert it stays under
+  /// the bound with margin statistics).
+  double max_ref_error = 0.0;
+  double error_bound = 0.0;
+};
+
+/// Run the full three-way comparison for a case. Never throws: config or
+/// runtime exceptions surface as a failed outcome (leg = "exception").
+DiffOutcome run_case(const StageCase& c);
+
+/// True when `rtl` equals `ref` shifted by a fixed lag in [0, max_lag],
+/// comparing the overlap past a settling prefix. Shared with the legacy
+/// RTL equivalence tests' semantics.
+bool matches_with_lag(const std::vector<std::int64_t>& rtl,
+                      const std::vector<std::int64_t>& fixed, int max_lag,
+                      int* found_lag = nullptr, std::size_t settle = 4,
+                      std::size_t min_compared = 8);
+
+}  // namespace dsadc::verify

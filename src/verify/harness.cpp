@@ -1,0 +1,276 @@
+#include "src/verify/harness.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace dsadc::verify {
+namespace {
+
+/// (n1, n2, fp) palette the generators draw Saramaki designs from. All are
+/// feasible structures around the paper's n1=3, n2=6, fp=0.2125 instance.
+struct HbfPalette {
+  std::size_t n1, n2;
+  double fp;
+};
+constexpr HbfPalette kHbfPalette[] = {
+    {3, 6, 0.2125}, {2, 4, 0.2000}, {3, 5, 0.2100},
+    {2, 6, 0.2200}, {4, 6, 0.2000}, {2, 5, 0.1900},
+};
+constexpr int kHbfPaletteSize = 6;
+
+std::vector<double> random_symmetric_taps(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> half_len(1, 12);
+  std::uniform_real_distribution<double> tap(-0.25, 0.25);
+  const int h = half_len(rng);
+  std::vector<double> taps(static_cast<std::size_t>(2 * h + 1), 0.0);
+  taps[static_cast<std::size_t>(h)] = 1.0;
+  for (int k = 0; k < h; ++k) {
+    const double v = tap(rng);
+    taps[static_cast<std::size_t>(k)] = v;
+    taps[static_cast<std::size_t>(2 * h - k)] = v;
+  }
+  return taps;
+}
+
+}  // namespace
+
+const char* stage_kind_name(StageKind k) {
+  switch (k) {
+    case StageKind::kCic: return "cic";
+    case StageKind::kPolyphaseCic: return "polyphase_cic";
+    case StageKind::kSharpenedCic: return "sharpened_cic";
+    case StageKind::kHbf: return "hbf";
+    case StageKind::kScaler: return "scaler";
+    case StageKind::kFir: return "fir";
+    case StageKind::kChain: return "chain";
+  }
+  return "unknown";
+}
+
+StageKind stage_kind_from_name(const std::string& name) {
+  for (int i = 0; i < kNumStageKinds; ++i) {
+    const auto k = static_cast<StageKind>(i);
+    if (name == stage_kind_name(k)) return k;
+  }
+  throw std::invalid_argument("stage_kind_from_name: unknown kind " + name);
+}
+
+const design::SaramakiHbf& cached_hbf_design(std::size_t n1, std::size_t n2,
+                                             double fp, int frac_bits) {
+  using Key = std::tuple<std::size_t, std::size_t, long long, int>;
+  static std::mutex mu;
+  static std::map<Key, design::SaramakiHbf> cache;
+  const Key key{n1, n2, static_cast<long long>(std::llround(fp * 1e6)),
+                frac_bits};
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, design::design_saramaki_hbf(n1, n2, fp, frac_bits,
+                                                        /*max_digits=*/0))
+             .first;
+  }
+  return it->second;
+}
+
+fx::Format case_input_format(const StageCase& c) {
+  switch (c.kind) {
+    case StageKind::kCic:
+    case StageKind::kPolyphaseCic:
+    case StageKind::kSharpenedCic:
+      return fx::Format{c.cic.input_bits, 0};
+    case StageKind::kHbf:
+      return c.hbf.in_fmt;
+    case StageKind::kScaler:
+      return c.scaler.in_fmt;
+    case StageKind::kFir:
+      return c.fir.in_fmt;
+    case StageKind::kChain:
+      return fx::Format{4, 0};
+  }
+  return fx::Format{16, 0};
+}
+
+decim::ChainConfig make_chain_config(const ChainParams& p) {
+  decim::ChainConfig cfg;
+  cfg.cic_stages = p.cic_stages;
+  cfg.hbf = cached_hbf_design(p.hbf_n1, p.hbf_n2, p.hbf_fp, 24);
+  cfg.scale = p.scale;
+  cfg.equalizer_taps = p.equalizer_taps;
+  cfg.equalizer_frac_bits = p.equalizer_frac_bits;
+  cfg.input_format = fx::Format{4, 0};
+  cfg.hbf_in_format = p.hbf_in_format;
+  cfg.hbf_out_format = p.hbf_out_format;
+  cfg.scaler_out_format = p.scaler_out_format;
+  cfg.output_format = p.output_format;
+  return cfg;
+}
+
+StageCase random_case(StageKind kind, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  StageCase c;
+  c.kind = kind;
+  c.seed = seed;
+
+  std::uniform_int_distribution<int> order_d(1, 6);
+  std::uniform_int_distribution<int> even_order_d(1, 2);  // *2 below
+  std::uniform_int_distribution<int> decim_d(2, 4);
+  std::uniform_int_distribution<int> bits_d(4, 12);
+
+  switch (kind) {
+    case StageKind::kCic: {
+      // Keep the register (and the double model) well under 2^53.
+      design::CicSpec s{order_d(rng), decim_d(rng), bits_d(rng)};
+      while (s.register_width() > 48) s.order = std::max(1, s.order - 1);
+      c.cic = s;
+      c.length = 512;
+      break;
+    }
+    case StageKind::kPolyphaseCic: {
+      // The polyphase realization is specified for M = 2.
+      c.cic = design::CicSpec{order_d(rng), 2, bits_d(rng)};
+      c.length = 512;
+      break;
+    }
+    case StageKind::kSharpenedCic: {
+      // K*(M-1) must be even for integer tap alignment; gain M^3K must
+      // leave int64 headroom above the input width.
+      const int m = decim_d(rng);
+      const int k = (m % 2 == 1) ? order_d(rng) / 2 + 1 : 2 * even_order_d(rng);
+      const int bits = std::uniform_int_distribution<int>(4, 8)(rng);
+      c.cic = design::CicSpec{k, m, bits};
+      while (3 * c.cic.order * static_cast<int>(std::ceil(std::log2(m))) +
+                 bits >
+             44) {
+        c.cic.order -= (m % 2 == 1) ? 1 : 2;
+      }
+      c.length = 384;
+      break;
+    }
+    case StageKind::kHbf: {
+      const auto& pal =
+          kHbfPalette[std::uniform_int_distribution<int>(0, kHbfPaletteSize - 1)(
+              rng)];
+      c.hbf.n1 = pal.n1;
+      c.hbf.n2 = pal.n2;
+      c.hbf.fp = pal.fp;
+      c.hbf.coeff_frac_bits =
+          std::uniform_int_distribution<int>(20, 24)(rng);
+      c.hbf.guard_frac_bits = std::uniform_int_distribution<int>(4, 8)(rng);
+      const int width = std::uniform_int_distribution<int>(12, 24)(rng);
+      const int frac =
+          width - std::uniform_int_distribution<int>(2, 5)(rng);
+      c.hbf.in_fmt = fx::Format{width, frac};
+      // Output format: same or slightly narrower (exercises the final
+      // rounding), never wider than the input carries.
+      const int owidth = width - std::uniform_int_distribution<int>(0, 2)(rng);
+      c.hbf.out_fmt = fx::Format{owidth, frac - (width - owidth)};
+      c.length = 512;
+      break;
+    }
+    case StageKind::kScaler: {
+      std::uniform_real_distribution<double> scale_d(0.1, 4.0);
+      c.scaler.scale = scale_d(rng);
+      c.scaler.frac_bits = std::uniform_int_distribution<int>(10, 16)(rng);
+      c.scaler.max_digits =
+          static_cast<std::size_t>(std::uniform_int_distribution<int>(4, 10)(rng));
+      const int width = std::uniform_int_distribution<int>(12, 24)(rng);
+      const int frac = width - std::uniform_int_distribution<int>(2, 5)(rng);
+      c.scaler.in_fmt = fx::Format{width, frac};
+      // Keep roughly one integer bit of headroom on the output side.
+      const int owidth = std::uniform_int_distribution<int>(12, 24)(rng);
+      c.scaler.out_fmt =
+          fx::Format{owidth, owidth - std::uniform_int_distribution<int>(2, 4)(rng)};
+      c.length = 512;
+      break;
+    }
+    case StageKind::kFir: {
+      c.fir.taps = random_symmetric_taps(rng);
+      c.fir.frac_bits = std::uniform_int_distribution<int>(10, 16)(rng);
+      const int width = std::uniform_int_distribution<int>(12, 22)(rng);
+      const int frac = width - std::uniform_int_distribution<int>(2, 4)(rng);
+      c.fir.in_fmt = fx::Format{width, frac};
+      const int owidth = std::uniform_int_distribution<int>(10, 18)(rng);
+      c.fir.out_fmt = fx::Format{owidth, owidth - 2};
+      c.length = 512;
+      break;
+    }
+    case StageKind::kChain: {
+      // Valid ChainConfig space: 2-3 decimate-by-2 stages (power-of-two
+      // cascade gain, as DecimationChain requires), widths within the
+      // HBF's 62-bit internal guard.
+      const int n_stages = std::uniform_int_distribution<int>(2, 3)(rng);
+      int bits = 4;
+      int gain_log2 = 0;
+      for (int i = 0; i < n_stages; ++i) {
+        design::CicSpec s{std::uniform_int_distribution<int>(2, 6)(rng), 2,
+                          bits};
+        c.chain.cic_stages.push_back(s);
+        bits = s.register_width();
+        gain_log2 += s.order;
+      }
+      const auto& pal =
+          kHbfPalette[std::uniform_int_distribution<int>(0, kHbfPaletteSize - 1)(
+              rng)];
+      c.chain.hbf_n1 = pal.n1;
+      c.chain.hbf_n2 = pal.n2;
+      c.chain.hbf_fp = pal.fp;
+      // Occasionally shave a bit from the HBF input relabeling so the
+      // renormalization rounding path is exercised too.
+      const int shave = std::uniform_int_distribution<int>(0, 1)(rng);
+      c.chain.hbf_in_format = fx::Format{bits - shave, gain_log2 - shave};
+      c.chain.hbf_out_format = c.chain.hbf_in_format;
+      c.chain.scaler_out_format =
+          fx::Format{c.chain.hbf_in_format.width,
+                     c.chain.hbf_in_format.frac + 1};
+      c.chain.output_format = fx::Format{14, 13};
+      c.chain.scale = 0.98 / (0.81 * 7.0 + 0.5);
+      c.chain.equalizer_taps = random_symmetric_taps(rng);
+      c.chain.equalizer_frac_bits =
+          std::uniform_int_distribution<int>(12, 16)(rng);
+      c.length = 4096;
+      break;
+    }
+  }
+
+  c.stim_class = random_stimulus_class(rng);
+  c.stimulus = make_stimulus(c.stim_class, c.length, case_input_format(c), rng);
+  return c;
+}
+
+std::string describe_case(const StageCase& c) {
+  std::ostringstream os;
+  os << stage_kind_name(c.kind) << " seed=" << c.seed
+     << " stim=" << stimulus_name(c.stim_class) << " n=" << c.stimulus.size();
+  switch (c.kind) {
+    case StageKind::kCic:
+    case StageKind::kPolyphaseCic:
+    case StageKind::kSharpenedCic:
+      os << " K=" << c.cic.order << " M=" << c.cic.decimation
+         << " Bin=" << c.cic.input_bits;
+      break;
+    case StageKind::kHbf:
+      os << " n1=" << c.hbf.n1 << " n2=" << c.hbf.n2
+         << " in=" << c.hbf.in_fmt.to_string()
+         << " out=" << c.hbf.out_fmt.to_string()
+         << " guard=" << c.hbf.guard_frac_bits;
+      break;
+    case StageKind::kScaler:
+      os << " S=" << c.scaler.scale << " frac=" << c.scaler.frac_bits
+         << " digits=" << c.scaler.max_digits;
+      break;
+    case StageKind::kFir:
+      os << " taps=" << c.fir.taps.size() << " frac=" << c.fir.frac_bits;
+      break;
+    case StageKind::kChain:
+      os << " stages=" << c.chain.cic_stages.size() << " n1=" << c.chain.hbf_n1
+         << " n2=" << c.chain.hbf_n2;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace dsadc::verify

@@ -1,0 +1,116 @@
+// Case model for the cross-layer differential harness.
+//
+// A StageCase is a fully-specified experiment: which stage class, which
+// configuration (drawn from the valid ChainConfig space), which stimulus.
+// Cases are pure functions of a 64-bit seed, so `random_case(kind, seed)`
+// is the entire provenance of a failure; repro files (repro.h) serialize
+// the materialized case so a failure survives generator changes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/filterdesign/cic.h"
+#include "src/filterdesign/saramaki.h"
+#include "src/fixedpoint/fixed.h"
+#include "src/verify/stimulus.h"
+
+namespace dsadc::verify {
+
+enum class StageKind : std::uint8_t {
+  kCic,           ///< Hogenauer CicDecimator vs build_cic
+  kPolyphaseCic,  ///< PolyphaseCicDecimator (M=2) vs build_cic
+  kSharpenedCic,  ///< FirDecimator over sharpened taps vs build_symmetric_fir
+  kHbf,           ///< SaramakiHbfDecimator vs build_saramaki_hbf
+  kScaler,        ///< ScalingStage vs build_scaler
+  kFir,           ///< FirDecimator (equalizer role) vs build_symmetric_fir
+  kChain,         ///< DecimationChain vs build_chain
+};
+
+inline constexpr int kNumStageKinds = 7;
+
+const char* stage_kind_name(StageKind k);
+StageKind stage_kind_from_name(const std::string& name);
+
+struct HbfParams {
+  std::size_t n1 = 3;
+  std::size_t n2 = 6;
+  double fp = 0.2125;
+  int coeff_frac_bits = 24;
+  int guard_frac_bits = 6;
+  fx::Format in_fmt{18, 14};
+  fx::Format out_fmt{18, 14};
+};
+
+struct ScalerParams {
+  double scale = 1.0825;
+  int frac_bits = 12;
+  std::size_t max_digits = 6;
+  fx::Format in_fmt{18, 14};
+  fx::Format out_fmt{18, 15};
+};
+
+struct FirParams {
+  std::vector<double> taps;  ///< symmetric, odd length >= 3
+  int frac_bits = 14;
+  fx::Format in_fmt{18, 15};
+  fx::Format out_fmt{14, 13};
+};
+
+/// Chain configuration by its design inputs (rebuilt deterministically;
+/// unlike decim::ChainConfig this is directly serializable).
+struct ChainParams {
+  std::vector<design::CicSpec> cic_stages;
+  std::size_t hbf_n1 = 3;
+  std::size_t hbf_n2 = 6;
+  double hbf_fp = 0.2125;
+  double scale = 0.16;
+  std::vector<double> equalizer_taps;
+  int equalizer_frac_bits = 14;
+  fx::Format hbf_in_format{18, 14};
+  fx::Format hbf_out_format{18, 14};
+  fx::Format scaler_out_format{18, 15};
+  fx::Format output_format{14, 13};
+};
+
+struct StageCase {
+  StageKind kind = StageKind::kCic;
+  std::uint64_t seed = 0;
+  StimulusClass stim_class = StimulusClass::kUniform;
+  std::size_t length = 256;
+
+  design::CicSpec cic{};  ///< kCic / kPolyphaseCic / kSharpenedCic
+  HbfParams hbf{};        ///< kHbf
+  ScalerParams scaler{};  ///< kScaler
+  FirParams fir{};        ///< kFir
+  ChainParams chain{};    ///< kChain
+
+  /// Materialized stimulus in the stage's input format. Always populated
+  /// by random_case; repro files carry it verbatim so a reproducer is
+  /// independent of the stimulus generators.
+  std::vector<std::int64_t> stimulus;
+};
+
+/// Input format of the stage the case drives.
+fx::Format case_input_format(const StageCase& c);
+
+/// Draw a complete random case (config + stimulus) for a stage class.
+/// Identical (kind, seed) yield identical cases across runs and builds.
+StageCase random_case(StageKind kind, std::uint64_t seed);
+
+/// Saramaki designs are the one expensive config ingredient; the harness
+/// draws from a fixed palette of precomputed (n1, n2, fp) designs. Designs
+/// are cached process-wide, keyed by (n1, n2, fp, frac_bits).
+const design::SaramakiHbf& cached_hbf_design(std::size_t n1, std::size_t n2,
+                                             double fp, int frac_bits);
+
+/// Expand ChainParams into the runnable decim::ChainConfig.
+decim::ChainConfig make_chain_config(const ChainParams& p);
+
+/// One-line human-readable description (for failure messages).
+std::string describe_case(const StageCase& c);
+
+}  // namespace dsadc::verify

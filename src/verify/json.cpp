@@ -1,0 +1,303 @@
+#include "src/verify/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dsadc::verify {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) throw std::invalid_argument("Json: not a bool");
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) throw std::invalid_argument("Json: not a number");
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_double()));
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) throw std::invalid_argument("Json: not a string");
+  return str_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  throw std::invalid_argument("Json: size() on scalar");
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::kArray) throw std::invalid_argument("Json: not an array");
+  return arr_.at(i);
+}
+
+void Json::push_back(Json v) {
+  if (type_ != Type::kArray) throw std::invalid_argument("Json: not an array");
+  arr_.push_back(std::move(v));
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (type_ != Type::kObject) throw std::invalid_argument("Json: not an object");
+  const auto it = obj_.find(key);
+  if (it == obj_.end()) {
+    throw std::invalid_argument("Json: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return type_ == Type::kObject && obj_.find(key) != obj_.end();
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw std::invalid_argument("Json: not an object");
+  return obj_[key];
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double v) {
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += nl;
+        out += pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) {
+        out += nl;
+        out += close_pad;
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += nl;
+        out += pad;
+        append_escaped(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) {
+        out += nl;
+        out += close_pad;
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("json_parse: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return Json(string());
+    if (consume_literal("true")) return Json(true);
+    if (consume_literal("false")) return Json(false);
+    if (consume_literal("null")) return Json();
+    return number();
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json out = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      out.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json out = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = string();
+      expect(':');
+      out[key] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json json_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace dsadc::verify

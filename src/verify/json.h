@@ -1,0 +1,68 @@
+// Minimal JSON value model, emitter and recursive-descent parser.
+//
+// Just enough for the self-contained repro files the differential harness
+// writes (objects, arrays, numbers, strings, bools) -- no external
+// dependency, round-trip-exact doubles (%.17g).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsadc::verify {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(std::size_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array access.
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  /// Object access; `at` throws on a missing key (repro files are
+  /// machine-written, a missing field is a format error worth surfacing).
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  Json& operator[](const std::string& key);
+
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+/// Parse a JSON document; throws std::invalid_argument with position info
+/// on malformed input.
+Json json_parse(const std::string& text);
+
+}  // namespace dsadc::verify

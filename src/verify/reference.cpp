@@ -1,0 +1,347 @@
+#include "src/verify/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/filterdesign/sharpened_cic.h"
+
+namespace dsadc::verify {
+namespace {
+
+double l1_norm(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += std::abs(x);
+  return s;
+}
+
+/// Emit-phase convention of a decimated convolution.
+enum class Phase {
+  kEmitFirst,  ///< output on pushes 0, M, 2M (FirDecimator, SaramakiHbf)
+  kEmitLast,   ///< output on pushes M-1, 2M-1 (CicDecimator)
+};
+
+/// Streaming decimated convolution y[m] = sum_k taps[k] * x[...-k] in
+/// double precision, with optional clamping to the output format's real
+/// range (saturating stages). The workhorse behind every golden model.
+class ConvolutionReference : public ReferenceStage {
+ public:
+  ConvolutionReference(std::string name, std::vector<double> taps,
+                       int decimation, Phase phase, double in_scale,
+                       fx::Format out_fmt, bool clamp, double error_bound)
+      : name_(std::move(name)),
+        taps_(std::move(taps)),
+        decimation_(decimation),
+        phase_mode_(phase),
+        in_scale_(in_scale),
+        out_fmt_(out_fmt),
+        clamp_(clamp),
+        error_bound_(error_bound),
+        hist_(taps_.size(), 0.0) {
+    if (taps_.empty()) {
+      throw std::invalid_argument("ConvolutionReference: empty taps");
+    }
+    if (decimation_ < 1) {
+      throw std::invalid_argument("ConvolutionReference: decimation >= 1");
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+  int decimation() const override { return decimation_; }
+  const fx::Format& output_format() const override { return out_fmt_; }
+  double error_bound() const override { return error_bound_; }
+
+  std::vector<double> process(std::span<const std::int64_t> raw_in) override {
+    std::vector<double> out;
+    out.reserve(raw_in.size() / static_cast<std::size_t>(decimation_) + 1);
+    for (std::int64_t raw : raw_in) {
+      hist_[pos_] = static_cast<double>(raw) * in_scale_;
+      const std::size_t newest = pos_;
+      pos_ = (pos_ + 1) % hist_.size();
+      const bool emit = phase_mode_ == Phase::kEmitFirst
+                            ? phase_ == 0
+                            : phase_ == decimation_ - 1;
+      phase_ = (phase_ + 1) % decimation_;
+      if (!emit) continue;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < taps_.size(); ++k) {
+        const std::size_t idx = (newest + hist_.size() - k) % hist_.size();
+        acc += taps_[k] * hist_[idx];
+      }
+      if (clamp_) {
+        const double lo = static_cast<double>(out_fmt_.raw_min()) * out_fmt_.lsb();
+        const double hi = static_cast<double>(out_fmt_.raw_max()) * out_fmt_.lsb();
+        acc = std::clamp(acc, lo, hi);
+      }
+      out.push_back(acc);
+    }
+    return out;
+  }
+
+  void reset() override {
+    std::fill(hist_.begin(), hist_.end(), 0.0);
+    pos_ = 0;
+    phase_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> taps_;
+  int decimation_;
+  Phase phase_mode_;
+  double in_scale_;  ///< raw -> real units of the model's input
+  fx::Format out_fmt_;
+  bool clamp_;
+  double error_bound_;
+  std::vector<double> hist_;
+  std::size_t pos_ = 0;
+  int phase_ = 0;
+};
+
+/// Memoryless gain (the scaler).
+class GainReference : public ReferenceStage {
+ public:
+  GainReference(std::string name, double gain, fx::Format in_fmt,
+                fx::Format out_fmt, double error_bound)
+      : name_(std::move(name)),
+        gain_(gain),
+        in_fmt_(in_fmt),
+        out_fmt_(out_fmt),
+        error_bound_(error_bound) {}
+
+  const std::string& name() const override { return name_; }
+  int decimation() const override { return 1; }
+  const fx::Format& output_format() const override { return out_fmt_; }
+  double error_bound() const override { return error_bound_; }
+
+  std::vector<double> process(std::span<const std::int64_t> raw_in) override {
+    const double lo = static_cast<double>(out_fmt_.raw_min()) * out_fmt_.lsb();
+    const double hi = static_cast<double>(out_fmt_.raw_max()) * out_fmt_.lsb();
+    std::vector<double> out;
+    out.reserve(raw_in.size());
+    for (std::int64_t raw : raw_in) {
+      const double x = static_cast<double>(raw) * in_fmt_.lsb();
+      out.push_back(std::clamp(x * gain_, lo, hi));
+    }
+    return out;
+  }
+
+  void reset() override {}
+
+ private:
+  std::string name_;
+  double gain_;
+  fx::Format in_fmt_, out_fmt_;
+  double error_bound_;
+};
+
+/// Worst-case |reference - fixed| for the Saramaki HBF implementation:
+/// per G2 block, n2 product truncations (<= 1 product LSB each) plus one
+/// internal round-to-nearest (<= 0.5 internal LSB), propagated through the
+/// remaining cascade with the blocks' l1 gain, then weighted by the outer
+/// f1 taps; the outer stage adds n1+1 more product truncations and the
+/// final output rounding. Same propagation the noise budget applies to the
+/// RMS powers, taken at worst-case amplitude.
+double hbf_error_bound(const design::SaramakiHbf& d, const fx::Format& in_fmt,
+                       const fx::Format& out_fmt, int guard_frac_bits) {
+  const int internal_frac = in_fmt.frac + guard_frac_bits;
+  const int prod_frac = internal_frac + 2;  // prod_fmt_ in hbf.cpp
+  const double lsb_prod = std::ldexp(1.0, -prod_frac);
+  const double lsb_int = std::ldexp(1.0, -internal_frac);
+  const double e_block =
+      static_cast<double>(d.n2) * lsb_prod + 0.5 * lsb_int;
+  const double gamma = std::max(1.0, 2.0 * l1_norm(d.f2));
+  const std::size_t n_blocks = 2 * d.n1 - 1;
+  double cascade = 0.0;
+  double pow_g = 1.0;
+  for (std::size_t k = 0; k < n_blocks; ++k) {
+    cascade += pow_g;
+    pow_g *= gamma;
+  }
+  const double branch_weight = std::max(1.0, l1_norm(d.f1));
+  return e_block * cascade * branch_weight +
+         static_cast<double>(d.n1 + 1) * lsb_prod + 0.5 * out_fmt.lsb() + 1e-9;
+}
+
+/// Full-chain golden model: composes the per-stage references with the
+/// same renormalization/saturation points as DecimationChain::process.
+class ChainReference : public ReferenceStage {
+ public:
+  explicit ChainReference(const decim::ChainConfig& cfg)
+      : name_("reference_chain"), cfg_(cfg) {
+    int gain_log2 = 0;
+    for (const auto& s : cfg.cic_stages) {
+      cic_.push_back(make_reference_cic(s));
+      gain_log2 +=
+          s.order * static_cast<int>(std::lround(std::log2(s.decimation)));
+      total_decim_ *= static_cast<std::size_t>(s.decimation);
+    }
+    total_decim_ *= 2;
+    gain_scale_ = std::ldexp(1.0, -gain_log2);
+    hbf_ = make_reference_hbf(cfg.hbf, cfg.hbf_in_format, cfg.hbf_out_format,
+                              cfg.hbf_coeff_frac_bits, /*guard_frac_bits=*/6);
+    // DecimationChain builds its ScalingStage with frac_bits 14, digits 8.
+    decim::ScalingStage scaler(cfg.scale, cfg.hbf_out_format,
+                               cfg.scaler_out_format, 14, 8);
+    scaler_csd_scale_ = scaler.effective_scale();
+    eq_taps_quantized_ =
+        decim::FixedTaps::from_real(cfg.equalizer_taps, cfg.equalizer_frac_bits)
+            .to_real();
+    eq_ = std::make_unique<ConvolutionReference>(
+        "reference_equalizer", eq_taps_quantized_, 1, Phase::kEmitFirst,
+        /*in_scale=*/cfg.scaler_out_format.lsb(), cfg.output_format,
+        /*clamp=*/true, 0.0);
+
+    // Compose the worst-case bound through the downstream l1 gains. The
+    // reference rounds to the same grid as the fixed-point renormalizer
+    // at the HBF input and scaler output, but with away-from-zero ties
+    // (llround) against the datapath's half-up ties, so those two points
+    // contribute a full LSB, not half.
+    double b = 1.0 * cfg.hbf_in_format.lsb();  // CIC gain renormalization
+    b = b * l1_norm(cfg.hbf.taps) +
+        hbf_error_bound(cfg.hbf, cfg.hbf_in_format, cfg.hbf_out_format, 6);
+    b = b * scaler_csd_scale_ + 1.0 * cfg.scaler_out_format.lsb();
+    b = b * l1_norm(eq_taps_quantized_) + 0.5 * cfg.output_format.lsb();
+    error_bound_ = b + 1e-9;
+  }
+
+  const std::string& name() const override { return name_; }
+  int decimation() const override { return static_cast<int>(total_decim_); }
+  const fx::Format& output_format() const override {
+    return cfg_.output_format;
+  }
+  double error_bound() const override { return error_bound_; }
+
+  std::vector<double> process(std::span<const std::int64_t> raw_in) override {
+    // CIC cascade in raw code units (exact integers in double).
+    std::vector<std::int64_t> cur(raw_in.begin(), raw_in.end());
+    std::vector<double> real;
+    for (auto& stage : cic_) {
+      real = stage->process(cur);
+      cur.resize(real.size());
+      for (std::size_t i = 0; i < real.size(); ++i) {
+        cur[i] = static_cast<std::int64_t>(std::llround(real[i]));
+      }
+    }
+    // Renormalize the CIC gain into HBF input real units, saturating.
+    const fx::Format& hin = cfg_.hbf_in_format;
+    const double lo = static_cast<double>(hin.raw_min()) * hin.lsb();
+    const double hi = static_cast<double>(hin.raw_max()) * hin.lsb();
+    std::vector<std::int64_t> hraw(cur.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      const double v =
+          std::clamp(static_cast<double>(cur[i]) * gain_scale_, lo, hi);
+      // Reference stages consume raw units; carry the real value scaled
+      // back into the HBF input format (rounding here is *not* applied --
+      // the bound covers the half-LSB the fixed-point renormalizer takes).
+      hraw[i] = static_cast<std::int64_t>(std::llround(v / hin.lsb()));
+    }
+    const std::vector<double> hout = hbf_->process(hraw);
+    // Scaler + equalizer operate on real values directly.
+    const fx::Format& sfmt = cfg_.scaler_out_format;
+    const double slo = static_cast<double>(sfmt.raw_min()) * sfmt.lsb();
+    const double shi = static_cast<double>(sfmt.raw_max()) * sfmt.lsb();
+    std::vector<std::int64_t> sraw(hout.size());
+    for (std::size_t i = 0; i < hout.size(); ++i) {
+      const double v = std::clamp(hout[i] * scaler_csd_scale_, slo, shi);
+      sraw[i] = static_cast<std::int64_t>(std::llround(v / sfmt.lsb()));
+    }
+    // The equalizer reference consumes scaler_out raw units.
+    auto* eq = static_cast<ConvolutionReference*>(eq_.get());
+    return eq->process(sraw);
+  }
+
+  void reset() override {
+    for (auto& s : cic_) s->reset();
+    hbf_->reset();
+    eq_->reset();
+  }
+
+ private:
+  std::string name_;
+  decim::ChainConfig cfg_;
+  std::vector<std::unique_ptr<ReferenceStage>> cic_;
+  std::unique_ptr<ReferenceStage> hbf_;
+  std::unique_ptr<ReferenceStage> eq_;
+  std::vector<double> eq_taps_quantized_;
+  double gain_scale_ = 1.0;
+  double scaler_csd_scale_ = 1.0;
+  std::size_t total_decim_ = 1;
+  double error_bound_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<ReferenceStage> make_reference_cic(
+    const design::CicSpec& spec) {
+  // K-fold convolution of the length-M boxcar, in exact integer doubles.
+  std::vector<double> taps{1.0};
+  for (int k = 0; k < spec.order; ++k) {
+    std::vector<double> next(taps.size() + static_cast<std::size_t>(spec.decimation) - 1, 0.0);
+    for (std::size_t i = 0; i < taps.size(); ++i) {
+      for (int j = 0; j < spec.decimation; ++j) {
+        next[i + static_cast<std::size_t>(j)] += taps[i];
+      }
+    }
+    taps = std::move(next);
+  }
+  const fx::Format out_fmt{spec.register_width(), 0};
+  // Hogenauer arithmetic is exact for in-format stimuli; the slack only
+  // absorbs double rounding (none expected below 2^53).
+  return std::make_unique<ConvolutionReference>(
+      "reference_cic", std::move(taps), spec.decimation, Phase::kEmitLast,
+      /*in_scale=*/1.0, out_fmt, /*clamp=*/false, /*error_bound=*/1e-6);
+}
+
+std::unique_ptr<ReferenceStage> make_reference_sharpened_cic(
+    const design::CicSpec& spec) {
+  const auto itaps = design::sharpened_cic_taps(spec.order, spec.decimation);
+  std::vector<double> taps(itaps.begin(), itaps.end());
+  // The bit-true twin is a FirDecimator over the same integer taps with
+  // frac_bits 0 and a wide output register: exact integer arithmetic.
+  double gain = 0.0;
+  for (double t : taps) gain += std::abs(t);
+  const int width = std::min(
+      62, spec.input_bits + static_cast<int>(std::ceil(std::log2(gain))) + 1);
+  const fx::Format out_fmt{width, 0};
+  return std::make_unique<ConvolutionReference>(
+      "reference_sharpened_cic", std::move(taps), spec.decimation,
+      Phase::kEmitFirst, /*in_scale=*/1.0, out_fmt, /*clamp=*/false,
+      /*error_bound=*/1e-6);
+}
+
+std::unique_ptr<ReferenceStage> make_reference_hbf(
+    const design::SaramakiHbf& design, fx::Format in_fmt, fx::Format out_fmt,
+    int coeff_frac_bits, int guard_frac_bits) {
+  (void)coeff_frac_bits;  // design.taps already carry the quantized values
+  return std::make_unique<ConvolutionReference>(
+      "reference_hbf", design.taps, 2, Phase::kEmitFirst,
+      /*in_scale=*/in_fmt.lsb(), out_fmt, /*clamp=*/true,
+      hbf_error_bound(design, in_fmt, out_fmt, guard_frac_bits));
+}
+
+std::unique_ptr<ReferenceStage> make_reference_scaler(double effective_scale,
+                                                      fx::Format in_fmt,
+                                                      fx::Format out_fmt) {
+  return std::make_unique<GainReference>(
+      "reference_scaler", effective_scale, in_fmt, out_fmt,
+      0.5 * out_fmt.lsb() + 1e-9);
+}
+
+std::unique_ptr<ReferenceStage> make_reference_fir(
+    const decim::FixedTaps& taps, int decimation, fx::Format in_fmt,
+    fx::Format out_fmt, fx::Rounding rounding) {
+  const double round_lsbs =
+      rounding == fx::Rounding::kRoundNearest ? 0.5 : 1.0;
+  return std::make_unique<ConvolutionReference>(
+      "reference_fir", taps.to_real(), decimation, Phase::kEmitFirst,
+      /*in_scale=*/in_fmt.lsb(), out_fmt, /*clamp=*/true,
+      round_lsbs * out_fmt.lsb() + 1e-9);
+}
+
+std::unique_ptr<ReferenceStage> make_reference_chain(
+    const decim::ChainConfig& config) {
+  return std::make_unique<ChainReference>(config);
+}
+
+}  // namespace dsadc::verify

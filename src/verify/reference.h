@@ -1,0 +1,96 @@
+// Golden double-precision reference models for every decimation stage.
+//
+// Each bit-true implementation in src/decimator has a floating-point twin
+// here that computes the *designed* arithmetic (decimated convolution with
+// the designed coefficients, ideal scaling) without any of the datapath's
+// register-width, wraparound or rounding machinery. The three-way
+// differential harness (diff.h) compares:
+//
+//   reference (this file)  --bounded error-->  fixed point (src/decimator)
+//   fixed point            --bit exact----->   RTL IR sim  (src/rtl)
+//
+// mirroring the paper's MATLAB-model-vs-HDL-Coder validation. Every model
+// carries a deterministic worst-case error bound derived from its rounding
+// points, the same per-rounding-point accounting src/core/noise_budget
+// performs statistically (there: q^2/12 RMS power; here: half-LSB
+// worst-case amplitude through the same signal-path gains).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/decimator/fir.h"
+#include "src/filterdesign/cic.h"
+#include "src/filterdesign/saramaki.h"
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::verify {
+
+/// Uniform interface over the golden models. Inputs are raw integers in
+/// the stage's declared input format (the same stream the fixed-point and
+/// RTL legs consume); outputs are real values in the stage's output units
+/// (raw * 2^-frac of the output format).
+class ReferenceStage {
+ public:
+  virtual ~ReferenceStage() = default;
+
+  virtual const std::string& name() const = 0;
+  /// Input samples consumed per output sample.
+  virtual int decimation() const = 0;
+  /// Output format of the fixed-point twin (for converting its raw output
+  /// to real units before comparing).
+  virtual const fx::Format& output_format() const = 0;
+  /// Deterministic worst-case |reference - fixed| per output sample, in
+  /// real units. Exceeding this is a verification failure.
+  virtual double error_bound() const = 0;
+
+  virtual std::vector<double> process(std::span<const std::int64_t> raw_in) = 0;
+  virtual void reset() = 0;
+};
+
+/// Hogenauer CIC: decimated convolution with the K-fold boxcar kernel,
+/// unnormalized (carries gain M^K), output clamped like the register wraps
+/// only when the stimulus genuinely overflows Bmax. Exact (bound ~ 0) for
+/// in-range stimuli. Also the golden model for PolyphaseCicDecimator,
+/// which promises the identical output stream.
+std::unique_ptr<ReferenceStage> make_reference_cic(const design::CicSpec& spec);
+
+/// Sharpened comb 3H^2 - 2H^3 as decimated convolution with the integer
+/// sharpened taps (gain M^3K); golden model for a FirDecimator over
+/// design::sharpened_cic_taps.
+std::unique_ptr<ReferenceStage> make_reference_sharpened_cic(
+    const design::CicSpec& spec);
+
+/// Saramaki halfband: decimate-by-2 convolution with the quantized
+/// composite impulse response design.taps. The bound accounts for the
+/// implementation's per-block product truncation and internal rounding,
+/// propagated through the tapped cascade's l1 gains.
+std::unique_ptr<ReferenceStage> make_reference_hbf(
+    const design::SaramakiHbf& design, fx::Format in_fmt, fx::Format out_fmt,
+    int coeff_frac_bits, int guard_frac_bits);
+
+/// CSD scaler: multiply by the quantized constant (csd.to_double()).
+std::unique_ptr<ReferenceStage> make_reference_scaler(double effective_scale,
+                                                      fx::Format in_fmt,
+                                                      fx::Format out_fmt);
+
+/// Generic FIR/decimator over quantized real taps (FixedTaps::to_real()),
+/// matching FirDecimator's emit-on-first-push phase convention.
+std::unique_ptr<ReferenceStage> make_reference_fir(
+    const decim::FixedTaps& taps, int decimation, fx::Format in_fmt,
+    fx::Format out_fmt,
+    fx::Rounding rounding = fx::Rounding::kRoundNearest);
+
+/// Full chain: CIC cascade -> gain renormalization -> HBF -> scaler ->
+/// equalizer, composed from the models above with saturation modeled at
+/// each declared format boundary; the bound composes the per-stage bounds
+/// through the downstream l1 gains (the noise_budget propagation, worst
+/// case instead of RMS).
+std::unique_ptr<ReferenceStage> make_reference_chain(
+    const decim::ChainConfig& config);
+
+}  // namespace dsadc::verify

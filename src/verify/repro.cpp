@@ -1,0 +1,208 @@
+#include "src/verify/repro.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsadc::verify {
+namespace {
+
+Json format_to_json(const fx::Format& f) {
+  Json j = Json::object();
+  j["width"] = f.width;
+  j["frac"] = f.frac;
+  return j;
+}
+
+fx::Format format_from_json(const Json& j) {
+  return fx::Format{static_cast<int>(j.at("width").as_int()),
+                    static_cast<int>(j.at("frac").as_int())};
+}
+
+Json spec_to_json(const design::CicSpec& s) {
+  Json j = Json::object();
+  j["order"] = s.order;
+  j["decimation"] = s.decimation;
+  j["input_bits"] = s.input_bits;
+  return j;
+}
+
+design::CicSpec spec_from_json(const Json& j) {
+  return design::CicSpec{static_cast<int>(j.at("order").as_int()),
+                         static_cast<int>(j.at("decimation").as_int()),
+                         static_cast<int>(j.at("input_bits").as_int())};
+}
+
+Json doubles_to_json(const std::vector<double>& v) {
+  Json j = Json::array();
+  for (double x : v) j.push_back(Json(x));
+  return j;
+}
+
+std::vector<double> doubles_from_json(const Json& j) {
+  std::vector<double> out;
+  out.reserve(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i) out.push_back(j.at(i).as_double());
+  return out;
+}
+
+}  // namespace
+
+Json case_to_json(const StageCase& c) {
+  Json j = Json::object();
+  j["kind"] = stage_kind_name(c.kind);
+  j["seed"] = static_cast<double>(c.seed);
+  j["stimulus_class"] = stimulus_name(c.stim_class);
+
+  Json cfg = Json::object();
+  switch (c.kind) {
+    case StageKind::kCic:
+    case StageKind::kPolyphaseCic:
+    case StageKind::kSharpenedCic:
+      cfg = spec_to_json(c.cic);
+      break;
+    case StageKind::kHbf:
+      cfg["n1"] = c.hbf.n1;
+      cfg["n2"] = c.hbf.n2;
+      cfg["fp"] = c.hbf.fp;
+      cfg["coeff_frac_bits"] = c.hbf.coeff_frac_bits;
+      cfg["guard_frac_bits"] = c.hbf.guard_frac_bits;
+      cfg["in_fmt"] = format_to_json(c.hbf.in_fmt);
+      cfg["out_fmt"] = format_to_json(c.hbf.out_fmt);
+      break;
+    case StageKind::kScaler:
+      cfg["scale"] = c.scaler.scale;
+      cfg["frac_bits"] = c.scaler.frac_bits;
+      cfg["max_digits"] = c.scaler.max_digits;
+      cfg["in_fmt"] = format_to_json(c.scaler.in_fmt);
+      cfg["out_fmt"] = format_to_json(c.scaler.out_fmt);
+      break;
+    case StageKind::kFir:
+      cfg["taps"] = doubles_to_json(c.fir.taps);
+      cfg["frac_bits"] = c.fir.frac_bits;
+      cfg["in_fmt"] = format_to_json(c.fir.in_fmt);
+      cfg["out_fmt"] = format_to_json(c.fir.out_fmt);
+      break;
+    case StageKind::kChain: {
+      Json stages = Json::array();
+      for (const auto& s : c.chain.cic_stages) stages.push_back(spec_to_json(s));
+      cfg["cic_stages"] = std::move(stages);
+      cfg["hbf_n1"] = c.chain.hbf_n1;
+      cfg["hbf_n2"] = c.chain.hbf_n2;
+      cfg["hbf_fp"] = c.chain.hbf_fp;
+      cfg["scale"] = c.chain.scale;
+      cfg["equalizer_taps"] = doubles_to_json(c.chain.equalizer_taps);
+      cfg["equalizer_frac_bits"] = c.chain.equalizer_frac_bits;
+      cfg["hbf_in_format"] = format_to_json(c.chain.hbf_in_format);
+      cfg["hbf_out_format"] = format_to_json(c.chain.hbf_out_format);
+      cfg["scaler_out_format"] = format_to_json(c.chain.scaler_out_format);
+      cfg["output_format"] = format_to_json(c.chain.output_format);
+      break;
+    }
+  }
+  j["config"] = std::move(cfg);
+
+  Json stim = Json::array();
+  for (std::int64_t v : c.stimulus) stim.push_back(Json(v));
+  j["stimulus"] = std::move(stim);
+  return j;
+}
+
+StageCase case_from_json(const Json& j) {
+  StageCase c;
+  c.kind = stage_kind_from_name(j.at("kind").as_string());
+  c.seed = static_cast<std::uint64_t>(j.at("seed").as_double());
+  c.stim_class = stimulus_from_name(j.at("stimulus_class").as_string());
+
+  const Json& cfg = j.at("config");
+  switch (c.kind) {
+    case StageKind::kCic:
+    case StageKind::kPolyphaseCic:
+    case StageKind::kSharpenedCic:
+      c.cic = spec_from_json(cfg);
+      break;
+    case StageKind::kHbf:
+      c.hbf.n1 = static_cast<std::size_t>(cfg.at("n1").as_int());
+      c.hbf.n2 = static_cast<std::size_t>(cfg.at("n2").as_int());
+      c.hbf.fp = cfg.at("fp").as_double();
+      c.hbf.coeff_frac_bits =
+          static_cast<int>(cfg.at("coeff_frac_bits").as_int());
+      c.hbf.guard_frac_bits =
+          static_cast<int>(cfg.at("guard_frac_bits").as_int());
+      c.hbf.in_fmt = format_from_json(cfg.at("in_fmt"));
+      c.hbf.out_fmt = format_from_json(cfg.at("out_fmt"));
+      break;
+    case StageKind::kScaler:
+      c.scaler.scale = cfg.at("scale").as_double();
+      c.scaler.frac_bits = static_cast<int>(cfg.at("frac_bits").as_int());
+      c.scaler.max_digits =
+          static_cast<std::size_t>(cfg.at("max_digits").as_int());
+      c.scaler.in_fmt = format_from_json(cfg.at("in_fmt"));
+      c.scaler.out_fmt = format_from_json(cfg.at("out_fmt"));
+      break;
+    case StageKind::kFir:
+      c.fir.taps = doubles_from_json(cfg.at("taps"));
+      c.fir.frac_bits = static_cast<int>(cfg.at("frac_bits").as_int());
+      c.fir.in_fmt = format_from_json(cfg.at("in_fmt"));
+      c.fir.out_fmt = format_from_json(cfg.at("out_fmt"));
+      break;
+    case StageKind::kChain: {
+      const Json& stages = cfg.at("cic_stages");
+      for (std::size_t i = 0; i < stages.size(); ++i) {
+        c.chain.cic_stages.push_back(spec_from_json(stages.at(i)));
+      }
+      c.chain.hbf_n1 = static_cast<std::size_t>(cfg.at("hbf_n1").as_int());
+      c.chain.hbf_n2 = static_cast<std::size_t>(cfg.at("hbf_n2").as_int());
+      c.chain.hbf_fp = cfg.at("hbf_fp").as_double();
+      c.chain.scale = cfg.at("scale").as_double();
+      c.chain.equalizer_taps = doubles_from_json(cfg.at("equalizer_taps"));
+      c.chain.equalizer_frac_bits =
+          static_cast<int>(cfg.at("equalizer_frac_bits").as_int());
+      c.chain.hbf_in_format = format_from_json(cfg.at("hbf_in_format"));
+      c.chain.hbf_out_format = format_from_json(cfg.at("hbf_out_format"));
+      c.chain.scaler_out_format =
+          format_from_json(cfg.at("scaler_out_format"));
+      c.chain.output_format = format_from_json(cfg.at("output_format"));
+      break;
+    }
+  }
+
+  const Json& stim = j.at("stimulus");
+  c.stimulus.reserve(stim.size());
+  for (std::size_t i = 0; i < stim.size(); ++i) {
+    c.stimulus.push_back(stim.at(i).as_int());
+  }
+  c.length = c.stimulus.size();
+  return c;
+}
+
+void write_repro(const StageCase& c, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_repro: cannot open " + path);
+  }
+  out << case_to_json(c).dump(2) << "\n";
+}
+
+StageCase load_repro(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_repro: cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return case_from_json(json_parse(ss.str()));
+}
+
+std::string emit_repro(const StageCase& c, const std::string& dir) {
+  const char* env = std::getenv("DSADC_REPRO_DIR");
+  const std::string base = env != nullptr ? env : dir;
+  std::ostringstream name;
+  name << base << "/dsadc_repro_" << stage_kind_name(c.kind) << "_" << c.seed
+       << ".json";
+  write_repro(c, name.str());
+  return name.str();
+}
+
+}  // namespace dsadc::verify

@@ -1,0 +1,35 @@
+// Self-contained repro files for differential-harness failures.
+//
+// A repro file is a JSON document carrying the RNG seed, the stage
+// configuration, and the (usually shrunk) stimulus verbatim. It replays
+// without the generators: `tools/repro_runner <file>` (or replay() here)
+// rebuilds the three legs from the config alone, so a failure filed today
+// still reproduces after the stimulus library evolves.
+#pragma once
+
+#include <string>
+
+#include "src/verify/diff.h"
+#include "src/verify/harness.h"
+#include "src/verify/json.h"
+
+namespace dsadc::verify {
+
+Json case_to_json(const StageCase& c);
+StageCase case_from_json(const Json& j);
+
+/// Serialize `c` to `path` (pretty-printed, 2-space indent).
+void write_repro(const StageCase& c, const std::string& path);
+
+/// Parse a repro file back into a runnable case.
+StageCase load_repro(const std::string& path);
+
+/// Write `c` into `dir` under a canonical name
+/// (`dsadc_repro_<kind>_<seed>.json`); returns the full path. `dir` may
+/// be overridden globally with the DSADC_REPRO_DIR environment variable.
+std::string emit_repro(const StageCase& c, const std::string& dir = ".");
+
+/// Re-run the three-way comparison for a loaded case.
+inline DiffOutcome replay(const StageCase& c) { return run_case(c); }
+
+}  // namespace dsadc::verify

@@ -1,0 +1,98 @@
+#include "src/verify/shrink.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dsadc::verify {
+namespace {
+
+std::size_t round_up(std::size_t n, std::size_t mult) {
+  if (mult <= 1) return n;
+  return ((n + mult - 1) / mult) * mult;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> shrink_stimulus(std::vector<std::int64_t> stimulus,
+                                          const FailurePredicate& fails,
+                                          const ShrinkOptions& options) {
+  const std::size_t mult =
+      static_cast<std::size_t>(std::max(1, options.length_multiple));
+  int budget = options.max_evaluations;
+  const auto try_candidate = [&](const std::vector<std::int64_t>& cand) {
+    if (budget <= 0) return false;
+    --budget;
+    return fails(cand);
+  };
+
+  // 1. Shortest failing prefix: repeatedly halve the tail cut.
+  while (stimulus.size() > mult) {
+    std::size_t cut = stimulus.size() / 2;
+    bool progressed = false;
+    while (cut >= mult && budget > 0) {
+      const std::size_t keep =
+          round_up(stimulus.size() - cut, mult);
+      if (keep >= stimulus.size()) break;
+      std::vector<std::int64_t> cand(stimulus.begin(),
+                                     stimulus.begin() + static_cast<long>(keep));
+      if (try_candidate(cand)) {
+        stimulus = std::move(cand);
+        progressed = true;
+        break;
+      }
+      cut /= 2;
+    }
+    if (!progressed) break;
+  }
+
+  // 2. Zero segments, halving granularity (ddmin on content).
+  for (std::size_t seg = std::max<std::size_t>(stimulus.size() / 2, 1);
+       seg >= 1 && budget > 0; seg /= 2) {
+    for (std::size_t start = 0; start < stimulus.size() && budget > 0;
+         start += seg) {
+      const std::size_t end = std::min(start + seg, stimulus.size());
+      bool already_zero = true;
+      for (std::size_t i = start; i < end; ++i) {
+        already_zero = already_zero && stimulus[i] == 0;
+      }
+      if (already_zero) continue;
+      std::vector<std::int64_t> cand = stimulus;
+      std::fill(cand.begin() + static_cast<long>(start),
+                cand.begin() + static_cast<long>(end), 0);
+      if (try_candidate(cand)) stimulus = std::move(cand);
+    }
+    if (seg == 1) break;
+  }
+
+  // 3. Trim leading zeros in whole decimation blocks.
+  while (stimulus.size() > mult && budget > 0) {
+    bool all_zero = true;
+    for (std::size_t i = 0; i < mult; ++i) {
+      all_zero = all_zero && stimulus[i] == 0;
+    }
+    if (!all_zero) break;
+    std::vector<std::int64_t> cand(stimulus.begin() + static_cast<long>(mult),
+                                   stimulus.end());
+    if (!try_candidate(cand)) break;
+    stimulus = std::move(cand);
+  }
+
+  // 4. Shrink magnitudes: halve surviving samples toward zero.
+  for (int round = 0; round < 4 && budget > 0; ++round) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < stimulus.size() && budget > 0; ++i) {
+      if (stimulus[i] == 0) continue;
+      std::vector<std::int64_t> cand = stimulus;
+      cand[i] /= 2;
+      if (try_candidate(cand)) {
+        stimulus = std::move(cand);
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+
+  return stimulus;
+}
+
+}  // namespace dsadc::verify

@@ -1,0 +1,37 @@
+// Stimulus shrinking: reduce a failing stimulus to a minimal reproducer.
+//
+// Classic delta-debugging adapted to sample streams: (1) cut the tail to
+// the shortest failing prefix, (2) zero out ever-smaller segments, (3)
+// trim leading zeros in whole-decimation blocks (preserving polyphase
+// alignment), (4) shrink surviving sample magnitudes toward zero. Every
+// candidate is re-validated through the caller's predicate, so the result
+// is guaranteed to still fail; nothing about the failure mode is assumed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dsadc::verify {
+
+/// Returns true when the candidate stimulus still triggers the failure.
+using FailurePredicate =
+    std::function<bool(const std::vector<std::int64_t>&)>;
+
+struct ShrinkOptions {
+  /// Keep the stimulus length a multiple of this (a stage's decimation
+  /// factor), so truncation never changes the polyphase phase of later
+  /// samples. 1 = no constraint.
+  int length_multiple = 1;
+  /// Upper bound on predicate evaluations (each one is a full three-way
+  /// differential run).
+  int max_evaluations = 400;
+};
+
+/// Shrink `stimulus` (which must satisfy `fails`) to a smaller stimulus
+/// that still satisfies it. Returns the smallest found.
+std::vector<std::int64_t> shrink_stimulus(std::vector<std::int64_t> stimulus,
+                                          const FailurePredicate& fails,
+                                          const ShrinkOptions& options = {});
+
+}  // namespace dsadc::verify

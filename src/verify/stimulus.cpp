@@ -1,0 +1,167 @@
+#include "src/verify/stimulus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+
+namespace dsadc::verify {
+namespace {
+
+std::int64_t clamp_raw(std::int64_t v, const fx::Format& fmt) {
+  return std::clamp(v, fmt.raw_min(), fmt.raw_max());
+}
+
+/// 4-bit quantizer codes from the paper's 5th-order CIFF modulator, driven
+/// by a mid-amplitude sine. The modulator is deterministic, so one run per
+/// (length, phase-seed) is cheap and exactly replayable.
+std::vector<std::int32_t> modulator_codes(std::size_t n, double rel_freq,
+                                          double amplitude) {
+  // The NTF synthesis and CIFF realization are deterministic and shared
+  // by every modulator stimulus; design them once.
+  static const mod::CiffCoeffs coeffs =
+      mod::realize_ciff(mod::synthesize_ntf(5, 16.0, 3.0, true));
+  mod::CiffModulator m(coeffs, 4);
+  const auto u =
+      mod::coherent_sine(n, rel_freq * 640e6, 640e6, amplitude, nullptr);
+  return m.run(u).codes;
+}
+
+}  // namespace
+
+const char* stimulus_name(StimulusClass c) {
+  switch (c) {
+    case StimulusClass::kImpulse: return "impulse";
+    case StimulusClass::kStep: return "step";
+    case StimulusClass::kSine: return "sine";
+    case StimulusClass::kDcRail: return "dc_rail";
+    case StimulusClass::kAlternating: return "alternating";
+    case StimulusClass::kPrbs: return "prbs";
+    case StimulusClass::kModulator: return "modulator";
+    case StimulusClass::kOverloadRamp: return "overload_ramp";
+    case StimulusClass::kUniform: return "uniform";
+  }
+  return "unknown";
+}
+
+StimulusClass stimulus_from_name(const std::string& name) {
+  for (int i = 0; i < kNumStimulusClasses; ++i) {
+    const auto c = static_cast<StimulusClass>(i);
+    if (name == stimulus_name(c)) return c;
+  }
+  throw std::invalid_argument("stimulus_from_name: unknown class " + name);
+}
+
+StimulusClass random_stimulus_class(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> dist(0, kNumStimulusClasses - 1);
+  return static_cast<StimulusClass>(dist(rng));
+}
+
+std::vector<std::int64_t> make_stimulus(StimulusClass c, std::size_t n,
+                                        const fx::Format& fmt,
+                                        std::mt19937_64& rng) {
+  const std::int64_t lo = fmt.raw_min();
+  const std::int64_t hi = fmt.raw_max();
+  std::vector<std::int64_t> out(n, 0);
+  if (n == 0) return out;
+  switch (c) {
+    case StimulusClass::kImpulse: {
+      // A few isolated impulses of random sign/position, first one early
+      // so short (shrunk) stimuli still carry energy.
+      std::uniform_int_distribution<std::size_t> posd(0, std::max<std::size_t>(n, 1) - 1);
+      std::bernoulli_distribution sign(0.5);
+      out[posd(rng) % std::max<std::size_t>(n / 4, 1)] = sign(rng) ? hi : lo;
+      for (int k = 0; k < 3 && n > 4; ++k) {
+        out[posd(rng)] = sign(rng) ? hi : lo;
+      }
+      break;
+    }
+    case StimulusClass::kStep: {
+      std::uniform_int_distribution<std::int64_t> level(lo, hi);
+      std::uniform_int_distribution<std::size_t> posd(0, n / 2);
+      const std::int64_t v = level(rng);
+      const std::size_t start = posd(rng);
+      for (std::size_t i = start; i < n; ++i) out[i] = v;
+      break;
+    }
+    case StimulusClass::kSine: {
+      std::uniform_real_distribution<double> fd(0.001, 0.45);
+      std::uniform_real_distribution<double> ad(0.5, 1.0);
+      std::uniform_real_distribution<double> ph(0.0, 6.283185307179586);
+      const double f = fd(rng), a = ad(rng), p = ph(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = a * std::sin(6.283185307179586 * f *
+                                          static_cast<double>(i) + p);
+        out[i] = clamp_raw(
+            static_cast<std::int64_t>(std::llround(v * static_cast<double>(hi))),
+            fmt);
+      }
+      break;
+    }
+    case StimulusClass::kDcRail: {
+      std::bernoulli_distribution sign(0.5);
+      const std::int64_t v = sign(rng) ? hi : lo;
+      std::fill(out.begin(), out.end(), v);
+      break;
+    }
+    case StimulusClass::kAlternating: {
+      std::uniform_int_distribution<int> period(1, 4);
+      const int p = period(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = ((i / static_cast<std::size_t>(p)) % 2 == 0) ? hi : lo;
+      }
+      break;
+    }
+    case StimulusClass::kPrbs: {
+      // Galois LFSR (x^31 + x^28 + 1), seeded from the RNG; maps bit ->
+      // {lo, hi} like a one-bit modulator stream.
+      std::uint32_t state = static_cast<std::uint32_t>(rng() | 1u);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t bit = state & 1u;
+        state >>= 1;
+        if (bit != 0u) state ^= 0x48000000u;
+        out[i] = bit != 0u ? hi : lo;
+      }
+      break;
+    }
+    case StimulusClass::kModulator: {
+      std::uniform_real_distribution<double> fd(0.002, 0.02);
+      std::uniform_real_distribution<double> ad(0.3, 0.75);
+      const auto codes = modulator_codes(n, fd(rng), ad(rng));
+      // Rescale the 4-bit codes (|c| <= 7) into the target format range.
+      const int shift = std::max(0, fmt.width - 4 - 1);
+      for (std::size_t i = 0; i < n && i < codes.size(); ++i) {
+        out[i] = clamp_raw(static_cast<std::int64_t>(codes[i]) << shift, fmt);
+      }
+      break;
+    }
+    case StimulusClass::kOverloadRamp: {
+      // Amplitude ramps from 0 to 1.5x full scale: the tail saturates at
+      // the rails, the adversarial +-MSA overload the scaler must survive.
+      std::uniform_real_distribution<double> fd(0.001, 0.2);
+      std::uniform_real_distribution<double> ph(0.0, 6.283185307179586);
+      const double f = fd(rng), p = ph(rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = 1.5 * static_cast<double>(i) /
+                         std::max<double>(1.0, static_cast<double>(n - 1));
+        const double v = a * std::sin(6.283185307179586 * f *
+                                          static_cast<double>(i) + p);
+        out[i] = clamp_raw(
+            static_cast<std::int64_t>(std::llround(v * static_cast<double>(hi))),
+            fmt);
+      }
+      break;
+    }
+    case StimulusClass::kUniform: {
+      std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+      for (auto& v : out) v = dist(rng);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dsadc::verify

@@ -1,0 +1,48 @@
+// Seeded property-based stimulus library for the differential harness.
+//
+// Every generator is a pure function of (class, length, format, RNG
+// state), so a failing (seed, config) pair replays exactly -- the repro
+// files in repro.h store nothing but those. The classes cover the corners
+// the CIC literature flags for bit-true divergence: full-scale rails that
+// exercise register MSBs, impulses that expose alignment, PRBS and real
+// modulator bitstreams for realistic spectra, and overload ramps that
+// drive the signal past the MSA the scaler was designed for.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::verify {
+
+enum class StimulusClass : std::uint8_t {
+  kImpulse,       ///< isolated full-scale impulses (alignment, ringing)
+  kStep,          ///< step to a random level (DC settling)
+  kSine,          ///< full-scale coherent-ish sine (droop, SNR)
+  kDcRail,        ///< constant at raw_min / raw_max (register MSB corners)
+  kAlternating,   ///< +-full-scale square at Nyquist (worst toggle)
+  kPrbs,          ///< pseudo-random binary sequence over {min, max}
+  kModulator,     ///< real delta-sigma modulator bitstream, rescaled
+  kOverloadRamp,  ///< sine with amplitude ramping past +-MSA full scale
+  kUniform,       ///< uniform random samples over the format range
+};
+
+inline constexpr int kNumStimulusClasses = 9;
+
+const char* stimulus_name(StimulusClass c);
+StimulusClass stimulus_from_name(const std::string& name);
+
+/// Draw a stimulus class uniformly.
+StimulusClass random_stimulus_class(std::mt19937_64& rng);
+
+/// Generate `n` raw samples in `fmt`'s representable range. All classes
+/// consume a bounded amount of RNG state; identical (class, n, fmt, seed)
+/// reproduce identical samples.
+std::vector<std::int64_t> make_stimulus(StimulusClass c, std::size_t n,
+                                        const fx::Format& fmt,
+                                        std::mt19937_64& rng);
+
+}  // namespace dsadc::verify

@@ -1,0 +1,14 @@
+// Property suite: full decimation chain (CIC cascade -> HBF -> scaler ->
+// equalizer) against the chain netlist and the golden chain reference.
+#include "tests/property/prop_common.h"
+
+namespace {
+
+using dsadc::verify::StageKind;
+using dsadc::verify::proptest::run_stage_class;
+
+TEST(PropertyChain, EndToEndThreeWay) {
+  run_stage_class(StageKind::kChain, UINT64_C(0x77000000));
+}
+
+}  // namespace

@@ -1,0 +1,21 @@
+// Property suite: CIC family (Hogenauer, polyphase, sharpened).
+#include "tests/property/prop_common.h"
+
+namespace {
+
+using dsadc::verify::StageKind;
+using dsadc::verify::proptest::run_stage_class;
+
+TEST(PropertyCic, HogenauerThreeWay) {
+  run_stage_class(StageKind::kCic, UINT64_C(0x11000000));
+}
+
+TEST(PropertyCic, PolyphaseThreeWay) {
+  run_stage_class(StageKind::kPolyphaseCic, UINT64_C(0x22000000));
+}
+
+TEST(PropertyCic, SharpenedThreeWay) {
+  run_stage_class(StageKind::kSharpenedCic, UINT64_C(0x33000000));
+}
+
+}  // namespace

@@ -1,0 +1,13 @@
+// Property suite: Saramaki half-band decimator.
+#include "tests/property/prop_common.h"
+
+namespace {
+
+using dsadc::verify::StageKind;
+using dsadc::verify::proptest::run_stage_class;
+
+TEST(PropertyHbf, SaramakiThreeWay) {
+  run_stage_class(StageKind::kHbf, UINT64_C(0x44000000));
+}
+
+}  // namespace

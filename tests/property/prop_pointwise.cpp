@@ -1,0 +1,17 @@
+// Property suite: CSD scaler and symmetric FIR equalizer.
+#include "tests/property/prop_common.h"
+
+namespace {
+
+using dsadc::verify::StageKind;
+using dsadc::verify::proptest::run_stage_class;
+
+TEST(PropertyScaler, CsdThreeWay) {
+  run_stage_class(StageKind::kScaler, UINT64_C(0x55000000));
+}
+
+TEST(PropertyFir, EqualizerThreeWay) {
+  run_stage_class(StageKind::kFir, UINT64_C(0x66000000));
+}
+
+}  // namespace

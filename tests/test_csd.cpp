@@ -112,6 +112,37 @@ TEST(Csd, ToStringReadable) {
   EXPECT_EQ(Csd{}.to_string(), "0");
 }
 
+// Round-trip stability on the paper's scaler constant S ~ 1.0825 (the
+// MSA = 0.81 gain correction): once encoded, re-encoding the realized
+// value must reproduce the identical digit set, and the nonzero-digit
+// count must equal the Horner shift-add adder count plus one.
+TEST(CsdScalerConstant, RoundTripIsStable) {
+  const double s = 1.0825;
+  for (std::size_t max_digits : {4u, 6u, 8u}) {
+    const Csd first = csd_encode_limited(s, 14, max_digits);
+    const double realized = first.to_double();
+    const Csd again = csd_encode_limited(realized, 14, max_digits);
+    ASSERT_EQ(again.digits.size(), first.digits.size()) << max_digits;
+    for (std::size_t i = 0; i < first.digits.size(); ++i) {
+      EXPECT_EQ(again.digits[i].sign, first.digits[i].sign);
+      EXPECT_EQ(again.digits[i].position, first.digits[i].position);
+    }
+    EXPECT_NEAR(again.to_double(), realized, 1e-15);
+    EXPECT_TRUE(is_canonical(first));
+  }
+}
+
+TEST(CsdScalerConstant, DigitCountMatchesHornerAdders) {
+  // Each nonzero digit is one term of the Horner shift-add network; N
+  // terms need N-1 adders. Checked on the scaler constant at the chain's
+  // production precision (frac=14, 8 digits).
+  const Csd c = csd_encode_limited(1.0825, 14, 8);
+  ASSERT_GE(c.nonzero_count(), 2u);
+  EXPECT_EQ(c.adder_cost(), c.nonzero_count() - 1);
+  // The approximation is within the greedy bound of the target.
+  EXPECT_NEAR(c.to_double(), 1.0825, std::ldexp(1.0, c.digits.back().position));
+}
+
 TEST(Csd, NegativeValuesMirrorPositive) {
   for (double v : {0.3, 0.62, 0.111}) {
     const Csd p = csd_encode(v, 14);

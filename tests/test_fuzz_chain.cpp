@@ -3,6 +3,7 @@
 // random configurations and hostile inputs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 
 #include "src/core/flow.h"
@@ -11,6 +12,17 @@
 namespace {
 
 using namespace dsadc;
+
+/// RNG seed for the randomized sweeps. Every failure message carries the
+/// seed; export DSADC_FUZZ_SEED=<n> to replay a reported failure.
+std::uint32_t fuzz_seed(std::uint32_t fallback) {
+  if (const char* env = std::getenv("DSADC_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint32_t>(v);
+  }
+  return fallback;
+}
 
 decim::ChainConfig random_config(std::mt19937& rng) {
   std::uniform_int_distribution<int> order_dist(2, 6);
@@ -44,19 +56,23 @@ decim::ChainConfig random_config(std::mt19937& rng) {
 }
 
 TEST(ChainFuzz, RandomConfigsStayBounded) {
-  std::mt19937 rng(2024);
+  const std::uint32_t seed = fuzz_seed(2024);
+  std::mt19937 rng(seed);
   std::uniform_int_distribution<std::int32_t> code(-7, 7);
   for (int trial = 0; trial < 8; ++trial) {
     decim::ChainConfig cfg;
-    ASSERT_NO_THROW(cfg = random_config(rng)) << "trial " << trial;
+    ASSERT_NO_THROW(cfg = random_config(rng))
+        << "trial " << trial << " (DSADC_FUZZ_SEED=" << seed << ")";
     if (cfg.hbf_in_format.width > 40) continue;  // beyond int64 guard space
     decim::DecimationChain chain(cfg);
     std::vector<std::int32_t> codes(1 << 12);
     for (auto& c : codes) c = code(rng);
     const auto out = chain.process(codes);
     for (std::int64_t v : out) {
-      EXPECT_LE(v, cfg.output_format.raw_max());
-      EXPECT_GE(v, cfg.output_format.raw_min());
+      EXPECT_LE(v, cfg.output_format.raw_max())
+          << "trial " << trial << " (DSADC_FUZZ_SEED=" << seed << ")";
+      EXPECT_GE(v, cfg.output_format.raw_min())
+          << "trial " << trial << " (DSADC_FUZZ_SEED=" << seed << ")";
     }
   }
 }
@@ -101,7 +117,8 @@ TEST(ChainFuzz, OutOfRangeCodesAreWrappedNotFatal) {
 }
 
 TEST(ChainFuzz, DeterministicAcrossRuns) {
-  std::mt19937 rng(7);
+  const std::uint32_t seed = fuzz_seed(7);
+  std::mt19937 rng(seed);
   std::uniform_int_distribution<std::int32_t> code(-7, 7);
   std::vector<std::int32_t> codes(1 << 12);
   for (auto& c : codes) c = code(rng);
@@ -109,8 +126,11 @@ TEST(ChainFuzz, DeterministicAcrossRuns) {
   decim::DecimationChain a(cfg), b(cfg);
   const auto ra = a.process(codes);
   const auto rb = b.process(codes);
-  ASSERT_EQ(ra.size(), rb.size());
-  for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+  ASSERT_EQ(ra.size(), rb.size()) << "DSADC_FUZZ_SEED=" << seed;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rb[i]) << "sample " << i << " (DSADC_FUZZ_SEED=" << seed
+                            << ")";
+  }
 }
 
 }  // namespace

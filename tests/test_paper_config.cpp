@@ -1,0 +1,104 @@
+// Invariants of the paper's chain configuration (Section III / Fig. 5):
+// the fully-designed config returned by decim::paper_chain_config() must
+// keep the structural properties the rest of the flow (RTL generation,
+// noise budget, verification harness) relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/decimator/chain.h"
+#include "src/filterdesign/cic.h"
+
+namespace {
+
+using dsadc::decim::DecimationChain;
+using dsadc::decim::paper_chain_config;
+
+TEST(PaperConfig, SincCascadeIsSinc4Sinc4Sinc6) {
+  const auto cfg = paper_chain_config();
+  ASSERT_EQ(cfg.cic_stages.size(), 3u);
+  EXPECT_EQ(cfg.cic_stages[0].order, 4);
+  EXPECT_EQ(cfg.cic_stages[1].order, 4);
+  EXPECT_EQ(cfg.cic_stages[2].order, 6);
+  for (const auto& s : cfg.cic_stages) EXPECT_EQ(s.decimation, 2);
+}
+
+TEST(PaperConfig, RegisterWidthsFollowHogenauerBound) {
+  // Eq. (2): Bmax = K * log2(M) + Bin - 1, so the register needs
+  // ceil(K * log2 M) + Bin bits. With M = 2 throughout that is K + Bin.
+  const auto cfg = paper_chain_config();
+  for (const auto& s : cfg.cic_stages) {
+    const int expected =
+        static_cast<int>(std::ceil(
+            s.order * std::log2(static_cast<double>(s.decimation)))) +
+        s.input_bits;
+    EXPECT_EQ(s.register_width(), expected)
+        << "K=" << s.order << " M=" << s.decimation << " Bin=" << s.input_bits;
+  }
+  // The concrete paper numbers: 4+4=8, 4+8=12, 6+12=18 bits.
+  EXPECT_EQ(cfg.cic_stages[0].register_width(), 8);
+  EXPECT_EQ(cfg.cic_stages[1].register_width(), 12);
+  EXPECT_EQ(cfg.cic_stages[2].register_width(), 18);
+}
+
+TEST(PaperConfig, StageInputWidthsChain) {
+  // Each stage's declared input width must equal the previous stage's
+  // register (= output) width; the first stage sees the 4-bit codes.
+  const auto cfg = paper_chain_config();
+  EXPECT_EQ(cfg.cic_stages.front().input_bits, cfg.input_format.width);
+  for (std::size_t i = 1; i < cfg.cic_stages.size(); ++i) {
+    EXPECT_EQ(cfg.cic_stages[i].input_bits,
+              cfg.cic_stages[i - 1].register_width());
+  }
+  // The Sinc6 output feeds the halfband at full width.
+  EXPECT_EQ(cfg.cic_stages.back().register_width(), cfg.hbf_in_format.width);
+}
+
+TEST(PaperConfig, CumulativeDecimationIsSixteen) {
+  const auto cfg = paper_chain_config();
+  std::size_t m = 2;  // trailing halfband decimates by 2
+  for (const auto& s : cfg.cic_stages) {
+    m *= static_cast<std::size_t>(s.decimation);
+  }
+  EXPECT_EQ(m, 16u);
+
+  DecimationChain chain(cfg);
+  EXPECT_EQ(chain.total_decimation(), 16u);
+  EXPECT_DOUBLE_EQ(chain.output_rate_hz(), cfg.input_rate_hz / 16.0);
+}
+
+TEST(PaperConfig, OutputIsFourteenBits) {
+  const auto cfg = paper_chain_config();
+  EXPECT_EQ(cfg.output_format.width, 14);
+  EXPECT_EQ(cfg.output_format.frac, 13);  // +-1.0 full scale
+}
+
+TEST(PaperConfig, HbfMatchesPaperParameters) {
+  const auto cfg = paper_chain_config();
+  EXPECT_EQ(cfg.hbf_coeff_frac_bits, 24);
+  // Saramaki tap-cascade with n1=3 outer taps and an n2=6 subfilter.
+  EXPECT_EQ(cfg.hbf.n1, 3u);
+  EXPECT_EQ(cfg.hbf.n2, 6u);
+  EXPECT_EQ(cfg.hbf.f1.size(), cfg.hbf.n1);
+  EXPECT_EQ(cfg.hbf.f2.size(), cfg.hbf.n2);
+}
+
+TEST(PaperConfig, ScalerMapsMsaToFullScale) {
+  // S = headroom / (MSA*7 + 0.5) for MSA = 0.81: peak code amplitude maps
+  // to just under +-1.0 at the 14-bit output.
+  const auto cfg = paper_chain_config();
+  EXPECT_NEAR(cfg.scale, 0.98 / (0.81 * 7.0 + 0.5), 1e-12);
+  EXPECT_NEAR(cfg.scale * (0.81 * 7.0 + 0.5), 0.98, 1e-12);
+}
+
+TEST(PaperConfig, EqualizerIsSymmetric65Tap) {
+  const auto cfg = paper_chain_config();
+  ASSERT_EQ(cfg.equalizer_taps.size(), 65u);
+  for (std::size_t i = 0; i < cfg.equalizer_taps.size() / 2; ++i) {
+    EXPECT_DOUBLE_EQ(cfg.equalizer_taps[i],
+                     cfg.equalizer_taps[cfg.equalizer_taps.size() - 1 - i])
+        << "tap " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Replay a differential-harness repro file.
+//
+//   repro_runner <repro.json> [more.json ...]
+//
+// Loads each self-contained case (config + stimulus) written by the
+// property suite's shrinker, re-runs the three-way comparison, and prints
+// the verdict. Exit code 0 when every case now PASSES, 1 when any still
+// FAILS (i.e. the bug is still live), 2 on usage/parse errors.
+#include <cstdio>
+#include <exception>
+
+#include "src/verify/repro.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <repro.json> [more.json ...]\n", argv[0]);
+    return 2;
+  }
+  int still_failing = 0;
+  for (int i = 1; i < argc; ++i) {
+    try {
+      const auto c = dsadc::verify::load_repro(argv[i]);
+      const auto outcome = dsadc::verify::replay(c);
+      if (outcome.ok) {
+        std::printf("PASS %s  (%s; max ref error %.3g within bound %.3g)\n",
+                    argv[i], dsadc::verify::describe_case(c).c_str(),
+                    outcome.max_ref_error, outcome.error_bound);
+      } else {
+        ++still_failing;
+        std::printf("FAIL %s  (%s)\n     leg: %s\n     %s\n", argv[i],
+                    dsadc::verify::describe_case(c).c_str(),
+                    outcome.leg.c_str(), outcome.detail.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ERROR %s: %s\n", argv[i], e.what());
+      return 2;
+    }
+  }
+  return still_failing > 0 ? 1 : 0;
+}
