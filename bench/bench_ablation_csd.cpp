@@ -11,10 +11,12 @@
 #include "src/fixedpoint/csd.h"
 #include "src/fixedpoint/csd_optimize.h"
 #include "src/filterdesign/remez.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("ablation_csd");
   printf("=============================================================\n");
   printf(" Ablation - CSD coefficient encoding vs hardware cost\n");
   printf("=============================================================\n");
@@ -64,5 +66,5 @@ int main() {
   printf("\n(Section V: CSD minimizes nonzero digits, cutting the adder\n");
   printf("count of every constant multiplier - the paper's key power\n");
   printf("lever in the halfband and equalizer.)\n");
-  return csd_adders < binary_adders ? 0 : 1;
+  return report.finish(csd_adders < binary_adders);
 }

@@ -14,6 +14,7 @@
 #include "src/modulator/ntf.h"
 #include "src/modulator/realize.h"
 #include "src/synth/celllib.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
@@ -33,6 +34,7 @@ double structural_power_w(std::size_t adders, std::size_t regs, int width,
 }  // namespace
 
 int main() {
+  dsadc::obs::BenchReport report("ablation_polyphase_cic");
   printf("=================================================================\n");
   printf(" Ablation - Hogenauer vs polyphase (non-recursive) Sinc stages\n");
   printf("=================================================================\n");
@@ -81,7 +83,7 @@ int main() {
     for (std::size_t k = 0; k < a.size(); ++k) {
       if (a[k] != b[k]) {
         printf("  MISMATCH at %zu!\n", k);
-        return 1;
+        return report.finish(false);
       }
     }
   }
@@ -89,5 +91,5 @@ int main() {
   printf("stage (all arithmetic at half rate) and the Hogenauer form stays\n");
   printf("competitive deeper in the chain where its simplicity (2K adders,\n");
   printf("no coefficient scaling) dominates - the trade [7] discusses.\n");
-  return 0;
+  return report.finish(true);
 }

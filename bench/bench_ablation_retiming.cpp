@@ -7,10 +7,12 @@
 #include "src/rtl/builders.h"
 #include "src/rtl/sim.h"
 #include "src/synth/estimate.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("ablation_retiming");
   printf("==============================================================\n");
   printf(" Ablation - retiming vs glitch power in the decimation chain\n");
   printf("==============================================================\n");
@@ -47,5 +49,5 @@ int main() {
   printf("... reduces the glitching power'. The cost model charges the\n");
   printf("published ~2.2x glitch-activity factor to combinational adder\n");
   printf("chains that lack the retiming registers.)\n");
-  return p_ret.total_dynamic_w < p_unret.total_dynamic_w ? 0 : 1;
+  return report.finish(p_ret.total_dynamic_w < p_unret.total_dynamic_w);
 }

@@ -4,10 +4,12 @@
 
 #include "src/filterdesign/cic.h"
 #include "src/filterdesign/sharpened_cic.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("ablation_sharpened");
   printf("==============================================================\n");
   printf(" Ablation - plain vs sharpened comb for the /2 Sinc stages\n");
   printf("==============================================================\n");
@@ -38,5 +40,5 @@ int main() {
   printf("rejection per stage at ~3x the adder cost. The paper's chain\n");
   printf("keeps plain combs and spends the savings on the equalizer\n");
   printf("instead; this bench quantifies the road not taken [7].\n");
-  return 0;
+  return report.finish(true);
 }

@@ -10,10 +10,12 @@
 #include "src/filterdesign/window_fir.h"
 #include "src/fixedpoint/csd.h"
 #include "src/rtl/builders.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("baseline_singlestage");
   printf("================================================================\n");
   printf(" Baseline - single-stage decimator vs the paper's multistage\n");
   printf("================================================================\n");
@@ -61,5 +63,5 @@ int main() {
          100.0 * 3.0 / 640.0);
   printf("the sharp transition to the 80 MHz halfband where it is 16x\n");
   printf("wider - Section III's architectural argument, quantified.\n");
-  return base.mac_rate_per_sample > 4.0 * multi_macs ? 0 : 1;
+  return report.finish(base.mac_rate_per_sample > 4.0 * multi_macs);
 }

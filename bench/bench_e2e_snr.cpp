@@ -1,12 +1,15 @@
 // End-to-end check of the headline claim: a 14-bit / 86 dB SNR ADC output
 // after decimation, measured through the full bit-true chain.
+#include <algorithm>
 #include <cstdio>
 
 #include "src/core/flow.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("e2e_snr");
   printf("=========================================================\n");
   printf(" End-to-end SNR: modulator -> bit-true decimation chain\n");
   printf("=========================================================\n");
@@ -16,16 +19,21 @@ int main() {
   printf("%12s %14s %14s %12s\n", "tone (MHz)", "SNR@14b (dB)",
          "SNR wide (dB)", "ENOB (bits)");
   bool all_ok = true;
+  double min_snr_db = 1e9, min_wide_db = 1e9;
   for (double f : {1e6, 5e6, 9e6, 15e6, 19e6}) {
     const auto v = core::DesignFlow::verify(r, f, 1 << 16);
     printf("%12.2f %14.1f %14.1f %12.1f\n", v.tone_freq_hz / 1e6, v.snr_db,
            v.snr_unquantized_db, v.enob_bits);
     all_ok = all_ok && v.snr_ok;
+    min_snr_db = std::min(min_snr_db, v.snr_db);
+    min_wide_db = std::min(min_wide_db, v.snr_unquantized_db);
   }
+  report.set("min_snr_14bit_db", min_snr_db);
+  report.set("min_snr_wide_db", min_wide_db);
   printf("\npaper target: 86 dB / 14 bits. The 14-bit output format caps a\n");
   printf("0.95-FS tone at ~85 dB arithmetically; the wide-output column\n");
   printf("shows the filtering itself preserves > 86 dB everywhere in band\n");
   printf("(band-edge tones pick up the residual alias noise from the\n");
   printf("halfband transition, as in the paper's architecture).\n");
-  return all_ok ? 0 : 1;
+  return report.finish(all_ok);
 }

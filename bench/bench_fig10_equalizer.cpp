@@ -8,10 +8,12 @@
 #include "src/decimator/chain.h"
 #include "src/dsp/freqz.h"
 #include "src/fixedpoint/quantize.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig10_equalizer");
   printf("===========================================================\n");
   printf(" Fig. 10 - Droop, equalizer and compensated response (dB)\n");
   printf("===========================================================\n");
@@ -40,5 +42,5 @@ int main() {
   printf("sinc + halfband droop to the Nyquist edge with the same 65 taps\n");
   printf("costs about 1 dB (Table I allows < 1 dB; the design flow grows\n");
   printf("the equalizer automatically when asked to do better).\n");
-  return 0;
+  return report.finish(true);
 }

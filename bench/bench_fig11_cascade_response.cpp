@@ -6,10 +6,12 @@
 
 #include "src/core/response.h"
 #include "src/decimator/chain.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig11_cascade_response");
   printf("==============================================================\n");
   printf(" Fig. 11 - Cascaded decimation filter response (quantized)\n");
   printf("==============================================================\n");
@@ -33,6 +35,9 @@ int main() {
   const double ripple = core::composite_passband_ripple_db(cfg, 1e6, 20e6);
   const double stop = core::composite_stopband_atten_db(cfg, 23e6);
   const double strict = core::composite_alias_protection_db(cfg, 17e6, 1024);
+  report.set("passband_ripple_db", ripple);
+  report.set("stopband_atten_db", stop);
+  report.set("alias_protection_db", strict);
   printf("\nTable-I checks on the quantized cascade:\n");
   printf("  passband ripple (1-20 MHz):        %6.2f dB  (spec < 1 dB)\n",
          ripple);
@@ -41,5 +46,5 @@ int main() {
   printf("  strict all-image alias protection: %6.1f dB  (edge-leakage "
          "limited)\n",
          strict);
-  return (stop >= 85.0) ? 0 : 1;
+  return report.finish((stop >= 85.0));
 }

@@ -6,10 +6,12 @@
 #include "src/core/flow.h"
 #include "src/rtl/builders.h"
 #include "src/synth/estimate.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig12_area");
   printf("========================================================\n");
   printf(" Fig. 12 - Synthesized area of the decimation filter\n");
   printf("========================================================\n");
@@ -33,5 +35,5 @@ int main() {
   printf("\npaper: 0.12 mm^2 after automatic place and route (45 nm).\n");
   printf("same order of magnitude; absolute cell constants differ from the\n");
   printf("authors' proprietary library (see DESIGN.md substitutions).\n");
-  return (total > 0.01 && total < 1.0) ? 0 : 1;
+  return report.finish((total > 0.01 && total < 1.0));
 }

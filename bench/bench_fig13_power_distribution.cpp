@@ -5,10 +5,12 @@
 #include <string>
 
 #include "src/core/flow.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig13_power_distribution");
   printf("==========================================================\n");
   printf(" Fig. 13 - Dynamic power distribution across the stages\n");
   printf("==========================================================\n");
@@ -30,5 +32,5 @@ int main() {
   printf("paper's qualitative finding preserved: the 640 MHz first Sinc\n");
   printf("stage and the coefficient-heavy filters dominate; the halfband\n");
   printf("stays mid-pack thanks to the polyphase tapped-cascade + CSD.\n");
-  return 0;
+  return report.finish(true);
 }

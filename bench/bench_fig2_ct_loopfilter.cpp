@@ -9,10 +9,12 @@
 #include "src/dsp/spectrum.h"
 #include "src/modulator/ct.h"
 #include "src/modulator/ntf.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig2_ct_loopfilter");
   printf("=============================================================\n");
   printf(" Figs. 2-3 - CT CIFF loop filter (Active-RC coefficient view)\n");
   printf("=============================================================\n");
@@ -57,5 +59,5 @@ int main() {
   printf("CT modulator simulation (RK4, NRZ DAC): stable=%s, SQNR %.1f dB\n",
          out.stable ? "yes" : "NO", snr.snr_db);
   printf("paper: 102 dB for this configuration.\n");
-  return (out.stable && snr.snr_db > 100.0) ? 0 : 1;
+  return report.finish((out.stable && snr.snr_db > 100.0));
 }

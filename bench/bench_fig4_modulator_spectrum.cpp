@@ -10,10 +10,12 @@
 #include "src/modulator/dsm.h"
 #include "src/modulator/ntf.h"
 #include "src/modulator/realize.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig4_modulator_spectrum");
   printf("=====================================================\n");
   printf(" Fig. 4 - Modulator output spectrum (5 MHz tone, MSA)\n");
   printf("=====================================================\n");
@@ -49,5 +51,5 @@ int main() {
          snr.enob_bits);
   printf("paper: 102 dB (16.7 bits) for the CT design; the DT equivalent\n");
   printf("with the same order/OSR/OBG synthesizes slightly deeper zeros.\n");
-  return snr.snr_db > 95.0 ? 0 : 1;
+  return report.finish(snr.snr_db > 95.0);
 }

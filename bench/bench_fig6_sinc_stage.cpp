@@ -6,10 +6,12 @@
 
 #include "src/decimator/cic.h"
 #include "src/filterdesign/cic.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig6_sinc_stage");
   printf("=========================================================\n");
   printf(" Fig. 6 / Eq. 2 - Hogenauer Sinc stages of the paper chain\n");
   printf("=========================================================\n");
@@ -61,5 +63,5 @@ int main() {
     printf("  stage %zu (fb = %.4f): K >= %d (paper uses %d)\n", i + 1, fb[i],
            design::cic_min_order(2, fb[i], 80.0), stages[i].order);
   }
-  return exact ? 0 : 1;
+  return report.finish(exact);
 }

@@ -6,10 +6,12 @@
 
 #include "src/dsp/freqz.h"
 #include "src/filterdesign/cic.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig8_sinc_response");
   printf("==========================================================\n");
   printf(" Fig. 8 - Sinc stage responses and cascade (dB, 0-320 MHz)\n");
   printf("==========================================================\n");
@@ -46,5 +48,5 @@ int main() {
   printf("paper: 'over 100 dB attenuation in the alias bands' (read near\n");
   printf("the notch centers; the band-edge slots are shallower - the known\n");
   printf("Sinc edge-leakage tradeoff, see DESIGN.md).\n");
-  return 0;
+  return report.finish(true);
 }

@@ -6,10 +6,12 @@
 
 #include "src/dsp/freqz.h"
 #include "src/filterdesign/saramaki.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("fig9_hbf_response");
   printf("==========================================================\n");
   printf(" Fig. 7/9 - Saramaki halfband filter (n1=3, n2=6, 24b CSD)\n");
   printf("==========================================================\n");
@@ -41,5 +43,5 @@ int main() {
   printf("\nalias-band rejection (23-40 MHz): %.1f dB "
          "(paper reads > 90 dB off Fig. 9)\n",
          dsp::min_attenuation_db(h.taps, 23e6 / 80e6, 0.5));
-  return h.stopband_atten_db >= 90.0 ? 0 : 1;
+  return report.finish(h.stopband_atten_db >= 90.0);
 }

@@ -5,10 +5,12 @@
 
 #include "src/core/flow.h"
 #include "src/core/noise_budget.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("noise_budget");
   printf("==============================================================\n");
   printf(" Noise budget - analytical word-length analysis vs measurement\n");
   printf("==============================================================\n");
@@ -37,5 +39,5 @@ int main() {
   printf("\n(14 bits is where the output rounding stops being negligible\n");
   printf("against the modulator floor - exactly the paper's '14-bit\n");
   printf("resolution' operating point.)\n");
-  return 0;
+  return report.finish(true);
 }

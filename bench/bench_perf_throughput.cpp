@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/flow.h"
+#include "src/obs/bench_telemetry.h"
 #include "src/decimator/chain.h"
 #include "src/modulator/dsm.h"
 #include "src/modulator/ntf.h"
@@ -86,4 +87,50 @@ void BM_RtlSimCic(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlSimCic);
 
+/// Console reporter that additionally copies each run's timing and
+/// items/s into the telemetry record (BENCH_perf_throughput.json).
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit TelemetryReporter(obs::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      if (run.error_occurred) {
+        ok_ = false;
+        continue;
+      }
+      const std::string name = run.benchmark_name();
+      const double per_iter_s =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      report_->set(name + ".real_s_per_iter", per_iter_s);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        report_->set(name + ".items_per_second", it->second.value);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  obs::BenchReport* report_;
+  bool ok_ = true;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReport report("perf_throughput");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return report.finish(false);
+  }
+  TelemetryReporter reporter(&report);
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.set("benchmarks_run", static_cast<double>(ran));
+  return report.finish(ran > 0 && reporter.ok());
+}

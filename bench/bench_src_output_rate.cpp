@@ -8,10 +8,12 @@
 #include "src/modulator/dsm.h"
 #include "src/modulator/ntf.h"
 #include "src/modulator/realize.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("src_output_rate");
   printf("==============================================================\n");
   printf(" Sample-rate converter after the chain (Section III, ref [13])\n");
   printf("==============================================================\n");
@@ -45,5 +47,5 @@ int main() {
   printf("edge; for full-band fidelity an SRC is preceded by a 2x\n");
   printf("interpolator, exactly why the paper keeps it outside the\n");
   printf("decimation chain proper.)\n");
-  return 0;
+  return report.finish(true);
 }

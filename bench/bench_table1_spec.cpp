@@ -4,10 +4,12 @@
 
 #include "src/core/flow.h"
 #include "src/core/response.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("table1_spec");
   printf("==============================================================\n");
   printf(" Table I - Modulator performance and decimator requirements\n");
   printf("==============================================================\n");
@@ -41,9 +43,14 @@ int main() {
          v.snr_db);
   printf("%-28s %15s %11.1f dB\n", "SNR of filtering (wide out)", "(n/a)",
          v.snr_unquantized_db);
+  report.set("passband_ripple_db", r.passband_ripple_db);
+  report.set("alias_protection_db", r.alias_protection_db);
+  report.set("snr_14bit_db", v.snr_db);
+  report.set("snr_wide_db", v.snr_unquantized_db);
+  report.set("msa", r.msa);
   printf("\nchecks: ripple %s, stopband %s, SNR %s\n",
          r.ripple_ok ? "OK" : "FAIL", r.attenuation_ok ? "OK" : "FAIL",
          v.snr_ok ? "OK" : "FAIL");
   printf("\n%s", core::flow_report(r).c_str());
-  return (r.ripple_ok && r.attenuation_ok && v.snr_ok) ? 0 : 1;
+  return report.finish((r.ripple_ok && r.attenuation_ok && v.snr_ok));
 }

@@ -3,10 +3,12 @@
 #include <cstdio>
 
 #include "src/core/flow.h"
+#include "src/obs/bench_telemetry.h"
 
 using namespace dsadc;
 
 int main() {
+  dsadc::obs::BenchReport report("table2_power");
   printf("===============================================================\n");
   printf(" Table II - Power profile of the decimation filter (VDD 1.1 V)\n");
   printf("===============================================================\n");
@@ -42,6 +44,8 @@ int main() {
   printf("-------------+-----------------------+----------------------\n");
   printf("%-12s | %10.2f %10.2f | %10.1f %10.1f\n", "Total", tot_dyn,
          prof.total_dynamic_w * 1e3, tot_leak, prof.total_leakage_w * 1e6);
+  report.set("total_dynamic_mw", prof.total_dynamic_w * 1e3);
+  report.set("total_leakage_uw", prof.total_leakage_w * 1e6);
   printf("\nShape checks (what the substitution preserves):\n");
   const auto& s = prof.stages;
   const bool sinc1_max =
@@ -58,5 +62,5 @@ int main() {
          scaler_min ? "OK" : "FAIL");
   printf("  HBF + equalizer dominate leakage:           %s\n",
          leak_coeff ? "OK" : "FAIL");
-  return (sinc1_max && scaler_min && leak_coeff) ? 0 : 1;
+  return report.finish((sinc1_max && scaler_min && leak_coeff));
 }

@@ -1,10 +1,12 @@
 #include "src/decimator/chain.h"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "src/dsp/freqz.h"
 #include "src/filterdesign/equalizer.h"
+#include "src/obs/metrics.h"
 
 namespace dsadc::decim {
 namespace {
@@ -24,6 +26,52 @@ int cic_cascade_gain_log2(const std::vector<design::CicSpec>& stages) {
 }
 
 }  // namespace
+
+SignalStats signal_stats(std::span<const std::int64_t> samples,
+                         int width_bits) {
+  SignalStats st;
+  if (samples.empty()) {
+    st.peak_headroom_bits = width_bits - 1;
+    return st;
+  }
+  st.min_raw = samples[0];
+  st.max_raw = samples[0];
+  double sumsq = 0.0;
+  for (std::int64_t v : samples) {
+    if (v < st.min_raw) st.min_raw = v;
+    if (v > st.max_raw) st.max_raw = v;
+    const double d = static_cast<double>(v);
+    sumsq += d * d;
+  }
+  st.rms_raw = std::sqrt(sumsq / static_cast<double>(samples.size()));
+  const std::uint64_t peak =
+      static_cast<std::uint64_t>(std::max(st.max_raw, -st.min_raw));
+  st.peak_headroom_bits =
+      width_bits - 1 - static_cast<int>(std::bit_width(peak));
+  return st;
+}
+
+void DecimationChain::record_stage(const char* name, double rate_hz,
+                                   int width_bits,
+                                   const std::vector<std::int64_t>& samples,
+                                   std::vector<StageProbe>* probes) const {
+  const bool obs_on = obs::enabled();
+  if (probes == nullptr && !obs_on) return;
+  const SignalStats st = signal_stats(samples, width_bits);
+  if (obs_on) {
+    auto& reg = obs::Registry::instance();
+    const std::string stage = name;
+    reg.gauge("chain.min_raw." + stage).set(static_cast<double>(st.min_raw));
+    reg.gauge("chain.max_raw." + stage).set(static_cast<double>(st.max_raw));
+    reg.gauge("chain.rms_raw." + stage).set(st.rms_raw);
+    reg.gauge("chain.peak_headroom_bits." + stage)
+        .set(st.peak_headroom_bits);
+    reg.counter("chain.samples." + stage).add(samples.size());
+  }
+  if (probes != nullptr) {
+    probes->push_back({name, rate_hz, width_bits, samples, st});
+  }
+}
 
 DecimationChain::DecimationChain(ChainConfig config)
     : config_(std::move(config)),
@@ -74,49 +122,41 @@ std::vector<std::int64_t> DecimationChain::process(
 
   // --- CIC cascade (per-stage for probing).
   std::vector<std::int64_t> cur(codes.begin(), codes.end());
-  if (probes != nullptr) {
-    probes->push_back({"input", fs, config_.input_format.width, cur});
-  }
+  record_stage("input", fs, config_.input_format.width, cur, probes);
   double rate = fs;
   auto& stages = cic_.stages();
   for (std::size_t i = 0; i < stages.size(); ++i) {
     cur = stages[i].process(cur);
     rate /= stages[i].spec().decimation;
-    if (probes != nullptr) {
-      probes->push_back({"sinc" + std::to_string(stages[i].spec().order) +
-                             "_" + std::to_string(i + 1),
-                         rate, stages[i].register_format().width, cur});
-    }
+    const std::string name = "sinc" + std::to_string(stages[i].spec().order) +
+                             "_" + std::to_string(i + 1);
+    record_stage(name.c_str(), rate, stages[i].register_format().width, cur,
+                 probes);
   }
 
   // --- Normalize the CIC gain (pure shift) into the HBF input format.
   // The CIC output in "code units" carries gain 2^cic_gain_log2_; treat it
   // as a fractional scale and round into hbf_in_format.
+  static const fx::EventCounters& ec_renorm = fx::event_counters("chain_hbf_in");
   std::vector<std::int64_t> hin(cur.size());
   for (std::size_t i = 0; i < cur.size(); ++i) {
     hin[i] = fx::requantize(cur[i], /*src_frac=*/cic_gain_log2_,
                             config_.hbf_in_format, fx::Rounding::kRoundNearest,
-                            fx::Overflow::kSaturate);
+                            fx::Overflow::kSaturate, &ec_renorm);
   }
 
   // --- Halfband decimate-by-2.
   std::vector<std::int64_t> hout = hbf_.process(hin);
   rate /= 2.0;
-  if (probes != nullptr) {
-    probes->push_back({"halfband", rate, config_.hbf_out_format.width, hout});
-  }
+  record_stage("halfband", rate, config_.hbf_out_format.width, hout, probes);
 
   // --- Scaling (CSD Horner).
   std::vector<std::int64_t> sout = scaler_.process(hout);
-  if (probes != nullptr) {
-    probes->push_back({"scaler", rate, config_.scaler_out_format.width, sout});
-  }
+  record_stage("scaler", rate, config_.scaler_out_format.width, sout, probes);
 
   // --- Equalizer at the output rate.
   std::vector<std::int64_t> eout = equalizer_.process(sout);
-  if (probes != nullptr) {
-    probes->push_back({"equalizer", rate, config_.output_format.width, eout});
-  }
+  record_stage("equalizer", rate, config_.output_format.width, eout, probes);
   return eout;
 }
 

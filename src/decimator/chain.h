@@ -46,12 +46,29 @@ struct ChainConfig {
   double input_rate_hz = 640e6;
 };
 
+/// Signal statistics over one block at a stage boundary, in raw LSB units
+/// of that stage's register format.
+struct SignalStats {
+  std::int64_t min_raw = 0;
+  std::int64_t max_raw = 0;
+  double rms_raw = 0.0;        ///< sqrt(mean(raw^2))
+  /// Unused MSBs at the observed peak: (width - 1) - bits(peak). The
+  /// margin Hogenauer's Bmax rule leaves; 0 means the register was fully
+  /// exercised, negative values cannot occur for in-range samples.
+  int peak_headroom_bits = 0;
+};
+
+/// Compute SignalStats for raw samples carried in a `width_bits` register.
+SignalStats signal_stats(std::span<const std::int64_t> samples,
+                         int width_bits);
+
 /// Per-stage probe record for one processed block.
 struct StageProbe {
   std::string name;
   double rate_hz = 0.0;          ///< clock rate of this stage's output
   int width_bits = 0;            ///< register width at this stage
   std::vector<std::int64_t> samples;
+  SignalStats stats;             ///< boundary statistics for this block
 };
 
 class DecimationChain {
@@ -76,6 +93,13 @@ class DecimationChain {
   std::size_t group_delay_input_samples() const;
 
  private:
+  /// Record one stage boundary: probe push (when requested) plus, while
+  /// observability is on, chain.<metric>.<stage> gauges/counters in the
+  /// metrics registry.
+  void record_stage(const char* name, double rate_hz, int width_bits,
+                    const std::vector<std::int64_t>& samples,
+                    std::vector<StageProbe>* probes) const;
+
   ChainConfig config_;
   CicCascade cic_;
   SaramakiHbfDecimator hbf_;

@@ -65,8 +65,9 @@ bool FirDecimator::push(std::int64_t in, std::int64_t& out) {
     const std::size_t idx = (newest + delay_.size() - k) % delay_.size();
     acc += taps_.taps[k] * delay_[idx];
   }
+  static const fx::EventCounters& ec = fx::event_counters("fir_out");
   out = fx::requantize(acc, in_fmt_.frac + taps_.frac_bits, out_fmt_,
-                       rounding_, overflow_);
+                       rounding_, overflow_, &ec);
   return true;
 }
 
@@ -139,8 +140,10 @@ bool PolyphaseHalfbandDecimator::push(std::int64_t in, std::int64_t& out) {
     // Odd branch: center tap applied to x_odd[n - J]; odd_hist_ holds the
     // last J+1 odd-phase samples with opos_ pointing at the oldest.
     acc += center_ * odd_hist_[opos_];
+    static const fx::EventCounters& ec = fx::event_counters("polyphase_hbf_out");
     out = fx::requantize(acc, in_fmt_.frac + frac_bits_, out_fmt_,
-                         fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+                         fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                         &ec);
     return true;
   }
   // Odd-indexed sample: enqueue into the delay line.

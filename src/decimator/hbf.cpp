@@ -93,21 +93,25 @@ std::int64_t SaramakiHbfDecimator::requantize_product(std::int64_t prod) const {
   // The power-optimized datapath drops product LSBs below a small guard
   // immediately after each CSD multiplier (frac: internal + coeff ->
   // product format), keeping the adder tree narrow.
+  static const fx::EventCounters& ec = fx::event_counters("hbf_product");
   return fx::requantize(prod, internal_fmt_.frac + coeff_frac_, prod_fmt_,
-                        fx::Rounding::kTruncate, fx::Overflow::kSaturate);
+                        fx::Rounding::kTruncate, fx::Overflow::kSaturate, &ec);
 }
 
 std::int64_t SaramakiHbfDecimator::requantize_internal(std::int64_t acc) const {
   // acc carries the product-format frac; bring back to internal.
+  static const fx::EventCounters& ec = fx::event_counters("hbf_internal");
   return fx::requantize(acc, prod_fmt_.frac, internal_fmt_,
-                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                        &ec);
 }
 
 bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
   // Promote the input into the internal guard format.
+  static const fx::EventCounters& ec_in = fx::event_counters("hbf_in");
   const std::int64_t x =
       fx::requantize(in, in_fmt_.frac, internal_fmt_, fx::Rounding::kTruncate,
-                     fx::Overflow::kSaturate);
+                     fx::Overflow::kSaturate, &ec_in);
   if (phase_ == 1) {
     // Odd-phase sample: enqueue into the 0.5-path delay line.
     odd_delay_[opos_] = x;
@@ -142,8 +146,10 @@ bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
   for (std::size_t i = 0; i < n1_; ++i) {
     acc += requantize_product(f1_coeffs_[i] * aligned[i]);
   }
+  static const fx::EventCounters& ec_out = fx::event_counters("hbf_out");
   out = fx::requantize(acc, prod_fmt_.frac, out_fmt_,
-                       fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+                       fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                       &ec_out);
   return true;
 }
 

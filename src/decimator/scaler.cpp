@@ -25,8 +25,10 @@ std::int64_t ScalingStage::push(std::int64_t in) const {
     const std::int64_t term = (shift >= 0) ? (in << shift) : (in >> -shift);
     acc += d.sign > 0 ? term : -term;
   }
+  static const fx::EventCounters& ec = fx::event_counters("scaler_out");
   return fx::requantize(acc, in_fmt_.frac + frac_bits_, out_fmt_,
-                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate);
+                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                        &ec);
 }
 
 std::vector<std::int64_t> ScalingStage::process(

@@ -8,6 +8,9 @@
 #include <stdexcept>
 
 #include "src/dsp/linalg.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace dsadc::design {
 namespace {
@@ -96,6 +99,7 @@ Band const_band(double f0, double f1, double desired, double weight) {
 
 RemezResult remez(std::size_t num_taps, std::span<const Band> bands,
                   int grid_density, int max_iterations) {
+  DSADC_TRACE_SPAN("remez", "design");
   if (num_taps < 3) throw std::invalid_argument("remez: need at least 3 taps");
   if (bands.empty()) throw std::invalid_argument("remez: need at least one band");
   for (const auto& b : bands) {
@@ -245,10 +249,9 @@ RemezResult remez(std::size_t num_taps, std::span<const Band> bands,
     double emax = 0.0;
     for (std::size_t idx : alt) emax = std::max(emax, std::abs(error[idx]));
     const bool same = std::equal(alt.begin(), alt.end(), ext.begin(), ext.end());
-    if (std::getenv("DSADC_REMEZ_DEBUG") != nullptr) {
-      std::fprintf(stderr, "[remez] iter %d delta=%.6e emax=%.6e same=%d ext=%zu\n",
-                   iter, delta, emax, static_cast<int>(same), alt.size());
-    }
+    DSADC_OBS_COUNT("remez.iterations");
+    DSADC_LOG_DEBUG("remez", "iter %d delta=%.6e emax=%.6e same=%d ext=%zu",
+                    iter, delta, emax, static_cast<int>(same), alt.size());
     ext = std::move(alt);
     if (same || (emax - std::abs(delta)) < 1e-6 * std::abs(delta) + 1e-15) {
       result.converged = true;

@@ -8,6 +8,7 @@
 #include "src/dsp/linalg.h"
 #include "src/dsp/freqz.h"
 #include "src/filterdesign/halfband.h"
+#include "src/obs/trace.h"
 
 namespace dsadc::design {
 namespace {
@@ -199,6 +200,7 @@ std::size_t saramaki_structural_adders(std::size_t n1, std::size_t n2) {
 
 SaramakiHbf design_saramaki_hbf(std::size_t n1, std::size_t n2, double fp,
                                 int frac_bits, std::size_t max_digits) {
+  DSADC_TRACE_SPAN("design_saramaki_hbf", "design");
   if (n1 < 1 || n1 > 6 || n2 < 2 || n2 > 16) {
     throw std::invalid_argument("design_saramaki_hbf: unsupported (n1, n2)");
   }

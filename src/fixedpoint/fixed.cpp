@@ -1,6 +1,9 @@
 #include "src/fixedpoint/fixed.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +17,23 @@ void check_format(const Format& fmt) {
 }
 
 }  // namespace
+
+const EventCounters& event_counters(const std::string& site) {
+  // Structs are heap-allocated once per site and never freed, so the
+  // references cached in call-site statics stay valid through teardown.
+  static std::mutex* mu = new std::mutex();
+  static auto* sites = new std::map<std::string, std::unique_ptr<EventCounters>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*sites)[site];
+  if (!slot) {
+    auto& reg = obs::Registry::instance();
+    slot = std::make_unique<EventCounters>(
+        EventCounters{&reg.counter("fx.saturate." + site),
+                      &reg.counter("fx.wrap." + site),
+                      &reg.counter("fx.round." + site)});
+  }
+  return *slot;
+}
 
 double Format::lsb() const { return std::ldexp(1.0, -frac); }
 
@@ -43,11 +63,20 @@ std::int64_t saturate_to(std::int64_t raw, const Format& fmt) {
 }
 
 std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
-                        Rounding rounding, Overflow overflow) {
+                        Rounding rounding, Overflow overflow,
+                        const EventCounters* site) {
   check_format(fmt);
+  const bool count = site != nullptr && obs::enabled();
   std::int64_t v = raw;
   const int shift = src_frac - fmt.frac;
   if (shift > 0) {
+    if (count) {
+      const std::uint64_t dropped =
+          shift >= 63 ? static_cast<std::uint64_t>(v != 0)
+                      : static_cast<std::uint64_t>(v) &
+                            ((std::uint64_t{1} << shift) - 1);
+      if (dropped != 0) site->round->add();
+    }
     if (shift >= 63) {
       v = 0;
     } else if (rounding == Rounding::kRoundNearest) {
@@ -62,7 +91,12 @@ std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
     }
     v <<= -shift;
   }
-  return overflow == Overflow::kWrap ? wrap_to(v, fmt) : saturate_to(v, fmt);
+  const std::int64_t r =
+      overflow == Overflow::kWrap ? wrap_to(v, fmt) : saturate_to(v, fmt);
+  if (count && r != v) {
+    (overflow == Overflow::kWrap ? site->wrap : site->saturate)->add();
+  }
+  return r;
 }
 
 std::int64_t from_double(double v, const Format& fmt, Overflow overflow) {

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace dsadc::fx {
 
 enum class Overflow : std::uint8_t {
@@ -47,10 +49,32 @@ std::int64_t wrap_to(std::int64_t raw, const Format& fmt);
 /// Saturate a raw integer into `fmt`'s range.
 std::int64_t saturate_to(std::int64_t raw, const Format& fmt);
 
+/// Per-call-site fixed-point event counters, registered in the obs
+/// metrics registry as fx.saturate.<site> / fx.wrap.<site> /
+/// fx.round.<site>. Datapath call sites cache the lookup in a
+/// function-local static and pass the struct into requantize, which
+/// counts:
+///   saturate -- the overflow policy clamped the value,
+///   wrap     -- modular reduction changed the value (kWrap only),
+///   round    -- dropped LSBs were non-zero (the result is inexact).
+/// Counting is skipped entirely while obs::enabled() is false.
+struct EventCounters {
+  obs::Counter* saturate = nullptr;
+  obs::Counter* wrap = nullptr;
+  obs::Counter* round = nullptr;
+};
+
+/// Find-or-register the counters for a call-site tag (e.g. "hbf_out").
+/// The reference stays valid for the process lifetime.
+const EventCounters& event_counters(const std::string& site);
+
 /// Reduce `raw` (interpreted with `src_frac` fractional bits) to `fmt`,
 /// applying rounding on dropped LSBs and the overflow policy on the result.
+/// When `site` is non-null, saturation/wrap/rounding events are counted
+/// against it (see EventCounters).
 std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
-                        Rounding rounding, Overflow overflow);
+                        Rounding rounding, Overflow overflow,
+                        const EventCounters* site = nullptr);
 
 /// Convert a real number into raw units of `fmt` (round-to-nearest, then
 /// overflow policy).

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "src/dsp/polynomial.h"
+#include "src/obs/trace.h"
 
 namespace dsadc::mod {
 namespace {
@@ -114,6 +115,7 @@ double Ntf::inband_noise_power_gain(double osr, std::size_t grid) const {
 }
 
 Ntf synthesize_ntf(int order, double osr, double obg, bool optimize_zeros) {
+  DSADC_TRACE_SPAN("synthesize_ntf", "design");
   if (order < 1 || order > 8) {
     throw std::invalid_argument("synthesize_ntf: order must be in [1, 8]");
   }

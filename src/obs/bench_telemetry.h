@@ -1,0 +1,54 @@
+// Machine-readable bench telemetry.
+//
+// Every bench binary constructs a BenchReport at startup, sets its key
+// figures of merit while printing its human-readable tables, and returns
+// `report.finish(ok)` from main. finish() writes BENCH_<name>.json next to
+// the text output -- into $DSADC_BENCH_OUT when set (so CI and local runs
+// do not collide), else the current directory -- giving the perf history
+// a machine-readable record per run:
+//
+//   {"bench": "e2e_snr", "ok": true, "wall_ms": 812.4,
+//    "metrics": {"snr_db_5mhz": 84.5, ...}}
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace dsadc::obs {
+
+class BenchReport {
+ public:
+  /// `name` without the bench_ prefix; the record lands in
+  /// output_dir() + "/BENCH_" + name + ".json".
+  explicit BenchReport(std::string name);
+
+  /// Destructor writes a record with ok=false if finish() was never
+  /// reached (a crash mid-bench still leaves evidence behind).
+  ~BenchReport();
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+  /// Keeps string literals away from the bool overload.
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, bool value);
+  /// Convenience for the headline perf figure.
+  void set_throughput(double samples_per_second);
+
+  /// Write the JSON record (once) and map ok to a process exit code.
+  int finish(bool ok);
+
+  /// $DSADC_BENCH_OUT or ".".
+  static std::string output_dir();
+  std::string output_path() const;
+
+ private:
+  void write(bool ok);
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::map<std::string, std::string> fields_;  ///< key -> JSON-encoded value
+  bool written_ = false;
+};
+
+}  // namespace dsadc::obs

@@ -1,0 +1,105 @@
+#include "src/obs/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dsadc::obs {
+namespace {
+
+struct LogState {
+  std::mutex mu;
+  LogSink sink;  ///< empty => stderr default
+};
+
+LogState& log_state() {
+  static LogState* s = new LogState();
+  return *s;
+}
+
+/// -1 undecided (read DSADC_LOG_LEVEL on first use), else a LogLevel.
+std::atomic<int> g_level{-1};
+
+int init_level() {
+  const char* v = std::getenv("DSADC_LOG_LEVEL");
+  const LogLevel parsed =
+      v != nullptr ? log_level_from_name(v) : LogLevel::kWarn;
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, static_cast<int>(parsed),
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void stderr_sink(LogLevel level, const char* component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", log_level_name(level), component,
+               message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel log_level_from_name(const std::string& name) {
+  for (int i = 0; i <= static_cast<int>(LogLevel::kOff); ++i) {
+    const auto level = static_cast<LogLevel>(i);
+    if (name == log_level_name(level)) return level;
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel log_level() {
+  int s = g_level.load(std::memory_order_relaxed);
+  if (s < 0) s = init_level();
+  return static_cast<LogLevel>(s);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(LogSink sink) {
+  LogState& s = log_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.sink = std::move(sink);
+}
+
+bool log_enabled(LogLevel level) {
+  if (!enabled()) return false;
+  return level >= log_level() && level != LogLevel::kOff;
+}
+
+void log(LogLevel level, const char* component, const std::string& message) {
+  if (!log_enabled(level)) return;
+  LogState& s = log_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.sink) {
+    s.sink(level, component, message);
+  } else {
+    stderr_sink(level, component, message);
+  }
+}
+
+void logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log(level, component, buf);
+}
+
+}  // namespace dsadc::obs

@@ -1,0 +1,75 @@
+// Structured leveled logger.
+//
+// Records are (level, component, message); the default sink writes
+// "[level] component: message" lines to stderr. The threshold comes from
+// DSADC_LOG_LEVEL (trace|debug|info|warn|error|off) and defaults to warn,
+// so debug instrumentation -- e.g. the remez iteration log -- is silent
+// unless asked for. Tests install a capturing sink via set_log_sink.
+//
+// With -DDSADC_OBS_COMPILED_OFF the DSADC_LOG_* macros compile away;
+// message arguments are not even evaluated.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/obs/obs.h"
+
+namespace dsadc::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+/// Parse a level name; unknown names fall back to kWarn.
+LogLevel log_level_from_name(const std::string& name);
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+using LogSink =
+    std::function<void(LogLevel, const char* component, const std::string&)>;
+/// Replace the output sink; an empty function restores the stderr default.
+void set_log_sink(LogSink sink);
+
+/// True when a record at `level` would reach the sink. Use to gate
+/// expensive message construction.
+bool log_enabled(LogLevel level);
+
+void log(LogLevel level, const char* component, const std::string& message);
+
+/// printf-formatted convenience entry point.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char* component, const char* fmt, ...);
+
+}  // namespace dsadc::obs
+
+#ifdef DSADC_OBS_COMPILED_OFF
+#define DSADC_LOG(level, component, ...) \
+  do {                                   \
+  } while (0)
+#else
+#define DSADC_LOG(level, component, ...)                     \
+  do {                                                       \
+    if (::dsadc::obs::log_enabled(level)) {                  \
+      ::dsadc::obs::logf(level, component, __VA_ARGS__);     \
+    }                                                        \
+  } while (0)
+#endif
+
+#define DSADC_LOG_DEBUG(component, ...) \
+  DSADC_LOG(::dsadc::obs::LogLevel::kDebug, component, __VA_ARGS__)
+#define DSADC_LOG_INFO(component, ...) \
+  DSADC_LOG(::dsadc::obs::LogLevel::kInfo, component, __VA_ARGS__)
+#define DSADC_LOG_WARN(component, ...) \
+  DSADC_LOG(::dsadc::obs::LogLevel::kWarn, component, __VA_ARGS__)
+#define DSADC_LOG_ERROR(component, ...) \
+  DSADC_LOG(::dsadc::obs::LogLevel::kError, component, __VA_ARGS__)

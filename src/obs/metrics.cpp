@@ -1,0 +1,221 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace dsadc::obs {
+
+#ifndef DSADC_OBS_COMPILED_OFF
+namespace detail {
+
+std::atomic<int> g_enabled{-1};
+
+bool init_enabled() {
+  const char* v = std::getenv("DSADC_OBS_DISABLE");
+  const bool on = !(v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0);
+  int expected = -1;
+  g_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                    std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+}  // namespace detail
+#endif
+
+std::uint64_t Gauge::encode(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::decode(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Double-precision sum via CAS on the bit pattern (atomic<double>
+  // fetch_add is not universally lock-free; this always is on x86-64).
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double cur;
+    std::memcpy(&cur, &old, sizeof(cur));
+    const double next = cur + v;
+    std::uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(old, next_bits,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumented destructors and atexit hooks may still
+  // touch the registry during static teardown.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::uint64_t Registry::counter_total(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second->value();
+  }
+  return total;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string number_to_json(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // JSON has no inf/nan literals; clamp to null.
+  if (std::strstr(buf, "inf") != nullptr || std::strstr(buf, "nan") != nullptr) {
+    return "null";
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string nl = indent > 0 ? "\n" : "";
+  const std::string pad(indent > 0 ? static_cast<std::size_t>(indent) : 0, ' ');
+  std::string out = "{" + nl;
+
+  out += pad;
+  out += "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(c->value());
+  }
+  out += "}," + nl;
+
+  out += pad;
+  out += "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + number_to_json(g->value());
+  }
+  out += "}," + nl;
+
+  out += pad;
+  out += "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(h->count());
+    out += ", \"sum\": " + number_to_json(h->sum());
+    out += ", \"bounds\": [";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i) out += ", ";
+      out += number_to_json(h->bounds()[i]);
+    }
+    out += "], \"buckets\": [";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h->bucket_count(i));
+    }
+    out += "]}";
+  }
+  out += "}" + nl + "}";
+  return out;
+}
+
+}  // namespace dsadc::obs

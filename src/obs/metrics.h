@@ -1,0 +1,121 @@
+// Process-wide metrics registry: counters, gauges and fixed-bucket
+// histograms.
+//
+// Metric names follow `component.event.site` in lower_snake_case, e.g.
+// `fx.saturate.hbf_out` or `chain.rms.sinc4_1` (docs/OBSERVABILITY.md has
+// the full convention). Instruments have stable addresses for the lifetime
+// of the process, so hot call-sites look them up once (typically through a
+// function-local static) and then touch only a relaxed atomic.
+//
+// All mutation paths are data-race-free: creation is serialized by the
+// registry mutex, updates use atomics. Snapshots are approximate under
+// concurrent writers (each value is individually coherent).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/obs.h"
+
+namespace dsadc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  // Stored as the bit pattern so a plain 64-bit atomic suffices everywhere.
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0x0};
+
+ public:
+  Gauge() { set(0.0); }
+};
+
+/// Cumulative histogram over fixed upper bounds; values above the last
+/// bound land in an implicit +inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  // double bit pattern, CAS-added
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create. The returned reference stays valid for the process
+  /// lifetime. Re-requesting a histogram ignores the bounds argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Sum of all counters whose name starts with `prefix` (e.g.
+  /// "fx.saturate." totals saturation events across call sites).
+  std::uint64_t counter_total(const std::string& prefix) const;
+
+  /// Zero every instrument (tests isolate themselves with this).
+  void reset_all();
+
+  /// JSON dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string to_json(int indent = 0) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace dsadc::obs
+
+/// Count `n` events against a registry counter; the lookup happens once per
+/// call-site, the steady state is one branch + one relaxed increment.
+#ifdef DSADC_OBS_COMPILED_OFF
+#define DSADC_OBS_COUNT_N(name, n) \
+  do {                             \
+  } while (0)
+#else
+#define DSADC_OBS_COUNT_N(name, n)                             \
+  do {                                                         \
+    if (::dsadc::obs::enabled()) {                             \
+      static ::dsadc::obs::Counter& dsadc_obs_counter_ =       \
+          ::dsadc::obs::Registry::instance().counter(name);    \
+      dsadc_obs_counter_.add(n);                               \
+    }                                                          \
+  } while (0)
+#endif
+#define DSADC_OBS_COUNT(name) DSADC_OBS_COUNT_N(name, 1)

@@ -1,0 +1,51 @@
+// Process-wide observability switches shared by the metrics registry,
+// the trace recorder and the logger.
+//
+// Two off switches exist with different costs:
+//
+//  * runtime:  DSADC_OBS_DISABLE=1 (or obs::set_enabled(false)) makes every
+//    instrumentation site a single predictable branch on a cached flag;
+//  * compile time: building with -DDSADC_OBS_COMPILED_OFF removes the
+//    instrumentation bodies entirely (enabled() is a constant false and the
+//    logging/counting macros expand to nothing).
+//
+// Hot paths (per-sample fixed-point requantization, the chain inner loops)
+// must only ever pay the enabled() branch when observability is off.
+#pragma once
+
+#include <atomic>
+
+namespace dsadc::obs {
+
+#ifdef DSADC_OBS_COMPILED_OFF
+
+constexpr bool kCompiledOn = false;
+constexpr bool enabled() { return false; }
+inline void set_enabled(bool) {}
+
+#else
+
+constexpr bool kCompiledOn = true;
+
+namespace detail {
+/// -1 = undecided (consult the environment on first use), 0 = off, 1 = on.
+extern std::atomic<int> g_enabled;
+bool init_enabled();
+}  // namespace detail
+
+/// True unless DSADC_OBS_DISABLE=1 in the environment or set_enabled(false)
+/// was called. The result is cached; the common case is one relaxed load.
+inline bool enabled() {
+  const int s = detail::g_enabled.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::init_enabled();
+}
+
+/// Programmatic override (tests, benches measuring instrumentation cost).
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+#endif  // DSADC_OBS_COMPILED_OFF
+
+}  // namespace dsadc::obs

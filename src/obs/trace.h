@@ -1,0 +1,71 @@
+// RAII trace spans with Chrome trace-event JSON export.
+//
+// A Span measures the wall time of a scope and records a complete ("ph":
+// "X") trace event when tracing is on. The buffer serializes to the Chrome
+// trace-event format, so a dump loads directly in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Tracing is off by default. It turns on when DSADC_TRACE_OUT=<path> is
+// set in the environment (the buffer is then auto-written to <path> at
+// process exit) or programmatically via set_trace_enabled(true). When off,
+// a Span costs one branch and no clock reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/obs.h"
+
+namespace dsadc::obs {
+
+/// True when span timings are being recorded. Follows enabled(): tracing
+/// never records while observability as a whole is disabled.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+/// Microseconds since the process trace epoch (first use).
+std::int64_t trace_now_us();
+
+/// Append one complete event (used by Span; public for custom phases).
+void trace_record(std::string name, const char* category,
+                  std::int64_t start_us, std::int64_t dur_us);
+
+/// Serialize the buffer: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+std::string trace_json();
+
+/// Write trace_json() to `path`; returns false on I/O failure.
+bool write_trace(const std::string& path);
+
+/// Drop all recorded events (tests).
+void clear_trace();
+
+/// Number of buffered events.
+std::size_t trace_event_count();
+
+class Span {
+ public:
+  explicit Span(std::string name, const char* category = "flow");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  const char* category_;
+  std::int64_t start_us_ = -1;  ///< -1: tracing was off at entry
+};
+
+}  // namespace dsadc::obs
+
+#ifdef DSADC_OBS_COMPILED_OFF
+#define DSADC_TRACE_SPAN(name, category) \
+  do {                                   \
+  } while (0)
+#else
+#define DSADC_TRACE_SPAN_CAT2(a, b) a##b
+#define DSADC_TRACE_SPAN_CAT(a, b) DSADC_TRACE_SPAN_CAT2(a, b)
+/// Declares a scope-lifetime span object (not an expression statement).
+#define DSADC_TRACE_SPAN(name, category)                   \
+  ::dsadc::obs::Span DSADC_TRACE_SPAN_CAT(dsadc_span_,     \
+                                          __LINE__)(name, category)
+#endif

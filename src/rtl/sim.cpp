@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "src/obs/trace.h"
+
 namespace dsadc::rtl {
 namespace {
 
@@ -19,6 +21,7 @@ Simulator::Simulator(const Module& module) : module_(module) {}
 
 SimResult Simulator::run(
     const std::map<NodeId, std::span<const std::int64_t>>& inputs) {
+  DSADC_TRACE_SPAN("rtl_sim", "rtl");
   const auto& nodes = module_.nodes();
   const std::size_t n = nodes.size();
 

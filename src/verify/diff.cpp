@@ -10,6 +10,8 @@
 #include "src/decimator/polyphase_cic.h"
 #include "src/decimator/scaler.h"
 #include "src/filterdesign/sharpened_cic.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rtl/builders.h"
 #include "src/rtl/sim.h"
 #include "src/verify/reference.h"
@@ -295,6 +297,8 @@ bool matches_with_lag(const std::vector<std::int64_t>& rtl,
 }
 
 DiffOutcome run_case(const StageCase& c) {
+  obs::Span span(std::string("case_") + stage_kind_name(c.kind), "verify");
+  DSADC_OBS_COUNT("verify.cases");
   try {
     switch (c.kind) {
       case StageKind::kCic:

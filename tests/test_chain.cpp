@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
 #include "src/decimator/chain.h"
 #include "src/dsp/spectrum.h"
 #include "src/modulator/dsm.h"
 #include "src/modulator/ntf.h"
 #include "src/modulator/realize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/verify/stimulus.h"
 
 namespace {
 
@@ -71,6 +75,46 @@ TEST_F(ChainTest, NoSaturationAtMsa) {
     if (v >= rail || v <= -rail - 1) ++at_rail;
   }
   EXPECT_EQ(at_rail, 0u);
+}
+
+// In-MSA stimuli never clip: the formats carry Hogenauer-style guard bits
+// and the scaler maps the MSA peak below full scale, so the per-site
+// fx.saturate.* counters must all stay at zero.
+TEST_F(ChainTest, SaturationCountersZeroAtMsa) {
+  if (!obs::kCompiledOn) GTEST_SKIP() << "instrumentation compiled out";
+  obs::set_enabled(true);
+  auto& reg = obs::Registry::instance();
+  reg.reset_all();
+  decim::DecimationChain chain(*cfg_);
+  const auto dsm = run_modulator(1 << 14, 0.81);
+  chain.process(dsm.codes);
+  EXPECT_EQ(reg.counter_total("fx.saturate."), 0u);
+  // The instrumentation was live: rounding work was counted.
+  EXPECT_GT(reg.counter_total("fx.round."), 0u);
+  EXPECT_GT(reg.counter_total("chain.samples."), 0u);
+}
+
+// An overload ramp drives the signal past the +-MSA full scale the scaler
+// was designed for; the saturating output stages must clip (and count it).
+// The ramp's tone frequency is drawn from (0.001, 0.2) cycles/sample, so
+// some seeds land in the stopband and get filtered before they can clip --
+// sweep a handful of seeds and require that the in-band ones saturate.
+TEST_F(ChainTest, OverloadRampTripsSaturationCounters) {
+  if (!obs::kCompiledOn) GTEST_SKIP() << "instrumentation compiled out";
+  obs::set_enabled(true);
+  auto& reg = obs::Registry::instance();
+  reg.reset_all();
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    decim::DecimationChain chain(*cfg_);
+    std::mt19937_64 rng(seed);
+    const std::vector<std::int64_t> raw = verify::make_stimulus(
+        verify::StimulusClass::kOverloadRamp, 1 << 14, cfg_->input_format,
+        rng);
+    std::vector<std::int32_t> codes(raw.begin(), raw.end());
+    chain.process(codes);
+    if (reg.counter_total("fx.saturate.") > 0) break;
+  }
+  EXPECT_GT(reg.counter_total("fx.saturate."), 0u);
 }
 
 TEST_F(ChainTest, FullScaleMappingNearOne) {

@@ -1,0 +1,258 @@
+// Tests for the src/obs instrumentation layer: metrics registry semantics
+// (including exactness under concurrent writers), Chrome trace-event JSON
+// well-formedness (round-tripped through the verify JSON parser), the
+// leveled logger, and the bench telemetry record format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/obs/bench_telemetry.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+#include "src/verify/json.h"
+
+namespace {
+
+using namespace dsadc;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!obs::kCompiledOn) GTEST_SKIP() << "instrumentation compiled out";
+    obs::set_enabled(true);
+    obs::Registry::instance().reset_all();
+    obs::clear_trace();
+  }
+  void TearDown() override {
+    if (!obs::kCompiledOn) return;
+    obs::set_trace_enabled(false);
+    obs::set_log_sink({});
+    obs::set_log_level(obs::LogLevel::kWarn);
+  }
+};
+
+TEST_F(ObsTest, CounterSemantics) {
+  auto& c = obs::Registry::instance().counter("test.counter.a");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(&obs::Registry::instance().counter("test.counter.a"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSemantics) {
+  auto& g = obs::Registry::instance().gauge("test.gauge.a");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(-3.25);
+  EXPECT_EQ(g.value(), -3.25);
+  g.set(1e300);
+  EXPECT_EQ(g.value(), 1e300);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramSemantics) {
+  auto& h =
+      obs::Registry::instance().histogram("test.hist.a", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0
+  h.observe(1.0);    // bucket 0 (bounds are inclusive upper edges)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  // Re-request ignores new bounds and returns the same instrument.
+  EXPECT_EQ(&obs::Registry::instance().histogram("test.hist.a", {7.0}), &h);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST_F(ObsTest, CounterTotalSumsByPrefix) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("fxtest.saturate.site_a").add(3);
+  reg.counter("fxtest.saturate.site_b").add(4);
+  reg.counter("fxtest.wrap.site_a").add(100);
+  EXPECT_EQ(reg.counter_total("fxtest.saturate."), 7u);
+  EXPECT_EQ(reg.counter_total("fxtest."), 107u);
+  EXPECT_EQ(reg.counter_total("fxtest.nothing."), 0u);
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsAreExact) {
+  auto& reg = obs::Registry::instance();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Mix pre-looked-up and by-name access: both must be race-free.
+      auto& c = reg.counter("test.concurrent.count");
+      auto& h = reg.histogram("test.concurrent.hist", {0.5});
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        reg.counter("test.concurrent.count2").add(2);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("test.concurrent.count").value(),
+            std::uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(reg.counter("test.concurrent.count2").value(),
+            2u * kThreads * kPerThread);
+  auto& h = reg.histogram("test.concurrent.hist", {});
+  EXPECT_EQ(h.count(), std::uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, RegistryJsonRoundTrips) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("test.json.counter").add(7);
+  reg.gauge("test.json.gauge").set(-0.125);
+  reg.histogram("test.json.hist", {1.0, 2.0}).observe(1.5);
+  const verify::Json j = verify::json_parse(reg.to_json(2));
+  EXPECT_EQ(j.at("counters").at("test.json.counter").as_int(), 7);
+  EXPECT_DOUBLE_EQ(j.at("gauges").at("test.json.gauge").as_double(), -0.125);
+  const verify::Json& h = j.at("histograms").at("test.json.hist");
+  EXPECT_EQ(h.at("count").as_int(), 1);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_double(), 1.5);
+  ASSERT_EQ(h.at("buckets").size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(h.at("buckets").at(1).as_int(), 1);
+}
+
+TEST_F(ObsTest, DisabledSwitchGatesCounting) {
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  DSADC_OBS_COUNT("test.disabled.count");
+  obs::set_enabled(true);
+  DSADC_OBS_COUNT("test.disabled.count");
+  EXPECT_EQ(obs::Registry::instance().counter("test.disabled.count").value(),
+            1u);
+}
+
+TEST_F(ObsTest, TraceJsonRoundTrips) {
+  obs::set_trace_enabled(true);
+  {
+    obs::Span outer("outer_phase", "design");
+    obs::Span inner("inner \"quoted\"\\phase", "verify");
+  }
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+  const verify::Json j = verify::json_parse(obs::trace_json());
+  EXPECT_EQ(j.at("displayTimeUnit").as_string(), "ms");
+  const verify::Json& events = j.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on destruction: inner closes first.
+  EXPECT_EQ(events.at(0).at("name").as_string(), "inner \"quoted\"\\phase");
+  EXPECT_EQ(events.at(0).at("cat").as_string(), "verify");
+  EXPECT_EQ(events.at(1).at("name").as_string(), "outer_phase");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events.at(i).at("ph").as_string(), "X");
+    EXPECT_GE(events.at(i).at("dur").as_int(), 0);
+    EXPECT_GE(events.at(i).at("ts").as_int(), 0);
+  }
+}
+
+TEST_F(ObsTest, TraceDisabledRecordsNothing) {
+  obs::set_trace_enabled(false);
+  { DSADC_TRACE_SPAN("invisible", "test"); }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  // Valid (empty) document even with no events.
+  const verify::Json j = verify::json_parse(obs::trace_json());
+  EXPECT_EQ(j.at("traceEvents").size(), 0u);
+}
+
+TEST_F(ObsTest, WriteTraceProducesParsableFile) {
+  obs::set_trace_enabled(true);
+  { obs::Span s("file_span", "test"); }
+  const std::string path =
+      ::testing::TempDir() + "/dsadc_test_trace.json";
+  ASSERT_TRUE(obs::write_trace(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const verify::Json j = verify::json_parse(ss.str());
+  EXPECT_EQ(j.at("traceEvents").at(0).at("name").as_string(), "file_span");
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, LoggerLevelFilteringAndSink) {
+  std::vector<std::string> lines;
+  obs::set_log_sink([&lines](obs::LogLevel level, const char* component,
+                             const std::string& msg) {
+    lines.push_back(std::string(obs::log_level_name(level)) + "|" +
+                    component + "|" + msg);
+  });
+  obs::set_log_level(obs::LogLevel::kWarn);
+  DSADC_LOG_DEBUG("remez", "hidden %d", 1);
+  DSADC_LOG_WARN("remez", "visible %d", 2);
+  obs::set_log_level(obs::LogLevel::kDebug);
+  DSADC_LOG_DEBUG("remez", "now visible %.1f", 0.5);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "warn|remez|visible 2");
+  EXPECT_EQ(lines[1], "debug|remez|now visible 0.5");
+}
+
+TEST_F(ObsTest, LogLevelNamesRoundTrip) {
+  EXPECT_EQ(obs::log_level_from_name("error"), obs::LogLevel::kError);
+  EXPECT_EQ(obs::log_level_from_name("trace"), obs::LogLevel::kTrace);
+  // Unknown names fall back to the default threshold.
+  EXPECT_EQ(obs::log_level_from_name("bogus"), obs::LogLevel::kWarn);
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kInfo), "info");
+}
+
+TEST_F(ObsTest, BenchReportWritesValidRecord) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("DSADC_BENCH_OUT", dir.c_str(), 1), 0);
+  std::string path;
+  {
+    obs::BenchReport report("obs_selftest");
+    path = report.output_path();
+    report.set("snr_db", 86.5);
+    report.set("config", "paper");
+    report.set("stable", true);
+    EXPECT_EQ(report.finish(true), 0);
+    EXPECT_EQ(report.finish(true), 0);  // idempotent
+  }
+  unsetenv("DSADC_BENCH_OUT");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const verify::Json j = verify::json_parse(ss.str());
+  EXPECT_EQ(j.at("bench").as_string(), "obs_selftest");
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_GE(j.at("wall_ms").as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(j.at("metrics").at("snr_db").as_double(), 86.5);
+  EXPECT_EQ(j.at("metrics").at("config").as_string(), "paper");
+  EXPECT_TRUE(j.at("metrics").at("stable").as_bool());
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, BenchReportFailureExitCode) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("DSADC_BENCH_OUT", dir.c_str(), 1), 0);
+  obs::BenchReport report("obs_selftest_fail");
+  const std::string path = report.output_path();
+  EXPECT_EQ(report.finish(false), 1);
+  unsetenv("DSADC_BENCH_OUT");
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_FALSE(verify::json_parse(ss.str()).at("ok").as_bool());
+  std::remove(path.c_str());
+}
+
+}  // namespace

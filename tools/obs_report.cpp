@@ -1,0 +1,176 @@
+// obs_report: aggregate observability artifacts into one JSON document.
+//
+// Collects every BENCH_<name>.json telemetry record in a directory, an
+// optional Chrome trace dump, and a fresh instrumented run of the paper's
+// decimation chain (per-stage signal statistics plus the fixed-point
+// event counters), and emits a single report:
+//
+//   obs_report [--bench-dir DIR] [--trace FILE] [-o OUT]
+//
+// DIR defaults to $DSADC_BENCH_OUT, falling back to the current directory.
+// With no -o the report goes to stdout.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/modulator/dsm.h"
+#include "src/modulator/ntf.h"
+#include "src/modulator/realize.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/verify/json.h"
+
+namespace fs = std::filesystem;
+using namespace dsadc;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// All BENCH_*.json records in `dir`, keyed by bench name; malformed files
+/// are reported as {"parse_error": ...} entries rather than dropped.
+verify::Json collect_bench_records(const fs::path& dir, int* count) {
+  verify::Json out = verify::Json::object();
+  *count = 0;
+  if (!fs::is_directory(dir)) return out;
+  std::vector<fs::path> files;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 11 && name.substr(name.size() - 5) == ".json") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& p : files) {
+    const std::string name = p.filename().string();
+    const std::string key = name.substr(6, name.size() - 11);
+    try {
+      out[key] = verify::json_parse(read_file(p));
+      ++*count;
+    } catch (const std::exception& e) {
+      verify::Json err = verify::Json::object();
+      err["parse_error"] = e.what();
+      out[key] = err;
+    }
+  }
+  return out;
+}
+
+/// Run the paper chain (5 MHz tone at MSA) with instrumentation on and
+/// dump per-stage statistics plus the fixed-point event counters.
+verify::Json chain_metrics_dump() {
+  obs::set_enabled(true);
+  auto& reg = obs::Registry::instance();
+  reg.reset_all();
+
+  const mod::CiffCoeffs coeffs =
+      mod::realize_ciff(mod::synthesize_ntf(5, 16.0, 3.0, true));
+  mod::CiffModulator modulator(coeffs, 4);
+  const std::vector<double> u =
+      mod::coherent_sine(1 << 14, 5e6, 640e6, 0.81, nullptr);
+  const std::vector<std::int32_t> codes = modulator.run(u).codes;
+
+  decim::DecimationChain chain(decim::paper_chain_config());
+  std::vector<decim::StageProbe> probes;
+  chain.process(codes, &probes);
+
+  verify::Json j = verify::Json::object();
+  j["stimulus"] = "5 MHz coherent tone at MSA (0.81), 16384 codes";
+  verify::Json stages = verify::Json::array();
+  for (const auto& p : probes) {
+    verify::Json s = verify::Json::object();
+    s["name"] = p.name;
+    s["rate_hz"] = p.rate_hz;
+    s["width_bits"] = p.width_bits;
+    s["samples"] = p.samples.size();
+    s["min_raw"] = p.stats.min_raw;
+    s["max_raw"] = p.stats.max_raw;
+    s["rms_raw"] = p.stats.rms_raw;
+    s["peak_headroom_bits"] = p.stats.peak_headroom_bits;
+    stages.push_back(std::move(s));
+  }
+  j["stages"] = std::move(stages);
+  j["saturate_events"] =
+      static_cast<std::int64_t>(reg.counter_total("fx.saturate."));
+  j["wrap_events"] = static_cast<std::int64_t>(reg.counter_total("fx.wrap."));
+  j["round_events"] = static_cast<std::int64_t>(reg.counter_total("fx.round."));
+  j["registry"] = verify::json_parse(reg.to_json());
+  return j;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--bench-dir DIR] [--trace FILE] [-o OUT]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_dir;
+  std::string trace_file;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--bench-dir" && i + 1 < argc) {
+      bench_dir = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (a == "-o" && i + 1 < argc) {
+      out_file = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (bench_dir.empty()) {
+    const char* env = std::getenv("DSADC_BENCH_OUT");
+    bench_dir = (env != nullptr && env[0] != '\0') ? env : ".";
+  }
+
+  try {
+    verify::Json report = verify::Json::object();
+    report["tool"] = "obs_report";
+    report["bench_dir"] = bench_dir;
+
+    int n_bench = 0;
+    report["benches"] = collect_bench_records(bench_dir, &n_bench);
+    report["bench_count"] = n_bench;
+
+    if (!trace_file.empty()) {
+      const verify::Json trace = verify::json_parse(read_file(trace_file));
+      verify::Json t = verify::Json::object();
+      t["file"] = trace_file;
+      t["event_count"] = trace.at("traceEvents").size();
+      report["trace"] = std::move(t);
+    }
+
+    report["chain"] = chain_metrics_dump();
+
+    const std::string text = report.dump(2) + "\n";
+    if (out_file.empty()) {
+      std::fputs(text.c_str(), stdout);
+    } else {
+      std::ofstream out(out_file, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + out_file);
+      out << text;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_report: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
