@@ -1,0 +1,249 @@
+#include "src/analyze/interval.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dsadc::analyze {
+namespace {
+
+using Wide = __int128;
+
+constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t clamp64(Wide v) {
+  if (v > static_cast<Wide>(kI64Max)) return kI64Max;
+  if (v < static_cast<Wide>(kI64Min)) return kI64Min;
+  return static_cast<std::int64_t>(v);
+}
+
+/// Wrap a single exact value into `width` bits.
+std::int64_t wrap_one(Wide v, int width) {
+  const Wide modulus = Wide{1} << width;
+  Wide r = v % modulus;
+  if (r < 0) r += modulus;  // canonical residue in [0, 2^width)
+  const Wide half = Wide{1} << (width - 1);
+  if (r >= half) r -= modulus;  // sign-extend
+  return static_cast<std::int64_t>(r);
+}
+
+Interval wrap_wide(Wide lo, Wide hi, int width, bool* wrapped) {
+  const Wide min_w = -(Wide{1} << (width - 1));
+  const Wide max_w = (Wide{1} << (width - 1)) - 1;
+  if (lo >= min_w && hi <= max_w) {
+    return Interval{static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)};
+  }
+  if (wrapped != nullptr) *wrapped = true;
+  if (hi - lo + 1 >= (Wide{1} << width)) return Interval::full(width);
+  const std::int64_t wl = wrap_one(lo, width);
+  const std::int64_t wh = wrap_one(hi, width);
+  if (wl <= wh) return Interval{wl, wh};
+  return Interval::full(width);  // straddles the sign boundary
+}
+
+}  // namespace
+
+Interval Interval::full(int width) {
+  return Interval{-(std::int64_t{1} << (width - 1)),
+                  (std::int64_t{1} << (width - 1)) - 1};
+}
+
+Interval Interval::hull(const Interval& o) const {
+  return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+std::uint64_t Interval::span() const {
+  const Wide s = static_cast<Wide>(hi) - static_cast<Wide>(lo) + 1;
+  if (s > static_cast<Wide>(std::numeric_limits<std::int64_t>::max())) {
+    return static_cast<std::uint64_t>(kI64Max);
+  }
+  return static_cast<std::uint64_t>(s);
+}
+
+int bits_needed(std::int64_t lo, std::int64_t hi) {
+  for (int w = 1; w <= 62; ++w) {
+    const Interval f = Interval::full(w);
+    if (lo >= f.lo && hi <= f.hi) return w;
+  }
+  return 63;
+}
+
+Interval iv_wrap(const Interval& v, int width, bool* wrapped) {
+  return wrap_wide(static_cast<Wide>(v.lo), static_cast<Wide>(v.hi), width,
+                   wrapped);
+}
+
+Interval iv_add(const Interval& a, const Interval& b, int width,
+                bool* wrapped) {
+  const Wide lo = static_cast<Wide>(a.lo) + static_cast<Wide>(b.lo);
+  const Wide hi = static_cast<Wide>(a.hi) + static_cast<Wide>(b.hi);
+  return wrap_wide(lo, hi, width, wrapped);
+}
+
+Interval iv_sub(const Interval& a, const Interval& b, int width,
+                bool* wrapped) {
+  const Wide lo = static_cast<Wide>(a.lo) - static_cast<Wide>(b.hi);
+  const Wide hi = static_cast<Wide>(a.hi) - static_cast<Wide>(b.lo);
+  return wrap_wide(lo, hi, width, wrapped);
+}
+
+Interval iv_neg(const Interval& a, int width, bool* wrapped) {
+  const Wide lo = -static_cast<Wide>(a.hi);
+  const Wide hi = -static_cast<Wide>(a.lo);
+  return wrap_wide(lo, hi, width, wrapped);
+}
+
+Interval iv_shl(const Interval& a, int amount) {
+  const Wide lo = static_cast<Wide>(a.lo) << amount;
+  const Wide hi = static_cast<Wide>(a.hi) << amount;
+  return Interval{clamp64(lo), clamp64(hi)};
+}
+
+Interval iv_shr(const Interval& a, int amount) {
+  // __int128 >> is an arithmetic shift in GCC/Clang, i.e. floor division
+  // by 2^amount, which is monotone, so endpoint evaluation is exact.
+  const Wide lo = static_cast<Wide>(a.lo) >> amount;
+  const Wide hi = static_cast<Wide>(a.hi) >> amount;
+  return Interval{clamp64(lo), clamp64(hi)};
+}
+
+Interval iv_requant(const Interval& a, int src_frac, const fx::Format& fmt,
+                    fx::Rounding rounding, fx::Overflow overflow,
+                    bool* saturated, bool* wrapped) {
+  Wide lo = static_cast<Wide>(a.lo);
+  Wide hi = static_cast<Wide>(a.hi);
+  const int shift = src_frac - fmt.frac;
+  if (shift > 0) {
+    if (shift >= 63) {
+      lo = hi = 0;  // requantize collapses everything to 0
+    } else if (rounding == fx::Rounding::kRoundNearest) {
+      const Wide half = Wide{1} << (shift - 1);
+      lo = (lo + half) >> shift;
+      hi = (hi + half) >> shift;
+    } else {
+      lo >>= shift;
+      hi >>= shift;
+    }
+  } else if (shift < 0 && -shift < 63) {
+    lo <<= -shift;
+    hi <<= -shift;
+  }
+  if (overflow == fx::Overflow::kWrap) {
+    return wrap_wide(lo, hi, fmt.width, wrapped);
+  }
+  const Wide min_w = static_cast<Wide>(fmt.raw_min());
+  const Wide max_w = static_cast<Wide>(fmt.raw_max());
+  if ((lo < min_w || hi > max_w) && saturated != nullptr) *saturated = true;
+  lo = std::clamp(lo, min_w, max_w);  // clamp is monotone: endpoint
+  hi = std::clamp(hi, min_w, max_w);  // evaluation stays exact
+  return Interval{static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)};
+}
+
+IntervalResult analyze_intervals(
+    const rtl::Module& m, const std::map<rtl::NodeId, Interval>& input_ranges) {
+  using rtl::kInvalidNode;
+  using rtl::NodeId;
+  using rtl::OpKind;
+
+  constexpr int kMaxSweeps = 100;
+  constexpr int kWidenAfter = 16;
+
+  const auto& nodes = m.nodes();
+  const std::size_t n = nodes.size();
+
+  IntervalResult res;
+  res.value.assign(n, Interval{});  // every node powers up at 0
+  res.may_wrap.assign(n, false);
+  res.may_saturate.assign(n, false);
+
+  const auto operand = [&](NodeId id) -> const Interval& {
+    static const Interval zero{};
+    return id == kInvalidNode ? zero : res.value[static_cast<std::size_t>(id)];
+  };
+
+  // One monotone sweep; returns true when any interval grew. Flags are
+  // only recorded when `record_flags` (the final confirmation sweep).
+  const auto sweep = [&](bool record_flags) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const rtl::Node& node = nodes[i];
+      bool wrapped = false;
+      bool saturated = false;
+      Interval next = res.value[i];
+      switch (node.kind) {
+        case OpKind::kInput: {
+          const auto it = input_ranges.find(static_cast<NodeId>(i));
+          const Interval given =
+              it != input_ranges.end() ? it->second : Interval::full(node.width);
+          // The simulator wraps bound input samples into the port width.
+          next = iv_wrap(given, node.width, &wrapped);
+          break;
+        }
+        case OpKind::kConst:
+          next = Interval::point(node.value);
+          break;
+        case OpKind::kAdd:
+          next = iv_add(operand(node.a), operand(node.b), node.width, &wrapped);
+          break;
+        case OpKind::kSub:
+          next = iv_sub(operand(node.a), operand(node.b), node.width, &wrapped);
+          break;
+        case OpKind::kNeg:
+          next = iv_neg(operand(node.a), node.width, &wrapped);
+          break;
+        case OpKind::kShl:
+          next = iv_shl(operand(node.a), node.amount);
+          break;
+        case OpKind::kShr:
+          next = iv_shr(operand(node.a), node.amount);
+          break;
+        case OpKind::kReg:
+        case OpKind::kDecimate:
+          // State nodes hold their power-up 0 until the first capture, so
+          // their value set is {0} union the operand's set.
+          next = Interval{}.hull(operand(node.a));
+          break;
+        case OpKind::kRequant:
+          next = iv_requant(operand(node.a), node.src_frac, node.fmt,
+                            node.rounding, node.overflow, &saturated, &wrapped);
+          break;
+        case OpKind::kOutput:
+          next = operand(node.a);
+          break;
+      }
+      next = res.value[i].hull(next);  // monotone ascent
+      if (!(next == res.value[i])) {
+        res.value[i] = next;
+        changed = true;
+      }
+      if (record_flags) {
+        if (wrapped) res.may_wrap[i] = true;
+        if (saturated) res.may_saturate[i] = true;
+      }
+    }
+    return changed;
+  };
+
+  for (int iter = 0; iter < kMaxSweeps; ++iter) {
+    res.iterations = iter + 1;
+    const bool changed = sweep(/*record_flags=*/false);
+    if (!changed) {
+      res.converged = true;
+      break;
+    }
+    if (iter + 1 >= kWidenAfter) {
+      // Widen every state node that is still growing straight to its full
+      // width range; the loop body then stabilizes in O(depth) sweeps.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (nodes[i].kind == OpKind::kReg || nodes[i].kind == OpKind::kDecimate) {
+          res.value[i] = res.value[i].hull(Interval::full(nodes[i].width));
+        }
+      }
+    }
+  }
+  // Confirmation sweep: intervals are stable (or widened); record flags.
+  sweep(/*record_flags=*/true);
+  return res;
+}
+
+}  // namespace dsadc::analyze

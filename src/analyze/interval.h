@@ -1,0 +1,99 @@
+// Signed value-interval domain over the RTL IR.
+//
+// The static analyzer (lint.h) characterizes every netlist node by the set
+// of raw two's-complement values it can carry. This header provides the
+// interval abstraction of that set plus transfer functions that mirror
+// rtl::Simulator semantics *exactly* (wrap on kAdd/kSub/kNeg, unwrapped
+// shifts, fx::requantize rounding/overflow behavior), and a fixpoint
+// propagation pass over a whole module that handles register back-edges
+// (the CIC accumulator loop) with widening.
+//
+// The interval pass is sound but deliberately coarse around wraparound: an
+// interval that leaves the representable range of a node's width collapses
+// to the full range of that width. Proving that such wraps are *benign*
+// (Hogenauer's modular-arithmetic argument) is the job of the linear
+// transfer analysis in range.h; the two passes are combined by lint.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/fixedpoint/fixed.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+/// Inclusive interval [lo, hi] of raw signed values. A default-constructed
+/// interval is the single point 0 (every simulator node powers up at 0).
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  /// Full representable range of a two's-complement width.
+  static Interval full(int width);
+  static Interval point(std::int64_t v) { return Interval{v, v}; }
+
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  Interval hull(const Interval& o) const;
+  /// Number of values spanned; saturates at INT64_MAX.
+  std::uint64_t span() const;
+
+  bool operator==(const Interval&) const = default;
+};
+
+/// Smallest two's-complement width (>= 1) whose range contains [lo, hi];
+/// returns 63 when no width up to 62 can hold it (the IR caps widths at 62).
+int bits_needed(std::int64_t lo, std::int64_t hi);
+
+// ---------------------------------------------------------------------------
+// Per-op transfer functions. Each mirrors one OpKind's evaluation in
+// rtl::Simulator. `wrapped` (when non-null) is set to true when modular
+// reduction may have changed at least one value; it is left untouched
+// otherwise so callers can accumulate across calls.
+
+/// Wrap an exact interval into `width` bits (two's complement). When the
+/// interval straddles the range or spans more than 2^width values the
+/// result collapses to the full range.
+Interval iv_wrap(const Interval& v, int width, bool* wrapped = nullptr);
+
+Interval iv_add(const Interval& a, const Interval& b, int width,
+                bool* wrapped = nullptr);
+Interval iv_sub(const Interval& a, const Interval& b, int width,
+                bool* wrapped = nullptr);
+Interval iv_neg(const Interval& a, int width, bool* wrapped = nullptr);
+/// Shift left; the simulator does not wrap kShl results, so neither do we
+/// (the declared node width is checked separately by the lint).
+Interval iv_shl(const Interval& a, int amount);
+/// Arithmetic shift right (floor division by 2^amount, exact on intervals
+/// because it is monotone).
+Interval iv_shr(const Interval& a, int amount);
+/// Mirror of fx::requantize: rounding on dropped LSBs, then wrap/saturate
+/// into fmt. `saturated` is set when the clamp may fire.
+Interval iv_requant(const Interval& a, int src_frac, const fx::Format& fmt,
+                    fx::Rounding rounding, fx::Overflow overflow,
+                    bool* saturated = nullptr, bool* wrapped = nullptr);
+
+// ---------------------------------------------------------------------------
+// Whole-module fixpoint propagation.
+
+struct IntervalResult {
+  std::vector<Interval> value;     ///< per node, over all time
+  std::vector<bool> may_wrap;      ///< modular reduction may change a value
+  std::vector<bool> may_saturate;  ///< requant clamp may fire
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Propagate value intervals through the module until fixpoint. Register
+/// and decimate nodes contribute their power-up value 0; back-edges
+/// (connect_reg loops) iterate, with widening to the full width range after
+/// `kWidenAfter` sweeps so divergent accumulators terminate. Input nodes
+/// take their range from `input_ranges` (defaulting to the full range of
+/// the port width); ranges are wrapped into the port width first, exactly
+/// like the simulator wraps bound input streams.
+IntervalResult analyze_intervals(
+    const rtl::Module& m,
+    const std::map<rtl::NodeId, Interval>& input_ranges = {});
+
+}  // namespace dsadc::analyze

@@ -1,0 +1,451 @@
+#include "src/analyze/lint.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dsadc::analyze {
+namespace {
+
+using rtl::kInvalidNode;
+using rtl::Module;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::OpKind;
+
+constexpr Rule kInputExceedsPort{"range.input-exceeds-port", "RNG01",
+                                 Severity::kError};
+constexpr Rule kOverflowProven{"range.overflow.proven", "RNG02",
+                               Severity::kError};
+constexpr Rule kOverflowPossible{"range.overflow.possible", "RNG03",
+                                 Severity::kWarning};
+constexpr Rule kWrapUnderwidth{"range.wrap-underwidth", "RNG04",
+                               Severity::kError};
+constexpr Rule kUnboundedObserved{"range.unbounded-observed", "RNG05",
+                                  Severity::kWarning};
+constexpr Rule kUnusedMsb{"range.unused-msb", "RNG06", Severity::kInfo};
+constexpr Rule kAnalysisSkipped{"range.analysis-skipped", "RNG07",
+                                Severity::kWarning};
+constexpr Rule kCrossDomainEdge{"cdc.cross-domain-edge", "CDC01",
+                                Severity::kError};
+constexpr Rule kDecimateRatio{"cdc.decimate-ratio", "CDC02", Severity::kError};
+constexpr Rule kUnconnectedReg{"struct.unconnected-reg", "STR01",
+                               Severity::kError};
+constexpr Rule kMissingOperand{"struct.missing-operand", "STR02",
+                               Severity::kError};
+constexpr Rule kBadOperand{"struct.bad-operand", "STR03", Severity::kError};
+constexpr Rule kCombOrder{"struct.comb-order", "STR04", Severity::kError};
+constexpr Rule kCombCycle{"struct.comb-cycle", "STR05", Severity::kError};
+constexpr Rule kDeadNode{"struct.dead-node", "STR06", Severity::kWarning};
+constexpr Rule kUnusedInput{"struct.unused-input", "STR07", Severity::kWarning};
+constexpr Rule kNoOutput{"struct.no-output", "STR08", Severity::kError};
+constexpr Rule kRequantMismatch{"width.requant-mismatch", "WID01",
+                                Severity::kError};
+constexpr Rule kRequantShift{"width.requant-shift", "WID02", Severity::kError};
+constexpr Rule kShlTruncated{"width.shl-truncated", "WID03",
+                             Severity::kWarning};
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConst: return "const";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kNeg: return "neg";
+    case OpKind::kShl: return "shl";
+    case OpKind::kShr: return "shr";
+    case OpKind::kReg: return "reg";
+    case OpKind::kDecimate: return "decimate";
+    case OpKind::kRequant: return "requant";
+    case OpKind::kOutput: return "output";
+  }
+  return "?";
+}
+
+bool is_state_kind(OpKind k) {
+  return k == OpKind::kReg || k == OpKind::kDecimate;
+}
+
+bool needs_a(OpKind k) { return k != OpKind::kInput && k != OpKind::kConst; }
+bool needs_b(OpKind k) { return k == OpKind::kAdd || k == OpKind::kSub; }
+
+/// Helper gathering findings with suppression bookkeeping deferred.
+struct Collector {
+  const Module& m;
+  std::vector<Finding> findings;
+
+  std::string describe(NodeId id) const {
+    std::ostringstream os;
+    const Node& node = m.node(id);
+    os << "n" << id << " " << op_name(node.kind);
+    if (!node.name.empty()) os << " '" << node.name << "'";
+    os << " (" << node.width << "b";
+    if (node.clock_div != 1) os << ", /" << node.clock_div;
+    os << ")";
+    return os.str();
+  }
+
+  Finding& add(const Rule& rule, NodeId node, std::string message) {
+    Finding f;
+    f.rule = rule.id;
+    f.code = rule.code;
+    f.severity = rule.severity;
+    f.node = node;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+    return findings.back();
+  }
+
+  Finding& add(const Rule& rule, NodeId node, std::string message,
+               Severity severity) {
+    Finding& f = add(rule, node, std::move(message));
+    f.severity = severity;
+    return f;
+  }
+};
+
+/// Structural rules. Returns true when the netlist is sound enough for the
+/// value analyses to index operands safely.
+bool structural_pass(const Module& m, Collector& c) {
+  const auto& nodes = m.nodes();
+  const std::size_t n = nodes.size();
+  bool indexable = true;
+
+  const auto valid = [&](NodeId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < n;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes[i];
+    const NodeId id = static_cast<NodeId>(i);
+    for (const auto& [op, slot] :
+         {std::pair{node.a, 'a'}, std::pair{node.b, 'b'}}) {
+      const bool required = slot == 'a' ? needs_a(node.kind) : needs_b(node.kind);
+      if (op == kInvalidNode) {
+        if (!required) continue;
+        if (node.kind == OpKind::kReg) {
+          c.add(kUnconnectedReg, id,
+                c.describe(id) + ": reg_placeholder never connected");
+        } else {
+          std::ostringstream os;
+          os << c.describe(id) << ": operand '" << slot << "' unconnected";
+          c.add(kMissingOperand, id, os.str());
+        }
+        continue;
+      }
+      if (!valid(op)) {
+        std::ostringstream os;
+        os << c.describe(id) << ": operand '" << slot << "' id " << op
+           << " out of range";
+        c.add(kBadOperand, id, os.str()).data["operand"] = op;
+        indexable = false;
+        continue;
+      }
+      const Node& src = m.node(op);
+      // Clock-domain rules: the only legal domain change is through a
+      // decimate node with a consistent divider ratio.
+      if (node.kind == OpKind::kDecimate) {
+        if (node.amount < 2 ||
+            node.clock_div != src.clock_div * node.amount) {
+          std::ostringstream os;
+          os << c.describe(id) << ": decimate divider " << node.clock_div
+             << " != source divider " << src.clock_div << " * factor "
+             << node.amount;
+          Finding& f = c.add(kDecimateRatio, id, os.str());
+          f.data["source"] = op;
+          f.data["factor"] = node.amount;
+        }
+      } else if (src.clock_div != node.clock_div) {
+        std::ostringstream os;
+        os << c.describe(id) << ": reads " << c.describe(op)
+           << " across clock domains without a decimate";
+        Finding& f = c.add(kCrossDomainEdge, id, os.str());
+        f.data["source"] = op;
+        f.data["source_div"] = src.clock_div;
+      }
+      // Evaluation-order hazard: a combinational node reading a node
+      // created later sees the previous tick's value (an accidental
+      // register). Registers are the only sanctioned back-edges.
+      if (!is_state_kind(node.kind) && op >= id) {
+        std::ostringstream os;
+        os << c.describe(id) << ": combinational read of later node n" << op
+           << " (stale-value hazard)";
+        c.add(kCombOrder, id, os.str()).data["operand"] = op;
+      }
+    }
+
+    if (node.kind == OpKind::kRequant) {
+      if (node.width != node.fmt.width) {
+        std::ostringstream os;
+        os << c.describe(id) << ": node width " << node.width
+           << " != requant format width " << node.fmt.width;
+        c.add(kRequantMismatch, id, os.str());
+      }
+      const int shift = node.src_frac - node.fmt.frac;
+      if (shift <= -63) {
+        std::ostringstream os;
+        os << c.describe(id) << ": requant shift " << shift
+           << " rejected by the datapath (|shift| >= 63)";
+        c.add(kRequantShift, id, os.str()).data["shift"] = shift;
+      }
+    }
+    if (node.kind == OpKind::kShl && valid(node.a)) {
+      const int full = m.node(node.a).width + node.amount;
+      if (full > node.width) {
+        std::ostringstream os;
+        os << c.describe(id) << ": shl by " << node.amount << " needs " << full
+           << " bits but is declared " << node.width
+           << "b (silently truncated in hardware)";
+        Finding& f = c.add(kShlTruncated, id, os.str());
+        f.data["needed"] = full;
+      }
+    }
+  }
+
+  // Combinational cycles: DFS over operand edges, with state nodes
+  // breaking the traversal (their read is a sanctioned back-edge).
+  if (indexable) {
+    std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<std::pair<NodeId, int>> stack;
+    for (std::size_t root = 0; root < n; ++root) {
+      if (color[root] != 0 || is_state_kind(nodes[root].kind)) continue;
+      stack.push_back({static_cast<NodeId>(root), 0});
+      color[root] = 1;
+      while (!stack.empty()) {
+        auto& [cur, phase] = stack.back();
+        const Node& node = nodes[static_cast<std::size_t>(cur)];
+        const NodeId ops[2] = {node.a, node.b};
+        bool descended = false;
+        while (phase < 2) {
+          const NodeId op = ops[phase++];
+          if (op == kInvalidNode || !valid(op)) continue;
+          if (is_state_kind(nodes[static_cast<std::size_t>(op)].kind)) continue;
+          const auto oi = static_cast<std::size_t>(op);
+          if (color[oi] == 1) {
+            std::ostringstream os;
+            os << c.describe(cur) << ": combinational cycle through n" << op;
+            c.add(kCombCycle, cur, os.str()).data["peer"] = op;
+            continue;
+          }
+          if (color[oi] == 0) {
+            color[oi] = 1;
+            stack.push_back({op, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (!descended && phase >= 2) {
+          color[static_cast<std::size_t>(cur)] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Reachability from outputs (dead logic) and output presence.
+  const auto outputs = m.nodes_of_kind(OpKind::kOutput);
+  if (outputs.empty()) {
+    c.add(kNoOutput, kInvalidNode,
+          "module '" + m.name() + "' has no output ports");
+  } else if (indexable) {
+    std::vector<std::uint8_t> live(n, 0);
+    std::vector<NodeId> work(outputs.begin(), outputs.end());
+    for (const NodeId o : work) live[static_cast<std::size_t>(o)] = 1;
+    while (!work.empty()) {
+      const NodeId cur = work.back();
+      work.pop_back();
+      const Node& node = nodes[static_cast<std::size_t>(cur)];
+      for (const NodeId op : {node.a, node.b}) {
+        if (op == kInvalidNode || !valid(op)) continue;
+        if (!live[static_cast<std::size_t>(op)]) {
+          live[static_cast<std::size_t>(op)] = 1;
+          work.push_back(op);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[i]) continue;
+      const NodeId id = static_cast<NodeId>(i);
+      if (nodes[i].kind == OpKind::kInput) {
+        c.add(kUnusedInput, id, c.describe(id) + ": input drives no output");
+      } else {
+        c.add(kDeadNode, id,
+              c.describe(id) + ": unreachable from any output (dead logic)");
+      }
+    }
+  }
+  return indexable;
+}
+
+void range_pass(const Module& m, const LintOptions& options,
+                const RangeResult& r, Collector& c) {
+  const auto& nodes = m.nodes();
+  const std::size_t n = nodes.size();
+
+  for (const auto& [id, range] : options.input_ranges) {
+    if (id < 0 || static_cast<std::size_t>(id) >= n) continue;
+    const Node& node = m.node(id);
+    if (node.kind != OpKind::kInput) continue;
+    const Interval full = Interval::full(node.width);
+    if (range.lo < full.lo || range.hi > full.hi) {
+      std::ostringstream os;
+      os << c.describe(id) << ": assumed input range [" << range.lo << ", "
+         << range.hi << "] exceeds the " << node.width << "-bit port";
+      Finding& f = c.add(kInputExceedsPort, id, os.str());
+      f.data["range_lo"] = range.lo;
+      f.data["range_hi"] = range.hi;
+    }
+  }
+
+  if (r.period == 0) {
+    c.add(kAnalysisSkipped, kInvalidNode,
+          "module '" + m.name() +
+              "': clock-divider lcm exceeds the analysis cap; range "
+              "analysis skipped");
+    return;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes[i];
+    const NodeId id = static_cast<NodeId>(i);
+    const NodeBound& b = r.bounds[i];
+
+    if (b.bounded) {
+      const int capacity = std::min(b.effective_width, 63);
+      if (b.required_width > capacity) {
+        std::ostringstream os;
+        const bool proven = b.exact;
+        os << c.describe(id) << ": "
+           << (proven ? "proven overflow" : "possible overflow") << ": value"
+           << " range [" << b.lo << ", " << b.hi << "] needs "
+           << b.required_width << " bits, effective width " << capacity;
+        if (b.narrow_node != kInvalidNode &&
+            b.narrow_node != id) {
+          os << " (limited by " << c.describe(b.narrow_node) << ")";
+        }
+        Finding& f =
+            c.add(proven ? kOverflowProven : kOverflowPossible, id, os.str());
+        f.data["required"] = b.required_width;
+        f.data["effective"] = capacity;
+        f.data["width"] = node.width;
+        if (b.narrow_node != kInvalidNode) f.data["narrow_node"] = b.narrow_node;
+      }
+    } else if (b.divergent) {
+      if (b.required_width > 0 && node.width < b.required_width) {
+        std::ostringstream os;
+        os << c.describe(id) << ": wrap-reliant node is " << node.width
+           << "b but bounded values computed through it need "
+           << b.required_width << " bits (Hogenauer width rule)";
+        Finding& f = c.add(kWrapUnderwidth, id, os.str(),
+                           b.required_exact ? Severity::kError
+                                            : Severity::kWarning);
+        f.data["required"] = b.required_width;
+        f.data["width"] = node.width;
+      }
+      // Unbounded values must never be observed by a nonlinear consumer
+      // or a module output: there is no width that makes them safe.
+      if (node.kind == OpKind::kOutput) {
+        c.add(kUnboundedObserved, id,
+              c.describe(id) +
+                  ": module output carries an unbounded wrap-reliant value");
+      }
+    }
+
+    if ((node.kind == OpKind::kRequant || node.kind == OpKind::kShr) &&
+        node.a != kInvalidNode &&
+        r.bounds[static_cast<std::size_t>(node.a)].divergent) {
+      std::ostringstream os;
+      os << c.describe(id) << ": " << op_name(node.kind)
+         << " of unbounded wrap-reliant value " << c.describe(node.a)
+         << " cannot be verified";
+      c.add(kUnboundedObserved, id, os.str()).data["operand"] = node.a;
+    }
+
+    // Wasted register bits (area): the MSBs above the proven requirement
+    // can never carry information.
+    if (is_state_kind(node.kind)) {
+      const int needed =
+          b.bounded ? b.required_width : (b.divergent ? b.required_width : 0);
+      if (needed > 0 && !b.huge &&
+          node.width - needed >= options.unused_msb_threshold) {
+        std::ostringstream os;
+        os << c.describe(id) << ": only " << needed << " of " << node.width
+           << " register bits are reachable (" << (node.width - needed)
+           << " wasted MSBs)";
+        Finding& f = c.add(kUnusedMsb, id, os.str());
+        f.data["needed"] = needed;
+        f.data["wasted"] = node.width - needed;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "?";
+}
+
+bool suppression_matches(const std::string& pattern, const std::string& rule,
+                         const std::string& module) {
+  std::string rule_pat = pattern;
+  const std::size_t at = pattern.find('@');
+  if (at != std::string::npos) {
+    rule_pat = pattern.substr(0, at);
+    const std::string mod_pat = pattern.substr(at + 1);
+    if (!mod_pat.empty() && mod_pat != module) return false;
+  }
+  if (rule_pat.empty()) return false;
+  if (rule_pat.back() == '*') {
+    return rule.compare(0, rule_pat.size() - 1, rule_pat, 0,
+                        rule_pat.size() - 1) == 0;
+  }
+  return rule_pat == rule;
+}
+
+ModuleReport lint_module(const Module& m, const LintOptions& options) {
+  ModuleReport report;
+  report.module = options.module_name.empty() ? m.name() : options.module_name;
+  report.nodes = m.size();
+
+  Collector c{m, {}};
+  const bool indexable = structural_pass(m, c);
+
+  if (indexable && m.size() > 0) {
+    report.range = analyze_ranges(m, options.input_ranges);
+    report.interval = analyze_intervals(m, options.input_ranges);
+    range_pass(m, options, report.range, c);
+  }
+
+  for (Finding& f : c.findings) {
+    for (const std::string& pat : options.suppress) {
+      if (suppression_matches(pat, f.rule, report.module)) {
+        f.suppressed = true;
+        break;
+      }
+    }
+    if (f.suppressed) {
+      report.suppressed++;
+    } else {
+      switch (f.severity) {
+        case Severity::kError: report.errors++; break;
+        case Severity::kWarning: report.warnings++; break;
+        case Severity::kInfo: report.infos++; break;
+      }
+    }
+  }
+  // Errors first, then warnings, then infos; stable within a class.
+  std::stable_sort(c.findings.begin(), c.findings.end(),
+                   [](const Finding& x, const Finding& y) {
+                     return static_cast<int>(x.severity) <
+                            static_cast<int>(y.severity);
+                   });
+  report.findings = std::move(c.findings);
+  return report;
+}
+
+}  // namespace dsadc::analyze

@@ -1,0 +1,116 @@
+// Static netlist analyzer ("lint") for rtl::Module.
+//
+// Combines structural rules (clock-domain crossings, dead logic, dangling
+// registers, combinational ordering, width consistency) with the value
+// analyses of interval.h and range.h into a flat list of findings, each
+// tagged with a stable rule id and a severity. The driver CLI is
+// tools/lint_rtl.cpp; docs/ANALYSIS.md documents every rule.
+//
+// Severity model:
+//   kError   -- the module provably misbehaves for some legal input, or its
+//               structure violates an IR invariant every backend assumes.
+//   kWarning -- the analyzer cannot prove safety (conservative bound
+//               exceeded, unbounded value observed) or the construct is
+//               suspicious (dead logic).
+//   kInfo    -- advisory: wasted register MSBs, suppressed-by-default noise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analyze/interval.h"
+#include "src/analyze/range.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+enum class Severity : std::uint8_t { kError, kWarning, kInfo };
+
+const char* severity_name(Severity s);  // "error" / "warning" / "info"
+
+/// Stable rule identity. `id` is the long form used in reports and
+/// suppressions; `code` is the short form for grep/terminals.
+struct Rule {
+  const char* id;
+  const char* code;
+  Severity severity;
+};
+
+// Rule table (stable; never renumber, only append):
+//   range.input-exceeds-port   RNG01 error   given input range wider than port
+//   range.overflow.proven      RNG02 error   tight bound exceeds effective width
+//   range.overflow.possible    RNG03 warning conservative bound exceeds width
+//   range.wrap-underwidth      RNG04 error*  wrap-reliant node narrower than
+//                                            its downstream requirement
+//                                            (*warning when evidence is
+//                                            conservative)
+//   range.unbounded-observed   RNG05 warning unbounded value reaches an
+//                                            output/requant/shift-right
+//   range.unused-msb           RNG06 info    register MSBs proven unreachable
+//   range.analysis-skipped     RNG07 warning clock-period blowup, no analysis
+//   cdc.cross-domain-edge      CDC01 error   domain change not through decimate
+//   cdc.decimate-ratio         CDC02 error   decimate divider != src * factor
+//   struct.unconnected-reg     STR01 error   dangling reg_placeholder
+//   struct.missing-operand     STR02 error   operand required but invalid
+//   struct.bad-operand         STR03 error   operand id out of range
+//   struct.comb-order          STR04 error   combinational node reads a later
+//                                            node (stale-value hazard)
+//   struct.comb-cycle          STR05 error   combinational cycle
+//   struct.dead-node           STR06 warning node unreachable from any output
+//   struct.unused-input        STR07 warning input port drives nothing
+//   struct.no-output           STR08 error   module has no output ports
+//   width.requant-mismatch     WID01 error   requant width != format width
+//   width.requant-shift        WID02 error   requant shift the simulator
+//                                            rejects (|shift| >= 63)
+//   width.shl-truncated        WID03 warning shl result wider than declared
+//                                            width (value silently truncated
+//                                            in hardware)
+
+struct Finding {
+  std::string rule;      ///< long id, e.g. "range.overflow.proven"
+  std::string code;      ///< short id, e.g. "RNG02"
+  Severity severity = Severity::kWarning;
+  rtl::NodeId node = rtl::kInvalidNode;  ///< kInvalidNode: module-level
+  std::string message;
+  /// Structured payload (widths, bounds, peer node ids) for JSON reports.
+  std::map<std::string, std::int64_t> data;
+  bool suppressed = false;
+};
+
+struct LintOptions {
+  /// Report/suppression module name override (empty: Module::name()).
+  /// Needed when several instances share one module name, e.g. the two
+  /// Sinc4 stages of the paper chain.
+  std::string module_name;
+  /// Assumed range per input port (default: full range of the port width).
+  std::map<rtl::NodeId, Interval> input_ranges;
+  /// Emit range.unused-msb only when at least this many MSBs are wasted.
+  int unused_msb_threshold = 2;
+  /// Suppression patterns: "rule", "rule@module", or a "prefix.*" glob on
+  /// the rule id (optionally with "@module"). Suppressed findings stay in
+  /// the report, flagged, but do not count toward severity totals.
+  std::vector<std::string> suppress;
+};
+
+struct ModuleReport {
+  std::string module;
+  std::size_t nodes = 0;
+  std::vector<Finding> findings;
+  std::size_t errors = 0;       ///< unsuppressed error findings
+  std::size_t warnings = 0;     ///< unsuppressed warning findings
+  std::size_t infos = 0;        ///< unsuppressed info findings
+  std::size_t suppressed = 0;
+  RangeResult range;            ///< per-node bounds (for tools/tests)
+  IntervalResult interval;      ///< per-node intervals (for tools/tests)
+};
+
+/// Run every rule against the module.
+ModuleReport lint_module(const rtl::Module& m, const LintOptions& options = {});
+
+/// True when `pattern` ("rule", "prefix.*", optional "@module") matches.
+bool suppression_matches(const std::string& pattern, const std::string& rule,
+                         const std::string& module);
+
+}  // namespace dsadc::analyze

@@ -1,0 +1,684 @@
+#include "src/analyze/range.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dsadc::analyze {
+namespace {
+
+using rtl::kInvalidNode;
+using rtl::Module;
+using rtl::Node;
+using rtl::NodeId;
+using rtl::OpKind;
+
+using Wide = __int128;
+
+// Saturation rail for exact-arithmetic simulation: far beyond any
+// representable node value (widths cap at 62 bits) but with enough
+// headroom that sums and range products stay inside __int128.
+constexpr Wide kRail = Wide{1} << 100;
+
+Wide sat(Wide v) { return v > kRail ? kRail : (v < -kRail ? -kRail : v); }
+
+Wide sat_add(Wide a, Wide b) { return sat(a + b); }
+
+Wide sat_mul(Wide a, Wide b) {
+  if (a == 0 || b == 0) return 0;
+  const Wide aa = a < 0 ? -a : a;
+  const Wide ab = b < 0 ? -b : b;
+  if (aa > kRail / ab) return ((a < 0) != (b < 0)) ? -kRail : kRail;
+  return sat(a * b);
+}
+
+Wide sat_shl(Wide v, int amount) {
+  const Wide av = v < 0 ? -v : v;
+  if (av > (kRail >> amount)) return v < 0 ? -kRail : kRail;
+  return v << amount;
+}
+
+bool is_source_kind(OpKind k) {
+  return k == OpKind::kInput || k == OpKind::kConst || k == OpKind::kRequant ||
+         k == OpKind::kShr;
+}
+
+bool is_state_kind(OpKind k) {
+  return k == OpKind::kReg || k == OpKind::kDecimate;
+}
+
+constexpr int kMaxPeriod = 4096;
+
+/// Everything shared between the per-source simulations.
+struct Analyzer {
+  const Module& m;
+  const std::map<NodeId, Interval>& input_ranges;
+  std::size_t n;
+  int period = 1;
+
+  std::vector<std::vector<NodeId>> consumers;
+  std::vector<std::vector<NodeId>> cones;      // per source index
+  std::vector<NodeId> source_nodes;            // source index -> node id
+  std::vector<int> source_index;               // node id -> source index or -1
+
+  // Accumulated per-node, per-output-residue reachable contribution.
+  std::vector<Wide> glo_lo, glo_hi;            // [node * period + residue]
+  std::vector<bool> exact, divergent;
+
+  // Scratch buffers reused by every simulation.
+  std::vector<Wide> value, next_reg, spos, sneg;
+  std::vector<std::uint64_t> last_nonzero;
+
+  std::uint64_t total_ticks = 0;
+
+  explicit Analyzer(const Module& mod,
+                    const std::map<NodeId, Interval>& ranges)
+      : m(mod), input_ranges(ranges), n(mod.size()) {}
+
+  Wide& at(std::vector<Wide>& v, std::size_t node, int residue) {
+    return v[node * static_cast<std::size_t>(period) +
+             static_cast<std::size_t>(residue)];
+  }
+
+  bool run();
+  void compute_cones();
+  std::vector<int> source_order() const;
+  Interval source_range(NodeId id, bool* conservative) const;
+  NodeBound finalize_node(std::size_t i) const;
+  void simulate(NodeId src, int phase, const std::vector<NodeId>& cone,
+                const Interval& range);
+  void simulate_constants();
+};
+
+void Analyzer::compute_cones() {
+  consumers.assign(n, {});
+  source_index.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = m.node(static_cast<NodeId>(i));
+    for (const NodeId op : {node.a, node.b}) {
+      if (op != kInvalidNode && op >= 0 && static_cast<std::size_t>(op) < n) {
+        consumers[static_cast<std::size_t>(op)].push_back(
+            static_cast<NodeId>(i));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_source_kind(m.node(static_cast<NodeId>(i)).kind)) {
+      source_index[i] = static_cast<int>(source_nodes.size());
+      source_nodes.push_back(static_cast<NodeId>(i));
+    }
+  }
+  cones.assign(source_nodes.size(), {});
+  std::vector<char> seen(n);
+  for (std::size_t s = 0; s < source_nodes.size(); ++s) {
+    std::fill(seen.begin(), seen.end(), 0);
+    std::vector<NodeId> stack{source_nodes[s]};
+    seen[static_cast<std::size_t>(source_nodes[s])] = 1;
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      cones[s].push_back(cur);
+      for (const NodeId c : consumers[static_cast<std::size_t>(cur)]) {
+        if (seen[static_cast<std::size_t>(c)]) continue;
+        // Derived sources (requant / shift-right) terminate propagation:
+        // their output is re-characterized from their operand's bound.
+        if (is_source_kind(m.node(c).kind)) continue;
+        seen[static_cast<std::size_t>(c)] = 1;
+        stack.push_back(c);
+      }
+    }
+    std::sort(cones[s].begin(), cones[s].end());  // evaluation order
+  }
+}
+
+/// Topological order of sources over the "feeds" relation (source s feeds
+/// derived source d when d's operand lies in cone(s)). Cycle members fall
+/// back to id order and get conservative full-format ranges.
+std::vector<int> Analyzer::source_order() const {
+  const std::size_t ns = source_nodes.size();
+  std::vector<std::vector<int>> out_edges(ns);
+  std::vector<int> indegree(ns, 0);
+  for (std::size_t d = 0; d < ns; ++d) {
+    const Node& node = m.node(source_nodes[d]);
+    if (node.kind != OpKind::kRequant && node.kind != OpKind::kShr) continue;
+    if (node.a == kInvalidNode) continue;
+    for (std::size_t s = 0; s < ns; ++s) {
+      if (s == d) continue;
+      if (std::binary_search(cones[s].begin(), cones[s].end(), node.a)) {
+        out_edges[s].push_back(static_cast<int>(d));
+        indegree[d]++;
+      }
+    }
+  }
+  std::vector<int> order;
+  std::vector<int> ready;
+  for (std::size_t s = 0; s < ns; ++s) {
+    if (indegree[s] == 0) ready.push_back(static_cast<int>(s));
+  }
+  while (!ready.empty()) {
+    std::sort(ready.begin(), ready.end());
+    const int s = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(s);
+    for (const int d : out_edges[static_cast<std::size_t>(s)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) ready.push_back(d);
+    }
+  }
+  for (std::size_t s = 0; s < ns; ++s) {  // cycle members, id order
+    if (std::find(order.begin(), order.end(), static_cast<int>(s)) ==
+        order.end()) {
+      order.push_back(static_cast<int>(s));
+    }
+  }
+  return order;
+}
+
+Interval Analyzer::source_range(NodeId id, bool* conservative) const {
+  const Node& node = m.node(id);
+  switch (node.kind) {
+    case OpKind::kInput: {
+      const auto it = input_ranges.find(id);
+      const Interval given =
+          it != input_ranges.end() ? it->second : Interval::full(node.width);
+      return iv_wrap(given, node.width);  // the simulator wraps inputs
+    }
+    case OpKind::kRequant: {
+      *conservative = true;
+      if (node.a != kInvalidNode) {
+        const NodeBound in = finalize_node(static_cast<std::size_t>(node.a));
+        if (in.bounded && !in.huge) {
+          return iv_requant(Interval{in.lo, in.hi}, node.src_frac, node.fmt,
+                            node.rounding, node.overflow);
+        }
+      }
+      return Interval::full(node.fmt.width);
+    }
+    case OpKind::kShr: {
+      *conservative = true;
+      if (node.a != kInvalidNode) {
+        const NodeBound in = finalize_node(static_cast<std::size_t>(node.a));
+        if (in.bounded && !in.huge) {
+          return iv_shr(Interval{in.lo, in.hi}, node.amount);
+        }
+        return iv_shr(Interval::full(m.node(node.a).width), node.amount);
+      }
+      return Interval::full(node.width);
+    }
+    default:
+      return Interval::point(node.value);  // kConst (handled separately)
+  }
+}
+
+/// Collapse the per-residue accumulators into this node's NodeBound (range
+/// part only; required/effective widths are filled in later).
+NodeBound Analyzer::finalize_node(std::size_t i) const {
+  NodeBound b;
+  if (divergent[i]) {
+    b.divergent = true;
+    b.exact = exact[i];
+    return b;
+  }
+  Wide lo = 0, hi = 0;
+  for (int r = 0; r < period; ++r) {
+    lo = std::min(lo, glo_lo[i * static_cast<std::size_t>(period) +
+                         static_cast<std::size_t>(r)]);
+    hi = std::max(hi, glo_hi[i * static_cast<std::size_t>(period) +
+                         static_cast<std::size_t>(r)]);
+  }
+  b.bounded = true;
+  b.exact = exact[i];
+  constexpr Wide kNodeRail = Wide{1} << 62;
+  if (lo < -kNodeRail || hi > kNodeRail) {
+    b.huge = true;
+    lo = std::max(lo, -kNodeRail);
+    hi = std::min(hi, kNodeRail);
+  }
+  b.lo = static_cast<std::int64_t>(lo);
+  b.hi = static_cast<std::int64_t>(hi);
+  b.required_width = b.huge ? 63 : bits_needed(b.lo, b.hi);
+  return b;
+}
+
+void Analyzer::simulate(NodeId src, int phase,
+                        const std::vector<NodeId>& cone,
+                        const Interval& range) {
+  // Scratch is shared across simulations; only cone entries are ever
+  // written, and they are cleared below before use.
+  for (const NodeId id : cone) {
+    const auto i = static_cast<std::size_t>(id);
+    value[i] = 0;
+    next_reg[i] = 0;
+    last_nonzero[i] = 0;
+    for (int r = 0; r < period; ++r) {
+      const std::size_t k =
+          i * static_cast<std::size_t>(period) + static_cast<std::size_t>(r);
+      spos[k] = 0;
+      sneg[k] = 0;
+    }
+  }
+
+  std::uint64_t state_delay = 0;
+  for (const NodeId id : cone) {
+    const Node& node = m.node(id);
+    if (is_state_kind(node.kind)) {
+      state_delay += static_cast<std::uint64_t>(node.clock_div);
+    }
+  }
+  const std::uint64_t t_max =
+      4 * state_delay + 8 * static_cast<std::uint64_t>(period) + 64;
+
+  bool settled = false;
+  bool rail_hit = false;
+  std::uint64_t t = 0;
+  for (; t <= t_max; ++t) {
+    // Phase 1: state nodes in active domains capture operand values from
+    // the end of the previous tick.
+    for (const NodeId id : cone) {
+      const Node& node = m.node(id);
+      if (!is_state_kind(node.kind)) continue;
+      if (t % static_cast<std::uint64_t>(node.clock_div) != 0) continue;
+      next_reg[static_cast<std::size_t>(id)] =
+          node.a == kInvalidNode ? 0 : value[static_cast<std::size_t>(node.a)];
+    }
+    // Phase 2: propagate in creation order, exact arithmetic, no wrapping.
+    for (const NodeId id : cone) {
+      const auto i = static_cast<std::size_t>(id);
+      const Node& node = m.node(id);
+      if (t % static_cast<std::uint64_t>(node.clock_div) != 0) continue;
+      Wide out = value[i];
+      if (id == src) {
+        out = (t == static_cast<std::uint64_t>(phase)) ? 1 : 0;
+      } else {
+        switch (node.kind) {
+          case OpKind::kAdd:
+            out = sat_add(value[static_cast<std::size_t>(node.a)],
+                          value[static_cast<std::size_t>(node.b)]);
+            break;
+          case OpKind::kSub:
+            out = sat_add(value[static_cast<std::size_t>(node.a)],
+                          -value[static_cast<std::size_t>(node.b)]);
+            break;
+          case OpKind::kNeg:
+            out = -value[static_cast<std::size_t>(node.a)];
+            break;
+          case OpKind::kShl:
+            out = sat_shl(value[static_cast<std::size_t>(node.a)], node.amount);
+            break;
+          case OpKind::kReg:
+          case OpKind::kDecimate:
+            out = next_reg[i];
+            break;
+          case OpKind::kOutput:
+            out = value[static_cast<std::size_t>(node.a)];
+            break;
+          default:
+            out = 0;  // unreachable: sources terminate cones
+            break;
+        }
+      }
+      if (out >= kRail || out <= -kRail) rail_hit = true;
+      value[i] = out;
+    }
+    // Accumulate held values into the per-residue mass and check settling.
+    bool all_zero = true;
+    const int residue = static_cast<int>(t % static_cast<std::uint64_t>(period));
+    for (const NodeId id : cone) {
+      const auto i = static_cast<std::size_t>(id);
+      const Wide v = value[i];
+      if (v > 0) {
+        at(spos, i, residue) = sat_add(at(spos, i, residue), v);
+      } else if (v < 0) {
+        at(sneg, i, residue) = sat_add(at(sneg, i, residue), -v);
+      }
+      if (v != 0 || next_reg[i] != 0) {
+        all_zero = false;
+        last_nonzero[i] = t;
+      }
+    }
+    if (all_zero && t > static_cast<std::uint64_t>(phase)) {
+      settled = true;
+      ++t;
+      break;
+    }
+  }
+  total_ticks += t;
+
+  const std::uint64_t recent =
+      t > 2 * static_cast<std::uint64_t>(period)
+          ? t - 2 * static_cast<std::uint64_t>(period)
+          : 0;
+  for (const NodeId id : cone) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!settled && last_nonzero[i] >= recent && last_nonzero[i] != 0) {
+      divergent[i] = true;  // response still live at the horizon
+    }
+    if (rail_hit && !settled) divergent[i] = divergent[i] || value[i] != 0;
+    if (divergent[i]) continue;
+    // Fold this source's response mass against its value range.
+    for (int r = 0; r < period; ++r) {
+      const Wide sp = at(spos, i, r);
+      const Wide sn = at(sneg, i, r);
+      if (sp == 0 && sn == 0) continue;
+      const std::size_t k =
+          i * static_cast<std::size_t>(period) + static_cast<std::size_t>(r);
+      glo_hi[k] = sat_add(glo_hi[k], sat_add(sat_mul(sp, range.hi),
+                                             sat_mul(sn, -range.lo)));
+      glo_lo[k] = sat_add(glo_lo[k], sat_add(sat_mul(sp, range.lo),
+                                             sat_mul(sn, -range.hi)));
+    }
+  }
+}
+
+/// Constants are persistent (step, not impulse) drivers; simulate them all
+/// at once and track per-residue min/max directly -- superposition still
+/// holds because the impulse simulations zero every constant.
+void Analyzer::simulate_constants() {
+  std::vector<char> in_cone(n, 0);
+  std::vector<NodeId> cone;
+  for (std::size_t s = 0; s < source_nodes.size(); ++s) {
+    const Node& node = m.node(source_nodes[s]);
+    if (node.kind != OpKind::kConst || node.value == 0) continue;
+    for (const NodeId id : cones[s]) {
+      if (!in_cone[static_cast<std::size_t>(id)]) {
+        in_cone[static_cast<std::size_t>(id)] = 1;
+        cone.push_back(id);
+      }
+    }
+  }
+  if (cone.empty()) return;
+  std::sort(cone.begin(), cone.end());
+
+  std::vector<Wide> dc_lo(n * static_cast<std::size_t>(period), 0);
+  std::vector<Wide> dc_hi(n * static_cast<std::size_t>(period), 0);
+  for (const NodeId id : cone) {
+    const auto i = static_cast<std::size_t>(id);
+    value[i] = 0;
+    next_reg[i] = 0;
+    last_nonzero[i] = 0;
+  }
+  std::uint64_t state_delay = 0;
+  for (const NodeId id : cone) {
+    const Node& node = m.node(id);
+    if (is_state_kind(node.kind)) {
+      state_delay += static_cast<std::uint64_t>(node.clock_div);
+    }
+  }
+  const std::uint64_t t_max =
+      4 * state_delay + 8 * static_cast<std::uint64_t>(period) + 64;
+
+  // Periodic steady state: stable once every cone value matches its value
+  // one period ago for a full period of consecutive ticks.
+  std::vector<Wide> history(cone.size() * static_cast<std::size_t>(period), 0);
+  std::uint64_t stable_run = 0;
+  bool settled = false;
+  std::uint64_t t = 0;
+  for (; t <= t_max; ++t) {
+    for (const NodeId id : cone) {
+      const Node& node = m.node(id);
+      if (!is_state_kind(node.kind)) continue;
+      if (t % static_cast<std::uint64_t>(node.clock_div) != 0) continue;
+      next_reg[static_cast<std::size_t>(id)] =
+          node.a == kInvalidNode ? 0 : value[static_cast<std::size_t>(node.a)];
+    }
+    bool periodic = t >= static_cast<std::uint64_t>(period);
+    const int residue = static_cast<int>(t % static_cast<std::uint64_t>(period));
+    for (std::size_t ci = 0; ci < cone.size(); ++ci) {
+      const NodeId id = cone[ci];
+      const auto i = static_cast<std::size_t>(id);
+      const Node& node = m.node(id);
+      if (t % static_cast<std::uint64_t>(node.clock_div) == 0) {
+        Wide out = value[i];
+        switch (node.kind) {
+          case OpKind::kConst:
+            out = node.value;
+            break;
+          case OpKind::kAdd:
+            out = sat_add(value[static_cast<std::size_t>(node.a)],
+                          value[static_cast<std::size_t>(node.b)]);
+            break;
+          case OpKind::kSub:
+            out = sat_add(value[static_cast<std::size_t>(node.a)],
+                          -value[static_cast<std::size_t>(node.b)]);
+            break;
+          case OpKind::kNeg:
+            out = -value[static_cast<std::size_t>(node.a)];
+            break;
+          case OpKind::kShl:
+            out = sat_shl(value[static_cast<std::size_t>(node.a)], node.amount);
+            break;
+          case OpKind::kReg:
+          case OpKind::kDecimate:
+            out = next_reg[i];
+            break;
+          case OpKind::kOutput:
+            out = value[static_cast<std::size_t>(node.a)];
+            break;
+          default:
+            out = 0;
+            break;
+        }
+        value[i] = out;
+      }
+      auto& slot = history[ci * static_cast<std::size_t>(period) +
+                           static_cast<std::size_t>(residue)];
+      if (slot != value[i]) {
+        periodic = false;
+        slot = value[i];
+        last_nonzero[i] = t;
+      }
+      const std::size_t k =
+          i * static_cast<std::size_t>(period) + static_cast<std::size_t>(residue);
+      dc_lo[k] = std::min(dc_lo[k], value[i]);
+      dc_hi[k] = std::max(dc_hi[k], value[i]);
+    }
+    stable_run = periodic ? stable_run + 1 : 0;
+    if (stable_run >= static_cast<std::uint64_t>(period)) {
+      settled = true;
+      ++t;
+      break;
+    }
+  }
+  total_ticks += t;
+
+  const std::uint64_t recent =
+      t > 2 * static_cast<std::uint64_t>(period)
+          ? t - 2 * static_cast<std::uint64_t>(period)
+          : 0;
+  for (const NodeId id : cone) {
+    const auto i = static_cast<std::size_t>(id);
+    if (!settled && last_nonzero[i] >= recent && last_nonzero[i] != 0) {
+      divergent[i] = true;
+    }
+    if (divergent[i]) continue;
+    for (int r = 0; r < period; ++r) {
+      const std::size_t k =
+          i * static_cast<std::size_t>(period) + static_cast<std::size_t>(r);
+      glo_lo[k] = sat_add(glo_lo[k], dc_lo[k]);
+      glo_hi[k] = sat_add(glo_hi[k], dc_hi[k]);
+    }
+  }
+}
+
+bool Analyzer::run() {
+  period = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int d = m.node(static_cast<NodeId>(i)).clock_div;
+    if (d > 0) period = static_cast<int>(std::lcm(period, d));
+    if (period > kMaxPeriod) return false;
+  }
+  compute_cones();
+  const std::size_t np = n * static_cast<std::size_t>(period);
+  glo_lo.assign(np, 0);
+  glo_hi.assign(np, 0);
+  exact.assign(n, true);
+  divergent.assign(n, false);
+  value.assign(n, 0);
+  next_reg.assign(n, 0);
+  spos.assign(np, 0);
+  sneg.assign(np, 0);
+  last_nonzero.assign(n, 0);
+
+  simulate_constants();
+
+  for (const int s : source_order()) {
+    const NodeId id = source_nodes[static_cast<std::size_t>(s)];
+    const Node& node = m.node(id);
+    if (node.kind == OpKind::kConst) continue;  // handled above
+    bool conservative = false;
+    const Interval range = source_range(id, &conservative);
+    if (conservative) {
+      for (const NodeId c : cones[static_cast<std::size_t>(s)]) {
+        exact[static_cast<std::size_t>(c)] = false;
+      }
+    }
+    const int d = node.clock_div;
+    for (int phase = 0; phase < period; phase += d) {
+      simulate(id, phase, cones[static_cast<std::size_t>(s)], range);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RangeResult analyze_ranges(const Module& m,
+                           const std::map<NodeId, Interval>& input_ranges) {
+  RangeResult res;
+  const std::size_t n = m.size();
+  res.bounds.assign(n, NodeBound{});
+  if (n == 0) return res;
+
+  Analyzer a(m, input_ranges);
+  if (!a.run()) {
+    // Clock-period blowup: leave every node unclassified (lint reports it).
+    res.period = 0;
+    return res;
+  }
+  res.period = a.period;
+  res.sim_ticks = a.total_ticks;
+  res.sources = static_cast<int>(a.source_nodes.size());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    res.bounds[i] = a.finalize_node(i);
+  }
+
+  // Effective modulus (stored == exact mod 2^effective_width): minimum
+  // declared width along wrapping arithmetic from the sources; min-fixpoint
+  // over register back-edges. Exactness *recovers* at a node whose operand
+  // modulus covers its own width and whose proven range fits that width:
+  // stored == exact mod 2^w with both values inside one 2^w window forces
+  // stored == exact -- the mechanism that makes Hogenauer's wrapped
+  // integrators legal.
+  const auto& nodes = m.nodes();
+  for (int sweep = 0; sweep < 130; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Node& node = nodes[i];
+      NodeBound& b = res.bounds[i];
+      if (is_source_kind(node.kind)) continue;  // reference signals: exact
+      const auto op_em = [&](NodeId id) {
+        return id == kInvalidNode
+                   ? 64
+                   : res.bounds[static_cast<std::size_t>(id)].effective_width;
+      };
+      const auto op_narrow = [&](NodeId id) {
+        return id == kInvalidNode
+                   ? kInvalidNode
+                   : res.bounds[static_cast<std::size_t>(id)].narrow_node;
+      };
+      // Operand-derived modulus, before this node's own width clamp.
+      int pre_em = 64;
+      NodeId narrow = kInvalidNode;
+      const auto consider = [&](int cand, NodeId who) {
+        if (cand < pre_em) {
+          pre_em = cand;
+          narrow = who;
+        }
+      };
+      switch (node.kind) {
+        case OpKind::kAdd:
+        case OpKind::kSub:
+          consider(op_em(node.a), op_narrow(node.a));
+          consider(op_em(node.b), op_narrow(node.b));
+          break;
+        case OpKind::kNeg:
+        case OpKind::kReg:
+        case OpKind::kDecimate:
+        case OpKind::kOutput:
+          consider(op_em(node.a), op_narrow(node.a));
+          break;
+        case OpKind::kShl:
+          // Shifting left preserves congruence in `amount` extra low bits.
+          consider(std::min(64, op_em(node.a) + node.amount),
+                   op_narrow(node.a));
+          break;
+        default:
+          break;
+      }
+      int em;
+      if (b.bounded && !b.huge && pre_em >= node.width &&
+          b.required_width <= node.width) {
+        em = 64;  // exactness recovered at this node
+        narrow = kInvalidNode;
+      } else if (node.width < pre_em) {
+        em = node.width;
+        narrow = static_cast<NodeId>(i);
+      } else {
+        em = pre_em;
+      }
+      if (em != b.effective_width) {
+        b.effective_width = em;
+        b.narrow_node = narrow;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Hogenauer requirement for divergent nodes: max required_width over
+  // bounded nodes computed through them; max-fixpoint over back-edges.
+  for (int sweep = 0; sweep < 130; ++sweep) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Node& node = nodes[i];
+      const NodeBound& b = res.bounds[i];
+      int cand;
+      bool cand_exact;
+      if (b.bounded) {
+        cand = b.required_width;
+        cand_exact = b.exact;
+      } else if (b.divergent) {
+        cand = b.required_width;
+        cand_exact = b.required_exact;
+      } else {
+        continue;
+      }
+      if (cand == 0) continue;
+      for (const NodeId op : {node.a, node.b}) {
+        if (op == kInvalidNode) continue;
+        NodeBound& ob = res.bounds[static_cast<std::size_t>(op)];
+        if (!ob.divergent) continue;  // bounded operands hold exact values
+        if (cand > ob.required_width) {
+          ob.required_width = cand;
+          ob.required_exact = cand_exact;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  return res;
+}
+
+int proven_min_register_width(const Module& m, const RangeResult& r) {
+  int width = 0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const OpKind k = m.node(static_cast<NodeId>(i)).kind;
+    if (k != OpKind::kReg && k != OpKind::kDecimate) continue;
+    width = std::max(width, r.bounds[i].required_width);
+  }
+  return width;
+}
+
+}  // namespace dsadc::analyze

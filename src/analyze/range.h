@@ -1,0 +1,94 @@
+// Linear transfer analysis: exact reachable-value bounds per netlist node.
+//
+// Between its nonlinear points (kRequant, kShr) the IR datapath is linear
+// and periodically time-varying (decimators). For every *source* -- module
+// input, constant, or the output of a nonlinear node -- this pass extracts
+// the exact impulse response seen at every downstream node by simulating
+// the source's forward cone in unbounded integer arithmetic, one simulation
+// per source phase class (the response is periodic in the injection time
+// with period P = lcm of the clock dividers). Folding the positive/negative
+// response mass per output-time residue against each source's value range
+// gives, by superposition, the *tight* reachable interval of every node
+// whose impulse response settles ("bounded" nodes).
+//
+// Nodes whose response never settles -- the Hogenauer CIC integrator loop --
+// are "divergent": they rely on two's-complement wraparound. For them the
+// pass derives the modular-arithmetic safety condition instead: a divergent
+// node is safe iff its width covers the `required_width` of every bounded
+// node computed through it (Hogenauer's theorem). The dual quantity,
+// `effective_width`, is the modulus (in bits) a bounded node's stored value
+// is actually congruent to its exact value under: the minimum declared
+// width along any wrapping path from the sources. A bounded node with
+// required_width > effective_width provably misrepresents its exact value
+// for some input -- the proven-overflow finding of lint.h.
+//
+// Bounds are tight ("exact") when only module inputs and constants reach a
+// node: input samples are independent, so the extremal input pattern is
+// realizable. Once a derived source (requant/shift-right output, which is
+// correlated with the inputs) contributes, bounds remain sound but
+// conservative, and findings downgrade from proven to possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/analyze/interval.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+/// Reachability classification plus width bookkeeping for one node.
+struct NodeBound {
+  /// Exact-arithmetic impulse responses through this node settle; [lo, hi]
+  /// is the reachable interval (sound; tight when `exact`).
+  bool bounded = false;
+  /// Impulse response never settles: the node's value is unbounded in
+  /// exact arithmetic and relies on modular wraparound.
+  bool divergent = false;
+  /// Bounds are tight: only module inputs and constants contribute.
+  bool exact = true;
+  /// Bound magnitude exceeded 2^62 and was clamped.
+  bool huge = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  /// Bounded: smallest two's-complement width holding [lo, hi].
+  /// Divergent: the Hogenauer requirement, i.e. the maximum required_width
+  /// over bounded nodes computed through this node (0 = no bounded
+  /// observer, safety unknown).
+  int required_width = 0;
+  /// True when required_width for a divergent node was derived only from
+  /// exact bounded observers (error-grade evidence).
+  bool required_exact = true;
+  /// Modular integrity in bits: stored value == exact value mod
+  /// 2^effective_width. Starts at 64 for sources, shrinks through
+  /// declared node widths along wrapping arithmetic.
+  int effective_width = 64;
+  /// The node whose declared width limits effective_width (kInvalidNode
+  /// when effective_width is not limiting).
+  rtl::NodeId narrow_node = rtl::kInvalidNode;
+};
+
+struct RangeResult {
+  std::vector<NodeBound> bounds;  ///< one per node
+  /// lcm of module clock dividers; 0 when the lcm exceeded the analysis
+  /// cap (4096) and every node was left unclassified.
+  int period = 1;
+  std::uint64_t sim_ticks = 0;    ///< total base ticks simulated (diagnostic)
+  int sources = 0;                ///< number of source nodes analyzed
+};
+
+/// Run the linear transfer analysis. `input_ranges` overrides the assumed
+/// range of input ports (default: full range of the declared port width);
+/// ranges wider than the port are wrapped, mirroring the simulator.
+RangeResult analyze_ranges(
+    const rtl::Module& m,
+    const std::map<rtl::NodeId, Interval>& input_ranges = {});
+
+/// Proven minimum safe register width over the module's state nodes
+/// (kReg/kDecimate): the maximum of each state node's required_width. For a
+/// Hogenauer CIC stage this equals the paper's Bmax + 1 = K*log2(M) + Bin.
+/// Returns 0 when no state node has a known requirement.
+int proven_min_register_width(const rtl::Module& m, const RangeResult& r);
+
+}  // namespace dsadc::analyze

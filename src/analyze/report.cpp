@@ -1,0 +1,88 @@
+#include "src/analyze/report.h"
+
+#include <sstream>
+
+namespace dsadc::analyze {
+
+std::string text_report(const std::vector<ModuleReport>& reports,
+                        bool show_suppressed) {
+  std::ostringstream os;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  for (const ModuleReport& r : reports) {
+    for (const Finding& f : r.findings) {
+      if (f.suppressed && !show_suppressed) continue;
+      os << severity_name(f.severity) << "[" << f.code << "] " << r.module
+         << ": " << f.message;
+      if (f.suppressed) os << " [suppressed]";
+      os << "\n";
+    }
+    errors += r.errors;
+    warnings += r.warnings;
+    infos += r.infos;
+  }
+  os << reports.size() << " module(s): " << errors << " error(s), " << warnings
+     << " warning(s), " << infos << " info(s)\n";
+  return os.str();
+}
+
+verify::Json json_report(const std::vector<ModuleReport>& reports) {
+  using verify::Json;
+  Json doc = Json::object();
+  doc["version"] = Json{std::int64_t{1}};
+  Json modules = Json::array();
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  std::size_t suppressed = 0;
+  for (const ModuleReport& r : reports) {
+    Json mod = Json::object();
+    mod["module"] = Json{r.module};
+    mod["nodes"] = Json{r.nodes};
+    mod["errors"] = Json{r.errors};
+    mod["warnings"] = Json{r.warnings};
+    mod["infos"] = Json{r.infos};
+    mod["suppressed"] = Json{r.suppressed};
+    Json findings = Json::array();
+    for (const Finding& f : r.findings) {
+      Json jf = Json::object();
+      jf["rule"] = Json{f.rule};
+      jf["code"] = Json{f.code};
+      jf["severity"] = Json{severity_name(f.severity)};
+      jf["node"] = Json{std::int64_t{f.node}};
+      jf["message"] = Json{f.message};
+      jf["suppressed"] = Json{f.suppressed};
+      if (!f.data.empty()) {
+        Json data = Json::object();
+        for (const auto& [k, v] : f.data) data[k] = Json{v};
+        jf["data"] = std::move(data);
+      }
+      findings.push_back(std::move(jf));
+    }
+    mod["findings"] = std::move(findings);
+    modules.push_back(std::move(mod));
+    errors += r.errors;
+    warnings += r.warnings;
+    infos += r.infos;
+    suppressed += r.suppressed;
+  }
+  doc["modules"] = std::move(modules);
+  Json summary = Json::object();
+  summary["modules"] = Json{reports.size()};
+  summary["errors"] = Json{errors};
+  summary["warnings"] = Json{warnings};
+  summary["infos"] = Json{infos};
+  summary["suppressed"] = Json{suppressed};
+  doc["summary"] = std::move(summary);
+  return doc;
+}
+
+bool has_errors(const std::vector<ModuleReport>& reports) {
+  for (const ModuleReport& r : reports) {
+    if (r.errors > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace dsadc::analyze

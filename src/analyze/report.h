@@ -1,0 +1,32 @@
+// Report emission for lint results: compiler-style text and a stable JSON
+// document (consumed by the CI baseline gate in tools/lint_rtl.cpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/analyze/lint.h"
+#include "src/verify/json.h"
+
+namespace dsadc::analyze {
+
+/// One line per finding, compiler style:
+///   error[RNG02] sinc6_3: n17 add 'int2' (18b): proven overflow: ...
+/// `show_suppressed` appends suppressed findings with a trailing marker.
+std::string text_report(const std::vector<ModuleReport>& reports,
+                        bool show_suppressed = false);
+
+/// Machine-readable document:
+///   { "version": 1,
+///     "modules": [ { "module", "nodes", "errors", "warnings", "infos",
+///                    "suppressed", "findings": [ { "rule", "code",
+///                    "severity", "node", "message", "suppressed",
+///                    "data": { ... } } ] } ],
+///     "summary": { "modules", "errors", "warnings", "infos",
+///                  "suppressed" } }
+verify::Json json_report(const std::vector<ModuleReport>& reports);
+
+/// True when any module has an unsuppressed error-severity finding.
+bool has_errors(const std::vector<ModuleReport>& reports);
+
+}  // namespace dsadc::analyze

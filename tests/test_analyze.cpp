@@ -1,0 +1,465 @@
+// Tests for the static netlist analyzer (src/analyze): interval transfer
+// functions against brute-force enumeration, range-analysis soundness
+// against the cycle-accurate simulator, the Hogenauer CIC width proofs,
+// and every lint rule on hand-built violation modules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/analyze/interval.h"
+#include "src/analyze/lint.h"
+#include "src/analyze/range.h"
+#include "src/analyze/report.h"
+#include "src/decimator/chain.h"
+#include "src/filterdesign/cic.h"
+#include "src/fixedpoint/fixed.h"
+#include "src/rtl/builders.h"
+#include "src/rtl/ir.h"
+#include "src/rtl/sim.h"
+#include "src/verify/json.h"
+
+namespace {
+
+using dsadc::analyze::analyze_intervals;
+using dsadc::analyze::analyze_ranges;
+using dsadc::analyze::Finding;
+using dsadc::analyze::Interval;
+using dsadc::analyze::lint_module;
+using dsadc::analyze::LintOptions;
+using dsadc::analyze::ModuleReport;
+using dsadc::analyze::proven_min_register_width;
+using dsadc::analyze::Severity;
+using dsadc::analyze::suppression_matches;
+namespace fx = dsadc::fx;
+namespace rtl = dsadc::rtl;
+
+bool has_rule(const ModuleReport& r, const std::string& rule,
+              bool unsuppressed_only = false) {
+  return std::any_of(r.findings.begin(), r.findings.end(),
+                     [&](const Finding& f) {
+                       return f.rule == rule &&
+                              (!unsuppressed_only || !f.suppressed);
+                     });
+}
+
+const Finding* find_rule(const ModuleReport& r, const std::string& rule) {
+  for (const Finding& f : r.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Interval transfer functions vs brute force.
+
+// Every (lo, hi) subinterval of a small width, every value pair: the
+// abstract result must contain the concrete result.
+TEST(IntervalTest, AddSubNegMatchBruteForce) {
+  for (int width = 3; width <= 5; ++width) {
+    const fx::Format fmt{width, 0};
+    const std::int64_t lo_w = fmt.raw_min();
+    const std::int64_t hi_w = fmt.raw_max();
+    for (std::int64_t alo = lo_w; alo <= hi_w; ++alo) {
+      for (std::int64_t ahi = alo; ahi <= hi_w; ++ahi) {
+        const Interval a{alo, ahi};
+        // Unary: negate.
+        const Interval negated = dsadc::analyze::iv_neg(a, width);
+        for (std::int64_t v = alo; v <= ahi; ++v) {
+          const std::int64_t c = fx::wrap_to(-v, fmt);
+          ASSERT_TRUE(negated.contains(c))
+              << "neg w=" << width << " [" << alo << "," << ahi << "] v=" << v;
+        }
+        // Binary ops against a fixed small set of second operands.
+        for (const std::int64_t blo : {lo_w, std::int64_t{-1}, std::int64_t{2}}) {
+          if (blo < lo_w || blo > hi_w) continue;
+          const Interval b{blo, std::min(blo + 2, hi_w)};
+          const Interval sum = dsadc::analyze::iv_add(a, b, width);
+          const Interval diff = dsadc::analyze::iv_sub(a, b, width);
+          for (std::int64_t va = alo; va <= ahi; ++va) {
+            for (std::int64_t vb = b.lo; vb <= b.hi; ++vb) {
+              ASSERT_TRUE(sum.contains(fx::wrap_to(va + vb, fmt)))
+                  << "add w=" << width << " " << va << "+" << vb;
+              ASSERT_TRUE(diff.contains(fx::wrap_to(va - vb, fmt)))
+                  << "sub w=" << width << " " << va << "-" << vb;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTest, RequantMatchesBruteForce) {
+  // All source values of a 6-bit word at various source fracs, against all
+  // rounding/overflow combinations into a 4-bit format.
+  for (const int src_frac : {0, 1, 2, 3}) {
+    for (const int dst_frac : {0, 1, 4}) {
+      const fx::Format dst{4, dst_frac};
+      for (const auto rounding :
+           {fx::Rounding::kTruncate, fx::Rounding::kRoundNearest}) {
+        for (const auto overflow :
+             {fx::Overflow::kWrap, fx::Overflow::kSaturate}) {
+          for (std::int64_t lo = -32; lo <= 31; ++lo) {
+            for (std::int64_t hi = lo; hi <= std::min(lo + 5, std::int64_t{31});
+                 ++hi) {
+              const Interval image = dsadc::analyze::iv_requant(
+                  Interval{lo, hi}, src_frac, dst, rounding, overflow);
+              for (std::int64_t v = lo; v <= hi; ++v) {
+                const std::int64_t c =
+                    fx::requantize(v, src_frac, dst, rounding, overflow);
+                ASSERT_TRUE(image.contains(c))
+                    << "requant src_frac=" << src_frac << " dst_frac="
+                    << dst_frac << " v=" << v << " -> " << c << " not in ["
+                    << image.lo << "," << image.hi << "]";
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTest, BitsNeeded) {
+  EXPECT_EQ(dsadc::analyze::bits_needed(0, 0), 1);
+  EXPECT_EQ(dsadc::analyze::bits_needed(-1, 0), 1);
+  EXPECT_EQ(dsadc::analyze::bits_needed(0, 1), 2);
+  EXPECT_EQ(dsadc::analyze::bits_needed(-2, 1), 2);
+  EXPECT_EQ(dsadc::analyze::bits_needed(-2, 2), 3);
+  EXPECT_EQ(dsadc::analyze::bits_needed(0, 127), 8);
+  EXPECT_EQ(dsadc::analyze::bits_needed(-128, 127), 8);
+  EXPECT_EQ(dsadc::analyze::bits_needed(-129, 0), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-module analyses vs the cycle-accurate simulator.
+
+// A little multi-rate module exercising every op kind.
+rtl::Module make_mixed_module() {
+  rtl::Module m("mixed");
+  const auto in = m.input("in", 5);
+  const auto d = m.reg(in);
+  const auto s = m.add(in, d, 6);
+  const auto sh = m.shl(s, 2);
+  const auto ng = m.neg(sh, 8);
+  const auto dec = m.decimate(ng, 2);
+  const auto rq = m.requant(dec, 0, fx::Format{5, 0}, fx::Rounding::kTruncate,
+                            fx::Overflow::kSaturate);
+  const auto sr = m.shr(rq, 1);
+  m.output("out", sr);
+  return m;
+}
+
+TEST(AnalyzeTest, IntervalAndRangeSoundVsSimulator) {
+  const rtl::Module m = make_mixed_module();
+  const auto iv = analyze_intervals(m);
+  ASSERT_TRUE(iv.converged);
+  const auto rng = analyze_ranges(m);
+  ASSERT_GT(rng.period, 0);
+
+  std::mt19937 gen(1234);
+  std::uniform_int_distribution<std::int64_t> dist(-16, 15);
+  std::vector<std::int64_t> stream(512);
+  for (auto& v : stream) v = dist(gen);
+
+  rtl::Simulator sim(m);
+  const auto result = sim.run({{rtl::NodeId{0}, stream}});
+  for (const auto& [node, samples] : result.outputs) {
+    const auto i = static_cast<std::size_t>(node);
+    for (const std::int64_t v : samples) {
+      ASSERT_TRUE(iv.value[i].contains(v)) << "interval node " << node;
+      ASSERT_TRUE(rng.bounds[i].bounded);
+      ASSERT_GE(v, rng.bounds[i].lo) << "range node " << node;
+      ASSERT_LE(v, rng.bounds[i].hi) << "range node " << node;
+    }
+  }
+}
+
+// Drive a single CIC stage with extremal inputs and check that no bounded
+// node's simulated value ever leaves its proven range.
+TEST(AnalyzeTest, RangeBoundsContainCicSimulation) {
+  const auto built = rtl::build_cic(dsadc::design::CicSpec{4, 8, 6});
+  const auto rng = analyze_ranges(built.module);
+  ASSERT_GT(rng.period, 0);
+
+  std::mt19937 gen(99);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::vector<std::int64_t> stream(2048);
+  for (auto& v : stream) {
+    // Extremal-heavy stimulus: mostly rail values to stress the bound.
+    const int c = coin(gen);
+    v = c == 0 ? -32 : (c == 1 ? 31 : (c == 2 ? 0 : -1));
+  }
+  rtl::Simulator sim(built.module);
+  const auto result = sim.run({{built.in, stream}});
+  for (const auto& [node, samples] : result.outputs) {
+    const auto& b = rng.bounds[static_cast<std::size_t>(node)];
+    ASSERT_TRUE(b.bounded);
+    for (const std::int64_t v : samples) {
+      ASSERT_GE(v, b.lo);
+      ASSERT_LE(v, b.hi);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hogenauer width proofs (the paper's Eq. (2)).
+
+TEST(AnalyzeTest, ProvesPaperCicRegisterWidths) {
+  int clock_div = 1;
+  for (const auto& spec : dsadc::design::paper_sinc_cascade()) {
+    const auto built = rtl::build_cic(spec, clock_div);
+    const ModuleReport report = lint_module(built.module);
+    EXPECT_EQ(report.errors, 0u) << dsadc::analyze::text_report({report});
+    EXPECT_EQ(proven_min_register_width(built.module, report.range),
+              spec.register_width())
+        << "K=" << spec.order << " M=" << spec.decimation
+        << " Bin=" << spec.input_bits;
+    clock_div *= spec.decimation;
+  }
+}
+
+// PR 1's injected register-width bug: drive a Sinc4 stage sized for 6-bit
+// input with a 10-bit stream. The analyzer must prove the overflow.
+TEST(AnalyzeTest, FlagsInjectedRegisterWidthBug) {
+  auto built = rtl::build_cic(dsadc::design::CicSpec{4, 8, 6});
+  built.module.node(built.in).width = 10;  // the injected bug
+  const ModuleReport report = lint_module(built.module);
+  EXPECT_GT(report.errors, 0u);
+  EXPECT_TRUE(has_rule(report, "range.overflow.proven") ||
+              has_rule(report, "range.wrap-underwidth"))
+      << dsadc::analyze::text_report({report});
+  // The registers really are too narrow now: requirement exceeds them.
+  EXPECT_GT(proven_min_register_width(built.module, report.range),
+            (dsadc::design::CicSpec{4, 8, 6}.register_width()));
+}
+
+// Healthy modules must not lose their overflow-freedom proof when the
+// declared input range is narrower than the port.
+TEST(AnalyzeTest, NarrowedInputRangeShrinksBounds) {
+  const auto built = rtl::build_cic(dsadc::design::CicSpec{2, 4, 4});
+  const auto full = analyze_ranges(built.module);
+  std::map<rtl::NodeId, Interval> narrow;
+  narrow[built.in] = Interval{-1, 1};
+  const auto small = analyze_ranges(built.module, narrow);
+  const auto out = built.out;
+  const auto& bf = full.bounds[static_cast<std::size_t>(out)];
+  const auto& bs = small.bounds[static_cast<std::size_t>(out)];
+  ASSERT_TRUE(bf.bounded);
+  ASSERT_TRUE(bs.bounded);
+  EXPECT_LT(bs.hi - bs.lo, bf.hi - bf.lo);
+  // DC gain M^K = 16: a constant +1 input accumulates to +16 at the output.
+  EXPECT_EQ(bs.hi, 16);
+  EXPECT_EQ(bs.lo, -16);
+}
+
+// ---------------------------------------------------------------------------
+// Structural lints on hand-built violation modules.
+
+TEST(LintTest, FlagsDanglingRegPlaceholder) {
+  rtl::Module m("dangling");
+  const auto in = m.input("in", 4);
+  const auto r = m.reg_placeholder(6, 1);
+  const auto s = m.add(in, r, 6);
+  m.output("out", s);
+  // connect_reg(r, ...) deliberately never called.
+  const ModuleReport report = lint_module(m);
+  EXPECT_GT(report.errors, 0u);
+  EXPECT_TRUE(has_rule(report, "struct.unconnected-reg"));
+}
+
+TEST(LintTest, FlagsCdcViolation) {
+  rtl::Module m("cdc");
+  const auto in = m.input("in", 4);
+  const auto r = m.reg(in);
+  const auto s = m.add(in, r, 5);
+  m.output("out", s);
+  // Corrupt the register into a /2 domain: the add now reads across
+  // domains without a decimate (the IR builder would have thrown).
+  m.node(r).clock_div = 2;
+  const ModuleReport report = lint_module(m);
+  EXPECT_GT(report.errors, 0u);
+  const Finding* f = find_rule(report, "cdc.cross-domain-edge");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kError);
+}
+
+TEST(LintTest, FlagsBadDecimateRatio) {
+  rtl::Module m("badratio");
+  const auto in = m.input("in", 4);
+  const auto d = m.decimate(in, 2);
+  m.output("out", d);
+  m.node(d).clock_div = 3;  // should be src(1) * factor(2)
+  const ModuleReport report = lint_module(m);
+  EXPECT_TRUE(has_rule(report, "cdc.decimate-ratio"));
+  EXPECT_GT(report.errors, 0u);
+}
+
+TEST(LintTest, FlagsCombOrderHazardAndCycle) {
+  rtl::Module m("cycle");
+  const auto in = m.input("in", 4);
+  const auto a = m.add(in, in, 5);
+  const auto b = m.add(a, in, 5);
+  m.output("out", b);
+  m.node(a).b = b;  // a now reads b, which reads a: a comb cycle
+  const ModuleReport report = lint_module(m);
+  EXPECT_TRUE(has_rule(report, "struct.comb-order"));
+  EXPECT_TRUE(has_rule(report, "struct.comb-cycle"));
+  EXPECT_GT(report.errors, 0u);
+}
+
+TEST(LintTest, FlagsDeadLogicAndUnusedInput) {
+  rtl::Module m("dead");
+  const auto in = m.input("in", 4);
+  const auto unused_in = m.input("spare", 4);
+  const auto dead = m.add(in, in, 5);
+  (void)unused_in;
+  (void)dead;
+  m.output("out", m.neg(in, 5));
+  const ModuleReport report = lint_module(m);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_TRUE(has_rule(report, "struct.dead-node"));
+  EXPECT_TRUE(has_rule(report, "struct.unused-input"));
+}
+
+TEST(LintTest, FlagsMissingOutput) {
+  rtl::Module m("noout");
+  m.input("in", 4);
+  const ModuleReport report = lint_module(m);
+  EXPECT_TRUE(has_rule(report, "struct.no-output"));
+  EXPECT_GT(report.errors, 0u);
+}
+
+TEST(LintTest, FlagsRequantWidthMismatch) {
+  rtl::Module m("badrq");
+  const auto in = m.input("in", 8);
+  const auto rq = m.requant(in, 4, fx::Format{6, 2}, fx::Rounding::kTruncate,
+                            fx::Overflow::kWrap);
+  m.output("out", rq);
+  m.node(rq).width = 9;  // out of sync with fmt.width
+  const ModuleReport report = lint_module(m);
+  EXPECT_TRUE(has_rule(report, "width.requant-mismatch"));
+}
+
+TEST(LintTest, FlagsIllegalRequantShift) {
+  rtl::Module m("badshift");
+  const auto in = m.input("in", 8);
+  const auto rq = m.requant(in, 0, fx::Format{8, 0}, fx::Rounding::kTruncate,
+                            fx::Overflow::kWrap);
+  m.output("out", rq);
+  m.node(rq).fmt.frac = 63;  // shift = -63: the simulator throws on this
+  const ModuleReport report = lint_module(m);
+  EXPECT_TRUE(has_rule(report, "width.requant-shift"));
+}
+
+TEST(LintTest, FlagsInputRangeExceedingPort) {
+  rtl::Module m("wideinput");
+  const auto in = m.input("in", 4);
+  m.output("out", m.neg(in, 5));
+  LintOptions options;
+  options.input_ranges[in] = Interval{-100, 100};
+  const ModuleReport report = lint_module(m, options);
+  EXPECT_TRUE(has_rule(report, "range.input-exceeds-port"));
+}
+
+TEST(LintTest, FlagsUnusedMsbs) {
+  rtl::Module m("waste");
+  const auto in = m.input("in", 3);
+  const auto r = m.reg(in);
+  m.output("out", r);
+  m.node(r).width = 12;  // 9 wasted MSBs
+  const ModuleReport report = lint_module(m);
+  EXPECT_EQ(report.errors, 0u);
+  const Finding* f = find_rule(report, "range.unused-msb");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->severity, Severity::kInfo);
+  EXPECT_EQ(f->data.at("wasted"), 9);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression.
+
+TEST(LintTest, SuppressionMatching) {
+  EXPECT_TRUE(suppression_matches("range.unused-msb", "range.unused-msb", "m"));
+  EXPECT_FALSE(suppression_matches("range.unused-msb", "range.overflow.proven",
+                                   "m"));
+  EXPECT_TRUE(suppression_matches("range.*", "range.overflow.proven", "m"));
+  EXPECT_FALSE(suppression_matches("range.*", "struct.dead-node", "m"));
+  EXPECT_TRUE(suppression_matches("struct.dead-node@m", "struct.dead-node",
+                                  "m"));
+  EXPECT_FALSE(suppression_matches("struct.dead-node@other", "struct.dead-node",
+                                   "m"));
+  EXPECT_TRUE(suppression_matches("range.*@m", "range.unused-msb", "m"));
+  EXPECT_FALSE(suppression_matches("", "anything", "m"));
+}
+
+TEST(LintTest, SuppressedFindingsDoNotCount) {
+  rtl::Module m("dead");
+  const auto in = m.input("in", 4);
+  (void)m.add(in, in, 5);  // dead
+  m.output("out", m.neg(in, 5));
+  LintOptions options;
+  options.suppress = {"struct.dead-node@dead"};
+  const ModuleReport report = lint_module(m, options);
+  EXPECT_TRUE(has_rule(report, "struct.dead-node"));
+  EXPECT_FALSE(has_rule(report, "struct.dead-node", /*unsuppressed_only=*/true));
+  EXPECT_EQ(report.warnings, 0u);
+  EXPECT_EQ(report.suppressed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Paper chain: every stage must lint clean (no errors).
+
+TEST(LintTest, PaperChainModulesHaveNoErrors) {
+  const auto config = dsadc::decim::paper_chain_config();
+  const auto chain = rtl::build_chain(config);
+  for (std::size_t s = 0; s < chain.stages.size(); ++s) {
+    LintOptions options;
+    options.module_name = chain.stage_names[s];
+    const ModuleReport report = lint_module(chain.stages[s].module, options);
+    EXPECT_EQ(report.errors, 0u)
+        << chain.stage_names[s] << ":\n"
+        << dsadc::analyze::text_report({report});
+  }
+  const ModuleReport full = lint_module(chain.full);
+  EXPECT_EQ(full.errors, 0u) << dsadc::analyze::text_report({full});
+}
+
+// ---------------------------------------------------------------------------
+// Report emission.
+
+TEST(ReportTest, JsonRoundTripsThroughParser) {
+  rtl::Module m("dead");
+  const auto in = m.input("in", 4);
+  (void)m.add(in, in, 5);
+  m.output("out", m.neg(in, 5));
+  const std::vector<ModuleReport> reports{lint_module(m)};
+  const auto doc = dsadc::analyze::json_report(reports);
+  const auto parsed = dsadc::verify::json_parse(doc.dump(2));
+  EXPECT_EQ(parsed.at("version").as_int(), 1);
+  const auto& mod = parsed.at("modules").at(std::size_t{0});
+  EXPECT_EQ(mod.at("module").as_string(), "dead");
+  EXPECT_EQ(mod.at("errors").as_int(), 0);
+  ASSERT_GT(mod.at("findings").size(), 0u);
+  const auto& f = mod.at("findings").at(std::size_t{0});
+  EXPECT_TRUE(f.contains("rule"));
+  EXPECT_TRUE(f.contains("severity"));
+  EXPECT_EQ(parsed.at("summary").at("modules").as_int(), 1);
+}
+
+TEST(ReportTest, TextReportNamesRulesAndModules) {
+  rtl::Module m("dangling");
+  const auto in = m.input("in", 4);
+  const auto r = m.reg_placeholder(6, 1);
+  m.output("out", m.add(in, r, 6));
+  const std::vector<ModuleReport> reports{lint_module(m)};
+  const std::string text = dsadc::analyze::text_report(reports);
+  EXPECT_NE(text.find("error[STR01]"), std::string::npos);
+  EXPECT_NE(text.find("dangling"), std::string::npos);
+  EXPECT_TRUE(dsadc::analyze::has_errors(reports));
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Lint the paper's decimation-filter netlists.
+//
+//   lint_rtl [--json FILE] [--baseline FILE] [--suppress PATTERN]...
+//            [--module NAME] [--quiet]
+//
+// Elaborates the full paper chain (Sinc4/Sinc4/Sinc6, Saramaki halfband,
+// CSD scaler, FIR equalizer) plus every per-stage module, runs the static
+// analyzer (src/analyze) on each, and additionally cross-checks the
+// analyzer's *proven* minimum CIC register widths against both the
+// filterdesign Bmax formula (K*log2(M) + Bin - 1) and the widths the
+// builders actually synthesized.
+//
+// Exit codes:
+//   0  no unsuppressed error-severity findings, cross-check consistent,
+//      no baseline regression
+//   1  error findings, cross-check mismatch, or a previously-clean module
+//      (per --baseline) gained an error
+//   2  usage / IO error
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analyze/lint.h"
+#include "src/analyze/report.h"
+#include "src/decimator/chain.h"
+#include "src/rtl/builders.h"
+#include "src/verify/json.h"
+
+namespace {
+
+using dsadc::analyze::lint_module;
+using dsadc::analyze::LintOptions;
+using dsadc::analyze::ModuleReport;
+using dsadc::analyze::proven_min_register_width;
+using dsadc::verify::Json;
+
+struct CicCheck {
+  std::string module;
+  int proven = 0;       ///< analyzer: max required width over state nodes
+  int formula = 0;      ///< design::CicSpec::register_width()
+  int synthesized = 0;  ///< widest state node the builder emitted
+  bool ok = false;
+};
+
+int max_state_width(const dsadc::rtl::Module& m) {
+  int w = 0;
+  for (const auto& node : m.nodes()) {
+    if (node.kind == dsadc::rtl::OpKind::kReg ||
+        node.kind == dsadc::rtl::OpKind::kDecimate) {
+      w = std::max(w, node.width);
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  std::string only_module;
+  bool quiet = false;
+  LintOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lint_rtl: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--suppress") {
+      options.suppress.emplace_back(next());
+    } else if (arg == "--module") {
+      only_module = next();
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: lint_rtl [--json FILE] [--baseline FILE]\n"
+          "                [--suppress PATTERN]... [--module NAME] "
+          "[--quiet]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "lint_rtl: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    const auto config = dsadc::decim::paper_chain_config();
+    const auto chain = dsadc::rtl::build_chain(config);
+
+    std::vector<const dsadc::rtl::Module*> modules;
+    std::vector<ModuleReport> reports;
+    // Chain stage index behind each report (the full chain gets
+    // chain.stages.size()); keeps the CIC cross-check aligned when
+    // --module filters the list.
+    std::vector<std::size_t> stage_of;
+    for (std::size_t s = 0; s < chain.stages.size(); ++s) {
+      // Stage names are unique ("sinc4_1", "sinc4_2", ...); module names
+      // are not (both Sinc4 stages elaborate the same module).
+      const std::string& name = s < chain.stage_names.size()
+                                    ? chain.stage_names[s]
+                                    : chain.stages[s].module.name();
+      if (!only_module.empty() && name != only_module) continue;
+      LintOptions stage_options = options;
+      stage_options.module_name = name;
+      modules.push_back(&chain.stages[s].module);
+      reports.push_back(lint_module(chain.stages[s].module, stage_options));
+      stage_of.push_back(s);
+    }
+    if (only_module.empty() || chain.full.name() == only_module) {
+      modules.push_back(&chain.full);
+      reports.push_back(lint_module(chain.full, options));
+      stage_of.push_back(chain.stages.size());
+    }
+    if (reports.empty()) {
+      std::fprintf(stderr, "lint_rtl: no module named '%s'\n",
+                   only_module.c_str());
+      return 2;
+    }
+
+    // Cross-check: for each Sinc stage the analyzer's proven minimum safe
+    // register width must equal both the Hogenauer formula and what the
+    // builder synthesized. A three-way match means the width proofs, the
+    // design equations, and the netlist agree.
+    bool cross_check_ok = true;
+    std::vector<CicCheck> checks;
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+      const std::size_t s = stage_of[r];
+      if (s >= config.cic_stages.size()) continue;  // not a CIC stage
+      const auto& spec = config.cic_stages[s];
+      CicCheck check;
+      check.module = reports[r].module;
+      check.proven = proven_min_register_width(*modules[r], reports[r].range);
+      check.formula = spec.register_width();
+      check.synthesized = max_state_width(*modules[r]);
+      check.ok = check.proven == check.formula &&
+                 check.formula == check.synthesized;
+      cross_check_ok = cross_check_ok && check.ok;
+      checks.push_back(check);
+    }
+
+    Json doc = dsadc::analyze::json_report(reports);
+    Json jchecks = Json::array();
+    for (const CicCheck& c : checks) {
+      Json jc = Json::object();
+      jc["module"] = Json{c.module};
+      jc["proven_width"] = Json{c.proven};
+      jc["formula_width"] = Json{c.formula};
+      jc["synthesized_width"] = Json{c.synthesized};
+      jc["ok"] = Json{c.ok};
+      jchecks.push_back(std::move(jc));
+    }
+    doc["cic_width_check"] = std::move(jchecks);
+
+    // Baseline gate: any module that was error-free in the baseline report
+    // must stay error-free.
+    std::vector<std::string> regressions;
+    if (!baseline_path.empty()) {
+      std::ifstream in(baseline_path);
+      if (!in) {
+        std::fprintf(stderr, "lint_rtl: cannot read baseline %s\n",
+                     baseline_path.c_str());
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const Json base = dsadc::verify::json_parse(buf.str());
+      const Json& base_modules = base.at("modules");
+      for (std::size_t i = 0; i < base_modules.size(); ++i) {
+        const Json& bm = base_modules.at(i);
+        if (bm.at("errors").as_int() != 0) continue;  // was already dirty
+        const std::string name = bm.at("module").as_string();
+        for (const ModuleReport& r : reports) {
+          if (r.module == name && r.errors > 0) regressions.push_back(name);
+        }
+      }
+    }
+
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "lint_rtl: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << doc.dump(2) << "\n";
+    }
+
+    if (!quiet) {
+      std::fputs(dsadc::analyze::text_report(reports).c_str(), stdout);
+      for (const CicCheck& c : checks) {
+        std::printf("cic-width %s: proven %d, formula %d, synthesized %d  %s\n",
+                    c.module.c_str(), c.proven, c.formula, c.synthesized,
+                    c.ok ? "OK" : "MISMATCH");
+      }
+      for (const std::string& name : regressions) {
+        std::printf("baseline regression: module '%s' was clean, now has "
+                    "errors\n",
+                    name.c_str());
+      }
+    }
+
+    const bool failed = dsadc::analyze::has_errors(reports) ||
+                        !cross_check_ok || !regressions.empty();
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lint_rtl: %s\n", e.what());
+    return 2;
+  }
+}
