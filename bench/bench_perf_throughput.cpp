@@ -2,6 +2,10 @@
 // modulator, bit-true chain, design steps and the RTL simulator.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <map>
+
 #include "src/core/flow.h"
 #include "src/obs/bench_telemetry.h"
 #include "src/decimator/chain.h"
@@ -9,6 +13,7 @@
 #include "src/modulator/ntf.h"
 #include "src/modulator/realize.h"
 #include "src/rtl/builders.h"
+#include "src/rtl/compiled_sim.h"
 #include "src/rtl/sim.h"
 
 namespace {
@@ -53,6 +58,57 @@ void BM_DecimationChain(benchmark::State& state) {
 }
 BENCHMARK(BM_DecimationChain);
 
+// Sample-at-a-time reference for the chain: the same stages driven through
+// push() one sample at a time. The ratio of BM_DecimationChain to this is
+// decim_chain_batched_speedup -- the win from the batched block kernels,
+// measured in the same run on the same machine.
+void BM_DecimationChainPush(benchmark::State& state) {
+  const auto cfg = decim::paper_chain_config();
+  decim::CicCascade cic(cfg.cic_stages);
+  decim::SaramakiHbfDecimator hbf(cfg.hbf, cfg.hbf_in_format,
+                                  cfg.hbf_out_format, cfg.hbf_coeff_frac_bits);
+  decim::ScalingStage scaler(cfg.scale, cfg.hbf_out_format,
+                             cfg.scaler_out_format, /*frac_bits=*/14,
+                             /*max_digits=*/8);
+  decim::FirDecimator eq(
+      decim::FixedTaps::from_real(cfg.equalizer_taps, cfg.equalizer_frac_bits),
+      /*decimation=*/1, cfg.scaler_out_format, cfg.output_format);
+  const int gain_log2 = static_cast<int>(std::lround(
+      std::log2(static_cast<double>(cic.total_dc_gain()))));
+  static const fx::EventCounters& ec = fx::event_counters("chain_hbf_in");
+  const auto& codes = paper_codes();
+  for (auto _ : state) {
+    cic.reset();
+    hbf.reset();
+    eq.reset();
+    std::vector<std::int64_t> out;
+    out.reserve(codes.size() / 16 + 1);
+    for (const std::int32_t code : codes) {
+      std::int64_t v = code;
+      bool have = true;
+      for (auto& stage : cic.stages()) {
+        std::int64_t next = 0;
+        if (!stage.push(v, next)) {
+          have = false;
+          break;
+        }
+        v = next;
+      }
+      if (!have) continue;
+      v = fx::requantize(v, gain_log2, cfg.hbf_in_format,
+                         fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                         &ec);
+      std::int64_t h = 0;
+      if (!hbf.push(v, h)) continue;
+      std::int64_t e = 0;
+      if (eq.push(scaler.push(h), e)) out.push_back(e);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * codes.size());
+}
+BENCHMARK(BM_DecimationChainPush);
+
 void BM_HbfDesign(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -87,6 +143,59 @@ void BM_RtlSimCic(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlSimCic);
 
+void BM_RtlSimCicCompiled(benchmark::State& state) {
+  const auto stage = rtl::build_cic(design::CicSpec{4, 2, 4});
+  std::vector<std::int64_t> in(paper_codes().begin(), paper_codes().end());
+  rtl::CompiledSimulator sim(stage.module);  // elaborate once, like hardware
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{stage.in, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimCicCompiled);
+
+// Interpreted vs compiled on the flattened paper chain, same stimulus in
+// the same process: the ratio of their items/s is the engine speedup
+// recorded as rtl_chain_compiled_speedup (machine-independent, gated in
+// CI via bench_diff).
+void BM_RtlSimChainInterp(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  for (auto _ : state) {
+    rtl::Simulator sim(chain.full);
+    benchmark::DoNotOptimize(sim.run({{chain.in, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainInterp);
+
+void BM_RtlSimChainCompiled(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  rtl::CompiledSimulator sim(chain.full);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{chain.in, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainCompiled);
+
+// Compiled engine with activity accounting on, for the power-estimation
+// path (toggle counts identical to the interpreted engine's).
+void BM_RtlSimChainCompiledActivity(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  rtl::CompiledSimulator sim(chain.full);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{chain.in, in}}, {.activity = true}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainCompiledActivity);
+
 /// Console reporter that additionally copies each run's timing and
 /// items/s into the telemetry record (BENCH_perf_throughput.json).
 class TelemetryReporter : public benchmark::ConsoleReporter {
@@ -110,16 +219,41 @@ class TelemetryReporter : public benchmark::ConsoleReporter {
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) {
         report_->set(name + ".items_per_second", it->second.value);
+        items_per_second_[name] = it->second.value;
       }
     }
   }
 
   bool ok() const { return ok_; }
+  /// items/s by benchmark name, for cross-benchmark ratios.
+  const std::map<std::string, double>& items_per_second() const {
+    return items_per_second_;
+  }
 
  private:
   obs::BenchReport* report_;
+  std::map<std::string, double> items_per_second_;
   bool ok_ = true;
 };
+
+/// Record `num/den` as `key` and require it to clear `floor`; silently
+/// skipped when either benchmark did not run (e.g. --benchmark_filter).
+bool record_speedup(obs::BenchReport& report, const TelemetryReporter& r,
+                    const char* key, const char* num, const char* den,
+                    double floor) {
+  const auto& ips = r.items_per_second();
+  const auto n = ips.find(num);
+  const auto d = ips.find(den);
+  if (n == ips.end() || d == ips.end() || d->second <= 0.0) return true;
+  const double speedup = n->second / d->second;
+  report.set(key, speedup);
+  if (speedup < floor) {
+    std::fprintf(stderr, "bench_perf_throughput: %s = %.2fx below floor %.2fx\n",
+                 key, speedup, floor);
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -132,5 +266,16 @@ int main(int argc, char** argv) {
   TelemetryReporter reporter(&report);
   const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
   report.set("benchmarks_run", static_cast<double>(ran));
-  return report.finish(ran > 0 && reporter.ok());
+
+  // Machine-independent engine/kernel speedups, both legs measured in this
+  // run. The floors are the acceptance bars; bench_diff gates the recorded
+  // ratios against bench/baseline in CI.
+  bool ok = ran > 0 && reporter.ok();
+  ok &= record_speedup(report, reporter, "rtl_chain_compiled_speedup",
+                       "BM_RtlSimChainCompiled", "BM_RtlSimChainInterp", 5.0);
+  ok &= record_speedup(report, reporter, "rtl_cic_compiled_speedup",
+                       "BM_RtlSimCicCompiled", "BM_RtlSimCic", 1.0);
+  ok &= record_speedup(report, reporter, "decim_chain_batched_speedup",
+                       "BM_DecimationChain", "BM_DecimationChainPush", 1.5);
+  return report.finish(ok);
 }

@@ -56,13 +56,50 @@ bool CicDecimator::push(std::int64_t in, std::int64_t& out) {
 
 std::vector<std::int64_t> CicDecimator::process(
     std::span<const std::int64_t> in) {
-  std::vector<std::int64_t> out;
-  out.reserve(in.size() / static_cast<std::size_t>(spec_.decimation) + 1);
-  std::int64_t y = 0;
-  for (std::int64_t x : in) {
-    if (push(x, y)) out.push_back(y);
+  // Block kernel: one sequential pass per integrator section, decimate,
+  // then one pass per comb section. Each sample undergoes exactly the
+  // same wrapped additions in the same order as the push() path (a
+  // section's output depends only on its own state and its input stream),
+  // so the result is bit-identical while every pass runs branch-free over
+  // contiguous memory at that section's rate.
+  const int shift = 64 - fmt_.width;
+  const auto wrap = [shift](std::int64_t v) {
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << shift) >>
+           shift;
+  };
+
+  std::vector<std::int64_t> buf(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) buf[i] = wrap(in[i]);
+  for (auto& state : integ_) {
+    std::int64_t acc = state;
+    for (auto& v : buf) {
+      acc = wrap(acc + v);
+      v = acc;
+    }
+    state = acc;
   }
-  return out;
+
+  // Keep every decimation-th sample, honouring the phase carried over
+  // from any preceding push() calls.
+  const auto m = static_cast<std::size_t>(spec_.decimation);
+  const std::size_t skip =
+      (m - 1) - static_cast<std::size_t>(phase_) % m;  // first kept index
+  phase_ = static_cast<int>(
+      (static_cast<std::size_t>(phase_) + buf.size()) % m);
+  std::size_t n_out = 0;
+  for (std::size_t i = skip; i < buf.size(); i += m) buf[n_out++] = buf[i];
+  buf.resize(n_out);
+
+  for (auto& state : comb_) {
+    std::int64_t prev = state;
+    for (auto& v : buf) {
+      const std::int64_t cur = v;
+      v = wrap(cur - prev);
+      prev = cur;
+    }
+    state = prev;
+  }
+  return buf;
 }
 
 CicCascade::CicCascade(std::vector<design::CicSpec> specs,

@@ -35,7 +35,10 @@ class CicDecimator {
   /// Returns true and fills `out` every `decimation`-th sample.
   bool push(std::int64_t in, std::int64_t& out);
 
-  /// Convenience: process a block, returning the decimated samples.
+  /// Process a block, returning the decimated samples. Runs the batched
+  /// section-at-a-time kernel (one sequential pass per integrator/comb
+  /// section); bit-identical to an equivalent sequence of push() calls
+  /// and freely mixable with them (state is shared).
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
   void reset();

@@ -73,12 +73,46 @@ bool FirDecimator::push(std::int64_t in, std::int64_t& out) {
 
 std::vector<std::int64_t> FirDecimator::process(
     std::span<const std::int64_t> in) {
+  // Block kernel: materialize the delay line plus the new block as one
+  // contiguous buffer so each output MAC is a linear dot product (no
+  // per-tap circular modulo), computed only at the decimation phase's
+  // emit positions. Accumulation order matches push() tap-for-tap; the
+  // full-precision int64 accumulator makes the sums bit-identical.
+  const std::size_t tap_count = taps_.size();
+  // The prefix is the last tap_count-1 samples in chronological order;
+  // delay_[pos_] itself (pushed tap_count samples ago) is already out of
+  // every window.
+  std::vector<std::int64_t> ext(tap_count - 1 + in.size());
+  for (std::size_t j = 0; j + 1 < tap_count; ++j) {
+    ext[j] = delay_[(pos_ + 1 + j) % tap_count];
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) ext[tap_count - 1 + i] = in[i];
+
+  static const fx::EventCounters& ec = fx::event_counters("fir_out");
+  const int acc_frac = in_fmt_.frac + taps_.frac_bits;
   std::vector<std::int64_t> out;
   out.reserve(in.size() / static_cast<std::size_t>(decimation_) + 1);
-  std::int64_t y = 0;
-  for (std::int64_t x : in) {
-    if (push(x, y)) out.push_back(y);
+  const auto d = static_cast<std::size_t>(decimation_);
+  const std::size_t first =
+      (d - static_cast<std::size_t>(phase_)) % d;  // first emit index
+  for (std::size_t i = first; i < in.size(); i += d) {
+    const std::int64_t* window = ext.data() + (tap_count - 1 + i);
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < tap_count; ++k) {
+      acc += taps_.taps[k] * window[-static_cast<std::ptrdiff_t>(k)];
+    }
+    out.push_back(
+        fx::requantize(acc, acc_frac, out_fmt_, rounding_, overflow_, &ec));
   }
+
+  // Commit the streaming state exactly as the equivalent pushes would.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    delay_[pos_] = in[i];
+    pos_ = (pos_ + 1) % tap_count;
+  }
+  filled_ = std::min(tap_count, filled_ + in.size());
+  phase_ = static_cast<int>(
+      (static_cast<std::size_t>(phase_) + in.size()) % d);
   return out;
 }
 

@@ -37,6 +37,9 @@ class FirDecimator {
   /// Push one input sample; true when an output is produced.
   bool push(std::int64_t in, std::int64_t& out);
 
+  /// Process a block. Runs the batched kernel (contiguous window, linear
+  /// dot products at the emit positions only); bit-identical to the
+  /// equivalent push() sequence and freely mixable with it.
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
   void reset();

@@ -153,13 +153,107 @@ bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
   return true;
 }
 
+void SaramakiHbfDecimator::g2_block_pass(G2Block& b,
+                                         std::vector<std::int64_t>& stream) {
+  // Vector form of G2Block::step over a whole even-phase stream: the
+  // circular history plus the incoming block become one contiguous
+  // buffer, so every output is a linear symmetric MAC. Tap order and the
+  // per-product requantization match step() exactly, so the pass is
+  // bit-identical to sample-at-a-time stepping.
+  const std::size_t n = b.hist.size();  // 2*n2
+  std::vector<std::int64_t> ext(n + stream.size());
+  for (std::size_t j = 0; j < n; ++j) ext[j] = b.hist[(b.pos + j) % n];
+  std::copy(stream.begin(), stream.end(), ext.begin() + n);
+
+  const std::size_t n2 = f2_coeffs_.size();
+  for (std::size_t m = 0; m < stream.size(); ++m) {
+    const std::int64_t* newest = ext.data() + n + m;
+    std::int64_t acc = 0;
+    for (std::size_t j = 1; j <= n2; ++j) {
+      const std::int64_t near = newest[-static_cast<std::ptrdiff_t>(n2 - j)];
+      const std::int64_t far =
+          newest[-static_cast<std::ptrdiff_t>(n2 + j - 1)];
+      acc += requantize_product(f2_coeffs_[j - 1] * (near + far));
+    }
+    stream[m] = requantize_internal(acc);
+  }
+
+  // Streaming state write-back: the history holds the block's last 2*n2
+  // input samples, with pos advanced as step() would have left it.
+  const std::size_t advanced = (b.pos + stream.size()) % n;
+  for (std::size_t j = 0; j < n; ++j) {
+    b.hist[(advanced + j) % n] = ext[stream.size() + j];
+  }
+  b.pos = advanced;
+}
+
 std::vector<std::int64_t> SaramakiHbfDecimator::process(
     std::span<const std::int64_t> in) {
-  std::vector<std::int64_t> out;
-  out.reserve(in.size() / 2 + 1);
-  std::int64_t y = 0;
-  for (std::int64_t x : in) {
-    if (push(x, y)) out.push_back(y);
+  // Batched polyphase kernel. push() interleaves the two phases sample by
+  // sample; here the block is split once and every branch runs as a
+  // vector pass at the output rate:
+  //   A. promote + phase split, harvesting the 0.5-path (odd) stream
+  //      through its delay line in push order;
+  //   B. the G2 cascade, one g2_block_pass per block;
+  //   C. branch-alignment delay lines, one pass per branch;
+  //   D. the f1 output combination.
+  // Every sample sees the identical operations in the identical order as
+  // push(), so outputs, state, and fx event-counter totals all match.
+
+  // --- A: promote into the guard format and split phases.
+  static const fx::EventCounters& ec_in = fx::event_counters("hbf_in");
+  std::vector<std::int64_t> even;
+  std::vector<std::int64_t> half_path;  ///< 0.5-path sample per even sample
+  even.reserve(in.size() / 2 + 1);
+  half_path.reserve(in.size() / 2 + 1);
+  for (const std::int64_t s : in) {
+    const std::int64_t x =
+        fx::requantize(s, in_fmt_.frac, internal_fmt_, fx::Rounding::kTruncate,
+                       fx::Overflow::kSaturate, &ec_in);
+    if (phase_ == 1) {
+      odd_delay_[opos_] = x;
+      opos_ = (opos_ + 1) % odd_delay_.size();
+      phase_ = 0;
+    } else {
+      // The read of the delay line happens before the paired odd sample's
+      // write, exactly as in the push() interleave.
+      half_path.push_back(odd_delay_[opos_]);
+      even.push_back(x);
+      phase_ = 1;
+    }
+  }
+
+  // --- B: G2 cascade; odd cascade outputs w1, w3, ... feed the branches.
+  std::vector<std::vector<std::int64_t>> branch(n1_);
+  std::vector<std::int64_t> cur = std::move(even);
+  for (std::size_t k = 0; k < blocks_.size(); ++k) {
+    g2_block_pass(blocks_[k], cur);
+    if (k % 2 == 0) branch[k / 2] = cur;
+  }
+
+  // --- C: align each branch (all but the last) through its delay line.
+  for (std::size_t i = 1; i < n1_; ++i) {
+    auto& line = branch_delay_[i - 1];
+    auto& p = bpos_[i - 1];
+    for (auto& w : branch[i - 1]) {
+      const std::int64_t delayed = line[p];
+      line[p] = w;
+      p = (p + 1) % line.size();
+      w = delayed;
+    }
+  }
+
+  // --- D: 0.5 path + f1 taps in the power basis.
+  static const fx::EventCounters& ec_out = fx::event_counters("hbf_out");
+  std::vector<std::int64_t> out(half_path.size());
+  for (std::size_t m = 0; m < out.size(); ++m) {
+    std::int64_t acc = requantize_product(half_coeff_ * half_path[m]);
+    for (std::size_t i = 0; i < n1_; ++i) {
+      acc += requantize_product(f1_coeffs_[i] * branch[i][m]);
+    }
+    out[m] = fx::requantize(acc, prod_fmt_.frac, out_fmt_,
+                            fx::Rounding::kRoundNearest,
+                            fx::Overflow::kSaturate, &ec_out);
   }
   return out;
 }

@@ -39,6 +39,10 @@ class SaramakiHbfDecimator {
   /// the decimated output.
   bool push(std::int64_t in, std::int64_t& out);
 
+  /// Process a block. Runs the batched polyphase kernel (phase split, one
+  /// vector pass per G2 block / branch delay, then the f1 combination);
+  /// bit-identical to the equivalent push() sequence and freely mixable
+  /// with it (state is shared).
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
   void reset();
@@ -67,6 +71,9 @@ class SaramakiHbfDecimator {
 
   std::int64_t requantize_product(std::int64_t prod) const;
   std::int64_t requantize_internal(std::int64_t acc) const;
+  /// Vector pass of `step` + requantize_internal over a whole even-phase
+  /// stream, updating `b`'s streaming state; rewrites `stream` in place.
+  void g2_block_pass(G2Block& b, std::vector<std::int64_t>& stream);
 
   std::vector<std::int64_t> f2_coeffs_;  ///< integer subfilter taps
   std::vector<std::int64_t> f1_coeffs_;  ///< integer outer taps (power basis)

@@ -44,6 +44,14 @@ SimResult Simulator::run(
   result.activity.updates.assign(n, 0);
   result.activity.base_ticks = ticks;
 
+  // Resolve the input map to a dense per-node stream table once, so the
+  // tick loop never touches the std::map. Unbound inputs keep the lazy
+  // failure semantics: they only throw if a tick would actually read them.
+  std::vector<const std::int64_t*> bound_stream(n, nullptr);
+  for (const auto& [id, stream] : inputs) {
+    bound_stream[static_cast<std::size_t>(id)] = stream.data();
+  }
+
   std::vector<std::int64_t> value(n, 0);
   std::vector<std::int64_t> next_reg(n, 0);
 
@@ -66,11 +74,11 @@ SimResult Simulator::run(
       switch (node.kind) {
         case OpKind::kInput:
           if (active) {
-            const auto it = inputs.find(static_cast<NodeId>(i));
-            if (it == inputs.end()) {
+            const std::int64_t* stream = bound_stream[i];
+            if (stream == nullptr) {
               throw std::invalid_argument("Simulator: unbound input " + node.name);
             }
-            out = it->second[t / static_cast<std::uint64_t>(node.clock_div)];
+            out = stream[t / static_cast<std::uint64_t>(node.clock_div)];
             out = fx::wrap_to(out, fx::Format{node.width, 0});
           }
           break;

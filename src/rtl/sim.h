@@ -5,6 +5,12 @@
 // must produce bit-identical outputs. The simulator also records per-node
 // switching activity (bit toggles), which feeds the PrimeTime-PX-style
 // power estimation in src/synth.
+//
+// This interpreted walk of the netlist is the *reference* engine: it
+// visits every node on every base tick. The phase-scheduled compiled
+// engine in compiled_sim.h produces bit-identical results (outputs and
+// activity) while only touching nodes whose clock domain fires -- prefer
+// it on hot paths and keep this one for differential cross-checks.
 #pragma once
 
 #include <cstdint>

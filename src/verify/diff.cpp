@@ -13,15 +13,18 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rtl/builders.h"
-#include "src/rtl/sim.h"
+#include "src/rtl/compiled_sim.h"
 #include "src/verify/reference.h"
 
 namespace dsadc::verify {
 namespace {
 
+// The compiled engine is bit-exact against the interpreted reference
+// (tests/test_compiled_sim.cpp, lint_rtl --sim-crosscheck) and several
+// times faster, which dominates the harness's wall-clock.
 std::vector<std::int64_t> simulate(const rtl::BuiltStage& stage,
                                    std::span<const std::int64_t> in) {
-  rtl::Simulator sim(stage.module);
+  rtl::CompiledSimulator sim(stage.module);
   const auto res = sim.run({{stage.in, in}});
   return res.outputs.begin()->second;
 }
@@ -239,7 +242,7 @@ DiffOutcome run_chain(const StageCase& c) {
   const auto fixed = chain.process(codes);
 
   const rtl::BuiltChain built = rtl::build_chain(cfg);
-  rtl::Simulator sim(built.full);
+  rtl::CompiledSimulator sim(built.full);
   const auto res = sim.run({{built.in, c.stimulus}});
   const auto& rtl_out = res.outputs.begin()->second;
 

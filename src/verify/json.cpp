@@ -67,6 +67,13 @@ bool Json::contains(const std::string& key) const {
   return type_ == Type::kObject && obj_.find(key) != obj_.end();
 }
 
+std::vector<std::string> Json::keys() const {
+  std::vector<std::string> out;
+  out.reserve(obj_.size());
+  for (const auto& [key, value] : obj_) out.push_back(key);
+  return out;
+}
+
 Json& Json::operator[](const std::string& key) {
   if (type_ == Type::kNull) type_ = Type::kObject;
   if (type_ != Type::kObject) throw std::invalid_argument("Json: not an object");

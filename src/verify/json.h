@@ -47,6 +47,8 @@ class Json {
   const Json& at(const std::string& key) const;
   bool contains(const std::string& key) const;
   Json& operator[](const std::string& key);
+  /// Object keys in sorted order (empty for non-objects).
+  std::vector<std::string> keys() const;
 
   std::string dump(int indent = 0) const;
 

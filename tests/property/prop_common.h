@@ -19,6 +19,7 @@
 
 #include "src/verify/diff.h"
 #include "src/verify/harness.h"
+#include "src/verify/parallel.h"
 #include "src/verify/repro.h"
 #include "src/verify/shrink.h"
 
@@ -87,18 +88,31 @@ inline void report_failure(const StageCase& c, const DiffOutcome& out) {
 
 /// Run `case_count()` randomized cases of one stage class; every case must
 /// pass both legs (bit-exact RTL-vs-fixed, bounded ref-vs-fixed).
+///
+/// Cases fan out over verify_thread_count() workers (DSADC_VERIFY_THREADS
+/// to override). Each case's stimulus is derived solely from seed_base + i,
+/// so results are identical for any worker count; the lowest failing index
+/// is reported, and worst_margin is an order-independent max, so the
+/// output matches the old serial loop exactly.
 inline void run_stage_class(StageKind kind, std::uint64_t seed_base) {
   const int n = case_count();
-  double worst_margin = 0.0;  // max over cases of max_ref_error / bound
-  for (int i = 0; i < n; ++i) {
+  std::vector<DiffOutcome> outcomes(static_cast<std::size_t>(n));
+  parallel_for_index(static_cast<std::size_t>(n), [&](std::size_t i) {
     const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
-    const StageCase c = random_case(kind, seed);
-    const DiffOutcome out = run_case(c);
+    outcomes[i] = run_case(random_case(kind, seed));
+  });
+
+  double worst_margin = 0.0;  // max over cases of max_ref_error / bound
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const DiffOutcome& out = outcomes[i];
     if (out.error_bound > 0.0) {
       worst_margin = std::max(worst_margin, out.max_ref_error / out.error_bound);
     }
     if (!out.ok) {
-      report_failure(c, out);
+      // Re-derive the failing case from its index (shrinking reruns the
+      // harness serially, so it stays off the worker pool).
+      const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+      report_failure(random_case(kind, seed), out);
       return;  // report_failure already FAILed; stop at first failure
     }
   }

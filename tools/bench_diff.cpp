@@ -1,0 +1,195 @@
+// Compare two bench-telemetry records (or directories of them) and gate
+// on regressions.
+//
+//   bench_diff BASELINE CURRENT [--tolerance FRAC] [--gate PATTERN]...
+//              [--quiet]
+//
+// BASELINE and CURRENT are either BENCH_<name>.json files written by
+// obs::BenchReport or directories scanned for such files (matched by file
+// name). Every numeric metric present on both sides is reported with its
+// relative delta; metrics whose name matches a --gate substring (all
+// shared metrics when no --gate is given) fail the run when they regress
+// by more than --tolerance (default 0.20, i.e. 20%).
+//
+// Regression direction is inferred from the metric name: names containing
+// a lower-is-better keyword (ms, seconds, power, error, area, adders,
+// registers, macs) regress upward, everything else (throughput, speedup,
+// snr, ...) regresses downward. A current-side record with ok=false fails
+// regardless of metrics.
+//
+// Exit codes: 0 no regression, 1 regression or current-side failure,
+// 2 usage / IO error.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/verify/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dsadc::verify::Json;
+using dsadc::verify::json_parse;
+
+Json load_json(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return json_parse(buf.str());
+}
+
+/// File name -> parsed record, for a file or a directory of BENCH_*.json.
+std::map<std::string, Json> load_records(const std::string& arg) {
+  std::map<std::string, Json> out;
+  const fs::path path(arg);
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        out[name] = load_json(entry.path());
+      }
+    }
+  } else {
+    out[path.filename().string()] = load_json(path);
+  }
+  return out;
+}
+
+bool lower_is_better(const std::string& metric) {
+  // "_ms"/"_s" only as a suffix ("items_per_second" must stay
+  // higher-is-better); the rest anywhere in the name.
+  static const char* const kSuffixes[] = {"_ms", "_us", "_ns"};
+  for (const char* sfx : kSuffixes) {
+    const std::size_t n = std::strlen(sfx);
+    if (metric.size() >= n && metric.compare(metric.size() - n, n, sfx) == 0) {
+      return true;
+    }
+  }
+  static const char* const kKeywords[] = {"power",  "error",     "area",
+                                          "adders", "macs",      "registers",
+                                          "latency", "wall"};
+  for (const char* kw : kKeywords) {
+    if (metric.find(kw) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool gated(const std::string& metric, const std::vector<std::string>& gates) {
+  if (gates.empty()) return true;
+  for (const std::string& g : gates) {
+    if (metric.find(g) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::vector<std::string> gates;
+  double tolerance = 0.20;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance") {
+      tolerance = std::atof(next());
+    } else if (arg == "--gate") {
+      gates.emplace_back(next());
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_diff BASELINE CURRENT [--tolerance FRAC]\n"
+          "                  [--gate PATTERN]... [--quiet]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr, "bench_diff: need BASELINE and CURRENT\n");
+    return 2;
+  }
+
+  try {
+    const auto baseline = load_records(positional[0]);
+    const auto current = load_records(positional[1]);
+
+    bool regressed = false;
+    std::size_t compared_files = 0;
+    for (const auto& [file, base] : baseline) {
+      const auto it = current.find(file);
+      if (it == current.end()) {
+        if (!quiet) std::printf("%s: missing on current side (skipped)\n",
+                                file.c_str());
+        continue;
+      }
+      const Json& cur = it->second;
+      ++compared_files;
+
+      if (cur.contains("ok") && !cur.at("ok").as_bool()) {
+        std::printf("%s: current run reports ok=false\n", file.c_str());
+        regressed = true;
+      }
+      if (!base.contains("metrics") || !cur.contains("metrics")) continue;
+      const Json& bm = base.at("metrics");
+      const Json& cm = cur.at("metrics");
+
+      for (const std::string& key : bm.keys()) {
+        if (!cm.contains(key)) continue;
+        if (bm.at(key).type() != Json::Type::kNumber ||
+            cm.at(key).type() != Json::Type::kNumber) {
+          continue;
+        }
+        const double b = bm.at(key).as_double();
+        const double c = cm.at(key).as_double();
+        const double delta = b != 0.0 ? (c - b) / std::abs(b)
+                             : (c == 0.0 ? 0.0 : INFINITY);
+        const bool lower = lower_is_better(key);
+        const bool gate = gated(key, gates);
+        const bool bad =
+            gate && (lower ? delta > tolerance : delta < -tolerance);
+        regressed = regressed || bad;
+        if (!quiet || bad) {
+          std::printf("%s %s: %.6g -> %.6g (%+.1f%%)%s%s\n", file.c_str(),
+                      key.c_str(), b, c, 100.0 * delta,
+                      gate ? "" : " [ungated]",
+                      bad ? "  REGRESSION" : "");
+        }
+      }
+    }
+
+    if (compared_files == 0) {
+      std::fprintf(stderr, "bench_diff: no records to compare\n");
+      return 2;
+    }
+    if (!quiet) {
+      std::printf("bench_diff: %zu record(s), tolerance %.0f%%: %s\n",
+                  compared_files, 100.0 * tolerance,
+                  regressed ? "REGRESSION" : "ok");
+    }
+    return regressed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

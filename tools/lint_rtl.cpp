@@ -1,7 +1,7 @@
 // Lint the paper's decimation-filter netlists.
 //
 //   lint_rtl [--json FILE] [--baseline FILE] [--suppress PATTERN]...
-//            [--module NAME] [--quiet]
+//            [--module NAME] [--quiet] [--sim-crosscheck]
 //
 // Elaborates the full paper chain (Sinc4/Sinc4/Sinc6, Saramaki halfband,
 // CSD scaler, FIR equalizer) plus every per-stage module, runs the static
@@ -10,11 +10,17 @@
 // filterdesign Bmax formula (K*log2(M) + Bin - 1) and the widths the
 // builders actually synthesized.
 //
+// --sim-crosscheck additionally runs every linted module through both
+// simulation engines (interpreted reference and the compiled phase-
+// scheduled engine) on a deterministic stimulus and demands bit-identical
+// output streams and activity counters -- the dynamic counterpart of the
+// static width proofs, and CI's engine-equivalence gate.
+//
 // Exit codes:
 //   0  no unsuppressed error-severity findings, cross-check consistent,
 //      no baseline regression
-//   1  error findings, cross-check mismatch, or a previously-clean module
-//      (per --baseline) gained an error
+//   1  error findings, cross-check mismatch, engine divergence, or a
+//      previously-clean module (per --baseline) gained an error
 //   2  usage / IO error
 #include <cmath>
 #include <cstdio>
@@ -28,6 +34,8 @@
 #include "src/analyze/report.h"
 #include "src/decimator/chain.h"
 #include "src/rtl/builders.h"
+#include "src/rtl/compiled_sim.h"
+#include "src/rtl/sim.h"
 #include "src/verify/json.h"
 
 namespace {
@@ -57,6 +65,54 @@ int max_state_width(const dsadc::rtl::Module& m) {
   return w;
 }
 
+struct SimCheck {
+  std::string module;
+  bool ok = false;
+  std::string detail;  ///< first divergence, empty when ok
+};
+
+/// Run `m` through the interpreted and compiled engines on a deterministic
+/// full-range stimulus; outputs, tick counts, and activity counters must
+/// all be bit-identical.
+SimCheck sim_crosscheck_module(const dsadc::rtl::Module& m,
+                               dsadc::rtl::NodeId in, const std::string& name) {
+  SimCheck check;
+  check.module = name;
+
+  const auto& node = m.nodes()[static_cast<std::size_t>(in)];
+  // xorshift64 stimulus masked to the input width: deterministic, full
+  // bit coverage, independent of library RNG implementations.
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  std::vector<std::int64_t> stim(512);
+  for (auto& v : stim) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    const int shift = 64 - node.width;
+    v = static_cast<std::int64_t>(s << shift) >> shift;
+  }
+
+  dsadc::rtl::Simulator interp(m);
+  const auto ref = interp.run({{in, stim}});
+  dsadc::rtl::CompiledSimulator compiled(m);
+  const auto got = compiled.run({{in, stim}}, {.activity = true});
+
+  std::ostringstream os;
+  if (got.outputs != ref.outputs) {
+    os << "output streams diverge";
+  } else if (got.activity.base_ticks != ref.activity.base_ticks) {
+    os << "base_ticks " << got.activity.base_ticks << " vs "
+       << ref.activity.base_ticks;
+  } else if (got.activity.updates != ref.activity.updates) {
+    os << "per-node update counts diverge";
+  } else if (got.activity.bit_toggles != ref.activity.bit_toggles) {
+    os << "per-node toggle counts diverge";
+  }
+  check.detail = os.str();
+  check.ok = check.detail.empty();
+  return check;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +120,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   std::string only_module;
   bool quiet = false;
+  bool sim_crosscheck = false;
   LintOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,11 +142,13 @@ int main(int argc, char** argv) {
       only_module = next();
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
+    } else if (arg == "--sim-crosscheck") {
+      sim_crosscheck = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: lint_rtl [--json FILE] [--baseline FILE]\n"
           "                [--suppress PATTERN]... [--module NAME] "
-          "[--quiet]\n");
+          "[--quiet] [--sim-crosscheck]\n");
       return 0;
     } else {
       std::fprintf(stderr, "lint_rtl: unknown flag '%s'\n", arg.c_str());
@@ -102,6 +161,7 @@ int main(int argc, char** argv) {
     const auto chain = dsadc::rtl::build_chain(config);
 
     std::vector<const dsadc::rtl::Module*> modules;
+    std::vector<dsadc::rtl::NodeId> input_of;
     std::vector<ModuleReport> reports;
     // Chain stage index behind each report (the full chain gets
     // chain.stages.size()); keeps the CIC cross-check aligned when
@@ -117,11 +177,13 @@ int main(int argc, char** argv) {
       LintOptions stage_options = options;
       stage_options.module_name = name;
       modules.push_back(&chain.stages[s].module);
+      input_of.push_back(chain.stages[s].in);
       reports.push_back(lint_module(chain.stages[s].module, stage_options));
       stage_of.push_back(s);
     }
     if (only_module.empty() || chain.full.name() == only_module) {
       modules.push_back(&chain.full);
+      input_of.push_back(chain.in);
       reports.push_back(lint_module(chain.full, options));
       stage_of.push_back(chain.stages.size());
     }
@@ -152,6 +214,18 @@ int main(int argc, char** argv) {
       checks.push_back(check);
     }
 
+    // Engine-equivalence gate: interpreted vs compiled simulator on every
+    // linted module.
+    bool sim_check_ok = true;
+    std::vector<SimCheck> sim_checks;
+    if (sim_crosscheck) {
+      for (std::size_t r = 0; r < reports.size(); ++r) {
+        sim_checks.push_back(
+            sim_crosscheck_module(*modules[r], input_of[r], reports[r].module));
+        sim_check_ok = sim_check_ok && sim_checks.back().ok;
+      }
+    }
+
     Json doc = dsadc::analyze::json_report(reports);
     Json jchecks = Json::array();
     for (const CicCheck& c : checks) {
@@ -164,6 +238,17 @@ int main(int argc, char** argv) {
       jchecks.push_back(std::move(jc));
     }
     doc["cic_width_check"] = std::move(jchecks);
+    if (sim_crosscheck) {
+      Json jsims = Json::array();
+      for (const SimCheck& c : sim_checks) {
+        Json jc = Json::object();
+        jc["module"] = Json{c.module};
+        jc["ok"] = Json{c.ok};
+        if (!c.ok) jc["detail"] = Json{c.detail};
+        jsims.push_back(std::move(jc));
+      }
+      doc["sim_crosscheck"] = std::move(jsims);
+    }
 
     // Baseline gate: any module that was error-free in the baseline report
     // must stay error-free.
@@ -205,6 +290,11 @@ int main(int argc, char** argv) {
                     c.module.c_str(), c.proven, c.formula, c.synthesized,
                     c.ok ? "OK" : "MISMATCH");
       }
+      for (const SimCheck& c : sim_checks) {
+        std::printf("sim-crosscheck %s: %s%s%s\n", c.module.c_str(),
+                    c.ok ? "OK" : "DIVERGED", c.ok ? "" : " -- ",
+                    c.detail.c_str());
+      }
       for (const std::string& name : regressions) {
         std::printf("baseline regression: module '%s' was clean, now has "
                     "errors\n",
@@ -213,7 +303,8 @@ int main(int argc, char** argv) {
     }
 
     const bool failed = dsadc::analyze::has_errors(reports) ||
-                        !cross_check_ok || !regressions.empty();
+                        !cross_check_ok || !sim_check_ok ||
+                        !regressions.empty();
     return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lint_rtl: %s\n", e.what());
