@@ -54,7 +54,8 @@ SignalStats signal_stats(std::span<const std::int64_t> samples,
 void DecimationChain::record_stage(const char* name, double rate_hz,
                                    int width_bits,
                                    const std::vector<std::int64_t>& samples,
-                                   std::vector<StageProbe>* probes) const {
+                                   std::vector<StageProbe>* probes,
+                                   std::size_t idx) const {
   const bool obs_on = obs::enabled();
   if (probes == nullptr && !obs_on) return;
   const SignalStats st = signal_stats(samples, width_bits);
@@ -69,7 +70,13 @@ void DecimationChain::record_stage(const char* name, double rate_hz,
     reg.counter("chain.samples." + stage).add(samples.size());
   }
   if (probes != nullptr) {
-    probes->push_back({name, rate_hz, width_bits, samples, st});
+    if (idx >= probes->size()) probes->resize(idx + 1);
+    StageProbe& p = (*probes)[idx];
+    p.name = name;
+    p.rate_hz = rate_hz;
+    p.width_bits = width_bits;
+    p.samples.assign(samples.begin(), samples.end());
+    p.stats = st;
   }
 }
 
@@ -119,44 +126,51 @@ std::vector<std::int64_t> DecimationChain::process(
     std::span<const std::int32_t> codes, std::vector<StageProbe>* probes) {
   // Stage rates for the probes.
   const double fs = config_.input_rate_hz;
+  std::size_t probe_idx = 0;
 
-  // --- CIC cascade (per-stage for probing).
-  std::vector<std::int64_t> cur(codes.begin(), codes.end());
-  record_stage("input", fs, config_.input_format.width, cur, probes);
+  // --- CIC cascade (per-stage for probing). All inter-stage signals live
+  // in the member scratch vectors, so the steady state allocates only the
+  // returned output vector.
+  buf_.assign(codes.begin(), codes.end());
+  record_stage("input", fs, config_.input_format.width, buf_, probes,
+               probe_idx++);
   double rate = fs;
   auto& stages = cic_.stages();
   for (std::size_t i = 0; i < stages.size(); ++i) {
-    cur = stages[i].process(cur);
+    stages[i].process_inplace(buf_);
     rate /= stages[i].spec().decimation;
     const std::string name = "sinc" + std::to_string(stages[i].spec().order) +
                              "_" + std::to_string(i + 1);
-    record_stage(name.c_str(), rate, stages[i].register_format().width, cur,
-                 probes);
+    record_stage(name.c_str(), rate, stages[i].register_format().width, buf_,
+                 probes, probe_idx++);
   }
 
   // --- Normalize the CIC gain (pure shift) into the HBF input format.
   // The CIC output in "code units" carries gain 2^cic_gain_log2_; treat it
   // as a fractional scale and round into hbf_in_format.
   static const fx::EventCounters& ec_renorm = fx::event_counters("chain_hbf_in");
-  std::vector<std::int64_t> hin(cur.size());
-  for (std::size_t i = 0; i < cur.size(); ++i) {
-    hin[i] = fx::requantize(cur[i], /*src_frac=*/cic_gain_log2_,
-                            config_.hbf_in_format, fx::Rounding::kRoundNearest,
-                            fx::Overflow::kSaturate, &ec_renorm);
+  for (auto& v : buf_) {
+    v = fx::requantize(v, /*src_frac=*/cic_gain_log2_, config_.hbf_in_format,
+                       fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
+                       &ec_renorm);
   }
 
   // --- Halfband decimate-by-2.
-  std::vector<std::int64_t> hout = hbf_.process(hin);
+  hbf_.process_into(buf_, hbuf_);
   rate /= 2.0;
-  record_stage("halfband", rate, config_.hbf_out_format.width, hout, probes);
+  record_stage("halfband", rate, config_.hbf_out_format.width, hbuf_, probes,
+               probe_idx++);
 
   // --- Scaling (CSD Horner).
-  std::vector<std::int64_t> sout = scaler_.process(hout);
-  record_stage("scaler", rate, config_.scaler_out_format.width, sout, probes);
+  scaler_.process_inplace(hbuf_);
+  record_stage("scaler", rate, config_.scaler_out_format.width, hbuf_, probes,
+               probe_idx++);
 
   // --- Equalizer at the output rate.
-  std::vector<std::int64_t> eout = equalizer_.process(sout);
-  record_stage("equalizer", rate, config_.output_format.width, eout, probes);
+  std::vector<std::int64_t> eout;
+  equalizer_.process_into(hbuf_, eout);
+  record_stage("equalizer", rate, config_.output_format.width, eout, probes,
+               probe_idx++);
   return eout;
 }
 

@@ -93,12 +93,14 @@ class DecimationChain {
   std::size_t group_delay_input_samples() const;
 
  private:
-  /// Record one stage boundary: probe push (when requested) plus, while
+  /// Record one stage boundary: probe capture (when requested) plus, while
   /// observability is on, chain.<metric>.<stage> gauges/counters in the
-  /// metrics registry.
+  /// metrics registry. Probe slot `idx` is overwritten in place when the
+  /// caller reuses a probes vector across blocks, so steady-state probing
+  /// reuses the sample buffers instead of reallocating them.
   void record_stage(const char* name, double rate_hz, int width_bits,
                     const std::vector<std::int64_t>& samples,
-                    std::vector<StageProbe>* probes) const;
+                    std::vector<StageProbe>* probes, std::size_t idx) const;
 
   ChainConfig config_;
   CicCascade cic_;
@@ -106,6 +108,11 @@ class DecimationChain {
   ScalingStage scaler_;
   FirDecimator equalizer_;
   int cic_gain_log2_;  ///< log2 of the CIC cascade DC gain (a pure shift)
+  /// Inter-stage scratch, reused across process() calls: once capacities
+  /// have grown to the block size the steady state allocates nothing but
+  /// the returned output vector.
+  std::vector<std::int64_t> buf_;
+  std::vector<std::int64_t> hbuf_;
 };
 
 /// The paper's chain, fully designed with default parameters: Sinc4/Sinc4/

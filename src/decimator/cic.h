@@ -41,6 +41,11 @@ class CicDecimator {
   /// and freely mixable with them (state is shared).
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
+  /// Same kernel operating on a caller-owned buffer: `data` holds the
+  /// input block on entry and the decimated output on return. No
+  /// allocation happens when `data`'s capacity is reused across blocks.
+  void process_inplace(std::vector<std::int64_t>& data);
+
   void reset();
 
   const design::CicSpec& spec() const { return spec_; }
@@ -56,6 +61,37 @@ class CicDecimator {
   fx::Format fmt_;
   std::vector<std::int64_t> integ_;  ///< accumulator states
   std::vector<std::int64_t> comb_;   ///< differentiator delay states
+  int phase_ = 0;
+};
+
+/// N-channel lockstep CIC bank over channel-interleaved frames (element
+/// index = frame * channels + channel). Each channel runs the exact
+/// arithmetic of a dedicated CicDecimator -- same wrapped additions in the
+/// same order -- so per-channel output streams are bit-identical to the
+/// scalar stage; the channel-minor layout makes every inner loop a set of
+/// independent int64 lanes the compiler can vectorize.
+class CicDecimatorBank {
+ public:
+  CicDecimatorBank(design::CicSpec spec, std::size_t channels,
+                   CicHardwareOptions options = {});
+
+  /// `data.size()` must be a multiple of `channels`; holds frames of
+  /// channel-interleaved input on entry, decimated frames on return.
+  void process_inplace(std::vector<std::int64_t>& data);
+
+  void reset();
+
+  const design::CicSpec& spec() const { return spec_; }
+  const fx::Format& register_format() const { return fmt_; }
+  std::size_t channels() const { return channels_; }
+
+ private:
+  design::CicSpec spec_;
+  CicHardwareOptions options_;
+  fx::Format fmt_;
+  std::size_t channels_;
+  std::vector<std::int64_t> integ_;  ///< order x channels accumulator rows
+  std::vector<std::int64_t> comb_;   ///< order x channels delay rows
   int phase_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "src/decimator/fir.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "src/decimator/soa.h"
 
 namespace dsadc::decim {
 
@@ -73,6 +76,13 @@ bool FirDecimator::push(std::int64_t in, std::int64_t& out) {
 
 std::vector<std::int64_t> FirDecimator::process(
     std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  process_into(in, out);
+  return out;
+}
+
+void FirDecimator::process_into(std::span<const std::int64_t> in,
+                                std::vector<std::int64_t>& out) {
   // Block kernel: materialize the delay line plus the new block as one
   // contiguous buffer so each output MAC is a linear dot product (no
   // per-tap circular modulo), computed only at the decimation phase's
@@ -82,21 +92,21 @@ std::vector<std::int64_t> FirDecimator::process(
   // The prefix is the last tap_count-1 samples in chronological order;
   // delay_[pos_] itself (pushed tap_count samples ago) is already out of
   // every window.
-  std::vector<std::int64_t> ext(tap_count - 1 + in.size());
+  ext_.resize(tap_count - 1 + in.size());
   for (std::size_t j = 0; j + 1 < tap_count; ++j) {
-    ext[j] = delay_[(pos_ + 1 + j) % tap_count];
+    ext_[j] = delay_[(pos_ + 1 + j) % tap_count];
   }
-  for (std::size_t i = 0; i < in.size(); ++i) ext[tap_count - 1 + i] = in[i];
+  for (std::size_t i = 0; i < in.size(); ++i) ext_[tap_count - 1 + i] = in[i];
 
   static const fx::EventCounters& ec = fx::event_counters("fir_out");
   const int acc_frac = in_fmt_.frac + taps_.frac_bits;
-  std::vector<std::int64_t> out;
+  out.clear();
   out.reserve(in.size() / static_cast<std::size_t>(decimation_) + 1);
   const auto d = static_cast<std::size_t>(decimation_);
   const std::size_t first =
       (d - static_cast<std::size_t>(phase_)) % d;  // first emit index
   for (std::size_t i = first; i < in.size(); i += d) {
-    const std::int64_t* window = ext.data() + (tap_count - 1 + i);
+    const std::int64_t* window = ext_.data() + (tap_count - 1 + i);
     std::int64_t acc = 0;
     for (std::size_t k = 0; k < tap_count; ++k) {
       acc += taps_.taps[k] * window[-static_cast<std::ptrdiff_t>(k)];
@@ -113,7 +123,94 @@ std::vector<std::int64_t> FirDecimator::process(
   filled_ = std::min(tap_count, filled_ + in.size());
   phase_ = static_cast<int>(
       (static_cast<std::size_t>(phase_) + in.size()) % d);
-  return out;
+}
+
+FirDecimatorBank::FirDecimatorBank(FixedTaps taps, int decimation,
+                                   std::size_t channels, fx::Format in_fmt,
+                                   fx::Format out_fmt, fx::Rounding rounding)
+    : taps_(std::move(taps)),
+      decimation_(decimation),
+      channels_(channels),
+      in_fmt_(in_fmt),
+      out_fmt_(out_fmt),
+      rounding_(rounding),
+      delay_(taps_.size() * channels, 0),
+      acc_(channels, 0) {
+  if (decimation_ < 1) {
+    throw std::invalid_argument("FirDecimatorBank: decimation >= 1");
+  }
+  if (taps_.taps.empty()) {
+    throw std::invalid_argument("FirDecimatorBank: empty taps");
+  }
+  if (channels_ == 0) {
+    throw std::invalid_argument("FirDecimatorBank: channels >= 1");
+  }
+}
+
+void FirDecimatorBank::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0);
+  pos_ = 0;
+  phase_ = 0;
+}
+
+void FirDecimatorBank::process_inplace(std::vector<std::int64_t>& data) {
+  // The scalar block kernel widened to channel rows: the window becomes
+  // (tap_count - 1 + frames) rows, each emit position a row of C
+  // independent MACs accumulated tap for tap in scalar order, and each
+  // output row one inline saturating requantize per lane with event
+  // tallies flushed in bulk (identical totals to the per-sample scalar
+  // counting).
+  const std::size_t C = channels_;
+  if (data.size() % C != 0) {
+    throw std::invalid_argument(
+        "FirDecimatorBank: data size not a multiple of channels");
+  }
+  const std::size_t frames = data.size() / C;
+  const std::size_t tap_count = taps_.size();
+
+  ext_.resize((tap_count - 1 + frames) * C);
+  for (std::size_t j = 0; j + 1 < tap_count; ++j) {
+    const std::size_t row = (pos_ + 1 + j) % tap_count;
+    std::copy_n(delay_.data() + row * C, C, ext_.data() + j * C);
+  }
+  std::copy_n(data.data(), frames * C, ext_.data() + (tap_count - 1) * C);
+
+  static const fx::EventCounters& ec = fx::event_counters("fir_out");
+  const soa::Requant rq(in_fmt_.frac + taps_.frac_bits, out_fmt_, rounding_,
+                        ec);
+  soa::RequantTally tally;
+
+  const auto d = static_cast<std::size_t>(decimation_);
+  const std::size_t first = (d - static_cast<std::size_t>(phase_)) % d;
+  std::size_t n_out = 0;
+  for (std::size_t i = first; i < frames; i += d, ++n_out) {
+    const std::int64_t* const window =
+        ext_.data() + (tap_count - 1 + i) * C;
+    std::fill(acc_.begin(), acc_.end(), 0);
+    for (std::size_t k = 0; k < tap_count; ++k) {
+      const std::int64_t t = taps_.taps[k];
+      const std::int64_t* const wrow =
+          window - static_cast<std::ptrdiff_t>(k * C);
+      for (std::size_t c = 0; c < C; ++c) acc_[c] += t * wrow[c];
+    }
+    std::int64_t* const orow = data.data() + n_out * C;
+    for (std::size_t c = 0; c < C; ++c) {
+      orow[c] = soa::requantize(acc_[c], rq, tally);
+    }
+  }
+  tally.flush(rq);
+  data.resize(n_out * C);
+
+  // Streaming state: only the last tap_count input rows survive in the
+  // delay line; write exactly those (same final state as row-wise pushes).
+  const std::size_t start = frames > tap_count ? frames - tap_count : 0;
+  for (std::size_t i = start; i < frames; ++i) {
+    const std::size_t row = (pos_ + i) % tap_count;
+    std::copy_n(ext_.data() + (tap_count - 1 + i) * C, C,
+                delay_.data() + row * C);
+  }
+  pos_ = (pos_ + frames) % tap_count;
+  phase_ = static_cast<int>((static_cast<std::size_t>(phase_) + frames) % d);
 }
 
 PolyphaseHalfbandDecimator::PolyphaseHalfbandDecimator(FixedTaps taps,

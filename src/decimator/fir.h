@@ -42,6 +42,11 @@ class FirDecimator {
   /// equivalent push() sequence and freely mixable with it.
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
+  /// Same kernel writing into a caller-owned vector; with reused capacity
+  /// (and the member window scratch) the steady state allocates nothing.
+  void process_into(std::span<const std::int64_t> in,
+                    std::vector<std::int64_t>& out);
+
   void reset();
 
   const FixedTaps& taps() const { return taps_; }
@@ -56,9 +61,43 @@ class FirDecimator {
   fx::Rounding rounding_;
   fx::Overflow overflow_;
   std::vector<std::int64_t> delay_;  ///< circular history
+  std::vector<std::int64_t> ext_;    ///< block-kernel window scratch
   std::size_t pos_ = 0;
   int phase_ = 0;
   std::size_t filled_ = 0;
+};
+
+/// N-channel lockstep FIR/decimator bank over channel-interleaved frames
+/// (element index = frame * channels + channel). Per-channel accumulation
+/// order matches FirDecimator tap for tap, so each lane is bit-identical
+/// to the scalar stage (outputs and fx event counters alike).
+class FirDecimatorBank {
+ public:
+  /// Saturating output path only (what every chain stage uses).
+  FirDecimatorBank(FixedTaps taps, int decimation, std::size_t channels,
+                   fx::Format in_fmt, fx::Format out_fmt,
+                   fx::Rounding rounding = fx::Rounding::kRoundNearest);
+
+  /// `data.size()` must be a multiple of `channels`; input frames on
+  /// entry, emitted (decimated) frames on return.
+  void process_inplace(std::vector<std::int64_t>& data);
+
+  void reset();
+
+  std::size_t channels() const { return channels_; }
+  const FixedTaps& taps() const { return taps_; }
+
+ private:
+  FixedTaps taps_;
+  int decimation_;
+  std::size_t channels_;
+  fx::Format in_fmt_, out_fmt_;
+  fx::Rounding rounding_;
+  std::vector<std::int64_t> delay_;  ///< tap_count x channels rows, circular
+  std::vector<std::int64_t> ext_;    ///< window scratch rows
+  std::vector<std::int64_t> acc_;    ///< per-channel accumulator row
+  std::size_t pos_ = 0;              ///< row index of the next write
+  int phase_ = 0;
 };
 
 /// Polyphase decimate-by-2 FIR specialized for half-band taps: the odd

@@ -1,55 +1,71 @@
 #include "src/decimator/hbf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "src/decimator/soa.h"
+
 namespace dsadc::decim {
+
+namespace hbf_detail {
+
+HbfParams make_hbf_params(const design::SaramakiHbf& design, fx::Format in_fmt,
+                          fx::Format out_fmt, int coeff_frac_bits,
+                          int guard_frac_bits) {
+  HbfParams p;
+  p.coeff_frac = coeff_frac_bits;
+  p.n1 = design.n1;
+  p.n2 = design.n2;
+  p.d2 = 2 * design.n2 - 1;
+  p.big_d = (2 * design.n1 - 1) * p.d2;
+  p.in_fmt = in_fmt;
+  p.out_fmt = out_fmt;
+  p.internal_fmt = fx::Format{in_fmt.width + 4 + guard_frac_bits,
+                              in_fmt.frac + guard_frac_bits};
+  p.prod_fmt = fx::Format{in_fmt.width + 7 + guard_frac_bits,
+                          in_fmt.frac + guard_frac_bits + 2};
+  if (design.f1.empty() || design.f2.empty()) {
+    throw std::invalid_argument("SaramakiHbfDecimator: empty design");
+  }
+  if (p.internal_fmt.width > 62) {
+    throw std::invalid_argument("SaramakiHbfDecimator: internal width > 62");
+  }
+  const double scale = std::ldexp(1.0, p.coeff_frac);
+  // Use the CSD-quantized coefficient values from the design: the datapath
+  // must be bit-consistent with the shift-add network the RTL builds.
+  for (const auto& c : design.f2_csd) {
+    p.f2_coeffs.push_back(
+        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
+  }
+  for (const auto& c : design.f1_csd) {
+    p.f1_coeffs.push_back(
+        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
+  }
+  p.half_coeff = static_cast<std::int64_t>(std::nearbyint(0.5 * scale));
+  return p;
+}
+
+}  // namespace hbf_detail
 
 SaramakiHbfDecimator::SaramakiHbfDecimator(const design::SaramakiHbf& design,
                                            fx::Format in_fmt,
                                            fx::Format out_fmt,
                                            int coeff_frac_bits,
                                            int guard_frac_bits)
-    : coeff_frac_(coeff_frac_bits),
-      n1_(design.n1),
-      n2_(design.n2),
-      d2_(2 * design.n2 - 1),
-      big_d_((2 * design.n1 - 1) * d2_),
-      in_fmt_(in_fmt),
-      out_fmt_(out_fmt),
-      internal_fmt_{in_fmt.width + 4 + guard_frac_bits,
-                    in_fmt.frac + guard_frac_bits},
-      prod_fmt_{in_fmt.width + 7 + guard_frac_bits,
-                in_fmt.frac + guard_frac_bits + 2} {
-  if (design.f1.empty() || design.f2.empty()) {
-    throw std::invalid_argument("SaramakiHbfDecimator: empty design");
-  }
-  if (internal_fmt_.width > 62) {
-    throw std::invalid_argument("SaramakiHbfDecimator: internal width > 62");
-  }
-  const double scale = std::ldexp(1.0, coeff_frac_);
-  // Use the CSD-quantized coefficient values from the design: the datapath
-  // must be bit-consistent with the shift-add network the RTL builds.
-  for (const auto& c : design.f2_csd) {
-    f2_coeffs_.push_back(
-        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
-  }
-  for (const auto& c : design.f1_csd) {
-    f1_coeffs_.push_back(
-        static_cast<std::int64_t>(std::nearbyint(c.to_double() * scale)));
-  }
-  half_coeff_ = static_cast<std::int64_t>(std::nearbyint(0.5 * scale));
-
-  blocks_.resize(2 * n1_ - 1);
-  for (auto& b : blocks_) b.hist.assign(2 * n2_, 0);
-  odd_delay_.assign((big_d_ + 1) / 2, 0);
-  branch_delay_.resize(n1_ - 1);
-  bpos_.assign(n1_ - 1, 0);
-  for (std::size_t i = 1; i < n1_; ++i) {
+    : p_(hbf_detail::make_hbf_params(design, in_fmt, out_fmt, coeff_frac_bits,
+                                     guard_frac_bits)) {
+  blocks_.resize(2 * p_.n1 - 1);
+  for (auto& b : blocks_) b.hist.assign(2 * p_.n2, 0);
+  odd_delay_.assign((p_.big_d + 1) / 2, 0);
+  branch_delay_.resize(p_.n1 - 1);
+  bpos_.assign(p_.n1 - 1, 0);
+  for (std::size_t i = 1; i < p_.n1; ++i) {
     // A circular line of length L realizes a delay of exactly L samples
     // with the read-before-write access in push().
-    branch_delay_[i - 1].assign((big_d_ - (2 * i - 1) * d2_) / 2, 0);
+    branch_delay_[i - 1].assign((p_.big_d - (2 * i - 1) * p_.d2) / 2, 0);
   }
+  branch_scratch_.resize(p_.n1);
 }
 
 void SaramakiHbfDecimator::reset() {
@@ -65,7 +81,7 @@ void SaramakiHbfDecimator::reset() {
 }
 
 std::size_t SaramakiHbfDecimator::macs_per_output() const {
-  return (2 * n1_ - 1) * n2_ + n1_;  // G2 taps + outer taps
+  return (2 * p_.n1 - 1) * p_.n2 + p_.n1;  // G2 taps + outer taps
 }
 
 std::int64_t SaramakiHbfDecimator::G2Block::step(
@@ -94,14 +110,14 @@ std::int64_t SaramakiHbfDecimator::requantize_product(std::int64_t prod) const {
   // immediately after each CSD multiplier (frac: internal + coeff ->
   // product format), keeping the adder tree narrow.
   static const fx::EventCounters& ec = fx::event_counters("hbf_product");
-  return fx::requantize(prod, internal_fmt_.frac + coeff_frac_, prod_fmt_,
+  return fx::requantize(prod, p_.internal_fmt.frac + p_.coeff_frac, p_.prod_fmt,
                         fx::Rounding::kTruncate, fx::Overflow::kSaturate, &ec);
 }
 
 std::int64_t SaramakiHbfDecimator::requantize_internal(std::int64_t acc) const {
   // acc carries the product-format frac; bring back to internal.
   static const fx::EventCounters& ec = fx::event_counters("hbf_internal");
-  return fx::requantize(acc, prod_fmt_.frac, internal_fmt_,
+  return fx::requantize(acc, p_.prod_fmt.frac, p_.internal_fmt,
                         fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
                         &ec);
 }
@@ -110,8 +126,8 @@ bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
   // Promote the input into the internal guard format.
   static const fx::EventCounters& ec_in = fx::event_counters("hbf_in");
   const std::int64_t x =
-      fx::requantize(in, in_fmt_.frac, internal_fmt_, fx::Rounding::kTruncate,
-                     fx::Overflow::kSaturate, &ec_in);
+      fx::requantize(in, p_.in_fmt.frac, p_.internal_fmt,
+                     fx::Rounding::kTruncate, fx::Overflow::kSaturate, &ec_in);
   if (phase_ == 1) {
     // Odd-phase sample: enqueue into the 0.5-path delay line.
     odd_delay_[opos_] = x;
@@ -122,15 +138,15 @@ bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
   phase_ = 1;
 
   // Even-phase sample: drive the G2 cascade (all at the output rate).
-  std::vector<std::int64_t> odd_outputs(n1_, 0);
+  std::vector<std::int64_t> odd_outputs(p_.n1, 0);
   std::int64_t cur = x;
   for (std::size_t k = 0; k < blocks_.size(); ++k) {
-    cur = requantize_internal(blocks_[k].step(cur, f2_coeffs_, *this));
+    cur = requantize_internal(blocks_[k].step(cur, p_.f2_coeffs, *this));
     if (k % 2 == 0) odd_outputs[k / 2] = cur;  // w_{k+1}, k+1 odd
   }
   // Branch alignment.
-  std::vector<std::int64_t> aligned(n1_, 0);
-  for (std::size_t i = 1; i < n1_; ++i) {
+  std::vector<std::int64_t> aligned(p_.n1, 0);
+  for (std::size_t i = 1; i < p_.n1; ++i) {
     auto& line = branch_delay_[i - 1];
     auto& p = bpos_[i - 1];
     const std::int64_t delayed = line[p];
@@ -138,16 +154,16 @@ bool SaramakiHbfDecimator::push(std::int64_t in, std::int64_t& out) {
     p = (p + 1) % line.size();
     aligned[i - 1] = delayed;
   }
-  aligned[n1_ - 1] = odd_outputs[n1_ - 1];
+  aligned[p_.n1 - 1] = odd_outputs[p_.n1 - 1];
 
   // Output: 0.5 * x_odd[m - (D+1)/2] + sum_i f1_i w_i.
   const std::int64_t xd = odd_delay_[opos_];  // oldest = (D+1)/2 pushes ago
-  std::int64_t acc = requantize_product(half_coeff_ * xd);
-  for (std::size_t i = 0; i < n1_; ++i) {
-    acc += requantize_product(f1_coeffs_[i] * aligned[i]);
+  std::int64_t acc = requantize_product(p_.half_coeff * xd);
+  for (std::size_t i = 0; i < p_.n1; ++i) {
+    acc += requantize_product(p_.f1_coeffs[i] * aligned[i]);
   }
   static const fx::EventCounters& ec_out = fx::event_counters("hbf_out");
-  out = fx::requantize(acc, prod_fmt_.frac, out_fmt_,
+  out = fx::requantize(acc, p_.prod_fmt.frac, p_.out_fmt,
                        fx::Rounding::kRoundNearest, fx::Overflow::kSaturate,
                        &ec_out);
   return true;
@@ -161,19 +177,19 @@ void SaramakiHbfDecimator::g2_block_pass(G2Block& b,
   // per-product requantization match step() exactly, so the pass is
   // bit-identical to sample-at-a-time stepping.
   const std::size_t n = b.hist.size();  // 2*n2
-  std::vector<std::int64_t> ext(n + stream.size());
-  for (std::size_t j = 0; j < n; ++j) ext[j] = b.hist[(b.pos + j) % n];
-  std::copy(stream.begin(), stream.end(), ext.begin() + n);
+  g2_ext_.resize(n + stream.size());
+  for (std::size_t j = 0; j < n; ++j) g2_ext_[j] = b.hist[(b.pos + j) % n];
+  std::copy(stream.begin(), stream.end(), g2_ext_.begin() + n);
 
-  const std::size_t n2 = f2_coeffs_.size();
+  const std::size_t n2 = p_.f2_coeffs.size();
   for (std::size_t m = 0; m < stream.size(); ++m) {
-    const std::int64_t* newest = ext.data() + n + m;
+    const std::int64_t* newest = g2_ext_.data() + n + m;
     std::int64_t acc = 0;
     for (std::size_t j = 1; j <= n2; ++j) {
       const std::int64_t near = newest[-static_cast<std::ptrdiff_t>(n2 - j)];
       const std::int64_t far =
           newest[-static_cast<std::ptrdiff_t>(n2 + j - 1)];
-      acc += requantize_product(f2_coeffs_[j - 1] * (near + far));
+      acc += requantize_product(p_.f2_coeffs[j - 1] * (near + far));
     }
     stream[m] = requantize_internal(acc);
   }
@@ -182,13 +198,20 @@ void SaramakiHbfDecimator::g2_block_pass(G2Block& b,
   // input samples, with pos advanced as step() would have left it.
   const std::size_t advanced = (b.pos + stream.size()) % n;
   for (std::size_t j = 0; j < n; ++j) {
-    b.hist[(advanced + j) % n] = ext[stream.size() + j];
+    b.hist[(advanced + j) % n] = g2_ext_[stream.size() + j];
   }
   b.pos = advanced;
 }
 
 std::vector<std::int64_t> SaramakiHbfDecimator::process(
     std::span<const std::int64_t> in) {
+  std::vector<std::int64_t> out;
+  process_into(in, out);
+  return out;
+}
+
+void SaramakiHbfDecimator::process_into(std::span<const std::int64_t> in,
+                                        std::vector<std::int64_t>& out) {
   // Batched polyphase kernel. push() interleaves the two phases sample by
   // sample; here the block is split once and every branch runs as a
   // vector pass at the output rate:
@@ -202,14 +225,17 @@ std::vector<std::int64_t> SaramakiHbfDecimator::process(
 
   // --- A: promote into the guard format and split phases.
   static const fx::EventCounters& ec_in = fx::event_counters("hbf_in");
-  std::vector<std::int64_t> even;
-  std::vector<std::int64_t> half_path;  ///< 0.5-path sample per even sample
+  std::vector<std::int64_t>& even = even_scratch_;
+  std::vector<std::int64_t>& half_path = half_scratch_;
+  even.clear();
+  half_path.clear();
   even.reserve(in.size() / 2 + 1);
   half_path.reserve(in.size() / 2 + 1);
   for (const std::int64_t s : in) {
     const std::int64_t x =
-        fx::requantize(s, in_fmt_.frac, internal_fmt_, fx::Rounding::kTruncate,
-                       fx::Overflow::kSaturate, &ec_in);
+        fx::requantize(s, p_.in_fmt.frac, p_.internal_fmt,
+                       fx::Rounding::kTruncate, fx::Overflow::kSaturate,
+                       &ec_in);
     if (phase_ == 1) {
       odd_delay_[opos_] = x;
       opos_ = (opos_ + 1) % odd_delay_.size();
@@ -224,18 +250,19 @@ std::vector<std::int64_t> SaramakiHbfDecimator::process(
   }
 
   // --- B: G2 cascade; odd cascade outputs w1, w3, ... feed the branches.
-  std::vector<std::vector<std::int64_t>> branch(n1_);
-  std::vector<std::int64_t> cur = std::move(even);
+  std::vector<std::int64_t>& cur = even;
   for (std::size_t k = 0; k < blocks_.size(); ++k) {
     g2_block_pass(blocks_[k], cur);
-    if (k % 2 == 0) branch[k / 2] = cur;
+    if (k % 2 == 0) {
+      branch_scratch_[k / 2].assign(cur.begin(), cur.end());
+    }
   }
 
   // --- C: align each branch (all but the last) through its delay line.
-  for (std::size_t i = 1; i < n1_; ++i) {
+  for (std::size_t i = 1; i < p_.n1; ++i) {
     auto& line = branch_delay_[i - 1];
     auto& p = bpos_[i - 1];
-    for (auto& w : branch[i - 1]) {
+    for (auto& w : branch_scratch_[i - 1]) {
       const std::int64_t delayed = line[p];
       line[p] = w;
       p = (p + 1) % line.size();
@@ -245,17 +272,205 @@ std::vector<std::int64_t> SaramakiHbfDecimator::process(
 
   // --- D: 0.5 path + f1 taps in the power basis.
   static const fx::EventCounters& ec_out = fx::event_counters("hbf_out");
-  std::vector<std::int64_t> out(half_path.size());
+  out.resize(half_path.size());
   for (std::size_t m = 0; m < out.size(); ++m) {
-    std::int64_t acc = requantize_product(half_coeff_ * half_path[m]);
-    for (std::size_t i = 0; i < n1_; ++i) {
-      acc += requantize_product(f1_coeffs_[i] * branch[i][m]);
+    std::int64_t acc = requantize_product(p_.half_coeff * half_path[m]);
+    for (std::size_t i = 0; i < p_.n1; ++i) {
+      acc += requantize_product(p_.f1_coeffs[i] * branch_scratch_[i][m]);
     }
-    out[m] = fx::requantize(acc, prod_fmt_.frac, out_fmt_,
+    out[m] = fx::requantize(acc, p_.prod_fmt.frac, p_.out_fmt,
                             fx::Rounding::kRoundNearest,
                             fx::Overflow::kSaturate, &ec_out);
   }
-  return out;
+}
+
+SaramakiHbfBank::SaramakiHbfBank(const design::SaramakiHbf& design,
+                                 std::size_t channels, fx::Format in_fmt,
+                                 fx::Format out_fmt, int coeff_frac_bits,
+                                 int guard_frac_bits)
+    : p_(hbf_detail::make_hbf_params(design, in_fmt, out_fmt, coeff_frac_bits,
+                                     guard_frac_bits)),
+      channels_(channels) {
+  if (channels_ == 0) {
+    throw std::invalid_argument("SaramakiHbfBank: channels >= 1");
+  }
+  block_hist_.resize(2 * p_.n1 - 1);
+  block_pos_.assign(block_hist_.size(), 0);
+  for (auto& h : block_hist_) h.assign(2 * p_.n2 * channels_, 0);
+  odd_delay_.assign(((p_.big_d + 1) / 2) * channels_, 0);
+  branch_delay_.resize(p_.n1 - 1);
+  bpos_.assign(p_.n1 - 1, 0);
+  for (std::size_t i = 1; i < p_.n1; ++i) {
+    branch_delay_[i - 1].assign(((p_.big_d - (2 * i - 1) * p_.d2) / 2) *
+                                    channels_,
+                                0);
+  }
+  branch_scratch_.resize(p_.n1);
+}
+
+void SaramakiHbfBank::reset() {
+  for (auto& h : block_hist_) std::fill(h.begin(), h.end(), 0);
+  std::fill(block_pos_.begin(), block_pos_.end(), 0);
+  std::fill(odd_delay_.begin(), odd_delay_.end(), 0);
+  for (auto& d : branch_delay_) std::fill(d.begin(), d.end(), 0);
+  std::fill(bpos_.begin(), bpos_.end(), 0);
+  opos_ = 0;
+  phase_ = 0;
+}
+
+void SaramakiHbfBank::g2_bank_pass(std::size_t block,
+                                   std::vector<std::int64_t>& stream) {
+  // g2_block_pass with every sample widened to a row of C channels. The
+  // per-product requantize runs inline per lane in the scalar tap order,
+  // with events tallied in bulk.
+  const std::size_t C = channels_;
+  const std::size_t n = 2 * p_.n2;  // history rows
+  std::vector<std::int64_t>& hist = block_hist_[block];
+  std::size_t& pos = block_pos_[block];
+  const std::size_t frames = stream.size() / C;
+
+  g2_ext_.resize((n + frames) * C);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::copy_n(hist.data() + ((pos + j) % n) * C, C, g2_ext_.data() + j * C);
+  }
+  std::copy_n(stream.data(), frames * C, g2_ext_.data() + n * C);
+
+  static const fx::EventCounters& ec_prod = fx::event_counters("hbf_product");
+  static const fx::EventCounters& ec_int = fx::event_counters("hbf_internal");
+  const soa::Requant rq_prod(p_.internal_fmt.frac + p_.coeff_frac, p_.prod_fmt,
+                             fx::Rounding::kTruncate, ec_prod);
+  const soa::Requant rq_int(p_.prod_fmt.frac, p_.internal_fmt,
+                            fx::Rounding::kRoundNearest, ec_int);
+  soa::RequantTally t_prod, t_int;
+
+  const std::size_t n2 = p_.f2_coeffs.size();
+  for (std::size_t m = 0; m < frames; ++m) {
+    const std::int64_t* const newest = g2_ext_.data() + (n + m) * C;
+    std::int64_t* const orow = stream.data() + m * C;
+    // First product initializes the accumulator row in place, the rest
+    // add -- same j = 1..n2 order as the scalar kernel.
+    for (std::size_t j = 1; j <= n2; ++j) {
+      const std::int64_t coeff = p_.f2_coeffs[j - 1];
+      const std::int64_t* const near_row =
+          newest - (n2 - j) * C;
+      const std::int64_t* const far_row = newest - (n2 + j - 1) * C;
+      if (j == 1) {
+        for (std::size_t c = 0; c < C; ++c) {
+          orow[c] = soa::requantize(coeff * (near_row[c] + far_row[c]),
+                                    rq_prod, t_prod);
+        }
+      } else {
+        for (std::size_t c = 0; c < C; ++c) {
+          orow[c] += soa::requantize(coeff * (near_row[c] + far_row[c]),
+                                     rq_prod, t_prod);
+        }
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      orow[c] = soa::requantize(orow[c], rq_int, t_int);
+    }
+  }
+  t_prod.flush(rq_prod);
+  t_int.flush(rq_int);
+
+  // Streaming state write-back, row-wise.
+  const std::size_t advanced = (pos + frames) % n;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::copy_n(g2_ext_.data() + (frames + j) * C, C,
+                hist.data() + ((advanced + j) % n) * C);
+  }
+  pos = advanced;
+}
+
+void SaramakiHbfBank::process_inplace(std::vector<std::int64_t>& data) {
+  const std::size_t C = channels_;
+  if (data.size() % C != 0) {
+    throw std::invalid_argument(
+        "SaramakiHbfBank: data size not a multiple of channels");
+  }
+  const std::size_t frames = data.size() / C;
+
+  // --- A: promote into the guard format, then split phase rows through
+  // the 0.5-path delay line in push order.
+  static const fx::EventCounters& ec_in = fx::event_counters("hbf_in");
+  const soa::Requant rq_in(p_.in_fmt.frac, p_.internal_fmt,
+                           fx::Rounding::kTruncate, ec_in);
+  soa::RequantTally t_in;
+  for (auto& v : data) v = soa::requantize(v, rq_in, t_in);
+  t_in.flush(rq_in);
+
+  even_scratch_.clear();
+  half_scratch_.clear();
+  even_scratch_.reserve((frames / 2 + 1) * C);
+  half_scratch_.reserve((frames / 2 + 1) * C);
+  const std::size_t odd_rows = odd_delay_.size() / C;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::int64_t* const row = data.data() + f * C;
+    if (phase_ == 1) {
+      std::copy_n(row, C, odd_delay_.data() + opos_ * C);
+      opos_ = (opos_ + 1) % odd_rows;
+      phase_ = 0;
+    } else {
+      // Delay-line read precedes the paired odd row's write, as in push().
+      half_scratch_.insert(half_scratch_.end(),
+                           odd_delay_.data() + opos_ * C,
+                           odd_delay_.data() + (opos_ + 1) * C);
+      even_scratch_.insert(even_scratch_.end(), row, row + C);
+      phase_ = 1;
+    }
+  }
+
+  // --- B: G2 cascade over even rows.
+  std::vector<std::int64_t>& cur = even_scratch_;
+  for (std::size_t k = 0; k < block_hist_.size(); ++k) {
+    g2_bank_pass(k, cur);
+    if (k % 2 == 0) {
+      branch_scratch_[k / 2].assign(cur.begin(), cur.end());
+    }
+  }
+
+  // --- C: branch-alignment delay lines, row-wise swaps.
+  const std::size_t out_frames = half_scratch_.size() / C;
+  for (std::size_t i = 1; i < p_.n1; ++i) {
+    auto& line = branch_delay_[i - 1];
+    auto& p = bpos_[i - 1];
+    const std::size_t rows = line.size() / C;
+    auto& w = branch_scratch_[i - 1];
+    for (std::size_t m = 0; m < out_frames; ++m) {
+      std::swap_ranges(w.data() + m * C, w.data() + (m + 1) * C,
+                       line.data() + p * C);
+      p = (p + 1) % rows;
+    }
+  }
+
+  // --- D: 0.5 path + f1 taps; output rows overwrite `data`.
+  static const fx::EventCounters& ec_out = fx::event_counters("hbf_out");
+  const soa::Requant rq_prod(p_.internal_fmt.frac + p_.coeff_frac, p_.prod_fmt,
+                             fx::Rounding::kTruncate,
+                             fx::event_counters("hbf_product"));
+  const soa::Requant rq_out(p_.prod_fmt.frac, p_.out_fmt,
+                            fx::Rounding::kRoundNearest, ec_out);
+  soa::RequantTally t_prod, t_out;
+  data.resize(out_frames * C);
+  for (std::size_t m = 0; m < out_frames; ++m) {
+    std::int64_t* const orow = data.data() + m * C;
+    const std::int64_t* const hrow = half_scratch_.data() + m * C;
+    for (std::size_t c = 0; c < C; ++c) {
+      orow[c] = soa::requantize(p_.half_coeff * hrow[c], rq_prod, t_prod);
+    }
+    for (std::size_t i = 0; i < p_.n1; ++i) {
+      const std::int64_t coeff = p_.f1_coeffs[i];
+      const std::int64_t* const brow = branch_scratch_[i].data() + m * C;
+      for (std::size_t c = 0; c < C; ++c) {
+        orow[c] += soa::requantize(coeff * brow[c], rq_prod, t_prod);
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      orow[c] = soa::requantize(orow[c], rq_out, t_out);
+    }
+  }
+  t_prod.flush(rq_prod);
+  t_out.flush(rq_out);
 }
 
 }  // namespace dsadc::decim

@@ -26,6 +26,26 @@
 
 namespace dsadc::decim {
 
+namespace hbf_detail {
+
+/// Everything derived from (design, formats, coeff/guard precision) that
+/// the scalar decimator and the multi-channel bank share.
+struct HbfParams {
+  std::vector<std::int64_t> f2_coeffs;  ///< integer subfilter taps
+  std::vector<std::int64_t> f1_coeffs;  ///< integer outer taps (power basis)
+  std::int64_t half_coeff = 0;          ///< 0.5 in coefficient scale
+  int coeff_frac = 24;
+  std::size_t n1 = 0, n2 = 0, d2 = 0, big_d = 0;
+  fx::Format in_fmt, out_fmt, internal_fmt;
+  fx::Format prod_fmt;  ///< post-multiplier format (narrow adder tree)
+};
+
+HbfParams make_hbf_params(const design::SaramakiHbf& design, fx::Format in_fmt,
+                          fx::Format out_fmt, int coeff_frac_bits,
+                          int guard_frac_bits);
+
+}  // namespace hbf_detail
+
 class SaramakiHbfDecimator {
  public:
   /// `design` supplies f1/f2 (the CSD-quantized values are used),
@@ -45,13 +65,19 @@ class SaramakiHbfDecimator {
   /// with it (state is shared).
   std::vector<std::int64_t> process(std::span<const std::int64_t> in);
 
+  /// Same kernel writing into a caller-owned vector. All intermediate
+  /// streams live in member scratch buffers, so the steady state
+  /// allocates nothing once capacities have grown to the block size.
+  void process_into(std::span<const std::int64_t> in,
+                    std::vector<std::int64_t>& out);
+
   void reset();
 
-  const fx::Format& input_format() const { return in_fmt_; }
-  const fx::Format& output_format() const { return out_fmt_; }
-  const fx::Format& internal_format() const { return internal_fmt_; }
+  const fx::Format& input_format() const { return p_.in_fmt; }
+  const fx::Format& output_format() const { return p_.out_fmt; }
+  const fx::Format& internal_format() const { return p_.internal_fmt; }
   /// Composite group delay D in input samples.
-  std::size_t group_delay() const { return big_d_; }
+  std::size_t group_delay() const { return p_.big_d; }
   /// Multiplications (CSD networks) evaluated per output sample.
   std::size_t macs_per_output() const;
 
@@ -75,13 +101,7 @@ class SaramakiHbfDecimator {
   /// stream, updating `b`'s streaming state; rewrites `stream` in place.
   void g2_block_pass(G2Block& b, std::vector<std::int64_t>& stream);
 
-  std::vector<std::int64_t> f2_coeffs_;  ///< integer subfilter taps
-  std::vector<std::int64_t> f1_coeffs_;  ///< integer outer taps (power basis)
-  std::int64_t half_coeff_ = 0;          ///< 0.5 in coefficient scale
-  int coeff_frac_;
-  std::size_t n1_, n2_, d2_, big_d_;
-  fx::Format in_fmt_, out_fmt_, internal_fmt_;
-  fx::Format prod_fmt_;  ///< post-multiplier format (narrow adder tree)
+  hbf_detail::HbfParams p_;
 
   std::vector<G2Block> blocks_;              ///< 2 n1 - 1 cascade stages
   std::vector<std::int64_t> odd_delay_;      ///< 0.5 path, (D+1)/2 samples
@@ -91,6 +111,55 @@ class SaramakiHbfDecimator {
   std::vector<std::vector<std::int64_t>> branch_delay_;
   std::vector<std::size_t> bpos_;
   int phase_ = 0;
+
+  // Block-kernel scratch (reused across process calls; see process_into).
+  std::vector<std::int64_t> even_scratch_;
+  std::vector<std::int64_t> half_scratch_;
+  std::vector<std::int64_t> g2_ext_;
+  std::vector<std::vector<std::int64_t>> branch_scratch_;
+};
+
+/// N-channel lockstep Saramaki HBF bank over channel-interleaved frames
+/// (element index = frame * channels + channel). Every channel undergoes
+/// the exact per-sample operation sequence of a dedicated
+/// SaramakiHbfDecimator -- promote, per-product requantize, G2 cascade,
+/// branch alignment, f1 combination -- so each lane is bit-identical to
+/// the scalar stage, outputs and fx event-counter totals alike.
+class SaramakiHbfBank {
+ public:
+  SaramakiHbfBank(const design::SaramakiHbf& design, std::size_t channels,
+                  fx::Format in_fmt, fx::Format out_fmt,
+                  int coeff_frac_bits = 24, int guard_frac_bits = 6);
+
+  /// `data.size()` must be a multiple of `channels`; input-rate frames on
+  /// entry, decimated output frames on return.
+  void process_inplace(std::vector<std::int64_t>& data);
+
+  void reset();
+
+  std::size_t channels() const { return channels_; }
+  std::size_t group_delay() const { return p_.big_d; }
+
+ private:
+  void g2_bank_pass(std::size_t block, std::vector<std::int64_t>& stream);
+
+  hbf_detail::HbfParams p_;
+  std::size_t channels_;
+
+  /// G2 cascade state: per block, 2*n2 rows of C channels + row cursor.
+  std::vector<std::vector<std::int64_t>> block_hist_;
+  std::vector<std::size_t> block_pos_;
+  std::vector<std::int64_t> odd_delay_;  ///< (D+1)/2 rows of C
+  std::size_t opos_ = 0;
+  std::vector<std::vector<std::int64_t>> branch_delay_;  ///< rows of C
+  std::vector<std::size_t> bpos_;
+  int phase_ = 0;
+
+  // Scratch rows (reused across blocks).
+  std::vector<std::int64_t> even_scratch_;
+  std::vector<std::int64_t> half_scratch_;
+  std::vector<std::int64_t> g2_ext_;
+  std::vector<std::vector<std::int64_t>> branch_scratch_;
 };
 
 }  // namespace dsadc::decim

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/decimator/soa.h"
+
 namespace dsadc::decim {
 
 ScalingStage::ScalingStage(double scale, fx::Format in_fmt, fx::Format out_fmt,
@@ -37,6 +39,25 @@ std::vector<std::int64_t> ScalingStage::process(
   out.reserve(in.size());
   for (std::int64_t x : in) out.push_back(push(x));
   return out;
+}
+
+void ScalingStage::process_inplace(std::vector<std::int64_t>& data) const {
+  // Same Horner digit walk as push(), with the requantize inlined and the
+  // round/saturate events tallied per block instead of per sample.
+  static const fx::EventCounters& ec = fx::event_counters("scaler_out");
+  const soa::Requant rq(in_fmt_.frac + frac_bits_, out_fmt_,
+                        fx::Rounding::kRoundNearest, ec);
+  soa::RequantTally tally;
+  for (auto& x : data) {
+    std::int64_t acc = 0;
+    for (const auto& d : csd_.digits) {
+      const int shift = d.position + frac_bits_;  // >= 0 by construction
+      const std::int64_t term = (shift >= 0) ? (x << shift) : (x >> -shift);
+      acc += d.sign > 0 ? term : -term;
+    }
+    x = soa::requantize(acc, rq, tally);
+  }
+  tally.flush(rq);
 }
 
 double scale_for_msa(double msa, double headroom) {

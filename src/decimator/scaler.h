@@ -26,6 +26,12 @@ class ScalingStage {
   std::int64_t push(std::int64_t in) const;
   std::vector<std::int64_t> process(std::span<const std::int64_t> in) const;
 
+  /// Element-wise block kernel over a caller-owned buffer (no allocation,
+  /// inline requantize with bulk event counting). The stage is stateless
+  /// and channel-oblivious, so the same call serves single-channel blocks
+  /// and channel-interleaved bank frames alike; bit-identical to push().
+  void process_inplace(std::vector<std::int64_t>& data) const;
+
   const fx::Csd& csd() const { return csd_; }
   /// The gain actually applied after CSD quantization.
   double effective_scale() const { return csd_.to_double(); }

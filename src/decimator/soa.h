@@ -1,0 +1,104 @@
+// Structure-of-arrays kernel support for the multi-channel bank stages.
+//
+// The bank classes in cic/fir/hbf/scaler run N independent channels in
+// lockstep over channel-interleaved frames (element index = frame * C +
+// channel), so the per-channel recurrences become independent lanes and
+// the inner loops auto-vectorize. Bit-exactness against the scalar
+// stages requires reproducing fx::requantize digit for digit; Requant
+// precomputes the shift/round/clamp parameters once per call site and
+// applies them inline, tallying round/saturate events locally so the
+// per-event counter branches leave the inner loops. flush() adds the
+// tallies to the same fx.<event>.<site> counters the scalar paths use,
+// making counter totals identical for identical data.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/fixedpoint/fixed.h"
+#include "src/obs/obs.h"
+
+namespace dsadc::decim::soa {
+
+/// Precomputed fx::requantize parameters for a fixed (src_frac, fmt,
+/// rounding) call site with Overflow::kSaturate semantics.
+struct Requant {
+  int shift = 0;                ///< src_frac - fmt.frac
+  std::int64_t round_add = 0;   ///< 2^(shift-1) for round-nearest, else 0
+  std::uint64_t drop_mask = 0;  ///< low `shift` bits (round-event detect)
+  std::int64_t lo = 0, hi = 0;  ///< saturation bounds
+  const fx::EventCounters* site = nullptr;
+
+  Requant() = default;
+  Requant(int src_frac, const fx::Format& fmt, fx::Rounding rounding,
+          const fx::EventCounters& counters)
+      : shift(src_frac - fmt.frac),
+        lo(fmt.raw_min()),
+        hi(fmt.raw_max()),
+        site(&counters) {
+    // The scalar path special-cases |shift| >= 63; no stage format in this
+    // codebase gets near it, so the banks simply refuse.
+    if (shift >= 63 || shift <= -63) {
+      throw std::invalid_argument("soa::Requant: shift out of range");
+    }
+    if (shift > 0) {
+      drop_mask = (std::uint64_t{1} << shift) - 1;
+      if (rounding == fx::Rounding::kRoundNearest) {
+        round_add = std::int64_t{1} << (shift - 1);
+      }
+    }
+  }
+};
+
+/// Per-pass event tallies, bulk-flushed to the site counters.
+struct RequantTally {
+  std::uint64_t rounds = 0;
+  std::uint64_t saturates = 0;
+
+  void flush(const Requant& rq) {
+    if (obs::enabled() && rq.site != nullptr) {
+      if (rounds != 0) rq.site->round->add(rounds);
+      if (saturates != 0) rq.site->saturate->add(saturates);
+    }
+    rounds = 0;
+    saturates = 0;
+  }
+};
+
+/// Inline fx::requantize (saturating): identical result and identical
+/// round/saturate event decisions as the scalar function.
+inline std::int64_t requantize(std::int64_t v, const Requant& rq,
+                               RequantTally& tally) {
+  if (rq.shift > 0) {
+    tally.rounds +=
+        static_cast<std::uint64_t>((static_cast<std::uint64_t>(v) &
+                                    rq.drop_mask) != 0);
+    v = (v + rq.round_add) >> rq.shift;
+  } else if (rq.shift < 0) {
+    v = static_cast<std::int64_t>(static_cast<std::uint64_t>(v)
+                                  << -rq.shift);
+  }
+  const std::int64_t c = v < rq.lo ? rq.lo : (v > rq.hi ? rq.hi : v);
+  tally.saturates += static_cast<std::uint64_t>(c != v);
+  return c;
+}
+
+/// Two's-complement wrap to `width` bits via mask + sign extension; equal
+/// to fx::wrap_to for every input but expressed with unsigned ops so the
+/// vectorizer can use plain add/and/xor/sub lanes.
+struct Wrap {
+  std::uint64_t mask = 0;
+  std::uint64_t sign = 0;
+
+  Wrap() = default;
+  explicit Wrap(int width)
+      : mask((std::uint64_t{1} << width) - 1),
+        sign(std::uint64_t{1} << (width - 1)) {}
+
+  std::int64_t operator()(std::int64_t v) const {
+    const std::uint64_t u = static_cast<std::uint64_t>(v) & mask;
+    return static_cast<std::int64_t>((u ^ sign) - sign);
+  }
+};
+
+}  // namespace dsadc::decim::soa

@@ -1,10 +1,42 @@
 #include "src/dsp/fft.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
 
 namespace dsadc::dsp {
+namespace {
+
+// Per-size twiddle table: w[k] = exp(-2*pi*i*k / n) for k < n/2 (the
+// forward factors; the inverse transform conjugates on use). Tables are
+// computed once per size under a mutex and shared immutably afterwards,
+// so concurrent transforms only pay one lock per call, not per
+// butterfly. Direct evaluation also avoids the rounding drift of the
+// w *= wlen recurrence the butterflies previously iterated.
+std::shared_ptr<const std::vector<std::complex<double>>> twiddles_for(
+    std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t,
+                  std::shared_ptr<const std::vector<std::complex<double>>>>
+      cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[n];
+  if (!slot) {
+    auto table = std::make_shared<std::vector<std::complex<double>>>(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k) / static_cast<double>(n);
+      (*table)[k] = {std::cos(angle), std::sin(angle)};
+    }
+    slot = std::move(table);
+  }
+  return slot;
+}
+
+}  // namespace
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -26,19 +58,20 @@ void fft_inplace(std::span<std::complex<double>> data, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(data[i], data[j]);
   }
-  // Iterative Cooley-Tukey butterflies.
+  // Iterative Cooley-Tukey butterflies over the cached twiddle table: a
+  // stage of length `len` uses every (n/len)-th forward factor.
+  const auto table_ref = twiddles_for(n);
+  const std::complex<double>* const tw = table_ref->data();
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    const std::size_t stride = n / len;
     for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> w =
+            inverse ? std::conj(tw[k * stride]) : tw[k * stride];
         const std::complex<double> u = data[i + k];
         const std::complex<double> v = data[i + k + len / 2] * w;
         data[i + k] = u + v;
         data[i + k + len / 2] = u - v;
-        w *= wlen;
       }
     }
   }

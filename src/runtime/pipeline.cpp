@@ -1,0 +1,241 @@
+#include "src/runtime/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/multichannel.h"
+#include "src/runtime/spsc.h"
+
+namespace dsadc::runtime {
+namespace {
+
+using Block = std::vector<std::int64_t>;
+
+int chain_gain_log2(const std::vector<design::CicSpec>& stages) {
+  double g = 0.0;
+  for (const auto& s : stages) {
+    g += s.order * std::log2(static_cast<double>(s.decimation));
+  }
+  const int gi = static_cast<int>(std::lround(g));
+  if (std::abs(g - gi) > 1e-9) {
+    throw std::invalid_argument(
+        "PipelinedChain: CIC gain must be a power of two");
+  }
+  return gi;
+}
+
+const std::vector<double>& queue_depth_bounds() {
+  static const std::vector<double> bounds{0, 1, 2, 4, 8, 16, 32};
+  return bounds;
+}
+
+}  // namespace
+
+struct CicStage final : PipelinedChain::Stage {
+  decim::CicDecimator d;
+  explicit CicStage(const design::CicSpec& spec) : d(spec) {}
+  void run(Block& block) override { d.process_inplace(block); }
+  void reset() override { d.reset(); }
+};
+
+struct RenormStage final : PipelinedChain::Stage {
+  decim::soa::Requant rq;
+  explicit RenormStage(const decim::ChainConfig& config)
+      : rq(chain_gain_log2(config.cic_stages), config.hbf_in_format,
+           fx::Rounding::kRoundNearest, fx::event_counters("chain_hbf_in")) {}
+  void run(Block& block) override {
+    decim::soa::RequantTally tally;
+    for (auto& v : block) v = decim::soa::requantize(v, rq, tally);
+    tally.flush(rq);
+  }
+  void reset() override {}
+};
+
+struct HbfStage final : PipelinedChain::Stage {
+  decim::SaramakiHbfDecimator h;
+  Block tmp;
+  explicit HbfStage(const decim::ChainConfig& config)
+      : h(config.hbf, config.hbf_in_format, config.hbf_out_format,
+          config.hbf_coeff_frac_bits) {}
+  void run(Block& block) override {
+    h.process_into(block, tmp);
+    block.swap(tmp);
+  }
+  void reset() override { h.reset(); }
+};
+
+struct ScalerStage final : PipelinedChain::Stage {
+  decim::ScalingStage s;
+  explicit ScalerStage(const decim::ChainConfig& config)
+      : s(config.scale, config.hbf_out_format, config.scaler_out_format,
+          /*frac_bits=*/14, /*max_digits=*/8) {}
+  void run(Block& block) override { s.process_inplace(block); }
+  void reset() override {}  // stateless
+};
+
+struct EqualizerStage final : PipelinedChain::Stage {
+  decim::FirDecimator f;
+  Block tmp;
+  explicit EqualizerStage(const decim::ChainConfig& config)
+      : f(decim::FixedTaps::from_real(config.equalizer_taps,
+                                      config.equalizer_frac_bits),
+          /*decimation=*/1, config.scaler_out_format, config.output_format) {}
+  void run(Block& block) override {
+    f.process_into(block, tmp);
+    block.swap(tmp);
+  }
+  void reset() override { f.reset(); }
+};
+
+PipelinedChain::PipelinedChain(const decim::ChainConfig& config,
+                               std::size_t block_frames,
+                               std::size_t queue_capacity)
+    : block_frames_(block_frames), queue_capacity_(queue_capacity) {
+  if (block_frames_ == 0) {
+    throw std::invalid_argument("PipelinedChain: block_frames >= 1");
+  }
+  if (queue_capacity_ == 0) {
+    throw std::invalid_argument("PipelinedChain: queue_capacity >= 1");
+  }
+  for (const auto& spec : config.cic_stages) {
+    stages_.push_back(std::make_unique<CicStage>(spec));
+  }
+  stages_.push_back(std::make_unique<RenormStage>(config));
+  stages_.push_back(std::make_unique<HbfStage>(config));
+  stages_.push_back(std::make_unique<ScalerStage>(config));
+  stages_.push_back(std::make_unique<EqualizerStage>(config));
+}
+
+PipelinedChain::~PipelinedChain() = default;
+
+std::size_t PipelinedChain::stage_count() const { return stages_.size(); }
+
+void PipelinedChain::reset() {
+  for (auto& s : stages_) s->reset();
+}
+
+std::vector<std::int64_t> PipelinedChain::process(
+    std::span<const std::int32_t> codes) {
+  // Chop the input into fixed-size blocks; the last one may be short.
+  std::vector<Block> blocks;
+  blocks.reserve(codes.size() / block_frames_ + 1);
+  for (std::size_t off = 0; off < codes.size(); off += block_frames_) {
+    const std::size_t n = std::min(block_frames_, codes.size() - off);
+    blocks.emplace_back(codes.begin() + static_cast<std::ptrdiff_t>(off),
+                        codes.begin() + static_cast<std::ptrdiff_t>(off + n));
+  }
+
+  std::vector<std::int64_t> out;
+  out.reserve(codes.size() / 16 + 8);
+
+  const std::size_t workers =
+      std::min(configured_threads(), stages_.size());
+  if (workers <= 1 || blocks.size() <= 1) {
+    // Serial degenerate case: same stage sequence, inline.
+    for (auto& b : blocks) {
+      for (auto& s : stages_) s->run(b);
+      out.insert(out.end(), b.begin(), b.end());
+    }
+    return out;
+  }
+  run_pipeline(workers, blocks, out);
+  return out;
+}
+
+void PipelinedChain::run_pipeline(
+    std::size_t workers, std::vector<std::vector<std::int64_t>>& blocks,
+    std::vector<std::int64_t>& out) {
+  // Worker w consumes ring[w], runs its contiguous stage run, produces
+  // into ring[w + 1]. The calling thread is both the producer of ring[0]
+  // and the consumer of ring[workers]; during the feed phase it drains
+  // the output ring opportunistically, so fixed-capacity rings can never
+  // deadlock the loop.
+  const std::size_t n_rings = workers + 1;
+  std::vector<std::unique_ptr<SpscRing<Block>>> rings;
+  rings.reserve(n_rings);
+  for (std::size_t i = 0; i < n_rings; ++i) {
+    rings.push_back(std::make_unique<SpscRing<Block>>(queue_capacity_));
+  }
+
+  const bool obs_on = obs::enabled();
+  std::vector<obs::Histogram*> depth(n_rings, nullptr);
+  if (obs_on) {
+    auto& reg = obs::Registry::instance();
+    for (std::size_t i = 0; i < n_rings; ++i) {
+      depth[i] = &reg.histogram("runtime.queue_depth.q" + std::to_string(i),
+                                queue_depth_bounds());
+    }
+  }
+  const auto push_observed = [&](std::size_t ring, Block& b) {
+    rings[ring]->push(std::move(b));
+    if (depth[ring] != nullptr) {
+      depth[ring]->observe(static_cast<double>(rings[ring]->size()));
+    }
+  };
+
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  const auto worker_fn = [&](std::size_t w) {
+    const std::size_t s_begin = w * stages_.size() / workers;
+    const std::size_t s_end = (w + 1) * stages_.size() / workers;
+    Block b;
+    while (rings[w]->pop(b)) {
+      if (failed.load(std::memory_order_relaxed)) continue;  // drain only
+      try {
+        for (std::size_t s = s_begin; s < s_end; ++s) stages_[s]->run(b);
+        push_observed(w + 1, b);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    rings[w + 1]->close();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+
+  // Feed phase: interleave pushes with opportunistic output drains.
+  SpscRing<Block>& in_ring = *rings[0];
+  SpscRing<Block>& out_ring = *rings[workers];
+  std::size_t pushed = 0;
+  Block got;
+  while (pushed < blocks.size() && !failed.load(std::memory_order_relaxed)) {
+    if (in_ring.try_push(blocks[pushed])) {
+      ++pushed;
+      if (depth[0] != nullptr) {
+        depth[0]->observe(static_cast<double>(in_ring.size()));
+      }
+      continue;
+    }
+    if (out_ring.try_pop(got)) {
+      out.insert(out.end(), got.begin(), got.end());
+      continue;
+    }
+    std::this_thread::yield();
+  }
+  in_ring.close();
+
+  // Drain phase: pop() returns false only once the last worker closed
+  // the output ring and it is empty.
+  while (out_ring.pop(got)) {
+    out.insert(out.end(), got.begin(), got.end());
+  }
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dsadc::runtime

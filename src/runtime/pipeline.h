@@ -1,0 +1,72 @@
+// Pipelined stage executor for the single-channel decimation chain.
+//
+// The chain's seven stages (three Sinc stages, the CIC-gain
+// renormalization, the halfband, the scaler, the equalizer) are split
+// across W workers -- each worker owns a contiguous run of stages -- and
+// neighbouring workers are connected by fixed-capacity lock-free SPSC
+// rings (spsc.h) carrying sample blocks. Every stage's block kernel is
+// split-invariant (state is carried across block boundaries), and blocks
+// traverse each ring strictly FIFO, so the pipeline computes the exact
+// per-sample arithmetic of DecimationChain::process for any worker count
+// and any block size: outputs AND fx event-counter totals match bit for
+// bit. W = 1 degenerates to an inline serial loop (no threads).
+//
+// Queue depths are observed into `runtime.queue_depth.q<i>` histograms on
+// every push while observability is enabled, giving a live picture of
+// which stage is the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/decimator/soa.h"
+
+namespace dsadc::runtime {
+
+class PipelinedChain {
+ public:
+  /// `block_frames` is the number of input-rate samples per pipeline
+  /// block; `queue_capacity` the SPSC ring depth (blocks) between
+  /// workers. Worker count comes from DSADC_RUNTIME_THREADS (clamped to
+  /// the stage count).
+  explicit PipelinedChain(const decim::ChainConfig& config,
+                          std::size_t block_frames = 4096,
+                          std::size_t queue_capacity = 8);
+  ~PipelinedChain();
+
+  PipelinedChain(const PipelinedChain&) = delete;
+  PipelinedChain& operator=(const PipelinedChain&) = delete;
+
+  /// Process a block of modulator codes; bit-identical (outputs and fx
+  /// counters) to DecimationChain::process over the same codes.
+  std::vector<std::int64_t> process(std::span<const std::int32_t> codes);
+
+  void reset();
+
+  std::size_t stage_count() const;
+  std::size_t block_frames() const { return block_frames_; }
+
+  /// One chain stage: transforms a sample block in place (possibly
+  /// changing its length), carrying streaming state between blocks.
+  /// Exactly one worker runs a given stage, sequentially, so stages need
+  /// no internal synchronization.
+  struct Stage {
+    virtual ~Stage() = default;
+    virtual void run(std::vector<std::int64_t>& block) = 0;
+    virtual void reset() = 0;
+  };
+
+ private:
+  void run_pipeline(std::size_t workers,
+                    std::vector<std::vector<std::int64_t>>& blocks,
+                    std::vector<std::int64_t>& out);
+
+  std::size_t block_frames_;
+  std::size_t queue_capacity_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace dsadc::runtime

@@ -1,0 +1,97 @@
+// Fixed-capacity lock-free single-producer/single-consumer ring buffer.
+//
+// The pipelined stage executor (pipeline.h) connects one worker per stage
+// group with these rings. The protocol is the classic two-index SPSC
+// queue: the producer owns `tail_`, the consumer owns `head_`, and each
+// side reads the other's index with acquire ordering so the slot contents
+// published before the index update are visible. Capacity is fixed at
+// construction (rounded up to a power of two); a `close()` flag lets the
+// producer signal end-of-stream without a sentinel element.
+//
+// Determinism note: a ring delivers elements in exactly the order they
+// were pushed, so any chain of SPSC-connected sequential workers computes
+// the same function as running the stages serially, independent of timing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dsadc::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves from `v` on success; false when full.
+  bool try_push(T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    buf_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side, blocking (spin + yield until space).
+  void push(T v) {
+    while (!try_push(v)) std::this_thread::yield();
+  }
+
+  /// Consumer side. False when currently empty.
+  bool try_pop(T& v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    v = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side, blocking; false only at end-of-stream (closed and
+  /// drained).
+  bool pop(T& v) {
+    for (;;) {
+      if (try_pop(v)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed between the failed
+        // try_pop and the close-flag read.
+        if (try_pop(v)) return true;
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Producer side: no further pushes will happen.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (exact when read by either endpoint thread
+  /// between its own operations).
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace dsadc::runtime

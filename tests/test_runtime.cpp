@@ -1,0 +1,391 @@
+// Multi-channel runtime + pipelined executor: bit-exactness against the
+// scalar DecimationChain (outputs AND fx saturation/round counter totals),
+// determinism across worker counts, and the SPSC ring protocol.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/runtime/multichannel.h"
+#include "src/runtime/pipeline.h"
+#include "src/runtime/spsc.h"
+#include "src/verify/stimulus.h"
+
+namespace {
+
+using namespace dsadc;
+
+std::uint32_t fuzz_seed(std::uint32_t fallback) {
+  if (const char* env = std::getenv("DSADC_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint32_t>(v);
+  }
+  return fallback;
+}
+
+void set_runtime_threads(const char* value) {
+  if (value == nullptr) {
+    ::unsetenv("DSADC_RUNTIME_THREADS");
+  } else {
+    ::setenv("DSADC_RUNTIME_THREADS", value, 1);
+  }
+}
+
+/// Modulator codes for one channel from the shared stimulus library.
+std::vector<std::int32_t> stimulus_codes(verify::StimulusClass c,
+                                         std::size_t n,
+                                         std::mt19937_64& rng) {
+  const auto raw = verify::make_stimulus(c, n, fx::Format{4, 0}, rng);
+  std::vector<std::int32_t> codes(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(raw[i]);
+  }
+  return codes;
+}
+
+/// The fx event-counter totals the chain's requantization sites produce.
+/// Counter names are stable; equality of the whole map proves the bank /
+/// pipelined kernels made the identical per-sample round and saturate
+/// decisions as the scalar chain.
+std::map<std::string, std::uint64_t> fx_snapshot() {
+  static const char* kSites[] = {"chain_hbf_in", "hbf_in",     "hbf_product",
+                                 "hbf_internal", "hbf_out",    "scaler_out",
+                                 "fir_out"};
+  static const char* kEvents[] = {"saturate", "round", "wrap"};
+  std::map<std::string, std::uint64_t> snap;
+  auto& reg = obs::Registry::instance();
+  for (const char* site : kSites) {
+    for (const char* ev : kEvents) {
+      const std::string name =
+          std::string("fx.") + ev + "." + site;
+      snap[name] = reg.counter(name).value();
+    }
+  }
+  return snap;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::instance().reset_all();
+    set_runtime_threads("1");
+  }
+  void TearDown() override { set_runtime_threads(nullptr); }
+};
+
+// --- SPSC ring protocol -------------------------------------------------
+
+TEST(SpscRing, FifoSingleThread) {
+  runtime::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  int v = 0;
+  EXPECT_FALSE(ring.try_pop(v));
+  for (int i = 0; i < 4; ++i) {
+    int x = i;
+    EXPECT_TRUE(ring.try_push(x));
+  }
+  int x = 99;
+  EXPECT_FALSE(ring.try_push(x)) << "ring should be full";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  runtime::SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRing, CloseDrainsRemainingElements) {
+  runtime::SpscRing<int> ring(8);
+  for (int i = 0; i < 3; ++i) {
+    int x = i;
+    ASSERT_TRUE(ring.try_push(x));
+  }
+  ring.close();
+  int v = -1;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.pop(v)) << "closed and drained";
+}
+
+TEST(SpscRing, ThreadedFifoOrder) {
+  runtime::SpscRing<std::size_t> ring(4);  // small: forces backpressure
+  constexpr std::size_t kN = 20000;
+  std::thread producer([&ring] {
+    for (std::size_t i = 0; i < kN; ++i) ring.push(i);
+    ring.close();
+  });
+  std::size_t expected = 0;
+  std::size_t v = 0;
+  while (ring.pop(v)) {
+    ASSERT_EQ(v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kN);
+}
+
+// --- Multi-channel SoA runtime ------------------------------------------
+
+TEST_F(RuntimeTest, MultiChannelMatchesScalarChainAllStimuli) {
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kChannels = 10;  // spans a group boundary (8 + 2)
+  constexpr std::size_t kFrames = 4096;
+  const std::uint32_t seed = fuzz_seed(11);
+
+  for (int ci = 0; ci < verify::kNumStimulusClasses; ++ci) {
+    const auto cls = static_cast<verify::StimulusClass>(ci);
+    std::mt19937_64 rng(seed + static_cast<std::uint32_t>(ci));
+    std::vector<std::vector<std::int32_t>> codes;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      codes.push_back(stimulus_codes(cls, kFrames, rng));
+    }
+
+    // Reference: one scalar chain per channel, counting fx events.
+    obs::Registry::instance().reset_all();
+    std::vector<std::vector<std::int64_t>> ref;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      decim::DecimationChain chain(cfg);
+      ref.push_back(chain.process(codes[c]));
+    }
+    const auto ref_fx = fx_snapshot();
+
+    obs::Registry::instance().reset_all();
+    runtime::MultiChannelRuntime rt(cfg, kChannels);
+    const auto got = rt.process(codes);
+    const auto got_fx = fx_snapshot();
+
+    ASSERT_EQ(got.size(), kChannels);
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      ASSERT_EQ(got[c].size(), ref[c].size())
+          << "class " << verify::stimulus_name(cls) << " channel " << c;
+      for (std::size_t i = 0; i < ref[c].size(); ++i) {
+        ASSERT_EQ(got[c][i], ref[c][i])
+            << "class " << verify::stimulus_name(cls) << " channel " << c
+            << " sample " << i;
+      }
+    }
+    EXPECT_EQ(got_fx, ref_fx) << "class " << verify::stimulus_name(cls);
+  }
+}
+
+TEST_F(RuntimeTest, MultiChannelStreamingMatchesScalarTicks) {
+  // Two consecutive process() ticks must carry state exactly like two
+  // scalar process() calls on persistent chains.
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kChannels = 9;
+  const std::uint32_t seed = fuzz_seed(23);
+  std::mt19937_64 rng(seed);
+
+  std::vector<std::vector<std::int32_t>> tick1, tick2;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    tick1.push_back(
+        stimulus_codes(verify::StimulusClass::kModulator, 1000, rng));
+    tick2.push_back(stimulus_codes(verify::StimulusClass::kPrbs, 1333, rng));
+  }
+
+  std::vector<decim::DecimationChain> chains;
+  for (std::size_t c = 0; c < kChannels; ++c) chains.emplace_back(cfg);
+  runtime::MultiChannelRuntime rt(cfg, kChannels);
+
+  for (const auto* tick : {&tick1, &tick2}) {
+    const auto got = rt.process(*tick);
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      const auto ref = chains[c].process((*tick)[c]);
+      ASSERT_EQ(got[c], ref) << "channel " << c;
+    }
+  }
+}
+
+TEST_F(RuntimeTest, MultiChannelDeterministicAcrossWorkerCounts) {
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kChannels = 16;
+  const std::uint32_t seed = fuzz_seed(37);
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<std::int32_t>> codes;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    codes.push_back(
+        stimulus_codes(verify::StimulusClass::kUniform, 4096, rng));
+  }
+
+  std::vector<std::vector<std::vector<std::int64_t>>> results;
+  for (const char* threads : {"1", "2", "8"}) {
+    set_runtime_threads(threads);
+    runtime::MultiChannelRuntime rt(cfg, kChannels);
+    results.push_back(rt.process(codes));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], results[0])
+        << "worker count must not change results";
+  }
+}
+
+TEST_F(RuntimeTest, MultiChannelFuzzMatchesScalar) {
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(101);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> chan_dist(1, 19);
+  std::uniform_int_distribution<std::size_t> len_dist(64, 3000);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t channels = chan_dist(rng);
+    const std::size_t frames = len_dist(rng);
+    const auto cls = verify::random_stimulus_class(rng);
+    std::vector<std::vector<std::int32_t>> codes;
+    for (std::size_t c = 0; c < channels; ++c) {
+      codes.push_back(stimulus_codes(cls, frames, rng));
+    }
+    runtime::MultiChannelRuntime rt(cfg, channels);
+    const auto got = rt.process(codes);
+    for (std::size_t c = 0; c < channels; ++c) {
+      decim::DecimationChain chain(cfg);
+      const auto ref = chain.process(codes[c]);
+      ASSERT_EQ(got[c], ref)
+          << "trial " << trial << " channel " << c << " class "
+          << verify::stimulus_name(cls) << " (DSADC_FUZZ_SEED=" << seed
+          << ")";
+    }
+  }
+}
+
+// --- Pipelined stage executor -------------------------------------------
+
+TEST_F(RuntimeTest, PipelinedMatchesScalarChainAllStimuli) {
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kFrames = 8192;
+  const std::uint32_t seed = fuzz_seed(53);
+
+  for (int ci = 0; ci < verify::kNumStimulusClasses; ++ci) {
+    const auto cls = static_cast<verify::StimulusClass>(ci);
+    std::mt19937_64 rng(seed + static_cast<std::uint32_t>(ci));
+    const auto codes = stimulus_codes(cls, kFrames, rng);
+
+    obs::Registry::instance().reset_all();
+    decim::DecimationChain chain(cfg);
+    const auto ref = chain.process(codes);
+    const auto ref_fx = fx_snapshot();
+
+    set_runtime_threads("8");  // one worker per stage (7 stages)
+    obs::Registry::instance().reset_all();
+    runtime::PipelinedChain pipe(cfg, /*block_frames=*/512);
+    const auto got = pipe.process(codes);
+    const auto got_fx = fx_snapshot();
+
+    ASSERT_EQ(got, ref) << "class " << verify::stimulus_name(cls);
+    EXPECT_EQ(got_fx, ref_fx) << "class " << verify::stimulus_name(cls);
+  }
+}
+
+TEST_F(RuntimeTest, PipelinedDeterministicAcrossWorkersAndBlockSizes) {
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(67);
+  std::mt19937_64 rng(seed);
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kModulator, 10000, rng);
+
+  decim::DecimationChain chain(cfg);
+  const auto ref = chain.process(codes);
+
+  for (const char* threads : {"1", "2", "8"}) {
+    for (const std::size_t block : {std::size_t{256}, std::size_t{1024}}) {
+      set_runtime_threads(threads);
+      runtime::PipelinedChain pipe(cfg, block);
+      const auto got = pipe.process(codes);
+      ASSERT_EQ(got, ref) << "threads=" << threads << " block=" << block;
+    }
+  }
+}
+
+TEST_F(RuntimeTest, PipelinedStreamingCarriesState) {
+  // Consecutive process() calls continue the stream (no state reset at
+  // call boundaries), exactly like the scalar chain.
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(83);
+  std::mt19937_64 rng(seed);
+  const auto a = stimulus_codes(verify::StimulusClass::kSine, 3000, rng);
+  const auto b = stimulus_codes(verify::StimulusClass::kStep, 2049, rng);
+
+  decim::DecimationChain chain(cfg);
+  set_runtime_threads("8");
+  runtime::PipelinedChain pipe(cfg, /*block_frames=*/512);
+  for (const auto* codes : {&a, &b}) {
+    const auto ref = chain.process(*codes);
+    const auto got = pipe.process(*codes);
+    ASSERT_EQ(got, ref);
+  }
+}
+
+TEST_F(RuntimeTest, PipelinedFuzzMatchesScalar) {
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(131);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len_dist(1, 6000);
+  std::uniform_int_distribution<std::size_t> block_dist(16, 2048);
+
+  set_runtime_threads("8");
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t frames = len_dist(rng);
+    const auto cls = verify::random_stimulus_class(rng);
+    const auto codes = stimulus_codes(cls, frames, rng);
+    decim::DecimationChain chain(cfg);
+    runtime::PipelinedChain pipe(cfg, block_dist(rng));
+    const auto ref = chain.process(codes);
+    const auto got = pipe.process(codes);
+    ASSERT_EQ(got, ref) << "trial " << trial << " class "
+                        << verify::stimulus_name(cls)
+                        << " (DSADC_FUZZ_SEED=" << seed << ")";
+  }
+}
+
+TEST_F(RuntimeTest, QueueDepthHistogramsArePopulated) {
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(149);
+  std::mt19937_64 rng(seed);
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kUniform, 8192, rng);
+
+  set_runtime_threads("4");
+  obs::Registry::instance().reset_all();
+  runtime::PipelinedChain pipe(cfg, /*block_frames=*/256);
+  (void)pipe.process(codes);
+  auto& reg = obs::Registry::instance();
+  // 4 workers -> rings q0..q4; every block passes through each ring.
+  const auto& h = reg.histogram("runtime.queue_depth.q0", {0, 1, 2, 4, 8});
+  EXPECT_GT(h.count(), 0u);
+}
+
+TEST_F(RuntimeTest, PerChannelThroughputGaugesArePublished) {
+  const auto cfg = decim::paper_chain_config();
+  const std::uint32_t seed = fuzz_seed(163);
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<std::int32_t>> codes;
+  for (std::size_t c = 0; c < 3; ++c) {
+    codes.push_back(
+        stimulus_codes(verify::StimulusClass::kPrbs, 2048, rng));
+  }
+  obs::Registry::instance().reset_all();
+  runtime::MultiChannelRuntime rt(cfg, 3);
+  (void)rt.process(codes);
+  auto& reg = obs::Registry::instance();
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::string ch = std::to_string(c);
+    EXPECT_EQ(reg.counter("runtime.samples.ch" + ch).value(), 2048u);
+    EXPECT_GT(reg.gauge("runtime.throughput_sps.ch" + ch).value(), 0.0);
+  }
+}
+
+}  // namespace
