@@ -1,0 +1,121 @@
+// Service throughput bench: sustained multi-tenant load through a live
+// in-process server (unix-domain socket, block policy), verified bit-exact
+// against the scalar chain and recorded as BENCH_service.json telemetry:
+//
+//   service_64ch_mcodes_per_s   aggregate admitted input rate, 64 channels
+//   service_256ch_mcodes_per_s  the soak-scale point (256 channels)
+//   service_zero_loss           1.0 when every channel was bit-exact
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/obs/bench_telemetry.h"
+#include "src/obs/obs.h"
+#include "src/service/client.h"
+#include "src/service/net.h"
+#include "src/service/server.h"
+#include "src/service/wire.h"
+#include "src/verify/stimulus.h"
+
+namespace {
+
+using namespace dsadc;
+
+struct RunResult {
+  double mcodes_per_s = 0.0;
+  bool exact = false;
+};
+
+RunResult run_load(std::size_t channels, std::size_t conns,
+                   std::size_t blocks, std::size_t frames) {
+  std::mt19937_64 rng(777);
+  const auto raw = verify::make_stimulus(verify::StimulusClass::kModulator,
+                                         frames, fx::Format{4, 0}, rng);
+  std::vector<std::int32_t> codes(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(raw[i]);
+  }
+  decim::DecimationChain chain(*service::preset_config(0));
+  std::vector<std::int64_t> ref;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto out = chain.process(codes);
+    ref.insert(ref.end(), out.begin(), out.end());
+  }
+
+  service::ServerOptions opts;
+  opts.unix_path = service::net::unique_socket_path("bench");
+  service::Server server(opts);
+  server.start();
+
+  std::vector<std::unique_ptr<service::Client>> clients;
+  for (std::size_t c = 0; c < conns; ++c) {
+    clients.push_back(service::Client::connect_unix(server.unix_path()));
+  }
+  const std::size_t per_conn = channels / conns;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> senders;
+  for (std::size_t c = 0; c < conns; ++c) {
+    senders.emplace_back([&, c] {
+      auto& client = *clients[c];
+      for (std::size_t k = 0; k < per_conn; ++k) {
+        client.open(static_cast<std::uint32_t>(c * per_conn + k), 0);
+      }
+      for (std::size_t b = 0; b < blocks; ++b) {
+        for (std::size_t k = 0; k < per_conn; ++k) {
+          client.send_data(static_cast<std::uint32_t>(c * per_conn + k),
+                           codes);
+        }
+      }
+    });
+  }
+  for (auto& t : senders) t.join();
+
+  RunResult r;
+  r.exact = true;
+  for (std::size_t c = 0; c < conns; ++c) {
+    for (std::size_t k = 0; k < per_conn; ++k) {
+      const auto ch = static_cast<std::uint32_t>(c * per_conn + k);
+      if (!clients[c]->wait_sample_count(ch, ref.size(),
+                                         std::chrono::milliseconds(120000)) ||
+          clients[c]->samples(ch) != ref) {
+        r.exact = false;
+      }
+    }
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+  clients.clear();
+  server.stop();
+
+  r.mcodes_per_s = static_cast<double>(channels * blocks * frames) /
+                   (wall.count() > 0 ? wall.count() : 1e-9) / 1e6;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  obs::BenchReport report("service");
+  obs::set_enabled(false);  // measure the data path, not the counters
+
+  std::printf("decimation service sustained throughput (block policy)\n");
+  std::printf("%8s  %8s  %12s  %6s\n", "channels", "conns", "Mcodes/s",
+              "exact");
+
+  const auto r64 = run_load(64, 4, 16, 512);
+  std::printf("%8d  %8d  %12.2f  %6s\n", 64, 4, r64.mcodes_per_s,
+              r64.exact ? "yes" : "NO");
+  const auto r256 = run_load(256, 8, 8, 512);
+  std::printf("%8d  %8d  %12.2f  %6s\n", 256, 8, r256.mcodes_per_s,
+              r256.exact ? "yes" : "NO");
+
+  report.set("service_64ch_mcodes_per_s", r64.mcodes_per_s);
+  report.set("service_256ch_mcodes_per_s", r256.mcodes_per_s);
+  report.set("service_zero_loss", r64.exact && r256.exact);
+  return report.finish(r64.exact && r256.exact);
+}

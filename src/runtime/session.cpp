@@ -1,0 +1,169 @@
+#include "src/runtime/session.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/multichannel.h"
+
+namespace dsadc::runtime {
+
+SessionRuntime::SessionRuntime(Options opts) : opts_(opts) {
+  if (opts_.shards == 0) {
+    throw std::invalid_argument("SessionRuntime: shards >= 1");
+  }
+  if (opts_.queue_capacity == 0) {
+    throw std::invalid_argument("SessionRuntime: queue_capacity >= 1");
+  }
+  if (opts_.workers == 0) opts_.workers = configured_threads();
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(opts_.queue_capacity));
+  }
+  threads_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SessionRuntime::~SessionRuntime() { stop(); }
+
+void SessionRuntime::publish_inflight() const {
+  if (!obs::enabled()) return;
+  obs::Registry::instance().gauge("service.inflight").set(
+      static_cast<double>(pending_.load(std::memory_order_relaxed)));
+}
+
+bool SessionRuntime::submit(SessionJob job) {
+  if (stop_.load(std::memory_order_acquire)) return false;
+  Shard& sh = *shards_[shard_of(job.session)];
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  bool admitted = false;
+  if (opts_.policy == Overload::kShed && job.op == SessionOp::kData) {
+    admitted = sh.ring.try_push(job);
+  } else {
+    admitted = sh.ring.push(std::move(job));
+  }
+  if (!admitted) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    publish_inflight();
+    return false;
+  }
+  publish_inflight();
+  sem_.release();
+  return true;
+}
+
+void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
+  SessionResult r;
+  r.session = job.session;
+  r.op = job.op;
+  try {
+    auto it = shard.sessions.find(job.session);
+    switch (job.op) {
+      case SessionOp::kOpen: {
+        if (it != shard.sessions.end()) {
+          r.status = SessionStatus::kAlreadyOpen;
+          break;
+        }
+        Session s;
+        s.chain = std::make_unique<decim::DecimationChain>(
+            job.config ? *job.config : decim::paper_chain_config());
+        shard.sessions.emplace(job.session, std::move(s));
+        break;
+      }
+      case SessionOp::kReconfigure: {
+        if (it == shard.sessions.end()) {
+          r.status = SessionStatus::kNotOpen;
+          break;
+        }
+        // Reconfiguration swaps in a freshly built chain: filter state
+        // never carries across a format/coefficient change.
+        it->second.chain = std::make_unique<decim::DecimationChain>(
+            job.config ? *job.config : decim::paper_chain_config());
+        break;
+      }
+      case SessionOp::kData: {
+        if (it == shard.sessions.end()) {
+          r.status = SessionStatus::kNotOpen;
+          break;
+        }
+        r.samples = it->second.chain->process(job.codes);
+        break;
+      }
+      case SessionOp::kDrain: {
+        if (it == shard.sessions.end()) {
+          r.status = SessionStatus::kNotOpen;
+          break;
+        }
+        const std::vector<std::int32_t> zeros(
+            drain_pad_frames(*it->second.chain), 0);
+        r.samples = it->second.chain->process(zeros);
+        break;
+      }
+      case SessionOp::kClose: {
+        if (it == shard.sessions.end()) {
+          r.status = SessionStatus::kNotOpen;
+          break;
+        }
+        shard.sessions.erase(it);
+        break;
+      }
+    }
+  } catch (...) {
+    r.status = SessionStatus::kError;
+    r.samples.clear();
+  }
+  if (job.done) job.done(std::move(r));
+}
+
+std::size_t SessionRuntime::drain_pad_frames(
+    const decim::DecimationChain& chain) {
+  const std::size_t gd = chain.group_delay_input_samples();
+  const std::size_t m = chain.total_decimation();
+  return ((gd + m - 1) / m) * m;
+}
+
+void SessionRuntime::worker_loop() {
+  using namespace std::chrono_literals;
+  for (;;) {
+    // The semaphore is a wake hint, not an exact item count: a worker
+    // draining a shard may take items whose credits other workers consume
+    // as spurious wake-ups. The timed acquire bounds any lost-wakeup
+    // window, so no admitted job can be stranded.
+    (void)sem_.try_acquire_for(1ms);
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      sem_.release();  // cascade: wake a peer so it can exit too
+      return;
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& sh = *shards_[i];
+      if (sh.ring.size() == 0) continue;
+      if (sh.busy.exchange(true, std::memory_order_acquire)) continue;
+      SessionJob job;
+      while (sh.ring.try_pop(job)) {
+        run_job(sh, job);
+        job = SessionJob{};  // release payload before the next pop
+        pending_.fetch_sub(1, std::memory_order_release);
+        publish_inflight();
+      }
+      sh.busy.store(false, std::memory_order_release);
+      // Stranded-item guard: an item pushed while we were finishing the
+      // drain may have had its credit consumed by a worker that found the
+      // shard busy; re-arm the semaphore so someone comes back.
+      if (sh.ring.size() != 0) sem_.release();
+    }
+  }
+}
+
+void SessionRuntime::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  stop_.store(true, std::memory_order_release);
+  sem_.release(static_cast<std::ptrdiff_t>(threads_.size()) + 1);
+  for (auto& t : threads_) t.join();
+  for (auto& sh : shards_) sh->ring.close();
+}
+
+}  // namespace dsadc::runtime

@@ -1,12 +1,27 @@
-// Fixed-capacity lock-free single-producer/single-consumer ring buffer.
+// Fixed-capacity lock-free ring buffers: single-producer/single-consumer
+// (SpscRing) and multi-producer/multi-consumer (MpmcRing).
 //
 // The pipelined stage executor (pipeline.h) connects one worker per stage
-// group with these rings. The protocol is the classic two-index SPSC
+// group with SPSC rings. The protocol is the classic two-index SPSC
 // queue: the producer owns `tail_`, the consumer owns `head_`, and each
 // side reads the other's index with acquire ordering so the slot contents
 // published before the index update are visible. Capacity is fixed at
-// construction (rounded up to a power of two); a `close()` flag lets the
-// producer signal end-of-stream without a sentinel element.
+// construction (rounded up to a power of two).
+//
+// The `close()` flag is a two-way end-of-stream/cancellation handshake:
+//
+//  * producer-side close means "no further elements": a consumer blocked
+//    in pop() drains every element pushed before the close (including a
+//    final partial block) and then returns false, never deadlocking;
+//  * consumer-side close means "stop producing": a producer blocked in
+//    push() on a full ring observes the flag and returns false instead
+//    of spinning forever on a peer that will never drain it.
+//
+// The service admission path (src/service) uses MpmcRing: bounded
+// Vyukov-style per-slot-sequence queue, where any number of connection
+// readers push work items and pool workers pop them. A single producer's
+// pushes are dequeued in push order (tickets are taken in order), which
+// is what preserves per-channel frame ordering end to end.
 //
 // Determinism note: a ring delivers elements in exactly the order they
 // were pushed, so any chain of SPSC-connected sequential workers computes
@@ -15,6 +30,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -34,8 +50,9 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer side. Moves from `v` on success; false when full.
+  /// Producer side. Moves from `v` on success; false when full or closed.
   bool try_push(T& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
     buf_[tail & mask_] = std::move(v);
@@ -43,9 +60,15 @@ class SpscRing {
     return true;
   }
 
-  /// Producer side, blocking (spin + yield until space).
-  void push(T v) {
-    while (!try_push(v)) std::this_thread::yield();
+  /// Producer side, blocking (spin + yield until space). Returns false --
+  /// without delivering `v` -- once the ring is closed, so a producer can
+  /// never deadlock against a consumer that has stopped draining.
+  bool push(T v) {
+    while (!try_push(v)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      std::this_thread::yield();
+    }
+    return true;
   }
 
   /// Consumer side. False when currently empty.
@@ -64,7 +87,9 @@ class SpscRing {
       if (try_pop(v)) return true;
       if (closed_.load(std::memory_order_acquire)) {
         // Re-check: the producer may have pushed between the failed
-        // try_pop and the close-flag read.
+        // try_pop and the close-flag read. Seeing closed==true (acquire)
+        // orders every push made before close() before this re-check, so
+        // the final partial block cannot be dropped.
         if (try_pop(v)) return true;
         return false;
       }
@@ -72,7 +97,7 @@ class SpscRing {
     }
   }
 
-  /// Producer side: no further pushes will happen.
+  /// Either side: end-of-stream (producer) or cancellation (consumer).
   void close() { closed_.store(true, std::memory_order_release); }
   bool closed() const { return closed_.load(std::memory_order_acquire); }
 
@@ -91,6 +116,132 @@ class SpscRing {
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+/// Bounded multi-producer/multi-consumer ring (Vyukov per-slot sequence
+/// numbers). Each slot carries a sequence counter: `seq == pos` means the
+/// slot is free for the producer holding ticket `pos`, `seq == pos + 1`
+/// means it holds that ticket's element for the consumer. Producers and
+/// consumers claim tickets with a CAS on their cursor, so the queue is
+/// lock-free and elements leave in ticket (i.e. global FIFO) order.
+///
+/// Close semantics mirror SpscRing: after close(), pushes fail, blocking
+/// pop() drains the remaining elements and then returns false.
+///
+/// Minimum capacity is 2: with a single slot the producer's "free"
+/// condition (seq == ticket) and the consumer's "occupied" condition
+/// coincide, letting a second push overwrite an unconsumed element and
+/// livelocking the consumer. Requested capacities round up.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Moves from `v` on success; false when full or closed.
+  bool try_push(T& v) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell* cell = nullptr;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->val = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking push; false (element undelivered) once the ring is closed.
+  bool push(T v) {
+    while (!try_push(v)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      std::this_thread::yield();
+    }
+    return true;
+  }
+
+  bool try_pop(T& v) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell = nullptr;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) -
+                       static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    v = std::move(cell->val);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking pop; false only at end-of-stream (closed and drained).
+  bool pop(T& v) {
+    for (;;) {
+      if (try_pop(v)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        if (try_pop(v)) return true;
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy; stale under concurrent traffic.
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T val{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
   alignas(64) std::atomic<bool> closed_{false};
 };
 

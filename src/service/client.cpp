@@ -1,0 +1,267 @@
+#include "src/service/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "src/service/net.h"
+
+namespace dsadc::service {
+
+std::unique_ptr<Client> Client::connect_unix(const std::string& path) {
+  std::string err;
+  const int fd = net::connect_unix(path, &err);
+  if (fd < 0) throw std::runtime_error("client: " + err);
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+std::unique_ptr<Client> Client::connect_tcp(const std::string& host,
+                                            std::uint16_t port) {
+  std::string err;
+  const int fd = net::connect_tcp(host, port, &err);
+  if (fd < 0) throw std::runtime_error("client: " + err);
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::Client(int fd) : fd_(fd) {
+  receiver_ = std::thread([this] { receiver_loop(); });
+}
+
+Client::~Client() { shutdown_now(); }
+
+void Client::shutdown_now() {
+  if (closing_.exchange(true)) {
+    if (receiver_.joinable()) receiver_.join();
+    return;
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  if (receiver_.joinable()) receiver_.join();
+  ::close(fd_);
+}
+
+bool Client::send_frame(const Frame& f) {
+  const auto bytes = encode_frame(f);
+  return send_raw(bytes.data(), bytes.size());
+}
+
+bool Client::send_raw(const void* data, std::size_t n) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (closing_.load()) return false;
+  return net::send_all(fd_, static_cast<const std::uint8_t*>(data), n);
+}
+
+bool Client::open(std::uint32_t channel, std::uint32_t preset) {
+  Frame f;
+  f.type = FrameType::kOpen;
+  f.channel = channel;
+  f.payload = encode_u32(preset);
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    send_seq_[channel] = 0;
+  }
+  return send_frame(f);
+}
+
+bool Client::reconfigure(std::uint32_t channel, std::uint32_t preset) {
+  Frame f;
+  f.type = FrameType::kConfig;
+  f.channel = channel;
+  f.payload = encode_u32(preset);
+  return send_frame(f);
+}
+
+bool Client::send_data(std::uint32_t channel,
+                       std::span<const std::int32_t> codes) {
+  std::uint32_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    seq = send_seq_[channel]++;
+  }
+  return send_data_seq(channel, seq, codes);
+}
+
+bool Client::send_data_seq(std::uint32_t channel, std::uint32_t seq,
+                           std::span<const std::int32_t> codes) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.channel = channel;
+  f.seq = seq;
+  f.payload = encode_codes(codes);
+  return send_frame(f);
+}
+
+bool Client::drain(std::uint32_t channel) {
+  Frame f;
+  f.type = FrameType::kDrain;
+  f.channel = channel;
+  return send_frame(f);
+}
+
+bool Client::close_channel(std::uint32_t channel) {
+  Frame f;
+  f.type = FrameType::kClose;
+  f.channel = channel;
+  return send_frame(f);
+}
+
+void Client::receiver_loop() {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  FrameParser parser;
+  for (;;) {
+    while (paused_.load(std::memory_order_acquire) &&
+           !closing_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const long n = net::recv_some(fd_, buf.data(), buf.size());
+    if (n <= 0) break;
+    parser.feed(buf.data(), static_cast<std::size_t>(n));
+    Frame f;
+    FrameParser::Result res;
+    bool bad = false;
+    while ((res = parser.next(&f)) == FrameParser::Result::kFrame) {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& st = channels_[f.channel];
+      switch (f.type) {
+        case FrameType::kDataOut: {
+          std::vector<std::int64_t> samples;
+          if (decode_samples(f.payload, &samples)) {
+            st.samples.insert(st.samples.end(), samples.begin(),
+                              samples.end());
+          }
+          break;
+        }
+        case FrameType::kAck:
+          ++st.acks;
+          break;
+        case FrameType::kDrained:
+          ++st.drains;
+          break;
+        case FrameType::kShed:
+          ++st.sheds;
+          ++total_sheds_;
+          break;
+        case FrameType::kError: {
+          std::uint32_t code = 0;
+          (void)decode_u32(f.payload, &code);
+          errors_.emplace_back(f.channel, static_cast<ErrorCode>(code));
+          break;
+        }
+        default:
+          break;  // client->server type echoed back: ignore
+      }
+      cv_.notify_all();
+    }
+    if (res == FrameParser::Result::kBad) bad = true;
+    if (bad) break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  disconnected_ = true;
+  cv_.notify_all();
+}
+
+std::vector<std::int64_t> Client::samples(std::uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? std::vector<std::int64_t>{}
+                               : it->second.samples;
+}
+
+std::size_t Client::sample_count(std::uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.samples.size();
+}
+
+std::size_t Client::ack_count(std::uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.acks;
+}
+
+std::size_t Client::shed_count(std::uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.sheds;
+}
+
+std::size_t Client::drained_count(std::uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.drains;
+}
+
+std::vector<std::pair<std::uint32_t, ErrorCode>> Client::errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+bool Client::wait_sample_count(std::uint32_t channel, std::size_t n,
+                               Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t, [&] {
+    const auto it = channels_.find(channel);
+    return (it != channels_.end() && it->second.samples.size() >= n) ||
+           disconnected_;
+  }) && channels_[channel].samples.size() >= n;
+}
+
+bool Client::wait_ack_count(std::uint32_t channel, std::size_t n, Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t, [&] {
+    const auto it = channels_.find(channel);
+    return (it != channels_.end() && it->second.acks >= n) || disconnected_;
+  }) && channels_[channel].acks >= n;
+}
+
+bool Client::wait_drained(std::uint32_t channel, std::size_t n, Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t, [&] {
+    const auto it = channels_.find(channel);
+    return (it != channels_.end() && it->second.drains >= n) ||
+           disconnected_;
+  }) && channels_[channel].drains >= n;
+}
+
+bool Client::wait_error(ErrorCode code, Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t, [&] {
+    for (const auto& [ch, c] : errors_) {
+      if (c == code) return true;
+    }
+    return disconnected_;
+  }) && [&] {
+    for (const auto& [ch, c] : errors_) {
+      if (c == code) return true;
+    }
+    return false;
+  }();
+}
+
+bool Client::wait_shed_count(std::uint32_t channel, std::size_t n,
+                             Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t, [&] {
+    const auto it = channels_.find(channel);
+    return (it != channels_.end() && it->second.sheds >= n) ||
+           disconnected_;
+  }) && channels_[channel].sheds >= n;
+}
+
+bool Client::wait_total_sheds(std::size_t n, Millis t) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, t,
+                      [&] { return total_sheds_ >= n || disconnected_; }) &&
+         total_sheds_ >= n;
+}
+
+void Client::set_paused(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+}
+
+bool Client::disconnected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disconnected_;
+}
+
+}  // namespace dsadc::service

@@ -1,0 +1,466 @@
+#include "src/service/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/service/net.h"
+
+namespace dsadc::service {
+namespace {
+
+using runtime::SessionJob;
+using runtime::SessionOp;
+using runtime::SessionResult;
+using runtime::SessionStatus;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    const long n = std::strtol(v, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+/// Channel-scoped tenant counter: service.<what> and service.<what>.ch<id>.
+void count_tenant(const char* what, std::uint32_t channel,
+                  std::uint64_t n = 1) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::Registry::instance();
+  const std::string base = std::string("service.") + what;
+  reg.counter(base).add(n);
+  reg.counter(base + ".ch" + std::to_string(channel)).add(n);
+}
+
+void count_service(const char* what, std::uint64_t n = 1) {
+  if (!obs::enabled()) return;
+  obs::Registry::instance().counter(std::string("service.") + what).add(n);
+}
+
+ErrorCode status_error(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kOk: return ErrorCode::kNone;
+    case SessionStatus::kNotOpen: return ErrorCode::kNotOpen;
+    case SessionStatus::kAlreadyOpen: return ErrorCode::kAlreadyOpen;
+    case SessionStatus::kError: return ErrorCode::kInternal;
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace
+
+ServerOptions options_from_env() {
+  ServerOptions o;
+  if (const char* p = std::getenv("DSADC_SERVICE_POLICY")) {
+    if (std::strcmp(p, "shed") == 0) {
+      o.policy = runtime::SessionRuntime::Overload::kShed;
+    } else {
+      o.policy = runtime::SessionRuntime::Overload::kBlock;
+    }
+  }
+  o.shards = env_size("DSADC_SERVICE_SHARDS", o.shards);
+  o.workers = env_size("DSADC_SERVICE_THREADS", 0);
+  o.queue_capacity = env_size("DSADC_SERVICE_QUEUE_CAP", o.queue_capacity);
+  o.out_queue_capacity =
+      env_size("DSADC_SERVICE_OUT_CAP", o.out_queue_capacity);
+  return o;
+}
+
+struct Server::Connection {
+  Connection(int fd_, std::uint64_t id_, std::size_t out_cap)
+      : fd(fd_), id(id_), out(out_cap) {}
+
+  int fd;
+  std::uint64_t id;
+  /// Encoded server->client frames awaiting the writer. Producers: the
+  /// worker-pool callbacks plus the reader (errors, shed notices).
+  runtime::MpmcRing<std::vector<std::uint8_t>> out;
+  std::atomic<bool> dead{false};        ///< socket send failed; discard
+  std::atomic<std::size_t> jobs{0};     ///< submitted, callback not done
+  std::atomic<bool> reader_done{false};
+  std::thread reader;
+  std::thread writer;
+
+  // Reader-thread-only session bookkeeping.
+  std::unordered_map<std::uint32_t, std::uint32_t> next_seq;
+  std::unordered_set<std::uint32_t> opened;
+
+  std::uint64_t key(std::uint32_t channel) const {
+    return (id << 32) | channel;
+  }
+
+  /// Close the output ring once the reader finished and every inflight
+  /// job's callback ran; the writer exits after draining it.
+  void maybe_close_out() {
+    if (reader_done.load(std::memory_order_acquire) &&
+        jobs.load(std::memory_order_acquire) == 0) {
+      out.close();
+    }
+  }
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  runtime::SessionRuntime::Options ro;
+  ro.shards = opts_.shards;
+  ro.workers = opts_.workers;
+  ro.queue_capacity = opts_.queue_capacity;
+  ro.policy = opts_.policy;
+  runtime_ = std::make_unique<runtime::SessionRuntime>(ro);
+}
+
+Server::~Server() { stop(); }
+
+std::size_t Server::connection_count() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  std::string err;
+  if (!opts_.unix_path.empty()) {
+    const int fd = net::listen_unix(opts_.unix_path, &err);
+    if (fd < 0) throw std::runtime_error("service: " + err);
+    listen_fds_.push_back(fd);
+  }
+  if (opts_.tcp) {
+    const int fd = net::listen_tcp(opts_.tcp_port, &bound_port_, &err);
+    if (fd < 0) throw std::runtime_error("service: " + err);
+    listen_fds_.push_back(fd);
+  }
+  if (listen_fds_.empty()) {
+    throw std::runtime_error(
+        "service: no listener configured (set unix_path and/or tcp)");
+  }
+  accept_threads_.reserve(listen_fds_.size());
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+}
+
+void Server::accept_loop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR) continue;
+      return;  // listener closed or broken
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    count_service("connections");
+    spawn_connection(fd);
+  }
+}
+
+void Server::spawn_connection(int fd) {
+  auto conn = std::make_shared<Connection>(
+      fd, next_conn_id_.fetch_add(1), opts_.out_queue_capacity);
+  conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  conn->writer = std::thread([this, conn] { writer_loop(conn); });
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.push_back(std::move(conn));
+}
+
+void Server::conn_send(const std::shared_ptr<Connection>& conn,
+                       const Frame& f) {
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  std::vector<std::uint8_t> bytes = encode_frame(f);
+  if (opts_.policy == runtime::SessionRuntime::Overload::kShed) {
+    if (!conn->out.try_push(bytes)) count_service("shed_out");
+  } else {
+    // Blocking: backpressure onto the producing worker. Returns false
+    // only when the ring was closed during teardown; the frame is moot.
+    (void)conn->out.push(std::move(bytes));
+  }
+}
+
+void Server::finish_job(const std::shared_ptr<Connection>& conn) {
+  conn->jobs.fetch_sub(1, std::memory_order_acq_rel);
+  conn->maybe_close_out();
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          Frame&& f) {
+  const std::uint32_t ch = f.channel;
+  const std::uint32_t seq = f.seq;
+
+  const auto reject = [&](ErrorCode code) {
+    count_service("rejected");
+    Frame e;
+    e.type = FrameType::kError;
+    e.channel = ch;
+    e.seq = seq;
+    e.payload = encode_u32(static_cast<std::uint32_t>(code));
+    conn_send(conn, e);
+  };
+
+  switch (f.type) {
+    case FrameType::kOpen:
+    case FrameType::kConfig: {
+      std::uint32_t preset = 0;
+      if (!decode_u32(f.payload, &preset)) {
+        reject(ErrorCode::kBadPayload);
+        return;
+      }
+      auto cfg = preset_config(preset);
+      if (!cfg) {
+        reject(ErrorCode::kBadPreset);
+        return;
+      }
+      if (f.type == FrameType::kOpen) {
+        conn->next_seq[ch] = 0;
+        conn->opened.insert(ch);
+      }
+      SessionJob job;
+      job.session = conn->key(ch);
+      job.op = f.type == FrameType::kOpen ? SessionOp::kOpen
+                                          : SessionOp::kReconfigure;
+      job.config = std::move(cfg);
+      const FrameType acked = f.type;
+      job.done = [this, conn, ch, seq, acked](SessionResult r) {
+        Frame resp;
+        resp.channel = ch;
+        resp.seq = seq;
+        if (r.status == SessionStatus::kOk) {
+          resp.type = FrameType::kAck;
+          resp.payload = encode_u32(static_cast<std::uint32_t>(acked));
+        } else {
+          resp.type = FrameType::kError;
+          resp.payload = encode_u32(
+              static_cast<std::uint32_t>(status_error(r.status)));
+        }
+        conn_send(conn, resp);
+        finish_job(conn);
+      };
+      conn->jobs.fetch_add(1, std::memory_order_acq_rel);
+      if (!runtime_->submit(std::move(job))) finish_job(conn);
+      return;
+    }
+
+    case FrameType::kData: {
+      const auto it = conn->next_seq.find(ch);
+      if (it != conn->next_seq.end()) {
+        if (seq != it->second) {
+          reject(ErrorCode::kBadSeq);
+          return;  // dropped; the expected sequence number is unchanged
+        }
+        ++it->second;
+      }
+      SessionJob job;
+      job.session = conn->key(ch);
+      job.op = SessionOp::kData;
+      if (!decode_codes(f.payload, &job.codes)) {
+        reject(ErrorCode::kBadPayload);
+        return;
+      }
+      const std::size_t frames = job.codes.size();
+      const auto t0 = std::chrono::steady_clock::now();
+      job.done = [this, conn, ch, seq, frames, t0](SessionResult r) {
+        if (r.status == SessionStatus::kOk) {
+          if (!r.samples.empty()) {
+            Frame out;
+            out.type = FrameType::kDataOut;
+            out.channel = ch;
+            out.seq = seq;
+            out.payload = encode_samples(r.samples);
+            conn_send(conn, out);
+          }
+          if (obs::enabled()) {
+            const std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            if (dt.count() > 0.0) {
+              obs::Registry::instance()
+                  .gauge("service.throughput_sps.ch" + std::to_string(ch))
+                  .set(static_cast<double>(frames) / dt.count());
+            }
+          }
+        } else {
+          Frame e;
+          e.type = FrameType::kError;
+          e.channel = ch;
+          e.seq = seq;
+          e.payload = encode_u32(
+              static_cast<std::uint32_t>(status_error(r.status)));
+          conn_send(conn, e);
+        }
+        finish_job(conn);
+      };
+      conn->jobs.fetch_add(1, std::memory_order_acq_rel);
+      if (runtime_->submit(std::move(job))) {
+        count_tenant("accepted", ch);
+      } else {
+        finish_job(conn);
+        count_tenant("shed", ch);
+        Frame shed;
+        shed.type = FrameType::kShed;
+        shed.channel = ch;
+        shed.seq = seq;
+        conn_send(conn, shed);
+      }
+      return;
+    }
+
+    case FrameType::kDrain:
+    case FrameType::kClose: {
+      if (f.type == FrameType::kClose) conn->next_seq.erase(ch);
+      SessionJob job;
+      job.session = conn->key(ch);
+      job.op =
+          f.type == FrameType::kDrain ? SessionOp::kDrain : SessionOp::kClose;
+      const bool drain = f.type == FrameType::kDrain;
+      job.done = [this, conn, ch, seq, drain](SessionResult r) {
+        if (r.status == SessionStatus::kOk) {
+          if (drain) {
+            if (!r.samples.empty()) {
+              Frame out;
+              out.type = FrameType::kDataOut;
+              out.channel = ch;
+              out.seq = seq;
+              out.payload = encode_samples(r.samples);
+              conn_send(conn, out);
+            }
+            Frame done;
+            done.type = FrameType::kDrained;
+            done.channel = ch;
+            done.seq = seq;
+            conn_send(conn, done);
+          } else {
+            Frame resp;
+            resp.type = FrameType::kAck;
+            resp.channel = ch;
+            resp.seq = seq;
+            resp.payload = encode_u32(
+                static_cast<std::uint32_t>(FrameType::kClose));
+            conn_send(conn, resp);
+          }
+        } else {
+          Frame e;
+          e.type = FrameType::kError;
+          e.channel = ch;
+          e.seq = seq;
+          e.payload = encode_u32(
+              static_cast<std::uint32_t>(status_error(r.status)));
+          conn_send(conn, e);
+        }
+        finish_job(conn);
+      };
+      conn->jobs.fetch_add(1, std::memory_order_acq_rel);
+      if (!runtime_->submit(std::move(job))) finish_job(conn);
+      return;
+    }
+
+    default:
+      // Server->client frame types arriving at the server.
+      reject(ErrorCode::kBadPayload);
+      return;
+  }
+}
+
+void Server::teardown(const std::shared_ptr<Connection>& conn) {
+  // Close every session this connection opened so a vanished client never
+  // leaks chain state; results are discarded (the ring is about to close).
+  for (const std::uint32_t ch : conn->opened) {
+    SessionJob job;
+    job.session = conn->key(ch);
+    job.op = SessionOp::kClose;
+    (void)runtime_->submit(std::move(job));
+  }
+  conn->opened.clear();
+  conn->reader_done.store(true, std::memory_order_release);
+  conn->maybe_close_out();
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  FrameParser parser;
+  bool protocol_error = false;
+  for (;;) {
+    const long n = net::recv_some(conn->fd, buf.data(), buf.size());
+    if (n <= 0) break;
+    parser.feed(buf.data(), static_cast<std::size_t>(n));
+    Frame f;
+    FrameParser::Result res;
+    while ((res = parser.next(&f)) == FrameParser::Result::kFrame) {
+      handle_frame(conn, std::move(f));
+    }
+    if (res == FrameParser::Result::kBad) {
+      // The byte stream is unsynchronized: report, then drop this
+      // connection. Other tenants are unaffected.
+      count_service("bad_frames");
+      DSADC_LOG_WARN("service", "dropping connection %llu: %s",
+                     static_cast<unsigned long long>(conn->id),
+                     parser.error().c_str());
+      Frame e;
+      e.type = FrameType::kError;
+      e.payload =
+          encode_u32(static_cast<std::uint32_t>(ErrorCode::kBadPayload));
+      conn_send(conn, e);
+      protocol_error = true;
+      break;
+    }
+  }
+  if (protocol_error) ::shutdown(conn->fd, SHUT_RD);
+  teardown(conn);
+}
+
+void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> msg;
+  while (conn->out.pop(msg)) {
+    if (conn->dead.load(std::memory_order_relaxed)) continue;  // discard
+    if (!net::send_all(conn->fd, msg.data(), msg.size())) {
+      conn->dead.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Ring closed: every response is flushed. Signal EOF so the client
+  // observes the teardown without waiting for server stop.
+  ::shutdown(conn->fd, SHUT_WR);
+}
+
+void Server::stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Listeners down first: no new connections.
+  for (const int fd : listen_fds_) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  for (auto& t : accept_threads_) t.join();
+  listen_fds_.clear();
+  accept_threads_.clear();
+
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  // Wake readers (recv returns 0) and fail writers' sends so a slow or
+  // vanished consumer cannot wedge the drain.
+  for (const auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
+  for (const auto& c : conns) c->reader.join();
+  // Readers are quiesced; drain every admitted job so callbacks finish
+  // and the output rings close, then the writers exit.
+  runtime_->stop();
+  for (const auto& c : conns) {
+    c->writer.join();
+    ::close(c->fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (!opts_.unix_path.empty()) ::unlink(opts_.unix_path.c_str());
+}
+
+}  // namespace dsadc::service

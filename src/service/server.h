@@ -1,0 +1,125 @@
+// Decimation-as-a-service: the socket front-end over runtime::SessionRuntime.
+//
+// A Server listens on a unix-domain socket and/or 127.0.0.1 TCP. Each
+// accepted connection gets a reader thread (parse + validate frames,
+// admit jobs) and a writer thread (drain the connection's bounded output
+// ring to the socket). Channel ids are scoped per connection -- session
+// key = (connection id << 32) | channel -- so tenants cannot touch each
+// other's streams; with the default power-of-two shard count the shard a
+// channel lands on is simply channel mod shards.
+//
+// Data path:
+//
+//   reader --validate/seq-check--> SessionRuntime shard ring
+//          --worker pool--> DecimationChain::process --> encode DATA_OUT
+//          --> connection output MpmcRing --> writer --> socket
+//
+// Backpressure and overload (ServerOptions::policy):
+//  * kBlock: full shard ring blocks the reader (TCP/unix flow control
+//    pushes back to the client); full output ring blocks the worker,
+//    which stalls that connection's shard only -- zero sample loss.
+//  * kShed: full shard ring drops the DATA frame, counts service.shed
+//    and notifies the client with a SHED frame carrying the dropped
+//    sequence number; full output ring drops the outbound frame and
+//    counts service.shed_out. Workers never block on a slow consumer.
+//
+// Lifecycle frames (OPEN/CONFIG/DRAIN/CLOSE) are never shed. A
+// malformed byte stream (bad magic/CRC/length) terminates only that
+// connection; its sessions are closed and other tenants are unaffected.
+//
+// Per-tenant metrics (src/obs): service.accepted[.ch<id>],
+// service.shed[.ch<id>], service.shed_out, service.rejected,
+// service.bad_frames, service.connections counters, the
+// service.inflight gauge (admitted jobs not yet executed) and
+// service.throughput_sps.ch<id> gauges.
+//
+// Environment knobs (all optional; see options_from_env):
+//   DSADC_SERVICE_POLICY      block | shed
+//   DSADC_SERVICE_SHARDS      shard count (default 16)
+//   DSADC_SERVICE_THREADS     worker count (default DSADC_RUNTIME_THREADS
+//                             or hardware concurrency)
+//   DSADC_SERVICE_QUEUE_CAP   jobs per shard ring (default 64)
+//   DSADC_SERVICE_OUT_CAP     frames per connection output ring (256)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/session.h"
+#include "src/service/wire.h"
+
+namespace dsadc::service {
+
+struct ServerOptions {
+  std::string unix_path;       ///< empty -> no unix listener
+  bool tcp = false;            ///< also listen on 127.0.0.1
+  std::uint16_t tcp_port = 0;  ///< 0 -> ephemeral (see Server::tcp_port)
+  runtime::SessionRuntime::Overload policy =
+      runtime::SessionRuntime::Overload::kBlock;
+  std::size_t shards = 16;
+  std::size_t workers = 0;  ///< 0 -> configured_threads()
+  std::size_t queue_capacity = 64;
+  std::size_t out_queue_capacity = 256;
+};
+
+/// Defaults overlaid with the DSADC_SERVICE_* environment knobs.
+ServerOptions options_from_env();
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept/worker machinery. Throws
+  /// std::runtime_error when no listener can be established.
+  void start();
+
+  /// Drain every admitted job, flush/close connections, join all
+  /// threads. Idempotent; the destructor calls it.
+  void stop();
+
+  const std::string& unix_path() const { return opts_.unix_path; }
+  /// Bound TCP port (after start(), when opts.tcp).
+  std::uint16_t tcp_port() const { return bound_port_; }
+
+  std::size_t inflight() const { return runtime_->inflight(); }
+  std::size_t connection_count() const;
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop(int listen_fd);
+  void spawn_connection(int fd);
+  void reader_loop(const std::shared_ptr<Connection>& conn);
+  void writer_loop(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn, Frame&& f);
+  /// Close the connection's sessions (reader-thread teardown path).
+  void teardown(const std::shared_ptr<Connection>& conn);
+  /// Encode + enqueue one server->client frame per the overload policy.
+  void conn_send(const std::shared_ptr<Connection>& conn, const Frame& f);
+  void finish_job(const std::shared_ptr<Connection>& conn);
+
+  ServerOptions opts_;
+  std::unique_ptr<runtime::SessionRuntime> runtime_;
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint32_t> next_conn_id_{1};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+};
+
+}  // namespace dsadc::service

@@ -1,0 +1,249 @@
+#include "src/service/wire.h"
+
+#include <array>
+#include <cstring>
+#include <mutex>
+
+namespace dsadc::service {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xffu));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool known_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kOpen) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kOpen: return "OPEN";
+    case FrameType::kConfig: return "CONFIG";
+    case FrameType::kData: return "DATA";
+    case FrameType::kDrain: return "DRAIN";
+    case FrameType::kClose: return "CLOSE";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kDataOut: return "DATA_OUT";
+    case FrameType::kDrained: return "DRAINED";
+    case FrameType::kShed: return "SHED";
+    case FrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadSeq: return "bad_seq";
+    case ErrorCode::kNotOpen: return "not_open";
+    case ErrorCode::kAlreadyOpen: return "already_open";
+    case ErrorCode::kBadPreset: return "bad_preset";
+    case ErrorCode::kBadPayload: return "bad_payload";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const Frame& f) {
+  const std::size_t start = out.size();
+  out.reserve(start + kHeaderBytes + f.payload.size());
+  put_u32(out, kMagic);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(f.flags);
+  out.push_back(0);
+  out.push_back(0);
+  put_u32(out, f.channel);
+  put_u32(out, f.seq);
+  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  put_u32(out, 0);  // CRC placeholder
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  // CRC over header-with-zeroed-CRC + payload, patched in place.
+  const std::uint32_t crc =
+      crc32(out.data() + start, kHeaderBytes + f.payload.size());
+  out[start + 20] = static_cast<std::uint8_t>(crc & 0xffu);
+  out[start + 21] = static_cast<std::uint8_t>((crc >> 8) & 0xffu);
+  out[start + 22] = static_cast<std::uint8_t>((crc >> 16) & 0xffu);
+  out[start + 23] = static_cast<std::uint8_t>((crc >> 24) & 0xffu);
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  append_frame(out, f);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_u32(std::uint32_t v) {
+  std::vector<std::uint8_t> p;
+  put_u32(p, v);
+  return p;
+}
+
+bool decode_u32(std::span<const std::uint8_t> payload, std::uint32_t* v) {
+  if (payload.size() != 4) return false;
+  *v = get_u32(payload.data());
+  return true;
+}
+
+std::vector<std::uint8_t> encode_codes(std::span<const std::int32_t> codes) {
+  std::vector<std::uint8_t> p;
+  p.reserve(codes.size() * 4);
+  for (const std::int32_t c : codes) {
+    put_u32(p, static_cast<std::uint32_t>(c));
+  }
+  return p;
+}
+
+bool decode_codes(std::span<const std::uint8_t> payload,
+                  std::vector<std::int32_t>* codes) {
+  if (payload.size() % 4 != 0) return false;
+  codes->resize(payload.size() / 4);
+  for (std::size_t i = 0; i < codes->size(); ++i) {
+    (*codes)[i] = static_cast<std::int32_t>(get_u32(payload.data() + 4 * i));
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_samples(
+    std::span<const std::int64_t> samples) {
+  std::vector<std::uint8_t> p;
+  p.reserve(samples.size() * 8);
+  for (const std::int64_t s : samples) {
+    put_u64(p, static_cast<std::uint64_t>(s));
+  }
+  return p;
+}
+
+bool decode_samples(std::span<const std::uint8_t> payload,
+                    std::vector<std::int64_t>* samples) {
+  if (payload.size() % 8 != 0) return false;
+  samples->resize(payload.size() / 8);
+  for (std::size_t i = 0; i < samples->size(); ++i) {
+    (*samples)[i] =
+        static_cast<std::int64_t>(get_u64(payload.data() + 8 * i));
+  }
+  return true;
+}
+
+std::shared_ptr<const decim::ChainConfig> preset_config(std::uint32_t id) {
+  static std::mutex mu;
+  static std::array<std::shared_ptr<const decim::ChainConfig>, kNumPresets>
+      cache;
+  if (id >= kNumPresets) return nullptr;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!cache[id]) {
+    decim::ChainConfig cfg = decim::paper_chain_config();
+    if (id == 1) {
+      // Half-scale variant: same filters, a different CSD scaler constant,
+      // so reconfiguration is observable in the served samples.
+      cfg.scale *= 0.5;
+    }
+    cache[id] = std::make_shared<const decim::ChainConfig>(std::move(cfg));
+  }
+  return cache[id];
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t n) {
+  // Compact before growing once the consumed prefix dominates.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameParser::Result FrameParser::next(Frame* out) {
+  if (buffered() < kHeaderBytes) return Result::kNeedMore;
+  const std::uint8_t* h = buf_.data() + off_;
+  if (get_u32(h) != kMagic) {
+    error_ = "bad magic";
+    return Result::kBad;
+  }
+  if (!known_frame_type(h[4])) {
+    error_ = "unknown frame type";
+    return Result::kBad;
+  }
+  const std::uint32_t len = get_u32(h + 16);
+  if (len > kMaxPayloadBytes) {
+    error_ = "payload length " + std::to_string(len) + " exceeds limit";
+    return Result::kBad;
+  }
+  if (buffered() < kHeaderBytes + len) return Result::kNeedMore;
+
+  // Validate the CRC against the header with a zeroed CRC field.
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  std::memcpy(header.data(), h, kHeaderBytes);
+  const std::uint32_t wire_crc = get_u32(header.data() + 20);
+  std::memset(header.data() + 20, 0, 4);
+  const auto& t = crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
+    c = t[(c ^ header[i]) & 0xffu] ^ (c >> 8);
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ h[kHeaderBytes + i]) & 0xffu] ^ (c >> 8);
+  }
+  if ((c ^ 0xffffffffu) != wire_crc) {
+    error_ = "CRC mismatch";
+    return Result::kBad;
+  }
+
+  out->type = static_cast<FrameType>(h[4]);
+  out->flags = h[5];
+  out->channel = get_u32(h + 8);
+  out->seq = get_u32(h + 12);
+  out->payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
+  off_ += kHeaderBytes + len;
+  return Result::kFrame;
+}
+
+}  // namespace dsadc::service

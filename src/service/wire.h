@@ -1,0 +1,138 @@
+// Framed binary wire protocol for the decimation service.
+//
+// Every message is one frame: a fixed 24-byte little-endian header plus a
+// variable payload, protected end to end by a CRC-32 (IEEE 802.3
+// polynomial) over the header (with the CRC field zeroed) and the
+// payload:
+//
+//   offset  size  field
+//        0     4  magic 0x44534443 ("DSDC")
+//        4     1  type (FrameType)
+//        5     1  flags (reserved, 0)
+//        6     2  reserved (0)
+//        8     4  channel id
+//       12     4  sequence number
+//       16     4  payload length in bytes
+//       20     4  CRC-32
+//
+// Client -> server: OPEN / CONFIG (payload: u32 preset id), DATA
+// (payload: int32 modulator codes, little-endian; `seq` must increment by
+// one per DATA frame per channel starting at 0 after OPEN), DRAIN, CLOSE.
+//
+// Server -> client: ACK (payload: u32 acknowledged FrameType), DATA_OUT
+// (payload: int64 decimated samples in the chain's output format; `seq`
+// is a per-channel output frame counter), DRAINED (end of a drain's
+// flush tail), SHED (the DATA frame with this `seq` was dropped by the
+// overload policy), ERROR (payload: u32 ErrorCode).
+//
+// A frame that fails validation (bad magic, oversized payload, bad CRC,
+// unknown type) means the byte stream itself cannot be trusted, so the
+// parser reports kBad and the server drops the connection; per-session
+// errors (unknown channel, bad sequence number, unknown preset) are
+// well-formed ERROR frames on an intact connection.
+//
+// docs/SERVICE.md holds the full protocol specification.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/decimator/chain.h"
+
+namespace dsadc::service {
+
+inline constexpr std::uint32_t kMagic = 0x44534443u;  // "DSDC" (LE "CDSD")
+inline constexpr std::size_t kHeaderBytes = 24;
+/// Upper bound on payload size: 256K codes per DATA frame.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  // client -> server
+  kOpen = 1,
+  kConfig = 2,
+  kData = 3,
+  kDrain = 4,
+  kClose = 5,
+  // server -> client
+  kAck = 6,
+  kDataOut = 7,
+  kDrained = 8,
+  kShed = 9,
+  kError = 10,
+};
+
+enum class ErrorCode : std::uint32_t {
+  kNone = 0,
+  kBadSeq = 1,       ///< DATA sequence number out of order (frame dropped)
+  kNotOpen = 2,      ///< operation on a channel that is not open
+  kAlreadyOpen = 3,  ///< OPEN on a channel that is already open
+  kBadPreset = 4,    ///< unknown configuration preset id
+  kBadPayload = 5,   ///< payload malformed for the frame type
+  kInternal = 6,     ///< server-side execution failure
+};
+
+const char* frame_type_name(FrameType t);
+const char* error_code_name(ErrorCode c);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint8_t flags = 0;
+  std::uint32_t channel = 0;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xffffffff) of `n` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+/// Serialize a frame (header CRC included) onto `out`.
+void append_frame(std::vector<std::uint8_t>& out, const Frame& f);
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+// --- payload codecs ------------------------------------------------------
+
+std::vector<std::uint8_t> encode_u32(std::uint32_t v);
+bool decode_u32(std::span<const std::uint8_t> payload, std::uint32_t* v);
+
+std::vector<std::uint8_t> encode_codes(std::span<const std::int32_t> codes);
+bool decode_codes(std::span<const std::uint8_t> payload,
+                  std::vector<std::int32_t>* codes);
+
+std::vector<std::uint8_t> encode_samples(
+    std::span<const std::int64_t> samples);
+bool decode_samples(std::span<const std::uint8_t> payload,
+                    std::vector<std::int64_t>* samples);
+
+// --- configuration presets ----------------------------------------------
+
+/// OPEN/CONFIG payloads name a chain preset instead of serializing a full
+/// ChainConfig: 0 is the paper chain, 1 a half-scale variant (different
+/// CSD scaler, observably distinct output). Unknown ids -> nullptr.
+/// Presets are designed once and shared (the design flow is expensive).
+std::shared_ptr<const decim::ChainConfig> preset_config(std::uint32_t id);
+inline constexpr std::uint32_t kNumPresets = 2;
+
+// --- incremental parser --------------------------------------------------
+
+/// Feed raw received bytes, pull whole validated frames. After kBad the
+/// stream is unsynchronized and the connection must be dropped.
+class FrameParser {
+ public:
+  enum class Result { kFrame, kNeedMore, kBad };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+  Result next(Frame* out);
+  const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;
+  std::string error_;
+};
+
+}  // namespace dsadc::service

@@ -139,6 +139,159 @@ TEST(SpscRing, ThreadedFifoOrder) {
   EXPECT_EQ(expected, kN);
 }
 
+TEST(SpscRing, ProducerCloseWhileConsumerBlocksDeliversFinalBlock) {
+  // The close-flag race the service depends on: a consumer blocked in
+  // pop() on an empty ring must receive an element pushed immediately
+  // before close() -- the final partial block -- and only then get
+  // end-of-stream. No deadlock, no drop, on any interleaving.
+  for (int trial = 0; trial < 200; ++trial) {
+    runtime::SpscRing<int> ring(8);
+    std::atomic<bool> consumer_ready{false};
+    std::vector<int> got;
+    std::thread consumer([&] {
+      consumer_ready.store(true);
+      int v = 0;
+      while (ring.pop(v)) got.push_back(v);  // blocks on empty
+    });
+    while (!consumer_ready.load()) std::this_thread::yield();
+    int final_block = 41;
+    ASSERT_TRUE(ring.try_push(final_block));
+    ring.close();  // push-then-close: EOS after the final element
+    consumer.join();
+    ASSERT_EQ(got, std::vector<int>{41}) << "trial " << trial;
+  }
+}
+
+TEST(SpscRing, ConsumerCloseUnblocksFullRingProducer) {
+  // The other direction: a producer stuck in push() on a full ring whose
+  // consumer cancels must return false instead of spinning forever.
+  runtime::SpscRing<int> ring(2);
+  for (int i = 0; i < 2; ++i) {
+    int v = i;
+    ASSERT_TRUE(ring.try_push(v));
+  }
+  std::atomic<bool> pushed{false};
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] {
+    push_result.store(ring.push(99));  // full: blocks until close
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load()) << "push should be blocked on a full ring";
+  ring.close();
+  producer.join();
+  EXPECT_FALSE(push_result.load()) << "push after close must report failure";
+  int v = 0;
+  EXPECT_FALSE(ring.try_push(v)) << "pushes fail once closed";
+}
+
+// --- MPMC ring (service admission queues) -------------------------------
+
+TEST(MpmcRing, SingleProducerFifoOrder) {
+  // The ordering contract the service leans on: one producer's pushes
+  // (a connection reader) leave the ring in push order even with
+  // concurrent consumers... here checked with one consumer for a strict
+  // sequence, under capacity pressure.
+  runtime::MpmcRing<std::size_t> ring(4);
+  constexpr std::size_t kN = 20000;
+  std::thread producer([&ring] {
+    for (std::size_t i = 0; i < kN; ++i) ring.push(i);
+    ring.close();
+  });
+  std::size_t expected = 0;
+  std::size_t v = 0;
+  while (ring.pop(v)) {
+    ASSERT_EQ(v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kN);
+}
+
+TEST(MpmcRing, ManyProducersManyConsumersLoseNothing) {
+  runtime::MpmcRing<std::size_t> ring(16);
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ring, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        ring.push(p * kPerProducer + i + 1);  // distinct nonzero values
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  std::vector<std::uint64_t> sums(kConsumers, 0);
+  std::vector<std::size_t> counts(kConsumers, 0);
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&ring, &sums, &counts, c] {
+      std::size_t v = 0;
+      while (ring.pop(v)) {
+        sums[c] += v;
+        ++counts[c];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ring.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    sum += sums[c];
+    count += counts[c];
+  }
+  EXPECT_EQ(count, kTotal);
+  EXPECT_EQ(sum, kTotal * (kTotal + 1) / 2) << "every element exactly once";
+}
+
+TEST(MpmcRing, CapacityOneRoundsUpToTwo) {
+  // Regression: a 1-slot Vyukov ring lets a second push overwrite the
+  // unconsumed element and livelocks the consumer; capacity must floor
+  // at 2 so a capacity-1 request still yields a correct queue.
+  runtime::MpmcRing<int> ring(1);
+  EXPECT_EQ(ring.capacity(), 2u);
+  int v = 10;
+  ASSERT_TRUE(ring.try_push(v));
+  v = 20;
+  ASSERT_TRUE(ring.try_push(v));
+  v = 30;
+  EXPECT_FALSE(ring.try_push(v)) << "full at the rounded capacity";
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 10);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 20);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(MpmcRing, TryPushFailsOnlyWhenFullOrClosed) {
+  runtime::MpmcRing<int> ring(2);
+  int v = 1;
+  EXPECT_TRUE(ring.try_push(v));
+  v = 2;
+  EXPECT_TRUE(ring.try_push(v));
+  v = 3;
+  EXPECT_FALSE(ring.try_push(v)) << "full";
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  v = 3;
+  EXPECT_TRUE(ring.try_push(v)) << "slot reusable after pop";
+  ring.close();
+  v = 4;
+  EXPECT_FALSE(ring.try_push(v)) << "closed";
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(ring.pop(out)) << "close drains remaining elements";
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(ring.pop(out)) << "closed and drained";
+}
+
 // --- Multi-channel SoA runtime ------------------------------------------
 
 TEST_F(RuntimeTest, MultiChannelMatchesScalarChainAllStimuli) {

@@ -1,0 +1,471 @@
+// Decimation service: wire protocol round-trips, session lifecycle over a
+// live server, bit-exactness of served output against the scalar
+// DecimationChain (samples AND fx requantization counters), and
+// determinism across DSADC_RUNTIME_THREADS.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/runtime/session.h"
+#include "src/service/client.h"
+#include "src/service/net.h"
+#include "src/service/server.h"
+#include "src/service/wire.h"
+#include "src/verify/stimulus.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace std::chrono_literals;
+
+constexpr auto kWait = 30000ms;  // generous: CI runs this under sanitizers
+
+std::uint32_t fuzz_seed(std::uint32_t fallback) {
+  if (const char* env = std::getenv("DSADC_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint32_t>(v);
+  }
+  return fallback;
+}
+
+std::vector<std::int32_t> stimulus_codes(verify::StimulusClass c,
+                                         std::size_t n,
+                                         std::mt19937_64& rng) {
+  const auto raw = verify::make_stimulus(c, n, fx::Format{4, 0}, rng);
+  std::vector<std::int32_t> codes(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(raw[i]);
+  }
+  return codes;
+}
+
+/// fx event-counter totals across the chain's requantization sites.
+/// Equality proves the served path made identical per-sample saturate and
+/// round decisions as the scalar reference (counter adds are commutative,
+/// so worker count and scheduling cannot affect the totals).
+std::map<std::string, std::uint64_t> fx_snapshot() {
+  static const char* kSites[] = {"chain_hbf_in", "hbf_in",     "hbf_product",
+                                 "hbf_internal", "hbf_out",    "scaler_out",
+                                 "fir_out"};
+  static const char* kEvents[] = {"saturate", "round", "wrap"};
+  std::map<std::string, std::uint64_t> snap;
+  auto& reg = obs::Registry::instance();
+  for (const char* site : kSites) {
+    for (const char* ev : kEvents) {
+      const std::string name = std::string("fx.") + ev + "." + site;
+      snap[name] = reg.counter(name).value();
+    }
+  }
+  return snap;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::instance().reset_all();
+  }
+  void TearDown() override { ::unsetenv("DSADC_RUNTIME_THREADS"); }
+
+  service::ServerOptions test_options(const char* tag) {
+    service::ServerOptions o;
+    o.unix_path = service::net::unique_socket_path(tag);
+    o.workers = 4;
+    o.shards = 8;
+    return o;
+  }
+};
+
+// --- wire protocol -------------------------------------------------------
+
+TEST(ServiceWire, FrameRoundTrip) {
+  service::Frame f;
+  f.type = service::FrameType::kData;
+  f.channel = 42;
+  f.seq = 7;
+  f.payload = service::encode_codes(std::vector<std::int32_t>{-8, 7, 0, 3});
+
+  const auto bytes = service::encode_frame(f);
+  ASSERT_EQ(bytes.size(), service::kHeaderBytes + f.payload.size());
+
+  service::FrameParser parser;
+  parser.feed(bytes.data(), bytes.size());
+  service::Frame got;
+  ASSERT_EQ(parser.next(&got), service::FrameParser::Result::kFrame);
+  EXPECT_EQ(got.type, f.type);
+  EXPECT_EQ(got.channel, f.channel);
+  EXPECT_EQ(got.seq, f.seq);
+  EXPECT_EQ(got.payload, f.payload);
+  EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(ServiceWire, ParserReassemblesByteDribble) {
+  // Three frames delivered one byte at a time: the parser must
+  // reassemble every frame across arbitrary recv() boundaries.
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    service::Frame f;
+    f.type = service::FrameType::kData;
+    f.channel = i;
+    f.seq = i * 10;
+    f.payload = service::encode_u32(0xa0b0c0d0u + i);
+    service::append_frame(stream, f);
+  }
+
+  service::FrameParser parser;
+  std::vector<service::Frame> got;
+  for (const std::uint8_t byte : stream) {
+    parser.feed(&byte, 1);
+    service::Frame f;
+    while (parser.next(&f) == service::FrameParser::Result::kFrame) {
+      got.push_back(f);
+    }
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[i].channel, i);
+    EXPECT_EQ(got[i].seq, i * 10);
+    std::uint32_t v = 0;
+    ASSERT_TRUE(service::decode_u32(got[i].payload, &v));
+    EXPECT_EQ(v, 0xa0b0c0d0u + i);
+  }
+}
+
+TEST(ServiceWire, PayloadCodecsRoundTrip) {
+  const std::vector<std::int32_t> codes = {-8, -1, 0, 1, 7, 2147483647,
+                                           -2147483647 - 1};
+  std::vector<std::int32_t> codes2;
+  ASSERT_TRUE(service::decode_codes(service::encode_codes(codes), &codes2));
+  EXPECT_EQ(codes2, codes);
+
+  const std::vector<std::int64_t> samples = {0, -1, 8191, -8192,
+                                             (1ll << 40), -(1ll << 40)};
+  std::vector<std::int64_t> samples2;
+  ASSERT_TRUE(
+      service::decode_samples(service::encode_samples(samples), &samples2));
+  EXPECT_EQ(samples2, samples);
+
+  // Misaligned payloads must be rejected, not mis-parsed.
+  std::vector<std::uint8_t> odd(5, 0);
+  EXPECT_FALSE(service::decode_codes(odd, &codes2));
+  EXPECT_FALSE(service::decode_samples(odd, &samples2));
+  std::uint32_t v = 0;
+  EXPECT_FALSE(service::decode_u32(odd, &v));
+}
+
+TEST(ServiceWire, ParserRejectsCorruption) {
+  service::Frame f;
+  f.type = service::FrameType::kData;
+  f.channel = 3;
+  f.payload = service::encode_codes(std::vector<std::int32_t>{1, 2, 3, 4});
+  const auto good = service::encode_frame(f);
+
+  {  // bad magic
+    auto bytes = good;
+    bytes[0] ^= 0xff;
+    service::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    service::Frame got;
+    EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kBad);
+  }
+  {  // flipped payload byte -> CRC mismatch
+    auto bytes = good;
+    bytes.back() ^= 0x01;
+    service::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    service::Frame got;
+    EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kBad);
+  }
+  {  // flipped CRC byte
+    auto bytes = good;
+    bytes[20] ^= 0x10;
+    service::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    service::Frame got;
+    EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kBad);
+  }
+  {  // unknown frame type
+    auto bytes = good;
+    bytes[4] = 0x7f;  // type field; CRC now also wrong, either way kBad
+    service::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    service::Frame got;
+    EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kBad);
+  }
+  {  // oversized payload length
+    auto bytes = good;
+    bytes[16] = 0xff;
+    bytes[17] = 0xff;
+    bytes[18] = 0xff;
+    bytes[19] = 0x7f;
+    service::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    service::Frame got;
+    EXPECT_EQ(parser.next(&got), service::FrameParser::Result::kBad);
+  }
+}
+
+TEST(ServiceWire, Crc32KnownVector) {
+  // IEEE 802.3 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(service::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
+            0xcbf43926u);
+}
+
+TEST(ServiceWire, PresetsAreSharedAndBounded) {
+  const auto p0 = service::preset_config(0);
+  const auto p1 = service::preset_config(1);
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(service::preset_config(service::kNumPresets), nullptr);
+  // Designed once, shared thereafter.
+  EXPECT_EQ(service::preset_config(0).get(), p0.get());
+  EXPECT_EQ(service::preset_config(1).get(), p1.get());
+}
+
+// --- session lifecycle over a live server --------------------------------
+
+TEST_F(ServiceTest, LifecycleOpenStreamReconfigureDrainClose) {
+  service::Server server(test_options("life"));
+  server.start();
+  auto client = service::Client::connect_unix(server.unix_path());
+
+  const std::uint32_t ch = 5;
+  std::mt19937_64 rng(fuzz_seed(301));
+  const auto part1 =
+      stimulus_codes(verify::StimulusClass::kModulator, 2048, rng);
+  const auto part2 = stimulus_codes(verify::StimulusClass::kPrbs, 1024, rng);
+
+  // Reference: the exact sequence of chain operations the server performs.
+  const auto cfg0 = service::preset_config(0);
+  const auto cfg1 = service::preset_config(1);
+  std::vector<std::int64_t> ref;
+  decim::DecimationChain chain(*cfg0);
+  for (auto s : chain.process(part1)) ref.push_back(s);
+  decim::DecimationChain chain2(*cfg1);  // reconfigure = fresh chain
+  for (auto s : chain2.process(part2)) ref.push_back(s);
+  const auto pad = runtime::SessionRuntime::drain_pad_frames(chain2);
+  for (auto s : chain2.process(std::vector<std::int32_t>(pad, 0))) {
+    ref.push_back(s);
+  }
+
+  ASSERT_TRUE(client->open(ch, 0));
+  ASSERT_TRUE(client->wait_ack_count(ch, 1, kWait)) << "OPEN not acked";
+  ASSERT_TRUE(client->send_data(ch, part1));
+  ASSERT_TRUE(client->reconfigure(ch, 1));
+  ASSERT_TRUE(client->wait_ack_count(ch, 2, kWait)) << "CONFIG not acked";
+  ASSERT_TRUE(client->send_data(ch, part2));
+  ASSERT_TRUE(client->drain(ch));
+  ASSERT_TRUE(client->wait_drained(ch, 1, kWait)) << "DRAIN marker missing";
+  ASSERT_TRUE(client->close_channel(ch));
+  ASSERT_TRUE(client->wait_ack_count(ch, 3, kWait)) << "CLOSE not acked";
+
+  EXPECT_EQ(client->samples(ch), ref);
+  EXPECT_TRUE(client->errors().empty());
+
+  // The channel is gone: further DATA is answered with NOT_OPEN.
+  ASSERT_TRUE(client->send_data(ch, part2));
+  EXPECT_TRUE(client->wait_error(service::ErrorCode::kNotOpen, kWait));
+
+  client.reset();
+  server.stop();
+}
+
+TEST_F(ServiceTest, ServedOutputBitExactAllStimulusClasses) {
+  const std::uint32_t seed = fuzz_seed(313);
+  constexpr std::size_t kChannels = 3;
+  constexpr std::size_t kFrames = 4096;
+  constexpr std::size_t kChunk = 512;  // 8 DATA frames/channel: state carry
+
+  for (int ci = 0; ci < verify::kNumStimulusClasses; ++ci) {
+    const auto cls = static_cast<verify::StimulusClass>(ci);
+    std::mt19937_64 rng(seed + static_cast<std::uint32_t>(ci));
+    std::vector<std::vector<std::int32_t>> codes;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      codes.push_back(stimulus_codes(cls, kFrames, rng));
+    }
+
+    // Reference: scalar chains, counting fx requantization events.
+    obs::Registry::instance().reset_all();
+    const auto cfg = service::preset_config(0);
+    std::vector<std::vector<std::int64_t>> ref;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      decim::DecimationChain chain(*cfg);
+      ref.push_back(chain.process(codes[c]));
+    }
+    const auto ref_fx = fx_snapshot();
+
+    obs::Registry::instance().reset_all();
+    service::Server server(test_options("exact"));
+    server.start();
+    auto client = service::Client::connect_unix(server.unix_path());
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      ASSERT_TRUE(client->open(static_cast<std::uint32_t>(c), 0));
+    }
+    for (std::size_t off = 0; off < kFrames; off += kChunk) {
+      for (std::size_t c = 0; c < kChannels; ++c) {
+        ASSERT_TRUE(client->send_data(
+            static_cast<std::uint32_t>(c),
+            std::span<const std::int32_t>(codes[c]).subspan(off, kChunk)));
+      }
+    }
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      ASSERT_TRUE(client->wait_sample_count(static_cast<std::uint32_t>(c),
+                                            ref[c].size(), kWait))
+          << "class " << verify::stimulus_name(cls) << " channel " << c;
+      EXPECT_EQ(client->samples(static_cast<std::uint32_t>(c)), ref[c])
+          << "class " << verify::stimulus_name(cls) << " channel " << c;
+    }
+    EXPECT_TRUE(client->errors().empty());
+    client.reset();
+    server.stop();
+
+    // Same samples AND the same per-sample saturate/round decisions.
+    EXPECT_EQ(fx_snapshot(), ref_fx)
+        << "class " << verify::stimulus_name(cls);
+  }
+}
+
+TEST_F(ServiceTest, DeterministicAcrossRuntimeThreadCounts) {
+  const std::uint32_t seed = fuzz_seed(331);
+  constexpr std::size_t kChannels = 8;
+  constexpr std::size_t kFrames = 2048;
+  constexpr std::size_t kChunk = 256;
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<std::int32_t>> codes;
+  for (std::size_t c = 0; c < kChannels; ++c) {
+    codes.push_back(
+        stimulus_codes(verify::StimulusClass::kUniform, kFrames, rng));
+  }
+
+  std::vector<std::vector<std::vector<std::int64_t>>> results;
+  for (const char* threads : {"1", "2", "8"}) {
+    ::setenv("DSADC_RUNTIME_THREADS", threads, 1);
+    service::ServerOptions o;
+    o.unix_path = service::net::unique_socket_path("det");
+    o.workers = 0;  // resolve from DSADC_RUNTIME_THREADS
+    o.shards = 4;
+    service::Server server(o);
+    server.start();
+    auto client = service::Client::connect_unix(server.unix_path());
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      ASSERT_TRUE(client->open(static_cast<std::uint32_t>(c), 0));
+    }
+    for (std::size_t off = 0; off < kFrames; off += kChunk) {
+      for (std::size_t c = 0; c < kChannels; ++c) {
+        ASSERT_TRUE(client->send_data(
+            static_cast<std::uint32_t>(c),
+            std::span<const std::int32_t>(codes[c]).subspan(off, kChunk)));
+      }
+    }
+    std::vector<std::vector<std::int64_t>> run;
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      ASSERT_TRUE(client->wait_sample_count(static_cast<std::uint32_t>(c),
+                                            (kFrames / 16), kWait))
+          << "threads=" << threads << " channel " << c;
+      run.push_back(client->samples(static_cast<std::uint32_t>(c)));
+    }
+    EXPECT_TRUE(client->errors().empty()) << "threads=" << threads;
+    results.push_back(std::move(run));
+    client.reset();
+    server.stop();
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], results[0])
+        << "worker count must not change served samples";
+  }
+}
+
+TEST_F(ServiceTest, TcpRoundTrip) {
+  service::ServerOptions o;
+  o.tcp = true;  // ephemeral port; no unix listener
+  o.workers = 2;
+  service::Server server(o);
+  server.start();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  std::mt19937_64 rng(fuzz_seed(347));
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kModulator, 1024, rng);
+  decim::DecimationChain chain(*service::preset_config(0));
+  const auto ref = chain.process(codes);
+
+  auto client = service::Client::connect_tcp("127.0.0.1", server.tcp_port());
+  const std::uint32_t ch = 9;
+  ASSERT_TRUE(client->open(ch, 0));
+  ASSERT_TRUE(client->send_data(ch, codes));
+  ASSERT_TRUE(client->wait_sample_count(ch, ref.size(), kWait));
+  EXPECT_EQ(client->samples(ch), ref);
+  EXPECT_TRUE(client->errors().empty());
+  client.reset();
+  server.stop();
+}
+
+TEST_F(ServiceTest, TenantsAreIsolatedByConnection) {
+  // Two connections use the SAME channel id with different data; each
+  // must get exactly its own stream back (session key includes conn id).
+  service::Server server(test_options("iso"));
+  server.start();
+
+  std::mt19937_64 rng(fuzz_seed(353));
+  const auto codes_a =
+      stimulus_codes(verify::StimulusClass::kModulator, 2048, rng);
+  const auto codes_b = stimulus_codes(verify::StimulusClass::kPrbs, 2048, rng);
+  const auto cfg = service::preset_config(0);
+  decim::DecimationChain chain_a(*cfg), chain_b(*cfg);
+  const auto ref_a = chain_a.process(codes_a);
+  const auto ref_b = chain_b.process(codes_b);
+
+  auto a = service::Client::connect_unix(server.unix_path());
+  auto b = service::Client::connect_unix(server.unix_path());
+  const std::uint32_t ch = 77;
+  ASSERT_TRUE(a->open(ch, 0));
+  ASSERT_TRUE(b->open(ch, 0));
+  ASSERT_TRUE(a->send_data(ch, codes_a));
+  ASSERT_TRUE(b->send_data(ch, codes_b));
+  ASSERT_TRUE(a->wait_sample_count(ch, ref_a.size(), kWait));
+  ASSERT_TRUE(b->wait_sample_count(ch, ref_b.size(), kWait));
+  EXPECT_EQ(a->samples(ch), ref_a);
+  EXPECT_EQ(b->samples(ch), ref_b);
+  EXPECT_TRUE(a->errors().empty());
+  EXPECT_TRUE(b->errors().empty());
+  a.reset();
+  b.reset();
+  server.stop();
+}
+
+TEST_F(ServiceTest, PerTenantMetricsAccumulate) {
+  service::Server server(test_options("metrics"));
+  server.start();
+  auto client = service::Client::connect_unix(server.unix_path());
+
+  std::mt19937_64 rng(fuzz_seed(359));
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kModulator, 512, rng);
+  const std::uint32_t ch = 4;
+  ASSERT_TRUE(client->open(ch, 0));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(client->send_data(ch, codes));
+  ASSERT_TRUE(client->wait_sample_count(ch, 3 * codes.size() / 16, kWait));
+  client.reset();
+  server.stop();
+
+  auto& reg = obs::Registry::instance();
+  EXPECT_EQ(reg.counter("service.accepted").value(), 3u);
+  EXPECT_EQ(reg.counter("service.accepted.ch4").value(), 3u);
+  EXPECT_EQ(reg.counter("service.shed").value(), 0u);
+  EXPECT_EQ(reg.counter("service.connections").value(), 1u);
+  EXPECT_GT(reg.gauge("service.throughput_sps.ch4").value(), 0.0);
+}
+
+}  // namespace
