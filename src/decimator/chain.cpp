@@ -2,11 +2,13 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "src/dsp/freqz.h"
 #include "src/filterdesign/equalizer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/store/store.h"
 
 namespace dsadc::decim {
 namespace {
@@ -23,6 +25,19 @@ int cic_cascade_gain_log2(const std::vector<design::CicSpec>& stages) {
         "normalization");
   }
   return gi;
+}
+
+/// One block in N gets stage-boundary events when the trace store is on
+/// (DSADC_STORE_STAGE_SAMPLE, default 8, minimum 1 = every block).
+std::size_t stage_sample_period() {
+  static const std::size_t period = [] {
+    if (const char* v = std::getenv("DSADC_STORE_STAGE_SAMPLE")) {
+      const long n = std::strtol(v, nullptr, 10);
+      if (n >= 1) return static_cast<std::size_t>(n);
+    }
+    return std::size_t{8};
+  }();
+  return period;
 }
 
 }  // namespace
@@ -55,10 +70,47 @@ void DecimationChain::record_stage(const char* name, double rate_hz,
                                    int width_bits,
                                    const std::vector<std::int64_t>& samples,
                                    std::vector<StageProbe>* probes,
-                                   std::size_t idx) const {
+                                   std::size_t idx,
+                                   std::int64_t* stage_start_us) {
   const bool obs_on = obs::enabled();
-  if (probes == nullptr && !obs_on) return;
-  const SignalStats st = signal_stats(samples, width_bits);
+  // The caller passes a non-null time cursor only for blocks selected by
+  // the store's stage sampler (see process()).
+  const bool store_on = stage_start_us != nullptr;
+  const bool want_stats = probes != nullptr || obs_on;
+  if (!want_stats && !store_on) return;
+  SignalStats st;
+  if (want_stats) {
+    st = signal_stats(samples, width_bits);
+  } else {
+    // Store-only: the event carries just the headroom, which needs the
+    // integer peak -- a vectorizable min/max pass, no RMS accumulation.
+    std::int64_t mn = 0;
+    std::int64_t mx = 0;
+    for (std::int64_t v : samples) {
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+    }
+    const auto peak = static_cast<std::uint64_t>(std::max(mx, -mn));
+    st.peak_headroom_bits =
+        width_bits - 1 - static_cast<int>(std::bit_width(peak));
+  }
+  if (store_on) {
+    if (idx >= stage_ids_.size()) stage_ids_.resize(idx + 1, 0);
+    if (stage_ids_[idx] == 0) {
+      stage_ids_[idx] = obs::store::intern(std::string("stage.") + name);
+    }
+    const std::int64_t now = obs::store::now_us();
+    obs::store::Event e;
+    e.category = obs::store::Category::kStage;
+    e.name = stage_ids_[idx];
+    e.ts_us = *stage_start_us;
+    e.dur_us = now - *stage_start_us;
+    e.stage = static_cast<std::uint32_t>(idx);
+    e.value = st.peak_headroom_bits;
+    e.aux = samples.size();
+    stage_batch_.push_back(e);  // one emit_batch() at the end of the block
+    *stage_start_us = now;
+  }
   if (obs_on) {
     auto& reg = obs::Registry::instance();
     const std::string stage = name;
@@ -91,7 +143,14 @@ DecimationChain::DecimationChain(ChainConfig config)
                                       config_.equalizer_frac_bits),
                  /*decimation=*/1, config_.scaler_out_format,
                  config_.output_format),
-      cic_gain_log2_(cic_cascade_gain_log2(config_.cic_stages)) {}
+      cic_gain_log2_(cic_cascade_gain_log2(config_.cic_stages)) {
+  const auto& stages = cic_.stages();
+  sinc_names_.reserve(stages.size());
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    sinc_names_.push_back("sinc" + std::to_string(stages[i].spec().order) +
+                          "_" + std::to_string(i + 1));
+  }
+}
 
 void DecimationChain::reset() {
   cic_.reset();
@@ -127,22 +186,33 @@ std::vector<std::int64_t> DecimationChain::process(
   // Stage rates for the probes.
   const double fs = config_.input_rate_hz;
   std::size_t probe_idx = 0;
+  // Record stage events for one block in DSADC_STORE_STAGE_SAMPLE: per
+  // block they cost a min/max pass plus a clock read per boundary, which
+  // sampling keeps off the steady-state throughput path (<3% gate in CI)
+  // while every chain instance still traces its first block.
+  std::int64_t t_stage = 0;
+  std::int64_t* stage_cursor = nullptr;
+  if (obs::store::enabled() &&
+      stage_seq_++ % stage_sample_period() == 0) {
+    t_stage = obs::store::now_us();
+    stage_cursor = &t_stage;
+    stage_batch_.clear();
+  }
 
   // --- CIC cascade (per-stage for probing). All inter-stage signals live
   // in the member scratch vectors, so the steady state allocates only the
   // returned output vector.
   buf_.assign(codes.begin(), codes.end());
   record_stage("input", fs, config_.input_format.width, buf_, probes,
-               probe_idx++);
+               probe_idx++, stage_cursor);
   double rate = fs;
   auto& stages = cic_.stages();
   for (std::size_t i = 0; i < stages.size(); ++i) {
     stages[i].process_inplace(buf_);
     rate /= stages[i].spec().decimation;
-    const std::string name = "sinc" + std::to_string(stages[i].spec().order) +
-                             "_" + std::to_string(i + 1);
-    record_stage(name.c_str(), rate, stages[i].register_format().width, buf_,
-                 probes, probe_idx++);
+    record_stage(sinc_names_[i].c_str(), rate,
+                 stages[i].register_format().width, buf_, probes,
+                 probe_idx++, stage_cursor);
   }
 
   // --- Normalize the CIC gain (pure shift) into the HBF input format.
@@ -159,18 +229,21 @@ std::vector<std::int64_t> DecimationChain::process(
   hbf_.process_into(buf_, hbuf_);
   rate /= 2.0;
   record_stage("halfband", rate, config_.hbf_out_format.width, hbuf_, probes,
-               probe_idx++);
+               probe_idx++, stage_cursor);
 
   // --- Scaling (CSD Horner).
   scaler_.process_inplace(hbuf_);
   record_stage("scaler", rate, config_.scaler_out_format.width, hbuf_, probes,
-               probe_idx++);
+               probe_idx++, stage_cursor);
 
   // --- Equalizer at the output rate.
   std::vector<std::int64_t> eout;
   equalizer_.process_into(hbuf_, eout);
   record_stage("equalizer", rate, config_.output_format.width, eout, probes,
-               probe_idx++);
+               probe_idx++, stage_cursor);
+  if (stage_cursor != nullptr && !stage_batch_.empty()) {
+    obs::store::emit_batch(stage_batch_.data(), stage_batch_.size());
+  }
   return eout;
 }
 

@@ -20,6 +20,7 @@
 #include "src/decimator/hbf.h"
 #include "src/decimator/scaler.h"
 #include "src/filterdesign/saramaki.h"
+#include "src/obs/store/format.h"
 
 namespace dsadc::decim {
 
@@ -95,12 +96,16 @@ class DecimationChain {
  private:
   /// Record one stage boundary: probe capture (when requested) plus, while
   /// observability is on, chain.<metric>.<stage> gauges/counters in the
-  /// metrics registry. Probe slot `idx` is overwritten in place when the
-  /// caller reuses a probes vector across blocks, so steady-state probing
-  /// reuses the sample buffers instead of reallocating them.
+  /// metrics registry, and, while the trace store is open, one kStage
+  /// event spanning [*stage_start_us, now] (the cursor is then advanced to
+  /// now, so consecutive boundaries partition the block's wall time).
+  /// Probe slot `idx` is overwritten in place when the caller reuses a
+  /// probes vector across blocks, so steady-state probing reuses the
+  /// sample buffers instead of reallocating them.
   void record_stage(const char* name, double rate_hz, int width_bits,
                     const std::vector<std::int64_t>& samples,
-                    std::vector<StageProbe>* probes, std::size_t idx) const;
+                    std::vector<StageProbe>* probes, std::size_t idx,
+                    std::int64_t* stage_start_us);
 
   ChainConfig config_;
   CicCascade cic_;
@@ -113,6 +118,19 @@ class DecimationChain {
   /// the returned output vector.
   std::vector<std::int64_t> buf_;
   std::vector<std::int64_t> hbuf_;
+  /// Per-stage sinc names ("sinc4_1", ...), built once at construction so
+  /// process() never allocates stage-name strings.
+  std::vector<std::string> sinc_names_;
+  /// Interned trace-store name id per probe slot (stage names are fixed
+  /// for a chain instance, so the first block pays the intern and the
+  /// steady state is id lookups only).
+  std::vector<std::uint32_t> stage_ids_;
+  /// Stage events for the current block, emitted as one batch at the end
+  /// of process() (one staging-lock acquisition instead of one per stage).
+  std::vector<obs::store::Event> stage_batch_;
+  /// Blocks processed; stage events are recorded for one block in
+  /// DSADC_STORE_STAGE_SAMPLE (default 8) to bound steady-state overhead.
+  std::uint64_t stage_seq_ = 0;
 };
 
 /// The paper's chain, fully designed with default parameters: Sinc4/Sinc4/

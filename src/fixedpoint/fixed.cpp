@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/obs/store/tracker.h"
+
 namespace dsadc::fx {
 namespace {
 
@@ -30,7 +32,10 @@ const EventCounters& event_counters(const std::string& site) {
     slot = std::make_unique<EventCounters>(
         EventCounters{&reg.counter("fx.saturate." + site),
                       &reg.counter("fx.wrap." + site),
-                      &reg.counter("fx.round." + site)});
+                      &reg.counter("fx.round." + site),
+                      obs::store::intern("fx.saturate." + site),
+                      obs::store::intern("fx.wrap." + site),
+                      obs::store::intern("fx.round." + site)});
   }
   return *slot;
 }
@@ -75,7 +80,11 @@ std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
           shift >= 63 ? static_cast<std::uint64_t>(v != 0)
                       : static_cast<std::uint64_t>(v) &
                             ((std::uint64_t{1} << shift) - 1);
-      if (dropped != 0) site->round->add();
+      if (dropped != 0) {
+        site->round->add();
+        obs::store::note_fx(site->round_id,
+                            static_cast<std::int64_t>(dropped));
+      }
     }
     if (shift >= 63) {
       v = 0;
@@ -95,6 +104,8 @@ std::int64_t requantize(std::int64_t raw, int src_frac, const Format& fmt,
       overflow == Overflow::kWrap ? wrap_to(v, fmt) : saturate_to(v, fmt);
   if (count && r != v) {
     (overflow == Overflow::kWrap ? site->wrap : site->saturate)->add();
+    obs::store::note_fx(
+        overflow == Overflow::kWrap ? site->wrap_id : site->saturate_id, v);
   }
   return r;
 }

@@ -62,6 +62,12 @@ struct EventCounters {
   obs::Counter* saturate = nullptr;
   obs::Counter* wrap = nullptr;
   obs::Counter* round = nullptr;
+  /// Interned trace-store name ids for the same three events, so the hot
+  /// path can emit per-transaction store events without string traffic
+  /// (obs/store/tracker.h).
+  std::uint32_t saturate_id = 0;
+  std::uint32_t wrap_id = 0;
+  std::uint32_t round_id = 0;
 };
 
 /// Find-or-register the counters for a call-site tag (e.g. "hbf_out").

@@ -1,0 +1,126 @@
+// On-disk layout of the binary columnar trace store.
+//
+// A store is a directory. Each event category lives in its own column
+// file `events_<category>.dsst`, and interned event names live in
+// `strings.dsst`. Numbers are native-endian (the store is a same-machine
+// diagnostic artifact, like a core dump, not an interchange format).
+//
+// Column file layout:
+//
+//   header   [u32 kFileMagic][u32 kFormatVersion][u32 category][u32 0]
+//   blocks   repeated: [u32 kBlockMagic][u32 count]
+//              [i64 ts_us    x count]   event start, us since store epoch
+//              [i64 dur_us   x count]
+//              [u64 txn      x count]   owning transaction id (0 = none)
+//              [i64 value    x count]   category-specific payload
+//              [u64 aux      x count]   secondary payload (txn: parent id)
+//              [u32 name     x count]   interned name id (strings.dsst)
+//              [u32 channel  x count]   kNoChannel when not channel-bound
+//              [u32 stage    x count]   kNoStage when not stage-bound
+//              [u32 tid      x count]   writer-thread ordinal
+//   footer   [u32 kFooterMagic][u32 block_count]
+//              per block: [u64 offset][u64 count][i64 min_ts][i64 max_ts]
+//            [u64 total_events][i64 min_ts][i64 max_ts]
+//            [u64 footer_offset][u32 kFooterEndMagic]
+//
+// The footer is written once, at finalize. A reader that finds no valid
+// footer (the writing process crashed or is still running) recovers by
+// scanning blocks from the header forward, dropping a trailing partial
+// block -- every fully flushed block stays readable.
+//
+// strings.dsst:
+//
+//   [u32 kStringsMagic][u32 kFormatVersion][u32 count][u32 0]
+//   repeated count times: [u32 len][len bytes]
+//
+// The string table is rewritten whole on each drain cycle that interned
+// new names, so a crashed run still resolves almost every name; a reader
+// tolerates a truncated tail and falls back to "#<id>" for unresolved ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsadc::obs::store {
+
+inline constexpr std::uint32_t kFileMagic = 0x54535344;     // "DSST"
+inline constexpr std::uint32_t kStringsMagic = 0x73535344;  // "DSSs"
+inline constexpr std::uint32_t kBlockMagic = 0x4b4c4253;    // "SBLK"
+inline constexpr std::uint32_t kFooterMagic = 0x54465344;   // "DSFT"
+inline constexpr std::uint32_t kFooterEndMagic = 0x444e4546;  // "FEND"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Sentinels for events not bound to a channel / stage.
+inline constexpr std::uint32_t kNoChannel = 0xffffffff;
+inline constexpr std::uint32_t kNoStage = 0xffffffff;
+
+/// Events per column block (flush granularity of the background drainer).
+inline constexpr std::size_t kBlockEvents = 4096;
+
+enum class Category : std::uint32_t {
+  kFlow = 0,     ///< design-flow / coarse phase spans (from obs::Span)
+  kFx = 1,       ///< fixed-point saturate/wrap/round hits
+  kStage = 2,    ///< per-block decimator stage boundary records
+  kService = 3,  ///< frame admissions, sheds, connection events
+  kRuntime = 4,  ///< session-runtime ring stalls / shed decisions
+  kTxn = 5,      ///< transaction rows (value = user value, aux = parent id)
+};
+inline constexpr std::size_t kCategoryCount = 6;
+
+inline const char* category_name(Category c) {
+  switch (c) {
+    case Category::kFlow: return "flow";
+    case Category::kFx: return "fx";
+    case Category::kStage: return "stage";
+    case Category::kService: return "service";
+    case Category::kRuntime: return "runtime";
+    case Category::kTxn: return "txn";
+  }
+  return "unknown";
+}
+
+inline bool category_from_name(const std::string& name, Category* out) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (name == category_name(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One trace event. In memory the category routes the event to its column
+/// file; on disk the file implies the category, so it is not a column.
+struct Event {
+  std::int64_t ts_us = 0;   ///< start, us since the store epoch (0 = stamp
+                            ///< with now_us() at emit)
+  std::int64_t dur_us = 0;
+  std::uint64_t txn = 0;    ///< owning transaction (0 = ambient/none)
+  std::int64_t value = 0;   ///< category-specific payload
+  std::uint64_t aux = 0;    ///< secondary payload; parent id for kTxn rows
+  std::uint32_t name = 0;   ///< interned name id
+  std::uint32_t channel = kNoChannel;
+  std::uint32_t stage = kNoStage;
+  std::uint32_t tid = 0;    ///< writer-thread ordinal (assigned at emit)
+  Category category = Category::kFlow;
+};
+
+/// Footer entry describing one flushed block.
+struct BlockIndexEntry {
+  std::uint64_t offset = 0;  ///< file offset of the block magic
+  std::uint64_t count = 0;
+  std::int64_t min_ts = 0;
+  std::int64_t max_ts = 0;
+};
+
+/// Bytes one event occupies inside a block (5 x 8-byte + 4 x 4-byte
+/// columns).
+inline constexpr std::size_t kEventDiskBytes = 5 * 8 + 4 * 4;
+
+inline std::string category_file_name(Category c) {
+  return std::string("events_") + category_name(c) + ".dsst";
+}
+inline constexpr const char* kStringsFileName = "strings.dsst";
+
+}  // namespace dsadc::obs::store

@@ -1,0 +1,208 @@
+#include "src/obs/store/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dsadc::obs::store {
+namespace {
+
+/// Precomputed per-query match state (name substring resolved to an id
+/// set once instead of a string search per event).
+struct Matcher {
+  const Query* q;
+  std::unordered_set<std::uint32_t> name_ids;  ///< used when filter_names
+  bool filter_names = false;
+
+  Matcher(const StoreReader& reader, const Query& query) : q(&query) {
+    if (q->name_substr.empty()) return;
+    filter_names = true;
+    const auto& strings = reader.strings();
+    for (std::uint32_t id = 0; id < strings.size(); ++id) {
+      if (strings[id].find(q->name_substr) != std::string::npos) {
+        name_ids.insert(id);
+      }
+    }
+  }
+
+  bool matches(const Event& e) const {
+    if (q->has_channel && e.channel != q->channel) return false;
+    if (q->has_stage && e.stage != q->stage) return false;
+    if (q->has_txn && e.txn != q->txn) return false;
+    if (e.dur_us < q->min_dur_us) return false;
+    if (filter_names && name_ids.count(e.name) == 0) return false;
+    return true;
+  }
+};
+
+std::vector<Category> query_categories(const StoreReader& reader,
+                                       const Query& q) {
+  if (!q.categories.empty()) return q.categories;
+  std::vector<Category> cats;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (reader.has_category(c)) cats.push_back(c);
+  }
+  return cats;
+}
+
+struct StopScan {};  ///< thrown to abort a visit once `limit` is reached
+
+template <typename Fn>
+void for_each_match(const StoreReader& reader, const Query& q, Fn&& fn) {
+  const Matcher m(reader, q);
+  try {
+    for (const Category c : query_categories(reader, q)) {
+      reader.visit(c, q.ts_min, q.ts_max, [&](const Event& e) {
+        if (m.matches(e)) fn(e);
+      });
+    }
+  } catch (const StopScan&) {
+  }
+}
+
+double percentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  return samples[idx];
+}
+
+std::string group_label(const StoreReader& reader, GroupKey group,
+                        const Event& e) {
+  switch (group) {
+    case GroupKey::kNone:
+      return "all";
+    case GroupKey::kName:
+      return reader.name(e.name);
+    case GroupKey::kChannel:
+      return e.channel == kNoChannel ? "ch-" : "ch" + std::to_string(e.channel);
+    case GroupKey::kStage:
+      return e.stage == kNoStage ? "stage-" : "stage" + std::to_string(e.stage);
+    case GroupKey::kCategory:
+      return category_name(e.category);
+    case GroupKey::kTid:
+      return "tid" + std::to_string(e.tid);
+  }
+  return "all";
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t run_query(const StoreReader& reader, const Query& q,
+                        std::vector<Event>* out, std::size_t limit) {
+  std::uint64_t matched = 0;
+  for_each_match(reader, q, [&](const Event& e) {
+    ++matched;
+    if (out != nullptr) out->push_back(e);
+    if (limit != 0 && matched >= limit) throw StopScan{};
+  });
+  return matched;
+}
+
+std::vector<AggRow> aggregate(const StoreReader& reader, const Query& q,
+                              AggField field, GroupKey group) {
+  struct Bucket {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::vector<double> samples;
+  };
+  std::unordered_map<std::string, Bucket> buckets;
+  for_each_match(reader, q, [&](const Event& e) {
+    const double v = field == AggField::kDur
+                         ? static_cast<double>(e.dur_us)
+                         : static_cast<double>(e.value);
+    Bucket& b = buckets[group_label(reader, group, e)];
+    if (b.count == 0 || v > b.max) b.max = v;
+    ++b.count;
+    b.sum += v;
+    b.samples.push_back(v);
+  });
+  std::vector<AggRow> rows;
+  rows.reserve(buckets.size());
+  for (auto& [key, b] : buckets) {
+    AggRow row;
+    row.key = key;
+    row.count = b.count;
+    row.sum = b.sum;
+    row.mean = b.sum / static_cast<double>(b.count);
+    row.p50 = percentile(b.samples, 0.50);
+    row.p99 = percentile(b.samples, 0.99);
+    row.max = b.max;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const AggRow& a, const AggRow& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return rows;
+}
+
+bool export_chrome(const StoreReader& reader, const Query& q,
+                   const std::string& path) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for_each_match(reader, q, [&](const Event& e) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json_escape(out, reader.name(e.name));
+    out += "\",\"cat\":\"";
+    out += category_name(e.category);
+    if (e.dur_us > 0) {
+      out += "\",\"ph\":\"X\",\"ts\":" + std::to_string(e.ts_us) +
+             ",\"dur\":" + std::to_string(e.dur_us);
+    } else {
+      out += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + std::to_string(e.ts_us);
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    out += ",\"args\":{";
+    bool farg = true;
+    const auto arg = [&](const char* k, const std::string& v) {
+      if (!farg) out += ',';
+      farg = false;
+      out += '"';
+      out += k;
+      out += "\":";
+      out += v;
+    };
+    if (e.channel != kNoChannel) arg("channel", std::to_string(e.channel));
+    if (e.stage != kNoStage) arg("stage", std::to_string(e.stage));
+    if (e.txn != 0) arg("txn", std::to_string(e.txn));
+    if (e.aux != 0) arg("parent", std::to_string(e.aux));
+    arg("value", std::to_string(e.value));
+    out += "}}";
+  });
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  return std::fclose(f) == 0 && n == out.size();
+}
+
+}  // namespace dsadc::obs::store

@@ -1,0 +1,68 @@
+// Query engine over a mapped trace store: predicates, aggregations, and
+// Chrome trace-event export. tools/dsadc_query is a thin CLI over this.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/obs/store/reader.h"
+
+namespace dsadc::obs::store {
+
+/// Conjunctive event predicate. Unset members match everything.
+struct Query {
+  std::vector<Category> categories;  ///< empty = every present category
+  std::int64_t ts_min = std::numeric_limits<std::int64_t>::min();
+  std::int64_t ts_max = std::numeric_limits<std::int64_t>::max();
+  bool has_channel = false;
+  std::uint32_t channel = kNoChannel;
+  bool has_stage = false;
+  std::uint32_t stage = kNoStage;
+  bool has_txn = false;
+  std::uint64_t txn = 0;  ///< matches owning id OR a kTxn row's own id
+  std::string name_substr;  ///< substring over resolved names
+  std::int64_t min_dur_us = std::numeric_limits<std::int64_t>::min();
+};
+
+/// Scan matching events in category-then-file order. Stops after `limit`
+/// matches when limit > 0. Returns the number of events matched (all of
+/// them, even past the limit cutoff is NOT counted -- the return value
+/// equals out->size() when out is non-null).
+std::uint64_t run_query(const StoreReader& reader, const Query& q,
+                        std::vector<Event>* out, std::size_t limit = 0);
+
+enum class AggField : std::uint8_t { kDur, kValue };
+enum class GroupKey : std::uint8_t {
+  kNone,
+  kName,
+  kChannel,
+  kStage,
+  kCategory,
+  kTid,
+};
+
+/// One aggregation bucket (percentiles over the selected field).
+struct AggRow {
+  std::string key;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Group matching events by `group` and fold `field` per bucket. Rows
+/// come back sorted by descending count.
+std::vector<AggRow> aggregate(const StoreReader& reader, const Query& q,
+                              AggField field, GroupKey group);
+
+/// Write matching events as Chrome trace-event JSON (complete "X" events
+/// when dur_us > 0, instants otherwise) loadable in chrome://tracing /
+/// Perfetto. Returns false on I/O failure.
+bool export_chrome(const StoreReader& reader, const Query& q,
+                   const std::string& path);
+
+}  // namespace dsadc::obs::store

@@ -1,0 +1,263 @@
+#include "src/obs/store/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+namespace dsadc::obs::store {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kTrailerBytes = 12;  // [u64 footer_offset][u32 end magic]
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+std::int64_t get_i64(const std::uint8_t* p) {
+  std::int64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+StoreReader::StoreReader(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    error_ = "not a store directory: " + dir;
+    return;
+  }
+  load_strings(dir);
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    if (map_category(dir, static_cast<Category>(i))) ok_ = true;
+  }
+  if (!ok_) error_ = "no readable category files under " + dir;
+}
+
+StoreReader::~StoreReader() {
+  for (Mapped& m : cats_) {
+    if (m.data != nullptr) {
+      ::munmap(const_cast<std::uint8_t*>(m.data), m.size);
+    }
+  }
+}
+
+bool StoreReader::map_category(const std::string& dir, Category c) {
+  Mapped& m = cats_[static_cast<std::size_t>(c)];
+  const std::string path = dir + "/" + category_file_name(c);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    return false;
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (p == MAP_FAILED) return false;
+  const auto* data = static_cast<const std::uint8_t*>(p);
+  if (get_u32(data) != kFileMagic || get_u32(data + 4) != kFormatVersion ||
+      get_u32(data + 8) != static_cast<std::uint32_t>(c)) {
+    ::munmap(p, size);
+    return false;
+  }
+  m.data = data;
+  m.size = size;
+  m.present = true;
+  index_from_footer(m);
+  if (m.blocks.empty() && m.recovered) index_by_scan(m);
+  return true;
+}
+
+void StoreReader::index_from_footer(Mapped& m) {
+  // Trailer-first discovery: the last 12 bytes point back at the footer.
+  m.recovered = true;  // until proven otherwise
+  if (m.size < kHeaderBytes + kTrailerBytes) return;
+  const std::uint8_t* tail = m.data + m.size - kTrailerBytes;
+  if (get_u32(tail + 8) != kFooterEndMagic) return;
+  const std::uint64_t foff = get_u64(tail);
+  if (foff < kHeaderBytes || foff + 8 > m.size) return;
+  const std::uint8_t* p = m.data + foff;
+  if (get_u32(p) != kFooterMagic) return;
+  const std::uint32_t nblocks = get_u32(p + 4);
+  const std::size_t need = 8 + static_cast<std::size_t>(nblocks) * 32 + 24;
+  if (foff + need + kTrailerBytes > m.size) return;
+  p += 8;
+  std::vector<BlockIndexEntry> blocks;
+  blocks.reserve(nblocks);
+  for (std::uint32_t i = 0; i < nblocks; ++i, p += 32) {
+    BlockIndexEntry b;
+    b.offset = get_u64(p);
+    b.count = get_u64(p + 8);
+    b.min_ts = get_i64(p + 16);
+    b.max_ts = get_i64(p + 24);
+    const std::size_t bytes = 8 + b.count * kEventDiskBytes;
+    if (b.offset < kHeaderBytes || b.offset + bytes > foff) return;
+    blocks.push_back(b);
+  }
+  m.total = get_u64(p);
+  m.min_ts = get_i64(p + 8);
+  m.max_ts = get_i64(p + 16);
+  if (m.total == 0) m.max_ts = -1;
+  m.blocks = std::move(blocks);
+  m.recovered = false;
+}
+
+void StoreReader::index_by_scan(Mapped& m) {
+  // No usable footer: walk block headers from the front and keep every
+  // block that is fully present. min/max come from the ts column.
+  std::size_t off = kHeaderBytes;
+  while (off + 8 <= m.size) {
+    if (get_u32(m.data + off) != kBlockMagic) break;
+    const std::uint32_t count = get_u32(m.data + off + 4);
+    if (count == 0 || count > kBlockEvents) break;
+    const std::size_t bytes = 8 + static_cast<std::size_t>(count) * kEventDiskBytes;
+    if (off + bytes > m.size) break;  // trailing partial block
+    BlockIndexEntry b;
+    b.offset = off;
+    b.count = count;
+    const std::uint8_t* ts = m.data + off + 8;
+    b.min_ts = get_i64(ts);
+    b.max_ts = b.min_ts;
+    for (std::uint32_t i = 1; i < count; ++i) {
+      const std::int64_t t = get_i64(ts + static_cast<std::size_t>(i) * 8);
+      if (t < b.min_ts) b.min_ts = t;
+      if (t > b.max_ts) b.max_ts = t;
+    }
+    if (m.total == 0) {
+      m.min_ts = b.min_ts;
+      m.max_ts = b.max_ts;
+    } else {
+      if (b.min_ts < m.min_ts) m.min_ts = b.min_ts;
+      if (b.max_ts > m.max_ts) m.max_ts = b.max_ts;
+    }
+    m.total += count;
+    m.blocks.push_back(b);
+    off += bytes;
+  }
+}
+
+void StoreReader::load_strings(const std::string& dir) {
+  const std::string path = dir + "/" + std::string(kStringsFileName);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return;
+  std::fseek(f, 0, SEEK_END);
+  const long fsize = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (fsize < 16) {
+    std::fclose(f);
+    return;
+  }
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(fsize));
+  const std::size_t got = std::fread(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (got != buf.size() || get_u32(buf.data()) != kStringsMagic ||
+      get_u32(buf.data() + 4) != kFormatVersion) {
+    return;
+  }
+  const std::uint32_t count = get_u32(buf.data() + 8);
+  std::size_t off = 16;
+  strings_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (off + 4 > buf.size()) break;  // tolerate a truncated tail
+    const std::uint32_t len = get_u32(buf.data() + off);
+    off += 4;
+    if (off + len > buf.size()) break;
+    strings_.emplace_back(reinterpret_cast<const char*>(buf.data() + off), len);
+    off += len;
+  }
+}
+
+std::string StoreReader::name(std::uint32_t id) const {
+  if (id < strings_.size()) return strings_[id];
+  return "#" + std::to_string(id);
+}
+
+bool StoreReader::has_category(Category c) const {
+  return cats_[static_cast<std::size_t>(c)].present;
+}
+
+std::uint64_t StoreReader::total_events(Category c) const {
+  return cats_[static_cast<std::size_t>(c)].total;
+}
+
+bool StoreReader::recovered(Category c) const {
+  const Mapped& m = cats_[static_cast<std::size_t>(c)];
+  return m.present && m.recovered;
+}
+
+std::pair<std::int64_t, std::int64_t> StoreReader::time_range(
+    Category c) const {
+  const Mapped& m = cats_[static_cast<std::size_t>(c)];
+  if (m.total == 0) return {0, -1};
+  return {m.min_ts, m.max_ts};
+}
+
+void StoreReader::decode_block(const Mapped& m, const BlockIndexEntry& b,
+                               std::int64_t ts_min, std::int64_t ts_max,
+                               const std::function<void(const Event&)>& fn,
+                               Category c) const {
+  const std::size_t n = b.count;
+  const std::uint8_t* base = m.data + b.offset + 8;
+  const std::uint8_t* col_ts = base;
+  const std::uint8_t* col_dur = col_ts + n * 8;
+  const std::uint8_t* col_txn = col_dur + n * 8;
+  const std::uint8_t* col_value = col_txn + n * 8;
+  const std::uint8_t* col_aux = col_value + n * 8;
+  const std::uint8_t* col_name = col_aux + n * 8;
+  const std::uint8_t* col_channel = col_name + n * 4;
+  const std::uint8_t* col_stage = col_channel + n * 4;
+  const std::uint8_t* col_tid = col_stage + n * 4;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t ts = get_i64(col_ts + i * 8);
+    if (ts < ts_min || ts > ts_max) continue;
+    Event e;
+    e.ts_us = ts;
+    e.dur_us = get_i64(col_dur + i * 8);
+    e.txn = get_u64(col_txn + i * 8);
+    e.value = get_i64(col_value + i * 8);
+    e.aux = get_u64(col_aux + i * 8);
+    e.name = get_u32(col_name + i * 4);
+    e.channel = get_u32(col_channel + i * 4);
+    e.stage = get_u32(col_stage + i * 4);
+    e.tid = get_u32(col_tid + i * 4);
+    e.category = c;
+    fn(e);
+  }
+}
+
+void StoreReader::visit(Category c, std::int64_t ts_min, std::int64_t ts_max,
+                        const std::function<void(const Event&)>& fn) const {
+  const Mapped& m = cats_[static_cast<std::size_t>(c)];
+  if (!m.present) return;
+  for (const BlockIndexEntry& b : m.blocks) {
+    if (b.max_ts < ts_min || b.min_ts > ts_max) continue;  // prune
+    decode_block(m, b, ts_min, ts_max, fn, c);
+  }
+}
+
+void StoreReader::visit(Category c,
+                        const std::function<void(const Event&)>& fn) const {
+  visit(c, std::numeric_limits<std::int64_t>::min(),
+        std::numeric_limits<std::int64_t>::max(), fn);
+}
+
+}  // namespace dsadc::obs::store

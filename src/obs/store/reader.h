@@ -1,0 +1,87 @@
+// Read side of the columnar trace store: mmap + footer index + scan.
+//
+// A StoreReader maps every present category file of a store directory
+// read-only and exposes a visitor-style scan. Time-range scans prune at
+// block granularity via the footer's per-block [min_ts, max_ts] before
+// touching event bytes, so a narrow window over a long soak trace only
+// decodes the blocks that can match.
+//
+// The reader is deliberately tolerant of torn stores (crashed writer):
+// when a file's trailer or footer is missing or damaged, it rebuilds the
+// block index by walking block headers from the front and keeps every
+// block that is fully present (recovered() reports this per category).
+// A missing strings table degrades names to "#<id>" instead of failing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/store/format.h"
+
+namespace dsadc::obs::store {
+
+class StoreReader {
+ public:
+  /// Maps every category file found under `dir`. ok() is true when the
+  /// directory exists and at least one category file parsed.
+  explicit StoreReader(const std::string& dir);
+  ~StoreReader();
+
+  StoreReader(const StoreReader&) = delete;
+  StoreReader& operator=(const StoreReader&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  bool has_category(Category c) const;
+  /// Events in the category (0 when absent).
+  std::uint64_t total_events(Category c) const;
+  /// True when the category's footer was missing/damaged and the block
+  /// index was rebuilt by scanning.
+  bool recovered(Category c) const;
+  /// [min_ts, max_ts] over the category's events; {0, -1} when empty.
+  std::pair<std::int64_t, std::int64_t> time_range(Category c) const;
+
+  const std::vector<std::string>& strings() const { return strings_; }
+  /// Resolve an interned id; unknown ids render as "#<id>".
+  std::string name(std::uint32_t id) const;
+
+  /// Decode every event of `c` with ts_us in [ts_min, ts_max] (block
+  /// pruning first, exact filter second) in file order.
+  void visit(Category c, std::int64_t ts_min, std::int64_t ts_max,
+             const std::function<void(const Event&)>& fn) const;
+  /// Full-range scan.
+  void visit(Category c, const std::function<void(const Event&)>& fn) const;
+
+ private:
+  struct Mapped {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    std::vector<BlockIndexEntry> blocks;
+    std::uint64_t total = 0;
+    std::int64_t min_ts = 0;
+    std::int64_t max_ts = -1;
+    bool present = false;
+    bool recovered = false;
+  };
+
+  bool map_category(const std::string& dir, Category c);
+  void load_strings(const std::string& dir);
+  void index_from_footer(Mapped& m);
+  void index_by_scan(Mapped& m);
+  void decode_block(const Mapped& m, const BlockIndexEntry& b,
+                    std::int64_t ts_min, std::int64_t ts_max,
+                    const std::function<void(const Event&)>& fn,
+                    Category c) const;
+
+  bool ok_ = false;
+  std::string error_;
+  std::vector<std::string> strings_;
+  std::array<Mapped, kCategoryCount> cats_;
+};
+
+}  // namespace dsadc::obs::store

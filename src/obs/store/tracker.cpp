@@ -1,0 +1,80 @@
+#include "src/obs/store/tracker.h"
+
+#ifndef DSADC_OBS_COMPILED_OFF
+
+namespace dsadc::obs::store {
+namespace {
+
+thread_local TxnContext* t_current = nullptr;
+
+std::uint32_t fx_suppressed_name() {
+  static const std::uint32_t id = intern("fx.suppressed");
+  return id;
+}
+
+}  // namespace
+
+const TxnContext* current_txn() { return t_current; }
+
+void note_fx(std::uint32_t name_id, std::int64_t value) {
+  if (!enabled()) return;
+  TxnContext* ctx = t_current;
+  if (ctx == nullptr) return;  // registry counters still track the total
+  if (ctx->fx_budget == 0) {
+    ++ctx->fx_suppressed;
+    return;
+  }
+  --ctx->fx_budget;
+  Event e;
+  e.category = Category::kFx;
+  e.name = name_id;
+  e.value = value;
+  emit(e);
+}
+
+TxnScope::TxnScope(std::uint32_t name_id, std::uint32_t channel,
+                   std::uint32_t stage) {
+  if (!enabled()) return;
+  active_ = true;
+  name_ = name_id;
+  start_us_ = now_us();
+  ctx_.id = next_txn_id();
+  ctx_.channel = channel;
+  ctx_.stage = stage;
+  ctx_.fx_budget = kFxEventBudget;
+  ctx_.parent = t_current;
+  if (ctx_.parent != nullptr) {
+    parent_id_ = ctx_.parent->id;
+    if (ctx_.channel == kNoChannel) ctx_.channel = ctx_.parent->channel;
+  }
+  t_current = &ctx_;
+}
+
+TxnScope::~TxnScope() {
+  if (!active_) return;
+  t_current = ctx_.parent;
+  if (ctx_.fx_suppressed != 0) {
+    Event sup;
+    sup.category = Category::kFx;
+    sup.name = fx_suppressed_name();
+    sup.txn = ctx_.id;
+    sup.channel = ctx_.channel;
+    sup.value = static_cast<std::int64_t>(ctx_.fx_suppressed);
+    emit(sup);
+  }
+  Event row;
+  row.category = Category::kTxn;
+  row.name = name_;
+  row.ts_us = start_us_;
+  row.dur_us = now_us() - start_us_;
+  row.txn = ctx_.id;
+  row.channel = ctx_.channel;
+  row.stage = ctx_.stage;
+  row.value = value_;
+  row.aux = parent_id_;
+  emit(row);
+}
+
+}  // namespace dsadc::obs::store
+
+#endif  // DSADC_OBS_COMPILED_OFF

@@ -1,0 +1,101 @@
+// Transaction tracker: correlates low-level store events into
+// parent/child transactions.
+//
+// A TxnScope marks "one unit of tracked work" on the current thread --
+// the service uses it per session job, so a transaction reads as
+// "block B of channel C through the chain". While a scope is active,
+// every event emitted on the thread (stage boundary records, fixed-point
+// saturate/round hits, ...) inherits its transaction id and channel, and
+// nested scopes link to their parent automatically. At scope exit one
+// kTxn row is written: ts/dur span the scope, value carries the
+// caller-set payload (e.g. codes in the block), aux the parent id.
+//
+// Fixed-point hits can be per-sample under overload, so note_fx()
+// records at most kFxEventBudget raw hits per transaction; the overflow
+// is tallied and emitted as one fx.suppressed event at scope exit, so
+// the total is never lost while the trace volume stays bounded. Outside
+// any transaction note_fx() records nothing (the metrics registry
+// already counts globally).
+#pragma once
+
+#include <cstdint>
+
+#include "src/obs/store/store.h"
+
+namespace dsadc::obs::store {
+
+/// Raw fx events recorded per transaction before suppression kicks in.
+inline constexpr std::uint32_t kFxEventBudget = 64;
+
+#ifdef DSADC_OBS_COMPILED_OFF
+
+struct TxnContext {
+  std::uint64_t id = 0;
+  std::uint32_t channel = kNoChannel;
+  std::uint32_t stage = kNoStage;
+};
+inline const TxnContext* current_txn() { return nullptr; }
+inline void note_fx(std::uint32_t, std::int64_t) {}
+
+class TxnScope {
+ public:
+  explicit TxnScope(std::uint32_t, std::uint32_t = kNoChannel,
+                    std::uint32_t = kNoStage) {}
+  std::uint64_t id() const { return 0; }
+  bool active() const { return false; }
+  void set_parent(std::uint64_t) {}
+  void set_value(std::int64_t) {}
+};
+
+#else
+
+/// Per-thread active-transaction state; exposed so emit() can inherit
+/// the ambient ids cheaply.
+struct TxnContext {
+  std::uint64_t id = 0;
+  std::uint32_t channel = kNoChannel;
+  std::uint32_t stage = kNoStage;
+  std::uint32_t fx_budget = 0;
+  std::uint64_t fx_suppressed = 0;
+  TxnContext* parent = nullptr;
+};
+
+/// Innermost active transaction on this thread, or nullptr.
+const TxnContext* current_txn();
+
+/// Record one fixed-point saturate/wrap/round hit against the current
+/// transaction (budgeted; see file comment). `name_id` is the interned
+/// fx.<kind>.<site> name, `value` the pre-clamp raw value or dropped
+/// LSBs. No-op when the store is closed or no transaction is active.
+void note_fx(std::uint32_t name_id, std::int64_t value);
+
+class TxnScope {
+ public:
+  /// Begins a transaction named by interned id `name_id`. The scope is
+  /// inert (id() == 0) while the store is closed, so constructing one
+  /// unconditionally costs a relaxed load and a branch.
+  explicit TxnScope(std::uint32_t name_id, std::uint32_t channel = kNoChannel,
+                    std::uint32_t stage = kNoStage);
+  ~TxnScope();
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+  std::uint64_t id() const { return ctx_.id; }
+  bool active() const { return active_; }
+  /// Override the parent link (defaults to the enclosing scope's id).
+  void set_parent(std::uint64_t parent) { parent_id_ = parent; }
+  /// Payload stored in the kTxn row's value column.
+  void set_value(std::int64_t v) { value_ = v; }
+
+ private:
+  TxnContext ctx_;
+  std::uint64_t parent_id_ = 0;
+  std::uint32_t name_ = 0;
+  std::int64_t start_us_ = 0;
+  std::int64_t value_ = 0;
+  bool active_ = false;
+};
+
+#endif  // DSADC_OBS_COMPILED_OFF
+
+}  // namespace dsadc::obs::store

@@ -1,0 +1,160 @@
+#include "src/obs/store/writer.h"
+
+#include <cstring>
+#include <filesystem>
+#include <limits>
+
+namespace dsadc::obs::store {
+namespace {
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  ok_ = !ec && std::filesystem::is_directory(dir_, ec);
+}
+
+StoreWriter::~StoreWriter() {
+  for (auto& cat : cats_) {
+    if (cat.f != nullptr) std::fclose(cat.f);
+    cat.f = nullptr;
+  }
+}
+
+bool StoreWriter::open_file(CatState& cat, Category c) {
+  if (cat.f != nullptr) return true;
+  const std::string path = dir_ + "/" + category_file_name(c);
+  cat.f = std::fopen(path.c_str(), "wb");
+  if (cat.f == nullptr) return false;
+  scratch_.clear();
+  put_u32(scratch_, kFileMagic);
+  put_u32(scratch_, kFormatVersion);
+  put_u32(scratch_, static_cast<std::uint32_t>(c));
+  put_u32(scratch_, 0);
+  std::fwrite(scratch_.data(), 1, scratch_.size(), cat.f);
+  cat.min_ts = std::numeric_limits<std::int64_t>::max();
+  cat.max_ts = std::numeric_limits<std::int64_t>::min();
+  return true;
+}
+
+void StoreWriter::flush_block(CatState& cat, Category c) {
+  if (cat.staged.empty() || !open_file(cat, c)) return;
+  const std::size_t n = cat.staged.size();
+
+  BlockIndexEntry entry;
+  entry.offset = static_cast<std::uint64_t>(std::ftell(cat.f));
+  entry.count = n;
+  entry.min_ts = cat.staged[0].ts_us;
+  entry.max_ts = cat.staged[0].ts_us;
+
+  scratch_.clear();
+  scratch_.reserve(8 + n * kEventDiskBytes);
+  put_u32(scratch_, kBlockMagic);
+  put_u32(scratch_, static_cast<std::uint32_t>(n));
+  for (const Event& e : cat.staged) {
+    put_i64(scratch_, e.ts_us);
+    if (e.ts_us < entry.min_ts) entry.min_ts = e.ts_us;
+    if (e.ts_us > entry.max_ts) entry.max_ts = e.ts_us;
+  }
+  for (const Event& e : cat.staged) put_i64(scratch_, e.dur_us);
+  for (const Event& e : cat.staged) put_u64(scratch_, e.txn);
+  for (const Event& e : cat.staged) put_i64(scratch_, e.value);
+  for (const Event& e : cat.staged) put_u64(scratch_, e.aux);
+  for (const Event& e : cat.staged) put_u32(scratch_, e.name);
+  for (const Event& e : cat.staged) put_u32(scratch_, e.channel);
+  for (const Event& e : cat.staged) put_u32(scratch_, e.stage);
+  for (const Event& e : cat.staged) put_u32(scratch_, e.tid);
+  std::fwrite(scratch_.data(), 1, scratch_.size(), cat.f);
+  std::fflush(cat.f);  // completed blocks are crash-recoverable
+
+  cat.blocks.push_back(entry);
+  cat.total += n;
+  events_written_ += n;
+  if (entry.min_ts < cat.min_ts) cat.min_ts = entry.min_ts;
+  if (entry.max_ts > cat.max_ts) cat.max_ts = entry.max_ts;
+  cat.staged.clear();
+}
+
+void StoreWriter::append(const std::vector<Event>& batch) {
+  if (!ok_ || finalized_) return;
+  for (const Event& e : batch) {
+    const auto ci = static_cast<std::size_t>(e.category);
+    if (ci >= kCategoryCount) continue;
+    CatState& cat = cats_[ci];
+    cat.staged.push_back(e);
+    if (cat.staged.size() >= kBlockEvents) flush_block(cat, e.category);
+  }
+}
+
+void StoreWriter::flush_strings(const std::vector<std::string>& strings) {
+  if (!ok_ || strings.size() == strings_written_) return;
+  const std::string path = dir_ + "/" + kStringsFileName;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return;
+  scratch_.clear();
+  put_u32(scratch_, kStringsMagic);
+  put_u32(scratch_, kFormatVersion);
+  put_u32(scratch_, static_cast<std::uint32_t>(strings.size()));
+  put_u32(scratch_, 0);
+  for (const std::string& s : strings) {
+    put_u32(scratch_, static_cast<std::uint32_t>(s.size()));
+    put_bytes(scratch_, s.data(), s.size());
+  }
+  std::fwrite(scratch_.data(), 1, scratch_.size(), f);
+  std::fclose(f);
+  strings_written_ = strings.size();
+}
+
+void StoreWriter::write_footer(CatState& cat) {
+  const auto footer_off = static_cast<std::uint64_t>(std::ftell(cat.f));
+  scratch_.clear();
+  put_u32(scratch_, kFooterMagic);
+  put_u32(scratch_, static_cast<std::uint32_t>(cat.blocks.size()));
+  for (const BlockIndexEntry& b : cat.blocks) {
+    put_u64(scratch_, b.offset);
+    put_u64(scratch_, b.count);
+    put_i64(scratch_, b.min_ts);
+    put_i64(scratch_, b.max_ts);
+  }
+  put_u64(scratch_, cat.total);
+  put_i64(scratch_, cat.total != 0 ? cat.min_ts : 0);
+  put_i64(scratch_, cat.total != 0 ? cat.max_ts : 0);
+  put_u64(scratch_, footer_off);
+  put_u32(scratch_, kFooterEndMagic);
+  std::fwrite(scratch_.data(), 1, scratch_.size(), cat.f);
+}
+
+void StoreWriter::finalize(const std::vector<std::string>& strings) {
+  if (!ok_ || finalized_) return;
+  finalized_ = true;
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    CatState& cat = cats_[i];
+    flush_block(cat, static_cast<Category>(i));
+    if (cat.f == nullptr) continue;
+    write_footer(cat);
+    std::fclose(cat.f);
+    cat.f = nullptr;
+  }
+  // Always (re)write the table, even if no category file exists, so a
+  // store directory is self-describing.
+  strings_written_ = std::numeric_limits<std::size_t>::max();
+  flush_strings(strings);
+}
+
+}  // namespace dsadc::obs::store

@@ -1,0 +1,71 @@
+// Column-file writer for the trace store (drainer-thread side).
+//
+// StoreWriter owns the store directory's files. It is single-threaded by
+// contract: only the background drainer (store.cpp) calls append() /
+// flush_strings() / finalize(), so it needs no locking. Events
+// accumulate per category until a block of kBlockEvents is full, then
+// the block's columns are serialized contiguously and written with one
+// fwrite; finalize() flushes partial blocks and writes the footers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/obs/store/format.h"
+
+namespace dsadc::obs::store {
+
+class StoreWriter {
+ public:
+  /// Creates `dir` (and parents) if missing; ok() reports success.
+  explicit StoreWriter(std::string dir);
+  /// Closes files without footers (finalize() writes them); a store torn
+  /// down this way exercises the reader's recovery scan.
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Stage a batch of events into their category files, flushing every
+  /// completed block.
+  void append(const std::vector<Event>& batch);
+
+  /// Rewrite strings.dsst when the interner grew since the last write.
+  void flush_strings(const std::vector<std::string>& strings);
+
+  /// Flush partial blocks, write the string table and per-file footers,
+  /// and close every file. Idempotent.
+  void finalize(const std::vector<std::string>& strings);
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  struct CatState {
+    std::FILE* f = nullptr;
+    std::vector<Event> staged;
+    std::vector<BlockIndexEntry> blocks;
+    std::uint64_t total = 0;
+    std::int64_t min_ts = 0;
+    std::int64_t max_ts = 0;
+  };
+
+  bool open_file(CatState& cat, Category c);
+  void flush_block(CatState& cat, Category c);
+  void write_footer(CatState& cat);
+
+  std::string dir_;
+  bool ok_ = false;
+  bool finalized_ = false;
+  std::uint64_t events_written_ = 0;
+  std::size_t strings_written_ = 0;
+  std::array<CatState, kCategoryCount> cats_;
+  std::vector<std::uint8_t> scratch_;  ///< block serialization buffer
+};
+
+}  // namespace dsadc::obs::store

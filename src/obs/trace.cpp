@@ -6,23 +6,37 @@
 #include <cstdlib>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+#include "src/obs/store/store.h"
 
 namespace dsadc::obs {
 namespace {
 
 struct TraceEvent {
-  std::string name;
+  std::string name;          ///< empty when name_lit is set
+  const char* name_lit;      ///< static-storage name, or nullptr
   const char* category;
   std::int64_t start_us;
   std::int64_t dur_us;
   std::uint64_t tid;
 };
 
+std::size_t default_max_events() {
+  if (const char* v = std::getenv("DSADC_TRACE_MAX_EVENTS")) {
+    const long long n = std::strtoll(v, nullptr, 10);
+    if (n >= 1) return static_cast<std::size_t>(n);
+  }
+  return std::size_t{1} << 20;
+}
+
 struct TraceState {
   std::mutex mu;
   std::vector<TraceEvent> events;
+  std::size_t max_events = default_max_events();
+  std::size_t dropped = 0;
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 };
@@ -56,7 +70,7 @@ std::uint64_t this_thread_id() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffff;
 }
 
-void append_escaped(std::string& out, const std::string& s) {
+void append_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';
     if (static_cast<unsigned char>(c) < 0x20) {
@@ -90,8 +104,43 @@ void trace_record(std::string name, const char* category,
                   std::int64_t start_us, std::int64_t dur_us) {
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= s.max_events) {
+    ++s.dropped;
+    return;
+  }
   s.events.push_back(
-      {std::move(name), category, start_us, dur_us, this_thread_id()});
+      {std::move(name), nullptr, category, start_us, dur_us,
+       this_thread_id()});
+}
+
+void trace_record(const char* name, const char* category,
+                  std::int64_t start_us, std::int64_t dur_us) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.events.size() >= s.max_events) {
+    ++s.dropped;
+    return;
+  }
+  s.events.push_back(
+      {std::string(), name, category, start_us, dur_us, this_thread_id()});
+}
+
+void set_trace_max_events(std::size_t cap) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.max_events = cap;
+}
+
+std::size_t trace_max_events() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.max_events;
+}
+
+std::size_t trace_dropped_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.dropped;
 }
 
 std::string trace_json() {
@@ -102,7 +151,8 @@ std::string trace_json() {
     const TraceEvent& e = s.events[i];
     if (i) out += ",";
     out += "\n  {\"name\": \"";
-    append_escaped(out, e.name);
+    append_escaped(out, e.name_lit != nullptr ? std::string_view(e.name_lit)
+                                              : std::string_view(e.name));
     out += "\", \"cat\": \"";
     append_escaped(out, e.category);
     out += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
@@ -130,6 +180,7 @@ void clear_trace() {
   TraceState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
   s.events.clear();
+  s.dropped = 0;
 }
 
 std::size_t trace_event_count() {
@@ -140,15 +191,40 @@ std::size_t trace_event_count() {
 
 Span::Span(std::string name, const char* category)
     : name_(std::move(name)), category_(category) {
-  if (trace_enabled()) start_us_ = trace_now_us();
+  begin();
+}
+
+Span::Span(const char* name, const char* category)
+    : name_lit_(name), category_(category) {
+  begin();
+}
+
+void Span::begin() {
+  trace_on_ = trace_enabled();
+  if (trace_on_ || store::enabled()) start_us_ = trace_now_us();
 }
 
 Span::~Span() {
   if (start_us_ < 0) return;
+  const std::int64_t dur = trace_now_us() - start_us_;
+  if (store::enabled()) {
+    store::Event e;
+    e.category = store::Category::kFlow;
+    e.name = store::intern(name_lit_ != nullptr ? std::string_view(name_lit_)
+                                                : std::string_view(name_));
+    // ts 0 means "stamp now" to emit(); clamp the epoch-adjacent case.
+    e.ts_us = start_us_ > 0 ? start_us_ : 1;
+    e.dur_us = dur;
+    store::emit(e);
+  }
+  if (!trace_on_) return;
   // A span that outlives a set_trace_enabled(false) still records: the
   // matching begin was already committed to the timeline.
-  trace_record(std::move(name_), category_, start_us_,
-               trace_now_us() - start_us_);
+  if (name_lit_ != nullptr) {
+    trace_record(name_lit_, category_, start_us_, dur);
+  } else {
+    trace_record(std::move(name_), category_, start_us_, dur);
+  }
 }
 
 }  // namespace dsadc::obs

@@ -30,6 +30,20 @@ std::int64_t trace_now_us();
 void trace_record(std::string name, const char* category,
                   std::int64_t start_us, std::int64_t dur_us);
 
+/// Allocation-free overload for names with static storage duration
+/// (string literals): the pointer is kept, not copied.
+void trace_record(const char* name, const char* category,
+                  std::int64_t start_us, std::int64_t dur_us);
+
+/// Cap on buffered events. Defaults to DSADC_TRACE_MAX_EVENTS from the
+/// environment, else 1M; records past the cap are counted, not stored,
+/// so a long soak cannot grow the buffer without bound.
+void set_trace_max_events(std::size_t cap);
+std::size_t trace_max_events();
+
+/// Events dropped at the cap since the last clear_trace().
+std::size_t trace_dropped_count();
+
 /// Serialize the buffer: {"traceEvents": [...], "displayTimeUnit": "ms"}.
 std::string trace_json();
 
@@ -45,14 +59,21 @@ std::size_t trace_event_count();
 class Span {
  public:
   explicit Span(std::string name, const char* category = "flow");
+  /// Literal-name overload: hot-path spans pay no string allocation on
+  /// construction or record.
+  explicit Span(const char* name, const char* category = "flow");
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
+  void begin();
+
   std::string name_;
+  const char* name_lit_ = nullptr;  ///< set by the literal overload
   const char* category_;
-  std::int64_t start_us_ = -1;  ///< -1: tracing was off at entry
+  std::int64_t start_us_ = -1;  ///< -1: nothing records at exit
+  bool trace_on_ = false;       ///< tracing (vs only the store) at entry
 };
 
 }  // namespace dsadc::obs

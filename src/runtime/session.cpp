@@ -4,9 +4,32 @@
 #include <stdexcept>
 
 #include "src/obs/metrics.h"
+#include "src/obs/store/tracker.h"
 #include "src/runtime/multichannel.h"
 
 namespace dsadc::runtime {
+namespace {
+
+/// Interned trace-store transaction name per SessionOp (indexed by the
+/// enum's underlying value).
+std::uint32_t op_name_id(SessionOp op) {
+  static const std::uint32_t ids[] = {
+      obs::store::intern("session.open"),
+      obs::store::intern("session.reconfigure"),
+      obs::store::intern("session.data"),
+      obs::store::intern("session.drain"),
+      obs::store::intern("session.close"),
+  };
+  return ids[static_cast<std::size_t>(op)];
+}
+
+/// The service packs (conn_id << 32) | channel into the session id; the
+/// low word is what reads as "channel" in the store.
+std::uint32_t session_channel(std::uint64_t session) {
+  return static_cast<std::uint32_t>(session & 0xffffffffu);
+}
+
+}  // namespace
 
 SessionRuntime::SessionRuntime(Options opts) : opts_(opts) {
   if (opts_.shards == 0) {
@@ -36,13 +59,45 @@ void SessionRuntime::publish_inflight() const {
 
 bool SessionRuntime::submit(SessionJob job) {
   if (stop_.load(std::memory_order_acquire)) return false;
-  Shard& sh = *shards_[shard_of(job.session)];
+  const std::size_t shard_idx = shard_of(job.session);
+  Shard& sh = *shards_[shard_idx];
+  const bool store_on = obs::store::enabled();
+  const std::uint32_t channel =
+      store_on ? session_channel(job.session) : obs::store::kNoChannel;
+  const std::uint64_t payload = job.codes.size();
   pending_.fetch_add(1, std::memory_order_relaxed);
   bool admitted = false;
   if (opts_.policy == Overload::kShed && job.op == SessionOp::kData) {
     admitted = sh.ring.try_push(job);
-  } else {
+    if (!admitted && store_on) {
+      static const std::uint32_t shed_id = obs::store::intern("ring.shed");
+      obs::store::Event e;
+      e.category = obs::store::Category::kRuntime;
+      e.name = shed_id;
+      e.channel = channel;
+      e.value = static_cast<std::int64_t>(shard_idx);
+      e.aux = payload;
+      obs::store::emit(e);
+    }
+  } else if (store_on && !sh.ring.try_push(job)) {
+    // Full ring under the blocking policy: record how long backpressure
+    // held this submitter.
+    const std::int64_t t0 = obs::store::now_us();
     admitted = sh.ring.push(std::move(job));
+    static const std::uint32_t stall_id = obs::store::intern("ring.stall");
+    obs::store::Event e;
+    e.category = obs::store::Category::kRuntime;
+    e.name = stall_id;
+    e.ts_us = t0;
+    e.dur_us = obs::store::now_us() - t0;
+    e.channel = channel;
+    e.value = static_cast<std::int64_t>(shard_idx);
+    e.aux = payload;
+    obs::store::emit(e);
+  } else if (!store_on) {
+    admitted = sh.ring.push(std::move(job));
+  } else {
+    admitted = true;  // store_on and the try_push above took the job
   }
   if (!admitted) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
@@ -58,6 +113,9 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
   SessionResult r;
   r.session = job.session;
   r.op = job.op;
+  // One store transaction per job: every event the chain emits while the
+  // job runs (stage boundaries, fx hits) inherits this id and channel.
+  obs::store::TxnScope txn(op_name_id(job.op), session_channel(job.session));
   try {
     auto it = shard.sessions.find(job.session);
     switch (job.op) {
@@ -69,6 +127,7 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
         Session s;
         s.chain = std::make_unique<decim::DecimationChain>(
             job.config ? *job.config : decim::paper_chain_config());
+        s.open_txn = txn.id();
         shard.sessions.emplace(job.session, std::move(s));
         break;
       }
@@ -77,6 +136,7 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
           r.status = SessionStatus::kNotOpen;
           break;
         }
+        txn.set_parent(it->second.open_txn);
         // Reconfiguration swaps in a freshly built chain: filter state
         // never carries across a format/coefficient change.
         it->second.chain = std::make_unique<decim::DecimationChain>(
@@ -88,7 +148,9 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
           r.status = SessionStatus::kNotOpen;
           break;
         }
+        txn.set_parent(it->second.open_txn);
         r.samples = it->second.chain->process(job.codes);
+        txn.set_value(static_cast<std::int64_t>(r.samples.size()));
         break;
       }
       case SessionOp::kDrain: {
@@ -96,9 +158,11 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
           r.status = SessionStatus::kNotOpen;
           break;
         }
+        txn.set_parent(it->second.open_txn);
         const std::vector<std::int32_t> zeros(
             drain_pad_frames(*it->second.chain), 0);
         r.samples = it->second.chain->process(zeros);
+        txn.set_value(static_cast<std::int64_t>(r.samples.size()));
         break;
       }
       case SessionOp::kClose: {
@@ -106,6 +170,7 @@ void SessionRuntime::run_job(Shard& shard, SessionJob& job) {
           r.status = SessionStatus::kNotOpen;
           break;
         }
+        txn.set_parent(it->second.open_txn);
         shard.sessions.erase(it);
         break;
       }

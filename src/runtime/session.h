@@ -130,6 +130,10 @@ class SessionRuntime {
  private:
   struct Session {
     std::unique_ptr<decim::DecimationChain> chain;
+    /// Trace-store transaction id of the kOpen that created the session;
+    /// later jobs link their transactions to it as parent, so a whole
+    /// session reads as one tree in the store.
+    std::uint64_t open_txn = 0;
   };
 
   struct Shard {

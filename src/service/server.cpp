@@ -12,6 +12,7 @@
 
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/store/store.h"
 #include "src/service/net.h"
 
 namespace dsadc::service {
@@ -43,6 +44,22 @@ void count_tenant(const char* what, std::uint32_t channel,
 void count_service(const char* what, std::uint64_t n = 1) {
   if (!obs::enabled()) return;
   obs::Registry::instance().counter(std::string("service.") + what).add(n);
+}
+
+/// Trace-store record of one DATA-frame admission decision (value = codes
+/// in the frame, aux = client sequence number).
+void store_admission(bool accepted, std::uint32_t channel,
+                     std::uint64_t frames, std::uint32_t seq) {
+  if (!obs::store::enabled()) return;
+  static const std::uint32_t accepted_id = obs::store::intern("frame.accepted");
+  static const std::uint32_t shed_id = obs::store::intern("frame.shed");
+  obs::store::Event e;
+  e.category = obs::store::Category::kService;
+  e.name = accepted ? accepted_id : shed_id;
+  e.channel = channel;
+  e.value = static_cast<std::int64_t>(frames);
+  e.aux = seq;
+  obs::store::emit(e);
 }
 
 ErrorCode status_error(SessionStatus s) {
@@ -299,9 +316,11 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       conn->jobs.fetch_add(1, std::memory_order_acq_rel);
       if (runtime_->submit(std::move(job))) {
         count_tenant("accepted", ch);
+        store_admission(true, ch, frames, seq);
       } else {
         finish_job(conn);
         count_tenant("shed", ch);
+        store_admission(false, ch, frames, seq);
         Frame shed;
         shed.type = FrameType::kShed;
         shed.channel = ch;

@@ -174,6 +174,30 @@ TEST_F(ObsTest, TraceDisabledRecordsNothing) {
   EXPECT_EQ(j.at("traceEvents").size(), 0u);
 }
 
+TEST_F(ObsTest, TraceBufferCapDropsAndCounts) {
+  obs::set_trace_enabled(true);
+  const std::size_t old_cap = obs::trace_max_events();
+  obs::set_trace_max_events(3);
+  for (int i = 0; i < 5; ++i) {
+    obs::trace_record("capped", "test", i, 1);
+  }
+  EXPECT_EQ(obs::trace_event_count(), 3u);
+  EXPECT_EQ(obs::trace_dropped_count(), 2u);
+  // The dropped tally resets with the buffer.
+  obs::clear_trace();
+  EXPECT_EQ(obs::trace_dropped_count(), 0u);
+  obs::set_trace_max_events(old_cap);
+}
+
+TEST_F(ObsTest, LiteralSpanRecordsWithoutCopy) {
+  obs::set_trace_enabled(true);
+  { DSADC_TRACE_SPAN("literal_span", "test"); }
+  ASSERT_EQ(obs::trace_event_count(), 1u);
+  const verify::Json j = verify::json_parse(obs::trace_json());
+  EXPECT_EQ(j.at("traceEvents").at(0).at("name").as_string(), "literal_span");
+  EXPECT_EQ(j.at("traceEvents").at(0).at("cat").as_string(), "test");
+}
+
 TEST_F(ObsTest, WriteTraceProducesParsableFile) {
   obs::set_trace_enabled(true);
   { obs::Span s("file_span", "test"); }

@@ -53,13 +53,15 @@ struct Args {
   std::uint32_t preset = 0;
   std::string policy = "block";
   std::string stimulus = "modulator";
+  std::string registry_out;  ///< dump the metrics registry JSON here
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--serve | --unix PATH | --tcp HOST:PORT]\n"
                "  [--channels N] [--conns N] [--blocks N] [--frames N]\n"
-               "  [--preset P] [--policy block|shed] [--stimulus NAME]\n",
+               "  [--preset P] [--policy block|shed] [--stimulus NAME]\n"
+               "  [--registry-out FILE]\n",
                argv0);
 }
 
@@ -119,6 +121,10 @@ bool parse_args(int argc, char** argv, Args* a) {
       const char* v = next("--stimulus");
       if (!v) return false;
       a->stimulus = v;
+    } else if (arg == "--registry-out") {
+      const char* v = next("--registry-out");
+      if (!v) return false;
+      a->registry_out = v;
     } else {
       usage(argv[0]);
       return false;
@@ -292,6 +298,21 @@ int main(int argc, char** argv) {
 
   clients.clear();
   if (server) server->stop();
+
+  if (!args.registry_out.empty()) {
+    // The per-tenant service.* metrics live in this process when serving
+    // in-process; obs_report --registry renders them as a tenant table.
+    const std::string json = obs::Registry::instance().to_json(2) + "\n";
+    std::FILE* f = std::fopen(args.registry_out.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "dsadc_client: cannot write %s\n",
+                   args.registry_out.c_str());
+      ok = false;
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+
   std::printf("%s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

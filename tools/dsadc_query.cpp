@@ -1,0 +1,266 @@
+// dsadc_query: query engine CLI for binary columnar trace stores
+// (src/obs/store). Typical flow: run any workload with
+// DSADC_STORE_OUT=<dir>, then slice the store by time / channel / stage /
+// category, aggregate durations or values, or export to Chrome JSON:
+//
+//   dsadc_query DIR --summary
+//   dsadc_query DIR --cat txn --channel 3 --limit 20
+//   dsadc_query DIR --cat stage --name stage.halfband --agg stats --by stage
+//   dsadc_query DIR --since 1000 --until 250000 --cat service --count
+//   dsadc_query DIR --cat txn --export-chrome trace.json
+//
+// --expect-min N makes the process exit nonzero when fewer than N events
+// match, so CI smoke jobs can assert instrumentation actually fired.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/store/query.h"
+
+using namespace dsadc::obs::store;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s STORE_DIR [filters] [action]\n"
+      "filters:\n"
+      "  --cat LIST        categories: flow,fx,stage,service,runtime,txn\n"
+      "  --channel N       channel id\n"
+      "  --stage N         stage index\n"
+      "  --txn N           transaction id\n"
+      "  --name SUBSTR     event-name substring\n"
+      "  --since US        min timestamp (us since store epoch)\n"
+      "  --until US        max timestamp\n"
+      "  --min-dur US      minimum duration\n"
+      "actions (default: list matches):\n"
+      "  --limit N         list at most N events (default 50, 0 = all)\n"
+      "  --count           print only the match count\n"
+      "  --agg KIND        aggregate: count | sum | p50 | p99 | stats\n"
+      "  --field F         aggregation field: dur (default) | value\n"
+      "  --by KEY          group by: name (default) | channel | stage |\n"
+      "                    category | tid | none\n"
+      "  --summary         per-category totals and time ranges\n"
+      "  --strings         dump the interned string table\n"
+      "  --export-chrome F write matches as Chrome trace JSON\n"
+      "  --expect-min N    exit 1 when fewer than N events match\n",
+      argv0);
+  return 2;
+}
+
+bool parse_i64(const char* s, std::int64_t* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_categories(const std::string& list, std::vector<Category>* out) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string tok =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    Category c;
+    if (!category_from_name(tok, &c)) return false;
+    out->push_back(c);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+void print_summary(const StoreReader& reader) {
+  std::printf("%-8s %12s %14s %14s  %s\n", "category", "events", "min_ts_us",
+              "max_ts_us", "index");
+  for (std::size_t i = 0; i < kCategoryCount; ++i) {
+    const auto c = static_cast<Category>(i);
+    if (!reader.has_category(c)) continue;
+    const auto [lo, hi] = reader.time_range(c);
+    std::printf("%-8s %12" PRIu64 " %14" PRId64 " %14" PRId64 "  %s\n",
+                category_name(c), reader.total_events(c), lo, hi,
+                reader.recovered(c) ? "recovered" : "footer");
+  }
+  std::printf("strings: %zu interned names\n", reader.strings().size());
+}
+
+void print_event(const StoreReader& reader, const Event& e) {
+  std::string loc;
+  if (e.channel != kNoChannel) loc += " ch" + std::to_string(e.channel);
+  if (e.stage != kNoStage) loc += " stage" + std::to_string(e.stage);
+  if (e.txn != 0) loc += " txn" + std::to_string(e.txn);
+  if (e.aux != 0) loc += " aux" + std::to_string(e.aux);
+  std::printf("%12" PRId64 " %8" PRId64 " %-8s %-24s value=%" PRId64
+              "%s tid%u\n",
+              e.ts_us, e.dur_us, category_name(e.category),
+              reader.name(e.name).c_str(), e.value, loc.c_str(), e.tid);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string dir = argv[1];
+
+  Query q;
+  std::size_t limit = 50;
+  bool count_only = false;
+  bool summary = false;
+  bool dump_strings = false;
+  std::string agg;
+  AggField field = AggField::kDur;
+  GroupKey group = GroupKey::kName;
+  std::string chrome_out;
+  std::int64_t expect_min = -1;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_arg = i + 1 < argc;
+    std::int64_t n = 0;
+    if (a == "--cat" && has_arg) {
+      if (!parse_categories(argv[++i], &q.categories)) {
+        std::fprintf(stderr, "dsadc_query: bad category list\n");
+        return 2;
+      }
+    } else if (a == "--channel" && has_arg && parse_i64(argv[++i], &n)) {
+      q.has_channel = true;
+      q.channel = static_cast<std::uint32_t>(n);
+    } else if (a == "--stage" && has_arg && parse_i64(argv[++i], &n)) {
+      q.has_stage = true;
+      q.stage = static_cast<std::uint32_t>(n);
+    } else if (a == "--txn" && has_arg && parse_i64(argv[++i], &n)) {
+      q.has_txn = true;
+      q.txn = static_cast<std::uint64_t>(n);
+    } else if (a == "--name" && has_arg) {
+      q.name_substr = argv[++i];
+    } else if (a == "--since" && has_arg && parse_i64(argv[++i], &n)) {
+      q.ts_min = n;
+    } else if (a == "--until" && has_arg && parse_i64(argv[++i], &n)) {
+      q.ts_max = n;
+    } else if (a == "--min-dur" && has_arg && parse_i64(argv[++i], &n)) {
+      q.min_dur_us = n;
+    } else if (a == "--limit" && has_arg && parse_i64(argv[++i], &n)) {
+      limit = static_cast<std::size_t>(n);
+    } else if (a == "--count") {
+      count_only = true;
+    } else if (a == "--agg" && has_arg) {
+      agg = argv[++i];
+    } else if (a == "--field" && has_arg) {
+      const std::string f = argv[++i];
+      if (f == "dur") {
+        field = AggField::kDur;
+      } else if (f == "value") {
+        field = AggField::kValue;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (a == "--by" && has_arg) {
+      const std::string k = argv[++i];
+      if (k == "name") group = GroupKey::kName;
+      else if (k == "channel") group = GroupKey::kChannel;
+      else if (k == "stage") group = GroupKey::kStage;
+      else if (k == "category") group = GroupKey::kCategory;
+      else if (k == "tid") group = GroupKey::kTid;
+      else if (k == "none") group = GroupKey::kNone;
+      else return usage(argv[0]);
+    } else if (a == "--summary") {
+      summary = true;
+    } else if (a == "--strings") {
+      dump_strings = true;
+    } else if (a == "--export-chrome" && has_arg) {
+      chrome_out = argv[++i];
+    } else if (a == "--expect-min" && has_arg && parse_i64(argv[++i], &n)) {
+      expect_min = n;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const StoreReader reader(dir);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "dsadc_query: %s\n", reader.error().c_str());
+    return 1;
+  }
+
+  if (summary) print_summary(reader);
+  if (dump_strings) {
+    const auto& strings = reader.strings();
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+      std::printf("%4zu %s\n", i, strings[i].c_str());
+    }
+  }
+
+  std::uint64_t matched = 0;
+  if (!agg.empty()) {
+    const std::vector<AggRow> rows = aggregate(reader, q, field, group);
+    const char* fname = field == AggField::kDur ? "dur_us" : "value";
+    for (const AggRow& r : rows) matched += r.count;
+    if (agg == "count") {
+      for (const AggRow& r : rows) {
+        std::printf("%-28s %12" PRIu64 "\n", r.key.c_str(), r.count);
+      }
+    } else if (agg == "sum") {
+      for (const AggRow& r : rows) {
+        std::printf("%-28s %12" PRIu64 "  sum(%s)=%.0f\n", r.key.c_str(),
+                    r.count, fname, r.sum);
+      }
+    } else if (agg == "p50" || agg == "p99") {
+      for (const AggRow& r : rows) {
+        std::printf("%-28s %12" PRIu64 "  %s(%s)=%.1f\n", r.key.c_str(),
+                    r.count, agg.c_str(), fname,
+                    agg == "p50" ? r.p50 : r.p99);
+      }
+    } else if (agg == "stats") {
+      std::printf("%-28s %12s %12s %10s %10s %10s\n", "key", "count",
+                  (std::string("mean_") + fname).c_str(), "p50", "p99", "max");
+      for (const AggRow& r : rows) {
+        std::printf("%-28s %12" PRIu64 " %12.1f %10.1f %10.1f %10.1f\n",
+                    r.key.c_str(), r.count, r.mean, r.p50, r.p99, r.max);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  } else if (!chrome_out.empty()) {
+    matched = run_query(reader, q, nullptr);
+    if (!export_chrome(reader, q, chrome_out)) {
+      std::fprintf(stderr, "dsadc_query: cannot write %s\n",
+                   chrome_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %" PRIu64 " events to %s\n", matched,
+                chrome_out.c_str());
+  } else if (count_only) {
+    matched = run_query(reader, q, nullptr);
+    std::printf("%" PRIu64 "\n", matched);
+  } else if (!summary && !dump_strings) {
+    std::vector<Event> events;
+    matched = run_query(reader, q, &events, limit);
+    for (const Event& e : events) print_event(reader, e);
+    if (limit != 0 && events.size() == limit) {
+      // The scan stops at the limit; recount so --expect-min still sees
+      // the full total.
+      matched = run_query(reader, q, nullptr);
+      std::printf("... (%" PRIu64 " total matches, showing %zu)\n", matched,
+                  events.size());
+    } else {
+      std::printf("%" PRIu64 " matches\n", matched);
+    }
+  } else {
+    matched = run_query(reader, q, nullptr);
+  }
+
+  if (expect_min >= 0 &&
+      matched < static_cast<std::uint64_t>(expect_min)) {
+    std::fprintf(stderr,
+                 "dsadc_query: expected at least %" PRId64
+                 " matches, got %" PRIu64 "\n",
+                 expect_min, matched);
+    return 1;
+  }
+  return 0;
+}

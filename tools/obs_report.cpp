@@ -15,6 +15,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -112,9 +113,99 @@ verify::Json chain_metrics_dump() {
   return j;
 }
 
+/// Per-tenant service table from a registry dump (Registry::to_json):
+/// service.accepted.ch<id> / service.shed.ch<id> counters plus the
+/// service.throughput_sps.ch<id> gauge, one row per channel, with an
+/// all-tenants totals row.
+verify::Json tenant_table(const verify::Json& registry) {
+  struct Tenant {
+    double accepted = 0.0;
+    double shed = 0.0;
+    double throughput_sps = 0.0;
+  };
+  std::map<long, Tenant> tenants;
+  const auto channel_of = [](const std::string& key,
+                             const std::string& prefix) -> long {
+    if (key.rfind(prefix, 0) != 0) return -1;
+    const std::string id = key.substr(prefix.size());
+    if (id.empty() ||
+        id.find_first_not_of("0123456789") != std::string::npos) {
+      return -1;
+    }
+    return std::strtol(id.c_str(), nullptr, 10);
+  };
+  if (registry.contains("counters")) {
+    const verify::Json& counters = registry.at("counters");
+    for (const std::string& key : counters.keys()) {
+      long ch = channel_of(key, "service.accepted.ch");
+      if (ch >= 0) tenants[ch].accepted = counters.at(key).as_double();
+      ch = channel_of(key, "service.shed.ch");
+      if (ch >= 0) tenants[ch].shed = counters.at(key).as_double();
+    }
+  }
+  if (registry.contains("gauges")) {
+    const verify::Json& gauges = registry.at("gauges");
+    for (const std::string& key : gauges.keys()) {
+      const long ch = channel_of(key, "service.throughput_sps.ch");
+      if (ch >= 0) tenants[ch].throughput_sps = gauges.at(key).as_double();
+    }
+  }
+
+  verify::Json rows = verify::Json::array();
+  Tenant total;
+  for (const auto& [ch, t] : tenants) {
+    verify::Json row = verify::Json::object();
+    row["channel"] = static_cast<std::int64_t>(ch);
+    row["accepted"] = t.accepted;
+    row["shed"] = t.shed;
+    const double offered = t.accepted + t.shed;
+    row["shed_fraction"] = offered > 0.0 ? t.shed / offered : 0.0;
+    row["throughput_sps"] = t.throughput_sps;
+    rows.push_back(std::move(row));
+    total.accepted += t.accepted;
+    total.shed += t.shed;
+    total.throughput_sps += t.throughput_sps;
+  }
+  verify::Json out = verify::Json::object();
+  out["tenant_count"] = static_cast<std::int64_t>(tenants.size());
+  out["rows"] = std::move(rows);
+  verify::Json tot = verify::Json::object();
+  tot["accepted"] = total.accepted;
+  tot["shed"] = total.shed;
+  const double offered = total.accepted + total.shed;
+  tot["shed_fraction"] = offered > 0.0 ? total.shed / offered : 0.0;
+  tot["throughput_sps"] = total.throughput_sps;
+  out["total"] = std::move(tot);
+  return out;
+}
+
+/// Human-readable rendering of tenant_table() on stderr, so a CI log
+/// shows the per-tenant picture without parsing the JSON report.
+void print_tenant_table(const verify::Json& table) {
+  std::fprintf(stderr, "%8s %12s %10s %8s %16s\n", "channel", "accepted",
+               "shed", "shed%", "throughput_sps");
+  const verify::Json& rows = table.at("rows");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const verify::Json& r = rows.at(i);
+    std::fprintf(stderr, "%8lld %12.0f %10.0f %7.2f%% %16.0f\n",
+                 static_cast<long long>(r.at("channel").as_double()),
+                 r.at("accepted").as_double(), r.at("shed").as_double(),
+                 100.0 * r.at("shed_fraction").as_double(),
+                 r.at("throughput_sps").as_double());
+  }
+  const verify::Json& tot = table.at("total");
+  std::fprintf(stderr, "%8s %12.0f %10.0f %7.2f%% %16.0f\n", "total",
+               tot.at("accepted").as_double(), tot.at("shed").as_double(),
+               100.0 * tot.at("shed_fraction").as_double(),
+               tot.at("throughput_sps").as_double());
+}
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--bench-dir DIR] [--trace FILE] [-o OUT]\n", argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--bench-dir DIR] [--trace FILE] [--registry FILE] "
+      "[-o OUT]\n",
+      argv0);
   return 2;
 }
 
@@ -123,6 +214,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string bench_dir;
   std::string trace_file;
+  std::string registry_file;
   std::string out_file;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -130,6 +222,8 @@ int main(int argc, char** argv) {
       bench_dir = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (a == "--registry" && i + 1 < argc) {
+      registry_file = argv[++i];
     } else if (a == "-o" && i + 1 < argc) {
       out_file = argv[++i];
     } else {
@@ -156,6 +250,15 @@ int main(int argc, char** argv) {
       t["file"] = trace_file;
       t["event_count"] = trace.at("traceEvents").size();
       report["trace"] = std::move(t);
+    }
+
+    if (!registry_file.empty()) {
+      const verify::Json registry =
+          verify::json_parse(read_file(registry_file));
+      verify::Json tenants = tenant_table(registry);
+      tenants["file"] = registry_file;
+      print_tenant_table(tenants);
+      report["tenants"] = std::move(tenants);
     }
 
     report["chain"] = chain_metrics_dump();
