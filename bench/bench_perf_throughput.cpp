@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory_resource>
 
+#include "src/analyze/opt/opt.h"
 #include "src/core/flow.h"
 #include "src/obs/bench_telemetry.h"
 #include "src/decimator/chain.h"
@@ -271,6 +273,53 @@ void BM_RtlSimChainCompiledActivity(benchmark::State& state) {
 }
 BENCHMARK(BM_RtlSimChainCompiledActivity);
 
+// Compiled engine on the proof-carrying optimizer's output: same stimulus
+// and engine as BM_RtlSimChainCompiled, but the tape is built from the
+// optimized netlist (dead nodes gone, constants folded, widths shrunk).
+// The ratio to the unoptimized compiled run is rtl_opt_compiled_speedup.
+void BM_RtlSimChainCompiledOpt(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  const analyze::opt::OptResult opt = analyze::opt::optimize(chain.full);
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  rtl::CompiledSimulator sim(opt.module);
+  const rtl::NodeId in_id =
+      opt.node_map[static_cast<std::size_t>(chain.in)];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{in_id, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainCompiledOpt);
+
+// --- Elaboration cost: default heap vs pmr arena -----------------------
+//
+// Building the full paper chain allocates thousands of pmr vector nodes
+// plus name strings; the arena leg reuses one monotonic buffer per
+// iteration. The recorded elaborate_arena_ratio (arena/heap items ratio)
+// is informational -- allocator throughput is machine-dependent, so the
+// name deliberately avoids the CI-gated "speedup" suffix.
+void BM_ElaborateChain(benchmark::State& state) {
+  const auto cfg = decim::paper_chain_config();
+  for (auto _ : state) {
+    const rtl::BuiltChain chain = rtl::build_chain(cfg);
+    benchmark::DoNotOptimize(chain.full.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElaborateChain);
+
+void BM_ElaborateChainArena(benchmark::State& state) {
+  const auto cfg = decim::paper_chain_config();
+  for (auto _ : state) {
+    std::pmr::monotonic_buffer_resource arena(1 << 20);
+    const rtl::BuiltChain chain = rtl::build_chain(cfg, {.arena = &arena});
+    benchmark::DoNotOptimize(chain.full.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElaborateChainArena);
+
 /// Console reporter that additionally copies each run's timing and
 /// items/s into the telemetry record (BENCH_perf_throughput.json).
 class TelemetryReporter : public benchmark::ConsoleReporter {
@@ -367,5 +416,39 @@ int main(int argc, char** argv) {
   ok &= record_speedup(report, reporter, "runtime_pipeline_vs_serial",
                        "BM_PipelinedChain/real_time", "BM_DecimationChain",
                        0.3);
+  // The optimized tape must never be slower than the unoptimized one; the
+  // floor is lenient (0.98) because the win is modest -- the tape is
+  // already const-hoisted -- and timer noise on small deltas is real.
+  ok &= record_speedup(report, reporter, "rtl_opt_compiled_speedup",
+                       "BM_RtlSimChainCompiledOpt", "BM_RtlSimChainCompiled",
+                       0.98);
+  ok &= record_speedup(report, reporter, "elaborate_arena_ratio",
+                       "BM_ElaborateChainArena", "BM_ElaborateChain", 0.5);
+
+  // Deterministic structural metrics: scheduled tape ops per period on the
+  // paper chain, before and after the proof-carrying optimizer. Unlike the
+  // timing ratios these are exact and machine-independent; the optimized
+  // tape being strictly shorter is a hard acceptance bar, and the ratio is
+  // gated in CI (bench_diff --gate speedup) like the engine speedups.
+  {
+    const auto chain = rtl::build_chain(decim::paper_chain_config());
+    const analyze::opt::OptResult opt = analyze::opt::optimize(chain.full);
+    const std::size_t unopt_ops =
+        rtl::CompiledSimulator(chain.full).scheduled_ops_per_period();
+    const std::size_t opt_ops =
+        rtl::CompiledSimulator(opt.module).scheduled_ops_per_period();
+    report.set("rtl_tape_ops", static_cast<double>(unopt_ops));
+    report.set("rtl_opt_tape_ops", static_cast<double>(opt_ops));
+    if (opt_ops < unopt_ops && opt_ops > 0) {
+      report.set("rtl_opt_tape_speedup",
+                 static_cast<double>(unopt_ops) / static_cast<double>(opt_ops));
+    } else {
+      std::fprintf(stderr,
+                   "bench_perf_throughput: optimized tape (%zu ops) not "
+                   "shorter than unoptimized (%zu ops)\n",
+                   opt_ops, unopt_ops);
+      ok = false;
+    }
+  }
   return report.finish(ok);
 }

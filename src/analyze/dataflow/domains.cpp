@@ -1,0 +1,349 @@
+#include "src/analyze/dataflow/domains.h"
+
+#include "src/fixedpoint/fixed.h"
+
+namespace dsadc::analyze {
+
+using rtl::kInvalidNode;
+using rtl::NodeId;
+using rtl::OpKind;
+
+// ---------------------------------------------------------------------------
+// Intervals.
+
+Interval interval_transfer(const rtl::Module& m, NodeId id,
+                           const std::vector<Interval>& values,
+                           const std::map<NodeId, Interval>& input_ranges,
+                           bool* wrapped, bool* saturated) {
+  const rtl::Node& node = m.node(id);
+  const auto operand = [&](NodeId op) -> const Interval& {
+    static const Interval zero{};
+    return op == kInvalidNode ? zero : values[static_cast<std::size_t>(op)];
+  };
+  switch (node.kind) {
+    case OpKind::kInput: {
+      const auto it = input_ranges.find(id);
+      const Interval given =
+          it != input_ranges.end() ? it->second : Interval::full(node.width);
+      // The simulator wraps bound input samples into the port width.
+      return iv_wrap(given, node.width, wrapped);
+    }
+    case OpKind::kConst:
+      return Interval::point(node.value);
+    case OpKind::kAdd:
+      return iv_add(operand(node.a), operand(node.b), node.width, wrapped);
+    case OpKind::kSub:
+      return iv_sub(operand(node.a), operand(node.b), node.width, wrapped);
+    case OpKind::kNeg:
+      return iv_neg(operand(node.a), node.width, wrapped);
+    case OpKind::kShl:
+      return iv_shl(operand(node.a), node.amount);
+    case OpKind::kShr:
+      return iv_shr(operand(node.a), node.amount);
+    case OpKind::kMux: {
+      // Selects only refine when the select interval is the point 0 (arm b
+      // proven). The opposite proof (select never 0) cannot arise in this
+      // lattice -- every interval includes the power-up 0 -- so the
+      // constant domain owns unreachable-then-arm facts.
+      const Interval& sel = operand(node.c);
+      const Interval picked = sel == Interval::point(0)
+                                  ? operand(node.b)
+                                  : operand(node.a).hull(operand(node.b));
+      return iv_wrap(picked, node.width, wrapped);
+    }
+    case OpKind::kReg:
+    case OpKind::kDecimate:
+      // State nodes hold their power-up 0 until the first capture, so
+      // their value set is {0} union the operand's set.
+      return Interval{}.hull(operand(node.a));
+    case OpKind::kRequant:
+      return iv_requant(operand(node.a), node.src_frac, node.fmt, node.rounding,
+                        node.overflow, saturated, wrapped);
+    case OpKind::kOutput:
+      return operand(node.a);
+  }
+  return Interval{};
+}
+
+// ---------------------------------------------------------------------------
+// Constant propagation.
+
+namespace {
+
+std::int64_t wrap64(std::int64_t v, int width) {
+  return fx::wrap_to(v, fx::Format{width, 0});
+}
+
+}  // namespace
+
+ConstValue ConstDomain::transfer(const rtl::Module& m, const NetlistIndex&,
+                                 NodeId id,
+                                 const std::vector<Value>& values) const {
+  const rtl::Node& node = m.node(id);
+  const auto operand = [&](NodeId op) -> ConstValue {
+    // kInvalidNode operands read the simulator's pinned zero.
+    return op == kInvalidNode ? ConstValue::constant(0)
+                              : values[static_cast<std::size_t>(op)];
+  };
+  const auto binary = [&](auto&& fold) -> ConstValue {
+    const ConstValue a = operand(node.a);
+    const ConstValue b = operand(node.b);
+    if (a.state == ConstValue::State::kBottom ||
+        b.state == ConstValue::State::kBottom) {
+      return ConstValue::bottom();
+    }
+    if (a.is_const() && b.is_const()) return ConstValue::constant(fold(a.v, b.v));
+    return ConstValue::top();
+  };
+  const auto unary = [&](auto&& fold) -> ConstValue {
+    const ConstValue a = operand(node.a);
+    if (a.state == ConstValue::State::kBottom) return ConstValue::bottom();
+    if (a.is_const()) return ConstValue::constant(fold(a.v));
+    return ConstValue::top();
+  };
+  switch (node.kind) {
+    case OpKind::kInput: {
+      if (input_ranges != nullptr) {
+        const auto it = input_ranges->find(id);
+        if (it != input_ranges->end() && it->second.lo == it->second.hi) {
+          return ConstValue::constant(wrap64(it->second.lo, node.width));
+        }
+      }
+      return ConstValue::top();
+    }
+    case OpKind::kConst:
+      return ConstValue::constant(node.value);
+    case OpKind::kAdd:
+      return binary([&](std::int64_t a, std::int64_t b) {
+        return wrap64(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                                static_cast<std::uint64_t>(b)),
+                      node.width);
+      });
+    case OpKind::kSub:
+      return binary([&](std::int64_t a, std::int64_t b) {
+        return wrap64(static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                                static_cast<std::uint64_t>(b)),
+                      node.width);
+      });
+    case OpKind::kNeg:
+      return unary([&](std::int64_t a) {
+        return wrap64(static_cast<std::int64_t>(-static_cast<std::uint64_t>(a)),
+                      node.width);
+      });
+    case OpKind::kShl:
+      return unary([&](std::int64_t a) {
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(a)
+                                         << node.amount);
+      });
+    case OpKind::kShr:
+      return unary([&](std::int64_t a) { return a >> node.amount; });
+    case OpKind::kMux: {
+      const ConstValue sel = operand(node.c);
+      if (sel.state == ConstValue::State::kBottom) return ConstValue::bottom();
+      if (sel.is_const()) {
+        const ConstValue picked = operand(sel.v != 0 ? node.a : node.b);
+        if (picked.state != ConstValue::State::kConst) return picked;
+        return ConstValue::constant(wrap64(picked.v, node.width));
+      }
+      // Unknown select: constant only when both arms agree after wrap.
+      const ConstValue a = operand(node.a);
+      const ConstValue b = operand(node.b);
+      if (a.state == ConstValue::State::kBottom ||
+          b.state == ConstValue::State::kBottom) {
+        return ConstValue::bottom();
+      }
+      if (a.is_const() && b.is_const() &&
+          wrap64(a.v, node.width) == wrap64(b.v, node.width)) {
+        return ConstValue::constant(wrap64(a.v, node.width));
+      }
+      return ConstValue::top();
+    }
+    case OpKind::kReg:
+    case OpKind::kDecimate: {
+      // First capture commits the operand's power-up 0; afterwards the
+      // operand's committed values. Join Const(0) with the operand fact.
+      const ConstValue a = operand(node.a);
+      if (a.state == ConstValue::State::kBottom || (a.is_const() && a.v == 0)) {
+        return ConstValue::constant(0);
+      }
+      return ConstValue::top();
+    }
+    case OpKind::kRequant:
+      return unary([&](std::int64_t a) {
+        return fx::requantize(a, node.src_frac, node.fmt, node.rounding,
+                              node.overflow);
+      });
+    case OpKind::kOutput: {
+      const ConstValue a = operand(node.a);
+      return a;
+    }
+  }
+  return ConstValue::top();
+}
+
+// ---------------------------------------------------------------------------
+// Known bits.
+
+int KnownBits::trailing_zeros() const {
+  if (is_bottom()) return 0;
+  int n = 0;
+  while (n < 64 && ((zeros >> n) & 1) != 0) ++n;
+  return n;
+}
+
+KnownBits kb_wrap(const KnownBits& v, int width) {
+  if (v.is_bottom()) return v;
+  if (width >= 64) return v;
+  // Bits above width-1 become copies of bit width-1 (sign extension of
+  // the wrapped value): known only if the new sign bit is known.
+  const std::uint64_t low_mask = (std::uint64_t{1} << width) - 1;
+  const int sign = width - 1;
+  const bool sign_zero = ((v.zeros >> sign) & 1) != 0;
+  const bool sign_one = ((v.ones >> sign) & 1) != 0;
+  KnownBits out{v.zeros & low_mask, v.ones & low_mask};
+  if (sign_zero) out.zeros |= ~low_mask;
+  if (sign_one) out.ones |= ~low_mask;
+  return out;
+}
+
+namespace {
+
+/// Trit per bit: 0 = known 0, 1 = known 1, -1 = unknown.
+int bit_trit(const KnownBits& v, int bit) {
+  if (((v.zeros >> bit) & 1) != 0) return 0;
+  if (((v.ones >> bit) & 1) != 0) return 1;
+  return -1;
+}
+
+KnownBits kb_add_carry(const KnownBits& a, const KnownBits& b, int carry) {
+  if (a.is_bottom() || b.is_bottom()) return KnownBits::bottom();
+  KnownBits out = KnownBits::top();
+  for (int bit = 0; bit < 64; ++bit) {
+    const int x = bit_trit(a, bit);
+    const int y = bit_trit(b, bit);
+    if (x >= 0 && y >= 0 && carry >= 0) {
+      const int s = x ^ y ^ carry;
+      if (s != 0) {
+        out.ones |= std::uint64_t{1} << bit;
+      } else {
+        out.zeros |= std::uint64_t{1} << bit;
+      }
+    }
+    // Majority carry: known when any two inputs agree on a known value.
+    const int known_ones = (x == 1) + (y == 1) + (carry == 1);
+    const int known_zeros = (x == 0) + (y == 0) + (carry == 0);
+    carry = known_ones >= 2 ? 1 : (known_zeros >= 2 ? 0 : -1);
+  }
+  return out;
+}
+
+}  // namespace
+
+KnownBits kb_add(const KnownBits& a, const KnownBits& b) {
+  return kb_add_carry(a, b, 0);
+}
+
+KnownBits kb_sub(const KnownBits& a, const KnownBits& b) {
+  if (b.is_bottom()) return KnownBits::bottom();
+  // a - b == a + ~b + 1; complement swaps the known-0/known-1 masks.
+  return kb_add_carry(a, KnownBits{b.ones, b.zeros}, 1);
+}
+
+KnownBits KnownBitsDomain::transfer(const rtl::Module& m, const NetlistIndex&,
+                                    NodeId id,
+                                    const std::vector<Value>& values) const {
+  const rtl::Node& node = m.node(id);
+  const auto operand = [&](NodeId op) -> KnownBits {
+    return op == kInvalidNode ? KnownBits::constant(0)
+                              : values[static_cast<std::size_t>(op)];
+  };
+  switch (node.kind) {
+    case OpKind::kInput: {
+      if (input_ranges != nullptr) {
+        const auto it = input_ranges->find(id);
+        if (it != input_ranges->end() && it->second.lo == it->second.hi) {
+          return KnownBits::constant(wrap64(it->second.lo, node.width));
+        }
+      }
+      return KnownBits::top();
+    }
+    case OpKind::kConst:
+      return KnownBits::constant(node.value);
+    case OpKind::kAdd:
+      return kb_wrap(kb_add(operand(node.a), operand(node.b)), node.width);
+    case OpKind::kSub:
+      return kb_wrap(kb_sub(operand(node.a), operand(node.b)), node.width);
+    case OpKind::kNeg:
+      return kb_wrap(kb_sub(KnownBits::constant(0), operand(node.a)),
+                     node.width);
+    case OpKind::kShl: {
+      const KnownBits a = operand(node.a);
+      if (a.is_bottom()) return a;
+      const std::uint64_t low =
+          node.amount >= 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << node.amount) - 1;
+      return KnownBits{(a.zeros << node.amount) | low, a.ones << node.amount};
+    }
+    case OpKind::kShr: {
+      const KnownBits a = operand(node.a);
+      if (a.is_bottom()) return a;
+      // Arithmetic shift of the masks mirrors the arithmetic shift of the
+      // value: the vacated top bits inherit the sign bit's known-ness.
+      return KnownBits{
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(a.zeros) >>
+                                     node.amount),
+          static_cast<std::uint64_t>(static_cast<std::int64_t>(a.ones) >>
+                                     node.amount)};
+    }
+    case OpKind::kMux: {
+      const KnownBits sel = operand(node.c);
+      if (sel.is_bottom()) return sel;
+      if (sel.ones != 0) return kb_wrap(operand(node.a), node.width);
+      if (sel.zeros == ~std::uint64_t{0}) {
+        return kb_wrap(operand(node.b), node.width);
+      }
+      const KnownBits a = operand(node.a);
+      const KnownBits b = operand(node.b);
+      if (a.is_bottom() || b.is_bottom()) return KnownBits::bottom();
+      return kb_wrap(KnownBits{a.zeros & b.zeros, a.ones & b.ones}, node.width);
+    }
+    case OpKind::kReg:
+    case OpKind::kDecimate: {
+      // Join of the power-up constant 0 with the operand facts: known-0
+      // bits survive, known-1 bits do not.
+      const KnownBits a = operand(node.a);
+      if (a.is_bottom()) return KnownBits::constant(0);
+      return KnownBits{a.zeros, 0};
+    }
+    case OpKind::kRequant: {
+      const KnownBits a = operand(node.a);
+      if (a.is_bottom()) return a;
+      if (node.overflow == fx::Overflow::kSaturate) return KnownBits::top();
+      const int shift = node.src_frac - node.fmt.frac;
+      KnownBits shifted = a;
+      if (shift > 0) {
+        if (shift >= 63) return KnownBits::constant(0);
+        if (node.rounding == fx::Rounding::kRoundNearest) {
+          shifted = kb_add(shifted, KnownBits::constant(std::int64_t{1}
+                                                        << (shift - 1)));
+        }
+        if (shifted.is_bottom()) return shifted;
+        shifted = KnownBits{
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(shifted.zeros) >>
+                                       shift),
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(shifted.ones) >>
+                                       shift)};
+      } else if (shift < 0 && -shift < 63) {
+        const std::uint64_t low = (std::uint64_t{1} << -shift) - 1;
+        shifted = KnownBits{(shifted.zeros << -shift) | low,
+                            shifted.ones << -shift};
+      }
+      return kb_wrap(shifted, node.fmt.width);
+    }
+    case OpKind::kOutput:
+      return operand(node.a);
+  }
+  return KnownBits::top();
+}
+
+}  // namespace dsadc::analyze

@@ -1,0 +1,205 @@
+// Abstract domains for the dataflow engine (engine.h).
+//
+// Four domains cover the analyzer and optimizer needs:
+//
+//   * IntervalDomain  - signed value intervals (interval.h transfer
+//     functions), forward, widened through state feedback. The engine
+//     solve reproduces analyze_intervals bit-for-bit; that wrapper now
+//     runs on this domain.
+//   * ConstDomain     - constant propagation over *committed* values: the
+//     fact "node n commits value v on every active tick" justifies
+//     constant folding without perturbing activity counters.
+//   * KnownBitsDomain - per-bit known-0/known-1 facts through add/sub/
+//     shift/mux/CSD chains (sign-extension bits, cleared LSBs).
+//   * LivenessDomain  - backward reachability from outputs; dead-node
+//     elimination evidence.
+//
+// Every domain starts from the simulator's power-up state and joins over
+// all reachable transfers, so each fixpoint over-approximates the set of
+// values/bits/uses any run can exhibit. See docs/ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/interval.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+// ---------------------------------------------------------------------------
+// Intervals.
+
+/// One interval transfer step: the abstract value node `id` commits given
+/// operand values. Mirrors rtl::Simulator per-op semantics exactly; the
+/// flags (may-wrap / may-saturate) accumulate when non-null.
+Interval interval_transfer(const rtl::Module& m, rtl::NodeId id,
+                           const std::vector<Interval>& values,
+                           const std::map<rtl::NodeId, Interval>& input_ranges,
+                           bool* wrapped = nullptr, bool* saturated = nullptr);
+
+struct IntervalDomain {
+  using Value = Interval;
+  static constexpr bool kBackward = false;
+  static constexpr int kWidenAfter = 16;
+
+  const std::map<rtl::NodeId, Interval>* input_ranges = nullptr;
+
+  Value initial(const rtl::Module&, rtl::NodeId) const { return Interval{}; }
+  Value transfer(const rtl::Module& m, const NetlistIndex&, rtl::NodeId id,
+                 const std::vector<Value>& values) const {
+    static const std::map<rtl::NodeId, Interval> kNoRanges;
+    return interval_transfer(m, id, values,
+                             input_ranges != nullptr ? *input_ranges : kNoRanges);
+  }
+  bool join(Value& into, const Value& next) const {
+    const Interval h = into.hull(next);
+    if (h == into) return false;
+    into = h;
+    return true;
+  }
+  void widen(const rtl::Module& m, rtl::NodeId id, Value& v) const {
+    v = v.hull(Interval::full(m.node(id).width));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Constant propagation.
+
+/// Lattice element: Bottom (no committed value seen yet) < Const(v) < Top.
+/// Bottom is required so that a node's very first transfer result is
+/// adopted as-is; the power-up value 0 is *not* joined in for
+/// combinational nodes because users only observe committed values
+/// (state nodes join Const(0) explicitly in their transfer: a register's
+/// first capture commits the power-up 0 of its operand).
+struct ConstValue {
+  enum class State : std::uint8_t { kBottom, kConst, kTop };
+  State state = State::kBottom;
+  std::int64_t v = 0;
+
+  static ConstValue bottom() { return {}; }
+  static ConstValue top() { return {State::kTop, 0}; }
+  static ConstValue constant(std::int64_t v) { return {State::kConst, v}; }
+  bool is_const() const { return state == State::kConst; }
+  bool operator==(const ConstValue&) const = default;
+};
+
+struct ConstDomain {
+  using Value = ConstValue;
+  static constexpr bool kBackward = false;
+  static constexpr int kWidenAfter = 0;
+
+  const std::map<rtl::NodeId, Interval>* input_ranges = nullptr;
+
+  Value initial(const rtl::Module&, rtl::NodeId) const {
+    return ConstValue::bottom();
+  }
+  Value transfer(const rtl::Module& m, const NetlistIndex&, rtl::NodeId id,
+                 const std::vector<Value>& values) const;
+  bool join(Value& into, const Value& next) const {
+    using State = ConstValue::State;
+    if (into.state == State::kTop || next.state == State::kBottom) return false;
+    if (into.state == State::kBottom || into == next) {
+      const bool changed = !(into == next);
+      into = next;
+      return changed;
+    }
+    into = ConstValue::top();
+    return true;
+  }
+  void widen(const rtl::Module&, rtl::NodeId, Value&) const {}
+};
+
+// ---------------------------------------------------------------------------
+// Known bits.
+
+/// Per-bit facts about the 64-bit sign-extended committed value: bit i is
+/// proven 0 when zeros has bit i set, proven 1 when ones has bit i set.
+/// zeros & ones != 0 encodes Bottom (contradiction: no value seen yet);
+/// zeros == ones == 0 is Top.
+struct KnownBits {
+  std::uint64_t zeros = ~std::uint64_t{0};
+  std::uint64_t ones = ~std::uint64_t{0};
+
+  static KnownBits bottom() { return {}; }
+  static KnownBits top() { return {0, 0}; }
+  static KnownBits constant(std::int64_t v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    return {~u, u};
+  }
+  bool is_bottom() const { return (zeros & ones) != 0; }
+  /// Proven value when every bit is known (callers check !is_bottom()).
+  bool fully_known() const { return !is_bottom() && (zeros | ones) == ~std::uint64_t{0}; }
+  /// Count of proven-zero low bits (cleared LSBs, e.g. below a shl).
+  int trailing_zeros() const;
+  bool operator==(const KnownBits&) const = default;
+};
+
+struct KnownBitsDomain {
+  using Value = KnownBits;
+  static constexpr bool kBackward = false;
+  static constexpr int kWidenAfter = 0;
+
+  const std::map<rtl::NodeId, Interval>* input_ranges = nullptr;
+
+  Value initial(const rtl::Module&, rtl::NodeId) const {
+    return KnownBits::bottom();
+  }
+  Value transfer(const rtl::Module& m, const NetlistIndex&, rtl::NodeId id,
+                 const std::vector<Value>& values) const;
+  bool join(Value& into, const Value& next) const {
+    if (next.is_bottom()) return false;
+    if (into.is_bottom()) {
+      const bool changed = !(into == next);
+      into = next;
+      return changed;
+    }
+    const KnownBits met{into.zeros & next.zeros, into.ones & next.ones};
+    if (met == into) return false;
+    into = met;
+    return true;
+  }
+  void widen(const rtl::Module&, rtl::NodeId, Value&) const {}
+};
+
+/// Wrap a known-bits pattern into `width` bits: bits above width-1 become
+/// copies of the (possibly unknown) sign bit.
+KnownBits kb_wrap(const KnownBits& v, int width);
+/// Ripple-carry addition over known bits (exact per-bit majority carries).
+KnownBits kb_add(const KnownBits& a, const KnownBits& b);
+KnownBits kb_sub(const KnownBits& a, const KnownBits& b);
+
+// ---------------------------------------------------------------------------
+// Liveness.
+
+/// Backward domain: a node is live when some path of operand edges leads
+/// from an output to it. char (not bool) so values vectorize as bytes.
+struct LivenessDomain {
+  using Value = char;
+  static constexpr bool kBackward = true;
+  static constexpr int kWidenAfter = 0;
+
+  Value initial(const rtl::Module& m, rtl::NodeId id) const {
+    return m.node(id).kind == rtl::OpKind::kOutput ? 1 : 0;
+  }
+  Value transfer(const rtl::Module& m, const NetlistIndex& idx, rtl::NodeId id,
+                 const std::vector<Value>& values) const {
+    if (m.node(id).kind == rtl::OpKind::kOutput) return 1;
+    for (const rtl::NodeId u : idx.users(id)) {
+      if (values[static_cast<std::size_t>(u)] != 0) return 1;
+    }
+    return 0;
+  }
+  bool join(Value& into, const Value& next) const {
+    if (into == 0 && next != 0) {
+      into = 1;
+      return true;
+    }
+    return false;
+  }
+  void widen(const rtl::Module&, rtl::NodeId, Value&) const {}
+};
+
+}  // namespace dsadc::analyze

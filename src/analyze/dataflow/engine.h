@@ -1,0 +1,140 @@
+// Generic worklist fixpoint engine over the RTL IR.
+//
+// One solver, pluggable abstract domains. A Domain describes a join
+// semilattice per node and a monotone transfer function; the solver runs
+// chaotic iteration (Gauss-Seidel sweeps over a dirty set) until nothing
+// changes, with an optional widening hook for domains whose lattice has
+// unbounded ascending chains through state feedback (intervals in the CIC
+// integrator loop).
+//
+// Domain concept:
+//
+//   struct MyDomain {
+//     using Value = ...;                 // lattice element per node
+//     static constexpr bool kBackward;   // dependency direction
+//     static constexpr int kWidenAfter;  // sweeps before widening; 0 = never
+//     Value initial(const rtl::Module&, rtl::NodeId);
+//     Value transfer(const rtl::Module&, const NetlistIndex&, rtl::NodeId,
+//                    const std::vector<Value>& values);
+//     bool join(Value& into, const Value& next);  // ascend; true if changed
+//     void widen(const rtl::Module&, rtl::NodeId, Value&);  // state nodes
+//   };
+//
+// Forward domains (kBackward = false) recompute a node from its operands
+// and dirty its users on change; backward domains (liveness) recompute
+// from users and dirty operands. Transfer must be monotone w.r.t. join
+// for the fixpoint to exist; joins accumulate, so the result at each node
+// over-approximates every reachable concrete state (see docs/ANALYSIS.md
+// for the soundness argument each client pass leans on).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/analyze/dataflow/index.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+struct SolveOptions {
+  int max_sweeps = 100;
+};
+
+template <typename Domain>
+struct SolveResult {
+  std::vector<typename Domain::Value> value;  ///< per-node fixpoint
+  int sweeps = 0;
+  bool converged = false;
+};
+
+template <typename Domain>
+SolveResult<Domain> solve(const rtl::Module& m, const NetlistIndex& idx,
+                          Domain& dom, const SolveOptions& opt = {}) {
+  const std::size_t n = m.size();
+  SolveResult<Domain> res;
+  res.value.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.value.push_back(dom.initial(m, static_cast<rtl::NodeId>(i)));
+  }
+
+  const auto in_range = [n](rtl::NodeId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < n;
+  };
+  std::vector<char> dirty(n, 1);
+  std::vector<char> next_dirty(n, 0);
+  // Mark the nodes whose transfer input just changed.
+  const auto mark_deps = [&](rtl::NodeId id) {
+    if constexpr (Domain::kBackward) {
+      for (const rtl::NodeId op : rtl::operands(m.node(id))) {
+        if (in_range(op)) next_dirty[static_cast<std::size_t>(op)] = 1;
+      }
+    } else {
+      for (const rtl::NodeId u : idx.users(id)) {
+        next_dirty[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+  };
+
+  bool pending = n > 0;
+  while (pending && res.sweeps < opt.max_sweeps) {
+    ++res.sweeps;
+    bool changed = false;
+    // Sweep along the dependency direction (creation order is
+    // topological modulo register back-edges), updating in place so a
+    // change propagates within the same sweep.
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t i = Domain::kBackward ? n - 1 - step : step;
+      if (dirty[i] == 0) continue;
+      dirty[i] = 0;
+      const auto id = static_cast<rtl::NodeId>(i);
+      const typename Domain::Value next = dom.transfer(m, idx, id, res.value);
+      if (dom.join(res.value[i], next)) {
+        changed = true;
+        mark_deps(id);
+        // Within-sweep propagation: a dependent later in this sweep's
+        // order picks the change up immediately.
+        if constexpr (Domain::kBackward) {
+          for (const rtl::NodeId op : rtl::operands(m.node(id))) {
+            if (in_range(op) && static_cast<std::size_t>(op) < i) {
+              dirty[static_cast<std::size_t>(op)] = 1;
+            }
+          }
+        } else {
+          for (const rtl::NodeId u : idx.users(id)) {
+            if (static_cast<std::size_t>(u) > i) {
+              dirty[static_cast<std::size_t>(u)] = 1;
+            }
+          }
+        }
+      }
+    }
+    if constexpr (Domain::kWidenAfter > 0) {
+      // Ascending chains survive only through state feedback; once the
+      // sweep budget is spent on a still-changing system, jump state
+      // nodes up the lattice.
+      if (changed && res.sweeps >= Domain::kWidenAfter) {
+        for (const rtl::NodeId id : idx.state_nodes()) {
+          typename Domain::Value widened = res.value[static_cast<std::size_t>(id)];
+          dom.widen(m, id, widened);
+          if (dom.join(res.value[static_cast<std::size_t>(id)], widened)) {
+            changed = true;
+            mark_deps(id);
+          }
+        }
+      }
+    }
+    // The old dirty set is all zeroes again (every marked entry either
+    // preceded its marker and stayed untouched -- impossible by the
+    // direction guards -- or was processed and cleared), so the swap
+    // hands a clean scratch set to the next sweep.
+    dirty.swap(next_dirty);
+    pending = false;
+    if (changed) {
+      for (const char d : dirty) pending = pending || d != 0;
+    }
+  }
+  res.converged = !pending;
+  return res;
+}
+
+}  // namespace dsadc::analyze

@@ -1,0 +1,38 @@
+#include "src/analyze/dataflow/index.h"
+
+namespace dsadc::analyze {
+
+NetlistIndex::NetlistIndex(const rtl::Module& m) {
+  size_ = m.size();
+  const auto n = size_;
+
+  // Counting pass, then CSR fill. Operand ids outside [0, n) (broken
+  // modules the structural lint will flag) contribute no edges.
+  offsets_.assign(n + 1, 0);
+  const auto in_range = [n](rtl::NodeId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < n;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const rtl::NodeId op : rtl::operands(m.node(static_cast<rtl::NodeId>(i)))) {
+      if (in_range(op)) ++offsets_[static_cast<std::size_t>(op) + 1];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) offsets_[i + 1] += offsets_[i];
+  users_.resize(static_cast<std::size_t>(offsets_[n]));
+  std::vector<std::int32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<rtl::NodeId>(i);
+    const rtl::Node& node = m.node(id);
+    for (const rtl::NodeId op : rtl::operands(node)) {
+      if (in_range(op)) {
+        users_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(op)]++)] = id;
+      }
+    }
+    by_kind_[static_cast<std::size_t>(node.kind)].push_back(id);
+    if (node.kind == rtl::OpKind::kReg || node.kind == rtl::OpKind::kDecimate) {
+      state_.push_back(id);
+    }
+  }
+}
+
+}  // namespace dsadc::analyze

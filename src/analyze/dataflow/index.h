@@ -1,0 +1,59 @@
+// Per-netlist structural index shared by every analysis pass.
+//
+// The analyzers used to rediscover structure per pass: nodes_of_kind
+// linear scans for port enumeration, and each fixpoint rebuilding its own
+// def-use (consumer) lists. NetlistIndex computes both once per module --
+// a CSR use-list adjacency plus dense by-kind buckets -- and every
+// dataflow domain, lint pass and optimization pass reuses it.
+//
+// The index tolerates structurally broken modules (out-of-range operand
+// ids): such edges are simply skipped, because the lint runs value
+// analyses only after the structural pass but builds the index up front.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze {
+
+class NetlistIndex {
+ public:
+  explicit NetlistIndex(const rtl::Module& m);
+
+  std::size_t size() const { return size_; }
+
+  /// Nodes that read `id` as an operand (a, b or c slot), in creation
+  /// order. A node reading `id` through two slots appears twice.
+  std::span<const rtl::NodeId> users(rtl::NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {users_.data() + offsets_[i],
+            static_cast<std::size_t>(offsets_[i + 1] - offsets_[i])};
+  }
+
+  /// Number of use-list entries of `id` (its fanout).
+  int fanout(rtl::NodeId id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return static_cast<int>(offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// All nodes of `kind`, in creation order.
+  std::span<const rtl::NodeId> of_kind(rtl::OpKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)];
+  }
+
+  /// kReg and kDecimate nodes, in creation order (widening targets).
+  std::span<const rtl::NodeId> state_nodes() const { return state_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::int32_t> offsets_;  ///< CSR row starts, size()+1 entries
+  std::vector<rtl::NodeId> users_;
+  std::array<std::vector<rtl::NodeId>, rtl::kNumOpKinds> by_kind_;
+  std::vector<rtl::NodeId> state_;
+};
+
+}  // namespace dsadc::analyze

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
+
+#include "src/analyze/dataflow/domains.h"
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/dataflow/index.h"
 
 namespace dsadc::analyze {
 namespace {
@@ -141,108 +146,36 @@ Interval iv_requant(const Interval& a, int src_frac, const fx::Format& fmt,
 
 IntervalResult analyze_intervals(
     const rtl::Module& m, const std::map<rtl::NodeId, Interval>& input_ranges) {
-  using rtl::kInvalidNode;
-  using rtl::NodeId;
-  using rtl::OpKind;
+  const NetlistIndex idx(m);
+  return analyze_intervals(m, input_ranges, idx);
+}
 
-  constexpr int kMaxSweeps = 100;
-  constexpr int kWidenAfter = 16;
+IntervalResult analyze_intervals(const rtl::Module& m,
+                                 const std::map<rtl::NodeId, Interval>& input_ranges,
+                                 const NetlistIndex& idx) {
+  IntervalDomain dom;
+  dom.input_ranges = &input_ranges;
+  SolveOptions opt;
+  opt.max_sweeps = 100;
+  SolveResult<IntervalDomain> solved = solve(m, idx, dom, opt);
 
-  const auto& nodes = m.nodes();
-  const std::size_t n = nodes.size();
-
+  const std::size_t n = m.size();
   IntervalResult res;
-  res.value.assign(n, Interval{});  // every node powers up at 0
+  res.value = std::move(solved.value);
+  res.converged = solved.converged;
+  res.iterations = solved.sweeps;
   res.may_wrap.assign(n, false);
   res.may_saturate.assign(n, false);
-
-  const auto operand = [&](NodeId id) -> const Interval& {
-    static const Interval zero{};
-    return id == kInvalidNode ? zero : res.value[static_cast<std::size_t>(id)];
-  };
-
-  // One monotone sweep; returns true when any interval grew. Flags are
-  // only recorded when `record_flags` (the final confirmation sweep).
-  const auto sweep = [&](bool record_flags) {
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const rtl::Node& node = nodes[i];
-      bool wrapped = false;
-      bool saturated = false;
-      Interval next = res.value[i];
-      switch (node.kind) {
-        case OpKind::kInput: {
-          const auto it = input_ranges.find(static_cast<NodeId>(i));
-          const Interval given =
-              it != input_ranges.end() ? it->second : Interval::full(node.width);
-          // The simulator wraps bound input samples into the port width.
-          next = iv_wrap(given, node.width, &wrapped);
-          break;
-        }
-        case OpKind::kConst:
-          next = Interval::point(node.value);
-          break;
-        case OpKind::kAdd:
-          next = iv_add(operand(node.a), operand(node.b), node.width, &wrapped);
-          break;
-        case OpKind::kSub:
-          next = iv_sub(operand(node.a), operand(node.b), node.width, &wrapped);
-          break;
-        case OpKind::kNeg:
-          next = iv_neg(operand(node.a), node.width, &wrapped);
-          break;
-        case OpKind::kShl:
-          next = iv_shl(operand(node.a), node.amount);
-          break;
-        case OpKind::kShr:
-          next = iv_shr(operand(node.a), node.amount);
-          break;
-        case OpKind::kReg:
-        case OpKind::kDecimate:
-          // State nodes hold their power-up 0 until the first capture, so
-          // their value set is {0} union the operand's set.
-          next = Interval{}.hull(operand(node.a));
-          break;
-        case OpKind::kRequant:
-          next = iv_requant(operand(node.a), node.src_frac, node.fmt,
-                            node.rounding, node.overflow, &saturated, &wrapped);
-          break;
-        case OpKind::kOutput:
-          next = operand(node.a);
-          break;
-      }
-      next = res.value[i].hull(next);  // monotone ascent
-      if (!(next == res.value[i])) {
-        res.value[i] = next;
-        changed = true;
-      }
-      if (record_flags) {
-        if (wrapped) res.may_wrap[i] = true;
-        if (saturated) res.may_saturate[i] = true;
-      }
-    }
-    return changed;
-  };
-
-  for (int iter = 0; iter < kMaxSweeps; ++iter) {
-    res.iterations = iter + 1;
-    const bool changed = sweep(/*record_flags=*/false);
-    if (!changed) {
-      res.converged = true;
-      break;
-    }
-    if (iter + 1 >= kWidenAfter) {
-      // Widen every state node that is still growing straight to its full
-      // width range; the loop body then stabilizes in O(depth) sweeps.
-      for (std::size_t i = 0; i < n; ++i) {
-        if (nodes[i].kind == OpKind::kReg || nodes[i].kind == OpKind::kDecimate) {
-          res.value[i] = res.value[i].hull(Interval::full(nodes[i].width));
-        }
-      }
-    }
+  // Confirmation sweep at the fixpoint: re-run every transfer once purely
+  // to record the may-wrap / may-saturate flags.
+  for (std::size_t i = 0; i < n; ++i) {
+    bool wrapped = false;
+    bool saturated = false;
+    interval_transfer(m, static_cast<rtl::NodeId>(i), res.value, input_ranges,
+                      &wrapped, &saturated);
+    if (wrapped) res.may_wrap[i] = true;
+    if (saturated) res.may_saturate[i] = true;
   }
-  // Confirmation sweep: intervals are stable (or widened); record flags.
-  sweep(/*record_flags=*/true);
   return res;
 }
 

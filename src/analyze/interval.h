@@ -77,6 +77,8 @@ Interval iv_requant(const Interval& a, int src_frac, const fx::Format& fmt,
 // ---------------------------------------------------------------------------
 // Whole-module fixpoint propagation.
 
+class NetlistIndex;  // dataflow/index.h
+
 struct IntervalResult {
   std::vector<Interval> value;     ///< per node, over all time
   std::vector<bool> may_wrap;      ///< modular reduction may change a value
@@ -92,8 +94,15 @@ struct IntervalResult {
 /// take their range from `input_ranges` (defaulting to the full range of
 /// the port width); ranges are wrapped into the port width first, exactly
 /// like the simulator wraps bound input streams.
+///
+/// This is the IntervalDomain of the dataflow engine (dataflow/domains.h)
+/// plus a flag-recording confirmation sweep; pass a prebuilt NetlistIndex
+/// to share structure discovery across passes.
 IntervalResult analyze_intervals(
     const rtl::Module& m,
     const std::map<rtl::NodeId, Interval>& input_ranges = {});
+IntervalResult analyze_intervals(
+    const rtl::Module& m, const std::map<rtl::NodeId, Interval>& input_ranges,
+    const NetlistIndex& idx);
 
 }  // namespace dsadc::analyze

@@ -1,7 +1,12 @@
 #include "src/analyze/lint.h"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
+
+#include "src/analyze/dataflow/domains.h"
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/dataflow/index.h"
 
 namespace dsadc::analyze {
 namespace {
@@ -43,6 +48,12 @@ constexpr Rule kRequantMismatch{"width.requant-mismatch", "WID01",
 constexpr Rule kRequantShift{"width.requant-shift", "WID02", Severity::kError};
 constexpr Rule kShlTruncated{"width.shl-truncated", "WID03",
                              Severity::kWarning};
+constexpr Rule kUnreachableMuxArm{"opt.unreachable-mux-arm", "OPT01",
+                                  Severity::kWarning};
+constexpr Rule kConstantOutput{"opt.constant-output", "OPT02",
+                               Severity::kWarning};
+constexpr Rule kWidthNeverExercised{"opt.width-never-exercised", "OPT03",
+                                    Severity::kInfo};
 
 const char* op_name(OpKind k) {
   switch (k) {
@@ -53,6 +64,7 @@ const char* op_name(OpKind k) {
     case OpKind::kNeg: return "neg";
     case OpKind::kShl: return "shl";
     case OpKind::kShr: return "shr";
+    case OpKind::kMux: return "mux";
     case OpKind::kReg: return "reg";
     case OpKind::kDecimate: return "decimate";
     case OpKind::kRequant: return "requant";
@@ -66,7 +78,10 @@ bool is_state_kind(OpKind k) {
 }
 
 bool needs_a(OpKind k) { return k != OpKind::kInput && k != OpKind::kConst; }
-bool needs_b(OpKind k) { return k == OpKind::kAdd || k == OpKind::kSub; }
+bool needs_b(OpKind k) {
+  return k == OpKind::kAdd || k == OpKind::kSub || k == OpKind::kMux;
+}
+bool needs_c(OpKind k) { return k == OpKind::kMux; }
 
 /// Helper gathering findings with suppression bookkeeping deferred.
 struct Collector {
@@ -117,9 +132,11 @@ bool structural_pass(const Module& m, Collector& c) {
   for (std::size_t i = 0; i < n; ++i) {
     const Node& node = nodes[i];
     const NodeId id = static_cast<NodeId>(i);
-    for (const auto& [op, slot] :
-         {std::pair{node.a, 'a'}, std::pair{node.b, 'b'}}) {
-      const bool required = slot == 'a' ? needs_a(node.kind) : needs_b(node.kind);
+    for (const auto& [op, slot] : {std::pair{node.a, 'a'}, std::pair{node.b, 'b'},
+                                   std::pair{node.c, 'c'}}) {
+      const bool required = slot == 'a'   ? needs_a(node.kind)
+                            : slot == 'b' ? needs_b(node.kind)
+                                          : needs_c(node.kind);
       if (op == kInvalidNode) {
         if (!required) continue;
         if (node.kind == OpKind::kReg) {
@@ -213,10 +230,10 @@ bool structural_pass(const Module& m, Collector& c) {
       while (!stack.empty()) {
         auto& [cur, phase] = stack.back();
         const Node& node = nodes[static_cast<std::size_t>(cur)];
-        const NodeId ops[2] = {node.a, node.b};
+        const std::array<NodeId, 3> ops = rtl::operands(node);
         bool descended = false;
-        while (phase < 2) {
-          const NodeId op = ops[phase++];
+        while (phase < 3) {
+          const NodeId op = ops[static_cast<std::size_t>(phase++)];
           if (op == kInvalidNode || !valid(op)) continue;
           if (is_state_kind(nodes[static_cast<std::size_t>(op)].kind)) continue;
           const auto oi = static_cast<std::size_t>(op);
@@ -233,7 +250,7 @@ bool structural_pass(const Module& m, Collector& c) {
             break;
           }
         }
-        if (!descended && phase >= 2) {
+        if (!descended && phase >= 3) {
           color[static_cast<std::size_t>(cur)] = 2;
           stack.pop_back();
         }
@@ -254,7 +271,7 @@ bool structural_pass(const Module& m, Collector& c) {
       const NodeId cur = work.back();
       work.pop_back();
       const Node& node = nodes[static_cast<std::size_t>(cur)];
-      for (const NodeId op : {node.a, node.b}) {
+      for (const NodeId op : rtl::operands(node)) {
         if (op == kInvalidNode || !valid(op)) continue;
         if (!live[static_cast<std::size_t>(op)]) {
           live[static_cast<std::size_t>(op)] = 1;
@@ -379,6 +396,80 @@ void range_pass(const Module& m, const LintOptions& options,
   }
 }
 
+/// Optimization-opportunity rules driven by the dataflow domains the
+/// netlist optimizer (opt/opt.h) uses: what these flag, `lint_rtl
+/// --optimize` removes with a proof.
+void opt_pass(const Module& m, const LintOptions& options,
+              const NetlistIndex& idx, const IntervalResult& ivs,
+              Collector& c) {
+  ConstDomain cdom;
+  cdom.input_ranges = &options.input_ranges;
+  const std::vector<ConstValue> consts = solve(m, idx, cdom).value;
+  KnownBitsDomain kdom;
+  kdom.input_ranges = &options.input_ranges;
+  const std::vector<KnownBits> kbits = solve(m, idx, kdom).value;
+
+  for (const NodeId id : idx.of_kind(OpKind::kMux)) {
+    const Node& node = m.node(id);
+    const ConstValue sel = consts[static_cast<std::size_t>(node.c)];
+    if (!sel.is_const()) continue;
+    const NodeId dead_arm = sel.v != 0 ? node.b : node.a;
+    std::ostringstream os;
+    os << c.describe(id) << ": select " << c.describe(node.c)
+       << " proven constant " << sel.v << "; arm " << c.describe(dead_arm)
+       << " is unreachable";
+    Finding& f = c.add(kUnreachableMuxArm, id, os.str());
+    f.data["select_value"] = sel.v;
+    f.data["dead_arm"] = dead_arm;
+  }
+
+  for (const NodeId id : idx.of_kind(OpKind::kOutput)) {
+    const ConstValue v = consts[static_cast<std::size_t>(id)];
+    if (!v.is_const()) continue;
+    std::ostringstream os;
+    os << c.describe(id) << ": output commits the constant " << v.v
+       << " on every tick";
+    c.add(kConstantOutput, id, os.str()).data["value"] = v.v;
+  }
+
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const Node& node = m.nodes()[i];
+    const NodeId id = static_cast<NodeId>(i);
+    switch (node.kind) {
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kNeg:
+      case OpKind::kMux:
+      case OpKind::kReg:
+      case OpKind::kDecimate:
+        break;
+      default:
+        continue;  // shl LSB zeros and const widths are by construction
+    }
+    if (consts[i].is_const()) continue;  // whole node is an OPT02/fold case
+    const Interval iv = ivs.value[i];
+    const int msb_wasted = node.width - bits_needed(iv.lo, iv.hi);
+    const KnownBits kb = kbits[i];
+    const int lsb_zero =
+        kb.is_bottom() ? 0 : std::min(kb.trailing_zeros(), node.width - 1);
+    const int wasted = std::max(msb_wasted, lsb_zero);
+    if (wasted < options.never_exercised_threshold) continue;
+    std::ostringstream os;
+    os << c.describe(id) << ": " << wasted << " of " << node.width
+       << " bits provably carry no information (";
+    if (msb_wasted >= lsb_zero) {
+      os << msb_wasted << " MSBs, interval [" << iv.lo << ", " << iv.hi << "]";
+    } else {
+      os << lsb_zero << " known-zero LSBs";
+    }
+    os << ")";
+    Finding& f = c.add(kWidthNeverExercised, id, os.str());
+    f.data["wasted"] = wasted;
+    f.data["msb_wasted"] = msb_wasted;
+    f.data["lsb_zero"] = lsb_zero;
+  }
+}
+
 }  // namespace
 
 const char* severity_name(Severity s) {
@@ -416,9 +507,11 @@ ModuleReport lint_module(const Module& m, const LintOptions& options) {
   const bool indexable = structural_pass(m, c);
 
   if (indexable && m.size() > 0) {
-    report.range = analyze_ranges(m, options.input_ranges);
-    report.interval = analyze_intervals(m, options.input_ranges);
+    const NetlistIndex idx(m);
+    report.range = analyze_ranges(m, options.input_ranges, idx);
+    report.interval = analyze_intervals(m, options.input_ranges, idx);
     range_pass(m, options, report.range, c);
+    opt_pass(m, options, idx, report.interval, c);
   }
 
   for (Finding& f : c.findings) {

@@ -67,6 +67,13 @@ struct Rule {
 //   width.shl-truncated        WID03 warning shl result wider than declared
 //                                            width (value silently truncated
 //                                            in hardware)
+//   opt.unreachable-mux-arm    OPT01 warning mux select proven constant; one
+//                                            arm can never be observed
+//   opt.constant-output        OPT02 warning module output proven to commit
+//                                            the same value on every tick
+//   opt.width-never-exercised  OPT03 info    declared bits proven to carry no
+//                                            information (interval MSBs /
+//                                            known-zero LSBs)
 
 struct Finding {
   std::string rule;      ///< long id, e.g. "range.overflow.proven"
@@ -88,6 +95,9 @@ struct LintOptions {
   std::map<rtl::NodeId, Interval> input_ranges;
   /// Emit range.unused-msb only when at least this many MSBs are wasted.
   int unused_msb_threshold = 2;
+  /// Emit opt.width-never-exercised only when at least this many bits of a
+  /// node are proven dead (interval MSBs or known-zero LSBs).
+  int never_exercised_threshold = 4;
   /// Suppression patterns: "rule", "rule@module", or a "prefix.*" glob on
   /// the rule id (optionally with "@module"). Suppressed findings stay in
   /// the report, flagged, but do not count toward severity totals.

@@ -1,0 +1,155 @@
+#include "src/analyze/opt/equiv.h"
+
+#include <cstddef>
+#include <sstream>
+#include <utility>
+
+#include "src/rtl/compiled_sim.h"
+#include "src/rtl/sim.h"
+
+namespace dsadc::analyze::opt {
+namespace {
+
+using rtl::kInvalidNode;
+using rtl::NodeId;
+
+constexpr std::size_t kMaxErrors = 16;
+
+struct Reporter {
+  EquivResult* res;
+  void fail(const std::string& msg) {
+    res->ok = false;
+    if (res->errors.size() < kMaxErrors) res->errors.push_back(msg);
+  }
+};
+
+bool same_stream(const std::vector<std::int64_t>& a,
+                 const std::vector<std::int64_t>& b, std::size_t* where) {
+  if (a.size() != b.size()) {
+    *where = std::min(a.size(), b.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      *where = i;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Compare two same-module runs (engine cross-check): everything equal.
+void check_engines_agree(const rtl::SimResult& interp,
+                         const rtl::SimResult& compiled, const char* which,
+                         Reporter& rep) {
+  if (interp.activity.base_ticks != compiled.activity.base_ticks) {
+    rep.fail(std::string(which) + ": engines disagree on base ticks");
+  }
+  for (const auto& [id, stream] : interp.outputs) {
+    const auto it = compiled.outputs.find(id);
+    std::size_t where = 0;
+    if (it == compiled.outputs.end()) {
+      rep.fail(std::string(which) + ": compiled run lost output node " +
+               std::to_string(id));
+    } else if (!same_stream(stream, it->second, &where)) {
+      std::ostringstream os;
+      os << which << ": engines disagree on output node " << id
+         << " at sample " << where;
+      rep.fail(os.str());
+    }
+  }
+  const std::size_t n = interp.activity.updates.size();
+  for (std::size_t i = 0; i < n && i < compiled.activity.updates.size(); ++i) {
+    if (interp.activity.updates[i] != compiled.activity.updates[i] ||
+        interp.activity.bit_toggles[i] != compiled.activity.bit_toggles[i]) {
+      rep.fail(std::string(which) + ": engines disagree on activity of node " +
+               std::to_string(i));
+    }
+  }
+}
+
+}  // namespace
+
+EquivResult check_optimized_equivalence(
+    const rtl::Module& original, const OptResult& opt,
+    const std::map<rtl::NodeId, std::span<const std::int64_t>>& inputs) {
+  EquivResult res;
+  Reporter rep{&res};
+
+  // Remap the stimulus onto the optimized module's input ids.
+  std::map<NodeId, std::span<const std::int64_t>> opt_inputs;
+  for (const auto& [id, stream] : inputs) {
+    const NodeId mapped = opt.node_map[static_cast<std::size_t>(id)];
+    if (mapped == kInvalidNode) {
+      rep.fail("input node " + std::to_string(id) +
+               " was removed by the optimizer");
+      return res;
+    }
+    opt_inputs.emplace(mapped, stream);
+  }
+
+  const rtl::CompiledRunOptions activity_on{.activity = true};
+  rtl::Simulator orig_interp(original);
+  rtl::Simulator opt_interp(opt.module);
+  const rtl::CompiledSimulator orig_compiled(original);
+  const rtl::CompiledSimulator opt_compiled(opt.module);
+
+  const rtl::SimResult a = orig_interp.run(inputs);
+  const rtl::SimResult b = orig_compiled.run(inputs, activity_on);
+  const rtl::SimResult c = opt_interp.run(opt_inputs);
+  const rtl::SimResult d = opt_compiled.run(opt_inputs, activity_on);
+
+  check_engines_agree(a, b, "original", rep);
+  check_engines_agree(c, d, "optimized", rep);
+
+  // Original vs optimized, against the interpreted reference runs (the
+  // engine cross-checks above extend agreement to the compiled runs).
+  if (a.activity.base_ticks != c.activity.base_ticks) {
+    rep.fail("optimized run covers a different number of base ticks");
+  }
+  if (a.outputs.size() != c.outputs.size()) {
+    rep.fail("optimized module has a different output count");
+  }
+  for (const auto& [id, stream] : a.outputs) {
+    const NodeId mapped = opt.node_map[static_cast<std::size_t>(id)];
+    const auto it = mapped == kInvalidNode ? c.outputs.end()
+                                           : c.outputs.find(mapped);
+    if (it == c.outputs.end()) {
+      rep.fail("output node " + std::to_string(id) +
+               " has no optimized counterpart");
+      continue;
+    }
+    std::size_t where = 0;
+    if (!same_stream(stream, it->second, &where)) {
+      std::ostringstream os;
+      os << "output node " << id << " diverges at sample " << where;
+      rep.fail(os.str());
+    }
+  }
+
+  // Activity contract over mapped nodes.
+  for (std::size_t i = 0; i < opt.node_map.size(); ++i) {
+    const NodeId mapped = opt.node_map[i];
+    if (mapped == kInvalidNode) continue;
+    const auto j = static_cast<std::size_t>(mapped);
+    if (a.activity.updates[i] != c.activity.updates[j]) {
+      rep.fail("node " + std::to_string(i) +
+               ": update count changed under optimization");
+      continue;
+    }
+    const int w_orig = original.node(static_cast<NodeId>(i)).width;
+    const int w_opt = opt.module.node(mapped).width;
+    if (w_orig == w_opt) {
+      if (a.activity.bit_toggles[i] != c.activity.bit_toggles[j]) {
+        rep.fail("node " + std::to_string(i) +
+                 ": toggle count changed at preserved width");
+      }
+    } else if (a.activity.bit_toggles[i] < c.activity.bit_toggles[j]) {
+      rep.fail("node " + std::to_string(i) +
+               ": toggle count grew under width shrink");
+    }
+  }
+  return res;
+}
+
+}  // namespace dsadc::analyze::opt

@@ -1,0 +1,43 @@
+// Differential equivalence harness for the netlist optimizer.
+//
+// The proof checker (proof.h) validates the optimizer statically; this
+// harness validates it dynamically: the original and optimized modules are
+// driven with the same stimulus on BOTH simulator engines (interpreted
+// reference and compiled phase-scheduled), and the runs must agree on
+//
+//   * every output stream, bit-exact, across all four runs;
+//   * base tick counts;
+//   * per-node activity for every mapped node: update counts equal, and
+//     toggle counts equal for width-preserved nodes / no greater for
+//     width-shrunk nodes (shrinking can only drop masked high bits).
+//
+// An unsound rewrite that slips past the static checker (or a checker bug)
+// surfaces here as a concrete counterexample; tests feed the harness the
+// nine stimulus classes plus fuzz seeds used by the engine cross-check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/analyze/opt/opt.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze::opt {
+
+struct EquivResult {
+  bool ok = true;
+  /// Human-readable mismatch descriptions (capped; first mismatches win).
+  std::vector<std::string> errors;
+};
+
+/// Run `original` and `opt.module` on both engines with `inputs` (keyed by
+/// ORIGINAL input node ids; the harness remaps through opt.node_map) and
+/// check the full output + activity contract.
+EquivResult check_optimized_equivalence(
+    const rtl::Module& original, const OptResult& opt,
+    const std::map<rtl::NodeId, std::span<const std::int64_t>>& inputs);
+
+}  // namespace dsadc::analyze::opt

@@ -1,0 +1,323 @@
+#include "src/analyze/opt/opt.h"
+
+#include <array>
+#include <cstddef>
+#include <utility>
+
+#include "src/analyze/dataflow/domains.h"
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/dataflow/index.h"
+
+namespace dsadc::analyze::opt {
+namespace {
+
+using rtl::kInvalidNode;
+using rtl::NodeId;
+using rtl::OpKind;
+
+bool is_port(OpKind k) { return k == OpKind::kInput || k == OpKind::kOutput; }
+
+bool is_redirect(RewriteKind k) {
+  return k == RewriteKind::kMuxConstSel || k == RewriteKind::kIdentityFwd;
+}
+
+bool removes_node(RewriteKind k) {
+  return k == RewriteKind::kDeadNode || is_redirect(k);
+}
+
+bool shrinkable(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kNeg:
+    case OpKind::kMux:
+    case OpKind::kReg:
+    case OpKind::kDecimate:
+    case OpKind::kOutput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+OptResult optimize(const rtl::Module& m, const OptOptions& options) {
+  const std::size_t n = m.size();
+  const NetlistIndex idx(m);
+
+  ConstDomain cdom;
+  cdom.input_ranges = &options.input_ranges;
+  const std::vector<ConstValue> consts = solve(m, idx, cdom).value;
+  const IntervalResult ivs = analyze_intervals(m, options.input_ranges, idx);
+
+  // Rewrite decision per node: at most one proof, mirroring the checker's
+  // one-rewrite-per-node rule. Decisions only ever *read* original-module
+  // facts, so pass order below is a priority order, not a dependency.
+  std::vector<RewriteProof> chosen(n);
+  std::vector<char> has_proof(n, 0);
+  const auto propose = [&](RewriteProof p) {
+    const auto i = static_cast<std::size_t>(p.node);
+    if (has_proof[i] != 0) return;
+    has_proof[i] = 1;
+    chosen[i] = std::move(p);
+  };
+  const auto proof_of = [&](NodeId id) -> const RewriteProof* {
+    const auto i = static_cast<std::size_t>(id);
+    return has_proof[i] != 0 ? &chosen[i] : nullptr;
+  };
+  const auto is_const_zero = [&](NodeId id) {
+    const ConstValue c = consts[static_cast<std::size_t>(id)];
+    return c.is_const() && c.v == 0;
+  };
+
+  // Pass 1: constant folding.
+  if (options.fold_constants) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const rtl::Node& node = m.node(static_cast<NodeId>(i));
+      if (is_port(node.kind) || node.kind == OpKind::kConst) continue;
+      const ConstValue c = consts[i];
+      if (!c.is_const()) continue;
+      RewriteProof p;
+      p.kind = RewriteKind::kConstFold;
+      p.node = static_cast<NodeId>(i);
+      p.value = c.v;
+      p.domain = "const";
+      propose(std::move(p));
+    }
+  }
+
+  // Pass 2: simplification redirects + strength reduction.
+  if (options.simplify) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (has_proof[i] != 0) continue;
+      const auto id = static_cast<NodeId>(i);
+      const rtl::Node& node = m.node(id);
+      RewriteProof p;
+      p.node = id;
+      switch (node.kind) {
+        case OpKind::kAdd:
+          if (is_const_zero(node.b) && m.node(node.a).width <= node.width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.a;
+            p.domain = "const";
+          } else if (is_const_zero(node.a) &&
+                     m.node(node.b).width <= node.width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.b;
+            p.domain = "const";
+          } else if (m.node(node.b).kind == OpKind::kNeg &&
+                     m.node(node.b).width >= node.width) {
+            p.kind = RewriteKind::kNegAddToSub;
+            p.target = node.b;
+            p.domain = "structural";
+          } else if (m.node(node.a).kind == OpKind::kNeg &&
+                     m.node(node.a).width >= node.width) {
+            p.kind = RewriteKind::kNegAddToSub;
+            p.target = node.a;
+            p.domain = "structural";
+          } else {
+            continue;
+          }
+          break;
+        case OpKind::kSub:
+          if (is_const_zero(node.b) && m.node(node.a).width <= node.width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.a;
+            p.domain = "const";
+          } else {
+            continue;
+          }
+          break;
+        case OpKind::kShl:
+        case OpKind::kShr:
+          if (node.amount == 0 && m.node(node.a).width <= node.width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.a;
+            p.domain = "structural";
+          } else {
+            continue;
+          }
+          break;
+        case OpKind::kMux: {
+          const ConstValue sel = consts[static_cast<std::size_t>(node.c)];
+          if (sel.is_const()) {
+            const NodeId arm = sel.v != 0 ? node.a : node.b;
+            if (m.node(arm).width > node.width) continue;
+            p.kind = RewriteKind::kMuxConstSel;
+            p.target = arm;
+            p.value = sel.v;
+            p.domain = "const";
+          } else if (node.a == node.b && m.node(node.a).width <= node.width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.a;
+            p.domain = "structural";
+          } else {
+            continue;
+          }
+          break;
+        }
+        case OpKind::kRequant:
+          if (node.src_frac == node.fmt.frac &&
+              node.fmt.width >= m.node(node.a).width) {
+            p.kind = RewriteKind::kIdentityFwd;
+            p.target = node.a;
+            p.domain = "structural";
+          } else {
+            continue;
+          }
+          break;
+        default:
+          continue;
+      }
+      propose(std::move(p));
+    }
+  }
+
+  // Redirect chains end at a node without a redirect proof; chains cannot
+  // cycle because every redirect target is an operand, hence created
+  // earlier than its user.
+  const auto resolve = [&](NodeId id) {
+    while (true) {
+      const RewriteProof* p = proof_of(id);
+      if (p == nullptr || !is_redirect(p->kind)) return id;
+      id = p->target;
+    }
+  };
+
+  // Pass 3: dead-node elimination over the effective (post-rewrite) edges.
+  // A redirected node's users read its target instead, so a node kept
+  // alive only by redirected readers becomes collectable here.
+  const auto effective_operands = [&](NodeId id) {
+    std::array<NodeId, 3> ops{kInvalidNode, kInvalidNode, kInvalidNode};
+    const RewriteProof* p = proof_of(id);
+    const rtl::Node& node = m.node(id);
+    if (p != nullptr && p->kind == RewriteKind::kConstFold) return ops;
+    if (p != nullptr && p->kind == RewriteKind::kNegAddToSub) {
+      ops[0] = resolve(p->target == node.a ? node.b : node.a);
+      ops[1] = resolve(m.node(p->target).a);
+      return ops;
+    }
+    int k = 0;
+    for (const NodeId op : rtl::operands(node)) {
+      if (op != kInvalidNode) ops[static_cast<std::size_t>(k++)] = resolve(op);
+    }
+    return ops;
+  };
+  std::vector<char> live(n, 0);
+  {
+    std::vector<NodeId> stack;
+    for (const NodeId out : idx.of_kind(OpKind::kOutput)) {
+      live[static_cast<std::size_t>(out)] = 1;
+      stack.push_back(out);
+    }
+    while (!stack.empty()) {
+      const NodeId cur = stack.back();
+      stack.pop_back();
+      for (const NodeId op : effective_operands(cur)) {
+        if (op == kInvalidNode) continue;
+        if (live[static_cast<std::size_t>(op)] == 0) {
+          live[static_cast<std::size_t>(op)] = 1;
+          stack.push_back(op);
+        }
+      }
+    }
+  }
+  if (options.eliminate_dead) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<NodeId>(i);
+      if (live[i] != 0 || is_port(m.node(id).kind)) continue;
+      const RewriteProof* p = proof_of(id);
+      if (p != nullptr && is_redirect(p->kind)) continue;  // removed already
+      RewriteProof dead;
+      dead.kind = RewriteKind::kDeadNode;
+      dead.node = id;
+      dead.domain = "liveness";
+      // Dead-node removal supersedes an in-place rewrite of the same node.
+      has_proof[i] = 1;
+      chosen[i] = std::move(dead);
+    }
+  }
+
+  // Pass 4: width shrinking on surviving, otherwise-untouched nodes.
+  if (options.shrink_widths) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (has_proof[i] != 0) continue;
+      const auto id = static_cast<NodeId>(i);
+      const rtl::Node& node = m.node(id);
+      if (!shrinkable(node.kind)) continue;
+      const Interval iv = ivs.value[i];
+      const int needed = bits_needed(iv.lo, iv.hi);
+      if (needed >= node.width) continue;
+      RewriteProof p;
+      p.kind = RewriteKind::kWidthShrink;
+      p.node = id;
+      p.old_width = node.width;
+      p.new_width = needed;
+      p.interval = iv;
+      p.domain = "interval";
+      propose(std::move(p));
+    }
+  }
+
+  // Rebuild. Creation order is preserved, so every combinational operand
+  // stays behind its users and only state back-edges map to forward ids.
+  OptResult res(m.name(), options.arena);
+  res.stats.nodes_before = n;
+  res.node_map.assign(n, kInvalidNode);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RewriteProof* p = proof_of(static_cast<NodeId>(i));
+    if (p != nullptr && removes_node(p->kind)) continue;
+    res.node_map[i] = static_cast<NodeId>(kept++);
+  }
+  const auto mapped = [&](NodeId id) {
+    return id == kInvalidNode
+               ? kInvalidNode
+               : res.node_map[static_cast<std::size_t>(resolve(id))];
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (res.node_map[i] == kInvalidNode) continue;
+    const rtl::Node& node = m.node(id);
+    const RewriteProof* p = proof_of(id);
+    rtl::Node out = node;
+    if (p != nullptr && p->kind == RewriteKind::kConstFold) {
+      out = rtl::Node{};
+      out.kind = OpKind::kConst;
+      out.value = p->value;
+      out.width = node.width;
+      out.clock_div = node.clock_div;
+      out.name = node.name;
+      ++res.stats.folded;
+    } else if (p != nullptr && p->kind == RewriteKind::kNegAddToSub) {
+      out.kind = OpKind::kSub;
+      out.a = mapped(p->target == node.a ? node.b : node.a);
+      out.b = mapped(m.node(p->target).a);
+      ++res.stats.redirected;
+    } else {
+      out.a = mapped(node.a);
+      out.b = mapped(node.b);
+      out.c = mapped(node.c);
+      if (p != nullptr && p->kind == RewriteKind::kWidthShrink) {
+        out.width = p->new_width;
+        ++res.stats.widths_shrunk;
+        res.stats.bits_saved +=
+            static_cast<std::size_t>(p->old_width - p->new_width);
+      }
+    }
+    res.module.append(std::move(out));
+  }
+  res.stats.nodes_after = res.module.size();
+
+  res.proofs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (has_proof[i] == 0) continue;
+    if (is_redirect(chosen[i].kind)) ++res.stats.redirected;
+    if (chosen[i].kind == RewriteKind::kDeadNode) ++res.stats.dead_removed;
+    res.proofs.push_back(std::move(chosen[i]));
+  }
+  return res;
+}
+
+}  // namespace dsadc::analyze::opt

@@ -1,0 +1,85 @@
+// Proof-carrying netlist optimizer.
+//
+// optimize() runs a fixed pass pipeline over a module, driven entirely by
+// dataflow-engine facts (dataflow/domains.h):
+//
+//   1. constant folding      - const domain: node commits v on every
+//      active tick  ->  replace with kConst v (activity-preserving: both
+//      toggle hamming(0,v) once and never again).
+//   2. simplification        - structural + const facts: add(x, neg(y)) ->
+//      sub(x, y); mux with proven-constant select, mux with equal arms,
+//      shift-by-0, add/sub of proven 0, identity requantize -> forward the
+//      surviving operand.
+//   3. dead-node elimination - reachability from outputs over the
+//      *effective* (post-rewrite) operand edges; unreachable non-port
+//      nodes are dropped.
+//   4. width shrinking       - interval domain: every reachable committed
+//      value of the node fits bits_needed(interval) < declared width ->
+//      narrow the node (modular arithmetic: wrap to the narrower width is
+//      the identity on values that fit, so downstream values are
+//      unchanged and toggle counts can only fall).
+//
+// Every rewrite emits a RewriteProof (proof.h); the bundle is
+// independently re-checkable against the original module with
+// check_proofs(), and check_optimized_equivalence (equiv.h) validates the
+// rebuilt module dynamically against the original on both simulator
+// engines, activity counters included.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory_resource>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analyze/interval.h"
+#include "src/analyze/opt/proof.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze::opt {
+
+struct OptOptions {
+  bool fold_constants = true;
+  bool simplify = true;
+  bool eliminate_dead = true;
+  bool shrink_widths = true;
+  /// Assumed input ranges (defaults to full port width), forwarded to the
+  /// const and interval domains. Proofs are valid under this assumption.
+  std::map<rtl::NodeId, Interval> input_ranges;
+  /// Arena for the rebuilt module's node array (nullptr = default heap).
+  std::pmr::memory_resource* arena = nullptr;
+};
+
+struct OptStats {
+  std::size_t nodes_before = 0;
+  std::size_t nodes_after = 0;
+  std::size_t folded = 0;          ///< kConstFold rewrites
+  std::size_t redirected = 0;      ///< kMuxConstSel + kIdentityFwd + kNegAddToSub
+  std::size_t dead_removed = 0;    ///< kDeadNode rewrites
+  std::size_t widths_shrunk = 0;   ///< kWidthShrink rewrites
+  std::size_t bits_saved = 0;      ///< total width reduction over all shrinks
+};
+
+struct OptResult {
+  rtl::Module module;  ///< the optimized netlist
+  /// Original node id -> optimized node id; kInvalidNode for removed
+  /// nodes (dead or spliced out by a redirect). Ports are always mapped.
+  std::vector<rtl::NodeId> node_map;
+  std::vector<RewriteProof> proofs;
+  OptStats stats;
+
+  /// The module is constructed in place on its final arena (pmr move
+  /// assignment with unequal resources would copy out of the arena).
+  explicit OptResult(std::string name = "(empty)",
+                     std::pmr::memory_resource* arena = nullptr)
+      : module(std::move(name), arena) {}
+};
+
+/// Optimize `m`. The returned module preserves the input/output interface
+/// (port names, widths and order), every committed value of every mapped
+/// node, and the activity contract: updates equal per mapped node, toggles
+/// equal for width-preserved nodes and <= for shrunk ones.
+OptResult optimize(const rtl::Module& m, const OptOptions& options = {});
+
+}  // namespace dsadc::analyze::opt

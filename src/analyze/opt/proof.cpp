@@ -1,0 +1,343 @@
+#include "src/analyze/opt/proof.h"
+
+#include <cstddef>
+#include <sstream>
+#include <utility>
+
+#include "src/analyze/dataflow/domains.h"
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/dataflow/index.h"
+
+namespace dsadc::analyze::opt {
+namespace {
+
+using rtl::kInvalidNode;
+using rtl::NodeId;
+using rtl::OpKind;
+
+/// Redirect rewrites splice the node out and rewire its users to `target`;
+/// the node itself disappears from the optimized module.
+bool is_redirect(RewriteKind k) {
+  return k == RewriteKind::kMuxConstSel || k == RewriteKind::kIdentityFwd;
+}
+
+bool removes_node(RewriteKind k) {
+  return k == RewriteKind::kDeadNode || is_redirect(k);
+}
+
+bool is_port(OpKind k) { return k == OpKind::kInput || k == OpKind::kOutput; }
+
+/// Kinds whose declared width may shrink to the proven interval width.
+/// kShl/kShr are excluded (their value ignores the declared width entirely,
+/// so a "shrink" would be vacuous), kConst stays canonical, ports other
+/// than kOutput preserve the interface, kRequant's width is its semantics.
+bool shrinkable(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kNeg:
+    case OpKind::kMux:
+    case OpKind::kReg:
+    case OpKind::kDecimate:
+    case OpKind::kOutput:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const char* rewrite_kind_name(RewriteKind k) {
+  switch (k) {
+    case RewriteKind::kDeadNode: return "dead_node";
+    case RewriteKind::kConstFold: return "const_fold";
+    case RewriteKind::kNegAddToSub: return "neg_add_to_sub";
+    case RewriteKind::kMuxConstSel: return "mux_const_sel";
+    case RewriteKind::kIdentityFwd: return "identity_fwd";
+    case RewriteKind::kWidthShrink: return "width_shrink";
+  }
+  return "unknown";
+}
+
+ProofCheck check_proofs(const rtl::Module& original,
+                        const std::vector<RewriteProof>& proofs,
+                        const std::map<rtl::NodeId, Interval>& input_ranges) {
+  ProofCheck res;
+  const std::size_t n = original.size();
+  const auto fail = [&res](std::string msg) {
+    res.ok = false;
+    res.errors.push_back(std::move(msg));
+  };
+  const auto in_range = [n](NodeId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < n;
+  };
+  const auto describe = [&](const RewriteProof& p) {
+    std::ostringstream os;
+    os << rewrite_kind_name(p.kind) << "(node " << p.node << ")";
+    return os.str();
+  };
+
+  // One rewrite per node; duplicates would make the bundle ambiguous.
+  std::vector<const RewriteProof*> by_node(n, nullptr);
+  for (const RewriteProof& p : proofs) {
+    if (!in_range(p.node)) {
+      fail(describe(p) + ": node id out of range");
+      continue;
+    }
+    auto& slot = by_node[static_cast<std::size_t>(p.node)];
+    if (slot != nullptr) {
+      fail(describe(p) + ": second rewrite for the same node");
+      continue;
+    }
+    slot = &p;
+  }
+  if (!res.ok) return res;  // ids unusable below
+
+  // Re-derive every fact from the ORIGINAL module; nothing the optimizer
+  // recorded beyond the claims themselves is trusted.
+  const NetlistIndex idx(original);
+  ConstDomain cdom;
+  cdom.input_ranges = &input_ranges;
+  const std::vector<ConstValue> consts = solve(original, idx, cdom).value;
+  const IntervalResult ivs = analyze_intervals(original, input_ranges, idx);
+
+  // Follow redirect chains to the surviving definition a user ends up
+  // reading. Bounded by n steps: a longer chain must revisit a node.
+  const auto resolve = [&](NodeId id) {
+    std::size_t guard = 0;
+    while (in_range(id)) {
+      const RewriteProof* p = by_node[static_cast<std::size_t>(id)];
+      if (p == nullptr || !is_redirect(p->kind)) return id;
+      id = p->target;
+      if (++guard > n) return kInvalidNode;  // redirect cycle
+    }
+    return kInvalidNode;
+  };
+
+  // --- Per-record side conditions -----------------------------------------
+  for (const RewriteProof& p : proofs) {
+    const rtl::Node& node = original.node(p.node);
+    const auto iv_at = [&](NodeId id) {
+      return ivs.value[static_cast<std::size_t>(id)];
+    };
+    const auto const_at = [&](NodeId id) {
+      return consts[static_cast<std::size_t>(id)];
+    };
+    const auto is_const_zero = [&](NodeId id) {
+      return in_range(id) && const_at(id).is_const() && const_at(id).v == 0;
+    };
+    switch (p.kind) {
+      case RewriteKind::kDeadNode:
+        // Validity (unreachable from outputs) is the global reachability
+        // check below; here only interface preservation.
+        if (is_port(node.kind)) {
+          fail(describe(p) + ": ports cannot be removed");
+        }
+        break;
+      case RewriteKind::kConstFold:
+        if (is_port(node.kind) || node.kind == OpKind::kConst) {
+          fail(describe(p) + ": only derived nodes fold to constants");
+          break;
+        }
+        if (!const_at(p.node).is_const()) {
+          fail(describe(p) + ": const domain does not prove a constant");
+        } else if (const_at(p.node).v != p.value) {
+          fail(describe(p) + ": claimed value differs from proven constant");
+        }
+        break;
+      case RewriteKind::kNegAddToSub: {
+        // add(x, neg(y)) == sub(x, y) mod 2^w requires the neg's wrap to be
+        // a no-op modulo the add width: neg.width >= add.width.
+        if (node.kind != OpKind::kAdd) {
+          fail(describe(p) + ": node is not an adder");
+          break;
+        }
+        if (p.target != node.a && p.target != node.b) {
+          fail(describe(p) + ": target is not an operand of the adder");
+          break;
+        }
+        const rtl::Node& neg = original.node(p.target);
+        if (neg.kind != OpKind::kNeg) {
+          fail(describe(p) + ": target operand is not a negation");
+        } else if (neg.width < node.width) {
+          fail(describe(p) + ": negation narrower than the adder (wrap "
+                             "is observable)");
+        }
+        break;
+      }
+      case RewriteKind::kMuxConstSel: {
+        if (node.kind != OpKind::kMux) {
+          fail(describe(p) + ": node is not a mux");
+          break;
+        }
+        const ConstValue sel = const_at(node.c);
+        if (!sel.is_const()) {
+          fail(describe(p) + ": select is not a proven constant");
+          break;
+        }
+        if (sel.v != p.value) {
+          fail(describe(p) + ": claimed select value differs from proof");
+          break;
+        }
+        const NodeId arm = sel.v != 0 ? node.a : node.b;
+        if (p.target != arm) {
+          fail(describe(p) + ": target is not the selected arm");
+          break;
+        }
+        if (original.node(arm).width > node.width) {
+          fail(describe(p) + ": arm wider than the mux (wrap is observable)");
+        }
+        break;
+      }
+      case RewriteKind::kIdentityFwd: {
+        const auto forward_ok = [&](NodeId target) {
+          return p.target == target &&
+                 original.node(target).width <= node.width;
+        };
+        bool ok = false;
+        switch (node.kind) {
+          case OpKind::kShl:
+          case OpKind::kShr:
+            ok = node.amount == 0 && forward_ok(node.a);
+            break;
+          case OpKind::kAdd:
+            ok = (forward_ok(node.a) && is_const_zero(node.b)) ||
+                 (forward_ok(node.b) && is_const_zero(node.a));
+            break;
+          case OpKind::kSub:
+            ok = forward_ok(node.a) && is_const_zero(node.b);
+            break;
+          case OpKind::kMux:
+            ok = node.a == node.b && forward_ok(node.a);
+            break;
+          case OpKind::kRequant:
+            // No shift, and the destination format holds every source
+            // value: requantize is the identity regardless of rounding and
+            // overflow mode.
+            ok = node.src_frac == node.fmt.frac &&
+                 node.fmt.width >= original.node(node.a).width &&
+                 forward_ok(node.a);
+            break;
+          default:
+            break;
+        }
+        if (!ok) fail(describe(p) + ": identity side condition fails");
+        break;
+      }
+      case RewriteKind::kWidthShrink: {
+        if (!shrinkable(node.kind)) {
+          fail(describe(p) + ": node kind does not admit width shrinking");
+          break;
+        }
+        if (p.old_width != node.width) {
+          fail(describe(p) + ": recorded old width differs from the node");
+          break;
+        }
+        if (p.new_width < 1 || p.new_width >= p.old_width) {
+          fail(describe(p) + ": new width not a strict in-range shrink");
+          break;
+        }
+        const Interval derived = iv_at(p.node);
+        if (derived.lo < p.interval.lo || derived.hi > p.interval.hi) {
+          fail(describe(p) + ": claimed interval does not cover the "
+                             "derived interval");
+          break;
+        }
+        if (bits_needed(p.interval.lo, p.interval.hi) > p.new_width) {
+          fail(describe(p) + ": proven interval does not fit the new width");
+        }
+        break;
+      }
+    }
+  }
+
+  // --- Global closure ------------------------------------------------------
+  // Effective operand edges: what each KEPT node reads after every redirect
+  // and fold in the bundle is applied.
+  std::vector<char> removed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    removed[i] = by_node[i] != nullptr && removes_node(by_node[i]->kind) ? 1 : 0;
+  }
+  const auto effective_operands = [&](NodeId id) {
+    std::array<NodeId, 3> ops{kInvalidNode, kInvalidNode, kInvalidNode};
+    const RewriteProof* p = by_node[static_cast<std::size_t>(id)];
+    const rtl::Node& node = original.node(id);
+    if (p != nullptr && p->kind == RewriteKind::kConstFold) return ops;
+    if (p != nullptr && p->kind == RewriteKind::kNegAddToSub) {
+      const NodeId other = p->target == node.a ? node.b : node.a;
+      ops[0] = resolve(other);
+      ops[1] = resolve(original.node(p->target).a);
+      return ops;
+    }
+    int k = 0;
+    for (const NodeId op : rtl::operands(node)) {
+      if (op != kInvalidNode) ops[static_cast<std::size_t>(k++)] = resolve(op);
+    }
+    return ops;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (removed[i] != 0) continue;
+    const auto id = static_cast<NodeId>(i);
+    for (const NodeId op : effective_operands(id)) {
+      if (op == kInvalidNode) continue;
+      if (!in_range(op)) {
+        fail("closure: kept node " + std::to_string(i) +
+             " resolves an operand out of range");
+      } else if (removed[static_cast<std::size_t>(op)] != 0) {
+        fail("closure: kept node " + std::to_string(i) + " reads removed node " +
+             std::to_string(op));
+      }
+    }
+  }
+
+  // Direct re-derivation of every dead-node claim: nothing reachable from
+  // an output over effective edges may be removed. (Closure above already
+  // implies this; the traversal gives an independent check and a pointed
+  // error message for injected-bug bundles.)
+  std::vector<char> reached(n, 0);
+  std::vector<NodeId> stack;
+  for (const NodeId out : idx.of_kind(OpKind::kOutput)) {
+    reached[static_cast<std::size_t>(out)] = 1;
+    stack.push_back(out);
+  }
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    if (removed[static_cast<std::size_t>(cur)] != 0) continue;  // reported below
+    for (const NodeId op : effective_operands(cur)) {
+      if (op == kInvalidNode || !in_range(op)) continue;
+      if (reached[static_cast<std::size_t>(op)] == 0) {
+        reached[static_cast<std::size_t>(op)] = 1;
+        stack.push_back(op);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (removed[i] != 0 && reached[i] != 0) {
+      fail("reachability: removed node " + std::to_string(i) +
+           " still feeds an output");
+    }
+  }
+  return res;
+}
+
+std::string proofs_to_json(const std::vector<RewriteProof>& proofs) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < proofs.size(); ++i) {
+    const RewriteProof& p = proofs[i];
+    if (i != 0) os << ",";
+    os << "\n  {\"kind\": \"" << rewrite_kind_name(p.kind) << "\""
+       << ", \"node\": " << p.node << ", \"target\": " << p.target
+       << ", \"value\": " << p.value << ", \"old_width\": " << p.old_width
+       << ", \"new_width\": " << p.new_width << ", \"interval\": ["
+       << p.interval.lo << ", " << p.interval.hi << "], \"domain\": \""
+       << p.domain << "\"}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace dsadc::analyze::opt

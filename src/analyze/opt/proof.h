@@ -1,0 +1,76 @@
+// Machine-checkable proof records for netlist optimization passes.
+//
+// Every rewrite the optimizer (opt.h) performs is *proof-carrying*: it
+// emits a RewriteProof naming the rewritten node, the claim, and the
+// abstract-domain facts justifying it. check_proofs() is an independent
+// verifier: it re-derives the domain facts on the ORIGINAL module with the
+// dataflow engine and validates every record's side conditions plus the
+// global closure of the bundle (kept nodes only reference kept nodes,
+// ports survive, removed nodes are unreferenced). The optimizer's own
+// bookkeeping is never trusted -- an unsound pass is caught here even when
+// its output happens to simulate correctly on the tried stimulus, and the
+// differential harness (equiv.h) backstops the checker from the other
+// side. Proof bundles serialize to JSON for lint_rtl --proof-dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analyze/interval.h"
+#include "src/rtl/ir.h"
+
+namespace dsadc::analyze::opt {
+
+enum class RewriteKind : std::uint8_t {
+  kDeadNode,     ///< node removed: no output depends on it post-rewrites
+  kConstFold,    ///< node replaced by kConst `value` (const domain fact)
+  kNegAddToSub,  ///< add(x, neg(y)) rewritten to sub(x, y)
+  kMuxConstSel,  ///< mux with proven-constant select forwards one arm
+  kIdentityFwd,  ///< node forwards its operand unchanged (shift-0, add-0…)
+  kWidthShrink,  ///< node width reduced to the proven interval width
+};
+
+const char* rewrite_kind_name(RewriteKind k);
+
+/// One rewrite with its justification. Field meaning by kind:
+///   kDeadNode:    node (liveness fact: unreachable from outputs after
+///                 the bundle's redirects/folds are applied)
+///   kConstFold:   node, value (const-domain fact: commits `value` on
+///                 every active tick)
+///   kNegAddToSub: node = the kAdd, target = the kNeg operand
+///   kMuxConstSel: node = the kMux, target = surviving arm, value = the
+///                 proven select constant
+///   kIdentityFwd: node, target = operand it forwards
+///   kWidthShrink: node, old_width, new_width, interval = proven value
+///                 interval justifying new_width
+struct RewriteProof {
+  RewriteKind kind = RewriteKind::kDeadNode;
+  rtl::NodeId node = rtl::kInvalidNode;
+  rtl::NodeId target = rtl::kInvalidNode;
+  std::int64_t value = 0;
+  int old_width = 0;
+  int new_width = 0;
+  Interval interval{};
+  /// Domain that supplied the fact ("const", "interval", "liveness",
+  /// "structural").
+  std::string domain;
+};
+
+struct ProofCheck {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+/// Independently verify a proof bundle against the original module: domain
+/// facts are re-derived from scratch, per-record side conditions checked,
+/// and the bundle validated for closure. `input_ranges` must match the
+/// assumption the optimizer ran under.
+ProofCheck check_proofs(const rtl::Module& original,
+                        const std::vector<RewriteProof>& proofs,
+                        const std::map<rtl::NodeId, Interval>& input_ranges = {});
+
+/// JSON array of proof records (lint_rtl --proof-dump format).
+std::string proofs_to_json(const std::vector<RewriteProof>& proofs);
+
+}  // namespace dsadc::analyze::opt

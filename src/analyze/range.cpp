@@ -4,6 +4,8 @@
 #include <limits>
 #include <numeric>
 
+#include "src/analyze/dataflow/index.h"
+
 namespace dsadc::analyze {
 namespace {
 
@@ -39,8 +41,11 @@ Wide sat_shl(Wide v, int amount) {
 }
 
 bool is_source_kind(OpKind k) {
+  // kRequant/kShr/kMux are *derived* sources: nonlinear points where the
+  // superposition argument breaks; their output is re-characterized from
+  // the operand bounds and propagation restarts.
   return k == OpKind::kInput || k == OpKind::kConst || k == OpKind::kRequant ||
-         k == OpKind::kShr;
+         k == OpKind::kShr || k == OpKind::kMux;
 }
 
 bool is_state_kind(OpKind k) {
@@ -53,10 +58,10 @@ constexpr int kMaxPeriod = 4096;
 struct Analyzer {
   const Module& m;
   const std::map<NodeId, Interval>& input_ranges;
+  const NetlistIndex& idx;  ///< shared def-use structure (users lists)
   std::size_t n;
   int period = 1;
 
-  std::vector<std::vector<NodeId>> consumers;
   std::vector<std::vector<NodeId>> cones;      // per source index
   std::vector<NodeId> source_nodes;            // source index -> node id
   std::vector<int> source_index;               // node id -> source index or -1
@@ -71,9 +76,9 @@ struct Analyzer {
 
   std::uint64_t total_ticks = 0;
 
-  explicit Analyzer(const Module& mod,
-                    const std::map<NodeId, Interval>& ranges)
-      : m(mod), input_ranges(ranges), n(mod.size()) {}
+  Analyzer(const Module& mod, const std::map<NodeId, Interval>& ranges,
+           const NetlistIndex& index)
+      : m(mod), input_ranges(ranges), idx(index), n(mod.size()) {}
 
   Wide& at(std::vector<Wide>& v, std::size_t node, int residue) {
     return v[node * static_cast<std::size_t>(period) +
@@ -91,17 +96,7 @@ struct Analyzer {
 };
 
 void Analyzer::compute_cones() {
-  consumers.assign(n, {});
   source_index.assign(n, -1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Node& node = m.node(static_cast<NodeId>(i));
-    for (const NodeId op : {node.a, node.b}) {
-      if (op != kInvalidNode && op >= 0 && static_cast<std::size_t>(op) < n) {
-        consumers[static_cast<std::size_t>(op)].push_back(
-            static_cast<NodeId>(i));
-      }
-    }
-  }
   for (std::size_t i = 0; i < n; ++i) {
     if (is_source_kind(m.node(static_cast<NodeId>(i)).kind)) {
       source_index[i] = static_cast<int>(source_nodes.size());
@@ -118,10 +113,11 @@ void Analyzer::compute_cones() {
       const NodeId cur = stack.back();
       stack.pop_back();
       cones[s].push_back(cur);
-      for (const NodeId c : consumers[static_cast<std::size_t>(cur)]) {
+      for (const NodeId c : idx.users(cur)) {
         if (seen[static_cast<std::size_t>(c)]) continue;
-        // Derived sources (requant / shift-right) terminate propagation:
-        // their output is re-characterized from their operand's bound.
+        // Derived sources (requant / shift-right / mux) terminate
+        // propagation: their output is re-characterized from the
+        // operand bounds.
         if (is_source_kind(m.node(c).kind)) continue;
         seen[static_cast<std::size_t>(c)] = 1;
         stack.push_back(c);
@@ -140,11 +136,19 @@ std::vector<int> Analyzer::source_order() const {
   std::vector<int> indegree(ns, 0);
   for (std::size_t d = 0; d < ns; ++d) {
     const Node& node = m.node(source_nodes[d]);
-    if (node.kind != OpKind::kRequant && node.kind != OpKind::kShr) continue;
-    if (node.a == kInvalidNode) continue;
+    if (node.kind != OpKind::kRequant && node.kind != OpKind::kShr &&
+        node.kind != OpKind::kMux) {
+      continue;
+    }
     for (std::size_t s = 0; s < ns; ++s) {
       if (s == d) continue;
-      if (std::binary_search(cones[s].begin(), cones[s].end(), node.a)) {
+      bool feeds = false;
+      for (const NodeId op : rtl::operands(node)) {
+        feeds = feeds || (op != kInvalidNode &&
+                          std::binary_search(cones[s].begin(), cones[s].end(),
+                                             op));
+      }
+      if (feeds) {
         out_edges[s].push_back(static_cast<int>(d));
         indegree[d]++;
       }
@@ -203,6 +207,19 @@ Interval Analyzer::source_range(NodeId id, bool* conservative) const {
         return iv_shr(Interval::full(m.node(node.a).width), node.amount);
       }
       return Interval::full(node.width);
+    }
+    case OpKind::kMux: {
+      // Either arm can be committed, so the hull of the arm bounds
+      // (wrapped into the mux width like the simulator) is sound; the
+      // select only steers, it never contributes value mass.
+      *conservative = true;
+      const auto arm = [&](NodeId op) {
+        if (op == kInvalidNode) return Interval{};
+        const NodeBound in = finalize_node(static_cast<std::size_t>(op));
+        if (in.bounded && !in.huge) return Interval{in.lo, in.hi};
+        return Interval::full(m.node(op).width);
+      };
+      return iv_wrap(arm(node.a).hull(arm(node.b)), node.width);
     }
     default:
       return Interval::point(node.value);  // kConst (handled separately)
@@ -543,12 +560,19 @@ bool Analyzer::run() {
 
 RangeResult analyze_ranges(const Module& m,
                            const std::map<NodeId, Interval>& input_ranges) {
+  const NetlistIndex idx(m);
+  return analyze_ranges(m, input_ranges, idx);
+}
+
+RangeResult analyze_ranges(const Module& m,
+                           const std::map<NodeId, Interval>& input_ranges,
+                           const NetlistIndex& idx) {
   RangeResult res;
   const std::size_t n = m.size();
   res.bounds.assign(n, NodeBound{});
   if (n == 0) return res;
 
-  Analyzer a(m, input_ranges);
+  Analyzer a(m, input_ranges, idx);
   if (!a.run()) {
     // Clock-period blowup: leave every node unclassified (lint reports it).
     res.period = 0;

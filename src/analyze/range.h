@@ -80,10 +80,15 @@ struct RangeResult {
 
 /// Run the linear transfer analysis. `input_ranges` overrides the assumed
 /// range of input ports (default: full range of the declared port width);
-/// ranges wider than the port are wrapped, mirroring the simulator.
+/// ranges wider than the port are wrapped, mirroring the simulator. Pass a
+/// prebuilt NetlistIndex (dataflow/index.h) to share the def-use structure
+/// with the other analysis passes.
 RangeResult analyze_ranges(
     const rtl::Module& m,
     const std::map<rtl::NodeId, Interval>& input_ranges = {});
+RangeResult analyze_ranges(const rtl::Module& m,
+                           const std::map<rtl::NodeId, Interval>& input_ranges,
+                           const NetlistIndex& idx);
 
 /// Proven minimum safe register width over the module's state nodes
 /// (kReg/kDecimate): the maximum of each state node's required_width. For a

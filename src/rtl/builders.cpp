@@ -165,9 +165,9 @@ NodeId append_symmetric_fir(Module& m, NodeId in,
 
 BuiltStage build_cic(const design::CicSpec& spec, int clock_div,
                      BuildOptions options) {
-  BuiltStage s;
-  s.module = Module("sinc" + std::to_string(spec.order) + "_decim" +
-                    std::to_string(spec.decimation));
+  BuiltStage s("sinc" + std::to_string(spec.order) + "_decim" +
+                   std::to_string(spec.decimation),
+               options.arena);
   s.options = options;
   s.in = s.module.input("in", spec.input_bits, clock_div);
   const NodeId y = append_cic(s.module, s.in, spec, clock_div);
@@ -179,8 +179,7 @@ BuiltStage build_saramaki_hbf(const design::SaramakiHbf& design,
                               fx::Format in_fmt, fx::Format out_fmt,
                               int coeff_frac_bits, int guard_frac_bits,
                               int clock_div, BuildOptions options) {
-  BuiltStage s;
-  s.module = Module("saramaki_hbf");
+  BuiltStage s("saramaki_hbf", options.arena);
   s.options = options;
   s.in = s.module.input("in", in_fmt.width, clock_div);
   const NodeId y = append_hbf(s.module, s.in, design, in_fmt, out_fmt,
@@ -192,8 +191,7 @@ BuiltStage build_saramaki_hbf(const design::SaramakiHbf& design,
 BuiltStage build_scaler(const fx::Csd& csd, int csd_frac_bits,
                         fx::Format in_fmt, fx::Format out_fmt, int clock_div,
                         BuildOptions options) {
-  BuiltStage s;
-  s.module = Module("scaler");
+  BuiltStage s("scaler", options.arena);
   s.options = options;
   s.in = s.module.input("in", in_fmt.width, clock_div);
   const NodeId y =
@@ -206,8 +204,7 @@ BuiltStage build_symmetric_fir(const std::vector<double>& taps,
                                int coeff_frac_bits, fx::Format in_fmt,
                                fx::Format out_fmt, int clock_div,
                                BuildOptions options) {
-  BuiltStage s;
-  s.module = Module("equalizer_fir");
+  BuiltStage s("equalizer_fir", options.arena);
   s.options = options;
   s.in = s.module.input("in", in_fmt.width, clock_div);
   const NodeId y = append_symmetric_fir(s.module, s.in, taps, coeff_frac_bits,
@@ -217,8 +214,7 @@ BuiltStage build_symmetric_fir(const std::vector<double>& taps,
 }
 
 BuiltChain build_chain(const decim::ChainConfig& config, BuildOptions options) {
-  BuiltChain chain;
-  chain.full = Module("decimation_chain");
+  BuiltChain chain(options.arena);
   chain.in = chain.full.input("codes", config.input_format.width, 1);
 
   // --- CIC cascade.

@@ -7,6 +7,9 @@
 // bit-exactly, emitted as Verilog, and synthesized by the cost model.
 #pragma once
 
+#include <memory_resource>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/decimator/chain.h"
@@ -24,11 +27,23 @@ struct BuildOptions {
   /// (retiming is function-preserving); the synthesis model applies a
   /// glitch-activity penalty to non-retimed combinational adders.
   bool retimed = true;
+  /// Arena for the elaborated netlists (nullptr: default heap). Must
+  /// outlive every module built from it; a monotonic_buffer_resource makes
+  /// elaborating many generated chains allocation-cheap (see
+  /// bench_perf_throughput's elaborate benchmarks).
+  std::pmr::memory_resource* arena = nullptr;
 };
 
-/// Result of building one stage: the module plus its port ids.
+/// Result of building one stage: the module plus its port ids. The module
+/// is constructed directly on the requested arena (modules are only ever
+/// move-constructed afterwards, which preserves the allocator; move
+/// *assignment* across unequal pmr allocators would silently copy nodes
+/// back onto the destination resource).
 struct BuiltStage {
-  Module module{"(unnamed)"};
+  explicit BuiltStage(std::string name = "(unnamed)",
+                      std::pmr::memory_resource* arena = nullptr)
+      : module(std::move(name), arena) {}
+  Module module;
   NodeId in = kInvalidNode;
   NodeId out = kInvalidNode;
   BuildOptions options;
@@ -63,7 +78,9 @@ BuiltStage build_symmetric_fir(const std::vector<double>& taps,
 /// output: 14-bit samples at base/16), plus per-stage modules for the
 /// per-stage power table.
 struct BuiltChain {
-  Module full{"decimation_chain"};
+  explicit BuiltChain(std::pmr::memory_resource* arena = nullptr)
+      : full("decimation_chain", arena) {}
+  Module full;
   NodeId in = kInvalidNode;
   NodeId out = kInvalidNode;
   std::vector<BuiltStage> stages;       ///< one module per stage

@@ -72,6 +72,10 @@ CompiledSimulator::CompiledSimulator(const Module& module) {
       case OpKind::kConst:
         op.aux = static_cast<std::int32_t>(const_values_.size());
         const_values_.push_back(node.value);
+        const_slots_.push_back(op.dst);
+        break;
+      case OpKind::kMux:
+        op.aux = node.c == kInvalidNode ? 0 : node.c + 1;
         break;
       case OpKind::kShl:
       case OpKind::kShr:
@@ -111,11 +115,20 @@ CompiledSimulator::CompiledSimulator(const Module& module) {
         phase.captures.push_back({state_slot[i], tape[i].a});
       }
       phase.ops.push_back(tape[i]);
+      // Constants never change after the preload, so the pure-dataflow
+      // tape drops them entirely.
+      if (node.kind != OpKind::kConst) phase.fast_ops.push_back(tape[i]);
     }
   }
 }
 
 std::size_t CompiledSimulator::scheduled_ops_per_period() const {
+  std::size_t n = 0;
+  for (const Phase& p : phases_) n += p.fast_ops.size();
+  return n;
+}
+
+std::size_t CompiledSimulator::scheduled_ops_per_period_activity() const {
   std::size_t n = 0;
   for (const Phase& p : phases_) n += p.ops.size();
   return n;
@@ -141,8 +154,11 @@ void CompiledSimulator::tick_loop(
           value[static_cast<std::size_t>(cap.src)];
     }
 
-    // Propagate active nodes in creation (topological) order.
-    for (const Op& op : phase.ops) {
+    // Propagate active nodes in creation (topological) order. The
+    // activity path walks the full tape (constant commits count as
+    // updates); the default path walks the const-hoisted tape.
+    const std::vector<Op>& ops = kActivity ? phase.ops : phase.fast_ops;
+    for (const Op& op : ops) {
       std::int64_t out;
       switch (op.kind) {
         case OpKind::kInput:
@@ -177,6 +193,12 @@ void CompiledSimulator::tick_loop(
           break;
         case OpKind::kShr:
           out = value[static_cast<std::size_t>(op.a)] >> op.shift;
+          break;
+        case OpKind::kMux:
+          out = wrap_shift(value[static_cast<std::size_t>(op.aux)] != 0
+                               ? value[static_cast<std::size_t>(op.a)]
+                               : value[static_cast<std::size_t>(op.b)],
+                           op.wrap_shift);
           break;
         case OpKind::kRequant: {
           const RequantParams& rq = requants_[static_cast<std::size_t>(op.aux)];
@@ -259,6 +281,12 @@ SimResult CompiledSimulator::run(
     tick_loop<true>(ticks, value, next_state, in_streams, in_cursor,
                     out_streams, &result.activity);
   } else {
+    // Constants are hoisted off the default tape: preload their slots so
+    // users read the committed value from tick 0 on (identical to the
+    // full tape, which would commit them on the first phase anyway).
+    for (std::size_t i = 0; i < const_slots_.size(); ++i) {
+      value[static_cast<std::size_t>(const_slots_[i])] = const_values_[i];
+    }
     tick_loop<false>(ticks, value, next_state, in_streams, in_cursor,
                      out_streams, nullptr);
   }

@@ -18,7 +18,12 @@
 //     of per-tick map lookups;
 //   * switching-activity accounting (per-node Hamming toggles, the
 //     PrimeTime-PX stimulus substitute) is an opt-in run mode, so the
-//     default path is pure dataflow with no popcount in the hot loop.
+//     default path is pure dataflow with no popcount in the hot loop;
+//   * constants are hoisted off the default tape: kConst nodes commit the
+//     same value on every active tick, so the pure-dataflow path preloads
+//     their value slots once and walks a shorter per-phase tape without
+//     them. Activity mode keeps the full tape (constant commits are
+//     observable in the update counters).
 //
 // The result is bit-identical to Simulator::run on every netlist --
 // outputs always, and the Activity counters whenever activity mode is
@@ -61,9 +66,12 @@ class CompiledSimulator {
 
   /// Clock-domain period: lcm over nodes of clock_div.
   int period() const { return period_; }
-  /// Active tape entries per period, summed over phases (schedule size;
-  /// the interpreted simulator's equivalent cost is nodes * period).
+  /// Active tape entries per period on the default (pure-dataflow) path,
+  /// summed over phases; constants are hoisted off this tape. The
+  /// interpreted simulator's equivalent cost is nodes * period.
   std::size_t scheduled_ops_per_period() const;
+  /// Tape entries per period in activity mode (full tape, constants in).
+  std::size_t scheduled_ops_per_period_activity() const;
 
  private:
   /// One op on the tape, pre-resolved for the phase loops. Kept flat and
@@ -76,7 +84,9 @@ class CompiledSimulator {
     std::int32_t dst = 0;        ///< value-array slot (node id + 1)
     std::int32_t a = 0;          ///< operand slot (0 = constant zero)
     std::int32_t b = 0;          ///< second operand slot
-    std::int32_t aux = -1;       ///< input/output/requant/state table index
+    /// kInput/kOutput/kRequant/kReg/kDecimate/kConst: side-table index;
+    /// kMux: select operand's value slot.
+    std::int32_t aux = -1;
   };
 
   /// Register/decimate capture: next_state[state] = value[src] at the
@@ -96,7 +106,8 @@ class CompiledSimulator {
 
   struct Phase {
     std::vector<Capture> captures;
-    std::vector<Op> ops;  ///< active tape entries, in creation order
+    std::vector<Op> ops;       ///< full tape (activity mode), creation order
+    std::vector<Op> fast_ops;  ///< default tape: ops minus hoisted consts
   };
 
   template <bool kActivity>
@@ -112,6 +123,7 @@ class CompiledSimulator {
   std::vector<Phase> phases_;
   std::vector<RequantParams> requants_;
   std::vector<std::int64_t> const_values_;
+  std::vector<std::int32_t> const_slots_;  ///< value slot per const (preload)
   std::vector<NodeId> input_nodes_;        ///< aux -> kInput node id
   std::vector<int> input_clock_div_;
   std::vector<std::string> input_names_;

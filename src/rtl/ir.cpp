@@ -85,6 +85,21 @@ NodeId Module::shr(NodeId a, int amount) {
   return push(n);
 }
 
+NodeId Module::mux(NodeId sel, NodeId t, NodeId f, int width) {
+  Node n;
+  n.kind = OpKind::kMux;
+  n.a = t;
+  n.b = f;
+  n.c = sel;
+  n.width = width;
+  n.clock_div = node(t).clock_div;
+  if (node(t).clock_div != node(f).clock_div ||
+      node(sel).clock_div != node(t).clock_div) {
+    throw std::invalid_argument("Module::mux: clock domain mismatch");
+  }
+  return push(n);
+}
+
 NodeId Module::reg(NodeId a) {
   Node n;
   n.kind = OpKind::kReg;

@@ -12,9 +12,19 @@
 // its divide ratio from the base clock. Domain crossings happen only
 // through kDecimate nodes (sample every Nth base tick), mirroring the
 // paper's fs -> fs/2 -> ... chain.
+//
+// Allocation: the node array is std::pmr-backed. By default modules
+// allocate from the global heap; passing a memory_resource (e.g. a
+// std::pmr::monotonic_buffer_resource) arena-allocates the netlist, which
+// makes elaborating and optimizing many generated chains cheap. Moves keep
+// the source's resource; copies fall back to the default resource (so a
+// copied module never dangles into someone else's arena). Node name
+// strings still use the global heap (Node is not allocator-aware).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory_resource>
 #include <string>
 #include <vector>
 
@@ -34,17 +44,22 @@ enum class OpKind : std::uint8_t {
   kNeg,       ///< -a, wrapped to `width`
   kShl,       ///< a << amount (arithmetic value scaling)
   kShr,       ///< a >> amount (arithmetic shift right)
+  kMux,       ///< c != 0 ? a : b, wrapped to `width`
   kReg,       ///< register in the node's clock domain
   kDecimate,  ///< rate boundary: latches every `amount`-th domain tick
   kRequant,   ///< fixed-point requantize (see fields below)
   kOutput,    ///< module output port
 };
 
+/// Number of OpKind values (dense-table sizing, e.g. NetlistIndex).
+inline constexpr int kNumOpKinds = 12;
+
 /// One IR node. Fixed small POD-ish struct keeps the netlist compact.
 struct Node {
   OpKind kind = OpKind::kConst;
-  NodeId a = kInvalidNode;  ///< first operand
-  NodeId b = kInvalidNode;  ///< second operand (kAdd/kSub)
+  NodeId a = kInvalidNode;  ///< first operand (kMux: then-arm)
+  NodeId b = kInvalidNode;  ///< second operand (kAdd/kSub; kMux: else-arm)
+  NodeId c = kInvalidNode;  ///< third operand (kMux: select)
   int width = 1;            ///< output width in bits (two's complement)
   int amount = 0;           ///< shift amount / decimation factor
   std::int64_t value = 0;   ///< constant value
@@ -57,13 +72,21 @@ struct Node {
   std::string name;  ///< port name (inputs/outputs) or debug label
 };
 
+/// Operand slots of a node in fixed {a, b, c} order; kInvalidNode marks an
+/// unused slot. Analyzer loops iterate this instead of hand-listing slots.
+inline std::array<NodeId, 3> operands(const Node& n) { return {n.a, n.b, n.c}; }
+
 /// A hardware module: a DAG of nodes (registers break cycles).
 class Module {
  public:
-  explicit Module(std::string name) : name_(std::move(name)) {}
+  /// `mem` backs the node array; nullptr means the default resource. The
+  /// resource must outlive the module (and any module moved from it).
+  explicit Module(std::string name, std::pmr::memory_resource* mem = nullptr)
+      : name_(std::move(name)),
+        nodes_(mem != nullptr ? mem : std::pmr::get_default_resource()) {}
 
   const std::string& name() const { return name_; }
-  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::pmr::vector<Node>& nodes() const { return nodes_; }
   Node& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
   const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
   std::size_t size() const { return nodes_.size(); }
@@ -75,6 +98,8 @@ class Module {
   NodeId neg(NodeId a, int width);
   NodeId shl(NodeId a, int amount);
   NodeId shr(NodeId a, int amount);
+  /// 2:1 select: sel != 0 picks `t`, otherwise `f`; wrapped to `width`.
+  NodeId mux(NodeId sel, NodeId t, NodeId f, int width);
   /// Register in the same clock domain as its source.
   NodeId reg(NodeId a);
   /// Register with its input connected later (feedback loops, e.g. the CIC
@@ -88,6 +113,11 @@ class Module {
                  fx::Overflow o);
   NodeId output(const std::string& name, NodeId a);
 
+  /// Append a pre-built node verbatim. This is the rebuild path of netlist
+  /// transforms (src/analyze/opt): only the width invariant is checked;
+  /// structural soundness is the caller's job (the lint verifies it).
+  NodeId append(Node n) { return push(std::move(n)); }
+
   /// Multiply `a` by a CSD constant using shift-adds; `width` bounds every
   /// intermediate. Returns a node whose value carries `frac_shift` extra
   /// fractional bits (the caller requantizes). Zero-digit constants yield
@@ -97,7 +127,8 @@ class Module {
   /// Chain of `n` registers.
   NodeId delay(NodeId a, int n);
 
-  /// All node ids of a given kind (inputs/outputs enumeration).
+  /// All node ids of a given kind (inputs/outputs enumeration). Linear
+  /// scan; analyzer hot paths use analyze::NetlistIndex instead.
   std::vector<NodeId> nodes_of_kind(OpKind kind) const;
 
   /// Count of adder/subtractor nodes (the paper's hardware-cost metric).
@@ -109,7 +140,7 @@ class Module {
  private:
   NodeId push(Node n);
   std::string name_;
-  std::vector<Node> nodes_;
+  std::pmr::vector<Node> nodes_;
 };
 
 }  // namespace dsadc::rtl

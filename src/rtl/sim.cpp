@@ -115,6 +115,14 @@ SimResult Simulator::run(
         case OpKind::kShr:
           if (active) out = value[static_cast<std::size_t>(node.a)] >> node.amount;
           break;
+        case OpKind::kMux:
+          if (active) {
+            out = fx::wrap_to(value[static_cast<std::size_t>(node.c)] != 0
+                                  ? value[static_cast<std::size_t>(node.a)]
+                                  : value[static_cast<std::size_t>(node.b)],
+                              fx::Format{node.width, 0});
+          }
+          break;
         case OpKind::kRequant:
           if (active) {
             out = fx::requantize(value[static_cast<std::size_t>(node.a)],

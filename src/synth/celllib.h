@@ -25,6 +25,12 @@ struct CellLibrary {
   double ff_leakage_w = 40.0e-9;      ///< W
   double ff_area_um2 = 6.5;
 
+  // 2:1 mux (per bit of a kMux node): roughly a transmission-gate pair,
+  // about half a full adder in energy and area.
+  double mux_energy_j = 1.4e-15;   ///< J per output toggle
+  double mux_leakage_w = 10.0e-9;  ///< W
+  double mux_area_um2 = 2.0;
+
   // Clock distribution: energy charged per clock-domain cycle (spine +
   // local buffers), independent of register count. This is what makes the
   // 640 MHz first Sinc stage the dominant power consumer in Table II.

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/analyze/opt/opt.h"
+
 namespace dsadc::synth {
 
 CellCounts map_cells(const rtl::Module& module) {
@@ -21,6 +23,10 @@ CellCounts map_cells(const rtl::Module& module) {
         // output width.
         c.adder_bits += static_cast<std::size_t>(n.width);
         c.adders += 1;
+        break;
+      case rtl::OpKind::kMux:
+        c.mux_bits += static_cast<std::size_t>(n.width);
+        c.muxes += 1;
         break;
       case rtl::OpKind::kReg:
       case rtl::OpKind::kDecimate:
@@ -61,6 +67,9 @@ Estimate estimate(const rtl::Module& module, const rtl::Activity& activity,
       case rtl::OpKind::kRequant:
         energy += toggles * lib.fa_energy_j;
         break;
+      case rtl::OpKind::kMux:
+        energy += toggles * lib.mux_energy_j;
+        break;
       case rtl::OpKind::kReg:
       case rtl::OpKind::kDecimate:
         energy += updates * static_cast<double>(n.width) * lib.ff_clk_energy_j;
@@ -92,11 +101,21 @@ Estimate estimate_area(const rtl::Module& module, const CellLibrary& lib) {
   e.cells = map_cells(module);
   e.leakage_power_w =
       (static_cast<double>(e.cells.adder_bits) * lib.fa_leakage_w +
-       static_cast<double>(e.cells.register_bits) * lib.ff_leakage_w) *
+       static_cast<double>(e.cells.register_bits) * lib.ff_leakage_w +
+       static_cast<double>(e.cells.mux_bits) * lib.mux_leakage_w) *
       lib.overhead_factor;
   e.area_mm2 = (static_cast<double>(e.cells.adder_bits) * lib.fa_area_um2 +
-                static_cast<double>(e.cells.register_bits) * lib.ff_area_um2) *
+                static_cast<double>(e.cells.register_bits) * lib.ff_area_um2 +
+                static_cast<double>(e.cells.mux_bits) * lib.mux_area_um2) *
                lib.overhead_factor / 1e6;
+  return e;
+}
+
+Estimate estimate_area_proven(const rtl::Module& module,
+                              const CellLibrary& lib) {
+  const analyze::opt::OptResult opt = analyze::opt::optimize(module);
+  Estimate e = estimate_area(opt.module, lib);
+  e.name = module.name();
   return e;
 }
 

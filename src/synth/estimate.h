@@ -19,8 +19,10 @@ namespace dsadc::synth {
 struct CellCounts {
   std::size_t adder_bits = 0;     ///< full-adder cells
   std::size_t register_bits = 0;  ///< flip-flop cells
+  std::size_t mux_bits = 0;       ///< 2:1 mux cells
   std::size_t adders = 0;         ///< adder instances (word level)
   std::size_t registers = 0;      ///< register instances (word level)
+  std::size_t muxes = 0;          ///< mux instances (word level)
 };
 
 CellCounts map_cells(const rtl::Module& module);
@@ -43,6 +45,14 @@ Estimate estimate(const rtl::Module& module, const rtl::Activity& activity,
 
 /// Area-only estimate (no simulation needed).
 Estimate estimate_area(const rtl::Module& module, const CellLibrary& lib);
+
+/// Area/leakage from *proven* widths: runs the proof-carrying netlist
+/// optimizer (src/analyze/opt) over the module and prices the optimized
+/// netlist -- dead logic dropped, constants folded, every width shrunk to
+/// its interval-proven requirement. Reported under the original module's
+/// name so stage tables line up with estimate_area.
+Estimate estimate_area_proven(const rtl::Module& module,
+                              const CellLibrary& lib);
 
 /// Per-stage power profile of the whole chain: runs the per-stage modules
 /// with the stage's own input stream taken from a full-chain behavioral

@@ -1,0 +1,226 @@
+// Dataflow framework: netlist index, worklist engine, and the four
+// abstract domains (intervals, constants, known bits, liveness).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analyze/dataflow/domains.h"
+#include "src/analyze/dataflow/engine.h"
+#include "src/analyze/dataflow/index.h"
+#include "src/analyze/interval.h"
+#include "src/rtl/builders.h"
+#include "src/rtl/ir.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::analyze;
+using namespace dsadc::rtl;
+
+TEST(NetlistIndexTest, UsersFanoutAndKinds) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId c = m.constant(3, 8);
+  const NodeId s = m.add(in, c, 9);
+  const NodeId d = m.sub(in, c, 9);
+  const NodeId r = m.reg(s);
+  m.output("y", r);
+  m.output("z", d);
+
+  const NetlistIndex idx(m);
+  EXPECT_EQ(idx.size(), m.size());
+  EXPECT_EQ(idx.fanout(in), 2);
+  EXPECT_EQ(idx.fanout(c), 2);
+  EXPECT_EQ(idx.fanout(r), 1);
+  const auto users = idx.users(in);
+  ASSERT_EQ(users.size(), 2u);
+  EXPECT_EQ(users[0], s);
+  EXPECT_EQ(users[1], d);
+  EXPECT_EQ(idx.of_kind(OpKind::kOutput).size(), 2u);
+  ASSERT_EQ(idx.state_nodes().size(), 1u);
+  EXPECT_EQ(idx.state_nodes()[0], r);
+}
+
+TEST(NetlistIndexTest, DoubleReadAppearsTwice) {
+  Module m("t");
+  const NodeId in = m.input("in", 4);
+  const NodeId s = m.add(in, in, 5);
+  m.output("y", s);
+  const NetlistIndex idx(m);
+  EXPECT_EQ(idx.fanout(in), 2);  // both operand slots of the adder
+}
+
+TEST(EngineTest, IntervalSolveMatchesWrapper) {
+  // The migrated analyze_intervals wrapper must equal a raw engine solve.
+  const auto stage = build_cic(design::CicSpec{4, 8, 4});
+  const Module& m = stage.module;
+  const NetlistIndex idx(m);
+  IntervalDomain dom;
+  const std::map<NodeId, Interval> no_ranges;
+  dom.input_ranges = &no_ranges;
+  const SolveResult<IntervalDomain> solved = solve(m, idx, dom);
+  EXPECT_TRUE(solved.converged);
+
+  const IntervalResult wrapped = analyze_intervals(m, {});
+  ASSERT_EQ(wrapped.value.size(), solved.value.size());
+  for (std::size_t i = 0; i < solved.value.size(); ++i) {
+    EXPECT_EQ(wrapped.value[i], solved.value[i]) << "node " << i;
+  }
+}
+
+std::vector<ConstValue> const_solve(const Module& m) {
+  const NetlistIndex idx(m);
+  ConstDomain dom;
+  const std::map<NodeId, Interval> no_ranges;
+  dom.input_ranges = &no_ranges;
+  return solve(m, idx, dom).value;
+}
+
+TEST(ConstDomainTest, FoldsConstantSubgraph) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId c2 = m.constant(2, 8);
+  const NodeId c3 = m.constant(3, 8);
+  const NodeId s = m.add(c2, c3, 8);      // always 5
+  const NodeId n = m.neg(c3, 8);          // always -3
+  const NodeId mixed = m.add(in, s, 9);   // depends on the input
+  m.output("y", mixed);
+  m.output("z", n);
+
+  const auto v = const_solve(m);
+  EXPECT_EQ(v[static_cast<std::size_t>(s)], ConstValue::constant(5));
+  EXPECT_EQ(v[static_cast<std::size_t>(n)], ConstValue::constant(-3));
+  EXPECT_FALSE(v[static_cast<std::size_t>(in)].is_const());
+  EXPECT_FALSE(v[static_cast<std::size_t>(mixed)].is_const());
+}
+
+TEST(ConstDomainTest, RegistersJoinPowerUpZero) {
+  Module m("t");
+  const NodeId c0 = m.constant(0, 8);
+  const NodeId c5 = m.constant(5, 8);
+  const NodeId r0 = m.reg(c0);  // captures 0 forever: still constant 0
+  const NodeId r5 = m.reg(c5);  // 0 at power-up, then 5: not constant
+  m.output("a", r0);
+  m.output("b", r5);
+
+  const auto v = const_solve(m);
+  EXPECT_EQ(v[static_cast<std::size_t>(r0)], ConstValue::constant(0));
+  EXPECT_FALSE(v[static_cast<std::size_t>(r5)].is_const());
+}
+
+TEST(ConstDomainTest, PointInputRangeIsConstant) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId s = m.add(in, m.constant(1, 8), 9);
+  m.output("y", s);
+
+  const NetlistIndex idx(m);
+  ConstDomain dom;
+  const std::map<NodeId, Interval> ranges{{in, Interval::point(7)}};
+  dom.input_ranges = &ranges;
+  const auto v = solve(m, idx, dom).value;
+  EXPECT_EQ(v[static_cast<std::size_t>(in)], ConstValue::constant(7));
+  EXPECT_EQ(v[static_cast<std::size_t>(s)], ConstValue::constant(8));
+}
+
+TEST(ConstDomainTest, MuxWithConstantSelect) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId sel = m.constant(1, 1);
+  const NodeId c9 = m.constant(9, 8);
+  const NodeId mx = m.mux(sel, c9, in, 8);  // select proven 1: always 9
+  m.output("y", mx);
+
+  const auto v = const_solve(m);
+  EXPECT_EQ(v[static_cast<std::size_t>(mx)], ConstValue::constant(9));
+}
+
+std::vector<KnownBits> kb_solve(const Module& m) {
+  const NetlistIndex idx(m);
+  KnownBitsDomain dom;
+  const std::map<NodeId, Interval> no_ranges;
+  dom.input_ranges = &no_ranges;
+  return solve(m, idx, dom).value;
+}
+
+TEST(KnownBitsTest, ShiftChainsClearLsbs) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId a = m.shl(in, 3);
+  const NodeId b = m.shl(in, 5);
+  const NodeId s = m.add(a, b, 16);  // both operands have 3 zero LSBs
+  m.output("y", s);
+
+  const auto v = kb_solve(m);
+  EXPECT_GE(v[static_cast<std::size_t>(a)].trailing_zeros(), 3);
+  EXPECT_GE(v[static_cast<std::size_t>(b)].trailing_zeros(), 5);
+  EXPECT_GE(v[static_cast<std::size_t>(s)].trailing_zeros(), 3);
+}
+
+TEST(KnownBitsTest, ConstantsAreFullyKnown) {
+  Module m("t");
+  const NodeId c = m.constant(12, 8);
+  const NodeId n = m.neg(c, 8);
+  m.output("y", n);
+
+  const auto v = kb_solve(m);
+  const KnownBits kc = v[static_cast<std::size_t>(c)];
+  ASSERT_TRUE(kc.fully_known());
+  EXPECT_EQ(kc.ones, 12u);
+  const KnownBits kn = v[static_cast<std::size_t>(n)];
+  ASSERT_TRUE(kn.fully_known());
+  EXPECT_EQ(static_cast<std::int64_t>(kn.ones), -12);
+}
+
+TEST(KnownBitsTest, SubPreservesCommonZeroLsbs) {
+  Module m("t");
+  const NodeId in = m.input("in", 6);
+  const NodeId a = m.shl(in, 4);
+  const NodeId b = m.shl(in, 6);
+  const NodeId d = m.sub(b, a, 16);
+  m.output("y", d);
+
+  const auto v = kb_solve(m);
+  EXPECT_GE(v[static_cast<std::size_t>(d)].trailing_zeros(), 4);
+}
+
+TEST(LivenessTest, BackwardReachability) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId used = m.add(in, in, 9);
+  const NodeId dead1 = m.sub(in, in, 9);   // no output reads this
+  const NodeId dead2 = m.neg(dead1, 9);    // ... nor this
+  const NodeId r = m.reg(used);
+  const NodeId out = m.output("y", r);
+
+  const NetlistIndex idx(m);
+  LivenessDomain dom;
+  const auto v = solve(m, idx, dom).value;
+  EXPECT_NE(v[static_cast<std::size_t>(in)], 0);
+  EXPECT_NE(v[static_cast<std::size_t>(used)], 0);
+  EXPECT_NE(v[static_cast<std::size_t>(r)], 0);
+  EXPECT_NE(v[static_cast<std::size_t>(out)], 0);
+  EXPECT_EQ(v[static_cast<std::size_t>(dead1)], 0);
+  EXPECT_EQ(v[static_cast<std::size_t>(dead2)], 0);
+}
+
+TEST(IntervalTransferTest, MuxHullsArmsUnlessSelectIsZero) {
+  Module m("t");
+  const NodeId sel = m.input("sel", 1);
+  const NodeId a = m.constant(5, 8);
+  const NodeId b = m.constant(-3, 8);
+  const NodeId mx = m.mux(sel, a, b, 8);
+  m.output("y", mx);
+
+  const IntervalResult r = analyze_intervals(m, {});
+  const Interval iv = r.value[static_cast<std::size_t>(mx)];
+  EXPECT_EQ(iv, (Interval{-3, 5}));
+
+  // Select pinned to {0}: only the else-arm remains, hulled with the
+  // power-up value 0 every node starts from.
+  const IntervalResult r0 =
+      analyze_intervals(m, {{sel, Interval::point(0)}});
+  EXPECT_EQ(r0.value[static_cast<std::size_t>(mx)], (Interval{-3, 0}));
+}
+
+}  // namespace

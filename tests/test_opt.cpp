@@ -1,0 +1,390 @@
+// Proof-carrying optimizer: per-pass behavior, proof-checker rejections,
+// and the differential harness catching an injected unsound rewrite.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory_resource>
+#include <span>
+#include <vector>
+
+#include "src/analyze/opt/equiv.h"
+#include "src/analyze/opt/opt.h"
+#include "src/analyze/opt/proof.h"
+#include "src/rtl/ir.h"
+#include "src/rtl/sim.h"
+
+namespace {
+
+using namespace dsadc;
+using namespace dsadc::analyze;
+using namespace dsadc::analyze::opt;
+using namespace dsadc::rtl;
+
+// Drives original vs optimized through the full differential contract with
+// a deterministic full-swing stimulus on every input.
+void expect_equivalent(const Module& m, const OptResult& res) {
+  std::map<NodeId, std::vector<std::int64_t>> storage;
+  std::uint64_t s = 0x243f6a8885a308d3ull;
+  for (const auto& n : m.nodes()) {
+    if (n.kind != OpKind::kInput) continue;
+    const NodeId id = static_cast<NodeId>(&n - m.nodes().data());
+    std::vector<std::int64_t> vals(256);
+    for (auto& v : vals) {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      const int shift = 64 - n.width;
+      v = static_cast<std::int64_t>(s << shift) >> shift;
+    }
+    storage.emplace(id, std::move(vals));
+  }
+  std::map<NodeId, std::span<const std::int64_t>> inputs;
+  for (const auto& [id, vals] : storage) inputs.emplace(id, vals);
+  const EquivResult eq = check_optimized_equivalence(m, res, inputs);
+  EXPECT_TRUE(eq.ok);
+  for (const auto& e : eq.errors) ADD_FAILURE() << e;
+}
+
+void expect_proofs_check(const Module& m, const OptResult& res) {
+  const ProofCheck pc = check_proofs(m, res.proofs);
+  EXPECT_TRUE(pc.ok);
+  for (const auto& e : pc.errors) ADD_FAILURE() << e;
+}
+
+OptOptions only(bool fold, bool simplify, bool dead, bool shrink) {
+  OptOptions o;
+  o.fold_constants = fold;
+  o.simplify = simplify;
+  o.eliminate_dead = dead;
+  o.shrink_widths = shrink;
+  return o;
+}
+
+TEST(OptTest, ConstFoldReplacesConstantSubgraph) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId c2 = m.constant(2, 8);
+  const NodeId c3 = m.constant(3, 8);
+  const NodeId s = m.add(c2, c3, 8);  // provably 5
+  const NodeId y = m.add(in, s, 9);
+  m.output("y", y);
+
+  const OptResult res = optimize(m, only(true, false, true, false));
+  EXPECT_GE(res.stats.folded, 1u);
+  ASSERT_NE(res.node_map[static_cast<std::size_t>(s)], kInvalidNode);
+  const Node& folded =
+      res.module.node(res.node_map[static_cast<std::size_t>(s)]);
+  EXPECT_EQ(folded.kind, OpKind::kConst);
+  EXPECT_EQ(folded.value, 5);
+  EXPECT_EQ(folded.width, 8);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, NegAddBecomesSub) {
+  Module m("t");
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId nb = m.neg(b, 10);
+  const NodeId s = m.add(a, nb, 10);  // a + (-b) == a - b
+  m.output("y", s);
+
+  const OptResult res = optimize(m, only(false, true, true, false));
+  EXPECT_GE(res.stats.redirected, 1u);
+  const NodeId so = res.node_map[static_cast<std::size_t>(s)];
+  ASSERT_NE(so, kInvalidNode);
+  EXPECT_EQ(res.module.node(so).kind, OpKind::kSub);
+  // The explicit negate is spliced out entirely.
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(nb)], kInvalidNode);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, NegAddKeptWhenNegNarrowerThanAdd) {
+  // neg width < add width: the negate's own wrap is observable, so the
+  // rewrite's side condition fails and the add must survive untouched.
+  Module m("t");
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId nb = m.neg(b, 4);  // wraps -b into 4 bits first
+  const NodeId s = m.add(a, nb, 10);
+  m.output("y", s);
+
+  const OptResult res = optimize(m, only(false, true, true, false));
+  const NodeId so = res.node_map[static_cast<std::size_t>(s)];
+  ASSERT_NE(so, kInvalidNode);
+  EXPECT_EQ(res.module.node(so).kind, OpKind::kAdd);
+  EXPECT_NE(res.node_map[static_cast<std::size_t>(nb)], kInvalidNode);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, MuxWithConstantSelectForwardsArm) {
+  Module m("t");
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId sel = m.constant(0, 1);
+  const NodeId mx = m.mux(sel, a, b, 8);  // select 0: always the else-arm
+  m.output("y", mx);
+
+  const OptResult res = optimize(m, only(true, true, true, false));
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(mx)], kInvalidNode);
+  // Output now reads the surviving arm directly.
+  const NodeId yo = res.node_map[static_cast<std::size_t>(m.size() - 1)];
+  ASSERT_NE(yo, kInvalidNode);
+  EXPECT_EQ(res.module.node(yo).a,
+            res.node_map[static_cast<std::size_t>(b)]);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, IdentityForwardsAreSplicedOut) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId z = m.constant(0, 4);
+  const NodeId a0 = m.add(in, z, 8);  // + proven zero
+  const NodeId sh = m.shl(a0, 0);     // shift by zero
+  m.output("y", sh);
+
+  const OptResult res = optimize(m, only(true, true, true, false));
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(a0)], kInvalidNode);
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(sh)], kInvalidNode);
+  const NodeId yo = res.node_map[static_cast<std::size_t>(m.size() - 1)];
+  ASSERT_NE(yo, kInvalidNode);
+  EXPECT_EQ(res.module.node(yo).a,
+            res.node_map[static_cast<std::size_t>(in)]);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, DeadSubgraphRemoved) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId live = m.add(in, in, 9);
+  const NodeId dead1 = m.sub(in, in, 9);
+  const NodeId dead2 = m.reg(dead1);
+  m.output("y", live);
+
+  const OptResult res = optimize(m, only(false, false, true, false));
+  EXPECT_EQ(res.stats.dead_removed, 2u);
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(dead1)], kInvalidNode);
+  EXPECT_EQ(res.node_map[static_cast<std::size_t>(dead2)], kInvalidNode);
+  EXPECT_NE(res.node_map[static_cast<std::size_t>(live)], kInvalidNode);
+  EXPECT_EQ(res.module.size(), m.size() - 2);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, WidthShrinkUsesProvenInterval) {
+  Module m("t");
+  const NodeId in = m.input("in", 4);  // range [-8, 7]
+  const NodeId s = m.add(in, in, 20);  // values fit 5 bits
+  const NodeId r = m.reg(s);
+  m.output("y", r);
+
+  const OptResult res = optimize(m, only(false, false, false, true));
+  EXPECT_GE(res.stats.widths_shrunk, 2u);
+  EXPECT_GT(res.stats.bits_saved, 0u);
+  const NodeId so = res.node_map[static_cast<std::size_t>(s)];
+  const NodeId ro = res.node_map[static_cast<std::size_t>(r)];
+  ASSERT_NE(so, kInvalidNode);
+  ASSERT_NE(ro, kInvalidNode);
+  EXPECT_EQ(res.module.node(so).width, 5);
+  EXPECT_EQ(res.module.node(ro).width, 5);
+  // Input ports keep their declared width.
+  EXPECT_EQ(res.module.node(res.node_map[static_cast<std::size_t>(in)]).width,
+            4);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+TEST(OptTest, InputRangeAssumptionTightensShrink) {
+  Module m("t");
+  const NodeId in = m.input("in", 16);
+  const NodeId s = m.add(in, in, 20);
+  m.output("y", s);
+
+  OptOptions o = only(false, false, false, true);
+  o.input_ranges = {{in, Interval{0, 3}}};
+  const OptResult res = optimize(m, o);
+  const NodeId so = res.node_map[static_cast<std::size_t>(s)];
+  ASSERT_NE(so, kInvalidNode);
+  EXPECT_EQ(res.module.node(so).width, 4);  // [0, 6] needs 4 signed bits
+  // The proof bundle only checks under the same assumption.
+  const ProofCheck wrong = check_proofs(m, res.proofs);
+  EXPECT_FALSE(wrong.ok);
+  const ProofCheck right = check_proofs(m, res.proofs, o.input_ranges);
+  EXPECT_TRUE(right.ok);
+  for (const auto& e : right.errors) ADD_FAILURE() << e;
+}
+
+TEST(OptTest, PortsAreNeverRemoved) {
+  Module m("t");
+  const NodeId unused = m.input("unused", 8);
+  const NodeId in = m.input("in", 8);
+  m.output("y", m.add(in, in, 9));
+  (void)unused;
+
+  const OptResult res = optimize(m);
+  EXPECT_NE(res.node_map[static_cast<std::size_t>(unused)], kInvalidNode);
+  expect_proofs_check(m, res);
+  expect_equivalent(m, res);
+}
+
+// ---------------------------------------------------------------------------
+// Proof-checker rejections: hand-built unsound bundles must not verify.
+
+Module shrink_fixture(NodeId* add_out) {
+  Module m("t");
+  const NodeId in = m.input("in", 4);
+  const NodeId s = m.add(in, in, 20);  // derived interval [-16, 14]
+  m.output("y", s);
+  *add_out = s;
+  return m;
+}
+
+RewriteProof shrink_proof(NodeId node, int new_width, Interval claimed) {
+  RewriteProof p;
+  p.kind = RewriteKind::kWidthShrink;
+  p.node = node;
+  p.old_width = 20;
+  p.new_width = new_width;
+  p.interval = claimed;
+  p.domain = "interval";
+  return p;
+}
+
+TEST(ProofCheckTest, RejectsShrinkWithLyingInterval) {
+  NodeId s = kInvalidNode;
+  const Module m = shrink_fixture(&s);
+  // Claimed interval [0, 1] does not contain the derived [-16, 14].
+  const ProofCheck pc = check_proofs(m, {shrink_proof(s, 1, Interval{0, 1})});
+  EXPECT_FALSE(pc.ok);
+  ASSERT_FALSE(pc.errors.empty());
+}
+
+TEST(ProofCheckTest, RejectsShrinkBelowHonestInterval) {
+  NodeId s = kInvalidNode;
+  const Module m = shrink_fixture(&s);
+  // Honest interval, but 3 bits cannot hold [-16, 14] (needs 5).
+  const ProofCheck pc =
+      check_proofs(m, {shrink_proof(s, 3, Interval{-16, 14})});
+  EXPECT_FALSE(pc.ok);
+}
+
+TEST(ProofCheckTest, AcceptsSoundHandWrittenShrink) {
+  NodeId s = kInvalidNode;
+  const Module m = shrink_fixture(&s);
+  const ProofCheck pc =
+      check_proofs(m, {shrink_proof(s, 5, Interval{-16, 14})});
+  EXPECT_TRUE(pc.ok);
+  for (const auto& e : pc.errors) ADD_FAILURE() << e;
+}
+
+TEST(ProofCheckTest, RejectsConstFoldWithWrongValue) {
+  Module m("t");
+  const NodeId s = m.add(m.constant(2, 8), m.constant(3, 8), 8);
+  m.output("y", s);
+
+  RewriteProof p;
+  p.kind = RewriteKind::kConstFold;
+  p.node = s;
+  p.value = 7;  // actually 5
+  p.domain = "const";
+  const ProofCheck pc = check_proofs(m, {p});
+  EXPECT_FALSE(pc.ok);
+
+  p.value = 5;
+  const ProofCheck good = check_proofs(m, {p});
+  EXPECT_TRUE(good.ok);
+}
+
+TEST(ProofCheckTest, RejectsLiveNodeClaimedDead) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId s = m.add(in, in, 9);
+  m.output("y", s);
+
+  RewriteProof p;
+  p.kind = RewriteKind::kDeadNode;
+  p.node = s;  // feeds the output: reachable
+  p.domain = "liveness";
+  const ProofCheck pc = check_proofs(m, {p});
+  EXPECT_FALSE(pc.ok);
+}
+
+TEST(ProofCheckTest, RejectsDuplicateProofsForOneNode) {
+  NodeId s = kInvalidNode;
+  const Module m = shrink_fixture(&s);
+  const RewriteProof p = shrink_proof(s, 5, Interval{-16, 14});
+  const ProofCheck pc = check_proofs(m, {p, p});
+  EXPECT_FALSE(pc.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Differential harness: an unsound width change that no proof covers must
+// surface as a concrete output/activity counterexample.
+
+TEST(EquivHarnessTest, CatchesInjectedUnsoundShrink) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId s = m.add(in, in, 9);  // genuinely needs all 9 bits
+  m.output("y", s);
+
+  // Identity rebuild (all passes off), then tamper: shrink the adder far
+  // below its value range so wrap changes committed values.
+  OptResult res = optimize(m, only(false, false, false, false));
+  const NodeId so = res.node_map[static_cast<std::size_t>(s)];
+  ASSERT_NE(so, kInvalidNode);
+  res.module.node(so).width = 3;
+
+  std::vector<std::int64_t> vals;
+  for (std::int64_t v = -128; v < 128; ++v) vals.push_back(v);
+  const std::map<NodeId, std::span<const std::int64_t>> inputs{
+      {in, std::span<const std::int64_t>(vals)}};
+  const EquivResult eq = check_optimized_equivalence(m, res, inputs);
+  EXPECT_FALSE(eq.ok);
+  EXPECT_FALSE(eq.errors.empty());
+}
+
+TEST(EquivHarnessTest, PassesOnUntamperedIdentityRebuild) {
+  Module m("t");
+  const NodeId in = m.input("in", 8);
+  const NodeId s = m.add(in, in, 9);
+  m.output("y", s);
+
+  const OptResult res = optimize(m, only(false, false, false, false));
+  EXPECT_EQ(res.module.size(), m.size());
+  expect_equivalent(m, res);
+}
+
+// Arena option: the optimized module's nodes live on the caller's arena
+// and the result is still equivalent.
+TEST(OptTest, ArenaRebuildMatchesHeapRebuild) {
+  Module m("t");
+  const NodeId in = m.input("in", 6);
+  const NodeId d = m.add(in, m.constant(9, 6), 8);
+  const NodeId r = m.reg(d);
+  m.output("y", r);
+
+  std::pmr::monotonic_buffer_resource arena;
+  OptOptions o;
+  o.arena = &arena;
+  const OptResult on_arena = optimize(m, o);
+  const OptResult on_heap = optimize(m);
+  ASSERT_EQ(on_arena.module.size(), on_heap.module.size());
+  for (std::size_t i = 0; i < on_arena.module.size(); ++i) {
+    const Node& a = on_arena.module.nodes()[i];
+    const Node& b = on_heap.module.nodes()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.width, b.width);
+    EXPECT_EQ(a.a, b.a);
+    EXPECT_EQ(a.b, b.b);
+    EXPECT_EQ(a.c, b.c);
+  }
+  expect_proofs_check(m, on_arena);
+  expect_equivalent(m, on_arena);
+}
+
+}  // namespace

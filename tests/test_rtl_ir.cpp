@@ -2,6 +2,8 @@
 // multiplier expansion and cost accounting.
 #include <gtest/gtest.h>
 
+#include <memory_resource>
+
 #include "src/fixedpoint/csd.h"
 #include "src/rtl/ir.h"
 
@@ -104,6 +106,51 @@ TEST(Ir, DelayChainLength) {
   EXPECT_EQ(m.node(d).kind, OpKind::kReg);
   // Zero delay returns the node itself.
   EXPECT_EQ(m.delay(a, 0), a);
+}
+
+TEST(Ir, MuxOperandSlotsAndClockRules) {
+  Module m("t");
+  const NodeId sel = m.input("sel", 1);
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId mx = m.mux(sel, a, b, 8);
+  EXPECT_EQ(m.node(mx).kind, OpKind::kMux);
+  EXPECT_EQ(m.node(mx).a, a);   // then-arm
+  EXPECT_EQ(m.node(mx).b, b);   // else-arm
+  EXPECT_EQ(m.node(mx).c, sel); // select
+  EXPECT_EQ(operands(m.node(mx)), (std::array<NodeId, 3>{a, b, sel}));
+  // Arms and select must share a clock domain.
+  const NodeId slow = m.decimate(a, 2);
+  EXPECT_THROW(m.mux(sel, slow, b, 8), std::invalid_argument);
+  EXPECT_THROW(m.mux(slow, a, b, 8), std::invalid_argument);
+}
+
+TEST(Ir, ArenaConstructionMatchesHeap) {
+  // Modules built on a caller-supplied pmr arena must be node-for-node
+  // identical to the default-heap build.
+  const auto build = [](Module& m) {
+    const NodeId in = m.input("in", 8);
+    const NodeId c = m.constant(3, 8);
+    const NodeId s = m.add(in, c, 9);
+    const NodeId r = m.reg(s);
+    m.output("y", m.mux(in, r, s, 9));
+  };
+  std::pmr::monotonic_buffer_resource arena;
+  Module on_arena("t", &arena);
+  Module on_heap("t");
+  build(on_arena);
+  build(on_heap);
+  ASSERT_EQ(on_arena.size(), on_heap.size());
+  for (std::size_t i = 0; i < on_heap.size(); ++i) {
+    const Node& x = on_arena.nodes()[i];
+    const Node& y = on_heap.nodes()[i];
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.width, y.width);
+    EXPECT_EQ(x.a, y.a);
+    EXPECT_EQ(x.b, y.b);
+    EXPECT_EQ(x.c, y.c);
+    EXPECT_EQ(x.value, y.value);
+  }
 }
 
 TEST(Ir, RequantCarriesParameters) {

@@ -134,6 +134,34 @@ TEST(Sim, ToggleCounting) {
   EXPECT_EQ(res.activity.base_ticks, 3u);
 }
 
+TEST(Sim, MuxSelectsThenOrElseArm) {
+  Module m("t");
+  const NodeId sel = m.input("sel", 2);
+  const NodeId a = m.input("a", 8);
+  const NodeId b = m.input("b", 8);
+  const NodeId mx = m.mux(sel, a, b, 8);
+  const NodeId o = m.output("y", mx);
+  Simulator sim(m);
+  const std::vector<std::int64_t> sv{0, 1, -1, 0};  // any nonzero selects a
+  const std::vector<std::int64_t> av{10, 11, 12, 13};
+  const std::vector<std::int64_t> bv{-1, -2, -3, -4};
+  auto res = sim.run({{sel, sv}, {a, av}, {b, bv}});
+  EXPECT_EQ(res.outputs[o], (std::vector<std::int64_t>{-1, 11, 12, -4}));
+}
+
+TEST(Sim, MuxWrapsSelectedArmToWidth) {
+  Module m("t");
+  const NodeId sel = m.input("sel", 1);
+  const NodeId a = m.constant(9, 8);  // 9 wraps to -7 in 4 bits
+  const NodeId b = m.constant(0, 8);
+  const NodeId mx = m.mux(sel, a, b, 4);
+  const NodeId o = m.output("y", mx);
+  Simulator sim(m);
+  const std::vector<std::int64_t> sv{1, 0};
+  auto res = sim.run({{sel, sv}});
+  EXPECT_EQ(res.outputs[o], (std::vector<std::int64_t>{-7, 0}));
+}
+
 TEST(Sim, ErrorsOnUnboundOrWrongInputs) {
   Module m("t");
   const NodeId in = m.input("in", 4);

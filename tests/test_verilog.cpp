@@ -94,6 +94,17 @@ TEST(Verilog, TestbenchDrivesClocksAndFiles) {
   EXPECT_TRUE(contains(tb, "$finish"));
 }
 
+TEST(Verilog, MuxEmitsConditionalAssign) {
+  rtl::Module m("muxmod");
+  const auto sel = m.input("sel", 1);
+  const auto a = m.input("a", 8);
+  const auto b = m.input("b", 8);
+  m.output("y", m.mux(sel, a, b, 8));
+  const std::string v = rtl::emit_verilog(m);
+  EXPECT_TRUE(contains(v, "!= 0) ?"));
+  EXPECT_EQ(count_occurrences(v, "?"), 1u);
+}
+
 TEST(Verilog, HalfbandUsesNoTrueMultiplier) {
   // "124 adders (no true multiplications)" - Section V.
   const auto d = design::design_saramaki_hbf(3, 6, 0.2125, 24, 0);
