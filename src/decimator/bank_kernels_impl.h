@@ -1,0 +1,215 @@
+// Bank-kernel loop bodies, compiled once per SIMD tier.
+//
+// Included (no include guard on purpose) by bank_kernels_{scalar,avx2,
+// avx512}.cpp with DSADC_SIMD_NS set to the tier's namespace; each TU gets
+// its own target flags from CMake and exports one BankKernels table. The
+// bodies are the exact loops the bank stages ran before dispatch existed:
+// integer-exact lane arithmetic, taps in the outer loop, one independent
+// accumulator chain per channel, so every tier computes identical bits.
+#include <cstddef>
+#include <cstdint>
+
+#include "src/decimator/simd.h"
+#include "src/decimator/soa.h"
+
+namespace dsadc::decim::simd {
+namespace DSADC_SIMD_NS {
+namespace {
+
+/// soa::Requant + its tallies copied into function-locals: accumulating
+/// rounds/saturates through a RequantTally& (and reading bounds through a
+/// Requant&) defeats the vectorizer's aliasing analysis, which must assume
+/// the row stores below may overwrite them. Same arithmetic, same event
+/// decisions; commit() adds the counts back in bulk.
+struct Rq {
+  std::int64_t round_add;
+  std::int64_t lo, hi;
+  std::uint64_t drop_mask;
+  int shift;
+  std::uint64_t rounds = 0;
+  std::uint64_t saturates = 0;
+
+  explicit Rq(const soa::Requant& rq)
+      : round_add(rq.round_add),
+        lo(rq.lo),
+        hi(rq.hi),
+        drop_mask(rq.drop_mask),
+        shift(rq.shift) {}
+
+  std::int64_t operator()(std::int64_t v) {
+    if (shift > 0) {
+      rounds += static_cast<std::uint64_t>(
+          (static_cast<std::uint64_t>(v) & drop_mask) != 0);
+      v = (v + round_add) >> shift;
+    } else if (shift < 0) {
+      v = static_cast<std::int64_t>(static_cast<std::uint64_t>(v) << -shift);
+    }
+    const std::int64_t c = v < lo ? lo : (v > hi ? hi : v);
+    saturates += static_cast<std::uint64_t>(c != v);
+    return c;
+  }
+
+  void commit(soa::RequantTally& tally) const {
+    tally.rounds += rounds;
+    tally.saturates += saturates;
+  }
+};
+
+std::size_t cic_stage(std::int64_t* __restrict data, std::size_t frames,
+                      std::size_t C, std::int64_t* __restrict integ,
+                      std::int64_t* __restrict comb, std::size_t order,
+                      std::size_t skip, std::size_t decim, soa::Wrap wrap) {
+  std::size_t n_out = 0;
+  std::size_t next_keep = skip;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::int64_t* const row = data + f * C;
+    // Integrator cascade: section 0 folds the input wrap into its own
+    // (wrap(st + wrap(v)) == wrap(st + v)); section s adds section s-1's
+    // state row -- the per-sample cascade order of the scalar push().
+    for (std::size_t c = 0; c < C; ++c) integ[c] = wrap(integ[c] + row[c]);
+    for (std::size_t s = 1; s < order; ++s) {
+      std::int64_t* const cur = integ + s * C;
+      const std::int64_t* const prev = integ + (s - 1) * C;
+      for (std::size_t c = 0; c < C; ++c) cur[c] = wrap(cur[c] + prev[c]);
+    }
+    if (f != next_keep) continue;
+    next_keep += decim;
+    // Kept frame: run the comb cascade in the output row itself. n_out
+    // never exceeds f, so the write stays at or behind the read cursor.
+    std::int64_t* const orow = data + n_out * C;
+    const std::int64_t* const top = integ + (order - 1) * C;
+    for (std::size_t c = 0; c < C; ++c) orow[c] = top[c];
+    for (std::size_t s = 0; s < order; ++s) {
+      std::int64_t* const st = comb + s * C;
+      for (std::size_t c = 0; c < C; ++c) {
+        const std::int64_t cur = orow[c];
+        orow[c] = wrap(cur - st[c]);
+        st[c] = cur;
+      }
+    }
+    ++n_out;
+  }
+  return n_out;
+}
+
+std::size_t fir_emit(std::int64_t* __restrict data,
+                     const std::int64_t* __restrict ext, std::size_t frames,
+                     std::size_t C, const std::int64_t* __restrict taps,
+                     std::size_t tap_count, std::size_t first,
+                     std::size_t decim, std::int64_t* __restrict acc,
+                     const soa::Requant& rq, soa::RequantTally& tally) {
+  Rq lrq(rq);
+  std::size_t n_out = 0;
+  for (std::size_t i = first; i < frames; i += decim, ++n_out) {
+    const std::int64_t* const window = ext + (tap_count - 1 + i) * C;
+    for (std::size_t c = 0; c < C; ++c) acc[c] = 0;
+    for (std::size_t k = 0; k < tap_count; ++k) {
+      const std::int64_t t = taps[k];
+      const std::int64_t* const wrow =
+          window - static_cast<std::ptrdiff_t>(k * C);
+      for (std::size_t c = 0; c < C; ++c) acc[c] += t * wrow[c];
+    }
+    std::int64_t* const orow = data + n_out * C;
+    for (std::size_t c = 0; c < C; ++c) orow[c] = lrq(acc[c]);
+  }
+  lrq.commit(tally);
+  return n_out;
+}
+
+void hbf_g2(std::int64_t* __restrict stream,
+            const std::int64_t* __restrict ext, std::size_t frames,
+            std::size_t C, const std::int64_t* __restrict f2, std::size_t n2,
+            const soa::Requant& rq_prod, const soa::Requant& rq_int,
+            soa::RequantTally& t_prod, soa::RequantTally& t_int) {
+  Rq lrq_prod(rq_prod);
+  Rq lrq_int(rq_int);
+  const std::size_t n = 2 * n2;  // history rows ahead of the stream
+  for (std::size_t m = 0; m < frames; ++m) {
+    const std::int64_t* const newest = ext + (n + m) * C;
+    std::int64_t* const orow = stream + m * C;
+    // First product initializes the accumulator row in place, the rest
+    // add -- same j = 1..n2 order as the scalar kernel.
+    for (std::size_t j = 1; j <= n2; ++j) {
+      const std::int64_t coeff = f2[j - 1];
+      const std::int64_t* const near_row = newest - (n2 - j) * C;
+      const std::int64_t* const far_row = newest - (n2 + j - 1) * C;
+      if (j == 1) {
+        for (std::size_t c = 0; c < C; ++c) {
+          orow[c] = lrq_prod(coeff * (near_row[c] + far_row[c]));
+        }
+      } else {
+        for (std::size_t c = 0; c < C; ++c) {
+          orow[c] += lrq_prod(coeff * (near_row[c] + far_row[c]));
+        }
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) orow[c] = lrq_int(orow[c]);
+  }
+  lrq_prod.commit(t_prod);
+  lrq_int.commit(t_int);
+}
+
+void hbf_out(std::int64_t* __restrict data,
+             const std::int64_t* __restrict half_path,
+             const std::int64_t* const* __restrict branches, std::size_t n1,
+             std::int64_t half_coeff, const std::int64_t* __restrict f1,
+             std::size_t out_frames, std::size_t C,
+             const soa::Requant& rq_prod, const soa::Requant& rq_out,
+             soa::RequantTally& t_prod, soa::RequantTally& t_out) {
+  Rq lrq_prod(rq_prod);
+  Rq lrq_out(rq_out);
+  for (std::size_t m = 0; m < out_frames; ++m) {
+    std::int64_t* const orow = data + m * C;
+    const std::int64_t* const hrow = half_path + m * C;
+    for (std::size_t c = 0; c < C; ++c) {
+      orow[c] = lrq_prod(half_coeff * hrow[c]);
+    }
+    for (std::size_t i = 0; i < n1; ++i) {
+      const std::int64_t coeff = f1[i];
+      const std::int64_t* const brow = branches[i] + m * C;
+      for (std::size_t c = 0; c < C; ++c) {
+        orow[c] += lrq_prod(coeff * brow[c]);
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) orow[c] = lrq_out(orow[c]);
+  }
+  lrq_prod.commit(t_prod);
+  lrq_out.commit(t_out);
+}
+
+void scaler_map(std::int64_t* __restrict data, std::size_t count,
+                const fx::CsdDigit* __restrict digits, std::size_t n_digits,
+                int frac_bits, const soa::Requant& rq,
+                soa::RequantTally& tally) {
+  Rq lrq(rq);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t x = data[i];
+    std::int64_t acc = 0;
+    for (std::size_t d = 0; d < n_digits; ++d) {
+      const int shift = digits[d].position + frac_bits;  // >= 0 by design
+      const std::int64_t term = (shift >= 0) ? (x << shift) : (x >> -shift);
+      acc += digits[d].sign > 0 ? term : -term;
+    }
+    data[i] = lrq(acc);
+  }
+  lrq.commit(tally);
+}
+
+void requant_rows(std::int64_t* __restrict data, std::size_t count,
+                  const soa::Requant& rq, soa::RequantTally& tally) {
+  Rq lrq(rq);
+  for (std::size_t i = 0; i < count; ++i) data[i] = lrq(data[i]);
+  lrq.commit(tally);
+}
+
+}  // namespace
+
+// extern + initializer: namespace-scope const would otherwise get internal
+// linkage and be invisible to the dispatcher in simd.cpp.
+extern const BankKernels kTable;
+const BankKernels kTable = {
+    cic_stage, fir_emit, hbf_g2, hbf_out, scaler_map, requant_rows,
+};
+
+}  // namespace DSADC_SIMD_NS
+}  // namespace dsadc::decim::simd

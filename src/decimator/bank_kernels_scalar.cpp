@@ -1,0 +1,3 @@
+// Baseline-target instantiation of the bank kernels (always compiled).
+#define DSADC_SIMD_NS scalar
+#include "src/decimator/bank_kernels_impl.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/decimator/simd.h"
 #include "src/decimator/soa.h"
 
 namespace dsadc::decim {
@@ -150,45 +151,19 @@ void CicDecimatorBank::process_inplace(std::vector<std::int64_t>& data) {
   }
   const std::size_t frames = data.size() / C;
 
-  // The scalar kernel wraps the raw input in a pass of its own; here that
-  // wrap is folded into the first integrator section -- identical by
-  // modular arithmetic (wrap(st + wrap(v)) == wrap(st + v)), one fewer
-  // full-rate pass.
-  const auto order = static_cast<std::size_t>(spec_.order);
-  for (std::size_t s = 0; s < order; ++s) {
-    std::int64_t* const st = integ_.data() + s * C;
-    for (std::size_t f = 0; f < frames; ++f) {
-      std::int64_t* const row = data.data() + f * C;
-      for (std::size_t c = 0; c < C; ++c) {
-        st[c] = wrap(st[c] + row[c]);
-        row[c] = st[c];
-      }
-    }
-  }
-
-  // Keep every decimation-th frame, honouring the carried phase.
+  // One fused pass through the dispatched SIMD tier: integrator cascade,
+  // decimation (honouring the phase carried over from push() calls), and
+  // comb cascade, touching each input row once. The scalar kernel's
+  // separate input-wrap pass is folded into the first integrator section
+  // -- identical by modular arithmetic (wrap(st + wrap(v)) == wrap(st +
+  // v)).
   const auto m = static_cast<std::size_t>(spec_.decimation);
   const std::size_t skip = (m - 1) - static_cast<std::size_t>(phase_) % m;
   phase_ = static_cast<int>((static_cast<std::size_t>(phase_) + frames) % m);
-  std::size_t n_out = 0;
-  for (std::size_t f = skip; f < frames; f += m, ++n_out) {
-    if (n_out != f) {
-      std::copy_n(data.data() + f * C, C, data.data() + n_out * C);
-    }
-  }
+  const std::size_t n_out = simd::kernels().cic_stage(
+      data.data(), frames, C, integ_.data(), comb_.data(),
+      static_cast<std::size_t>(spec_.order), skip, m, wrap);
   data.resize(n_out * C);
-
-  for (std::size_t s = 0; s < order; ++s) {
-    std::int64_t* const st = comb_.data() + s * C;
-    for (std::size_t f = 0; f < n_out; ++f) {
-      std::int64_t* const row = data.data() + f * C;
-      for (std::size_t c = 0; c < C; ++c) {
-        const std::int64_t cur = row[c];
-        row[c] = wrap(cur - st[c]);
-        st[c] = cur;
-      }
-    }
-  }
 }
 
 CicCascade::CicCascade(std::vector<design::CicSpec> specs,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/decimator/simd.h"
 #include "src/decimator/soa.h"
 
 namespace dsadc::decim {
@@ -182,22 +183,9 @@ void FirDecimatorBank::process_inplace(std::vector<std::int64_t>& data) {
 
   const auto d = static_cast<std::size_t>(decimation_);
   const std::size_t first = (d - static_cast<std::size_t>(phase_)) % d;
-  std::size_t n_out = 0;
-  for (std::size_t i = first; i < frames; i += d, ++n_out) {
-    const std::int64_t* const window =
-        ext_.data() + (tap_count - 1 + i) * C;
-    std::fill(acc_.begin(), acc_.end(), 0);
-    for (std::size_t k = 0; k < tap_count; ++k) {
-      const std::int64_t t = taps_.taps[k];
-      const std::int64_t* const wrow =
-          window - static_cast<std::ptrdiff_t>(k * C);
-      for (std::size_t c = 0; c < C; ++c) acc_[c] += t * wrow[c];
-    }
-    std::int64_t* const orow = data.data() + n_out * C;
-    for (std::size_t c = 0; c < C; ++c) {
-      orow[c] = soa::requantize(acc_[c], rq, tally);
-    }
-  }
+  const std::size_t n_out = simd::kernels().fir_emit(
+      data.data(), ext_.data(), frames, C, taps_.taps.data(), tap_count,
+      first, d, acc_.data(), rq, tally);
   tally.flush(rq);
   data.resize(n_out * C);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/decimator/simd.h"
 #include "src/decimator/soa.h"
 
 namespace dsadc::decim {
@@ -343,33 +344,9 @@ void SaramakiHbfBank::g2_bank_pass(std::size_t block,
                             fx::Rounding::kRoundNearest, ec_int);
   soa::RequantTally t_prod, t_int;
 
-  const std::size_t n2 = p_.f2_coeffs.size();
-  for (std::size_t m = 0; m < frames; ++m) {
-    const std::int64_t* const newest = g2_ext_.data() + (n + m) * C;
-    std::int64_t* const orow = stream.data() + m * C;
-    // First product initializes the accumulator row in place, the rest
-    // add -- same j = 1..n2 order as the scalar kernel.
-    for (std::size_t j = 1; j <= n2; ++j) {
-      const std::int64_t coeff = p_.f2_coeffs[j - 1];
-      const std::int64_t* const near_row =
-          newest - (n2 - j) * C;
-      const std::int64_t* const far_row = newest - (n2 + j - 1) * C;
-      if (j == 1) {
-        for (std::size_t c = 0; c < C; ++c) {
-          orow[c] = soa::requantize(coeff * (near_row[c] + far_row[c]),
-                                    rq_prod, t_prod);
-        }
-      } else {
-        for (std::size_t c = 0; c < C; ++c) {
-          orow[c] += soa::requantize(coeff * (near_row[c] + far_row[c]),
-                                     rq_prod, t_prod);
-        }
-      }
-    }
-    for (std::size_t c = 0; c < C; ++c) {
-      orow[c] = soa::requantize(orow[c], rq_int, t_int);
-    }
-  }
+  simd::kernels().hbf_g2(stream.data(), g2_ext_.data(), frames, C,
+                         p_.f2_coeffs.data(), p_.f2_coeffs.size(), rq_prod,
+                         rq_int, t_prod, t_int);
   t_prod.flush(rq_prod);
   t_int.flush(rq_int);
 
@@ -396,7 +373,7 @@ void SaramakiHbfBank::process_inplace(std::vector<std::int64_t>& data) {
   const soa::Requant rq_in(p_.in_fmt.frac, p_.internal_fmt,
                            fx::Rounding::kTruncate, ec_in);
   soa::RequantTally t_in;
-  for (auto& v : data) v = soa::requantize(v, rq_in, t_in);
+  simd::kernels().requant_rows(data.data(), data.size(), rq_in, t_in);
   t_in.flush(rq_in);
 
   even_scratch_.clear();
@@ -452,23 +429,12 @@ void SaramakiHbfBank::process_inplace(std::vector<std::int64_t>& data) {
                             fx::Rounding::kRoundNearest, ec_out);
   soa::RequantTally t_prod, t_out;
   data.resize(out_frames * C);
-  for (std::size_t m = 0; m < out_frames; ++m) {
-    std::int64_t* const orow = data.data() + m * C;
-    const std::int64_t* const hrow = half_scratch_.data() + m * C;
-    for (std::size_t c = 0; c < C; ++c) {
-      orow[c] = soa::requantize(p_.half_coeff * hrow[c], rq_prod, t_prod);
-    }
-    for (std::size_t i = 0; i < p_.n1; ++i) {
-      const std::int64_t coeff = p_.f1_coeffs[i];
-      const std::int64_t* const brow = branch_scratch_[i].data() + m * C;
-      for (std::size_t c = 0; c < C; ++c) {
-        orow[c] += soa::requantize(coeff * brow[c], rq_prod, t_prod);
-      }
-    }
-    for (std::size_t c = 0; c < C; ++c) {
-      orow[c] = soa::requantize(orow[c], rq_out, t_out);
-    }
-  }
+  branch_rows_.clear();
+  for (const auto& b : branch_scratch_) branch_rows_.push_back(b.data());
+  simd::kernels().hbf_out(data.data(), half_scratch_.data(),
+                          branch_rows_.data(), p_.n1, p_.half_coeff,
+                          p_.f1_coeffs.data(), out_frames, C, rq_prod, rq_out,
+                          t_prod, t_out);
   t_prod.flush(rq_prod);
   t_out.flush(rq_out);
 }

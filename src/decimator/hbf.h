@@ -160,6 +160,7 @@ class SaramakiHbfBank {
   std::vector<std::int64_t> half_scratch_;
   std::vector<std::int64_t> g2_ext_;
   std::vector<std::vector<std::int64_t>> branch_scratch_;
+  std::vector<const std::int64_t*> branch_rows_;  ///< hbf_out kernel arg
 };
 
 }  // namespace dsadc::decim

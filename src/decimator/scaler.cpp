@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/decimator/simd.h"
 #include "src/decimator/soa.h"
 
 namespace dsadc::decim {
@@ -48,15 +49,8 @@ void ScalingStage::process_inplace(std::vector<std::int64_t>& data) const {
   const soa::Requant rq(in_fmt_.frac + frac_bits_, out_fmt_,
                         fx::Rounding::kRoundNearest, ec);
   soa::RequantTally tally;
-  for (auto& x : data) {
-    std::int64_t acc = 0;
-    for (const auto& d : csd_.digits) {
-      const int shift = d.position + frac_bits_;  // >= 0 by construction
-      const std::int64_t term = (shift >= 0) ? (x << shift) : (x >> -shift);
-      acc += d.sign > 0 ? term : -term;
-    }
-    x = soa::requantize(acc, rq, tally);
-  }
+  simd::kernels().scaler_map(data.data(), data.size(), csd_.digits.data(),
+                             csd_.digits.size(), frac_bits_, rq, tally);
   tally.flush(rq);
 }
 

@@ -1,0 +1,153 @@
+// CPUID tier detection + dispatch for the bank kernels (simd.h).
+#include "src/decimator/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dsadc::decim::simd {
+
+namespace scalar {
+extern const BankKernels kTable;
+}
+#if DSADC_SIMD_HAVE_AVX2
+namespace avx2 {
+extern const BankKernels kTable;
+}
+#endif
+#if DSADC_SIMD_HAVE_AVX512
+namespace avx512 {
+extern const BankKernels kTable;
+}
+#endif
+
+namespace {
+
+const BankKernels* table_for(Tier tier) {
+  switch (tier) {
+#if DSADC_SIMD_HAVE_AVX512
+    case Tier::kAvx512:
+      return &avx512::kTable;
+#endif
+#if DSADC_SIMD_HAVE_AVX2
+    case Tier::kAvx2:
+      return &avx2::kTable;
+#endif
+    default:
+      return &scalar::kTable;
+  }
+}
+
+bool cpu_supports(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool compiled_in(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if DSADC_SIMD_HAVE_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if DSADC_SIMD_HAVE_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Tier parse_tier(const char* s, Tier fallback) {
+  if (std::strcmp(s, "scalar") == 0 || std::strcmp(s, "off") == 0) {
+    return Tier::kScalar;
+  }
+  if (std::strcmp(s, "avx2") == 0) return Tier::kAvx2;
+  if (std::strcmp(s, "avx512") == 0) return Tier::kAvx512;
+  return fallback;
+}
+
+Tier initial_tier() {
+  Tier pick = best_tier();
+  if (const char* env = std::getenv("DSADC_SIMD")) {
+    const Tier want = parse_tier(env, pick);
+    // The env var caps the tier; asking for more than the machine has
+    // degrades to the widest supported tier below the request.
+    while (static_cast<int>(want) < static_cast<int>(pick)) {
+      pick = static_cast<Tier>(static_cast<int>(pick) - 1);
+    }
+    if (tier_supported(want)) pick = want;
+  }
+  return pick;
+}
+
+// -1 = not yet detected; otherwise the Tier value.
+std::atomic<int> g_tier{-1};
+
+Tier ensure_tier() {
+  int t = g_tier.load(std::memory_order_acquire);
+  if (t < 0) {
+    // Benign race: every thread computes the same initial tier.
+    t = static_cast<int>(initial_tier());
+    g_tier.store(t, std::memory_order_release);
+  }
+  return static_cast<Tier>(t);
+}
+
+}  // namespace
+
+const BankKernels& kernels() { return *table_for(ensure_tier()); }
+
+Tier active_tier() { return ensure_tier(); }
+
+Tier best_tier() {
+  for (Tier t : {Tier::kAvx512, Tier::kAvx2}) {
+    if (compiled_in(t) && cpu_supports(t)) return t;
+  }
+  return Tier::kScalar;
+}
+
+bool tier_supported(Tier tier) {
+  return compiled_in(tier) && cpu_supports(tier);
+}
+
+bool set_active_tier(Tier tier) {
+  if (!tier_supported(tier)) return false;
+  g_tier.store(static_cast<int>(tier), std::memory_order_release);
+  return true;
+}
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+}  // namespace dsadc::decim::simd

@@ -1,0 +1,108 @@
+// JIT codegen backend for the compiled RTL simulator.
+//
+// The tape engine in compiled_sim.cpp dispatches every op through a
+// switch; on the paper chain that costs ~7 cycles per op, most of it
+// dispatch and operand indirection. This backend emits the per-phase op
+// tape as straight-line C++ once per netlist -- every op inlined, every
+// operand slot a local variable, wrap shifts and requantizer constants
+// folded into literals -- compiles it with the system C++ compiler into a
+// shared object, and `dlopen`s the result. Elaboration splits in two:
+//
+//   * emit_source() (declared in compiled_sim.h, defined here as a friend
+//     of CompiledSimulator) renders the elaborated tape into a
+//     self-contained translation unit with two extern "C" entry points,
+//     `dsadc_cg_run` (pure dataflow) and `dsadc_cg_run_activity` (per-node
+//     Hamming-toggle accounting), mirroring the tape engine's two modes;
+//   * build_kernel() drives the toolchain: content-hash cache lookup
+//     (FNV-1a over compiler identity + source) under
+//     DSADC_CODEGEN_CACHE_DIR, an atomic write-compile-rename on miss,
+//     eviction + one recompile when a cached .so fails to load, and
+//     dlopen/dlsym of the entry points.
+//
+// Every failure mode -- no compiler on PATH, compile error, cache dir not
+// writable, unloadable object, netlist shapes the emitter refuses
+// (runtime-throwing requant shifts, oversized tapes) -- degrades to the
+// tape interpreter; CompiledSimulator records the reason in
+// engine_detail(). Environment knobs:
+//
+//   DSADC_CODEGEN           on/1 enables codegen for kAuto constructions;
+//                           off/0 force-disables it even for kOn.
+//   DSADC_CODEGEN_CACHE_DIR cache directory (default $TMPDIR/dsadc-codegen).
+//   DSADC_CODEGEN_CXX       compiler override; a bogus path simulates a
+//                           compiler-less host (tests use /nonexistent).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace dsadc::rtl::codegen {
+
+/// A loaded kernel: the dlopen handle plus the resolved entry points. The
+/// generated functions own no state; all buffers are caller-provided, so
+/// one kernel can serve any number of concurrent run() calls.
+class CompiledKernel {
+ public:
+  /// Pure-dataflow entry point. `in` holds one pointer per kInput node
+  /// (aux order), `out` one pointer per kOutput node; the kernel consumes
+  /// and produces exactly ceil(ticks / clock_div) samples per stream.
+  using RunFn = void (*)(std::uint64_t ticks,
+                         const std::int64_t* const* in,
+                         std::int64_t* const* out);
+  /// Activity entry point: same contract plus per-node Hamming toggle
+  /// accumulation into `toggles` (node-id indexed, caller-zeroed). Update
+  /// counts are analytic (ceil(ticks / clock_div) per node) and filled by
+  /// the driver, not the kernel.
+  using RunActivityFn = void (*)(std::uint64_t ticks,
+                                 const std::int64_t* const* in,
+                                 std::int64_t* const* out,
+                                 std::uint64_t* toggles);
+
+  CompiledKernel(void* handle, RunFn run_fn, RunActivityFn run_activity_fn)
+      : handle_(handle), run_(run_fn), run_activity_(run_activity_fn) {}
+  ~CompiledKernel();
+  CompiledKernel(const CompiledKernel&) = delete;
+  CompiledKernel& operator=(const CompiledKernel&) = delete;
+
+  RunFn run() const { return run_; }
+  RunActivityFn run_activity() const { return run_activity_; }
+
+ private:
+  void* handle_ = nullptr;
+  RunFn run_ = nullptr;
+  RunActivityFn run_activity_ = nullptr;
+};
+
+/// emit_source() output: exactly one of `source` (emittable netlist) or
+/// `error` (emitter refusal; the caller stays on the tape engine, which
+/// reproduces the scalar semantics including any runtime throw).
+struct EmitResult {
+  std::string source;
+  std::string error;
+};
+
+/// build_kernel() output. `kernel` is null on any failure, with the reason
+/// in `detail`; on success `so_path` names the cache object and
+/// `cache_hit`/`evicted` describe how it was obtained.
+struct BuildResult {
+  std::shared_ptr<CompiledKernel> kernel;
+  bool cache_hit = false;
+  bool evicted = false;  ///< a stale/corrupt cached .so was replaced
+  std::string detail;
+  std::string so_path;
+};
+
+/// DSADC_CODEGEN says "on"/"1"/"true" (enables kAuto constructions).
+bool enabled_by_env();
+/// DSADC_CODEGEN says "off"/"0"/"false" (global kill switch, beats kOn).
+bool disabled_by_env();
+
+/// Resolved cache directory (env override or $TMPDIR/dsadc-codegen).
+std::string cache_dir();
+
+/// Compile `source` (or fetch it from the content-hash cache) and load the
+/// entry points. Thread-safe: concurrent builds of the same source race
+/// benignly on an atomic rename.
+BuildResult build_kernel(const std::string& source);
+
+}  // namespace dsadc::rtl::codegen

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/obs/trace.h"
+#include "src/rtl/codegen.h"
 
 namespace dsadc::rtl {
 namespace {
@@ -14,13 +15,22 @@ namespace {
 // netlists whose schedule tables would not fit in memory.
 constexpr int kMaxPeriod = 1 << 20;
 
-std::uint64_t hamming(std::int64_t a, std::int64_t b, int width) {
+inline std::uint64_t hamming(std::int64_t a, std::int64_t b, int width) {
   const std::uint64_t mask =
       width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
-  return static_cast<std::uint64_t>(
-      std::popcount((static_cast<std::uint64_t>(a) ^
-                     static_cast<std::uint64_t>(b)) &
-                    mask));
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b)) & mask;
+#if defined(__POPCNT__)
+  return static_cast<std::uint64_t>(std::popcount(x));
+#else
+  // SWAR popcount: without -mpopcnt, std::popcount lowers to a libgcc call
+  // whose register clobbers dominate the activity loop. Twelve inline ops
+  // beat the call by ~3x on the paper-chain activity benchmark.
+  x -= (x >> 1) & 0x5555555555555555ull;
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return (x * 0x0101010101010101ull) >> 56;
+#endif
 }
 
 /// Two's-complement wrap to width via a pre-computed shift pair; matches
@@ -32,15 +42,18 @@ inline std::int64_t wrap_shift(std::int64_t v, int shift) {
 
 }  // namespace
 
-CompiledSimulator::CompiledSimulator(const Module& module) {
+CompiledSimulator::CompiledSimulator(const Module& module,
+                                     const CompiledSimOptions& options) {
   const auto& nodes = module.nodes();
   node_count_ = nodes.size();
 
   period_ = 1;
+  node_clock_div_.reserve(node_count_);
   for (const Node& node : nodes) {
     if (node.clock_div < 1) {
       throw std::invalid_argument("CompiledSimulator: clock_div must be >= 1");
     }
+    node_clock_div_.push_back(node.clock_div);
     period_ = static_cast<int>(
         std::lcm<std::int64_t>(period_, node.clock_div));
     if (period_ > kMaxPeriod) {
@@ -73,6 +86,7 @@ CompiledSimulator::CompiledSimulator(const Module& module) {
         op.aux = static_cast<std::int32_t>(const_values_.size());
         const_values_.push_back(node.value);
         const_slots_.push_back(op.dst);
+        const_widths_.push_back(op.width);
         break;
       case OpKind::kMux:
         op.aux = node.c == kInvalidNode ? 0 : node.c + 1;
@@ -105,7 +119,9 @@ CompiledSimulator::CompiledSimulator(const Module& module) {
   // Per-phase schedules: a node is active on phase p iff p is a multiple
   // of its clock_div (clock_div divides the period, so t % clock_div == 0
   // depends only on t mod period). Creation order within a phase matches
-  // the interpreted simulator's propagation order exactly.
+  // the interpreted simulator's propagation order exactly. Constants live
+  // off-tape: they commit once on the first tick (commit_consts) and their
+  // update counts are analytic like everyone else's.
   phases_.assign(static_cast<std::size_t>(period_), {});
   for (std::size_t i = 0; i < node_count_; ++i) {
     const Node& node = nodes[i];
@@ -114,24 +130,71 @@ CompiledSimulator::CompiledSimulator(const Module& module) {
       if (node.kind == OpKind::kReg || node.kind == OpKind::kDecimate) {
         phase.captures.push_back({state_slot[i], tape[i].a});
       }
-      phase.ops.push_back(tape[i]);
-      // Constants never change after the preload, so the pure-dataflow
-      // tape drops them entirely.
-      if (node.kind != OpKind::kConst) phase.fast_ops.push_back(tape[i]);
+      if (node.kind != OpKind::kConst) phase.ops.push_back(tape[i]);
+    }
+  }
+
+  // Codegen backend: resolve the requested mode against the environment
+  // kill switch, then run emit -> compile -> load with tape fallback.
+  using Codegen = CompiledSimOptions::Codegen;
+  bool want = false;
+  switch (options.codegen) {
+    case Codegen::kOff:
+      want = false;
+      break;
+    case Codegen::kOn:
+      want = !codegen::disabled_by_env();
+      if (!want) engine_detail_ = "codegen disabled by DSADC_CODEGEN=off";
+      break;
+    case Codegen::kAuto:
+      want = codegen::enabled_by_env() && !codegen::disabled_by_env();
+      break;
+  }
+  if (want) {
+    const codegen::EmitResult emitted = codegen::emit_source(*this);
+    if (!emitted.error.empty()) {
+      engine_detail_ = "codegen refused: " + emitted.error;
+    } else {
+      codegen::BuildResult built = codegen::build_kernel(emitted.source);
+      if (built.kernel) {
+        kernel_ = std::move(built.kernel);
+        engine_ = SimEngine::kCodegen;
+        codegen_cache_hit_ = built.cache_hit;
+        codegen_so_path_ = std::move(built.so_path);
+        engine_detail_ = built.cache_hit ? "codegen cache hit"
+                         : built.evicted ? "codegen rebuilt (cache evicted)"
+                                         : "codegen compiled";
+      } else {
+        engine_detail_ = "codegen unavailable: " + built.detail;
+      }
     }
   }
 }
 
 std::size_t CompiledSimulator::scheduled_ops_per_period() const {
   std::size_t n = 0;
-  for (const Phase& p : phases_) n += p.fast_ops.size();
+  for (const Phase& p : phases_) n += p.ops.size();
   return n;
 }
 
-std::size_t CompiledSimulator::scheduled_ops_per_period_activity() const {
-  std::size_t n = 0;
-  for (const Phase& p : phases_) n += p.ops.size();
-  return n;
+void CompiledSimulator::commit_consts(std::vector<std::int64_t>& value,
+                                      Activity* activity) const {
+  for (std::size_t i = 0; i < const_slots_.size(); ++i) {
+    const auto slot = static_cast<std::size_t>(const_slots_[i]);
+    if (activity != nullptr) {
+      activity->bit_toggles[slot - 1] +=
+          hamming(value[slot], const_values_[i], const_widths_[i]);
+    }
+    value[slot] = const_values_[i];
+  }
+}
+
+void CompiledSimulator::fill_updates(std::uint64_t ticks,
+                                     Activity* activity) const {
+  for (std::size_t i = 0; i < node_count_; ++i) {
+    const auto div = static_cast<std::uint64_t>(node_clock_div_[i]);
+    activity->updates[i] = (ticks + div - 1) / div;
+  }
 }
 
 template <bool kActivity>
@@ -154,11 +217,15 @@ void CompiledSimulator::tick_loop(
           value[static_cast<std::size_t>(cap.src)];
     }
 
-    // Propagate active nodes in creation (topological) order. The
-    // activity path walks the full tape (constant commits count as
-    // updates); the default path walks the const-hoisted tape.
-    const std::vector<Op>& ops = kActivity ? phase.ops : phase.fast_ops;
-    for (const Op& op : ops) {
+    // Constants commit exactly once, on the first tick, after that tick's
+    // captures: the interpreter's registers read the pre-commit zeros at
+    // t = 0, and every later capture sees the committed values.
+    if (t == 0) commit_consts(value, kActivity ? activity : nullptr);
+
+    // Propagate active nodes in creation (topological) order. Activity
+    // mode adds only the per-op toggle popcount; update counts are filled
+    // analytically by run().
+    for (const Op& op : phase.ops) {
       std::int64_t out;
       switch (op.kind) {
         case OpKind::kInput:
@@ -166,9 +233,6 @@ void CompiledSimulator::tick_loop(
               in_streams[static_cast<std::size_t>(op.aux)]
                         [in_cursor[static_cast<std::size_t>(op.aux)]++],
               op.wrap_shift);
-          break;
-        case OpKind::kConst:
-          out = const_values_[static_cast<std::size_t>(op.aux)];
           break;
         case OpKind::kReg:
         case OpKind::kDecimate:
@@ -215,9 +279,7 @@ void CompiledSimulator::tick_loop(
           break;
       }
       if constexpr (kActivity) {
-        const auto node = static_cast<std::size_t>(op.dst - 1);
-        activity->updates[node]++;
-        activity->bit_toggles[node] +=
+        activity->bit_toggles[static_cast<std::size_t>(op.dst - 1)] +=
             hamming(value[static_cast<std::size_t>(op.dst)], out, op.width);
       }
       value[static_cast<std::size_t>(op.dst)] = out;
@@ -228,6 +290,7 @@ void CompiledSimulator::tick_loop(
 SimResult CompiledSimulator::run(
     const std::map<NodeId, std::span<const std::int64_t>>& inputs,
     const CompiledRunOptions& options) const {
+  if (kernel_) return run_codegen(inputs, options);
   DSADC_TRACE_SPAN("rtl_sim_compiled", "rtl");
 
   // Bind streams to input cursors and derive the run length; the checks
@@ -278,17 +341,75 @@ SimResult CompiledSimulator::run(
   }
 
   if (options.activity) {
+    if (ticks > 0) fill_updates(ticks, &result.activity);
     tick_loop<true>(ticks, value, next_state, in_streams, in_cursor,
                     out_streams, &result.activity);
   } else {
-    // Constants are hoisted off the default tape: preload their slots so
-    // users read the committed value from tick 0 on (identical to the
-    // full tape, which would commit them on the first phase anyway).
-    for (std::size_t i = 0; i < const_slots_.size(); ++i) {
-      value[static_cast<std::size_t>(const_slots_[i])] = const_values_[i];
-    }
     tick_loop<false>(ticks, value, next_state, in_streams, in_cursor,
                      out_streams, nullptr);
+  }
+
+  for (std::size_t i = 0; i < output_nodes_.size(); ++i) {
+    result.outputs[output_nodes_[i]] = std::move(out_streams[i]);
+  }
+  return result;
+}
+
+SimResult CompiledSimulator::run_codegen(
+    const std::map<NodeId, std::span<const std::int64_t>>& inputs,
+    const CompiledRunOptions& options) const {
+  DSADC_TRACE_SPAN("rtl_sim_codegen", "rtl");
+
+  // Identical binding and validation to the tape path.
+  std::vector<const std::int64_t*> in_ptrs(input_nodes_.size(), nullptr);
+  std::vector<bool> bound(input_nodes_.size(), false);
+  std::uint64_t ticks = ~std::uint64_t{0};
+  for (const auto& [id, stream] : inputs) {
+    std::size_t slot = input_nodes_.size();
+    for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
+      if (input_nodes_[i] == id) slot = i;
+    }
+    if (slot == input_nodes_.size()) {
+      throw std::invalid_argument("Simulator: stream bound to non-input node");
+    }
+    in_ptrs[slot] = stream.data();
+    bound[slot] = true;
+    ticks = std::min<std::uint64_t>(
+        ticks,
+        stream.size() * static_cast<std::uint64_t>(input_clock_div_[slot]));
+  }
+  if (ticks == ~std::uint64_t{0}) {
+    throw std::invalid_argument("Simulator: no input streams");
+  }
+  for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
+    if (ticks > 0 && !bound[i]) {
+      throw std::invalid_argument("Simulator: unbound input " +
+                                  input_names_[i]);
+    }
+  }
+
+  SimResult result;
+  result.activity.bit_toggles.assign(node_count_, 0);
+  result.activity.updates.assign(node_count_, 0);
+  result.activity.base_ticks = ticks;
+
+  // The kernel produces exactly ceil(ticks / clock_div) samples per
+  // output stream into pre-sized buffers (no push_back in the hot loop).
+  std::vector<std::vector<std::int64_t>> out_streams(output_nodes_.size());
+  std::vector<std::int64_t*> out_ptrs(output_nodes_.size(), nullptr);
+  for (std::size_t i = 0; i < output_nodes_.size(); ++i) {
+    const auto div = static_cast<std::uint64_t>(output_clock_div_[i]);
+    out_streams[i].resize(
+        ticks == 0 ? 0 : static_cast<std::size_t>((ticks + div - 1) / div));
+    out_ptrs[i] = out_streams[i].data();
+  }
+
+  if (options.activity) {
+    if (ticks > 0) fill_updates(ticks, &result.activity);
+    kernel_->run_activity()(ticks, in_ptrs.data(), out_ptrs.data(),
+                            result.activity.bit_toggles.data());
+  } else {
+    kernel_->run()(ticks, in_ptrs.data(), out_ptrs.data());
   }
 
   for (std::size_t i = 0; i < output_nodes_.size(); ++i) {

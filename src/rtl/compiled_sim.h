@@ -16,31 +16,54 @@
 //     wrap widths are pre-converted to shift counts, constants are
 //     pre-evaluated, and input streams are pre-bound to cursors instead
 //     of per-tick map lookups;
+//   * constants are hoisted off the tape entirely: a kConst node commits
+//     the same value on every active tick, so both run modes commit each
+//     constant once on the first tick (after that tick's register
+//     captures, exactly where the interpreter's first commit lands) and
+//     walk constant-free per-phase tapes from then on;
 //   * switching-activity accounting (per-node Hamming toggles, the
-//     PrimeTime-PX stimulus substitute) is an opt-in run mode, so the
-//     default path is pure dataflow with no popcount in the hot loop;
-//   * constants are hoisted off the default tape: kConst nodes commit the
-//     same value on every active tick, so the pure-dataflow path preloads
-//     their value slots once and walks a shorter per-phase tape without
-//     them. Activity mode keeps the full tape (constant commits are
-//     observable in the update counters).
+//     PrimeTime-PX stimulus substitute) is an opt-in run mode. Update
+//     counts need no tape walk at all -- a node in domain d updates
+//     exactly ceil(ticks / d) times -- so they are filled analytically,
+//     and the activity tape only adds one popcount accumulate per op over
+//     the pure-dataflow path.
 //
-// The result is bit-identical to Simulator::run on every netlist --
-// outputs always, and the Activity counters whenever activity mode is
-// on. The interpreted simulator stays as the reference model;
-// tests/test_compiled_sim.cpp and the lint_rtl --sim-crosscheck gate
-// hold the two engines together.
+// On top of the tape interpreter sits an optional JIT codegen engine
+// (codegen.h): the per-phase tapes are emitted as straight-line C++ once
+// per netlist, compiled with the system compiler, cached by content hash
+// and dlopen'd. Construction falls back to the tape engine whenever
+// codegen is off, no compiler is available, or the emitter refuses the
+// netlist; engine() / engine_detail() report what happened. Both engines
+// are bit-identical to Simulator::run on every netlist -- outputs always,
+// and the Activity counters whenever activity mode is on. The interpreted
+// simulator stays as the reference model; tests/test_compiled_sim.cpp,
+// tests/test_codegen.cpp and the lint_rtl --sim-crosscheck gate hold the
+// engines together.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "src/rtl/ir.h"
 #include "src/rtl/sim.h"
 
 namespace dsadc::rtl {
+
+class CompiledSimulator;
+
+namespace codegen {
+class CompiledKernel;
+struct EmitResult;
+/// Befriended accessor for the emitter (defined in codegen.cpp); keeps the
+/// tape internals out of the public surface.
+struct EmitAccess;
+/// Render the elaborated tape as a self-contained C++ translation unit.
+EmitResult emit_source(const CompiledSimulator& sim);
+}  // namespace codegen
 
 /// Run-time knobs for a compiled run.
 struct CompiledRunOptions {
@@ -50,12 +73,31 @@ struct CompiledRunOptions {
   bool activity = false;
 };
 
+/// Which backend a CompiledSimulator ended up with.
+enum class SimEngine {
+  kTape,     ///< flat-tape switch-dispatch interpreter (always available)
+  kCodegen,  ///< dlopen'd straight-line C++ kernel (codegen.h)
+};
+
+/// Construction-time knobs.
+struct CompiledSimOptions {
+  enum class Codegen {
+    kAuto,  ///< follow DSADC_CODEGEN (off unless the env says on)
+    kOff,   ///< tape engine only
+    kOn,    ///< request codegen (DSADC_CODEGEN=off still vetoes; any
+            ///< toolchain failure falls back to the tape engine)
+  };
+  Codegen codegen = Codegen::kAuto;
+};
+
 class CompiledSimulator {
  public:
-  /// Elaborates the module into phase schedules and the op tape. The
-  /// module must stay alive no longer than needed for construction; the
-  /// compiled form is self-contained afterwards.
-  explicit CompiledSimulator(const Module& module);
+  /// Elaborates the module into phase schedules and the op tape, then
+  /// (when requested) builds the codegen kernel. The module must stay
+  /// alive no longer than needed for construction; the compiled form is
+  /// self-contained afterwards.
+  explicit CompiledSimulator(const Module& module,
+                             const CompiledSimOptions& options = {});
 
   /// Drive the module exactly like Simulator::run: as many base ticks as
   /// the input streams allow, one sample consumed per domain tick of each
@@ -66,14 +108,27 @@ class CompiledSimulator {
 
   /// Clock-domain period: lcm over nodes of clock_div.
   int period() const { return period_; }
-  /// Active tape entries per period on the default (pure-dataflow) path,
-  /// summed over phases; constants are hoisted off this tape. The
-  /// interpreted simulator's equivalent cost is nodes * period.
+  /// Active tape entries per period, summed over phases; constants are
+  /// hoisted off the tape (both run modes). The interpreted simulator's
+  /// equivalent cost is nodes * period.
   std::size_t scheduled_ops_per_period() const;
-  /// Tape entries per period in activity mode (full tape, constants in).
-  std::size_t scheduled_ops_per_period_activity() const;
+
+  /// Selected backend; kTape unless codegen was requested and the whole
+  /// emit/compile/load pipeline succeeded.
+  SimEngine engine() const { return engine_; }
+  /// Why the engine is what it is: the fallback reason for kTape after a
+  /// codegen attempt, empty for a plain tape construction.
+  const std::string& engine_detail() const { return engine_detail_; }
+  /// kCodegen only: the kernel came straight out of the content-hash
+  /// cache (no compiler run).
+  bool codegen_cache_hit() const { return codegen_cache_hit_; }
+  /// kCodegen only: path of the cached shared object (tests corrupt it to
+  /// exercise eviction).
+  const std::string& codegen_so_path() const { return codegen_so_path_; }
 
  private:
+  friend struct codegen::EmitAccess;
+
   /// One op on the tape, pre-resolved for the phase loops. Kept flat and
   /// index-based so the per-phase lists walk contiguous memory.
   struct Op {
@@ -106,8 +161,7 @@ class CompiledSimulator {
 
   struct Phase {
     std::vector<Capture> captures;
-    std::vector<Op> ops;       ///< full tape (activity mode), creation order
-    std::vector<Op> fast_ops;  ///< default tape: ops minus hoisted consts
+    std::vector<Op> ops;  ///< constant-free tape, creation order
   };
 
   template <bool kActivity>
@@ -118,18 +172,42 @@ class CompiledSimulator {
                  std::vector<std::vector<std::int64_t>>& out_streams,
                  Activity* activity) const;
 
+  /// Commit every constant's value slot, counting the first-commit toggle
+  /// when `activity` is non-null. Runs once, on the first tick, after that
+  /// tick's captures (the interpreter's registers see the pre-commit zeros
+  /// at t = 0).
+  void commit_consts(std::vector<std::int64_t>& value,
+                     Activity* activity) const;
+
+  /// Analytic update counts: a node in domain d is active on
+  /// ceil(ticks / d) of the first `ticks` base ticks.
+  void fill_updates(std::uint64_t ticks, Activity* activity) const;
+
+  SimResult run_codegen(
+      const std::map<NodeId, std::span<const std::int64_t>>& inputs,
+      const CompiledRunOptions& options) const;
+
   std::size_t node_count_ = 0;
   int period_ = 1;
   std::vector<Phase> phases_;
   std::vector<RequantParams> requants_;
   std::vector<std::int64_t> const_values_;
-  std::vector<std::int32_t> const_slots_;  ///< value slot per const (preload)
-  std::vector<NodeId> input_nodes_;        ///< aux -> kInput node id
+  std::vector<std::int32_t> const_slots_;   ///< value slot per const
+  std::vector<std::uint8_t> const_widths_;  ///< width per const (toggles)
+  std::vector<NodeId> input_nodes_;         ///< aux -> kInput node id
   std::vector<int> input_clock_div_;
   std::vector<std::string> input_names_;
-  std::vector<NodeId> output_nodes_;       ///< aux -> kOutput node id
+  std::vector<NodeId> output_nodes_;        ///< aux -> kOutput node id
   std::vector<int> output_clock_div_;
-  std::size_t state_count_ = 0;            ///< kReg/kDecimate slots
+  std::vector<int> node_clock_div_;         ///< per node (analytic updates)
+  std::size_t state_count_ = 0;             ///< kReg/kDecimate slots
+
+  // Codegen backend state (kTape constructions leave all of it empty).
+  std::shared_ptr<codegen::CompiledKernel> kernel_;
+  SimEngine engine_ = SimEngine::kTape;
+  std::string engine_detail_;
+  std::string codegen_so_path_;
+  bool codegen_cache_hit_ = false;
 };
 
 }  // namespace dsadc::rtl

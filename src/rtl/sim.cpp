@@ -11,8 +11,18 @@ namespace {
 std::uint64_t hamming(std::int64_t a, std::int64_t b, int width) {
   const std::uint64_t mask =
       width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
-  return static_cast<std::uint64_t>(
-      std::popcount((static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b)) & mask));
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(a) ^ static_cast<std::uint64_t>(b)) & mask;
+#if defined(__POPCNT__)
+  return static_cast<std::uint64_t>(std::popcount(x));
+#else
+  // SWAR popcount; see compiled_sim.cpp for why the libgcc fallback of
+  // std::popcount is avoided here.
+  x -= (x >> 1) & 0x5555555555555555ull;
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return (x * 0x0101010101010101ull) >> 56;
+#endif
 }
 
 }  // namespace

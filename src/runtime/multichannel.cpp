@@ -10,6 +10,7 @@
 #include <string>
 #include <thread>
 
+#include "src/decimator/simd.h"
 #include "src/obs/metrics.h"
 
 namespace dsadc::runtime {
@@ -73,7 +74,8 @@ void ChainBank::process_inplace(std::vector<std::int64_t>& data) {
   for (auto& c : cic_) c.process_inplace(data);
 
   decim::soa::RequantTally tally;
-  for (auto& v : data) v = decim::soa::requantize(v, renorm_, tally);
+  decim::simd::kernels().requant_rows(data.data(), data.size(), renorm_,
+                                      tally);
   tally.flush(renorm_);
 
   hbf_.process_inplace(data);
@@ -100,6 +102,14 @@ void MultiChannelRuntime::reset() {
 
 std::vector<std::vector<std::int64_t>> MultiChannelRuntime::process(
     const std::vector<std::vector<std::int32_t>>& codes) {
+  std::vector<std::vector<std::int64_t>> out;
+  process_into(codes, out);
+  return out;
+}
+
+void MultiChannelRuntime::process_into(
+    const std::vector<std::vector<std::int32_t>>& codes,
+    std::vector<std::vector<std::int64_t>>& out) {
   if (codes.size() != channels_) {
     throw std::invalid_argument(
         "MultiChannelRuntime: one code block per channel expected");
@@ -112,16 +122,24 @@ std::vector<std::vector<std::int64_t>> MultiChannelRuntime::process(
     }
   }
 
-  std::vector<std::vector<std::int64_t>> out(channels_);
+  out.resize(channels_);
   const bool obs_on = obs::enabled();
 
   const auto run_group = [&](Group& g) {
     const auto t0 = std::chrono::steady_clock::now();
     const std::size_t w = g.width;
+    // Hoisting the per-lane base pointers turns the interleave into flat
+    // pointer walks (no vector-of-vectors indirection per element).
+    g.rows.resize(w);
+    for (std::size_t lane = 0; lane < w; ++lane) {
+      g.rows[lane] = codes[g.first + lane].data();
+    }
     g.buf.resize(frames * w);
+    std::int64_t* const buf = g.buf.data();
+    const std::int32_t* const* const rows = g.rows.data();
     for (std::size_t f = 0; f < frames; ++f) {
       for (std::size_t lane = 0; lane < w; ++lane) {
-        g.buf[f * w + lane] = codes[g.first + lane][f];
+        buf[f * w + lane] = rows[lane][f];
       }
     }
     g.bank.process_inplace(g.buf);
@@ -129,20 +147,29 @@ std::vector<std::vector<std::int64_t>> MultiChannelRuntime::process(
     for (std::size_t lane = 0; lane < w; ++lane) {
       auto& dst = out[g.first + lane];
       dst.resize(out_frames);
-      for (std::size_t f = 0; f < out_frames; ++f) {
-        dst[f] = g.buf[f * w + lane];
-      }
+      std::int64_t* const d = dst.data();
+      const std::int64_t* const src = g.buf.data() + lane;
+      for (std::size_t f = 0; f < out_frames; ++f) d[f] = src[f * w];
     }
     if (obs_on) {
       const std::chrono::duration<double> dt =
           std::chrono::steady_clock::now() - t0;
       const double sps =
           dt.count() > 0.0 ? static_cast<double>(frames) / dt.count() : 0.0;
-      auto& reg = obs::Registry::instance();
+      if (g.sample_counters.empty()) {
+        auto& reg = obs::Registry::instance();
+        g.sample_counters.reserve(w);
+        g.throughput_gauges.reserve(w);
+        for (std::size_t lane = 0; lane < w; ++lane) {
+          const std::string ch = std::to_string(g.first + lane);
+          g.sample_counters.push_back(&reg.counter("runtime.samples.ch" + ch));
+          g.throughput_gauges.push_back(
+              &reg.gauge("runtime.throughput_sps.ch" + ch));
+        }
+      }
       for (std::size_t lane = 0; lane < w; ++lane) {
-        const std::string ch = std::to_string(g.first + lane);
-        reg.counter("runtime.samples.ch" + ch).add(frames);
-        reg.gauge("runtime.throughput_sps.ch" + ch).set(sps);
+        g.sample_counters[lane]->add(frames);
+        g.throughput_gauges[lane]->set(sps);
       }
     }
   };
@@ -151,7 +178,7 @@ std::vector<std::vector<std::int64_t>> MultiChannelRuntime::process(
       std::min(configured_threads(), groups_.size());
   if (workers <= 1) {
     for (auto& g : groups_) run_group(g);
-    return out;
+    return;
   }
 
   // Atomic-claim worker pool over the (independent) groups. Group width
@@ -179,7 +206,6 @@ std::vector<std::vector<std::int64_t>> MultiChannelRuntime::process(
   worker();
   for (auto& t : pool) t.join();
   if (error) std::rethrow_exception(error);
-  return out;
 }
 
 }  // namespace dsadc::runtime

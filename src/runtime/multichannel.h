@@ -23,13 +23,20 @@
 #include "src/decimator/chain.h"
 #include "src/decimator/soa.h"
 
+namespace dsadc::obs {
+class Counter;
+class Gauge;
+}  // namespace dsadc::obs
+
 namespace dsadc::runtime {
 
 /// Fixed SoA group width. Independent of thread count (so results never
-/// depend on DSADC_RUNTIME_THREADS); 16 int64 lanes fill AVX-512 vectors
-/// twice over and give the mul-heavy FIR/HBF loops enough independent
-/// work to hide multiply latency even in scalar codegen.
-inline constexpr std::size_t kGroupWidth = 16;
+/// depend on DSADC_RUNTIME_THREADS; per-lane results are independent of
+/// the grouping itself, the width only moves performance). 32 int64
+/// lanes fill AVX-512 vectors four times over, amortize the per-frame
+/// scalar bookkeeping of the HBF/CIC kernels, and still leave multiple
+/// groups for the worker pool at 64+ channels.
+inline constexpr std::size_t kGroupWidth = 32;
 
 /// Worker count for the runtime: DSADC_RUNTIME_THREADS when set (clamped
 /// to >= 1), else the hardware concurrency.
@@ -74,6 +81,12 @@ class MultiChannelRuntime {
   std::vector<std::vector<std::int64_t>> process(
       const std::vector<std::vector<std::int32_t>>& codes);
 
+  /// Same, writing into caller-owned vectors (resized to `channels()`).
+  /// Reusing `out` across streaming ticks makes the steady state
+  /// allocation-free once capacities have grown to the block size.
+  void process_into(const std::vector<std::vector<std::int32_t>>& codes,
+                    std::vector<std::vector<std::int64_t>>& out);
+
   void reset();
 
   std::size_t channels() const { return channels_; }
@@ -85,6 +98,12 @@ class MultiChannelRuntime {
     std::size_t width = 0;  ///< lanes in this group (<= kGroupWidth)
     ChainBank bank;
     std::vector<std::int64_t> buf;  ///< interleave scratch
+    std::vector<const std::int32_t*> rows;  ///< transpose input pointers
+    /// Per-lane instrument handles, resolved once on first publish so the
+    /// steady state never rebuilds metric-name strings (Registry handles
+    /// are process-lifetime stable).
+    std::vector<obs::Counter*> sample_counters;
+    std::vector<obs::Gauge*> throughput_gauges;
 
     Group(const decim::ChainConfig& config, std::size_t first_,
           std::size_t width_)

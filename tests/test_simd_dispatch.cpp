@@ -1,0 +1,144 @@
+// Runtime SIMD dispatch: tier selection and cross-tier bit-exactness.
+//
+// The bank kernels are compiled once per tier (scalar / AVX2 / AVX-512)
+// from the same source; the dispatcher must pick only tiers the CPU
+// supports, honour forced tiers, and -- the property everything rests on
+// -- produce bit-identical outputs AND fx event-counter totals on every
+// tier, so CPU dispatch can never change numerical results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/decimator/chain.h"
+#include "src/decimator/simd.h"
+#include "src/obs/metrics.h"
+#include "src/runtime/multichannel.h"
+
+namespace {
+
+using namespace dsadc;
+using decim::simd::Tier;
+
+std::vector<Tier> supported_tiers() {
+  std::vector<Tier> tiers;
+  for (Tier t : {Tier::kScalar, Tier::kAvx2, Tier::kAvx512}) {
+    if (decim::simd::tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// Restore the dispatcher's best tier when a test ends.
+struct TierGuard {
+  ~TierGuard() { decim::simd::set_active_tier(decim::simd::best_tier()); }
+};
+
+TEST(SimdDispatch, ScalarTierAlwaysSupported) {
+  EXPECT_TRUE(decim::simd::tier_supported(Tier::kScalar));
+  const Tier best = decim::simd::best_tier();
+  EXPECT_TRUE(decim::simd::tier_supported(best));
+}
+
+TEST(SimdDispatch, ForcingSupportedTierSticks) {
+  TierGuard guard;
+  for (Tier t : supported_tiers()) {
+    EXPECT_TRUE(decim::simd::set_active_tier(t))
+        << decim::simd::tier_name(t);
+    EXPECT_EQ(decim::simd::active_tier(), t);
+    // The table must be tier-specific state, not a dangling default.
+    EXPECT_NE(decim::simd::kernels().cic_stage, nullptr);
+  }
+}
+
+TEST(SimdDispatch, ForcingUnsupportedTierIsRefused) {
+  TierGuard guard;
+  ASSERT_TRUE(decim::simd::set_active_tier(Tier::kScalar));
+  for (Tier t : {Tier::kAvx2, Tier::kAvx512}) {
+    if (decim::simd::tier_supported(t)) continue;
+    EXPECT_FALSE(decim::simd::set_active_tier(t));
+    EXPECT_EQ(decim::simd::active_tier(), Tier::kScalar);
+  }
+}
+
+TEST(SimdDispatch, TierNames) {
+  EXPECT_STREQ(decim::simd::tier_name(Tier::kScalar), "scalar");
+  EXPECT_STREQ(decim::simd::tier_name(Tier::kAvx2), "avx2");
+  EXPECT_STREQ(decim::simd::tier_name(Tier::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, BankBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kLanes = 16;
+  constexpr std::size_t kFrames = 1 << 10;
+
+  std::vector<std::int64_t> input(kFrames * kLanes);
+  unsigned s = 0x5111D;
+  for (auto& v : input) {
+    s = s * 1664525u + 1013904223u;
+    v = static_cast<std::int64_t>((s >> 24) % 15) - 7;
+  }
+
+  // Reference: the scalar tier's outputs and fx event totals.
+  struct TierRun {
+    std::vector<std::int64_t> out;
+    std::uint64_t rounds = 0;
+    std::uint64_t saturates = 0;
+  };
+  const auto run_tier = [&](Tier t) {
+    EXPECT_TRUE(decim::simd::set_active_tier(t));
+    obs::Registry::instance().reset_all();
+    runtime::ChainBank bank(cfg, kLanes);
+    TierRun r;
+    r.out = input;
+    bank.process_inplace(r.out);
+    r.rounds = obs::Registry::instance().counter_total("fx.round.");
+    r.saturates = obs::Registry::instance().counter_total("fx.saturate.");
+    return r;
+  };
+
+  const TierRun ref = run_tier(Tier::kScalar);
+  EXPECT_FALSE(ref.out.empty());
+  for (Tier t : supported_tiers()) {
+    if (t == Tier::kScalar) continue;
+    const TierRun got = run_tier(t);
+    EXPECT_EQ(ref.out, got.out) << "tier " << decim::simd::tier_name(t);
+    EXPECT_EQ(ref.rounds, got.rounds) << decim::simd::tier_name(t);
+    EXPECT_EQ(ref.saturates, got.saturates) << decim::simd::tier_name(t);
+  }
+}
+
+TEST(SimdDispatch, RuntimeBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  const auto cfg = decim::paper_chain_config();
+  constexpr std::size_t kChannels = 40;  // one full group + one partial
+  constexpr std::size_t kFrames = 512;
+
+  std::vector<std::vector<std::int32_t>> codes(
+      kChannels, std::vector<std::int32_t>(kFrames));
+  unsigned s = 0xD15B;
+  for (auto& ch : codes) {
+    for (auto& v : ch) {
+      s = s * 1664525u + 1013904223u;
+      v = static_cast<std::int32_t>((s >> 24) % 15) - 7;
+    }
+  }
+
+  std::vector<std::vector<std::int64_t>> ref;
+  bool have_ref = false;
+  for (Tier t : supported_tiers()) {
+    ASSERT_TRUE(decim::simd::set_active_tier(t));
+    runtime::MultiChannelRuntime rt(cfg, kChannels);
+    std::vector<std::vector<std::int64_t>> out;
+    rt.process_into(codes, out);
+    ASSERT_EQ(out.size(), kChannels);
+    if (!have_ref) {
+      ref = out;
+      have_ref = true;
+    } else {
+      EXPECT_EQ(ref, out) << "tier " << decim::simd::tier_name(t);
+    }
+  }
+}
+
+}  // namespace

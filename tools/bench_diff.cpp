@@ -17,8 +17,17 @@
 // snr, ...) regresses downward. A current-side record with ok=false fails
 // regardless of metrics.
 //
-// Exit codes: 0 no regression, 1 regression or current-side failure,
-// 2 usage / IO error.
+// After the per-metric lines, a ranked summary lists the worst gated
+// regressions and the best improvements (--top N, default 5) so a long
+// diff leads with what matters.
+//
+// Exit codes, in precedence order:
+//   1  out-of-tolerance regression or current-side ok=false
+//   2  usage / IO error (unreadable record, nothing to compare)
+//   3  a gated metric or record present in the baseline is missing on the
+//      current side (so a silently-dropped benchmark cannot pass CI)
+//   0  no regression, nothing missing
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -90,12 +99,29 @@ bool gated(const std::string& metric, const std::vector<std::string>& gates) {
   return false;
 }
 
+/// One compared metric, kept for the ranked summary.
+struct Delta {
+  std::string file;
+  std::string key;
+  double base = 0.0;
+  double cur = 0.0;
+  double delta = 0.0;  ///< signed relative change
+  bool lower = false;  ///< lower-is-better metric
+  bool gate = false;
+  bool bad = false;
+
+  /// Adverse magnitude: positive when the metric moved in the regressing
+  /// direction, regardless of which direction that is.
+  double adverse() const { return lower ? delta : -delta; }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::vector<std::string> gates;
   double tolerance = 0.20;
+  std::size_t top = 5;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -109,6 +135,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--tolerance") {
       tolerance = std::atof(next());
+    } else if (arg == "--top") {
+      top = static_cast<std::size_t>(std::atoi(next()));
     } else if (arg == "--gate") {
       gates.emplace_back(next());
     } else if (arg == "--quiet" || arg == "-q") {
@@ -116,7 +144,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: bench_diff BASELINE CURRENT [--tolerance FRAC]\n"
-          "                  [--gate PATTERN]... [--quiet]\n");
+          "                  [--gate PATTERN]... [--top N] [--quiet]\n"
+          "exit: 0 ok, 1 regression, 2 usage/IO, 3 gated metric missing\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "bench_diff: unknown flag '%s'\n", arg.c_str());
@@ -135,12 +164,14 @@ int main(int argc, char** argv) {
     const auto current = load_records(positional[1]);
 
     bool regressed = false;
+    bool missing = false;
+    std::vector<Delta> deltas;
     std::size_t compared_files = 0;
     for (const auto& [file, base] : baseline) {
       const auto it = current.find(file);
       if (it == current.end()) {
-        if (!quiet) std::printf("%s: missing on current side (skipped)\n",
-                                file.c_str());
+        std::printf("%s: missing on current side\n", file.c_str());
+        missing = true;
         continue;
       }
       const Json& cur = it->second;
@@ -155,25 +186,84 @@ int main(int argc, char** argv) {
       const Json& cm = cur.at("metrics");
 
       for (const std::string& key : bm.keys()) {
-        if (!cm.contains(key)) continue;
-        if (bm.at(key).type() != Json::Type::kNumber ||
+        if (bm.at(key).type() != Json::Type::kNumber) continue;
+        if (!cm.contains(key) ||
             cm.at(key).type() != Json::Type::kNumber) {
+          if (gated(key, gates)) {
+            std::printf("%s %s: gated metric missing on current side\n",
+                        file.c_str(), key.c_str());
+            missing = true;
+          } else if (!quiet) {
+            std::printf("%s %s: missing on current side (ungated)\n",
+                        file.c_str(), key.c_str());
+          }
           continue;
         }
-        const double b = bm.at(key).as_double();
-        const double c = cm.at(key).as_double();
-        const double delta = b != 0.0 ? (c - b) / std::abs(b)
-                             : (c == 0.0 ? 0.0 : INFINITY);
-        const bool lower = lower_is_better(key);
-        const bool gate = gated(key, gates);
-        const bool bad =
-            gate && (lower ? delta > tolerance : delta < -tolerance);
-        regressed = regressed || bad;
-        if (!quiet || bad) {
-          std::printf("%s %s: %.6g -> %.6g (%+.1f%%)%s%s\n", file.c_str(),
-                      key.c_str(), b, c, 100.0 * delta,
-                      gate ? "" : " [ungated]",
-                      bad ? "  REGRESSION" : "");
+        Delta d;
+        d.file = file;
+        d.key = key;
+        d.base = bm.at(key).as_double();
+        d.cur = cm.at(key).as_double();
+        d.delta = d.base != 0.0 ? (d.cur - d.base) / std::abs(d.base)
+                                : (d.cur == 0.0 ? 0.0 : INFINITY);
+        d.lower = lower_is_better(key);
+        d.gate = gated(key, gates);
+        d.bad = d.gate && d.adverse() > tolerance;
+        regressed = regressed || d.bad;
+        if (!quiet || d.bad) {
+          std::printf("%s %s: %.6g -> %.6g (%+.1f%%)%s%s\n", d.file.c_str(),
+                      d.key.c_str(), d.base, d.cur, 100.0 * d.delta,
+                      d.gate ? "" : " [ungated]",
+                      d.bad ? "  REGRESSION" : "");
+        }
+        deltas.push_back(std::move(d));
+      }
+    }
+
+    // Ranked summary: worst gated regressions first, then the best
+    // improvements, both by adverse/favourable magnitude.
+    if (top > 0 && !deltas.empty()) {
+      std::vector<const Delta*> worst;
+      std::vector<const Delta*> bestv;
+      for (const Delta& d : deltas) {
+        if (!std::isfinite(d.delta) || d.delta == 0.0) {
+          if (d.adverse() > 0.0 && d.gate) worst.push_back(&d);
+          continue;
+        }
+        (d.adverse() > 0.0 ? (d.gate ? worst : bestv) : bestv)
+            .push_back(&d);
+      }
+      // bestv picked up ungated adverse moves above; keep only genuine
+      // improvements there.
+      bestv.erase(std::remove_if(bestv.begin(), bestv.end(),
+                                 [](const Delta* d) {
+                                   return d->adverse() >= 0.0;
+                                 }),
+                  bestv.end());
+      const auto by_adverse = [](const Delta* a, const Delta* b) {
+        return a->adverse() > b->adverse();
+      };
+      std::sort(worst.begin(), worst.end(), by_adverse);
+      std::sort(bestv.begin(), bestv.end(),
+                [](const Delta* a, const Delta* b) {
+                  return a->adverse() < b->adverse();
+                });
+      if (!worst.empty()) {
+        std::printf("\nworst regressions (gated):\n");
+        for (std::size_t i = 0; i < worst.size() && i < top; ++i) {
+          const Delta& d = *worst[i];
+          std::printf("  %2zu. %s %s %+.1f%% (%.6g -> %.6g)%s\n", i + 1,
+                      d.file.c_str(), d.key.c_str(), 100.0 * d.delta, d.base,
+                      d.cur, d.bad ? "  OVER TOLERANCE" : "");
+        }
+      }
+      if (!bestv.empty() && !quiet) {
+        std::printf("\nbest improvements:\n");
+        for (std::size_t i = 0; i < bestv.size() && i < top; ++i) {
+          const Delta& d = *bestv[i];
+          std::printf("  %2zu. %s %s %+.1f%% (%.6g -> %.6g)\n", i + 1,
+                      d.file.c_str(), d.key.c_str(), 100.0 * d.delta, d.base,
+                      d.cur);
         }
       }
     }
@@ -183,11 +273,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (!quiet) {
-      std::printf("bench_diff: %zu record(s), tolerance %.0f%%: %s\n",
+      std::printf("\nbench_diff: %zu record(s), tolerance %.0f%%: %s%s\n",
                   compared_files, 100.0 * tolerance,
-                  regressed ? "REGRESSION" : "ok");
+                  regressed ? "REGRESSION" : "ok",
+                  missing ? " (missing gated data)" : "");
     }
-    return regressed ? 1 : 0;
+    if (regressed) return 1;
+    if (missing) return 3;
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_diff: %s\n", e.what());
     return 2;
