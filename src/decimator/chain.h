@@ -22,6 +22,10 @@
 #include "src/filterdesign/saramaki.h"
 #include "src/obs/store/format.h"
 
+namespace dsadc::runtime {
+class ChainBank;  // multichannel SoA form; may export lane state into a chain
+}
+
 namespace dsadc::decim {
 
 /// Everything needed to instantiate the chain; produced by the design flow
@@ -94,6 +98,10 @@ class DecimationChain {
   std::size_t group_delay_input_samples() const;
 
  private:
+  /// ChainBank::export_lane deposits a bank lane's streaming state into the
+  /// scalar stages so a chain can continue the lane's stream bit-exactly.
+  friend class runtime::ChainBank;
+
   /// Record one stage boundary: probe capture (when requested) plus, while
   /// observability is on, chain.<metric>.<stage> gauges/counters in the
   /// metrics registry, and, while the trace store is open, one kStage

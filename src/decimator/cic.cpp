@@ -166,6 +166,23 @@ void CicDecimatorBank::process_inplace(std::vector<std::int64_t>& data) {
   data.resize(n_out * C);
 }
 
+void CicDecimatorBank::export_lane(std::size_t lane, CicDecimator& dst) const {
+  if (lane >= channels_) {
+    throw std::invalid_argument("CicDecimatorBank: export lane out of range");
+  }
+  if (dst.spec_.order != spec_.order ||
+      dst.spec_.decimation != spec_.decimation ||
+      dst.fmt_.width != fmt_.width) {
+    throw std::invalid_argument("CicDecimatorBank: export spec mismatch");
+  }
+  const auto order = static_cast<std::size_t>(spec_.order);
+  for (std::size_t k = 0; k < order; ++k) {
+    dst.integ_[k] = integ_[k * channels_ + lane];
+    dst.comb_[k] = comb_[k * channels_ + lane];
+  }
+  dst.phase_ = phase_;
+}
+
 CicCascade::CicCascade(std::vector<design::CicSpec> specs,
                        CicHardwareOptions options) {
   if (specs.empty()) throw std::invalid_argument("CicCascade: no stages");

@@ -56,6 +56,8 @@ class CicDecimator {
   std::int64_t dc_gain() const;
 
  private:
+  friend class CicDecimatorBank;  // lane-state export (see export_lane)
+
   design::CicSpec spec_;
   CicHardwareOptions options_;
   fx::Format fmt_;
@@ -80,6 +82,12 @@ class CicDecimatorBank {
   void process_inplace(std::vector<std::int64_t>& data);
 
   void reset();
+
+  /// Copy lane `lane`'s streaming state into a scalar stage built from the
+  /// same spec, so `dst` continues the lane's sample stream bit-exactly
+  /// (accumulators, differentiator delays, decimation phase). Valid at any
+  /// block boundary -- the bank keeps one shared phase for all lanes.
+  void export_lane(std::size_t lane, CicDecimator& dst) const;
 
   const design::CicSpec& spec() const { return spec_; }
   const fx::Format& register_format() const { return fmt_; }

@@ -154,6 +154,27 @@ void FirDecimatorBank::reset() {
   phase_ = 0;
 }
 
+void FirDecimatorBank::export_lane(std::size_t lane, FirDecimator& dst) const {
+  if (lane >= channels_) {
+    throw std::invalid_argument("FirDecimatorBank: export lane out of range");
+  }
+  if (dst.taps_.taps != taps_.taps || dst.taps_.frac_bits != taps_.frac_bits ||
+      dst.decimation_ != decimation_) {
+    throw std::invalid_argument("FirDecimatorBank: export taps mismatch");
+  }
+  // Bank row r holds what the scalar stage stores at delay_[r]; the write
+  // cursor and decimation phase are shared across lanes.
+  const std::size_t tap_count = taps_.size();
+  for (std::size_t r = 0; r < tap_count; ++r) {
+    dst.delay_[r] = delay_[r * channels_ + lane];
+  }
+  dst.pos_ = pos_;
+  dst.phase_ = phase_;
+  // filled_ only tracks warmup for introspection; the arithmetic never
+  // reads it, so "fully warm" keeps the scalar invariant filled_ <= taps.
+  dst.filled_ = tap_count;
+}
+
 void FirDecimatorBank::process_inplace(std::vector<std::int64_t>& data) {
   // The scalar block kernel widened to channel rows: the window becomes
   // (tap_count - 1 + frames) rows, each emit position a row of C

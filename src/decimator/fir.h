@@ -55,6 +55,8 @@ class FirDecimator {
   const fx::Format& output_format() const { return out_fmt_; }
 
  private:
+  friend class FirDecimatorBank;  // lane-state export (see export_lane)
+
   FixedTaps taps_;
   int decimation_;
   fx::Format in_fmt_, out_fmt_;
@@ -83,6 +85,11 @@ class FirDecimatorBank {
   void process_inplace(std::vector<std::int64_t>& data);
 
   void reset();
+
+  /// Copy lane `lane`'s streaming state (delay line, write cursor,
+  /// decimation phase) into a scalar stage built from the same taps and
+  /// formats, so `dst` continues the lane's stream bit-exactly.
+  void export_lane(std::size_t lane, FirDecimator& dst) const;
 
   std::size_t channels() const { return channels_; }
   const FixedTaps& taps() const { return taps_; }

@@ -319,6 +319,43 @@ void SaramakiHbfBank::reset() {
   phase_ = 0;
 }
 
+void SaramakiHbfBank::export_lane(std::size_t lane,
+                                  SaramakiHbfDecimator& dst) const {
+  if (lane >= channels_) {
+    throw std::invalid_argument("SaramakiHbfBank: export lane out of range");
+  }
+  if (dst.p_.n1 != p_.n1 || dst.p_.n2 != p_.n2 || dst.p_.big_d != p_.big_d ||
+      dst.p_.coeff_frac != p_.coeff_frac ||
+      dst.p_.f2_coeffs != p_.f2_coeffs || dst.p_.f1_coeffs != p_.f1_coeffs) {
+    throw std::invalid_argument("SaramakiHbfBank: export design mismatch");
+  }
+  // Bank row r of every delay structure holds what the scalar stage stores
+  // at element r; all cursors (block_pos_, opos_, bpos_, phase_) are shared
+  // across lanes, so the export is a strided copy plus the cursor values.
+  const std::size_t C = channels_;
+  for (std::size_t k = 0; k < block_hist_.size(); ++k) {
+    auto& blk = dst.blocks_[k];
+    const std::size_t rows = blk.hist.size();
+    for (std::size_t r = 0; r < rows; ++r) {
+      blk.hist[r] = block_hist_[k][r * C + lane];
+    }
+    blk.pos = block_pos_[k];
+  }
+  const std::size_t odd_rows = odd_delay_.size() / C;
+  for (std::size_t r = 0; r < odd_rows; ++r) {
+    dst.odd_delay_[r] = odd_delay_[r * C + lane];
+  }
+  dst.opos_ = opos_;
+  for (std::size_t i = 0; i < branch_delay_.size(); ++i) {
+    const std::size_t rows = branch_delay_[i].size() / C;
+    for (std::size_t r = 0; r < rows; ++r) {
+      dst.branch_delay_[i][r] = branch_delay_[i][r * C + lane];
+    }
+    dst.bpos_[i] = bpos_[i];
+  }
+  dst.phase_ = phase_;
+}
+
 void SaramakiHbfBank::g2_bank_pass(std::size_t block,
                                    std::vector<std::int64_t>& stream) {
   // g2_block_pass with every sample widened to a row of C channels. The

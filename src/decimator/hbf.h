@@ -82,6 +82,8 @@ class SaramakiHbfDecimator {
   std::size_t macs_per_output() const;
 
  private:
+  friend class SaramakiHbfBank;  // lane-state export (see export_lane)
+
   /// One G2 subfilter instance (even-phase, length 2*n2, symmetric).
   struct G2Block {
     std::vector<std::int64_t> hist;  // circular delay line, size 2*n2
@@ -136,6 +138,12 @@ class SaramakiHbfBank {
   void process_inplace(std::vector<std::int64_t>& data);
 
   void reset();
+
+  /// Copy lane `lane`'s streaming state into a scalar decimator built from
+  /// the same design/formats: G2 cascade histories + cursors, the 0.5-path
+  /// delay, branch delays, and the decimate-by-2 phase. `dst` then
+  /// continues the lane's stream bit-exactly from the next sample on.
+  void export_lane(std::size_t lane, SaramakiHbfDecimator& dst) const;
 
   std::size_t channels() const { return channels_; }
   std::size_t group_delay() const { return p_.big_d; }

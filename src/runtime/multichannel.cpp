@@ -83,6 +83,26 @@ void ChainBank::process_inplace(std::vector<std::int64_t>& data) {
   equalizer_.process_inplace(data);
 }
 
+void ChainBank::export_lane(std::size_t lane,
+                            decim::DecimationChain& dst) const {
+  if (lane >= lanes_) {
+    throw std::invalid_argument("ChainBank: export lane out of range");
+  }
+  // Stage-by-stage state transplant (scaler and renorm are stateless).
+  // DecimationChain befriends ChainBank precisely for this: the bank IS the
+  // SoA form of the chain, so the per-stage exports land on the matching
+  // scalar stages and the chain continues the lane bit-exactly.
+  auto& stages = dst.cic_.stages();
+  if (stages.size() != cic_.size()) {
+    throw std::invalid_argument("ChainBank: export config mismatch");
+  }
+  for (std::size_t i = 0; i < cic_.size(); ++i) {
+    cic_[i].export_lane(lane, stages[i]);
+  }
+  hbf_.export_lane(lane, dst.hbf_);
+  equalizer_.export_lane(lane, dst.equalizer_);
+}
+
 MultiChannelRuntime::MultiChannelRuntime(const decim::ChainConfig& config,
                                          std::size_t channels)
     : channels_(channels) {

@@ -56,6 +56,13 @@ class ChainBank {
 
   void reset();
 
+  /// Copy lane `lane`'s streaming state into a scalar chain constructed
+  /// from the same config, so `dst` continues that lane's sample stream --
+  /// and its fx event attribution -- bit-exactly from the next block on.
+  /// The batch serving mode uses this to dissolve a lockstep group back to
+  /// per-session scalar chains (stragglers, reconfigure, drain, close).
+  void export_lane(std::size_t lane, decim::DecimationChain& dst) const;
+
   std::size_t lanes() const { return lanes_; }
 
  private:

@@ -51,11 +51,27 @@ bool Client::send_raw(const void* data, std::size_t n) {
   return net::send_all(fd_, static_cast<const std::uint8_t*>(data), n);
 }
 
-bool Client::open(std::uint32_t channel, std::uint32_t preset) {
+bool Client::open(std::uint32_t channel, std::uint32_t preset,
+                  bool lockstep) {
   Frame f;
   f.type = FrameType::kOpen;
+  f.flags = lockstep ? kFlagLockstep : 0;
   f.channel = channel;
   f.payload = encode_u32(preset);
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    send_seq_[channel] = 0;
+  }
+  return send_frame(f);
+}
+
+bool Client::open_config(std::uint32_t channel,
+                         const decim::ChainConfig& cfg, bool lockstep) {
+  Frame f;
+  f.type = FrameType::kOpen;
+  f.flags = lockstep ? kFlagLockstep : 0;
+  f.channel = channel;
+  f.payload = encode_chain_config(cfg);
   {
     std::lock_guard<std::mutex> lock(send_mu_);
     send_seq_[channel] = 0;
@@ -68,6 +84,15 @@ bool Client::reconfigure(std::uint32_t channel, std::uint32_t preset) {
   f.type = FrameType::kConfig;
   f.channel = channel;
   f.payload = encode_u32(preset);
+  return send_frame(f);
+}
+
+bool Client::reconfigure_config(std::uint32_t channel,
+                                const decim::ChainConfig& cfg) {
+  Frame f;
+  f.type = FrameType::kConfig;
+  f.channel = channel;
+  f.payload = encode_chain_config(cfg);
   return send_frame(f);
 }
 
@@ -120,6 +145,9 @@ void Client::receiver_loop() {
     FrameParser::Result res;
     bool bad = false;
     while ((res = parser.next(&f)) == FrameParser::Result::kFrame) {
+      if (frame_hook_) {
+        frame_hook_(f.type, f.channel, f.seq, f.payload.size());
+      }
       std::lock_guard<std::mutex> lock(mu_);
       auto& st = channels_[f.channel];
       switch (f.type) {

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,8 +42,17 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   // --- senders (caller thread; false once the connection is down) ------
-  bool open(std::uint32_t channel, std::uint32_t preset = 0);
+  /// `lockstep` sets the OPEN frame's LOCKSTEP flag: the server may batch
+  /// this channel's DATA frames with co-configured lockstep tenants
+  /// (bit-exact either way; purely a throughput hint).
+  bool open(std::uint32_t channel, std::uint32_t preset = 0,
+            bool lockstep = false);
+  /// OPEN with a fully serialized ChainConfig instead of a preset id.
+  bool open_config(std::uint32_t channel, const decim::ChainConfig& cfg,
+                   bool lockstep = false);
   bool reconfigure(std::uint32_t channel, std::uint32_t preset);
+  bool reconfigure_config(std::uint32_t channel,
+                          const decim::ChainConfig& cfg);
   bool send_data(std::uint32_t channel, std::span<const std::int32_t> codes);
   bool send_data_seq(std::uint32_t channel, std::uint32_t seq,
                      std::span<const std::int32_t> codes);
@@ -68,6 +78,16 @@ class Client {
   bool wait_shed_count(std::uint32_t channel, std::size_t n, Millis t);
   /// Wait until total sheds (all channels) reaches n.
   bool wait_total_sheds(std::size_t n, Millis t);
+
+  /// Observe every received frame on the receiver thread, before the
+  /// frame updates the per-channel state. The benches use this to stamp
+  /// wire-to-wire frame latency; keep the hook cheap. Set before any
+  /// frame can arrive (right after connect) -- the hook is not locked
+  /// against the receiver.
+  using FrameHook =
+      std::function<void(FrameType type, std::uint32_t channel,
+                         std::uint32_t seq, std::size_t payload_bytes)>;
+  void set_frame_hook(FrameHook hook) { frame_hook_ = std::move(hook); }
 
   /// Pause/resume the receiver's socket reads (slow-consumer emulation).
   void set_paused(bool paused);
@@ -97,6 +117,8 @@ class Client {
   std::vector<std::pair<std::uint32_t, ErrorCode>> errors_;
   std::size_t total_sheds_ = 0;
   bool disconnected_ = false;
+
+  FrameHook frame_hook_;
 
   std::mutex send_mu_;
   std::map<std::uint32_t, std::uint32_t> send_seq_;

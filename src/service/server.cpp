@@ -3,9 +3,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#endif
+
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,6 +78,17 @@ ErrorCode status_error(SessionStatus s) {
   return ErrorCode::kInternal;
 }
 
+OutFrame make_frame(FrameType type, std::uint32_t channel, std::uint32_t seq,
+                    std::vector<std::uint8_t> payload = {}) {
+  OutFrame f;
+  f.payload = std::move(payload);
+  seal_frame(f, type, 0, channel, seq);
+  return f;
+}
+
+constexpr std::size_t kRecvBufInitial = 16 * 1024;
+constexpr std::size_t kRecvBufMax = kHeaderBytes + kMaxPayloadBytes;
+
 }  // namespace
 
 ServerOptions options_from_env() {
@@ -88,27 +105,63 @@ ServerOptions options_from_env() {
   o.queue_capacity = env_size("DSADC_SERVICE_QUEUE_CAP", o.queue_capacity);
   o.out_queue_capacity =
       env_size("DSADC_SERVICE_OUT_CAP", o.out_queue_capacity);
+  if (const char* io = std::getenv("DSADC_SERVICE_IO")) {
+    if (std::strcmp(io, "threads") == 0) {
+      o.io = IoBackend::kThreads;
+    } else if (std::strcmp(io, "epoll") == 0) {
+      o.io = IoBackend::kEpoll;
+    }
+  }
+  o.event_threads = env_size("DSADC_SERVICE_EVENT_THREADS", o.event_threads);
+  if (const char* v = std::getenv("DSADC_SERVICE_BATCH_LINGER_US")) {
+    o.batch_linger_us = std::strtol(v, nullptr, 10);
+  }
   return o;
 }
 
 struct Server::Connection {
-  Connection(int fd_, std::uint64_t id_, std::size_t out_cap)
-      : fd(fd_), id(id_), out(out_cap) {}
+  Connection(int fd_, std::uint64_t id_, std::size_t out_cap, bool epoll_)
+      : fd(fd_), id(id_), epoll(epoll_), out(epoll_ ? 2 : out_cap) {}
 
   int fd;
   std::uint64_t id;
-  /// Encoded server->client frames awaiting the writer. Producers: the
-  /// worker-pool callbacks plus the reader (errors, shed notices).
-  runtime::MpmcRing<std::vector<std::uint8_t>> out;
+  const bool epoll;
+  /// Sealed server->client frames awaiting the writer (threads backend).
+  /// Producers: the worker-pool callbacks plus the reader.
+  runtime::MpmcRing<OutFrame> out;
   std::atomic<bool> dead{false};        ///< socket send failed; discard
   std::atomic<std::size_t> jobs{0};     ///< submitted, callback not done
   std::atomic<bool> reader_done{false};
-  std::thread reader;
-  std::thread writer;
+  std::thread reader;  ///< threads backend
+  std::thread writer;  ///< threads backend
 
-  // Reader-thread-only session bookkeeping.
+  /// Receive buffer the zero-copy scan runs over; owned by the reader
+  /// thread (threads backend) or the pinned event thread (epoll backend).
+  /// FrameView payloads borrow [0, in_len) until the post-scan compaction.
+  std::vector<std::uint8_t> in_buf;
+  std::size_t in_len = 0;
+
+  // Reader/event-thread-only session bookkeeping.
   std::unordered_map<std::uint32_t, std::uint32_t> next_seq;
   std::unordered_set<std::uint32_t> opened;
+
+  // --- epoll backend state ---
+  EventThread* owner = nullptr;  ///< pinned event thread (id % N)
+  /// Output queue; shared with worker callbacks (unlike the ring above,
+  /// unbounded under kBlock -- input pausing bounds it end to end).
+  std::mutex out_mu;
+  std::deque<OutFrame> outq;
+  /// Collapses duplicate entries in the owner's flush queue.
+  std::atomic<bool> flush_queued{false};
+
+  // Event-thread-only I/O state.
+  bool writable = false;   ///< last EPOLLOUT edge not yet consumed by EAGAIN
+  bool stalled = false;    ///< input paused: output queue over the cap
+  bool input_done = false; ///< EOF/protocol error seen; stop reading
+  bool finalized = false;  ///< deregistered from epoll
+  OutFrame wip;            ///< frame partially written to the socket
+  std::size_t wip_off = 0;
+  bool wip_active = false;
 
   std::uint64_t key(std::uint32_t channel) const {
     return (id << 32) | channel;
@@ -124,12 +177,45 @@ struct Server::Connection {
   }
 };
 
+#ifdef __linux__
+/// One edge-triggered epoll loop plus its wake channel. Connections are
+/// pinned to an event thread by id, so all of a connection's parse and
+/// I/O state is single-threaded; only the flush queue and the output
+/// deques are crossed by worker callbacks.
+struct Server::EventThread {
+  int ep = -1;
+  int wake_fd = -1;
+  std::thread th;
+  std::atomic<bool> stop{false};
+
+  std::mutex mu;
+  std::vector<std::shared_ptr<Connection>> fresh;  ///< awaiting epoll ADD
+  std::vector<std::shared_ptr<Connection>> flush;  ///< new output queued
+
+  /// Registered connections (event-thread only); keeps them alive while
+  /// epoll holds raw pointers.
+  std::unordered_map<Connection*, std::shared_ptr<Connection>> owned;
+
+  void wake() {
+    const std::uint64_t one = 1;
+    (void)!::write(wake_fd, &one, sizeof(one));
+  }
+};
+#else
+struct Server::EventThread {};
+#endif
+
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+#ifndef __linux__
+  opts_.io = IoBackend::kThreads;  // epoll is Linux-only
+#endif
+  if (opts_.event_threads == 0) opts_.event_threads = 1;
   runtime::SessionRuntime::Options ro;
   ro.shards = opts_.shards;
   ro.workers = opts_.workers;
   ro.queue_capacity = opts_.queue_capacity;
   ro.policy = opts_.policy;
+  ro.batch_linger_us = opts_.batch_linger_us;
   runtime_ = std::make_unique<runtime::SessionRuntime>(ro);
 }
 
@@ -157,6 +243,24 @@ void Server::start() {
     throw std::runtime_error(
         "service: no listener configured (set unix_path and/or tcp)");
   }
+#ifdef __linux__
+  if (opts_.io == IoBackend::kEpoll) {
+    for (std::size_t i = 0; i < opts_.event_threads; ++i) {
+      auto et = std::make_unique<EventThread>();
+      et->ep = ::epoll_create1(0);
+      et->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+      if (et->ep < 0 || et->wake_fd < 0) {
+        throw std::runtime_error("service: epoll/eventfd setup failed");
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;  // level-triggered wake channel
+      ev.data.ptr = nullptr;
+      ::epoll_ctl(et->ep, EPOLL_CTL_ADD, et->wake_fd, &ev);
+      et->th = std::thread([this, p = et.get()] { event_loop(*p); });
+      events_.push_back(std::move(et));
+    }
+  }
+#endif
   accept_threads_.reserve(listen_fds_.size());
   for (const int fd : listen_fds_) {
     accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
@@ -181,8 +285,26 @@ void Server::accept_loop(int listen_fd) {
 }
 
 void Server::spawn_connection(int fd) {
+  const bool epoll_mode = !events_.empty();
   auto conn = std::make_shared<Connection>(
-      fd, next_conn_id_.fetch_add(1), opts_.out_queue_capacity);
+      fd, next_conn_id_.fetch_add(1), opts_.out_queue_capacity, epoll_mode);
+  if (epoll_mode) {
+#ifdef __linux__
+    net::set_nonblocking(fd);
+    auto& et = *events_[conn->id % events_.size()];
+    conn->owner = &et;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(et.mu);
+      et.fresh.push_back(std::move(conn));
+    }
+    et.wake();
+#endif
+    return;
+  }
   conn->reader = std::thread([this, conn] { reader_loop(conn); });
   conn->writer = std::thread([this, conn] { writer_loop(conn); });
   std::lock_guard<std::mutex> lock(conns_mu_);
@@ -190,49 +312,103 @@ void Server::spawn_connection(int fd) {
 }
 
 void Server::conn_send(const std::shared_ptr<Connection>& conn,
-                       const Frame& f) {
+                       OutFrame&& f) {
   if (conn->dead.load(std::memory_order_relaxed)) return;
-  std::vector<std::uint8_t> bytes = encode_frame(f);
-  if (opts_.policy == runtime::SessionRuntime::Overload::kShed) {
-    if (!conn->out.try_push(bytes)) count_service("shed_out");
-  } else {
-    // Blocking: backpressure onto the producing worker. Returns false
-    // only when the ring was closed during teardown; the frame is moot.
-    (void)conn->out.push(std::move(bytes));
+  if (!conn->epoll) {
+    if (opts_.policy == runtime::SessionRuntime::Overload::kShed) {
+      if (!conn->out.try_push(f)) count_service("shed_out");
+    } else {
+      // Blocking: backpressure onto the producing worker. Returns false
+      // only when the ring was closed during teardown; the frame is moot.
+      (void)conn->out.push(std::move(f));
+    }
+    return;
   }
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (opts_.policy == runtime::SessionRuntime::Overload::kShed &&
+        conn->outq.size() >= opts_.out_queue_capacity) {
+      count_service("shed_out");
+      return;
+    }
+    conn->outq.push_back(std::move(f));
+  }
+  schedule_flush(conn);
+}
+
+void Server::schedule_flush(const std::shared_ptr<Connection>& conn) {
+#ifdef __linux__
+  auto* et = conn->owner;
+  if (et == nullptr) return;
+  if (conn->flush_queued.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(et->mu);
+    et->flush.push_back(conn);
+  }
+  et->wake();
+#else
+  (void)conn;
+#endif
 }
 
 void Server::finish_job(const std::shared_ptr<Connection>& conn) {
   conn->jobs.fetch_sub(1, std::memory_order_acq_rel);
-  conn->maybe_close_out();
+  if (conn->epoll) {
+    // Revisit the connection so the event thread can finalize it once the
+    // last callback has run (output drained + reader done).
+    schedule_flush(conn);
+  } else {
+    conn->maybe_close_out();
+  }
+}
+
+std::shared_ptr<const decim::ChainConfig> Server::resolve_config(
+    std::span<const std::uint8_t> payload, ErrorCode* err) {
+  if (payload.size() == 4) {
+    std::uint32_t preset = 0;
+    (void)decode_u32(payload, &preset);
+    auto cfg = preset_config(preset);
+    if (!cfg) *err = ErrorCode::kBadPreset;
+    return cfg;
+  }
+  // Full serialized ChainConfig. Interned by payload bytes: tenants that
+  // send the identical blob share one config object, which is what lets
+  // their lockstep sessions batch (grouping keys on the pointer).
+  std::string key(payload.begin(), payload.end());
+  {
+    std::lock_guard<std::mutex> lock(cfg_mu_);
+    const auto it = cfg_cache_.find(key);
+    if (it != cfg_cache_.end()) return it->second;
+  }
+  decim::ChainConfig cfg;
+  if (!decode_chain_config(payload, &cfg)) {
+    *err = ErrorCode::kBadPayload;
+    return nullptr;
+  }
+  auto shared = std::make_shared<const decim::ChainConfig>(std::move(cfg));
+  std::lock_guard<std::mutex> lock(cfg_mu_);
+  return cfg_cache_.emplace(std::move(key), std::move(shared)).first->second;
 }
 
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,
-                          Frame&& f) {
+                          const FrameView& f) {
   const std::uint32_t ch = f.channel;
   const std::uint32_t seq = f.seq;
 
   const auto reject = [&](ErrorCode code) {
     count_service("rejected");
-    Frame e;
-    e.type = FrameType::kError;
-    e.channel = ch;
-    e.seq = seq;
-    e.payload = encode_u32(static_cast<std::uint32_t>(code));
-    conn_send(conn, e);
+    conn_send(conn,
+              make_frame(FrameType::kError, ch, seq,
+                         encode_u32(static_cast<std::uint32_t>(code))));
   };
 
   switch (f.type) {
     case FrameType::kOpen:
     case FrameType::kConfig: {
-      std::uint32_t preset = 0;
-      if (!decode_u32(f.payload, &preset)) {
-        reject(ErrorCode::kBadPayload);
-        return;
-      }
-      auto cfg = preset_config(preset);
+      ErrorCode err = ErrorCode::kBadPayload;
+      auto cfg = resolve_config(f.payload, &err);
       if (!cfg) {
-        reject(ErrorCode::kBadPreset);
+        reject(err);
         return;
       }
       if (f.type == FrameType::kOpen) {
@@ -244,20 +420,19 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       job.op = f.type == FrameType::kOpen ? SessionOp::kOpen
                                           : SessionOp::kReconfigure;
       job.config = std::move(cfg);
+      job.lockstep =
+          f.type == FrameType::kOpen && (f.flags & kFlagLockstep) != 0;
       const FrameType acked = f.type;
       job.done = [this, conn, ch, seq, acked](SessionResult r) {
-        Frame resp;
-        resp.channel = ch;
-        resp.seq = seq;
         if (r.status == SessionStatus::kOk) {
-          resp.type = FrameType::kAck;
-          resp.payload = encode_u32(static_cast<std::uint32_t>(acked));
+          conn_send(conn,
+                    make_frame(FrameType::kAck, ch, seq,
+                               encode_u32(static_cast<std::uint32_t>(acked))));
         } else {
-          resp.type = FrameType::kError;
-          resp.payload = encode_u32(
-              static_cast<std::uint32_t>(status_error(r.status)));
+          conn_send(conn, make_frame(FrameType::kError, ch, seq,
+                                     encode_u32(static_cast<std::uint32_t>(
+                                         status_error(r.status)))));
         }
-        conn_send(conn, resp);
         finish_job(conn);
       };
       conn->jobs.fetch_add(1, std::memory_order_acq_rel);
@@ -286,12 +461,8 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
       job.done = [this, conn, ch, seq, frames, t0](SessionResult r) {
         if (r.status == SessionStatus::kOk) {
           if (!r.samples.empty()) {
-            Frame out;
-            out.type = FrameType::kDataOut;
-            out.channel = ch;
-            out.seq = seq;
-            out.payload = encode_samples(r.samples);
-            conn_send(conn, out);
+            conn_send(conn, make_frame(FrameType::kDataOut, ch, seq,
+                                       encode_samples(r.samples)));
           }
           if (obs::enabled()) {
             const std::chrono::duration<double> dt =
@@ -303,13 +474,9 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
             }
           }
         } else {
-          Frame e;
-          e.type = FrameType::kError;
-          e.channel = ch;
-          e.seq = seq;
-          e.payload = encode_u32(
-              static_cast<std::uint32_t>(status_error(r.status)));
-          conn_send(conn, e);
+          conn_send(conn, make_frame(FrameType::kError, ch, seq,
+                                     encode_u32(static_cast<std::uint32_t>(
+                                         status_error(r.status)))));
         }
         finish_job(conn);
       };
@@ -321,11 +488,7 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         finish_job(conn);
         count_tenant("shed", ch);
         store_admission(false, ch, frames, seq);
-        Frame shed;
-        shed.type = FrameType::kShed;
-        shed.channel = ch;
-        shed.seq = seq;
-        conn_send(conn, shed);
+        conn_send(conn, make_frame(FrameType::kShed, ch, seq));
       }
       return;
     }
@@ -342,35 +505,20 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
         if (r.status == SessionStatus::kOk) {
           if (drain) {
             if (!r.samples.empty()) {
-              Frame out;
-              out.type = FrameType::kDataOut;
-              out.channel = ch;
-              out.seq = seq;
-              out.payload = encode_samples(r.samples);
-              conn_send(conn, out);
+              conn_send(conn, make_frame(FrameType::kDataOut, ch, seq,
+                                         encode_samples(r.samples)));
             }
-            Frame done;
-            done.type = FrameType::kDrained;
-            done.channel = ch;
-            done.seq = seq;
-            conn_send(conn, done);
+            conn_send(conn, make_frame(FrameType::kDrained, ch, seq));
           } else {
-            Frame resp;
-            resp.type = FrameType::kAck;
-            resp.channel = ch;
-            resp.seq = seq;
-            resp.payload = encode_u32(
-                static_cast<std::uint32_t>(FrameType::kClose));
-            conn_send(conn, resp);
+            conn_send(conn,
+                      make_frame(FrameType::kAck, ch, seq,
+                                 encode_u32(static_cast<std::uint32_t>(
+                                     FrameType::kClose))));
           }
         } else {
-          Frame e;
-          e.type = FrameType::kError;
-          e.channel = ch;
-          e.seq = seq;
-          e.payload = encode_u32(
-              static_cast<std::uint32_t>(status_error(r.status)));
-          conn_send(conn, e);
+          conn_send(conn, make_frame(FrameType::kError, ch, seq,
+                                     encode_u32(static_cast<std::uint32_t>(
+                                         status_error(r.status)))));
         }
         finish_job(conn);
       };
@@ -386,6 +534,46 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
   }
 }
 
+bool Server::process_input(const std::shared_ptr<Connection>& conn) {
+  auto& buf = conn->in_buf;
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < conn->in_len) {
+    FrameView view;
+    std::size_t consumed = 0;
+    std::string err;
+    const ScanResult res =
+        scan_frame(buf.data() + off, conn->in_len - off, &view, &consumed,
+                   &err);
+    if (res == ScanResult::kFrame) {
+      handle_frame(conn, view);  // view borrows buf; consumed before moving
+      off += consumed;
+      continue;
+    }
+    if (res == ScanResult::kNeedMore) break;
+    // kBad: the byte stream is unsynchronized -- report, then drop this
+    // connection. Other tenants are unaffected.
+    count_service("bad_frames");
+    DSADC_LOG_WARN("service", "dropping connection %llu: %s",
+                   static_cast<unsigned long long>(conn->id), err.c_str());
+    conn_send(conn, make_frame(FrameType::kError, 0, 0,
+                               encode_u32(static_cast<std::uint32_t>(
+                                   ErrorCode::kBadPayload))));
+    ok = false;
+    break;
+  }
+  // Compact: FrameView spans die here.
+  if (off > 0) {
+    std::memmove(buf.data(), buf.data() + off, conn->in_len - off);
+    conn->in_len -= off;
+  }
+  // A frame larger than the buffer can never complete without growth.
+  if (ok && conn->in_len == buf.size() && buf.size() < kRecvBufMax) {
+    buf.resize(std::min(buf.size() * 2, kRecvBufMax));
+  }
+  return ok;
+}
+
 void Server::teardown(const std::shared_ptr<Connection>& conn) {
   // Close every session this connection opened so a vanished client never
   // leaks chain state; results are discarded (the ring is about to close).
@@ -397,34 +585,18 @@ void Server::teardown(const std::shared_ptr<Connection>& conn) {
   }
   conn->opened.clear();
   conn->reader_done.store(true, std::memory_order_release);
-  conn->maybe_close_out();
+  if (!conn->epoll) conn->maybe_close_out();
 }
 
 void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
-  std::vector<std::uint8_t> buf(64 * 1024);
-  FrameParser parser;
+  conn->in_buf.resize(kRecvBufInitial);
   bool protocol_error = false;
   for (;;) {
-    const long n = net::recv_some(conn->fd, buf.data(), buf.size());
+    const long n = net::recv_some(conn->fd, conn->in_buf.data() + conn->in_len,
+                                  conn->in_buf.size() - conn->in_len);
     if (n <= 0) break;
-    parser.feed(buf.data(), static_cast<std::size_t>(n));
-    Frame f;
-    FrameParser::Result res;
-    while ((res = parser.next(&f)) == FrameParser::Result::kFrame) {
-      handle_frame(conn, std::move(f));
-    }
-    if (res == FrameParser::Result::kBad) {
-      // The byte stream is unsynchronized: report, then drop this
-      // connection. Other tenants are unaffected.
-      count_service("bad_frames");
-      DSADC_LOG_WARN("service", "dropping connection %llu: %s",
-                     static_cast<unsigned long long>(conn->id),
-                     parser.error().c_str());
-      Frame e;
-      e.type = FrameType::kError;
-      e.payload =
-          encode_u32(static_cast<std::uint32_t>(ErrorCode::kBadPayload));
-      conn_send(conn, e);
+    conn->in_len += static_cast<std::size_t>(n);
+    if (!process_input(conn)) {
       protocol_error = true;
       break;
     }
@@ -434,10 +606,16 @@ void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
 }
 
 void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
-  std::vector<std::uint8_t> msg;
-  while (conn->out.pop(msg)) {
+  OutFrame f;
+  while (conn->out.pop(f)) {
     if (conn->dead.load(std::memory_order_relaxed)) continue;  // discard
-    if (!net::send_all(conn->fd, msg.data(), msg.size())) {
+    iovec iov[2];
+    iov[0] = {f.header.data(), kHeaderBytes};
+    int cnt = 1;
+    if (!f.payload.empty()) {
+      iov[cnt++] = {f.payload.data(), f.payload.size()};
+    }
+    if (!net::writev_all(conn->fd, iov, cnt)) {
       conn->dead.store(true, std::memory_order_relaxed);
     }
   }
@@ -445,6 +623,192 @@ void Server::writer_loop(const std::shared_ptr<Connection>& conn) {
   // observes the teardown without waiting for server stop.
   ::shutdown(conn->fd, SHUT_WR);
 }
+
+#ifdef __linux__
+
+void Server::on_readable(EventThread& et,
+                         const std::shared_ptr<Connection>& conn) {
+  (void)et;
+  if (conn->input_done) return;
+  if (conn->in_buf.empty()) conn->in_buf.resize(kRecvBufInitial);
+  for (;;) {
+    // Paused input is the kBlock backpressure: leave bytes in the socket
+    // buffer so TCP/unix flow control reaches the client. flush_out
+    // resumes us once the output queue drains. Stop overrides the pause
+    // so shutdown can always reach the EOF.
+    if (conn->stalled && !stopping_.load(std::memory_order_acquire)) return;
+    const auto n =
+        ::recv(conn->fd, conn->in_buf.data() + conn->in_len,
+               conn->in_buf.size() - conn->in_len, 0);
+    if (n > 0) {
+      conn->in_len += static_cast<std::size_t>(n);
+      if (!process_input(conn)) {
+        conn->input_done = true;
+        ::shutdown(conn->fd, SHUT_RD);
+        teardown(conn);
+        return;
+      }
+      if (opts_.policy == runtime::SessionRuntime::Overload::kBlock) {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (conn->outq.size() >= opts_.out_queue_capacity) {
+          conn->stalled = true;
+        }
+      }
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+    }
+    // EOF or hard error: no more input ever.
+    conn->input_done = true;
+    teardown(conn);
+    return;
+  }
+}
+
+void Server::flush_out(EventThread& et,
+                       const std::shared_ptr<Connection>& conn) {
+  if (conn->finalized) return;
+  if (conn->dead.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    conn->outq.clear();
+    conn->wip_active = false;
+  }
+  while (conn->writable && !conn->dead.load(std::memory_order_relaxed)) {
+    if (!conn->wip_active) {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->outq.empty()) break;
+      conn->wip = std::move(conn->outq.front());
+      conn->outq.pop_front();
+      conn->wip_active = true;
+      conn->wip_off = 0;
+    }
+    const std::size_t total = kHeaderBytes + conn->wip.payload.size();
+    iovec iov[2];
+    int cnt = 0;
+    std::size_t off = conn->wip_off;
+    if (off < kHeaderBytes) {
+      iov[cnt++] = {conn->wip.header.data() + off, kHeaderBytes - off};
+      off = 0;
+    } else {
+      off -= kHeaderBytes;
+    }
+    if (off < conn->wip.payload.size()) {
+      iov[cnt++] = {conn->wip.payload.data() + off,
+                    conn->wip.payload.size() - off};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(cnt);
+    const auto sent = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        conn->writable = false;  // wait for the next EPOLLOUT edge
+        break;
+      }
+      if (errno == EINTR) continue;
+      conn->dead.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->outq.clear();
+      conn->wip_active = false;
+      break;
+    }
+    conn->wip_off += static_cast<std::size_t>(sent);
+    if (conn->wip_off == total) conn->wip_active = false;
+  }
+  // Resume paused input once the queue is half-drained (hysteresis so a
+  // border-line queue does not flap the stall bit every frame).
+  if (conn->stalled) {
+    bool low;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      low = conn->outq.size() <= opts_.out_queue_capacity / 2;
+    }
+    if (low) {
+      conn->stalled = false;
+      on_readable(et, conn);
+    }
+  }
+  // Finalize: reader saw EOF, every job's callback ran, output is flushed
+  // (or the socket died). Mirror the threads backend's teardown order.
+  if (conn->reader_done.load(std::memory_order_acquire) &&
+      conn->jobs.load(std::memory_order_acquire) == 0) {
+    bool drained;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      drained = conn->outq.empty() && !conn->wip_active;
+    }
+    if (drained || conn->dead.load(std::memory_order_relaxed)) {
+      conn->finalized = true;
+      ::shutdown(conn->fd, SHUT_WR);
+      ::epoll_ctl(et.ep, EPOLL_CTL_DEL, conn->fd, nullptr);
+      et.owned.erase(conn.get());
+    }
+  }
+}
+
+void Server::event_loop(EventThread& et) {
+  std::vector<epoll_event> evs(64);
+  while (!et.stop.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(et.ep, evs.data(),
+                               static_cast<int>(evs.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto& ev = evs[i];
+      if (ev.data.ptr == nullptr) {
+        // Wake channel: drain it, register fresh connections, run flushes.
+        std::uint64_t junk;
+        while (::read(et.wake_fd, &junk, sizeof(junk)) > 0) {
+        }
+        std::vector<std::shared_ptr<Connection>> fresh, flush;
+        {
+          std::lock_guard<std::mutex> lock(et.mu);
+          fresh.swap(et.fresh);
+          flush.swap(et.flush);
+        }
+        for (auto& c : fresh) {
+          epoll_event reg{};
+          reg.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+          reg.data.ptr = c.get();
+          ::epoll_ctl(et.ep, EPOLL_CTL_ADD, c->fd, &reg);
+          et.owned.emplace(c.get(), c);
+          // Edge-triggered: consume anything that raced the registration.
+          on_readable(et, c);
+          flush_out(et, c);
+        }
+        for (auto& c : flush) {
+          // Clear BEFORE flushing: a producer that pushes after this sees
+          // flush_queued==false and re-queues, so no frame is stranded.
+          c->flush_queued.store(false, std::memory_order_release);
+          const auto it = et.owned.find(c.get());
+          if (it != et.owned.end()) flush_out(et, it->second);
+        }
+        continue;
+      }
+      auto* cp = static_cast<Connection*>(ev.data.ptr);
+      const auto it = et.owned.find(cp);
+      if (it == et.owned.end()) continue;  // finalized earlier this batch
+      auto conn = it->second;  // keep alive across a possible finalize
+      if (ev.events & EPOLLOUT) conn->writable = true;
+      if (ev.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        on_readable(et, conn);
+      }
+      flush_out(et, conn);
+    }
+  }
+}
+
+#else  // !__linux__
+
+void Server::event_loop(EventThread&) {}
+void Server::on_readable(EventThread&, const std::shared_ptr<Connection>&) {}
+void Server::flush_out(EventThread&, const std::shared_ptr<Connection>&) {}
+
+#endif
 
 void Server::stop() {
   if (stopped_.exchange(true)) return;
@@ -467,12 +831,40 @@ void Server::stop() {
   // Wake readers (recv returns 0) and fail writers' sends so a slow or
   // vanished consumer cannot wedge the drain.
   for (const auto& c : conns) ::shutdown(c->fd, SHUT_RDWR);
-  for (const auto& c : conns) c->reader.join();
-  // Readers are quiesced; drain every admitted job so callbacks finish
-  // and the output rings close, then the writers exit.
-  runtime_->stop();
+#ifdef __linux__
+  if (!events_.empty()) {
+    // The shutdowns above raise EPOLLIN/EPOLLRDHUP edges; the event
+    // threads run the EOF path (teardown) for every connection, including
+    // ones still waiting in a fresh list. Wait for that quiesce -- after
+    // it no thread submits jobs anymore.
+    for (const auto& et : events_) et->wake();
+    for (const auto& c : conns) {
+      while (!c->reader_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+#endif
   for (const auto& c : conns) {
-    c->writer.join();
+    if (c->reader.joinable()) c->reader.join();
+  }
+  // Input is quiesced; drain every admitted job so callbacks finish and
+  // the output paths close.
+  runtime_->stop();
+#ifdef __linux__
+  for (const auto& et : events_) {
+    et->stop.store(true, std::memory_order_release);
+    et->wake();
+  }
+  for (const auto& et : events_) {
+    if (et->th.joinable()) et->th.join();
+    if (et->ep >= 0) ::close(et->ep);
+    if (et->wake_fd >= 0) ::close(et->wake_fd);
+  }
+  events_.clear();
+#endif
+  for (const auto& c : conns) {
+    if (c->writer.joinable()) c->writer.join();
     ::close(c->fd);
   }
   {

@@ -33,27 +33,50 @@
 // service.inflight gauge (admitted jobs not yet executed) and
 // service.throughput_sps.ch<id> gauges.
 //
+// I/O backends (ServerOptions::io, DSADC_SERVICE_IO):
+//  * kThreads: the blocking path above -- two threads per connection.
+//  * kEpoll (default on Linux): a small pool of event threads, each
+//    running an edge-triggered epoll loop over its share of the
+//    connections (pinned by connection id). Frames are scanned in place
+//    in the connection's receive buffer (wire.h scan_frame -- the payload
+//    is never copied into an intermediate Frame) and responses leave via
+//    writev as header+payload iovec pairs. Worker callbacks enqueue
+//    OutFrames and wake the owning event thread through an eventfd.
+//    Backpressure under kBlock pauses a connection's *input* when its
+//    output queue passes the cap (TCP flow control then pushes back),
+//    so an event thread never blocks on a slow client.
+//
 // Environment knobs (all optional; see options_from_env):
-//   DSADC_SERVICE_POLICY      block | shed
-//   DSADC_SERVICE_SHARDS      shard count (default 16)
-//   DSADC_SERVICE_THREADS     worker count (default DSADC_RUNTIME_THREADS
-//                             or hardware concurrency)
-//   DSADC_SERVICE_QUEUE_CAP   jobs per shard ring (default 64)
-//   DSADC_SERVICE_OUT_CAP     frames per connection output ring (256)
+//   DSADC_SERVICE_POLICY        block | shed
+//   DSADC_SERVICE_SHARDS        shard count (default 16)
+//   DSADC_SERVICE_THREADS       worker count (default DSADC_RUNTIME_THREADS
+//                               or hardware concurrency)
+//   DSADC_SERVICE_QUEUE_CAP     jobs per shard ring (default 64)
+//   DSADC_SERVICE_OUT_CAP       frames per connection output ring (256)
+//   DSADC_SERVICE_IO            epoll | threads (default epoll on Linux)
+//   DSADC_SERVICE_EVENT_THREADS epoll event threads (default 2)
+//   DSADC_SERVICE_BATCH_LINGER_US  lockstep group linger (default 20000)
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/runtime/session.h"
 #include "src/service/wire.h"
 
 namespace dsadc::service {
+
+enum class IoBackend : std::uint8_t {
+  kThreads,  ///< blocking reader/writer thread pair per connection
+  kEpoll,    ///< edge-triggered event-thread pool (Linux; default there)
+};
 
 struct ServerOptions {
   std::string unix_path;       ///< empty -> no unix listener
@@ -65,6 +88,14 @@ struct ServerOptions {
   std::size_t workers = 0;  ///< 0 -> configured_threads()
   std::size_t queue_capacity = 64;
   std::size_t out_queue_capacity = 256;
+#ifdef __linux__
+  IoBackend io = IoBackend::kEpoll;
+#else
+  IoBackend io = IoBackend::kThreads;
+#endif
+  std::size_t event_threads = 2;  ///< epoll backend only
+  /// Lockstep batch-group linger (runtime::SessionRuntime::Options).
+  std::int64_t batch_linger_us = 20000;
 };
 
 /// Defaults overlaid with the DSADC_SERVICE_* environment knobs.
@@ -96,22 +127,45 @@ class Server {
 
  private:
   struct Connection;
+  struct EventThread;
 
   void accept_loop(int listen_fd);
   void spawn_connection(int fd);
   void reader_loop(const std::shared_ptr<Connection>& conn);
   void writer_loop(const std::shared_ptr<Connection>& conn);
-  void handle_frame(const std::shared_ptr<Connection>& conn, Frame&& f);
+  /// Dispatch one validated frame. `f.payload` borrows the connection's
+  /// receive buffer; anything that outlives the call (job codes, config
+  /// blobs) is decoded out of the span here.
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const FrameView& f);
+  /// Scan + dispatch every complete frame in the connection's receive
+  /// buffer, then compact. False on a malformed stream (kBad).
+  bool process_input(const std::shared_ptr<Connection>& conn);
   /// Close the connection's sessions (reader-thread teardown path).
   void teardown(const std::shared_ptr<Connection>& conn);
-  /// Encode + enqueue one server->client frame per the overload policy.
-  void conn_send(const std::shared_ptr<Connection>& conn, const Frame& f);
+  /// Enqueue one sealed server->client frame per the overload policy.
+  void conn_send(const std::shared_ptr<Connection>& conn, OutFrame&& f);
   void finish_job(const std::shared_ptr<Connection>& conn);
+  /// Resolve an OPEN/CONFIG payload: 4-byte preset id or serialized
+  /// ChainConfig. Identical blobs intern to one shared config object so
+  /// lockstep tenants of the same config can batch (grouping is by
+  /// pointer). nullptr -> *err says why.
+  std::shared_ptr<const decim::ChainConfig> resolve_config(
+      std::span<const std::uint8_t> payload, ErrorCode* err);
+
+  // --- epoll backend ---
+  void event_loop(EventThread& et);
+  void on_readable(EventThread& et, const std::shared_ptr<Connection>& conn);
+  void flush_out(EventThread& et, const std::shared_ptr<Connection>& conn);
+  /// Hand the connection to its event thread's flush queue (collapses
+  /// duplicates via Connection::flush_queued) and wake it.
+  void schedule_flush(const std::shared_ptr<Connection>& conn);
 
   ServerOptions opts_;
   std::unique_ptr<runtime::SessionRuntime> runtime_;
   std::vector<int> listen_fds_;
   std::vector<std::thread> accept_threads_;
+  std::vector<std::unique_ptr<EventThread>> events_;
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
@@ -120,6 +174,12 @@ class Server {
 
   mutable std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
+
+  /// OPEN/CONFIG blob interning: payload bytes -> decoded config, shared
+  /// across sessions and connections.
+  std::mutex cfg_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const decim::ChainConfig>>
+      cfg_cache_;
 };
 
 }  // namespace dsadc::service

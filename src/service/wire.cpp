@@ -1,8 +1,14 @@
 #include "src/service/wire.h"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <mutex>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define DSADC_WIRE_HAVE_PCLMUL 1
+#endif
 
 namespace dsadc::service {
 namespace {
@@ -33,19 +39,139 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   return v;
 }
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
+// Slicing-by-8 CRC-32: table[0] is the classic byte-at-a-time table;
+// table[j][b] is the CRC of byte b followed by j zero bytes, which lets
+// the hot loop fold 8 input bytes per iteration with two 32-bit loads and
+// eight independent table lookups. Same polynomial (0xedb88320), same
+// result as the bytewise loop -- only the throughput changes (~6-8x),
+// which matters because every DATA payload is CRC'd twice per direction.
+const std::array<std::array<std::uint32_t, 256>, 8>& crc_tables() {
+  static const auto tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t j = 1; j < 8; ++j) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[j][i] = c;
+      }
     }
     return t;
   }();
-  return table;
+  return tables;
+}
+
+std::uint32_t crc32_slice8(std::uint32_t c, const std::uint8_t* p,
+                           std::size_t n) {
+  const auto& t = crc_tables();
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][hi & 0xffu] ^
+          t[2][(hi >> 8) & 0xffu] ^ t[1][(hi >> 16) & 0xffu] ^ t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n-- > 0) {
+    c = t[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+  }
+  return c;
+}
+
+#ifdef DSADC_WIRE_HAVE_PCLMUL
+
+/// PCLMULQDQ folding (the classic carry-less-multiply reduction for the
+/// reflected 0xedb88320 polynomial): four 128-bit accumulators eat 64
+/// bytes per iteration, then fold down to one, which is handed back to
+/// the table path as 16 literal bytes -- the accumulator of a reflected
+/// CRC *is* an equivalent prefix of the message, so no Barrett reduction
+/// is needed and the tail shares the scalar code. ~12x the slicing-by-8
+/// rate. Requires n >= 64.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t crc32_pclmul(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) {
+  // k1/k2 fold across 512 bits, k3/k4 across 128 (x^{576}, x^{512},
+  // x^{192}, x^{128} mod P, reflected and pre-shifted).
+  const __m128i k1k2 =
+      _mm_set_epi64x(0x00000001c6e41596, 0x0000000154442bd4);
+  const __m128i k3k4 =
+      _mm_set_epi64x(0x00000000ccaa009e, 0x00000001751997d0);
+  const auto* q = reinterpret_cast<const __m128i*>(p);
+  __m128i x0 = _mm_loadu_si128(q + 0);
+  __m128i x1 = _mm_loadu_si128(q + 1);
+  __m128i x2 = _mm_loadu_si128(q + 2);
+  __m128i x3 = _mm_loadu_si128(q + 3);
+  x0 = _mm_xor_si128(x0, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  p += 64;
+  n -= 64;
+  while (n >= 64) {
+    q = reinterpret_cast<const __m128i*>(p);
+    __m128i t;
+    t = _mm_clmulepi64_si128(x0, k1k2, 0x00);
+    x0 = _mm_clmulepi64_si128(x0, k1k2, 0x11);
+    x0 = _mm_xor_si128(_mm_xor_si128(x0, t), _mm_loadu_si128(q + 0));
+    t = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t), _mm_loadu_si128(q + 1));
+    t = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, t), _mm_loadu_si128(q + 2));
+    t = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, t), _mm_loadu_si128(q + 3));
+    p += 64;
+    n -= 64;
+  }
+  __m128i t;
+  t = _mm_clmulepi64_si128(x0, k3k4, 0x00);
+  x0 = _mm_clmulepi64_si128(x0, k3k4, 0x11);
+  x1 = _mm_xor_si128(x1, _mm_xor_si128(x0, t));
+  t = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x2 = _mm_xor_si128(x2, _mm_xor_si128(x1, t));
+  t = _mm_clmulepi64_si128(x2, k3k4, 0x00);
+  x2 = _mm_clmulepi64_si128(x2, k3k4, 0x11);
+  x3 = _mm_xor_si128(x3, _mm_xor_si128(x2, t));
+  while (n >= 16) {
+    t = _mm_clmulepi64_si128(x3, k3k4, 0x00);
+    x3 = _mm_clmulepi64_si128(x3, k3k4, 0x11);
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, t),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    n -= 16;
+  }
+  alignas(16) std::uint8_t state[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(state), x3);
+  return crc32_slice8(crc32_slice8(0, state, 16), p, n);
+}
+
+bool pclmul_supported() {
+  static const bool ok = __builtin_cpu_supports("pclmul") &&
+                         __builtin_cpu_supports("sse4.1");
+  return ok;
+}
+
+#endif  // DSADC_WIRE_HAVE_PCLMUL
+
+/// Folds `n` bytes into the running (pre-inverted) CRC state `c`.
+std::uint32_t crc32_update(std::uint32_t c, const std::uint8_t* p,
+                           std::size_t n) {
+#ifdef DSADC_WIRE_HAVE_PCLMUL
+  if (n >= 64 && pclmul_supported()) return crc32_pclmul(c, p, n);
+#endif
+  return crc32_slice8(c, p, n);
 }
 
 bool known_frame_type(std::uint8_t t) {
@@ -85,12 +211,73 @@ const char* error_code_name(ErrorCode c) {
 }
 
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
-  const auto& t = crc_table();
-  std::uint32_t c = 0xffffffffu;
-  for (std::size_t i = 0; i < n; ++i) {
-    c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  return crc32_update(0xffffffffu, data, n) ^ 0xffffffffu;
+}
+
+ScanResult scan_frame(const std::uint8_t* data, std::size_t n,
+                      FrameView* out, std::size_t* consumed,
+                      std::string* error) {
+  if (n < kHeaderBytes) return ScanResult::kNeedMore;
+  if (get_u32(data) != kMagic) {
+    if (error) *error = "bad magic";
+    return ScanResult::kBad;
   }
-  return c ^ 0xffffffffu;
+  if (!known_frame_type(data[4])) {
+    if (error) *error = "unknown frame type";
+    return ScanResult::kBad;
+  }
+  const std::uint32_t len = get_u32(data + 16);
+  if (len > kMaxPayloadBytes) {
+    if (error) {
+      *error = "payload length " + std::to_string(len) + " exceeds limit";
+    }
+    return ScanResult::kBad;
+  }
+  if (n < kHeaderBytes + len) return ScanResult::kNeedMore;
+
+  // CRC runs over the header with a zeroed CRC field, then the payload;
+  // feeding four zero bytes in place of the wire CRC avoids copying the
+  // header just to blank it.
+  const std::uint32_t wire_crc = get_u32(data + 20);
+  static constexpr std::array<std::uint8_t, 4> kZeroCrcField{};
+  std::uint32_t c = crc32_update(0xffffffffu, data, 20);
+  c = crc32_update(c, kZeroCrcField.data(), 4);
+  c = crc32_update(c, data + kHeaderBytes, len);
+  if ((c ^ 0xffffffffu) != wire_crc) {
+    if (error) *error = "CRC mismatch";
+    return ScanResult::kBad;
+  }
+
+  out->type = static_cast<FrameType>(data[4]);
+  out->flags = data[5];
+  out->channel = get_u32(data + 8);
+  out->seq = get_u32(data + 12);
+  out->payload = std::span<const std::uint8_t>(data + kHeaderBytes, len);
+  *consumed = kHeaderBytes + len;
+  return ScanResult::kFrame;
+}
+
+void seal_frame(OutFrame& f, FrameType type, std::uint8_t flags,
+                std::uint32_t channel, std::uint32_t seq) {
+  std::uint8_t* h = f.header.data();
+  const auto put = [](std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v & 0xffu);
+    p[1] = static_cast<std::uint8_t>((v >> 8) & 0xffu);
+    p[2] = static_cast<std::uint8_t>((v >> 16) & 0xffu);
+    p[3] = static_cast<std::uint8_t>((v >> 24) & 0xffu);
+  };
+  put(h, kMagic);
+  h[4] = static_cast<std::uint8_t>(type);
+  h[5] = flags;
+  h[6] = 0;
+  h[7] = 0;
+  put(h + 8, channel);
+  put(h + 12, seq);
+  put(h + 16, static_cast<std::uint32_t>(f.payload.size()));
+  put(h + 20, 0);
+  std::uint32_t c = crc32_update(0xffffffffu, h, kHeaderBytes);
+  c = crc32_update(c, f.payload.data(), f.payload.size());
+  put(h + 20, c ^ 0xffffffffu);
 }
 
 void append_frame(std::vector<std::uint8_t>& out, const Frame& f) {
@@ -133,11 +320,20 @@ bool decode_u32(std::span<const std::uint8_t> payload, std::uint32_t* v) {
   return true;
 }
 
+// The wire carries codes/samples little-endian, which matches the host
+// layout on every supported target -- so the bulk codecs collapse to one
+// memcpy there, with the bytewise form kept as the big-endian fallback.
+
 std::vector<std::uint8_t> encode_codes(std::span<const std::int32_t> codes) {
   std::vector<std::uint8_t> p;
-  p.reserve(codes.size() * 4);
-  for (const std::int32_t c : codes) {
-    put_u32(p, static_cast<std::uint32_t>(c));
+  if constexpr (std::endian::native == std::endian::little) {
+    p.resize(codes.size() * 4);
+    std::memcpy(p.data(), codes.data(), p.size());
+  } else {
+    p.reserve(codes.size() * 4);
+    for (const std::int32_t c : codes) {
+      put_u32(p, static_cast<std::uint32_t>(c));
+    }
   }
   return p;
 }
@@ -146,8 +342,13 @@ bool decode_codes(std::span<const std::uint8_t> payload,
                   std::vector<std::int32_t>* codes) {
   if (payload.size() % 4 != 0) return false;
   codes->resize(payload.size() / 4);
-  for (std::size_t i = 0; i < codes->size(); ++i) {
-    (*codes)[i] = static_cast<std::int32_t>(get_u32(payload.data() + 4 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(codes->data(), payload.data(), payload.size());
+  } else {
+    for (std::size_t i = 0; i < codes->size(); ++i) {
+      (*codes)[i] =
+          static_cast<std::int32_t>(get_u32(payload.data() + 4 * i));
+    }
   }
   return true;
 }
@@ -155,9 +356,14 @@ bool decode_codes(std::span<const std::uint8_t> payload,
 std::vector<std::uint8_t> encode_samples(
     std::span<const std::int64_t> samples) {
   std::vector<std::uint8_t> p;
-  p.reserve(samples.size() * 8);
-  for (const std::int64_t s : samples) {
-    put_u64(p, static_cast<std::uint64_t>(s));
+  if constexpr (std::endian::native == std::endian::little) {
+    p.resize(samples.size() * 8);
+    std::memcpy(p.data(), samples.data(), p.size());
+  } else {
+    p.reserve(samples.size() * 8);
+    for (const std::int64_t s : samples) {
+      put_u64(p, static_cast<std::uint64_t>(s));
+    }
   }
   return p;
 }
@@ -166,9 +372,13 @@ bool decode_samples(std::span<const std::uint8_t> payload,
                     std::vector<std::int64_t>* samples) {
   if (payload.size() % 8 != 0) return false;
   samples->resize(payload.size() / 8);
-  for (std::size_t i = 0; i < samples->size(); ++i) {
-    (*samples)[i] =
-        static_cast<std::int64_t>(get_u64(payload.data() + 8 * i));
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(samples->data(), payload.data(), payload.size());
+  } else {
+    for (std::size_t i = 0; i < samples->size(); ++i) {
+      (*samples)[i] =
+          static_cast<std::int64_t>(get_u64(payload.data() + 8 * i));
+    }
   }
   return true;
 }
@@ -191,6 +401,211 @@ std::shared_ptr<const decim::ChainConfig> preset_config(std::uint32_t id) {
   return cache[id];
 }
 
+namespace {
+
+// Blob magic + version for serialized ChainConfigs. A preset payload is
+// exactly 4 bytes; the blob is always longer and leads with this marker,
+// so the two OPEN payload forms cannot be confused.
+constexpr std::uint32_t kConfigMagic = 0x31474643u;  // "CFG1"
+constexpr std::uint16_t kConfigVersion = 1;
+
+// Element-count sanity caps: far above any real design, far below
+// anything that could make decode allocate absurd amounts.
+constexpr std::size_t kMaxCicStages = 16;
+constexpr std::size_t kMaxCoeffs = 1u << 16;
+constexpr std::size_t kMaxCsdDigits = 256;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, int v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_f64_vec(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const double d : v) put_f64(out, d);
+}
+
+void put_csd_vec(std::vector<std::uint8_t>& out,
+                 const std::vector<fx::Csd>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const auto& csd : v) {
+    put_u16(out, static_cast<std::uint16_t>(csd.digits.size()));
+    for (const auto& d : csd.digits) {
+      out.push_back(static_cast<std::uint8_t>(static_cast<std::int8_t>(d.sign)));
+      put_u16(out, static_cast<std::uint16_t>(
+                       static_cast<std::int16_t>(d.position)));
+    }
+  }
+}
+
+void put_format(std::vector<std::uint8_t>& out, const fx::Format& f) {
+  put_u16(out, static_cast<std::uint16_t>(static_cast<std::int16_t>(f.width)));
+  put_u16(out, static_cast<std::uint16_t>(static_cast<std::int16_t>(f.frac)));
+}
+
+/// Bounds-checked little-endian reader; every get_* fails sticky.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t off = 0;
+  bool ok = true;
+
+  bool need(std::size_t k) {
+    if (!ok || n - off < k) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return p[off++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        p[off] | (static_cast<std::uint16_t>(p[off + 1]) << 8));
+    off += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const std::uint32_t v = get_u32(p + off);
+    off += 4;
+    return v;
+  }
+  int i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    if (!need(8)) return 0.0;
+    const std::uint64_t bits = get_u64(p + off);
+    off += 8;
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool f64_vec(std::vector<double>* out) {
+    const std::uint32_t count = u32();
+    if (!ok || count > kMaxCoeffs || !need(std::size_t{count} * 8)) {
+      ok = false;
+      return false;
+    }
+    out->resize(count);
+    for (auto& d : *out) d = f64();
+    return ok;
+  }
+  bool csd_vec(std::vector<fx::Csd>* out) {
+    const std::uint32_t count = u32();
+    if (!ok || count > kMaxCoeffs) {
+      ok = false;
+      return false;
+    }
+    out->resize(count);
+    for (auto& csd : *out) {
+      const std::uint16_t digits = u16();
+      if (!ok || digits > kMaxCsdDigits || !need(std::size_t{digits} * 3)) {
+        ok = false;
+        return false;
+      }
+      csd.digits.resize(digits);
+      for (auto& d : csd.digits) {
+        d.sign = static_cast<std::int8_t>(u8());
+        d.position = static_cast<std::int16_t>(u16());
+      }
+    }
+    return ok;
+  }
+  fx::Format format() {
+    fx::Format f;
+    f.width = static_cast<std::int16_t>(u16());
+    f.frac = static_cast<std::int16_t>(u16());
+    return f;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_chain_config(const decim::ChainConfig& cfg) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kConfigMagic);
+  put_u16(out, kConfigVersion);
+  put_u16(out, static_cast<std::uint16_t>(cfg.cic_stages.size()));
+  for (const auto& s : cfg.cic_stages) {
+    put_i32(out, s.order);
+    put_i32(out, s.decimation);
+    put_i32(out, s.input_bits);
+  }
+  put_f64_vec(out, cfg.hbf.f1);
+  put_f64_vec(out, cfg.hbf.f2);
+  put_csd_vec(out, cfg.hbf.f1_csd);
+  put_csd_vec(out, cfg.hbf.f2_csd);
+  put_f64_vec(out, cfg.hbf.taps);
+  put_u32(out, static_cast<std::uint32_t>(cfg.hbf.n1));
+  put_u32(out, static_cast<std::uint32_t>(cfg.hbf.n2));
+  put_f64(out, cfg.hbf.passband_edge);
+  put_f64(out, cfg.hbf.stopband_atten_db);
+  put_f64(out, cfg.hbf.passband_ripple_db);
+  put_u32(out, static_cast<std::uint32_t>(cfg.hbf.adder_count));
+  put_f64(out, cfg.scale);
+  put_f64_vec(out, cfg.equalizer_taps);
+  put_i32(out, cfg.equalizer_frac_bits);
+  put_i32(out, cfg.hbf_coeff_frac_bits);
+  put_format(out, cfg.input_format);
+  put_format(out, cfg.hbf_in_format);
+  put_format(out, cfg.hbf_out_format);
+  put_format(out, cfg.scaler_out_format);
+  put_format(out, cfg.output_format);
+  put_f64(out, cfg.input_rate_hz);
+  return out;
+}
+
+bool decode_chain_config(std::span<const std::uint8_t> payload,
+                         decim::ChainConfig* cfg) {
+  Reader r{payload.data(), payload.size()};
+  if (r.u32() != kConfigMagic || r.u16() != kConfigVersion) return false;
+  decim::ChainConfig c;
+  const std::uint16_t n_cic = r.u16();
+  if (!r.ok || n_cic == 0 || n_cic > kMaxCicStages) return false;
+  c.cic_stages.resize(n_cic);
+  for (auto& s : c.cic_stages) {
+    s.order = r.i32();
+    s.decimation = r.i32();
+    s.input_bits = r.i32();
+  }
+  if (!r.f64_vec(&c.hbf.f1) || !r.f64_vec(&c.hbf.f2)) return false;
+  if (!r.csd_vec(&c.hbf.f1_csd) || !r.csd_vec(&c.hbf.f2_csd)) return false;
+  if (!r.f64_vec(&c.hbf.taps)) return false;
+  c.hbf.n1 = r.u32();
+  c.hbf.n2 = r.u32();
+  c.hbf.passband_edge = r.f64();
+  c.hbf.stopband_atten_db = r.f64();
+  c.hbf.passband_ripple_db = r.f64();
+  c.hbf.adder_count = r.u32();
+  c.scale = r.f64();
+  if (!r.f64_vec(&c.equalizer_taps)) return false;
+  c.equalizer_frac_bits = r.i32();
+  c.hbf_coeff_frac_bits = r.i32();
+  c.input_format = r.format();
+  c.hbf_in_format = r.format();
+  c.hbf_out_format = r.format();
+  c.scaler_out_format = r.format();
+  c.output_format = r.format();
+  c.input_rate_hz = r.f64();
+  if (!r.ok || r.off != payload.size()) return false;
+  *cfg = std::move(c);
+  return true;
+}
+
 void FrameParser::feed(const std::uint8_t* data, std::size_t n) {
   // Compact before growing once the consumed prefix dominates.
   if (off_ > 0 && off_ >= buf_.size() / 2) {
@@ -202,47 +617,26 @@ void FrameParser::feed(const std::uint8_t* data, std::size_t n) {
 }
 
 FrameParser::Result FrameParser::next(Frame* out) {
-  if (buffered() < kHeaderBytes) return Result::kNeedMore;
-  const std::uint8_t* h = buf_.data() + off_;
-  if (get_u32(h) != kMagic) {
-    error_ = "bad magic";
-    return Result::kBad;
+  // The copying compatibility shim over the zero-copy core: clients keep
+  // the owning Frame interface; the server's event loop scans its receive
+  // buffer with scan_frame directly and never materializes payloads.
+  FrameView view;
+  std::size_t consumed = 0;
+  switch (scan_frame(buf_.data() + off_, buffered(), &view, &consumed,
+                     &error_)) {
+    case ScanResult::kNeedMore:
+      return Result::kNeedMore;
+    case ScanResult::kBad:
+      return Result::kBad;
+    case ScanResult::kFrame:
+      break;
   }
-  if (!known_frame_type(h[4])) {
-    error_ = "unknown frame type";
-    return Result::kBad;
-  }
-  const std::uint32_t len = get_u32(h + 16);
-  if (len > kMaxPayloadBytes) {
-    error_ = "payload length " + std::to_string(len) + " exceeds limit";
-    return Result::kBad;
-  }
-  if (buffered() < kHeaderBytes + len) return Result::kNeedMore;
-
-  // Validate the CRC against the header with a zeroed CRC field.
-  std::array<std::uint8_t, kHeaderBytes> header{};
-  std::memcpy(header.data(), h, kHeaderBytes);
-  const std::uint32_t wire_crc = get_u32(header.data() + 20);
-  std::memset(header.data() + 20, 0, 4);
-  const auto& t = crc_table();
-  std::uint32_t c = 0xffffffffu;
-  for (std::size_t i = 0; i < kHeaderBytes; ++i) {
-    c = t[(c ^ header[i]) & 0xffu] ^ (c >> 8);
-  }
-  for (std::size_t i = 0; i < len; ++i) {
-    c = t[(c ^ h[kHeaderBytes + i]) & 0xffu] ^ (c >> 8);
-  }
-  if ((c ^ 0xffffffffu) != wire_crc) {
-    error_ = "CRC mismatch";
-    return Result::kBad;
-  }
-
-  out->type = static_cast<FrameType>(h[4]);
-  out->flags = h[5];
-  out->channel = get_u32(h + 8);
-  out->seq = get_u32(h + 12);
-  out->payload.assign(h + kHeaderBytes, h + kHeaderBytes + len);
-  off_ += kHeaderBytes + len;
+  out->type = view.type;
+  out->flags = view.flags;
+  out->channel = view.channel;
+  out->seq = view.seq;
+  out->payload.assign(view.payload.begin(), view.payload.end());
+  off_ += consumed;
   return Result::kFrame;
 }
 

@@ -8,14 +8,15 @@
 //   offset  size  field
 //        0     4  magic 0x44534443 ("DSDC")
 //        4     1  type (FrameType)
-//        5     1  flags (reserved, 0)
+//        5     1  flags (bit 0: LOCKSTEP on OPEN; other bits reserved, 0)
 //        6     2  reserved (0)
 //        8     4  channel id
 //       12     4  sequence number
 //       16     4  payload length in bytes
 //       20     4  CRC-32
 //
-// Client -> server: OPEN / CONFIG (payload: u32 preset id), DATA
+// Client -> server: OPEN / CONFIG (payload: u32 preset id, or a full
+// serialized ChainConfig -- see encode_chain_config), DATA
 // (payload: int32 modulator codes, little-endian; `seq` must increment by
 // one per DATA frame per channel starting at 0 after OPEN), DRAIN, CLOSE.
 //
@@ -34,6 +35,7 @@
 // docs/SERVICE.md holds the full protocol specification.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -48,6 +50,12 @@ inline constexpr std::uint32_t kMagic = 0x44534443u;  // "DSDC" (LE "CDSD")
 inline constexpr std::size_t kHeaderBytes = 24;
 /// Upper bound on payload size: 256K codes per DATA frame.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/// OPEN flag: the session volunteers for lockstep batch serving -- the
+/// server may coalesce its DATA frames with other lockstep tenants of the
+/// same configuration into an SoA group (bit-exact either way; purely a
+/// performance hint). Ignored on other frame types.
+inline constexpr std::uint8_t kFlagLockstep = 0x01;
 
 enum class FrameType : std::uint8_t {
   // client -> server
@@ -85,12 +93,49 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+/// A parsed frame whose payload BORROWS the caller's receive buffer
+/// (zero-copy). The span is valid only until the underlying buffer is
+/// compacted, grown, or refilled -- i.e. within the current scan pass.
+/// Anything that must outlive the pass (e.g. a session job's code block)
+/// must be decoded out of the span before the next buffer mutation.
+struct FrameView {
+  FrameType type = FrameType::kData;
+  std::uint8_t flags = 0;
+  std::uint32_t channel = 0;
+  std::uint32_t seq = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+enum class ScanResult { kFrame, kNeedMore, kBad };
+
+/// Validate one frame at the start of `data` (magic, type, length, CRC).
+/// On kFrame: fills `*out` with spans into `data` and sets `*consumed` to
+/// the frame's total wire size. On kBad: `*error` (when non-null) says
+/// why. Never copies the payload -- this is the borrowing core both the
+/// server's event loop and FrameParser are built on.
+ScanResult scan_frame(const std::uint8_t* data, std::size_t n,
+                      FrameView* out, std::size_t* consumed,
+                      std::string* error);
+
 /// CRC-32 (IEEE 802.3, reflected, init/final 0xffffffff) of `n` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
 
 /// Serialize a frame (header CRC included) onto `out`.
 void append_frame(std::vector<std::uint8_t>& out, const Frame& f);
 std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// An outbound frame held as header + detached payload, so the writer can
+/// hand both to writev() without gluing them into one buffer (the second
+/// per-frame memcpy the blocking path used to pay). Payload vectors are
+/// recycled through the connection's buffer pool.
+struct OutFrame {
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Fill `f.header` for `f.payload` (CRC over header + payload).
+void seal_frame(OutFrame& f, FrameType type, std::uint8_t flags,
+                std::uint32_t channel, std::uint32_t seq);
 
 // --- payload codecs ------------------------------------------------------
 
@@ -114,6 +159,20 @@ bool decode_samples(std::span<const std::uint8_t> payload,
 /// Presets are designed once and shared (the design flow is expensive).
 std::shared_ptr<const decim::ChainConfig> preset_config(std::uint32_t id);
 inline constexpr std::uint32_t kNumPresets = 2;
+
+// --- full ChainConfig serialization --------------------------------------
+
+/// Serialize a complete ChainConfig (every field, including the designed
+/// HBF's CSD digit lists) for OPEN/CONFIG payloads. Doubles travel as
+/// bit-cast u64 so a round trip is exact; the blob starts with its own
+/// magic + version so a 4-byte preset id can never be confused with it.
+std::vector<std::uint8_t> encode_chain_config(const decim::ChainConfig& cfg);
+
+/// Strict inverse of encode_chain_config: bounds-checked, rejects unknown
+/// versions, trailing bytes, or absurd element counts. Returns false
+/// without touching `*cfg` on malformed input.
+bool decode_chain_config(std::span<const std::uint8_t> payload,
+                         decim::ChainConfig* cfg);
 
 // --- incremental parser --------------------------------------------------
 

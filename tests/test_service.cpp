@@ -9,6 +9,7 @@
 #include <map>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -82,6 +83,15 @@ class ServiceTest : public ::testing::Test {
     o.unix_path = service::net::unique_socket_path(tag);
     o.workers = 4;
     o.shards = 8;
+    // CI runs this suite once per I/O backend via DSADC_SERVICE_IO;
+    // options are built directly here, so re-apply the env override.
+    if (const char* io = std::getenv("DSADC_SERVICE_IO")) {
+      if (std::string_view(io) == "threads") {
+        o.io = service::IoBackend::kThreads;
+      } else if (std::string_view(io) == "epoll") {
+        o.io = service::IoBackend::kEpoll;
+      }
+    }
     return o;
   }
 };
@@ -221,6 +231,66 @@ TEST(ServiceWire, Crc32KnownVector) {
   const char* s = "123456789";
   EXPECT_EQ(service::crc32(reinterpret_cast<const std::uint8_t*>(s), 9),
             0xcbf43926u);
+}
+
+TEST(ServiceWire, Crc32MatchesBytewiseReferenceAtAllSizes) {
+  // The production crc32 dispatches between a bytewise tail, slicing-by-8,
+  // and a PCLMULQDQ fold depending on length and CPU; every length around
+  // the dispatch thresholds (and several large ones) must agree with the
+  // plain bitwise definition.
+  const auto reference = [](const std::uint8_t* p, std::size_t n) {
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i) {
+      c ^= p[i];
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+      }
+    }
+    return c ^ 0xffffffffu;
+  };
+  std::mt19937_64 rng(fuzz_seed(99));
+  std::vector<std::uint8_t> buf(5000);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  for (std::size_t len = 0; len <= 200; ++len) {
+    ASSERT_EQ(service::crc32(buf.data(), len), reference(buf.data(), len))
+        << "len=" << len;
+  }
+  for (const std::size_t len : {256u, 1000u, 4096u, 4999u}) {
+    for (const std::size_t off : {0u, 1u, 3u}) {
+      ASSERT_EQ(service::crc32(buf.data() + off, len - off),
+                reference(buf.data() + off, len - off))
+          << "len=" << len << " off=" << off;
+    }
+  }
+}
+
+TEST(ServiceWire, ChainConfigRoundTrip) {
+  // Full ChainConfig serialization: decode(encode(cfg)) must drive a chain
+  // to bit-identical output, and re-encoding the decoded config must give
+  // back the same bytes (proving no field is dropped or re-derived).
+  decim::ChainConfig cfg = decim::paper_chain_config();
+  cfg.scale *= 0.75;            // distinguishable from every preset
+  cfg.equalizer_frac_bits = 12;
+  const auto blob = service::encode_chain_config(cfg);
+
+  decim::ChainConfig back;
+  ASSERT_TRUE(service::decode_chain_config(blob, &back));
+  EXPECT_EQ(service::encode_chain_config(back), blob);
+
+  std::mt19937_64 rng(fuzz_seed(5));
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kModulator, 2048, rng);
+  decim::DecimationChain a(cfg);
+  decim::DecimationChain b(back);
+  EXPECT_EQ(a.process(codes), b.process(codes));
+
+  // A truncated or bit-flipped blob must be rejected, never mis-decoded.
+  decim::ChainConfig junk;
+  std::vector<std::uint8_t> truncated(blob.begin(), blob.end() - 3);
+  EXPECT_FALSE(service::decode_chain_config(truncated, &junk));
+  std::vector<std::uint8_t> flipped = blob;
+  flipped[0] ^= 0x40;  // breaks the CFG1 magic
+  EXPECT_FALSE(service::decode_chain_config(flipped, &junk));
 }
 
 TEST(ServiceWire, PresetsAreSharedAndBounded) {
@@ -466,6 +536,120 @@ TEST_F(ServiceTest, PerTenantMetricsAccumulate) {
   EXPECT_EQ(reg.counter("service.shed").value(), 0u);
   EXPECT_EQ(reg.counter("service.connections").value(), 1u);
   EXPECT_GT(reg.gauge("service.throughput_sps.ch4").value(), 0.0);
+}
+
+TEST_F(ServiceTest, OpenWithSerializedConfigServesBitExact) {
+  // OPEN and CONFIG carrying a full serialized ChainConfig (not a preset
+  // id): the served stream must match a local chain built from the same
+  // config, before and after an over-the-wire reconfigure.
+  service::Server server(test_options("cfgwire"));
+  server.start();
+  auto client = service::Client::connect_unix(server.unix_path());
+
+  decim::ChainConfig cfg = decim::paper_chain_config();
+  cfg.scale *= 0.75;
+  std::mt19937_64 rng(fuzz_seed(41));
+  const auto codes =
+      stimulus_codes(verify::StimulusClass::kModulator, 1024, rng);
+  decim::DecimationChain ref(cfg);
+  const auto expect1 = ref.process(codes);
+
+  const std::uint32_t ch = 9;
+  ASSERT_TRUE(client->open_config(ch, cfg));
+  ASSERT_TRUE(client->send_data(ch, codes));
+  ASSERT_TRUE(client->wait_sample_count(ch, expect1.size(), kWait));
+  EXPECT_EQ(client->samples(ch), expect1);
+
+  // Reconfigure with another serialized config: fresh chain, new scale.
+  decim::ChainConfig cfg2 = cfg;
+  cfg2.scale *= 0.5;
+  decim::DecimationChain ref2(cfg2);
+  const auto expect2 = ref2.process(codes);
+  ASSERT_TRUE(client->reconfigure_config(ch, cfg2));
+  ASSERT_TRUE(client->send_data(ch, codes));
+  ASSERT_TRUE(
+      client->wait_sample_count(ch, expect1.size() + expect2.size(), kWait));
+  auto got = client->samples(ch);
+  got.erase(got.begin(),
+            got.begin() + static_cast<std::ptrdiff_t>(expect1.size()));
+  EXPECT_EQ(got, expect2);
+  EXPECT_TRUE(client->errors().empty());
+  client.reset();
+  server.stop();
+}
+
+TEST_F(ServiceTest, LockstepCohortServesBitExactOverWire) {
+  // End-to-end batch path: two connections x 16 lockstep channels on the
+  // same config stream equal-length blocks; the server coalesces them
+  // into ChainBank rounds, and every channel must still see the exact
+  // scalar-chain samples. A mid-stream reconfigure on one channel forces
+  // a dissolve; its stream and its former groupmates' streams must stay
+  // bit-exact through it.
+  service::Server server(test_options("lockstep"));
+  server.start();
+  constexpr std::size_t kConns = 2;
+  constexpr std::size_t kPerConn = 16;
+  constexpr std::size_t kBlocks = 4;
+  constexpr std::size_t kFrames = 256;
+
+  std::mt19937_64 rng(fuzz_seed(77));
+  std::vector<std::vector<std::int32_t>> blocks;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    const auto cls = static_cast<verify::StimulusClass>(
+        b % verify::kNumStimulusClasses);
+    blocks.push_back(stimulus_codes(cls, kFrames, rng));
+  }
+
+  std::vector<std::unique_ptr<service::Client>> clients;
+  for (std::size_t c = 0; c < kConns; ++c) {
+    clients.push_back(service::Client::connect_unix(server.unix_path()));
+    for (std::size_t k = 0; k < kPerConn; ++k) {
+      const auto ch = static_cast<std::uint32_t>(c * kPerConn + k);
+      ASSERT_TRUE(clients[c]->open(ch, 0, /*lockstep=*/true));
+    }
+  }
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    for (std::size_t c = 0; c < kConns; ++c) {
+      for (std::size_t k = 0; k < kPerConn; ++k) {
+        const auto ch = static_cast<std::uint32_t>(c * kPerConn + k);
+        ASSERT_TRUE(clients[c]->send_data(ch, blocks[b]));
+      }
+    }
+    if (b == 1) {
+      // Channel 0 leaves the cohort mid-stream: preset 0 -> preset 0 is
+      // still a rebuild, so its group dissolves and replays scalar.
+      ASSERT_TRUE(clients[0]->reconfigure(0, 0));
+    }
+  }
+
+  decim::DecimationChain ref(*service::preset_config(0));
+  std::vector<std::int64_t> expect_full;
+  std::vector<std::int64_t> expect_reconf;  // chain reset after block 1
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    const auto out = ref.process(blocks[b]);
+    expect_full.insert(expect_full.end(), out.begin(), out.end());
+    if (b <= 1) {
+      expect_reconf.insert(expect_reconf.end(), out.begin(), out.end());
+    }
+  }
+  decim::DecimationChain ref2(*service::preset_config(0));
+  for (std::size_t b = 2; b < kBlocks; ++b) {
+    const auto out = ref2.process(blocks[b]);
+    expect_reconf.insert(expect_reconf.end(), out.begin(), out.end());
+  }
+
+  for (std::size_t c = 0; c < kConns; ++c) {
+    for (std::size_t k = 0; k < kPerConn; ++k) {
+      const auto ch = static_cast<std::uint32_t>(c * kPerConn + k);
+      const auto& expect = ch == 0 ? expect_reconf : expect_full;
+      ASSERT_TRUE(clients[c]->wait_sample_count(ch, expect.size(), kWait))
+          << "ch=" << ch;
+      EXPECT_EQ(clients[c]->samples(ch), expect) << "ch=" << ch;
+    }
+    EXPECT_TRUE(clients[c]->errors().empty());
+  }
+  clients.clear();
+  server.stop();
 }
 
 }  // namespace

@@ -37,7 +37,11 @@ std::vector<std::int32_t> stimulus_codes(verify::StimulusClass c,
   return codes;
 }
 
-class ServiceFaultTest : public ::testing::Test {
+// Every fault scenario runs against both I/O backends: the blocking
+// thread-pair path and the edge-triggered epoll event loop share frame
+// semantics but none of their buffer or shutdown machinery.
+class ServiceFaultTest
+    : public ::testing::TestWithParam<service::IoBackend> {
  protected:
   void SetUp() override {
     obs::set_enabled(true);
@@ -49,6 +53,7 @@ class ServiceFaultTest : public ::testing::Test {
     o.unix_path = service::net::unique_socket_path(tag);
     o.workers = 4;
     o.shards = 4;
+    o.io = GetParam();
     return o;
   }
 
@@ -65,7 +70,7 @@ class ServiceFaultTest : public ::testing::Test {
   }
 };
 
-TEST_F(ServiceFaultTest, GarbledMagicDropsOnlyThatConnection) {
+TEST_P(ServiceFaultTest, GarbledMagicDropsOnlyThatConnection) {
   service::Server server(test_options("garble"));
   server.start();
   auto victim = service::Client::connect_unix(server.unix_path());
@@ -87,7 +92,7 @@ TEST_F(ServiceFaultTest, GarbledMagicDropsOnlyThatConnection) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, BadCrcDropsOnlyThatConnection) {
+TEST_P(ServiceFaultTest, BadCrcDropsOnlyThatConnection) {
   service::Server server(test_options("crc"));
   server.start();
   auto victim = service::Client::connect_unix(server.unix_path());
@@ -111,7 +116,7 @@ TEST_F(ServiceFaultTest, BadCrcDropsOnlyThatConnection) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, TruncatedFrameThenDisconnect) {
+TEST_P(ServiceFaultTest, TruncatedFrameThenDisconnect) {
   // A client dies mid-frame (header promises more payload than ever
   // arrives). The server must tear the connection down on EOF and keep
   // serving everyone else.
@@ -134,7 +139,7 @@ TEST_F(ServiceFaultTest, TruncatedFrameThenDisconnect) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, OutOfOrderSequenceRejectedStreamContinues) {
+TEST_P(ServiceFaultTest, OutOfOrderSequenceRejectedStreamContinues) {
   service::Server server(test_options("seq"));
   server.start();
   auto client = service::Client::connect_unix(server.unix_path());
@@ -163,7 +168,7 @@ TEST_F(ServiceFaultTest, OutOfOrderSequenceRejectedStreamContinues) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, DataWithoutOpenIsNotOpen) {
+TEST_P(ServiceFaultTest, DataWithoutOpenIsNotOpen) {
   service::Server server(test_options("noopen"));
   server.start();
   auto client = service::Client::connect_unix(server.unix_path());
@@ -181,7 +186,7 @@ TEST_F(ServiceFaultTest, DataWithoutOpenIsNotOpen) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, DoubleOpenRejectedSessionSurvives) {
+TEST_P(ServiceFaultTest, DoubleOpenRejectedSessionSurvives) {
   service::Server server(test_options("dopen"));
   server.start();
   auto client = service::Client::connect_unix(server.unix_path());
@@ -205,7 +210,7 @@ TEST_F(ServiceFaultTest, DoubleOpenRejectedSessionSurvives) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, BadPresetRejected) {
+TEST_P(ServiceFaultTest, BadPresetRejected) {
   service::Server server(test_options("preset"));
   server.start();
   auto client = service::Client::connect_unix(server.unix_path());
@@ -216,7 +221,7 @@ TEST_F(ServiceFaultTest, BadPresetRejected) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, DisconnectMidStreamLeavesServerHealthy) {
+TEST_P(ServiceFaultTest, DisconnectMidStreamLeavesServerHealthy) {
   service::Server server(test_options("dc"));
   server.start();
   auto victim = service::Client::connect_unix(server.unix_path());
@@ -236,7 +241,7 @@ TEST_F(ServiceFaultTest, DisconnectMidStreamLeavesServerHealthy) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, SlowConsumerBlockPolicyLosesNothing) {
+TEST_P(ServiceFaultTest, SlowConsumerBlockPolicyLosesNothing) {
   // kBlock + tiny queues: a paused consumer exerts backpressure all the
   // way to its own socket, but once it resumes every sample arrives.
   auto opts = test_options("slowb");
@@ -280,7 +285,7 @@ TEST_F(ServiceFaultTest, SlowConsumerBlockPolicyLosesNothing) {
   server.stop();
 }
 
-TEST_F(ServiceFaultTest, ShedPolicyAccountsEveryDroppedFrame) {
+TEST_P(ServiceFaultTest, ShedPolicyAccountsEveryDroppedFrame) {
   // kShed + a 1-deep admission queue + a paused consumer: overload must
   // shed DATA frames (never lifecycle frames), notify the client of each
   // drop, and keep the books balanced: accepted + shed == sent.
@@ -332,5 +337,13 @@ TEST_F(ServiceFaultTest, ShedPolicyAccountsEveryDroppedFrame) {
   client.reset();
   server.stop();
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    IoBackends, ServiceFaultTest,
+    ::testing::Values(service::IoBackend::kThreads,
+                      service::IoBackend::kEpoll),
+    [](const ::testing::TestParamInfo<service::IoBackend>& info) {
+      return info.param == service::IoBackend::kEpoll ? "epoll" : "threads";
+    });
 
 }  // namespace

@@ -4,17 +4,23 @@
 // the books balanced per tenant: accepted + shed == sent.
 //
 // Scale knobs (env, so CI smoke can shrink the run):
-//   DSADC_SOAK_CHANNELS  total channels        (default 256)
-//   DSADC_SOAK_CONNS     client connections    (default 8)
-//   DSADC_SOAK_BLOCKS    DATA frames/channel   (default 8)
-//   DSADC_SOAK_FRAMES    codes per DATA frame  (default 512)
+//   DSADC_SOAK_CHANNELS    total channels        (default 256)
+//   DSADC_SOAK_CONNS       client connections    (default 8)
+//   DSADC_SOAK_BLOCKS      DATA frames/channel   (default 8)
+//   DSADC_SOAK_FRAMES      codes per DATA frame  (default 512)
+//   DSADC_SOAK_IDLE_CONNS  idle epoll connections (default 1000)
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,6 +56,19 @@ struct SoakScale {
   std::size_t frames = env_size("DSADC_SOAK_FRAMES", 512);
 };
 
+// CI runs the soak suite once per I/O backend by exporting
+// DSADC_SERVICE_IO; tests construct ServerOptions directly, so the env
+// override from options_from_env() has to be re-applied here.
+void apply_io_env(service::ServerOptions& o) {
+  if (const char* io = std::getenv("DSADC_SERVICE_IO")) {
+    if (std::string_view(io) == "threads") {
+      o.io = service::IoBackend::kThreads;
+    } else if (std::string_view(io) == "epoll") {
+      o.io = service::IoBackend::kEpoll;
+    }
+  }
+}
+
 class ServiceSoakTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -82,6 +101,7 @@ TEST_F(ServiceSoakTest, BlockPolicySustainsAllChannelsZeroLoss) {
   opts.unix_path = service::net::unique_socket_path("soakb");
   opts.shards = 16;
   opts.queue_capacity = 16;  // small on purpose: admission backpressure
+  apply_io_env(opts);
   service::Server server(opts);
   server.start();
 
@@ -157,6 +177,7 @@ TEST_F(ServiceSoakTest, ShedPolicyAccountingBalancesUnderOverload) {
   opts.queue_capacity = 1;
   opts.workers = 1;
   opts.out_queue_capacity = 1 << 15;  // no output-side drops: admission only
+  apply_io_env(opts);
   service::Server server(opts);
   server.start();
 
@@ -225,6 +246,84 @@ TEST_F(ServiceSoakTest, ShedPolicyAccountingBalancesUnderOverload) {
 
   clients.clear();
   server.stop();
+}
+
+TEST_F(ServiceSoakTest, ThousandIdleConnectionsEpollStaysHealthy) {
+#ifndef __linux__
+  GTEST_SKIP() << "epoll backend is linux-only";
+#else
+  // A large herd of connected-but-silent tenants must cost the epoll
+  // event loop nothing: a live tenant streams bit-exact through the
+  // middle of the herd, half the herd then vanishes abruptly (RDHUP
+  // storm), and the stream plus server shutdown stay clean. Idle conns
+  // are raw sockets on purpose -- no client threads, just fds parked in
+  // the server's epoll sets.
+  struct rlimit rl{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &rl), 0);
+  if (rl.rlim_cur < 4096) {
+    rlimit want = rl;
+    want.rlim_cur = std::min<rlim_t>(4096, rl.rlim_max);
+    (void)setrlimit(RLIMIT_NOFILE, &want);
+    ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &rl), 0);
+  }
+  // Each idle connection is one fd here and one in the server, plus
+  // headroom for the server's own plumbing and the active client.
+  const std::size_t idle =
+      std::min(env_size("DSADC_SOAK_IDLE_CONNS", 1000),
+               (static_cast<std::size_t>(rl.rlim_cur) - 128) / 2);
+
+  service::ServerOptions opts;
+  opts.unix_path = service::net::unique_socket_path("soaki");
+  opts.io = service::IoBackend::kEpoll;
+  opts.event_threads = 2;
+  service::Server server(opts);
+  server.start();
+
+  std::vector<int> herd;
+  herd.reserve(idle);
+  for (std::size_t i = 0; i < idle; ++i) {
+    std::string err;
+    int fd = service::net::connect_unix(server.unix_path(), &err);
+    for (int retry = 0; fd < 0 && retry < 50; ++retry) {
+      // The acceptor can momentarily fall behind a connect burst.
+      std::this_thread::sleep_for(1ms);
+      fd = service::net::connect_unix(server.unix_path(), &err);
+    }
+    ASSERT_GE(fd, 0) << "idle connect " << i << ": " << err;
+    herd.push_back(fd);
+  }
+
+  std::mt19937_64 rng(4545);
+  const auto raw = verify::make_stimulus(verify::StimulusClass::kModulator,
+                                         512, fx::Format{4, 0}, rng);
+  std::vector<std::int32_t> codes(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(raw[i]);
+  }
+  decim::DecimationChain chain(*service::preset_config(0));
+  const auto block_ref = chain.process(codes);
+
+  auto client = service::Client::connect_unix(server.unix_path());
+  ASSERT_TRUE(client->open(1, 0));
+  ASSERT_TRUE(client->send_data(1, codes));
+  ASSERT_TRUE(client->wait_sample_count(1, block_ref.size(), kWait));
+  EXPECT_EQ(client->samples(1), block_ref);
+
+  // Half the herd disconnects at once while the tenant keeps streaming.
+  for (std::size_t i = 0; i < herd.size() / 2; ++i) ::close(herd[i]);
+  ASSERT_TRUE(client->send_data(1, codes));
+  ASSERT_TRUE(client->wait_sample_count(1, 2 * block_ref.size(), kWait));
+  EXPECT_TRUE(client->errors().empty());
+
+  for (std::size_t i = herd.size() / 2; i < herd.size(); ++i) {
+    ::close(herd[i]);
+  }
+  client.reset();
+  server.stop();
+
+  auto& reg = obs::Registry::instance();
+  EXPECT_EQ(reg.counter("service.connections").value(), idle + 1);
+#endif
 }
 
 }  // namespace
